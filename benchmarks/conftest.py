@@ -1,0 +1,7 @@
+"""Make the shared ablation utilities importable when running
+`pytest benchmarks/` from the repository root."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

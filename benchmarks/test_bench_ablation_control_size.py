@@ -1,0 +1,47 @@
+"""Ablation: control-group size.
+
+Section 3.3: too small a control group "loses the benefits of robust
+regression analysis for a few bad control group members"; too large a
+group dilutes the shared-factor similarity.  The benchmark measures
+false-positive rates under contamination for small vs moderate groups.
+"""
+
+from repro.core.config import LitmusConfig
+
+from ablation_util import error_rates
+
+
+def test_bench_ablation_control_group_size(benchmark):
+    def run():
+        contamination = dict(
+            n_trials=40, n_contaminated_good=1, contamination_shift=10.0
+        )
+        fp_small, _ = error_rates(LitmusConfig(), n_controls=4, **contamination)
+        fp_moderate, _ = error_rates(LitmusConfig(), n_controls=14, **contamination)
+        return fp_small, fp_moderate
+
+    fp_small, fp_moderate = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nFP rate with one contaminated control: "
+        f"4 controls={fp_small:.2f} vs 14 controls={fp_moderate:.2f}"
+    )
+    # One bad member out of four dominates; out of fourteen it dilutes.
+    assert fp_moderate <= fp_small
+
+
+def test_bench_ablation_detection_by_size(benchmark):
+    """Detection of a genuine shift should not degrade with a moderate
+    group (more predictors, better forecast)."""
+
+    def run():
+        _, recall_small = error_rates(
+            LitmusConfig(), n_controls=4, study_shift=5.0, n_trials=40
+        )
+        _, recall_moderate = error_rates(
+            LitmusConfig(), n_controls=14, study_shift=5.0, n_trials=40
+        )
+        return recall_small, recall_moderate
+
+    recall_small, recall_moderate = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nDetection: 4 controls={recall_small:.2f} vs 14 controls={recall_moderate:.2f}")
+    assert recall_moderate >= recall_small - 0.1

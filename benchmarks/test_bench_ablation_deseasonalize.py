@@ -1,0 +1,70 @@
+"""Ablation: is seasonal adjustment a substitute for a control group?
+
+A tempting shortcut: deseasonalize the study series (day-of-week profile +
+trailing-baseline detrend) and run study-only analysis on the residual.
+The ablation shows what it buys and what it cannot: adjustment fixes the
+*periodic* confounders, but a storm or an upstream change on an arbitrary
+date moves the adjusted series exactly like a real impact — only a control
+group subject to the same factor cancels it.
+"""
+
+import numpy as np
+
+from repro.core.baselines import StudyOnlyAnalysis
+from repro.core.config import LitmusConfig
+from repro.core.regression import RobustSpatialRegression
+from repro.stats.deseasonalize import seasonally_adjust
+from repro.stats.rank_tests import Direction
+from repro.stats.timeseries import TimeSeries
+
+from ablation_util import AFTER, TRAIN, make_panel
+
+
+class AdjustedStudyOnly:
+    """Study-only analysis on a seasonally adjusted series."""
+
+    name = "study-only-adjusted"
+
+    def __init__(self, config):
+        self._inner = StudyOnlyAnalysis(config)
+
+    def compare(self, yb, ya, xb=None, xa=None):
+        joint = seasonally_adjust(TimeSeries(np.concatenate([yb, ya])))
+        values = joint.values
+        return self._inner.compare(values[: len(yb)], values[len(yb) :])
+
+
+def _fp_rate(algo, confounder_shift, n_trials=30):
+    """FP rate when an aperiodic region-wide shift hits study AND control."""
+    fp = 0
+    for seed in range(n_trials):
+        yb, ya, xb, xa = make_panel(seed)
+        ya = ya + confounder_shift
+        xa = xa + confounder_shift
+        if algo.compare(yb, ya, xb, xa).direction is not Direction.NO_CHANGE:
+            fp += 1
+    return fp / n_trials
+
+
+def test_bench_ablation_seasonal_adjustment(benchmark):
+    def run():
+        cfg = LitmusConfig()
+        adjusted = AdjustedStudyOnly(cfg)
+        plain = StudyOnlyAnalysis(cfg)
+        litmus = RobustSpatialRegression(cfg)
+        shift = 6.0  # an aperiodic confounder (storm aftermath, upstream change)
+        return {
+            "study-only": _fp_rate(plain, shift),
+            "study-only-adjusted": _fp_rate(adjusted, shift),
+            "litmus": _fp_rate(litmus, shift),
+        }
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nFP rate under an aperiodic region-wide confounder:")
+    for name, rate in rates.items():
+        print(f"  {name:22s} {rate:.2f}")
+    # Seasonal adjustment does not rescue study-only analysis from
+    # aperiodic confounders; the control group does.
+    assert rates["litmus"] <= 0.2
+    assert rates["study-only-adjusted"] >= rates["litmus"] + 0.3
+    assert rates["study-only"] >= 0.5

@@ -1,0 +1,73 @@
+"""Ablation: supervised study/control comparison vs unsupervised PCA.
+
+Section 2.4 argues that network-wide anomaly detection (PCA subspace et
+al.) "could result in inaccurate inferences of the impact at the study
+group" because it has no study/control notion.  The benchmark runs both on
+the same panels:
+
+* clean study-side changes — both should detect;
+* control-side changes (relative impact at the study group) — PCA cannot
+  produce the correct relative verdict;
+* absolute-improvement-with-relative-degradation — the paper's verbatim
+  example of what unsupervised learning gets wrong.
+"""
+
+import numpy as np
+
+from repro.core.config import LitmusConfig
+from repro.core.pca_baseline import PcaSubspaceDetector
+from repro.core.regression import RobustSpatialRegression
+from repro.stats.rank_tests import Direction
+
+from ablation_util import make_panel
+
+
+def _verdicts(algo, scenario, n_trials=30):
+    out = []
+    for seed in range(n_trials):
+        if scenario == "study":
+            yb, ya, xb, xa = make_panel(seed, study_shift=8.0)
+        elif scenario == "control":
+            yb, ya, xb, xa = make_panel(
+                seed, n_contaminated_good=12, contamination_shift=8.0
+            )
+        else:  # relative degradation under absolute improvement
+            yb, ya, xb, xa = make_panel(
+                seed, study_shift=4.0, n_contaminated_good=12, contamination_shift=8.0
+            )
+        out.append(algo.compare(yb, ya, xb, xa).direction)
+    return out
+
+
+def test_bench_ablation_pca_vs_litmus(benchmark):
+    def run():
+        litmus = RobustSpatialRegression(LitmusConfig())
+        pca = PcaSubspaceDetector()
+        results = {}
+        for scenario, correct in [
+            ("study", Direction.INCREASE),
+            ("control", Direction.DECREASE),
+            ("relative", Direction.DECREASE),
+        ]:
+            results[scenario] = {
+                "litmus": np.mean(
+                    [d is correct for d in _verdicts(litmus, scenario)]
+                ),
+                "pca": np.mean([d is correct for d in _verdicts(pca, scenario)]),
+            }
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for scenario, scores in results.items():
+        print(
+            f"  {scenario:10s} correct-verdict rate: "
+            f"litmus={scores['litmus']:.2f} pca={scores['pca']:.2f}"
+        )
+    # Both detect a clean study-side change.
+    assert results["study"]["litmus"] >= 0.9
+    # Only the supervised comparison produces correct *relative* verdicts.
+    assert results["control"]["litmus"] >= 0.8
+    assert results["control"]["pca"] <= 0.2
+    assert results["relative"]["litmus"] >= 0.8
+    assert results["relative"]["pca"] <= 0.2

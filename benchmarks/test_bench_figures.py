@@ -1,0 +1,76 @@
+"""Benchmarks regenerating every figure of the paper.
+
+Each benchmark times one figure's full regeneration (substrate build, KPI
+generation, factor imprint, assessment) and asserts the committed shape
+check, so `pytest benchmarks/ --benchmark-only` doubles as the figure-level
+reproduction run.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig1,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+)
+
+
+def _run_once(benchmark, fn):
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def test_bench_fig1_wind_confounder(benchmark):
+    result = _run_once(benchmark, fig1.run)
+    assert result.shape_ok, result.describe()
+
+
+def test_bench_fig3_foliage_seasonality(benchmark):
+    result = _run_once(benchmark, fig3.run)
+    assert result.shape_ok, result.describe()
+
+
+def test_bench_fig4_tornado_outbreak(benchmark):
+    result = _run_once(benchmark, fig4.run)
+    assert result.shape_ok, result.describe()
+
+
+def test_bench_fig5_big_event(benchmark):
+    result = _run_once(benchmark, fig5.run)
+    assert result.shape_ok, result.describe()
+
+
+def test_bench_fig6_upstream_upgrade(benchmark):
+    result = _run_once(benchmark, fig6.run)
+    assert result.shape_ok, result.describe()
+
+
+def test_bench_fig7_study_only_misleads(benchmark):
+    result = _run_once(benchmark, fig7.run)
+    assert result.shape_ok, result.describe()
+
+
+def test_bench_fig8_feature_activation(benchmark):
+    result = _run_once(benchmark, fig8.run)
+    assert result.shape_ok, result.describe()
+
+
+def test_bench_fig9_msc_foliage(benchmark):
+    result = _run_once(benchmark, fig9.run)
+    assert result.shape_ok, result.describe()
+
+
+def test_bench_fig10_hurricane_son(benchmark):
+    result = _run_once(benchmark, fig10.run)
+    assert result.shape_ok, result.describe()
+
+
+def test_bench_fig11_holiday_false_positive(benchmark):
+    result = _run_once(benchmark, fig11.run)
+    assert result.shape_ok, result.describe()

@@ -1,0 +1,86 @@
+"""Integration stress test: a year of operations.
+
+The closest thing to the paper's operating environment: a full year of
+KPIs over a region, a random confounder timeline (storms, severe weather,
+outages, upstream changes, holidays) always active somewhere, and a stream
+of FFA changes throughout the year with known ground truth.  The sweep
+screens every change with study-only analysis and with Litmus and compares
+accuracy — the end-to-end version of the Table-2 claim.
+"""
+
+from repro.core.baselines import StudyOnlyAnalysis
+from repro.core.config import LitmusConfig
+from repro.core.litmus import Litmus
+from repro.core.verdict import Verdict
+from repro.external.factors import goodness_magnitude
+from repro.external.timeline import TimelineConfig, generate_timeline
+from repro.kpi.effects import LevelShift
+from repro.kpi.generator import GeneratorConfig, KpiGenerator
+from repro.kpi.metrics import KpiKind
+from repro.network.builder import build_network
+from repro.network.changes import ChangeEvent, ChangeLog, ChangeType
+from repro.network.geography import Region
+from repro.network.technology import ElementRole
+
+VR = KpiKind.VOICE_RETAINABILITY
+HORIZON = 380
+N_CHANGES = 12
+
+
+def _build_year(seed=2013):
+    topo = build_network(seed=seed, controllers_per_region=16, towers_per_controller=1)
+    store = KpiGenerator(GeneratorConfig(horizon_days=HORIZON, seed=seed)).generate(
+        topo, (VR,)
+    )
+    for factor in generate_timeline(
+        topo, Region.NORTHEAST, 0, HORIZON, TimelineConfig(seed=seed)
+    ):
+        factor.apply(store, topo, [VR])
+
+    # FFA changes spread over the year, one RNC each, cycling through
+    # improvement / degradation / no-impact ground truths.
+    rncs = [r.element_id for r in topo.elements(role=ElementRole.RNC)]
+    truths = {}
+    events = []
+    for i in range(N_CHANGES):
+        day = 80 + i * 24  # well past the training horizon, spread out
+        rnc = rncs[i % len(rncs)]
+        truth = (Verdict.IMPROVEMENT, Verdict.DEGRADATION, Verdict.NO_IMPACT)[i % 3]
+        change = ChangeEvent(
+            f"ffa-{i:02d}", ChangeType.CONFIGURATION, day, frozenset({rnc})
+        )
+        events.append(change)
+        truths[change.change_id] = truth
+        if truth is Verdict.IMPROVEMENT:
+            store.apply_effect(rnc, VR, LevelShift(goodness_magnitude(VR, 4.0), day))
+        elif truth is Verdict.DEGRADATION:
+            store.apply_effect(rnc, VR, LevelShift(goodness_magnitude(VR, -4.0), day))
+    return topo, store, ChangeLog(events), truths
+
+
+def _accuracy(topo, store, log, truths, algorithm) -> float:
+    cfg = LitmusConfig()
+    engine = Litmus(topo, store, cfg, change_log=log, algorithm=algorithm)
+    correct = total = 0
+    for change in log:
+        report = engine.assess(change, [VR])
+        total += 1
+        if report.summary()[VR].winner is truths[change.change_id]:
+            correct += 1
+    return correct / total
+
+
+def test_bench_stress_year(benchmark):
+    def run():
+        topo, store, log, truths = _build_year()
+        litmus_acc = _accuracy(topo, store, log, truths, None)
+        study_acc = _accuracy(topo, store, log, truths, StudyOnlyAnalysis(LitmusConfig()))
+        return litmus_acc, study_acc
+
+    litmus_acc, study_acc = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nYear-long screening accuracy over {N_CHANGES} changes amid a live "
+        f"confounder timeline: litmus={litmus_acc:.2f} study-only={study_acc:.2f}"
+    )
+    assert litmus_acc >= study_acc
+    assert litmus_acc >= 0.7

@@ -1,0 +1,13 @@
+"""Benchmark verifying Table 3 — injection case-scenario expectations."""
+
+from repro.experiments import table3
+
+
+def test_bench_table3_scenarios(benchmark):
+    result = benchmark.pedantic(table3.run, rounds=1, iterations=1)
+    print()
+    print(result.describe())
+    assert result.shape_ok, result.describe()
+    # All five published scenario rows reproduced.
+    assert len(result.checks) == 5
+    assert all(check.matches for check in result.checks)

@@ -1,0 +1,57 @@
+"""Device-upgrade assessment — the paper's future-work extension (§6).
+
+A firmware rollout hits the Galaxy cohorts in the Northeast.  Did it hurt
+data retainability?  The confounder: a network-side change degrades *every*
+cohort in the region at the same time.  Comparing the upgraded cohorts
+against un-upgraded smartphone cohorts separates the firmware's own impact
+from the network's.
+
+Run:  python examples/device_upgrade.py
+"""
+
+from repro.devices import (
+    DeviceGeneratorConfig,
+    assess_device_upgrade,
+    build_cohorts,
+    generate_device_kpis,
+)
+from repro.external.factors import goodness_magnitude
+from repro.kpi import KpiKind, LevelShift
+
+DR = KpiKind.DATA_RETAINABILITY
+UPGRADE_DAY = 85
+
+
+def main() -> None:
+    cohorts = build_cohorts(os_versions=("os-4.1", "os-4.2", "os-5.0"))
+    store = generate_device_kpis(cohorts, (DR,), DeviceGeneratorConfig(seed=71))
+
+    upgraded = [c.cohort_id for c in cohorts if c.model_family == "galaxy"][:2]
+    print(f"Upgraded cohorts: {upgraded}\n")
+
+    # The firmware genuinely regresses data retainability on those cohorts...
+    for cid in upgraded:
+        store.apply_effect(cid, DR, LevelShift(goodness_magnitude(DR, -4.0), UPGRADE_DAY))
+
+    # ...while a network-side event degrades EVERY cohort in the region.
+    for cohort in cohorts:
+        store.apply_effect(
+            cohort.cohort_id, DR, LevelShift(goodness_magnitude(DR, -3.0), UPGRADE_DAY)
+        )
+
+    report = assess_device_upgrade(store, cohorts, upgraded, UPGRADE_DAY, (DR,))
+    print(f"Control cohorts ({len(report.control)}): {list(report.control)[:4]} ...")
+    for assessment in report.assessments:
+        print(
+            f"  {assessment.cohort_id}: {assessment.verdict.value} "
+            f"(p={assessment.result.p_value:.4f})"
+        )
+    print(f"\nFirmware verdict: {report.overall_verdict().value}")
+    print(
+        "The network-wide degradation hits upgraded and control cohorts alike "
+        "and cancels; the extra drop at the upgraded cohorts is the firmware's."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Full First Field Application (FFA) workflow.
+
+A realistic operational sequence:
+
+1. build the network and ingest KPI measurements;
+2. record the trial change — and an unrelated overlapping maintenance
+   activity — in the change-management log;
+3. select a control group with domain-knowledge predicates, letting the
+   selector drop candidates with conflicting changes;
+4. run all three assessment algorithms over the same windows and compare
+   their verdicts while a weather event confounds the study region.
+
+Run:  python examples/ffa_assessment.py
+"""
+
+from repro import (
+    ChangeEvent,
+    ChangeLog,
+    ChangeType,
+    ElementRole,
+    KpiKind,
+    LevelShift,
+    Litmus,
+    LitmusConfig,
+    Region,
+    WeatherEvent,
+    WeatherKind,
+    build_network,
+    generate_kpis,
+)
+from repro.core import DifferenceInDifferences, StudyOnlyAnalysis
+from repro.external.factors import goodness_magnitude
+from repro.network.geography import REGION_BOXES, GeoPoint
+from repro.selection import SameRegion, SameRole, SameTechnology, SameVendor
+
+CHANGE_DAY = 95
+SEED = 25
+KPIS = (KpiKind.VOICE_RETAINABILITY, KpiKind.DATA_RETAINABILITY)
+
+
+def main() -> None:
+    topology = build_network(seed=SEED, controllers_per_region=16, towers_per_controller=2)
+    store = generate_kpis(topology, KPIS, seed=SEED)
+
+    rncs = topology.elements(role=ElementRole.RNC)
+    study = [rncs[0].element_id, rncs[1].element_id]
+
+    # --- change management log -------------------------------------------
+    trial = ChangeEvent(
+        change_id="ffa-handover-tuning",
+        change_type=ChangeType.CONFIGURATION,
+        day=CHANGE_DAY,
+        element_ids=frozenset(study),
+        description="handover hysteresis tuning trial",
+        parameters=("handover_hysteresis_db",),
+    )
+    # An unrelated maintenance activity on another RNC near the same time:
+    # the selector must keep it out of the control group.
+    maintenance = ChangeEvent(
+        change_id="maint-rehome",
+        change_type=ChangeType.MAINTENANCE,
+        day=CHANGE_DAY + 2,
+        element_ids=frozenset({rncs[2].element_id}),
+        description="unrelated re-home work",
+    )
+    log = ChangeLog([trial, maintenance])
+
+    # The maintenance genuinely moves that RNC's KPIs.
+    for kpi in KPIS:
+        store.apply_effect(
+            rncs[2].element_id,
+            kpi,
+            LevelShift(goodness_magnitude(kpi, -4.0), CHANGE_DAY + 2),
+        )
+
+    # --- the trial change works: retainability improves at the study RNCs
+    for eid in study:
+        store.apply_effect(
+            eid,
+            KpiKind.VOICE_RETAINABILITY,
+            LevelShift(goodness_magnitude(KpiKind.VOICE_RETAINABILITY, 3.0), CHANGE_DAY),
+        )
+
+    # --- a storm hits the region during the trial -------------------------
+    lat_min, lat_max, lon_min, lon_max = REGION_BOXES[Region.NORTHEAST]
+    storm = WeatherEvent(
+        WeatherKind.STORM,
+        GeoPoint((lat_min + lat_max) / 2, (lon_min + lon_max) / 2),
+        radius_km=1500.0,
+        start_day=CHANGE_DAY + 1,
+        severity=4.0,
+        recovery_days=5.0,
+    )
+    storm.apply(store, topology, KPIS)
+
+    # --- control-group selection ------------------------------------------
+    predicate = SameRole() & SameTechnology() & SameRegion() & SameVendor()
+    config = LitmusConfig()
+    engine = Litmus(topology, store, config, change_log=log)
+    group = engine.selector.select(study, predicate, change=trial)
+    print(
+        f"Control group: {len(group)} elements "
+        f"(predicate {group.predicate}; "
+        f"{group.n_excluded_conflicts} dropped for conflicting changes)\n"
+    )
+
+    # --- run all three algorithms over identical inputs -------------------
+    for algorithm in (
+        StudyOnlyAnalysis(config),
+        DifferenceInDifferences(config),
+        None,  # None -> Litmus robust spatial regression (engine default)
+    ):
+        runner = Litmus(topology, store, config, change_log=log, algorithm=algorithm)
+        report = runner.assess(trial, KPIS, control_ids=list(group.element_ids))
+        print(report.to_text())
+        print()
+
+
+if __name__ == "__main__":
+    main()

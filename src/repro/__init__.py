@@ -1,0 +1,133 @@
+"""Litmus — robust assessment of changes in cellular networks.
+
+A full reproduction of Mahimkar et al., "Robust Assessment of Changes in
+Cellular Networks" (ACM CoNEXT 2013): the robust spatial regression
+algorithm, the study-only and Difference-in-Differences baselines,
+domain-knowledge-guided control-group selection, and a complete synthetic
+cellular substrate (GSM/UMTS/LTE topology, spatially correlated KPI
+generation, weather/traffic/network-event confounders) on which every table
+and figure of the paper's evaluation is regenerated.
+
+Quickstart::
+
+    from repro import (
+        build_network, generate_kpis, ChangeEvent, ChangeType,
+        LevelShift, Litmus, KpiKind,
+    )
+
+    topo = build_network(seed=7)
+    store = generate_kpis(topo, seed=7)
+    rnc = topo.elements(role=ElementRole.RNC)[0]
+    change = ChangeEvent("ffa-1", ChangeType.CONFIGURATION, day=60,
+                         element_ids=frozenset({rnc.element_id}))
+    store.apply_effect(rnc.element_id, KpiKind.VOICE_RETAINABILITY,
+                       LevelShift(0.01, 60))
+    report = Litmus(topo, store).assess(change)
+    print(report.to_text())
+"""
+
+from .core import (
+    AlgorithmResult,
+    AssessmentConfig,
+    ChangeAssessmentReport,
+    DifferenceInDifferences,
+    ElementAssessment,
+    Litmus,
+    LitmusConfig,
+    RobustSpatialRegression,
+    StudyOnlyAnalysis,
+    Verdict,
+    majority_verdict,
+    verdict_from_direction,
+)
+from .external import (
+    BigEvent,
+    HolidayCalendar,
+    HolidayLull,
+    Outage,
+    UpstreamChange,
+    WeatherEvent,
+    WeatherKind,
+    apply_factors,
+    hurricane,
+    tornado_outbreak,
+)
+from .kpi import (
+    DEFAULT_KPIS,
+    GeneratorConfig,
+    KpiGenerator,
+    KpiKind,
+    KpiStore,
+    LevelShift,
+    Ramp,
+    Spike,
+    TransientDip,
+    generate_kpis,
+    get_kpi,
+)
+from .network import (
+    ChangeEvent,
+    ChangeLog,
+    ChangeType,
+    ElementRole,
+    NetworkSpec,
+    Region,
+    Technology,
+    Topology,
+    build_network,
+)
+from .selection import ControlGroupSelector, SelectionError, default_predicate
+from .stats import Direction, TimeSeries
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_KPIS",
+    "AlgorithmResult",
+    "AssessmentConfig",
+    "BigEvent",
+    "ChangeAssessmentReport",
+    "ChangeEvent",
+    "ChangeLog",
+    "ChangeType",
+    "ControlGroupSelector",
+    "DifferenceInDifferences",
+    "Direction",
+    "ElementAssessment",
+    "ElementRole",
+    "GeneratorConfig",
+    "HolidayCalendar",
+    "HolidayLull",
+    "KpiGenerator",
+    "KpiKind",
+    "KpiStore",
+    "LevelShift",
+    "Litmus",
+    "LitmusConfig",
+    "NetworkSpec",
+    "Outage",
+    "Ramp",
+    "Region",
+    "RobustSpatialRegression",
+    "SelectionError",
+    "Spike",
+    "StudyOnlyAnalysis",
+    "Technology",
+    "TimeSeries",
+    "Topology",
+    "TransientDip",
+    "UpstreamChange",
+    "Verdict",
+    "WeatherEvent",
+    "WeatherKind",
+    "apply_factors",
+    "build_network",
+    "default_predicate",
+    "generate_kpis",
+    "get_kpi",
+    "hurricane",
+    "majority_verdict",
+    "tornado_outbreak",
+    "verdict_from_direction",
+    "__version__",
+]

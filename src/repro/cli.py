@@ -1,0 +1,252 @@
+"""Command-line interface.
+
+``litmus list`` shows the registered paper experiments; ``litmus run
+<id>`` regenerates one (``fig9``, ``table4``, ...); ``litmus demo`` runs an
+end-to-end FFA assessment on a synthetic network and prints the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="litmus",
+        description=(
+            "Litmus: robust assessment of changes in cellular networks "
+            "(CoNEXT 2013 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the registered paper experiments")
+
+    run = sub.add_parser("run", help="regenerate one experiment (figure or table)")
+    run.add_argument("experiment", help="experiment id, e.g. fig9 or table4")
+    run.add_argument("--seed", type=int, default=None, help="override the demo seed")
+    run.add_argument(
+        "--save", default=None, metavar="DIR", help="export the result's data as CSVs"
+    )
+
+    demo = sub.add_parser("demo", help="end-to-end FFA assessment on a synthetic network")
+    demo.add_argument("--seed", type=int, default=7)
+
+    table4 = sub.add_parser("table4", help="synthetic-injection evaluation at scale")
+    table4.add_argument("--seeds", type=int, default=10, help="grid seeds (83 ≈ paper scale)")
+
+    simulate = sub.add_parser(
+        "simulate", help="write a synthetic deployment (topology/KPIs/changes) to files"
+    )
+    simulate.add_argument("directory", help="output directory")
+    simulate.add_argument("--seed", type=int, default=7)
+
+    assess = sub.add_parser(
+        "assess", help="assess changes from topology/KPI/change-log files"
+    )
+    assess.add_argument("--topology", required=True, help="topology JSON (see simulate)")
+    assess.add_argument("--kpis", required=True, help="KPI measurements CSV")
+    assess.add_argument("--changes", required=True, help="change-log JSON")
+    assess.add_argument(
+        "--change-id", default=None, help="assess one change (default: screen all)"
+    )
+    assess.add_argument(
+        "--explain",
+        action="store_true",
+        help="annotate the report with co-occurring changes/holidays/seasons",
+    )
+
+    quality = sub.add_parser(
+        "quality", help="diagnose a control group before trusting an assessment"
+    )
+    quality.add_argument("--topology", required=True)
+    quality.add_argument("--kpis", required=True)
+    quality.add_argument("--study", required=True, help="study element id")
+    quality.add_argument("--kpi", required=True, help="KPI name, e.g. voice-retainability")
+    quality.add_argument("--day", type=int, required=True, help="change day")
+    return parser
+
+
+def _cmd_list() -> int:
+    from .experiments import list_experiments
+
+    for exp in list_experiments():
+        print(f"{exp.experiment_id:8s} {exp.title}")
+    return 0
+
+
+def _cmd_run(experiment_id: str, seed: Optional[int], save: Optional[str] = None) -> int:
+    from .experiments import get_experiment
+
+    exp = get_experiment(experiment_id)
+    kwargs = {}
+    if seed is not None and experiment_id.startswith("fig"):
+        kwargs["seed"] = seed
+    result = exp.run(**kwargs)
+    print(result.describe())
+    if save is not None:
+        from .experiments.export import export_result
+
+        written = export_result(result, save, experiment_id)
+        print(f"\nexported {len(written)} file(s) to {save}/")
+    ok = result.shape_ok
+    print(f"\nshape check: {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def _cmd_demo(seed: int) -> int:
+    from .core import Litmus
+    from .external.factors import goodness_magnitude
+    from .kpi import KpiKind, LevelShift, generate_kpis
+    from .network import ChangeEvent, ChangeType, ElementRole, build_network
+
+    topo = build_network(seed=seed)
+    store = generate_kpis(topo, seed=seed)
+    rnc = topo.elements(role=ElementRole.RNC)[0]
+    change = ChangeEvent(
+        "ffa-demo",
+        ChangeType.CONFIGURATION,
+        day=85,
+        element_ids=frozenset({rnc.element_id}),
+        description="demo radio-link-timer change",
+    )
+    # The change genuinely degrades voice retainability by ~4.5 sigma.
+    store.apply_effect(
+        rnc.element_id,
+        KpiKind.VOICE_RETAINABILITY,
+        LevelShift(goodness_magnitude(KpiKind.VOICE_RETAINABILITY, -4.5), 85),
+    )
+    report = Litmus(topo, store).assess(change)
+    print(report.to_text())
+    return 0
+
+
+def _cmd_table4(n_seeds: int) -> int:
+    from .evaluation import evaluate_table4
+    from .reporting import render_confusion_table
+
+    matrices, n_cases = evaluate_table4(n_seeds)
+    print(render_confusion_table(matrices, f"Table 4 ({n_cases} cases)"))
+    return 0
+
+
+def _cmd_simulate(directory: str, seed: int) -> int:
+    import os
+
+    from .external.factors import goodness_magnitude
+    from .io import changelog_to_json, write_store_csv, write_topology_json
+    from .kpi import DEFAULT_KPIS, KpiKind, LevelShift, generate_kpis
+    from .network import ChangeEvent, ChangeLog, ChangeType, ElementRole, build_network
+
+    os.makedirs(directory, exist_ok=True)
+    topo = build_network(seed=seed, controllers_per_region=10, towers_per_controller=2)
+    store = generate_kpis(topo, DEFAULT_KPIS, seed=seed)
+    rncs = topo.elements(role=ElementRole.RNC)
+    log = ChangeLog(
+        [
+            ChangeEvent(
+                "ffa-good",
+                ChangeType.CONFIGURATION,
+                85,
+                frozenset({rncs[0].element_id}),
+                description="a change that improved voice retainability",
+            ),
+            ChangeEvent(
+                "ffa-bad",
+                ChangeType.SOFTWARE_UPGRADE,
+                85,
+                frozenset({rncs[1].element_id}),
+                description="a change that regressed voice retainability",
+            ),
+        ]
+    )
+    vr = KpiKind.VOICE_RETAINABILITY
+    store.apply_effect(rncs[0].element_id, vr, LevelShift(goodness_magnitude(vr, 4.5), 85))
+    store.apply_effect(rncs[1].element_id, vr, LevelShift(goodness_magnitude(vr, -4.5), 85))
+
+    write_topology_json(topo, os.path.join(directory, "topology.json"))
+    rows = write_store_csv(store, os.path.join(directory, "kpis.csv"))
+    with open(os.path.join(directory, "changes.json"), "w") as handle:
+        handle.write(changelog_to_json(log))
+    print(f"wrote {len(topo)} elements, {rows} KPI rows, {len(log)} changes to {directory}/")
+    return 0
+
+
+def _load_world(topology_path: str, kpi_path: str):
+    from .io import read_store_csv, read_topology_json
+
+    return read_topology_json(topology_path), read_store_csv(kpi_path)
+
+
+def _cmd_assess(
+    topology_path: str,
+    kpi_path: str,
+    changes_path: str,
+    change_id: Optional[str],
+    explain: bool = False,
+) -> int:
+    from pathlib import Path
+
+    from .core import Litmus
+    from .io import changelog_from_json
+    from .kpi import DEFAULT_KPIS
+    from .ops import explain_assessment, screen_changes
+
+    topo, store = _load_world(topology_path, kpi_path)
+    log = changelog_from_json(Path(changes_path).read_text())
+    engine = Litmus(topo, store, change_log=log)
+    if change_id is not None:
+        report = engine.assess(log.get(change_id), DEFAULT_KPIS)
+        if explain:
+            print(explain_assessment(report, topo, change_log=log).to_text())
+        else:
+            print(report.to_text())
+        return 0
+    print(screen_changes(engine, log, DEFAULT_KPIS).to_text())
+    return 0
+
+
+def _cmd_quality(topology_path: str, kpi_path: str, study: str, kpi_name: str, day: int) -> int:
+    from .core import Litmus
+    from .kpi import KpiKind
+    from .selection import control_group_quality
+
+    topo, store = _load_world(topology_path, kpi_path)
+    engine = Litmus(topo, store)
+    group = engine.selector.select([study])
+    report = control_group_quality(
+        store, study, list(group.element_ids), KpiKind(kpi_name), day
+    )
+    print(report.to_text())
+    return 0 if report.usable else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.seed, args.save)
+    if args.command == "demo":
+        return _cmd_demo(args.seed)
+    if args.command == "table4":
+        return _cmd_table4(args.seeds)
+    if args.command == "simulate":
+        return _cmd_simulate(args.directory, args.seed)
+    if args.command == "assess":
+        return _cmd_assess(
+            args.topology, args.kpis, args.changes, args.change_id, args.explain
+        )
+    if args.command == "quality":
+        return _cmd_quality(args.topology, args.kpis, args.study, args.kpi, args.day)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

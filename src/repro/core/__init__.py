@@ -1,0 +1,35 @@
+"""Litmus core: robust spatial regression, baselines, verdicts, engine."""
+
+from .baselines import DifferenceInDifferences, StudyOnlyAnalysis, did_measure
+from .config import AssessmentConfig, LitmusConfig
+from .litmus import Assessor, ChangeAssessmentReport, ElementAssessment, Litmus
+from .pca_baseline import PcaSubspaceDetector
+from .regression import RegressionDiagnostics, RobustSpatialRegression
+from .verdict import (
+    AlgorithmResult,
+    Verdict,
+    direction_for_verdict,
+    verdict_from_direction,
+)
+from .voting import VoteSummary, majority_verdict
+
+__all__ = [
+    "AlgorithmResult",
+    "AssessmentConfig",
+    "Assessor",
+    "ChangeAssessmentReport",
+    "DifferenceInDifferences",
+    "ElementAssessment",
+    "Litmus",
+    "LitmusConfig",
+    "PcaSubspaceDetector",
+    "RegressionDiagnostics",
+    "RobustSpatialRegression",
+    "StudyOnlyAnalysis",
+    "Verdict",
+    "VoteSummary",
+    "did_measure",
+    "direction_for_verdict",
+    "majority_verdict",
+    "verdict_from_direction",
+]

@@ -1,0 +1,171 @@
+"""Baseline assessment algorithms: study-group-only and Difference in
+Differences.
+
+Both are the comparison points of Section 4.  Study-only compares the study
+element's own before/after windows — fast but blind to external factors.
+DiD (equation 1) subtracts the control group's before/after movement from
+the study group's, cancelling shared confounders but weighting every
+control equally, which makes it fragile to poorly selected or contaminated
+controls.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..stats.descriptive import hodges_lehmann, mad
+from ..stats.rank_tests import Alternative, Direction
+from .config import AssessmentConfig
+from .verdict import AlgorithmResult
+
+__all__ = ["StudyOnlyAnalysis", "DifferenceInDifferences", "did_measure"]
+
+
+def _one_sided_p(after: np.ndarray, before: np.ndarray, test: str, greater: bool) -> float:
+    from ..stats import rank_tests
+
+    fn = {
+        "fligner-policello": rank_tests.fligner_policello,
+        "mann-whitney": rank_tests.mann_whitney_u,
+        "welch-t": rank_tests.welch_t,
+    }[test]
+    alt = Alternative.GREATER if greater else Alternative.LESS
+    return fn(after, before, alt).p_value
+
+
+def _directional_result(
+    after: np.ndarray, before: np.ndarray, config: AssessmentConfig, method: str
+) -> AlgorithmResult:
+    """Directional decision: statistical significance + practical size.
+
+    A direction is reported only when the one-sided rank test rejects at
+    ``alpha`` *and* the Hodges–Lehmann shift between the windows exceeds
+    ``min_effect_sigmas`` robust sigmas of the pre-change window — the
+    operational meaning of a "significant performance impact".
+    """
+    p_up = _one_sided_p(after, before, config.test, greater=True)
+    p_down = _one_sided_p(after, before, config.test, greater=False)
+
+    shift = hodges_lehmann(after, before)
+    # Scale = local (day-to-day) noise, estimated from first differences so
+    # persistent factor swings and level changes do not inflate it.
+    sigma = mad(np.diff(before)) / np.sqrt(2.0) if before.size >= 3 else mad(before)
+    if sigma == 0.0:
+        sigma = mad(np.concatenate([before, after]))
+    material = sigma == 0.0 or abs(shift) >= config.min_effect_sigmas * sigma
+
+    if material and p_up < config.alpha and p_up <= p_down:
+        direction = Direction.INCREASE
+    elif material and p_down < config.alpha:
+        direction = Direction.DECREASE
+    else:
+        direction = Direction.NO_CHANGE
+    return AlgorithmResult(
+        direction, p_up, p_down, method, detail={"hl_shift": shift, "scale": sigma}
+    )
+
+
+class StudyOnlyAnalysis:
+    """Before/after comparison of the study element in isolation.
+
+    This is what Mercury/PRISM-style tools (and manual inspection) do; it
+    attributes *any* significant movement — including one caused by foliage,
+    storms or holidays — to the change under test.
+    """
+
+    name = "study-only"
+
+    def __init__(self, config: Optional[AssessmentConfig] = None) -> None:
+        self.config = config or AssessmentConfig()
+
+    def compare(
+        self,
+        study_before: np.ndarray,
+        study_after: np.ndarray,
+        control_before: Optional[np.ndarray] = None,
+        control_after: Optional[np.ndarray] = None,
+    ) -> AlgorithmResult:
+        """Assess the change; control arguments are accepted and ignored so
+        all three algorithms share one call signature.
+
+        ``study_before`` may carry extra pre-change history; the comparison
+        window is its trailing ``len(study_after)`` samples, mirroring the
+        paper's symmetric 14-day-vs-14-day test.
+        """
+        before = np.asarray(study_before, dtype=float).ravel()
+        after = np.asarray(study_after, dtype=float).ravel()
+        if before.size < 2 or after.size < 2:
+            raise ValueError("need at least 2 samples on each side of the change")
+        before_cmp = before[-after.size :] if before.size > after.size else before
+        return _directional_result(after, before_cmp, self.config, self.name)
+
+
+def did_measure(
+    study_before: np.ndarray,
+    study_after: np.ndarray,
+    control_before: np.ndarray,
+    control_after: np.ndarray,
+    h: Callable[[np.ndarray], float] = np.mean,
+) -> np.ndarray:
+    """The per-pair DiD measure of equation (1).
+
+    Returns ``d(i)`` for each control element ``i``:
+    ``h(Y_a) - h(Y_b) - (h(X_a(i)) - h(X_b(i)))``.  Near-zero values mean
+    no relative change against that control.
+    """
+    yb = np.asarray(study_before, dtype=float).ravel()
+    ya = np.asarray(study_after, dtype=float).ravel()
+    xb = np.atleast_2d(np.asarray(control_before, dtype=float))
+    xa = np.atleast_2d(np.asarray(control_after, dtype=float))
+    if xb.shape[1] != xa.shape[1]:
+        raise ValueError("control matrices must have the same number of columns")
+    study_delta = h(ya) - h(yb)
+    out = np.empty(xb.shape[1])
+    for i in range(xb.shape[1]):
+        out[i] = study_delta - (h(xa[:, i]) - h(xb[:, i]))
+    return out
+
+
+class DifferenceInDifferences:
+    """Difference in Differences over the control-group average.
+
+    Operationalised as a two-sample test on the *difference series*
+    ``D(t) = Y(t) - mean_i X_i(t)`` before vs. after the change: the
+    equally-weighted control mean is exactly the quantity equation (1)
+    differences out, and testing the difference series gives DiD the same
+    statistical machinery as the other algorithms.  The equal weighting is
+    the documented weakness — one contaminated or badly chosen control
+    shifts the mean by Δ/N with no model to down-weight it.
+    """
+
+    name = "difference-in-differences"
+
+    def __init__(self, config: Optional[AssessmentConfig] = None) -> None:
+        self.config = config or AssessmentConfig()
+
+    def compare(
+        self,
+        study_before: np.ndarray,
+        study_after: np.ndarray,
+        control_before: Optional[np.ndarray] = None,
+        control_after: Optional[np.ndarray] = None,
+    ) -> AlgorithmResult:
+        """Assess the change via the study-minus-control-mean series."""
+        if control_before is None or control_after is None:
+            raise ValueError("DifferenceInDifferences requires a control group")
+        yb = np.asarray(study_before, dtype=float).ravel()
+        ya = np.asarray(study_after, dtype=float).ravel()
+        xb = np.atleast_2d(np.asarray(control_before, dtype=float))
+        xa = np.atleast_2d(np.asarray(control_after, dtype=float))
+        if xb.shape[0] != yb.size or xa.shape[0] != ya.size:
+            raise ValueError("control matrices must align with the study windows")
+        diff_before = yb - xb.mean(axis=1)
+        diff_after = ya - xa.mean(axis=1)
+        if diff_before.size < 2 or diff_after.size < 2:
+            raise ValueError("need at least 2 samples on each side of the change")
+        # Symmetric comparison window, trailing history discarded.
+        if diff_before.size > diff_after.size:
+            diff_before = diff_before[-diff_after.size :]
+        return _directional_result(diff_after, diff_before, self.config, self.name)

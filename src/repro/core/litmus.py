@@ -1,0 +1,266 @@
+"""The Litmus assessment engine.
+
+Ties the pieces together into the operational workflow of Section 3: given
+a change event, select a control group (domain-knowledge-guided predicates),
+window the study and control KPI series around the change day, run the
+robust spatial regression per study element and KPI, translate directions
+into verdicts, and vote a per-KPI summary for the go/no-go decision.
+
+Any algorithm with the common ``compare(study_before, study_after,
+control_before, control_after)`` signature can be plugged in, which is how
+the evaluation harness runs the baselines over identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from ..kpi.metrics import DEFAULT_KPIS, KpiKind
+from ..kpi.store import KpiStore
+from ..network.changes import ChangeEvent, ChangeLog
+from ..network.elements import ElementId
+from ..network.topology import Topology
+from ..selection.predicates import Predicate
+from ..selection.selector import ControlGroupSelector
+from .config import LitmusConfig
+from .regression import RobustSpatialRegression
+from .verdict import AlgorithmResult, Verdict
+from .voting import VoteSummary, majority_verdict
+
+__all__ = ["Assessor", "ElementAssessment", "ChangeAssessmentReport", "Litmus"]
+
+
+class Assessor(Protocol):
+    """Common interface of the three assessment algorithms."""
+
+    name: str
+
+    def compare(
+        self,
+        study_before: np.ndarray,
+        study_after: np.ndarray,
+        control_before: Optional[np.ndarray] = None,
+        control_after: Optional[np.ndarray] = None,
+    ) -> AlgorithmResult: ...
+
+
+@dataclass(frozen=True)
+class ElementAssessment:
+    """Assessment of one study element on one KPI."""
+
+    element_id: ElementId
+    kpi: KpiKind
+    result: AlgorithmResult
+    verdict: Verdict
+
+
+@dataclass(frozen=True)
+class ChangeAssessmentReport:
+    """Full outcome of assessing one change event."""
+
+    change: ChangeEvent
+    algorithm: str
+    control_group: Tuple[ElementId, ...]
+    window_days: int
+    assessments: Tuple[ElementAssessment, ...]
+
+    def for_kpi(self, kpi: KpiKind) -> List[ElementAssessment]:
+        """Per-element assessments restricted to one KPI."""
+        kind = KpiKind(kpi)
+        return [a for a in self.assessments if a.kpi == kind]
+
+    def summary(self) -> Dict[KpiKind, VoteSummary]:
+        """Voted per-KPI verdicts across the study group."""
+        out: Dict[KpiKind, VoteSummary] = {}
+        for kpi in sorted({a.kpi for a in self.assessments}, key=lambda k: k.value):
+            out[kpi] = majority_verdict(a.verdict for a in self.for_kpi(kpi))
+        return out
+
+    def overall_verdict(self) -> Verdict:
+        """Single go/no-go signal: any KPI degradation dominates; otherwise
+        improvement if any KPI improved; else no impact."""
+        summaries = self.summary().values()
+        verdicts = {s.winner for s in summaries}
+        if Verdict.DEGRADATION in verdicts:
+            return Verdict.DEGRADATION
+        if Verdict.IMPROVEMENT in verdicts:
+            return Verdict.IMPROVEMENT
+        return Verdict.NO_IMPACT
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form for pipelines and dashboards."""
+        return {
+            "change_id": self.change.change_id,
+            "change_type": self.change.change_type.value,
+            "change_day": self.change.day,
+            "algorithm": self.algorithm,
+            "window_days": self.window_days,
+            "control_group": list(self.control_group),
+            "overall_verdict": self.overall_verdict().value,
+            "kpis": {
+                kpi.value: {
+                    "verdict": vote.winner.value,
+                    "votes": {v.value: c for v, c in vote.counts.items()},
+                }
+                for kpi, vote in self.summary().items()
+            },
+            "assessments": [
+                {
+                    "element_id": a.element_id,
+                    "kpi": a.kpi.value,
+                    "verdict": a.verdict.value,
+                    "p_value": a.result.p_value,
+                }
+                for a in self.assessments
+            ],
+        }
+
+    def to_text(self) -> str:
+        """Operator-facing plain-text report."""
+        lines = [
+            f"Change {self.change.change_id} ({self.change.change_type.value}) "
+            f"at day {self.change.day}",
+            f"Algorithm: {self.algorithm}; window: +/-{self.window_days} days; "
+            f"control group: {len(self.control_group)} elements",
+        ]
+        for kpi, vote in self.summary().items():
+            counts = ", ".join(
+                f"{v.value}={c}" for v, c in sorted(vote.counts.items(), key=lambda x: x[0].value)
+            )
+            lines.append(f"  {kpi.value}: {vote.winner.symbol} {vote.winner.value} ({counts})")
+        lines.append(f"Overall: {self.overall_verdict().value}")
+        return "\n".join(lines)
+
+
+class Litmus:
+    """End-to-end change assessment over a topology and KPI store."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        store: KpiStore,
+        config: Optional[LitmusConfig] = None,
+        change_log: Optional[ChangeLog] = None,
+        algorithm: Optional[Assessor] = None,
+        max_control: int = 100,
+        min_control: int = 3,
+    ) -> None:
+        self.topology = topology
+        self.store = store
+        self.config = config or LitmusConfig()
+        self.change_log = change_log
+        self.algorithm: Assessor = algorithm or RobustSpatialRegression(self.config)
+        self.selector = ControlGroupSelector(
+            topology, change_log, min_size=min_control, max_size=max_control
+        )
+
+    # ------------------------------------------------------------------
+    def assess(
+        self,
+        change: ChangeEvent,
+        kpis: Sequence[KpiKind] = DEFAULT_KPIS,
+        predicate: Optional[Predicate] = None,
+        control_ids: Optional[Sequence[ElementId]] = None,
+        window_days: Optional[int] = None,
+        after_offset_days: int = 0,
+    ) -> ChangeAssessmentReport:
+        """Assess a change on the given KPIs.
+
+        ``control_ids`` overrides automatic selection when the operator has
+        a hand-picked control group; otherwise the selector runs with
+        ``predicate`` (or the default role/technology/region predicate).
+
+        ``window_days`` overrides the configured comparison-window length
+        for this call, and ``after_offset_days`` starts the post-change
+        window that many days after the change day — together they support
+        the multi-window confirmation protocol without ever letting
+        post-change samples leak into the training history (which stays
+        anchored at the change day).
+        """
+        if after_offset_days < 0:
+            raise ValueError("after_offset_days must be non-negative")
+        study_ids = change.study_group
+        if control_ids is None:
+            group = self.selector.select(study_ids, predicate, change=change)
+            control: Tuple[ElementId, ...] = group.element_ids
+        else:
+            control = tuple(control_ids)
+            overlap = set(control) & set(study_ids)
+            if overlap:
+                raise ValueError(f"control group overlaps the study group: {sorted(overlap)}")
+            if not control:
+                raise ValueError("control_ids must be non-empty")
+
+        effective_window = window_days or self.config.window_days
+        assessments: List[ElementAssessment] = []
+        for kpi in kpis:
+            kind = KpiKind(kpi)
+            usable_controls = [c for c in control if self.store.has(c, kind)]
+            for element_id in study_ids:
+                if not self.store.has(element_id, kind):
+                    continue
+                result = self._assess_element(
+                    element_id,
+                    kind,
+                    usable_controls,
+                    change.day,
+                    effective_window,
+                    after_offset_days,
+                )
+                assessments.append(
+                    ElementAssessment(element_id, kind, result, result.verdict(kind))
+                )
+        if not assessments:
+            raise ValueError(
+                "no study element has stored series for the requested KPIs"
+            )
+        return ChangeAssessmentReport(
+            change=change,
+            algorithm=self.algorithm.name,
+            control_group=control,
+            window_days=effective_window,
+            assessments=tuple(assessments),
+        )
+
+    # ------------------------------------------------------------------
+    def _assess_element(
+        self,
+        element_id: ElementId,
+        kpi: KpiKind,
+        control_ids: Sequence[ElementId],
+        change_day: int,
+        window_days: Optional[int] = None,
+        after_offset_days: int = 0,
+    ) -> AlgorithmResult:
+        study = self.store.get(element_id, kpi)
+        window = (window_days or self.config.window_days) * study.freq
+        training = max(window, self.config.training_days * study.freq)
+        pivot = change_day * study.freq
+        study_before = study.before(pivot, training)
+        study_after = study.after(pivot + after_offset_days * study.freq, window)
+        if len(study_before) < window or len(study_after) < 2:
+            raise ValueError(
+                f"series for {element_id!r} does not cover a +/-"
+                f"{window // study.freq}-day window around day {change_day}"
+            )
+
+        control_before = control_after = None
+        if control_ids:
+            cb_cols, ca_cols = [], []
+            for cid in control_ids:
+                series = self.store.get(cid, kpi)
+                cb = series.window(study_before.start, study_before.end)
+                ca = series.window(study_after.start, study_after.end)
+                if len(cb) == len(study_before) and len(ca) == len(study_after):
+                    cb_cols.append(cb.values)
+                    ca_cols.append(ca.values)
+            if cb_cols:
+                control_before = np.column_stack(cb_cols)
+                control_after = np.column_stack(ca_cols)
+
+        return self.algorithm.compare(
+            study_before.values, study_after.values, control_before, control_after
+        )

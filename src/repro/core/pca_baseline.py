@@ -1,0 +1,154 @@
+"""PCA subspace anomaly detection, as a change-assessment baseline.
+
+Section 2.4 contrasts Litmus with unsupervised network-wide anomaly
+detection (PCA subspace methods à la Lakhina et al., SSA, compressive
+sensing): such detectors flag that *something* anomalous happened in the
+element panel, but they have no notion of study vs. control, so "they
+could result in inaccurate inferences of the impact at the study group.
+For example, unsupervised learning would not be able to correctly identify
+a relative degradation at the study group compared to control when
+absolute improvements are observed across both".
+
+:class:`PcaSubspaceDetector` implements the classic recipe — learn the
+normal subspace from the pre-change panel, flag post-change time steps
+whose squared prediction error (Q-statistic) exceeds the pre-change
+quantile — wrapped in the common assessor interface so the evaluation
+harness can score it against the three paper algorithms.  The benchmark
+``test_bench_ablation_pca_baseline`` demonstrates the failure mode the
+paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..stats.rank_tests import Direction
+from .config import AssessmentConfig
+from .verdict import AlgorithmResult
+
+__all__ = ["PcaSubspaceDetector"]
+
+
+@dataclass(frozen=True)
+class PcaConfig(AssessmentConfig):
+    """Knobs of the subspace detector."""
+
+    #: Fraction of panel variance assigned to the "normal" subspace.
+    variance_fraction: float = 0.85
+    #: Pre-change SPE quantile used as the anomaly threshold.
+    spe_quantile: float = 0.95
+    #: Fraction of post-change steps that must be anomalous to report an
+    #: impact.
+    anomalous_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.variance_fraction <= 1.0:
+            raise ValueError("variance_fraction must be in (0, 1]")
+        if not 0.0 < self.spe_quantile < 1.0:
+            raise ValueError("spe_quantile must be in (0, 1)")
+        if not 0.0 < self.anomalous_fraction <= 1.0:
+            raise ValueError("anomalous_fraction must be in (0, 1]")
+
+
+class PcaSubspaceDetector:
+    """Unsupervised panel anomaly detection posing as a change assessor.
+
+    The panel is the study series stacked with the control series — the
+    detector is deliberately *blind* to which column is the study group,
+    exactly like the network-wide methods it models.
+    """
+
+    name = "pca-subspace"
+
+    def __init__(self, config: Optional[AssessmentConfig] = None) -> None:
+        if config is None:
+            config = PcaConfig()
+        elif not isinstance(config, PcaConfig):
+            config = PcaConfig(
+                window_days=config.window_days,
+                alpha=config.alpha,
+                test=config.test,
+                training_days=config.training_days,
+                min_effect_sigmas=config.min_effect_sigmas,
+            )
+        self.config: PcaConfig = config
+
+    def compare(
+        self,
+        study_before: np.ndarray,
+        study_after: np.ndarray,
+        control_before: Optional[np.ndarray] = None,
+        control_after: Optional[np.ndarray] = None,
+    ) -> AlgorithmResult:
+        """Assess via the Q-statistic of the joint panel."""
+        if control_before is None or control_after is None:
+            raise ValueError("the PCA baseline requires the control panel")
+        yb = np.asarray(study_before, dtype=float).ravel()
+        ya = np.asarray(study_after, dtype=float).ravel()
+        xb = np.atleast_2d(np.asarray(control_before, dtype=float))
+        xa = np.atleast_2d(np.asarray(control_after, dtype=float))
+
+        panel_before = np.column_stack([yb, xb])
+        panel_after = np.column_stack([ya, xa])
+
+        mean = panel_before.mean(axis=0)
+        std = panel_before.std(axis=0)
+        std[std == 0.0] = 1.0
+        zb = (panel_before - mean) / std
+        za = (panel_after - mean) / std
+
+        normal = self._normal_subspace(zb)
+        spe_before = self._spe(zb, normal)
+        spe_after = self._spe(za, normal)
+
+        threshold = float(np.quantile(spe_before, self.config.spe_quantile))
+        frac_anomalous = float(np.mean(spe_after > threshold))
+
+        if frac_anomalous < self.config.anomalous_fraction:
+            direction = Direction.NO_CHANGE
+        else:
+            # Blind attribution, as a network-wide detector localises: the
+            # column with the largest standardized movement names the
+            # anomaly and its sign gives the direction.  It knows nothing
+            # of study vs control — an absolute improvement everywhere
+            # reads as an "increase" wherever it happens to peak,
+            # regardless of what the study group did *relatively*.
+            col_shift = za.mean(axis=0) - zb.mean(axis=0)
+            dominant = int(np.argmax(np.abs(col_shift)))
+            direction = (
+                Direction.INCREASE if col_shift[dominant] >= 0 else Direction.DECREASE
+            )
+        p_anom = 1.0 - frac_anomalous
+        return AlgorithmResult(
+            direction,
+            p_anom if direction is Direction.INCREASE else 1.0,
+            p_anom if direction is Direction.DECREASE else 1.0,
+            self.name,
+            detail={"frac_anomalous": frac_anomalous, "threshold": threshold},
+        )
+
+    # ------------------------------------------------------------------
+    def _normal_subspace(self, Z: np.ndarray) -> np.ndarray:
+        """Principal directions capturing ``variance_fraction`` of Z."""
+        _, singular, vt = np.linalg.svd(Z, full_matrices=False)
+        energy = singular**2
+        total = float(energy.sum())
+        if total == 0.0:
+            return vt[:0]
+        cumulative = np.cumsum(energy) / total
+        rank = int(np.searchsorted(cumulative, self.config.variance_fraction) + 1)
+        rank = min(rank, max(1, Z.shape[1] - 1))  # keep a residual subspace
+        return vt[:rank]
+
+    @staticmethod
+    def _spe(Z: np.ndarray, normal: np.ndarray) -> np.ndarray:
+        """Squared prediction error of each row off the normal subspace."""
+        if normal.shape[0] == 0:
+            return np.sum(Z**2, axis=1)
+        projection = Z @ normal.T @ normal
+        residual = Z - projection
+        return np.sum(residual**2, axis=1)

@@ -1,0 +1,77 @@
+"""Assessment verdicts.
+
+The algorithms output a *direction* of relative change (increase, decrease,
+no change) in raw KPI units; a verdict translates that through the KPI's
+direction-of-good into what Engineering cares about: **improvement**,
+**degradation**, or **no impact** — the vocabulary of the "go or no-go"
+decision and of Table 1's labeling methodology.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..kpi.metrics import KpiKind, get_kpi
+from ..stats.rank_tests import Direction
+
+__all__ = ["Verdict", "verdict_from_direction", "direction_for_verdict", "AlgorithmResult"]
+
+
+class Verdict(str, enum.Enum):
+    """Service-impact conclusion of an assessment."""
+
+    IMPROVEMENT = "improvement"
+    DEGRADATION = "degradation"
+    NO_IMPACT = "no-impact"
+
+    @property
+    def symbol(self) -> str:
+        """The arrow notation used in the paper's Table 2 (↑, ↓, ↔)."""
+        return {"improvement": "↑", "degradation": "↓", "no-impact": "↔"}[self.value]
+
+
+def verdict_from_direction(direction: Direction, kpi: KpiKind) -> Verdict:
+    """Map a raw directional change on a KPI to a service verdict."""
+    if direction is Direction.NO_CHANGE:
+        return Verdict.NO_IMPACT
+    increased = direction is Direction.INCREASE
+    if get_kpi(kpi).higher_is_better:
+        return Verdict.IMPROVEMENT if increased else Verdict.DEGRADATION
+    return Verdict.DEGRADATION if increased else Verdict.IMPROVEMENT
+
+
+def direction_for_verdict(verdict: Verdict, kpi: KpiKind) -> Direction:
+    """Inverse mapping: which raw direction would realise a verdict."""
+    if verdict is Verdict.NO_IMPACT:
+        return Direction.NO_CHANGE
+    improving = verdict is Verdict.IMPROVEMENT
+    if get_kpi(kpi).higher_is_better:
+        return Direction.INCREASE if improving else Direction.DECREASE
+    return Direction.DECREASE if improving else Direction.INCREASE
+
+
+@dataclass(frozen=True)
+class AlgorithmResult:
+    """Outcome of one algorithm on one (study element, KPI) pair."""
+
+    direction: Direction
+    p_value_increase: float
+    p_value_decrease: float
+    method: str
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    def verdict(self, kpi: KpiKind) -> Verdict:
+        """Translate the direction through the KPI's direction-of-good."""
+        return verdict_from_direction(self.direction, kpi)
+
+    @property
+    def p_value(self) -> float:
+        """The p-value supporting the reported direction (1.0 for no change
+        means neither one-sided test fired)."""
+        if self.direction is Direction.INCREASE:
+            return self.p_value_increase
+        if self.direction is Direction.DECREASE:
+            return self.p_value_decrease
+        return min(self.p_value_increase, self.p_value_decrease)

@@ -1,0 +1,63 @@
+"""Voting across study-group elements.
+
+When a change lands on many elements, Litmus assesses each individually and
+reports per-element verdicts, then "uses voting to summarize across multiple
+elements in the study group" (Section 3.2).  The summary rule is
+operations-conservative: any strict majority wins; with no strict majority,
+a tie involving a degradation reports degradation (a possible service hit
+must surface in the go/no-go discussion), and otherwise no-impact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from .verdict import Verdict
+
+__all__ = ["VoteSummary", "majority_verdict"]
+
+
+@dataclass(frozen=True)
+class VoteSummary:
+    """Tally of per-element verdicts plus the summarised outcome."""
+
+    winner: Verdict
+    counts: Dict[Verdict, int]
+
+    @property
+    def total(self) -> int:
+        """Number of votes cast."""
+        return sum(self.counts.values())
+
+    @property
+    def unanimous(self) -> bool:
+        """True when every element agreed."""
+        return self.counts.get(self.winner, 0) == self.total
+
+    def fraction(self, verdict: Verdict) -> float:
+        """Share of elements reporting the given verdict."""
+        if self.total == 0:
+            return 0.0
+        return self.counts.get(verdict, 0) / self.total
+
+
+def majority_verdict(verdicts: Iterable[Verdict]) -> VoteSummary:
+    """Summarise per-element verdicts into one outcome."""
+    votes: List[Verdict] = list(verdicts)
+    if not votes:
+        raise ValueError("majority_verdict requires at least one verdict")
+    counts: Dict[Verdict, int] = {v: 0 for v in Verdict}
+    for verdict in votes:
+        counts[Verdict(verdict)] += 1
+    counts = {v: c for v, c in counts.items() if c > 0}
+
+    best = max(counts.values())
+    leaders = [v for v, c in counts.items() if c == best]
+    if len(leaders) == 1:
+        winner = leaders[0]
+    elif Verdict.DEGRADATION in leaders:
+        winner = Verdict.DEGRADATION
+    else:
+        winner = Verdict.NO_IMPACT
+    return VoteSummary(winner=winner, counts=counts)

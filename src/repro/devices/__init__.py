@@ -1,0 +1,22 @@
+"""Device-cohort assessment — the paper's future-work extension."""
+
+from .assessment import (
+    DeviceAssessment,
+    DeviceUpgradeReport,
+    assess_device_upgrade,
+    select_control_cohorts,
+)
+from .cohorts import DeviceCohort, DeviceType, build_cohorts
+from .generator import DeviceGeneratorConfig, generate_device_kpis
+
+__all__ = [
+    "DeviceAssessment",
+    "DeviceCohort",
+    "DeviceGeneratorConfig",
+    "DeviceType",
+    "DeviceUpgradeReport",
+    "assess_device_upgrade",
+    "build_cohorts",
+    "generate_device_kpis",
+    "select_control_cohorts",
+]

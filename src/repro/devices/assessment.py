@@ -1,0 +1,149 @@
+"""Device-upgrade impact assessment.
+
+Applies the Litmus study/control machinery to device cohorts: the study
+group is the set of cohorts that received a firmware/OS upgrade, the
+control group is selected from un-upgraded cohorts with similar attributes
+(same device type, same region — optionally same model family when the
+suspicion is platform-specific).  Shared confounders — a network change, a
+regional weather event — hit every cohort through the regional factor and
+cancel in the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.config import LitmusConfig
+from ..core.regression import RobustSpatialRegression
+from ..core.verdict import AlgorithmResult, Verdict
+from ..core.voting import VoteSummary, majority_verdict
+from ..kpi.metrics import KpiKind
+from ..kpi.store import KpiStore
+from .cohorts import DeviceCohort
+
+__all__ = ["DeviceAssessment", "DeviceUpgradeReport", "assess_device_upgrade", "select_control_cohorts"]
+
+
+@dataclass(frozen=True)
+class DeviceAssessment:
+    """Outcome for one upgraded cohort on one KPI."""
+
+    cohort_id: str
+    kpi: KpiKind
+    result: AlgorithmResult
+    verdict: Verdict
+
+
+@dataclass(frozen=True)
+class DeviceUpgradeReport:
+    """Assessment of one device upgrade across cohorts and KPIs."""
+
+    upgraded: Tuple[str, ...]
+    control: Tuple[str, ...]
+    day: int
+    assessments: Tuple[DeviceAssessment, ...]
+
+    def summary(self) -> Dict[KpiKind, VoteSummary]:
+        out: Dict[KpiKind, VoteSummary] = {}
+        for kpi in sorted({a.kpi for a in self.assessments}, key=lambda k: k.value):
+            votes = [a.verdict for a in self.assessments if a.kpi == kpi]
+            out[kpi] = majority_verdict(votes)
+        return out
+
+    def overall_verdict(self) -> Verdict:
+        verdicts = {s.winner for s in self.summary().values()}
+        if Verdict.DEGRADATION in verdicts:
+            return Verdict.DEGRADATION
+        if Verdict.IMPROVEMENT in verdicts:
+            return Verdict.IMPROVEMENT
+        return Verdict.NO_IMPACT
+
+
+def select_control_cohorts(
+    cohorts: Sequence[DeviceCohort],
+    upgraded_ids: Sequence[str],
+    same_family: bool = False,
+    min_size: int = 3,
+) -> List[str]:
+    """Pick control cohorts sharing the upgraded cohorts' attributes.
+
+    Controls share device type and region with at least one upgraded
+    cohort; ``same_family=True`` additionally restricts to the same model
+    family (e.g. other OS versions of the Galaxy line).
+    """
+    by_id = {c.cohort_id: c for c in cohorts}
+    try:
+        study = [by_id[cid] for cid in upgraded_ids]
+    except KeyError as exc:
+        raise KeyError(f"unknown cohort id {exc}") from None
+    upgraded = set(upgraded_ids)
+    controls = []
+    for cohort in cohorts:
+        if cohort.cohort_id in upgraded:
+            continue
+        for s in study:
+            if cohort.device_type != s.device_type or cohort.region != s.region:
+                continue
+            if same_family and cohort.model_family != s.model_family:
+                continue
+            controls.append(cohort.cohort_id)
+            break
+    if len(controls) < min_size:
+        raise ValueError(
+            f"only {len(controls)} control cohorts available (need >= {min_size}); "
+            "relax same_family or add cohorts"
+        )
+    return controls
+
+
+def assess_device_upgrade(
+    store: KpiStore,
+    cohorts: Sequence[DeviceCohort],
+    upgraded_ids: Sequence[str],
+    day: int,
+    kpis: Sequence[KpiKind],
+    config: Optional[LitmusConfig] = None,
+    control_ids: Optional[Sequence[str]] = None,
+    same_family: bool = False,
+) -> DeviceUpgradeReport:
+    """Assess a device upgrade's service impact, cohort by cohort."""
+    cfg = config or LitmusConfig()
+    controls = (
+        list(control_ids)
+        if control_ids is not None
+        else select_control_cohorts(cohorts, upgraded_ids, same_family)
+    )
+    algorithm = RobustSpatialRegression(cfg)
+    assessments: List[DeviceAssessment] = []
+    for kpi in kpis:
+        kind = KpiKind(kpi)
+        usable = [c for c in controls if store.has(c, kind)]
+        for cid in upgraded_ids:
+            if not store.has(cid, kind):
+                continue
+            series = store.get(cid, kind)
+            window = cfg.window_days * series.freq
+            training = max(window, cfg.training_days * series.freq)
+            before = series.before(day * series.freq, training)
+            after = series.after(day * series.freq, window)
+            xb = np.column_stack(
+                [store.get(c, kind).window(before.start, before.end).values for c in usable]
+            )
+            xa = np.column_stack(
+                [store.get(c, kind).window(after.start, after.end).values for c in usable]
+            )
+            result = algorithm.compare(before.values, after.values, xb, xa)
+            assessments.append(
+                DeviceAssessment(cid, kind, result, result.verdict(kind))
+            )
+    if not assessments:
+        raise ValueError("no upgraded cohort has stored series for the requested KPIs")
+    return DeviceUpgradeReport(
+        upgraded=tuple(upgraded_ids),
+        control=tuple(controls),
+        day=day,
+        assessments=tuple(assessments),
+    )

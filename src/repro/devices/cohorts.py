@@ -1,0 +1,108 @@
+"""Device cohorts — the paper's future-work extension (Section 6).
+
+"It is also interesting to expand the change impact assessment across
+different types of devices such as Apple iPad, Nokia Lumia, or Samsung
+Galaxy.  The large number of combinations of device attributes (type,
+model, and version), different baseline and traffic behaviors across
+devices depending on popularity and usage ... would make the problem
+challenging.  We plan to extend Litmus to monitor the impact of network
+changes on device performance and the impact of device upgrades on
+service and network performance."
+
+A :class:`DeviceCohort` is the unit KPIs are aggregated against: every
+device of one (type, model family, OS version) combination within a
+region.  Cohorts play the role network elements play in the core library —
+a firmware rollout's study group is the set of upgraded cohorts, and its
+control group is selected from cohorts with similar attributes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from ..network.geography import Region
+
+__all__ = ["DeviceType", "DeviceCohort", "build_cohorts"]
+
+
+class DeviceType(str, enum.Enum):
+    """Coarse device categories with different usage baselines."""
+
+    SMARTPHONE = "smartphone"
+    TABLET = "tablet"
+    HOTSPOT = "hotspot"
+    IOT = "iot"
+
+
+@dataclass(frozen=True)
+class DeviceCohort:
+    """All devices of one model/OS combination in one region."""
+
+    cohort_id: str
+    device_type: DeviceType
+    model_family: str  # e.g. "galaxy", "lumia", "ipad"
+    os_version: str
+    region: Region
+    #: Share of the region's traffic this cohort carries, in (0, 1]; more
+    #: popular cohorts have less noisy aggregates.
+    popularity: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not self.cohort_id:
+            raise ValueError("cohort_id must be non-empty")
+        if not 0.0 < self.popularity <= 1.0:
+            raise ValueError(f"popularity must be in (0, 1], got {self.popularity}")
+
+    def with_os(self, os_version: str) -> "DeviceCohort":
+        """The same cohort after a firmware/OS upgrade."""
+        return replace(self, os_version=os_version)
+
+    def describe(self) -> Dict[str, str]:
+        """Flat attributes, mirroring NetworkElement.describe()."""
+        return {
+            "cohort_id": self.cohort_id,
+            "device_type": self.device_type.value,
+            "model_family": self.model_family,
+            "os_version": self.os_version,
+            "region": self.region.value,
+        }
+
+
+_DEFAULT_FAMILIES = {
+    DeviceType.SMARTPHONE: ("galaxy", "lumia", "iphone", "pixel"),
+    DeviceType.TABLET: ("ipad", "galaxy-tab"),
+    DeviceType.HOTSPOT: ("jetpack",),
+    DeviceType.IOT: ("telematics",),
+}
+
+
+def build_cohorts(
+    regions: Sequence[Region] = (Region.NORTHEAST,),
+    os_versions: Sequence[str] = ("os-10.1", "os-10.2"),
+    families: Dict[DeviceType, Sequence[str]] = _DEFAULT_FAMILIES,
+) -> List[DeviceCohort]:
+    """Enumerate cohorts over regions × families × OS versions.
+
+    Popularity is assigned by position within the family list — the first
+    family of each type is the most popular — matching the paper's note
+    that baselines differ "depending on popularity and usage".
+    """
+    cohorts: List[DeviceCohort] = []
+    for region in regions:
+        for device_type, family_list in families.items():
+            for f_idx, family in enumerate(family_list):
+                popularity = max(0.05, 0.4 / (f_idx + 1))
+                for os_version in os_versions:
+                    cohorts.append(
+                        DeviceCohort(
+                            cohort_id=f"{family}-{os_version}-{Region(region).value}",
+                            device_type=DeviceType(device_type),
+                            model_family=family,
+                            os_version=os_version,
+                            region=Region(region),
+                            popularity=popularity,
+                        )
+                    )
+    return cohorts

@@ -1,0 +1,57 @@
+"""Evaluation harness: Table-1 labeling, Table-2 known assessments,
+Table-3/4 synthetic injection, and confusion metrics."""
+
+from .injection import (
+    SCENARIO_TABLE,
+    InjectionCase,
+    InjectionOutcome,
+    InjectionScenario,
+    default_algorithms,
+    evaluate_injection,
+    make_cases,
+    run_case,
+    synthesize_case,
+)
+from .known import (
+    TABLE2_ROWS,
+    KnownCaseSpec,
+    KnownEvaluation,
+    KnownRowResult,
+    KpiTruth,
+    run_known_assessments,
+)
+from .labeling import Label, label_outcome
+from .metrics import ConfusionMatrix
+from .runner import (
+    ALGORITHM_NAMES,
+    Table3Check,
+    evaluate_table2,
+    evaluate_table4,
+    verify_table3,
+)
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "ConfusionMatrix",
+    "InjectionCase",
+    "InjectionOutcome",
+    "InjectionScenario",
+    "KnownCaseSpec",
+    "KnownEvaluation",
+    "KnownRowResult",
+    "KpiTruth",
+    "Label",
+    "SCENARIO_TABLE",
+    "TABLE2_ROWS",
+    "Table3Check",
+    "default_algorithms",
+    "evaluate_injection",
+    "evaluate_table2",
+    "evaluate_table4",
+    "label_outcome",
+    "make_cases",
+    "run_case",
+    "run_known_assessments",
+    "synthesize_case",
+    "verify_table3",
+]

@@ -1,0 +1,604 @@
+"""Known-assessment evaluation — Table 2 of the paper.
+
+The paper's first evaluation runs the three algorithms over 313 cases drawn
+from 19 real FFA changes whose impacts the Engineering and Operations teams
+had assessed manually (the ground truth).  This module encodes each Table-2
+row as a :class:`KnownCaseSpec` — change type, element role/technology,
+study-group size, per-KPI ground truth, and the external factor present
+during the assessment — and regenerates the scenario on the synthetic
+substrate: build a topology, generate spatially correlated KPIs, imprint
+the external factor on the whole region (study *and* control), inject the
+ground-truth relative impact at the study group only, and run all three
+algorithms through the same Litmus engine.
+
+Where the published table was ambiguous (the scanned layout garbles a few
+cells) the row specs were reconstructed to preserve the published totals:
+313 cases, 234 with an expected impact and 79 without.
+
+Rows whose published DiD column shows false negatives carry *poor
+predictors*: a fraction of their control group is replaced with
+uncorrelated series (the business-district vs. lakeside mismatch) that also
+drift after the change — DiD's equal weighting absorbs the drift, the
+robust regression learns those controls out.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.baselines import DifferenceInDifferences, StudyOnlyAnalysis
+from ..core.config import LitmusConfig
+from ..core.litmus import Litmus
+from ..core.regression import RobustSpatialRegression
+from ..core.verdict import Verdict
+from ..external.factors import goodness_magnitude
+from ..external.outages import UpstreamChange
+from ..external.traffic import HolidayLull
+from ..external.weather import hurricane
+from ..kpi.effects import LevelShift
+from ..kpi.generator import GeneratorConfig, KpiGenerator
+from ..kpi.metrics import KpiKind, get_kpi
+from ..kpi.noise import Ar1Noise, MixtureNoise
+from ..kpi.store import KpiStore
+from ..network.builder import NetworkSpec, build_network
+from ..network.changes import ChangeEvent, ChangeType
+from ..network.elements import ElementId
+from ..network.geography import REGION_BOXES, GeoPoint, Region
+from ..network.technology import ElementRole, Technology
+from ..selection.predicates import Predicate, SameController, SameRole
+from ..stats.timeseries import TimeSeries
+from .labeling import label_outcome
+from .metrics import ConfusionMatrix
+
+__all__ = [
+    "KpiTruth",
+    "KnownCaseSpec",
+    "TABLE2_ROWS",
+    "KnownRowResult",
+    "KnownEvaluation",
+    "run_known_assessments",
+]
+
+#: External factor identifiers used by the row specs.
+FACTOR_FOLIAGE = "foliage"
+FACTOR_SEASONALITY = "seasonality"
+FACTOR_HOLIDAY = "holiday"
+FACTOR_WEATHER = "weather"
+FACTOR_OTHER_CHANGE = "other-change"
+FACTOR_NONE = "none"
+
+#: Change day / horizon per factor, chosen so the factor is *active across
+#: the comparison windows* (e.g. the foliage change lands on the steepest
+#: part of the spring transition, the holiday change just before the
+#: Christmas week).
+_FACTOR_TIMING: Dict[str, Tuple[int, int]] = {
+    FACTOR_FOLIAGE: (129, 150),
+    FACTOR_SEASONALITY: (206, 228),
+    FACTOR_HOLIDAY: (353, 375),
+    FACTOR_WEATHER: (100, 125),
+    FACTOR_OTHER_CHANGE: (100, 125),
+    FACTOR_NONE: (100, 125),
+}
+
+_FACTOR_REGION: Dict[str, Region] = {
+    FACTOR_FOLIAGE: Region.NORTHEAST,
+    FACTOR_SEASONALITY: Region.NORTHEAST,
+    FACTOR_HOLIDAY: Region.NORTHEAST,
+    FACTOR_WEATHER: Region.NORTHEAST,
+    FACTOR_OTHER_CHANGE: Region.SOUTHEAST,
+    FACTOR_NONE: Region.SOUTHEAST,
+}
+
+
+@dataclass(frozen=True)
+class KpiTruth:
+    """Ground-truth relative impact of the change on one KPI."""
+
+    kpi: KpiKind
+    truth: Verdict
+
+
+@dataclass(frozen=True)
+class KnownCaseSpec:
+    """One row of Table 2."""
+
+    name: str
+    change_type: ChangeType
+    role: ElementRole
+    technology: Technology
+    n_study: int
+    truths: Tuple[KpiTruth, ...]
+    external_factor: str = FACTOR_NONE
+    #: Injected relative magnitude in noise-scale multiples.  Rows whose
+    #: impact was overshadowed in the field use a smaller magnitude than
+    #: clearly visible ones.
+    magnitude: float = 4.0
+    #: Poor predictors: number of control elements replaced with
+    #: uncorrelated series, and the KPIs they affect.
+    n_poor_controls: int = 0
+    poor_shift: float = 3.0
+    contaminated_kpis: Tuple[KpiKind, ...] = ()
+    #: Foliage amplitude for the scenario's generator (noise-scale
+    #: multiples); foliage/seasonality rows use a strong season so the
+    #: confounder genuinely overshadows the study-only comparison.
+    foliage_amplitude: float = 4.0
+
+    @property
+    def n_cases(self) -> int:
+        """Cases this row contributes: study elements × KPIs."""
+        return self.n_study * len(self.truths)
+
+    @property
+    def kpis(self) -> Tuple[KpiKind, ...]:
+        return tuple(t.kpi for t in self.truths)
+
+
+_VR = KpiKind.VOICE_RETAINABILITY
+_DR = KpiKind.DATA_RETAINABILITY
+_VA = KpiKind.VOICE_ACCESSIBILITY
+_DA = KpiKind.DATA_ACCESSIBILITY
+_TH = KpiKind.DATA_THROUGHPUT
+_RB = KpiKind.RADIO_BEARER_SUCCESS
+_UP = Verdict.IMPROVEMENT
+_DOWN = Verdict.DEGRADATION
+_FLAT = Verdict.NO_IMPACT
+
+
+TABLE2_ROWS: Tuple[KnownCaseSpec, ...] = (
+    KnownCaseSpec(
+        "son-load-balancing",
+        ChangeType.FEATURE_ACTIVATION,
+        ElementRole.RNC,
+        Technology.UMTS,
+        18,
+        (KpiTruth(_VR, _UP), KpiTruth(_DR, _UP), KpiTruth(_TH, _FLAT)),
+        FACTOR_FOLIAGE,
+        magnitude=2.0,
+        n_poor_controls=4,
+        contaminated_kpis=(_DR,),
+        foliage_amplitude=9.0,
+    ),
+    KnownCaseSpec(
+        "radio-link-failure-timer",
+        ChangeType.CONFIGURATION,
+        ElementRole.RNC,
+        Technology.UMTS,
+        3,
+        (KpiTruth(_VR, _UP),),
+        FACTOR_FOLIAGE,
+        magnitude=2.5,
+        foliage_amplitude=9.0,
+    ),
+    KnownCaseSpec(
+        "power-nodeb",
+        ChangeType.CONFIGURATION,
+        ElementRole.NODEB,
+        Technology.UMTS,
+        1,
+        (KpiTruth(_TH, _FLAT),),
+        FACTOR_NONE,
+    ),
+    KnownCaseSpec(
+        "radio-link-nodeb",
+        ChangeType.CONFIGURATION,
+        ElementRole.NODEB,
+        Technology.UMTS,
+        25,
+        (KpiTruth(_VR, _FLAT),),
+        FACTOR_OTHER_CHANGE,
+    ),
+    KnownCaseSpec(
+        "power-rnc",
+        ChangeType.CONFIGURATION,
+        ElementRole.RNC,
+        Technology.UMTS,
+        16,
+        (KpiTruth(_DR, _UP), KpiTruth(_DA, _UP)),
+        FACTOR_OTHER_CHANGE,
+    ),
+    KnownCaseSpec(
+        "update-new-ue-types",
+        ChangeType.CONFIGURATION,
+        ElementRole.MSC,
+        Technology.UMTS,
+        3,
+        (KpiTruth(_VR, _FLAT),),
+        FACTOR_SEASONALITY,
+        foliage_amplitude=9.0,
+    ),
+    KnownCaseSpec(
+        "data-parameter",
+        ChangeType.CONFIGURATION,
+        ElementRole.RNC,
+        Technology.UMTS,
+        2,
+        (KpiTruth(_DR, _UP), KpiTruth(_VR, _UP), KpiTruth(_DA, _UP)),
+        FACTOR_NONE,
+        magnitude=2.5,
+        n_poor_controls=4,
+        contaminated_kpis=(_DR,),
+    ),
+    KnownCaseSpec(
+        "limit-max-power",
+        ChangeType.CONFIGURATION,
+        ElementRole.RNC,
+        Technology.UMTS,
+        3,
+        (KpiTruth(_TH, _FLAT),),
+        FACTOR_HOLIDAY,
+    ),
+    KnownCaseSpec(
+        "access-threshold",
+        ChangeType.CONFIGURATION,
+        ElementRole.RNC,
+        Technology.UMTS,
+        1,
+        (KpiTruth(_VR, _UP),),
+        FACTOR_NONE,
+    ),
+    KnownCaseSpec(
+        "time-to-trigger",
+        ChangeType.CONFIGURATION,
+        ElementRole.ENODEB,
+        Technology.LTE,
+        1,
+        (KpiTruth(_DA, _UP),),
+        FACTOR_NONE,
+    ),
+    KnownCaseSpec(
+        "radio-link-bsc",
+        ChangeType.CONFIGURATION,
+        ElementRole.BSC,
+        Technology.GSM,
+        1,
+        (KpiTruth(_VR, _UP),),
+        FACTOR_NONE,
+    ),
+    KnownCaseSpec(
+        "timer-changes",
+        ChangeType.CONFIGURATION,
+        ElementRole.RNC,
+        Technology.UMTS,
+        5,
+        (
+            KpiTruth(_VR, _UP),
+            KpiTruth(_DR, _FLAT),
+            KpiTruth(_DA, _FLAT),
+            KpiTruth(_VA, _FLAT),
+            KpiTruth(_TH, _FLAT),
+        ),
+        FACTOR_SEASONALITY,
+        foliage_amplitude=9.0,
+    ),
+    KnownCaseSpec(
+        "state-transition-features",
+        ChangeType.FEATURE_ACTIVATION,
+        ElementRole.RNC,
+        Technology.UMTS,
+        1,
+        (KpiTruth(_VR, _DOWN),),
+        FACTOR_NONE,
+    ),
+    KnownCaseSpec(
+        "son-neighbor-discovery",
+        ChangeType.FEATURE_ACTIVATION,
+        ElementRole.RNC,
+        Technology.UMTS,
+        2,
+        (
+            KpiTruth(_DR, _UP),
+            KpiTruth(_VR, _UP),
+            KpiTruth(_DA, _UP),
+            KpiTruth(_VA, _UP),
+        ),
+        FACTOR_WEATHER,
+        magnitude=3.0,
+    ),
+    KnownCaseSpec(
+        "reduce-downlink-interference",
+        ChangeType.CONFIGURATION,
+        ElementRole.ENODEB,
+        Technology.LTE,
+        30,
+        (KpiTruth(_DA, _UP), KpiTruth(_DR, _UP), KpiTruth(_TH, _UP)),
+        FACTOR_NONE,
+    ),
+    KnownCaseSpec(
+        "handover",
+        ChangeType.CONFIGURATION,
+        ElementRole.RNC,
+        Technology.UMTS,
+        19,
+        (KpiTruth(_DR, _UP), KpiTruth(_VR, _UP)),
+        FACTOR_NONE,
+        magnitude=2.5,
+        n_poor_controls=4,
+        contaminated_kpis=(_DR, _VR),
+    ),
+    KnownCaseSpec(
+        "inter-system-handover",
+        ChangeType.CONFIGURATION,
+        ElementRole.RNC,
+        Technology.UMTS,
+        3,
+        (KpiTruth(_VR, _UP),),
+        FACTOR_NONE,
+    ),
+    KnownCaseSpec(
+        "software-enodeb-up",
+        ChangeType.SOFTWARE_UPGRADE,
+        ElementRole.ENODEB,
+        Technology.LTE,
+        9,
+        (KpiTruth(_DR, _UP),),
+        FACTOR_NONE,
+    ),
+    KnownCaseSpec(
+        "software-enodeb-flat",
+        ChangeType.SOFTWARE_UPGRADE,
+        ElementRole.ENODEB,
+        Technology.LTE,
+        9,
+        (KpiTruth(_RB, _FLAT),),
+        FACTOR_OTHER_CHANGE,
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# Scenario construction
+# ----------------------------------------------------------------------
+
+
+def _spec_seed(spec: KnownCaseSpec, base_seed: int) -> int:
+    return zlib.crc32(f"{base_seed}/{spec.name}".encode())
+
+
+def _build_scenario(spec: KnownCaseSpec, base_seed: int):
+    """Build (topology, store, change, study_ids, control_ids) for a row."""
+    region = _FACTOR_REGION[spec.external_factor]
+    change_day, horizon = _FACTOR_TIMING[spec.external_factor]
+    seed = _spec_seed(spec, base_seed)
+    n_controls = 12
+
+    if spec.role in (ElementRole.RNC, ElementRole.BSC, ElementRole.ENODEB):
+        net_spec = NetworkSpec(
+            technologies=(spec.technology,),
+            regions=(region,),
+            controllers_per_region=spec.n_study + n_controls,
+            towers_per_controller=1,
+            seed=seed,
+        )
+        predicate: Optional[Predicate] = None  # default role/tech/region
+    elif spec.role == ElementRole.MSC:
+        net_spec = NetworkSpec(
+            technologies=(spec.technology,),
+            regions=(region,),
+            controllers_per_region=spec.n_study + n_controls,
+            towers_per_controller=1,
+            cores_per_region=spec.n_study + n_controls,
+            seed=seed,
+        )
+        predicate = None
+    else:  # tower-level study group: siblings under one controller
+        net_spec = NetworkSpec(
+            technologies=(spec.technology,),
+            regions=(region,),
+            controllers_per_region=2,
+            towers_per_controller=spec.n_study + n_controls,
+            seed=seed,
+        )
+        predicate = SameRole() & SameController()
+
+    topology = build_network(net_spec)
+    generator = KpiGenerator(
+        GeneratorConfig(
+            horizon_days=horizon, seed=seed, foliage_amplitude=spec.foliage_amplitude
+        )
+    )
+    store = generator.generate(topology, spec.kpis)
+
+    members = [
+        e.element_id
+        for e in topology.elements(role=spec.role, technology=spec.technology)
+    ]
+    if spec.role not in (ElementRole.RNC, ElementRole.BSC, ElementRole.ENODEB, ElementRole.MSC):
+        # Tower rows: keep the study group under a single controller so the
+        # topological control-group selection has same-RNC siblings.
+        first_ctrl = topology.controller_of(members[0]).element_id
+        members = [
+            eid
+            for eid in members
+            if topology.controller_of(eid).element_id == first_ctrl
+        ]
+    study_ids = members[: spec.n_study]
+    if len(study_ids) < spec.n_study:
+        raise RuntimeError(f"row {spec.name!r}: topology too small for study group")
+
+    change = ChangeEvent(
+        change_id=f"known-{spec.name}",
+        change_type=spec.change_type,
+        day=change_day,
+        element_ids=frozenset(study_ids),
+        description=spec.name,
+    )
+    return topology, store, change, study_ids, predicate, region, seed
+
+
+def _apply_external_factor(
+    spec: KnownCaseSpec,
+    topology,
+    store: KpiStore,
+    change_day: int,
+    study_ids: Sequence[ElementId],
+    region: Region,
+) -> None:
+    """Imprint the row's confounder on the region (study and control)."""
+    factor = spec.external_factor
+    if factor in (FACTOR_FOLIAGE, FACTOR_SEASONALITY, FACTOR_NONE):
+        # Foliage/seasonality ride the generator's built-in annual model;
+        # nothing extra to inject.
+        return
+    if factor == FACTOR_HOLIDAY:
+        HolidayLull(region, float(change_day + 2), 11.0, severity=4.0).apply(
+            store, topology, spec.kpis
+        )
+        return
+    if factor == FACTOR_WEATHER:
+        lat_min, lat_max, lon_min, lon_max = REGION_BOXES[region]
+        center = GeoPoint((lat_min + lat_max) / 2, (lon_min + lon_max) / 2)
+        hurricane(
+            center,
+            landfall_day=float(change_day + 1),
+            radius_km=1200.0,
+            severity=6.0,
+            outage_fraction=0.0,
+        ).apply(store, topology, spec.kpis)
+        return
+    if factor == FACTOR_OTHER_CHANGE:
+        # An overlapping change upstream of both study and control: at the
+        # study towers' controller, or at the core node above controllers.
+        anchor = topology.get(study_ids[0])
+        if anchor.is_tower and not anchor.is_controller:
+            upstream = topology.controller_of(anchor.element_id).element_id
+        elif anchor.parent_id is not None:
+            upstream = anchor.parent_id
+        else:
+            upstream = anchor.element_id
+        UpstreamChange(upstream, float(change_day), severity=3.0).apply(
+            store, topology, spec.kpis
+        )
+        return
+    raise ValueError(f"unknown external factor {factor!r}")
+
+
+def _inject_truth(
+    spec: KnownCaseSpec,
+    store: KpiStore,
+    study_ids: Sequence[ElementId],
+    change_day: int,
+) -> None:
+    """Inject the ground-truth relative impact at the study group."""
+    for truth in spec.truths:
+        if truth.truth is Verdict.NO_IMPACT:
+            continue
+        sigma = spec.magnitude if truth.truth is Verdict.IMPROVEMENT else -spec.magnitude
+        shift = goodness_magnitude(truth.kpi, sigma)
+        for eid in study_ids:
+            store.apply_effect(eid, truth.kpi, LevelShift(shift, float(change_day)))
+
+
+def _contaminate_controls(
+    spec: KnownCaseSpec,
+    store: KpiStore,
+    control_ids: Sequence[ElementId],
+    change_day: int,
+    horizon: int,
+    seed: int,
+) -> None:
+    """Replace trailing control elements with poor-predictor series.
+
+    The replacement rides an independent latent factor and drifts after the
+    change in the same direction as the study-group truth (partially
+    masking DiD's control mean).
+    """
+    if spec.n_poor_controls == 0 or not spec.contaminated_kpis:
+        return
+    victims = list(control_ids)[-spec.n_poor_controls :]
+    for kpi in spec.contaminated_kpis:
+        meta = get_kpi(kpi)
+        scale = meta.noise_scale
+        truth = next((t.truth for t in spec.truths if t.kpi == kpi), Verdict.NO_IMPACT)
+        sign = -1.0 if truth is Verdict.DEGRADATION else 1.0
+        for i, eid in enumerate(victims):
+            rng = np.random.default_rng(
+                (seed, zlib.crc32(f"poor/{eid}/{kpi.value}".encode()))
+            )
+            t = np.arange(horizon)
+            own_factor = Ar1Noise(3.0 * scale, 0.7).sample(rng, horizon)
+            weekly = -((t % 7) >= 5).astype(float) * float(rng.uniform(0.5, 2.0)) * scale
+            noise = MixtureNoise(scale, 0.2, 0.02).sample(rng, horizon)
+            goodness = own_factor + weekly + noise
+            goodness += (t >= change_day) * sign * spec.poor_shift * scale
+            values = meta.baseline + meta.goodness_sign() * goodness
+            series = TimeSeries(values, start=0)
+            if meta.bounded_unit_interval:
+                series = series.clip(0.0, 1.0)
+            store.put(eid, kpi, series)
+
+
+# ----------------------------------------------------------------------
+# Evaluation driver
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KnownRowResult:
+    """Per-algorithm confusion counts for one Table-2 row."""
+
+    spec: KnownCaseSpec
+    matrices: Dict[str, ConfusionMatrix]
+
+
+@dataclass(frozen=True)
+class KnownEvaluation:
+    """Full Table-2 regeneration: per-row results plus totals."""
+
+    rows: Tuple[KnownRowResult, ...]
+
+    def totals(self) -> Dict[str, ConfusionMatrix]:
+        out: Dict[str, ConfusionMatrix] = {}
+        for row in self.rows:
+            for name, matrix in row.matrices.items():
+                out[name] = out.get(name, ConfusionMatrix()) + matrix
+        return out
+
+    @property
+    def n_cases(self) -> int:
+        return sum(row.spec.n_cases for row in self.rows)
+
+
+def run_known_assessments(
+    rows: Sequence[KnownCaseSpec] = TABLE2_ROWS,
+    config: Optional[LitmusConfig] = None,
+    base_seed: int = 20131209,  # CoNEXT'13 opening day
+) -> KnownEvaluation:
+    """Regenerate Table 2: run the three algorithms over every row."""
+    cfg = config or LitmusConfig()
+    results: List[KnownRowResult] = []
+    for spec in rows:
+        topology, store, change, study_ids, predicate, region, seed = _build_scenario(
+            spec, base_seed
+        )
+        change_day, horizon = _FACTOR_TIMING[spec.external_factor]
+        _apply_external_factor(spec, topology, store, change_day, study_ids, region)
+        _inject_truth(spec, store, study_ids, change_day)
+
+        # Select the control group once (shared by all three algorithms)
+        # and contaminate it where the row calls for poor predictors.
+        engine = Litmus(topology, store, cfg, algorithm=RobustSpatialRegression(cfg))
+        group = engine.selector.select(study_ids, predicate, change=change)
+        control_ids = list(group.element_ids)
+        _contaminate_controls(spec, store, control_ids, change_day, horizon, seed)
+
+        algorithms = {
+            "study-only": StudyOnlyAnalysis(cfg),
+            "difference-in-differences": DifferenceInDifferences(cfg),
+            "litmus": RobustSpatialRegression(cfg),
+        }
+        truth_by_kpi = {t.kpi: t.truth for t in spec.truths}
+        matrices: Dict[str, ConfusionMatrix] = {}
+        for name, algo in algorithms.items():
+            runner = Litmus(topology, store, cfg, algorithm=algo)
+            report = runner.assess(change, spec.kpis, control_ids=control_ids)
+            matrix = ConfusionMatrix()
+            for assessment in report.assessments:
+                truth = truth_by_kpi[assessment.kpi]
+                matrix.add(label_outcome(truth, assessment.verdict))
+            matrices[name] = matrix
+        results.append(KnownRowResult(spec, matrices))
+    return KnownEvaluation(tuple(results))

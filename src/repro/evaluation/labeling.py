@@ -1,0 +1,42 @@
+"""Outcome labeling — Table 1 of the paper.
+
+Given the ground-truth expectation of an assessment (significant
+improvement, significant degradation, or no impact) and an algorithm's
+observation, the outcome is labeled:
+
+====================  ============  ============  =========
+Expectation \\ Observed Improvement  Degradation   No impact
+====================  ============  ============  =========
+Improvement           TP            FN            FN
+Degradation           FN            TP            FN
+No impact             FP            FP            TN
+====================  ============  ============  =========
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..core.verdict import Verdict
+
+__all__ = ["Label", "label_outcome"]
+
+
+class Label(str, enum.Enum):
+    """Confusion-matrix label of one assessment outcome."""
+
+    TP = "tp"
+    TN = "tn"
+    FP = "fp"
+    FN = "fn"
+
+
+def label_outcome(expectation: Verdict, observation: Verdict) -> Label:
+    """Label an algorithm outcome against the ground truth (Table 1)."""
+    expectation = Verdict(expectation)
+    observation = Verdict(observation)
+    if expectation is Verdict.NO_IMPACT:
+        return Label.TN if observation is Verdict.NO_IMPACT else Label.FP
+    # Ground truth is a significant impact with a specific direction: only
+    # the matching direction counts as detected.
+    return Label.TP if observation is expectation else Label.FN

@@ -1,0 +1,107 @@
+"""Confusion matrices and the paper's four evaluation metrics.
+
+Precision = TP / (TP + FP); Recall = TP / (TP + FN);
+True negative rate = TN / (TN + FP);
+Accuracy = (TP + TN) / (TP + TN + FP + FN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from .labeling import Label
+
+__all__ = ["ConfusionMatrix"]
+
+
+@dataclass
+class ConfusionMatrix:
+    """Mutable tally of TP/TN/FP/FN with the paper's derived metrics."""
+
+    tp: int = 0
+    tn: int = 0
+    fp: int = 0
+    fn: int = 0
+
+    # ------------------------------------------------------------------
+    def add(self, label: Label, count: int = 1) -> None:
+        """Record ``count`` outcomes with the given label."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        label = Label(label)
+        if label is Label.TP:
+            self.tp += count
+        elif label is Label.TN:
+            self.tn += count
+        elif label is Label.FP:
+            self.fp += count
+        else:
+            self.fn += count
+
+    def add_all(self, labels: Iterable[Label]) -> None:
+        """Record several outcomes."""
+        for label in labels:
+            self.add(label)
+
+    def merge(self, other: "ConfusionMatrix") -> "ConfusionMatrix":
+        """Elementwise sum (non-mutating)."""
+        return ConfusionMatrix(
+            self.tp + other.tp,
+            self.tn + other.tn,
+            self.fp + other.fp,
+            self.fn + other.fn,
+        )
+
+    def __add__(self, other: "ConfusionMatrix") -> "ConfusionMatrix":
+        return self.merge(other)
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Number of labeled cases."""
+        return self.tp + self.tn + self.fp + self.fn
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when no positives were claimed."""
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when no positives existed."""
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 1.0
+
+    @property
+    def true_negative_rate(self) -> float:
+        """TN / (TN + FP); 1.0 when no negatives existed."""
+        denom = self.tn + self.fp
+        return self.tn / denom if denom else 1.0
+
+    @property
+    def accuracy(self) -> float:
+        """(TP + TN) / total; 0.0 for an empty matrix."""
+        return (self.tp + self.tn) / self.total if self.total else 0.0
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary used by the reporting tables."""
+        return {
+            "tp": self.tp,
+            "tn": self.tn,
+            "fp": self.fp,
+            "fn": self.fn,
+            "precision": self.precision,
+            "recall": self.recall,
+            "true_negative_rate": self.true_negative_rate,
+            "accuracy": self.accuracy,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TP={self.tp} TN={self.tn} FP={self.fp} FN={self.fn} | "
+            f"precision={self.precision:.2%} recall={self.recall:.2%} "
+            f"tnr={self.true_negative_rate:.2%} accuracy={self.accuracy:.2%}"
+        )

@@ -1,0 +1,38 @@
+"""Experiment regeneration: one module per figure/table of the paper."""
+
+from . import (
+    fig1,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table2,
+    table3,
+    table4,
+)
+from .registry import EXPERIMENTS, Experiment, get_experiment, list_experiments
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "fig1",
+    "fig10",
+    "fig11",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "get_experiment",
+    "list_experiments",
+    "table2",
+    "table3",
+    "table4",
+]

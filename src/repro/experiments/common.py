@@ -1,0 +1,140 @@
+"""Shared machinery for the figure experiments.
+
+Each ``figN`` module regenerates the data behind one figure of the paper on
+the synthetic substrate and checks its qualitative *shape* (who dips, who
+improves, who wins) programmatically.  The helpers here build the small
+scenario worlds they share: a region of UMTS RNCs/towers with generated
+KPIs, plus windows and assessment wrappers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.baselines import DifferenceInDifferences, StudyOnlyAnalysis
+from ..core.config import LitmusConfig
+from ..core.litmus import Litmus
+from ..core.regression import RobustSpatialRegression
+from ..core.verdict import Verdict
+from ..kpi.generator import GeneratorConfig, KpiGenerator
+from ..kpi.metrics import KpiKind
+from ..kpi.store import KpiStore
+from ..network.builder import NetworkSpec, build_network
+from ..network.changes import ChangeEvent, ChangeType
+from ..network.elements import ElementId
+from ..network.geography import Region
+from ..network.technology import ElementRole, Technology
+from ..network.topology import Topology
+
+__all__ = [
+    "ScenarioWorld",
+    "build_world",
+    "assess_all",
+    "window_means",
+]
+
+
+@dataclass
+class ScenarioWorld:
+    """A small simulated deployment: topology plus generated KPI store."""
+
+    topology: Topology
+    store: KpiStore
+    config: LitmusConfig
+    seed: int
+
+    def controllers(self, technology: Technology = Technology.UMTS) -> List[ElementId]:
+        """Controller element ids (RNCs for UMTS)."""
+        role = (
+            ElementRole.ENODEB
+            if technology is Technology.LTE
+            else ElementRole.RNC
+            if technology is Technology.UMTS
+            else ElementRole.BSC
+        )
+        return [e.element_id for e in self.topology.elements(role=role)]
+
+    def towers(self, technology: Technology = Technology.UMTS) -> List[ElementId]:
+        """Tower element ids."""
+        return [
+            e.element_id
+            for e in self.topology.elements(technology=technology)
+            if e.is_tower and not e.is_controller
+        ]
+
+    def change_at(
+        self,
+        element_ids: Sequence[ElementId],
+        day: int,
+        change_type: ChangeType = ChangeType.CONFIGURATION,
+        name: str = "scenario-change",
+    ) -> ChangeEvent:
+        """Create a change event targeting the given elements."""
+        return ChangeEvent(
+            change_id=name,
+            change_type=change_type,
+            day=day,
+            element_ids=frozenset(element_ids),
+        )
+
+
+def build_world(
+    region: Region = Region.NORTHEAST,
+    horizon_days: int = 130,
+    n_controllers: int = 14,
+    towers_per_controller: int = 4,
+    technology: Technology = Technology.UMTS,
+    kpis: Sequence[KpiKind] = (KpiKind.VOICE_RETAINABILITY,),
+    seed: int = 11,
+    config: Optional[LitmusConfig] = None,
+    generator_overrides: Optional[dict] = None,
+) -> ScenarioWorld:
+    """Build a scenario world with generated KPIs."""
+    spec = NetworkSpec(
+        technologies=(technology,),
+        regions=(region,),
+        controllers_per_region=n_controllers,
+        towers_per_controller=towers_per_controller,
+        seed=seed,
+    )
+    topology = build_network(spec)
+    overrides = dict(generator_overrides or {})
+    gen_config = GeneratorConfig(horizon_days=horizon_days, seed=seed, **overrides)
+    store = KpiGenerator(gen_config).generate(topology, kpis)
+    return ScenarioWorld(topology, store, config or LitmusConfig(), seed)
+
+
+def assess_all(
+    world: ScenarioWorld,
+    change: ChangeEvent,
+    kpi: KpiKind,
+    control_ids: Sequence[ElementId],
+) -> Dict[str, Verdict]:
+    """Run the three algorithms on a change; returns per-algorithm voted
+    verdicts for the KPI."""
+    out: Dict[str, Verdict] = {}
+    algorithms = {
+        "study-only": StudyOnlyAnalysis(world.config),
+        "difference-in-differences": DifferenceInDifferences(world.config),
+        "litmus": RobustSpatialRegression(world.config),
+    }
+    for name, algo in algorithms.items():
+        engine = Litmus(world.topology, world.store, world.config, algorithm=algo)
+        report = engine.assess(change, [kpi], control_ids=list(control_ids))
+        out[name] = report.summary()[kpi].winner
+    return out
+
+
+def window_means(
+    world: ScenarioWorld,
+    element_id: ElementId,
+    kpi: KpiKind,
+    pivot_day: int,
+    window_days: int = 14,
+) -> Tuple[float, float]:
+    """(before, after) window means of an element's KPI around a pivot."""
+    series = world.store.get(element_id, kpi)
+    before = series.before(pivot_day, window_days)
+    after = series.after(pivot_day, window_days)
+    return before.mean(), after.mean()

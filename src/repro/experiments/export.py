@@ -1,0 +1,80 @@
+"""Export experiment results to plain files.
+
+``litmus run fig9 --save out/`` should leave behind something a plotting
+script can pick up: every array field of the result object becomes a CSV,
+nested KPI-keyed dictionaries of arrays are flattened, and the result's
+``describe()`` text is saved alongside.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+__all__ = ["export_result"]
+
+PathLike = Union[str, Path]
+
+
+def _write_array(path: Path, array: np.ndarray) -> None:
+    array = np.asarray(array)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        if array.ndim == 1:
+            writer.writerow(["index", "value"])
+            for i, v in enumerate(array):
+                writer.writerow([i, repr(float(v))])
+        elif array.ndim == 2:
+            writer.writerow(["index"] + [f"col{j}" for j in range(array.shape[1])])
+            for i, row in enumerate(array):
+                writer.writerow([i] + [repr(float(v)) for v in row])
+        else:
+            raise ValueError(f"cannot export array of ndim {array.ndim}")
+
+
+def export_result(result: object, directory: PathLike, stem: str) -> List[Path]:
+    """Write an experiment result's data to ``directory``.
+
+    Returns the list of files written.  Works on any result object:
+    dataclass fields (or attributes) holding numpy arrays become
+    ``<stem>.<field>.csv``; dicts of arrays become one CSV per key; a
+    ``describe()`` method becomes ``<stem>.txt``.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+
+    if dataclasses.is_dataclass(result):
+        fields: Dict[str, object] = {
+            f.name: getattr(result, f.name) for f in dataclasses.fields(result)
+        }
+    else:
+        fields = {
+            name: value
+            for name, value in vars(result).items()
+            if not name.startswith("_")
+        }
+
+    for name, value in fields.items():
+        if isinstance(value, np.ndarray):
+            path = directory / f"{stem}.{name}.csv"
+            _write_array(path, value)
+            written.append(path)
+        elif isinstance(value, dict):
+            for key, sub in value.items():
+                if isinstance(sub, np.ndarray):
+                    label = getattr(key, "value", str(key))
+                    path = directory / f"{stem}.{name}.{label}.csv"
+                    _write_array(path, sub)
+                    written.append(path)
+
+    describe = getattr(result, "describe", None)
+    if callable(describe):
+        path = directory / f"{stem}.txt"
+        path.write_text(describe() + "\n")
+        written.append(path)
+    return written

@@ -1,0 +1,121 @@
+"""Figure 7 — three scenarios where study-only assessment misleads.
+
+The illustrative panel of Section 3.1:
+
+* (a) a weather event degrades study and control, but the change gives the
+  study group a *relative improvement* — study-only sees only degradation;
+* (b) a traffic-pattern change degrades study and control equally — study-
+  only reports a degradation where there is no relative change;
+* (c) an upstream change improves study and control, but the study group
+  improves *less* — a relative degradation study-only reads as improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.verdict import Verdict
+from ..external.factors import goodness_magnitude
+from ..kpi.effects import LevelShift
+from ..kpi.metrics import KpiKind
+from .common import ScenarioWorld, assess_all, build_world
+
+__all__ = ["Fig7Result", "run", "SCENARIO_EXPECTATIONS"]
+
+KPI = KpiKind.VOICE_RETAINABILITY
+CHANGE_DAY = 100
+
+#: Expected (study-only verdict, litmus verdict) per panel.
+SCENARIO_EXPECTATIONS: Dict[str, Tuple[Verdict, Verdict]] = {
+    "a-weather": (Verdict.DEGRADATION, Verdict.IMPROVEMENT),
+    "b-traffic": (Verdict.DEGRADATION, Verdict.NO_IMPACT),
+    "c-upstream": (Verdict.IMPROVEMENT, Verdict.DEGRADATION),
+}
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Verdicts per scenario panel per algorithm."""
+
+    verdicts: Dict[str, Dict[str, Verdict]]
+
+    def panel_ok(self, panel: str) -> bool:
+        expected_so, expected_litmus = SCENARIO_EXPECTATIONS[panel]
+        got = self.verdicts[panel]
+        return got["study-only"] is expected_so and got["litmus"] is expected_litmus
+
+    @property
+    def shape_ok(self) -> bool:
+        """All three panels behave as in the paper's illustration."""
+        return all(self.panel_ok(panel) for panel in SCENARIO_EXPECTATIONS)
+
+    def describe(self) -> str:
+        lines = ["Fig 7: study-only vs study/control dependency"]
+        for panel, algos in self.verdicts.items():
+            exp = SCENARIO_EXPECTATIONS[panel]
+            lines.append(
+                f"  {panel}: study-only={algos['study-only'].value} "
+                f"(exp {exp[0].value}), litmus={algos['litmus'].value} "
+                f"(exp {exp[1].value})"
+            )
+        return "\n".join(lines)
+
+
+def _fresh_world(seed: int) -> ScenarioWorld:
+    return build_world(
+        kpis=(KPI,),
+        seed=seed,
+        n_controllers=12,
+        towers_per_controller=1,
+    )
+
+
+def run(seed: int = 11) -> Fig7Result:
+    """Regenerate the three Figure 7 panels."""
+    verdicts: Dict[str, Dict[str, Verdict]] = {}
+
+    # Panel (a): weather hits everyone throughout the assessment window;
+    # the change improves the study group relative to control.
+    world = _fresh_world(seed)
+    rncs = world.controllers()
+    study, controls = rncs[:1], rncs[1:]
+    dip = goodness_magnitude(KPI, -7.0)
+    for eid in rncs:
+        world.store.apply_effect(
+            eid, KPI, LevelShift(dip, CHANGE_DAY, CHANGE_DAY + 14)
+        )
+    world.store.apply_effect(
+        study[0], KPI, LevelShift(goodness_magnitude(KPI, 3.0), CHANGE_DAY)
+    )
+    change = world.change_at(study, CHANGE_DAY, name="fig7a")
+    verdicts["a-weather"] = assess_all(world, change, KPI, controls)
+
+    # Panel (b): a sudden traffic-pattern change degrades study and control
+    # alike; the change itself does nothing.
+    world = _fresh_world(seed + 1)
+    rncs = world.controllers()
+    study, controls = rncs[:1], rncs[1:]
+    for eid in rncs:
+        world.store.apply_effect(
+            eid, KPI, LevelShift(goodness_magnitude(KPI, -4.0), CHANGE_DAY)
+        )
+    change = world.change_at(study, CHANGE_DAY, name="fig7b")
+    verdicts["b-traffic"] = assess_all(world, change, KPI, controls)
+
+    # Panel (c): an upstream change improves everyone, but the study group
+    # improves less — a relative degradation.
+    world = _fresh_world(seed + 2)
+    rncs = world.controllers()
+    study, controls = rncs[:1], rncs[1:]
+    for eid in rncs:
+        world.store.apply_effect(
+            eid, KPI, LevelShift(goodness_magnitude(KPI, 8.0), CHANGE_DAY)
+        )
+    world.store.apply_effect(
+        study[0], KPI, LevelShift(goodness_magnitude(KPI, -4.0), CHANGE_DAY)
+    )
+    change = world.change_at(study, CHANGE_DAY, name="fig7c")
+    verdicts["c-upstream"] = assess_all(world, change, KPI, controls)
+
+    return Fig7Result(verdicts=verdicts)

@@ -1,0 +1,73 @@
+"""Registry of paper experiments.
+
+Maps each figure/table of the paper's evaluation to the callable that
+regenerates it.  Every entry returns a result object with a ``shape_ok``
+property (the committed qualitative check) and a ``describe()`` method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from . import (
+    fig1,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table2,
+    table3,
+    table4,
+)
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered paper experiment."""
+
+    experiment_id: str
+    title: str
+    run: Callable[..., object]
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    e.experiment_id: e
+    for e in [
+        Experiment("fig1", "Config change overlapping strong winds", fig1.run),
+        Experiment("fig3", "Two-year foliage seasonality (NE vs SE)", fig3.run),
+        Experiment("fig4", "Tornado outbreak degrades many RNCs", fig4.run),
+        Experiment("fig5", "Big event: call surge vs retainability", fig5.run),
+        Experiment("fig6", "Upstream RNC upgrade lifts downstream towers", fig6.run),
+        Experiment("fig7", "Three scenarios where study-only misleads", fig7.run),
+        Experiment("fig8", "Case study: feature activation raises drops", fig8.run),
+        Experiment("fig9", "Case study: MSC changes during fall foliage", fig9.run),
+        Experiment("fig10", "Case study: SON during hurricane Sandy", fig10.run),
+        Experiment("fig11", "Case study: holiday inflates retainability", fig11.run),
+        Experiment("table2", "Known-assessment evaluation (313 cases)", table2.run),
+        Experiment("table3", "Injection case-scenario expectations", table3.run),
+        Experiment("table4", "Synthetic-injection evaluation", table4.run),
+    ]
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment by id (e.g. ``'fig9'`` or ``'table4'``)."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def list_experiments() -> List[Experiment]:
+    """All experiments in registry order."""
+    return list(EXPERIMENTS.values())

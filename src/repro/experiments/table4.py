@@ -1,0 +1,73 @@
+"""Table 4 — synthetic-injection evaluation of the three algorithms.
+
+The paper evaluated 8010 injection cases; this regeneration scales with
+``n_seeds`` (10 → ~1000 cases, 83 → paper scale).  The committed shape:
+Litmus wins on accuracy and recall, study-only trails far behind, DiD sits
+in between with precision comparable to Litmus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.config import LitmusConfig
+from ..evaluation.metrics import ConfusionMatrix
+from ..evaluation.runner import evaluate_table4
+from ..reporting.tables import render_confusion_table, render_table
+
+__all__ = ["Table4Result", "run", "PAPER_TABLE4"]
+
+#: Published Table 4 (counts over 8010 cases).
+PAPER_TABLE4 = {
+    "study-only": ConfusionMatrix(tp=4454, tn=75, fp=1935, fn=1546),
+    "difference-in-differences": ConfusionMatrix(tp=5214, tn=828, fp=1182, fn=786),
+    "litmus": ConfusionMatrix(tp=5848, tn=748, fp=1262, fn=152),
+}
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """Regenerated Table 4 plus shape checks."""
+
+    matrices: Dict[str, ConfusionMatrix]
+    n_cases: int
+
+    @property
+    def shape_ok(self) -> bool:
+        """Paper shape: accuracy and recall order Litmus > DiD > study-only,
+        with study-only far behind on accuracy."""
+        litmus = self.matrices["litmus"]
+        did = self.matrices["difference-in-differences"]
+        study = self.matrices["study-only"]
+        return (
+            litmus.accuracy > did.accuracy > study.accuracy
+            and litmus.recall > did.recall > study.recall
+            and litmus.accuracy - study.accuracy > 0.15
+        )
+
+    def describe(self) -> str:
+        measured = render_confusion_table(
+            self.matrices, f"Table 4 (regenerated, {self.n_cases} cases)"
+        )
+        paper = render_table(
+            ["algorithm", "paper accuracy", "measured accuracy", "paper recall", "measured recall"],
+            [
+                [
+                    name,
+                    f"{PAPER_TABLE4[name].accuracy:.2%}",
+                    f"{self.matrices[name].accuracy:.2%}",
+                    f"{PAPER_TABLE4[name].recall:.2%}",
+                    f"{self.matrices[name].recall:.2%}",
+                ]
+                for name in self.matrices
+            ],
+            "Paper vs measured",
+        )
+        return measured + "\n\n" + paper
+
+
+def run(n_seeds: int = 10, config: Optional[LitmusConfig] = None) -> Table4Result:
+    """Regenerate Table 4."""
+    matrices, n_cases = evaluate_table4(n_seeds, config)
+    return Table4Result(matrices, n_cases)

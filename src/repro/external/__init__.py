@@ -1,0 +1,32 @@
+"""External factor simulators: weather, holidays/events, network events.
+
+These are the confounders of Section 2.5 — the reason change assessment in
+cellular networks is hard, and the thing Litmus's study/control comparison
+is designed to cancel out.
+"""
+
+from .calendar import US_HOLIDAYS, Holiday, HolidayCalendar
+from .factors import ExternalFactor, apply_factors, goodness_magnitude
+from .outages import Outage, UpstreamChange
+from .timeline import TimelineConfig, generate_timeline
+from .traffic import BigEvent, HolidayLull
+from .weather import WeatherEvent, WeatherKind, hurricane, tornado_outbreak
+
+__all__ = [
+    "US_HOLIDAYS",
+    "BigEvent",
+    "ExternalFactor",
+    "Holiday",
+    "HolidayCalendar",
+    "HolidayLull",
+    "Outage",
+    "TimelineConfig",
+    "UpstreamChange",
+    "WeatherEvent",
+    "WeatherKind",
+    "apply_factors",
+    "generate_timeline",
+    "goodness_magnitude",
+    "hurricane",
+    "tornado_outbreak",
+]

@@ -1,0 +1,90 @@
+"""Holiday calendar.
+
+Traffic patterns shift dramatically during holidays (Section 2.5; the
+Fig. 11 case study's false positive was driven by a holiday season).  The
+calendar maps global day indices — day 0 is January 1 of year 0 — to
+holiday windows.  Only the structure matters for the reproduction, so the
+dates are fixed-offset approximations of the US schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..kpi.seasonality import DAYS_PER_YEAR
+
+__all__ = ["Holiday", "HolidayCalendar", "US_HOLIDAYS"]
+
+
+@dataclass(frozen=True)
+class Holiday:
+    """A named holiday window within a year."""
+
+    name: str
+    day_of_year: int  # 0-based offset from Jan 1
+    length_days: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.day_of_year < int(DAYS_PER_YEAR):
+            raise ValueError(f"day_of_year out of range: {self.day_of_year}")
+        if self.length_days <= 0:
+            raise ValueError("length_days must be positive")
+
+
+US_HOLIDAYS: Tuple[Holiday, ...] = (
+    Holiday("new-year", 0, 2),
+    Holiday("memorial-day", 146, 3),  # late-May long weekend
+    Holiday("independence-day", 184, 2),
+    Holiday("labor-day", 244, 3),
+    Holiday("thanksgiving", 329, 4),
+    Holiday("christmas", 357, 7),  # through new year's eve
+)
+
+
+class HolidayCalendar:
+    """Queries over a repeating yearly holiday schedule."""
+
+    def __init__(self, holidays: Sequence[Holiday] = US_HOLIDAYS) -> None:
+        self._holidays = tuple(holidays)
+
+    @property
+    def holidays(self) -> Tuple[Holiday, ...]:
+        """The configured holiday set."""
+        return self._holidays
+
+    def windows_between(self, start_day: int, end_day: int) -> List[Tuple[str, int, int]]:
+        """Holiday windows overlapping ``[start_day, end_day)``.
+
+        Returns ``(name, window_start, window_end)`` tuples in global day
+        indices, window end exclusive, clipped to the query range.
+        """
+        if end_day <= start_day:
+            return []
+        out: List[Tuple[str, int, int]] = []
+        year_len = int(DAYS_PER_YEAR)
+        first_year = start_day // year_len
+        last_year = (end_day - 1) // year_len
+        for year in range(first_year, last_year + 1):
+            base = year * year_len
+            for holiday in self._holidays:
+                lo = base + holiday.day_of_year
+                hi = lo + holiday.length_days
+                if hi <= start_day or lo >= end_day:
+                    continue
+                out.append((holiday.name, max(lo, start_day), min(hi, end_day)))
+        out.sort(key=lambda item: item[1])
+        return out
+
+    def is_holiday(self, day: int) -> bool:
+        """True when the global day index falls inside any holiday window."""
+        return bool(self.windows_between(day, day + 1))
+
+    def next_holiday(self, day: int) -> Tuple[str, int]:
+        """Name and start day of the first holiday window at or after ``day``."""
+        horizon = day + 2 * int(DAYS_PER_YEAR)
+        windows = self.windows_between(day, horizon)
+        if not windows:
+            raise ValueError("no holidays configured")
+        name, start, _ = windows[0]
+        return name, start

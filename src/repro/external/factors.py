@@ -1,0 +1,71 @@
+"""External factor framework.
+
+An :class:`ExternalFactor` is anything other than the change-under-test
+that moves KPIs: weather, foliage (already part of the generator's
+seasonal structure), holidays, big events, outages and other network
+changes.  Factors translate a physical footprint (a storm radius, a
+holiday window, an upstream element's subtree) into
+:mod:`repro.kpi.effects` applied to the right elements with the right
+sign for each KPI's direction-of-good.
+
+The crucial property, and the premise of study/control analysis, is that a
+factor's footprint typically covers study *and* control elements, imprinting
+a correlated confounder on both.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..kpi.metrics import KpiKind, get_kpi
+from ..kpi.store import KpiStore
+from ..network.elements import ElementId, NetworkElement
+from ..network.topology import Topology
+
+__all__ = ["ExternalFactor", "apply_factors", "goodness_magnitude"]
+
+
+def goodness_magnitude(kpi: KpiKind, severity: float) -> float:
+    """Convert a goodness-space severity into a signed KPI-space magnitude.
+
+    ``severity`` is expressed in multiples of the KPI's noise scale,
+    positive meaning *better service*.  The return value is the additive
+    offset in KPI units with the right sign: a negative severity on the
+    dropped-call ratio comes back positive (more drops).
+    """
+    meta = get_kpi(kpi)
+    return meta.goodness_sign() * severity * meta.noise_scale
+
+
+class ExternalFactor:
+    """Base class for confounding factors."""
+
+    #: Human-readable label used by reports.
+    name: str = "external-factor"
+
+    def affected_elements(self, topology: Topology) -> List[NetworkElement]:
+        """The elements inside this factor's footprint."""
+        raise NotImplementedError
+
+    def apply(
+        self, store: KpiStore, topology: Topology, kpis: Sequence[KpiKind]
+    ) -> List[ElementId]:
+        """Imprint the factor on the store; returns the touched element ids."""
+        raise NotImplementedError
+
+
+def apply_factors(
+    store: KpiStore,
+    topology: Topology,
+    factors: Iterable[ExternalFactor],
+    kpis: Sequence[KpiKind],
+) -> List[ElementId]:
+    """Apply several factors; returns the union of touched element ids."""
+    touched: List[ElementId] = []
+    seen = set()
+    for factor in factors:
+        for eid in factor.apply(store, topology, kpis):
+            if eid not in seen:
+                seen.add(eid)
+                touched.append(eid)
+    return touched

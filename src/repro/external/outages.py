@@ -1,0 +1,111 @@
+"""Network-event confounders: outages and overlapping upstream changes.
+
+Fig. 6's motivating example: a software upgrade at an upstream RNC improves
+voice retainability at *all* of its downstream towers.  If a small config
+change were being trialled at a few of those towers at the same time,
+study-only analysis would wrongly credit the config change.  Both factor
+types here propagate through the topology's containment tree:
+
+* :class:`Outage` — a hard failure of an element; it and its descendants
+  take a transient dip.
+* :class:`UpstreamChange` — a sustained level change (improvement or
+  degradation) at an element, imprinted on the element and its subtree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..kpi.effects import LevelShift, TransientDip
+from ..kpi.metrics import KpiKind
+from ..kpi.store import KpiStore
+from ..network.elements import ElementId, NetworkElement
+from ..network.topology import Topology
+from .factors import ExternalFactor, goodness_magnitude
+
+__all__ = ["Outage", "UpstreamChange"]
+
+
+@dataclass(frozen=True)
+class Outage(ExternalFactor):
+    """A transient hard failure at an element, hitting its whole subtree."""
+
+    element_id: ElementId
+    start_day: float
+    severity: float = 6.0
+    recovery_days: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.severity <= 0:
+            raise ValueError("severity must be positive")
+        if self.recovery_days <= 0:
+            raise ValueError("recovery_days must be positive")
+
+    @property
+    def name(self) -> str:
+        return f"outage:{self.element_id}@day{self.start_day:g}"
+
+    def affected_elements(self, topology: Topology) -> List[NetworkElement]:
+        root = topology.get(self.element_id)
+        return [root] + topology.descendants(self.element_id)
+
+    def apply(
+        self, store: KpiStore, topology: Topology, kpis: Sequence[KpiKind]
+    ) -> List[ElementId]:
+        touched: List[ElementId] = []
+        for element in self.affected_elements(topology):
+            hit = False
+            for kpi in kpis:
+                if not store.has(element.element_id, kpi):
+                    continue
+                depth = goodness_magnitude(kpi, -self.severity)
+                store.apply_effect(
+                    element.element_id,
+                    kpi,
+                    TransientDip(depth, self.start_day, self.recovery_days),
+                )
+                hit = True
+            if hit:
+                touched.append(element.element_id)
+        return touched
+
+
+@dataclass(frozen=True)
+class UpstreamChange(ExternalFactor):
+    """A sustained performance change at an element's subtree (Fig. 6).
+
+    ``severity`` is in goodness space: positive for the common case of an
+    upstream software upgrade *improving* downstream performance, negative
+    for a regression.
+    """
+
+    element_id: ElementId
+    day: float
+    severity: float = 3.0
+
+    @property
+    def name(self) -> str:
+        return f"upstream-change:{self.element_id}@day{self.day:g}"
+
+    def affected_elements(self, topology: Topology) -> List[NetworkElement]:
+        root = topology.get(self.element_id)
+        return [root] + topology.descendants(self.element_id)
+
+    def apply(
+        self, store: KpiStore, topology: Topology, kpis: Sequence[KpiKind]
+    ) -> List[ElementId]:
+        touched: List[ElementId] = []
+        for element in self.affected_elements(topology):
+            hit = False
+            for kpi in kpis:
+                if not store.has(element.element_id, kpi):
+                    continue
+                magnitude = goodness_magnitude(kpi, self.severity)
+                store.apply_effect(
+                    element.element_id, kpi, LevelShift(magnitude, self.day)
+                )
+                hit = True
+            if hit:
+                touched.append(element.element_id)
+        return touched

@@ -1,0 +1,138 @@
+"""Random confounder timelines.
+
+Generates a season's worth of external factors for a region — storm
+arrivals as a Poisson process, the holiday calendar, occasional outages
+and upstream changes — so stress experiments can run assessment sweeps
+against a year that behaves like the paper's two years of operational
+data: something is always going on somewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..network.elements import ElementId
+from ..network.geography import REGION_BOXES, GeoPoint, Region
+from ..network.topology import Topology
+from .calendar import HolidayCalendar
+from .factors import ExternalFactor
+from .outages import Outage, UpstreamChange
+from .traffic import HolidayLull
+from .weather import WeatherEvent, WeatherKind
+
+__all__ = ["TimelineConfig", "generate_timeline"]
+
+
+@dataclass(frozen=True)
+class TimelineConfig:
+    """Arrival rates (events per year) of each confounder class."""
+
+    storms_per_year: float = 10.0
+    severe_per_year: float = 2.0
+    outages_per_year: float = 6.0
+    upstream_changes_per_year: float = 4.0
+    include_holidays: bool = True
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        for name in (
+            "storms_per_year",
+            "severe_per_year",
+            "outages_per_year",
+            "upstream_changes_per_year",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+def _poisson_days(
+    rng: np.random.Generator, rate_per_year: float, start: int, end: int
+) -> List[float]:
+    """Event days of a Poisson process over [start, end)."""
+    if rate_per_year <= 0 or end <= start:
+        return []
+    n = rng.poisson(rate_per_year * (end - start) / 365.0)
+    return sorted(float(d) for d in rng.uniform(start, end, size=n))
+
+
+def generate_timeline(
+    topology: Topology,
+    region: Region,
+    start_day: int,
+    end_day: int,
+    config: Optional[TimelineConfig] = None,
+) -> List[ExternalFactor]:
+    """Draw a confounder timeline for a region over ``[start_day, end_day)``.
+
+    Returns factor objects ready to :meth:`apply` to a KPI store, sorted by
+    onset day.  Deterministic given the config seed.
+    """
+    cfg = config or TimelineConfig()
+    rng = np.random.default_rng((cfg.seed, hash(region.value) & 0xFFFF))
+    lat_min, lat_max, lon_min, lon_max = REGION_BOXES[region]
+
+    def random_center() -> GeoPoint:
+        return GeoPoint(
+            float(rng.uniform(lat_min, lat_max)),
+            float(rng.uniform(lon_min, lon_max)),
+        )
+
+    factors: List[Tuple[float, ExternalFactor]] = []
+
+    ordinary_kinds = (WeatherKind.RAIN, WeatherKind.WIND, WeatherKind.STORM)
+    for day in _poisson_days(rng, cfg.storms_per_year, start_day, end_day):
+        kind = ordinary_kinds[int(rng.integers(len(ordinary_kinds)))]
+        factors.append(
+            (
+                day,
+                WeatherEvent(
+                    kind,
+                    random_center(),
+                    radius_km=float(rng.uniform(200.0, 800.0)),
+                    start_day=day,
+                ),
+            )
+        )
+
+    for day in _poisson_days(rng, cfg.severe_per_year, start_day, end_day):
+        factors.append(
+            (
+                day,
+                WeatherEvent(
+                    WeatherKind.HAIL_TORNADO,
+                    random_center(),
+                    radius_km=float(rng.uniform(100.0, 400.0)),
+                    start_day=day,
+                    outage_fraction=0.05,
+                ),
+            )
+        )
+
+    eligible: List[ElementId] = [
+        e.element_id
+        for e in topology
+        if e.region == region and (e.is_controller or e.is_core)
+    ]
+    if eligible:
+        for day in _poisson_days(rng, cfg.outages_per_year, start_day, end_day):
+            victim = eligible[int(rng.integers(len(eligible)))]
+            factors.append((day, Outage(victim, day)))
+        for day in _poisson_days(
+            rng, cfg.upstream_changes_per_year, start_day, end_day
+        ):
+            victim = eligible[int(rng.integers(len(eligible)))]
+            severity = float(rng.choice([-3.0, 3.0]))
+            factors.append((day, UpstreamChange(victim, day, severity=severity)))
+
+    if cfg.include_holidays:
+        calendar = HolidayCalendar()
+        for name, lo, hi in calendar.windows_between(start_day, end_day):
+            factors.append(
+                (float(lo), HolidayLull(region, float(lo), float(hi - lo)))
+            )
+
+    factors.sort(key=lambda pair: pair[0])
+    return [factor for _, factor in factors]

@@ -1,0 +1,151 @@
+"""Traffic pattern confounders: holidays and big events.
+
+Two traffic phenomena from Section 2.5:
+
+* **Holidays** empty business districts and lighten load region-wide; the
+  Fig. 11 case study shows a holiday lifting data retainability at *all*
+  RNCs in a region — a classic study-only false positive.  Modelled as a
+  region-wide positive goodness spike over the holiday window.
+* **Big events** (a stadium game, Fig. 5) concentrate a dramatic call-volume
+  surge near a venue, degrading retainability through congestion while call
+  volume spikes.  Modelled as a localised spike: volume KPIs up, quality
+  KPIs down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..kpi.effects import Spike
+from ..kpi.metrics import KpiKind
+from ..kpi.store import KpiStore
+from ..network.elements import ElementId, NetworkElement
+from ..network.geography import GeoPoint, Region
+from ..network.topology import Topology
+from .calendar import HolidayCalendar
+from .factors import ExternalFactor, goodness_magnitude
+
+__all__ = ["HolidayLull", "BigEvent"]
+
+
+@dataclass(frozen=True)
+class HolidayLull(ExternalFactor):
+    """Region-wide load lull over a holiday window.
+
+    Lighter load improves quality KPIs (positive goodness) and depresses
+    call-volume KPIs; the improvement lands on every element in the
+    region — study and control alike.
+    """
+
+    region: Region
+    start_day: float
+    duration_days: float
+    severity: float = 3.0  # goodness boost in noise-scale multiples
+
+    def __post_init__(self) -> None:
+        if self.duration_days <= 0:
+            raise ValueError("duration_days must be positive")
+
+    @property
+    def name(self) -> str:
+        return f"holiday:{self.region.value}@day{self.start_day:g}"
+
+    @classmethod
+    def from_calendar(
+        cls,
+        calendar: HolidayCalendar,
+        region: Region,
+        around_day: int,
+        severity: float = 3.0,
+    ) -> "HolidayLull":
+        """Build the lull for the first holiday at or after ``around_day``."""
+        name, start = calendar.next_holiday(around_day)
+        holiday = next(h for h in calendar.holidays if h.name == name)
+        return cls(region, float(start), float(holiday.length_days), severity)
+
+    def affected_elements(self, topology: Topology) -> List[NetworkElement]:
+        return [e for e in topology if e.region == self.region]
+
+    def apply(
+        self, store: KpiStore, topology: Topology, kpis: Sequence[KpiKind]
+    ) -> List[ElementId]:
+        touched: List[ElementId] = []
+        for element in self.affected_elements(topology):
+            hit = False
+            for kpi in kpis:
+                if not store.has(element.element_id, kpi):
+                    continue
+                if kpi is KpiKind.CALL_VOLUME:
+                    # Volume drops during the lull regardless of direction-of-good.
+                    magnitude = -self.severity * 0.5 * _noise_scale(kpi)
+                else:
+                    magnitude = goodness_magnitude(kpi, self.severity)
+                store.apply_effect(
+                    element.element_id,
+                    kpi,
+                    Spike(magnitude, self.start_day, self.duration_days),
+                )
+                hit = True
+            if hit:
+                touched.append(element.element_id)
+        return touched
+
+
+@dataclass(frozen=True)
+class BigEvent(ExternalFactor):
+    """A venue event: call volumes surge, quality dips (Fig. 5)."""
+
+    venue: GeoPoint
+    start_day: float
+    duration_days: float = 1.0
+    radius_km: float = 15.0
+    surge: float = 5.0  # congestion severity in noise-scale multiples
+
+    def __post_init__(self) -> None:
+        if self.duration_days <= 0:
+            raise ValueError("duration_days must be positive")
+        if self.radius_km <= 0:
+            raise ValueError("radius_km must be positive")
+
+    @property
+    def name(self) -> str:
+        return f"big-event@day{self.start_day:g}"
+
+    def affected_elements(self, topology: Topology) -> List[NetworkElement]:
+        return [
+            e
+            for e in topology
+            if e.location.distance_km(self.venue) <= self.radius_km
+        ]
+
+    def apply(
+        self, store: KpiStore, topology: Topology, kpis: Sequence[KpiKind]
+    ) -> List[ElementId]:
+        touched: List[ElementId] = []
+        for element in self.affected_elements(topology):
+            hit = False
+            for kpi in kpis:
+                if not store.has(element.element_id, kpi):
+                    continue
+                if kpi is KpiKind.CALL_VOLUME:
+                    # The dramatic increase in total calls during the event.
+                    magnitude = self.surge * 2.0 * _noise_scale(kpi)
+                else:
+                    # Congestion degrades quality KPIs.
+                    magnitude = goodness_magnitude(kpi, -self.surge)
+                store.apply_effect(
+                    element.element_id,
+                    kpi,
+                    Spike(magnitude, self.start_day, self.duration_days),
+                )
+                hit = True
+            if hit:
+                touched.append(element.element_id)
+        return touched
+
+
+def _noise_scale(kpi: KpiKind) -> float:
+    from ..kpi.metrics import get_kpi
+
+    return get_kpi(kpi).noise_scale

@@ -1,0 +1,178 @@
+"""Weather event simulation.
+
+Section 2.5 catalogs the weather the carrier's data showed impacting KPIs:
+sustained rain, strong winds, snow, severe storms with damaging hail
+(tornado outbreaks, Fig. 4), and hurricanes (Sandy, Section 5.3).  A
+:class:`WeatherEvent` has a geographic footprint — centre plus radius —
+and a severity profile over time; elements inside the footprint receive a
+transient KPI dip whose depth attenuates linearly with distance from the
+centre.  Severe kinds additionally knock some towers out entirely
+(hurricane-induced outages), modelled as a deeper, slower-recovering dip.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..kpi.effects import TransientDip
+from ..kpi.metrics import KpiKind
+from ..kpi.store import KpiStore
+from ..network.elements import ElementId, NetworkElement
+from ..network.geography import GeoPoint
+from ..network.topology import Topology
+from .factors import ExternalFactor, goodness_magnitude
+
+__all__ = ["WeatherKind", "WeatherEvent", "hurricane", "tornado_outbreak"]
+
+
+class WeatherKind(str, enum.Enum):
+    """Weather event categories, ordered roughly by typical severity."""
+
+    RAIN = "rain"
+    SNOW = "snow"
+    WIND = "wind"
+    STORM = "storm"
+    HAIL_TORNADO = "hail-tornado"
+    HURRICANE = "hurricane"
+
+
+#: Default (severity multiple of noise scale, recovery days) per kind.
+_DEFAULTS = {
+    WeatherKind.RAIN: (2.0, 1.5),
+    WeatherKind.SNOW: (2.5, 2.0),
+    WeatherKind.WIND: (3.0, 2.0),
+    WeatherKind.STORM: (4.5, 3.0),
+    WeatherKind.HAIL_TORNADO: (6.0, 4.0),
+    WeatherKind.HURRICANE: (8.0, 7.0),
+}
+
+
+@dataclass(frozen=True)
+class WeatherEvent(ExternalFactor):
+    """A weather system hitting a circular footprint on a given day."""
+
+    kind: WeatherKind
+    center: GeoPoint
+    radius_km: float
+    start_day: float
+    severity: Optional[float] = None  # multiples of KPI noise scale
+    recovery_days: Optional[float] = None
+    #: Fraction of in-footprint towers suffering a hard outage (severe kinds).
+    outage_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.radius_km <= 0:
+            raise ValueError("radius_km must be positive")
+        if not 0.0 <= self.outage_fraction <= 1.0:
+            raise ValueError("outage_fraction must be in [0, 1]")
+
+    @property
+    def name(self) -> str:
+        return f"weather:{self.kind.value}@day{self.start_day:g}"
+
+    def _severity(self) -> float:
+        return self.severity if self.severity is not None else _DEFAULTS[self.kind][0]
+
+    def _recovery(self) -> float:
+        return (
+            self.recovery_days
+            if self.recovery_days is not None
+            else _DEFAULTS[self.kind][1]
+        )
+
+    # ------------------------------------------------------------------
+    def affected_elements(self, topology: Topology) -> List[NetworkElement]:
+        """Elements within the footprint radius."""
+        out = []
+        for element in topology:
+            if element.location.distance_km(self.center) <= self.radius_km:
+                out.append(element)
+        return out
+
+    def attenuation(self, element: NetworkElement) -> float:
+        """Linear distance attenuation in [0, 1]; 1 at the centre."""
+        d = element.location.distance_km(self.center)
+        if d >= self.radius_km:
+            return 0.0
+        return 1.0 - d / self.radius_km
+
+    def apply(
+        self, store: KpiStore, topology: Topology, kpis: Sequence[KpiKind]
+    ) -> List[ElementId]:
+        touched: List[ElementId] = []
+        affected = self.affected_elements(topology)
+        outage_ids = self._pick_outages(affected)
+        for element in affected:
+            if not any(store.has(element.element_id, k) for k in kpis):
+                continue
+            atten = self.attenuation(element)
+            if atten == 0.0:
+                continue
+            hard_outage = element.element_id in outage_ids
+            depth_mult = self._severity() * atten * (2.5 if hard_outage else 1.0)
+            recovery = self._recovery() * (2.0 if hard_outage else 1.0)
+            for kpi in kpis:
+                if not store.has(element.element_id, kpi):
+                    continue
+                depth = goodness_magnitude(kpi, -depth_mult)
+                store.apply_effect(
+                    element.element_id,
+                    kpi,
+                    TransientDip(depth, self.start_day, recovery),
+                )
+            touched.append(element.element_id)
+        return touched
+
+    def _pick_outages(self, affected: Sequence[NetworkElement]) -> set:
+        """Deterministically choose which towers suffer hard outages."""
+        if self.outage_fraction == 0.0:
+            return set()
+        towers = [e for e in affected if e.is_tower]
+        if not towers:
+            return set()
+        digest = zlib.crc32(self.name.encode("utf-8"))
+        rng = np.random.default_rng(digest)
+        n = max(1, int(round(self.outage_fraction * len(towers))))
+        chosen = rng.choice(len(towers), size=min(n, len(towers)), replace=False)
+        return {towers[i].element_id for i in np.atleast_1d(chosen)}
+
+
+def hurricane(
+    center: GeoPoint,
+    landfall_day: float,
+    radius_km: float = 400.0,
+    severity: float = 8.0,
+    outage_fraction: float = 0.2,
+) -> WeatherEvent:
+    """A hurricane: huge footprint, deep impact, slow recovery, outages."""
+    return WeatherEvent(
+        WeatherKind.HURRICANE,
+        center,
+        radius_km,
+        landfall_day,
+        severity=severity,
+        recovery_days=7.0,
+        outage_fraction=outage_fraction,
+    )
+
+
+def tornado_outbreak(
+    center: GeoPoint,
+    day: float,
+    radius_km: float = 150.0,
+    severity: float = 6.0,
+) -> WeatherEvent:
+    """Severe storms with damaging hail, as in Fig. 4."""
+    return WeatherEvent(
+        WeatherKind.HAIL_TORNADO,
+        center,
+        radius_km,
+        day,
+        severity=severity,
+        outage_fraction=0.05,
+    )

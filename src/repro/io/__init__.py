@@ -1,0 +1,22 @@
+"""Data ingestion and persistence: KPI CSV, topology/change-log JSON."""
+
+from .csv_store import read_store_csv, write_store_csv
+from .topology_json import (
+    changelog_from_json,
+    changelog_to_json,
+    read_topology_json,
+    topology_from_json,
+    topology_to_json,
+    write_topology_json,
+)
+
+__all__ = [
+    "changelog_from_json",
+    "changelog_to_json",
+    "read_store_csv",
+    "read_topology_json",
+    "topology_from_json",
+    "topology_to_json",
+    "write_store_csv",
+    "write_topology_json",
+]

@@ -1,0 +1,119 @@
+"""CSV import/export for KPI measurements.
+
+A carrier adopting the library has its own telemetry pipeline; this module
+is the ingestion boundary.  The format is a plain long-form CSV —
+one measurement per row:
+
+    element_id,kpi,day,value
+    rnc-umts-northeast-0,voice-retainability,0,0.9712
+    ...
+
+``day`` is the integer sample index on the global axis (for sub-daily
+data, the sample index with ``freq`` samples per day, declared once in the
+header comment or via the ``freq`` argument).  Rows per (element, kpi)
+must form a contiguous index range; gaps are rejected rather than silently
+interpolated.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from ..kpi.metrics import KpiKind
+from ..kpi.store import KpiStore
+from ..stats.timeseries import TimeSeries
+
+__all__ = ["write_store_csv", "read_store_csv"]
+
+_HEADER = ["element_id", "kpi", "day", "value"]
+
+PathLike = Union[str, Path]
+
+
+def write_store_csv(store: KpiStore, path: PathLike, freq: int = 1) -> int:
+    """Write every series in the store to a long-form CSV.
+
+    Returns the number of measurement rows written.  ``freq`` is recorded
+    as a ``# freq=N`` comment so a round-trip restores sub-daily series.
+    """
+    rows = 0
+    with open(path, "w", newline="") as handle:
+        handle.write(f"# litmus-kpi-export freq={freq}\n")
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for element_id in store.element_ids():
+            for kpi in store.kpis_for(element_id):
+                series = store.get(element_id, kpi)
+                if series.freq != freq:
+                    raise ValueError(
+                        f"series for {element_id!r}/{kpi.value!r} has freq "
+                        f"{series.freq}, export declared freq={freq}"
+                    )
+                for index, value in zip(series.index, series.values):
+                    writer.writerow([element_id, kpi.value, int(index), repr(float(value))])
+                    rows += 1
+    return rows
+
+
+def _parse_freq(first_line: str) -> int:
+    if first_line.startswith("#") and "freq=" in first_line:
+        try:
+            return int(first_line.split("freq=")[1].split()[0])
+        except (ValueError, IndexError):
+            raise ValueError(f"malformed export header: {first_line!r}") from None
+    return 1
+
+
+def read_store_csv(path: PathLike, freq: int = 0) -> KpiStore:
+    """Load a long-form KPI CSV into a :class:`KpiStore`.
+
+    ``freq=0`` (default) takes the frequency from the export header
+    comment (1 if absent).  Rows may arrive in any order; each
+    (element, kpi) series must cover a contiguous sample range.
+    """
+    buckets: Dict[Tuple[str, KpiKind], List[Tuple[int, float]]] = {}
+    with open(path, newline="") as handle:
+        first = handle.readline()
+        header_freq = _parse_freq(first)
+        if first.startswith("#"):
+            reader = csv.reader(handle)
+            header = next(reader)
+        else:
+            reader = csv.reader(io.StringIO(first + handle.read()))
+            header = next(reader)
+        if header != _HEADER:
+            raise ValueError(f"unexpected CSV header {header!r}; expected {_HEADER!r}")
+        for line_no, row in enumerate(reader, start=3):
+            if not row:
+                continue
+            if len(row) != 4:
+                raise ValueError(f"line {line_no}: expected 4 fields, got {len(row)}")
+            element_id, kpi_name, day_str, value_str = row
+            try:
+                kpi = KpiKind(kpi_name)
+            except ValueError:
+                raise ValueError(f"line {line_no}: unknown KPI {kpi_name!r}") from None
+            try:
+                day = int(day_str)
+                value = float(value_str)
+            except ValueError:
+                raise ValueError(f"line {line_no}: malformed day/value") from None
+            buckets.setdefault((element_id, kpi), []).append((day, value))
+
+    use_freq = freq or header_freq
+    store = KpiStore()
+    for (element_id, kpi), samples in buckets.items():
+        samples.sort(key=lambda pair: pair[0])
+        days = [d for d, _ in samples]
+        if days != list(range(days[0], days[0] + len(days))):
+            raise ValueError(
+                f"series {element_id!r}/{kpi.value!r} has gaps or duplicate days"
+            )
+        values = np.array([v for _, v in samples])
+        store.put(element_id, kpi, TimeSeries(values, start=days[0], freq=use_freq))
+    return store

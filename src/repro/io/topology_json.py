@@ -1,0 +1,147 @@
+"""JSON import/export for network topologies and change logs.
+
+Lets a deployment persist its inferred topology (the paper derives it from
+daily configuration snapshots) and change-management log, and reload them
+for assessment runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..network.changes import ChangeEvent, ChangeLog, ChangeType
+from ..network.elements import NetworkElement, TrafficProfile
+from ..network.geography import GeoPoint, Region, Terrain
+from ..network.technology import ElementRole, Technology
+from ..network.topology import Topology
+
+__all__ = [
+    "topology_to_json",
+    "topology_from_json",
+    "write_topology_json",
+    "read_topology_json",
+    "changelog_to_json",
+    "changelog_from_json",
+]
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def topology_to_json(topology: Topology) -> str:
+    """Serialise a topology to a JSON string (parents before children)."""
+    elements = []
+    for element in topology:
+        elements.append(
+            {
+                "element_id": element.element_id,
+                "role": element.role.value,
+                "technology": element.technology.value,
+                "region": element.region.value,
+                "lat": element.location.lat,
+                "lon": element.location.lon,
+                "zip_code": element.zip_code,
+                "terrain": element.terrain.value,
+                "traffic_profile": element.traffic_profile.value,
+                "vendor": element.vendor,
+                "software_version": element.software_version,
+                "parent_id": element.parent_id,
+            }
+        )
+    return json.dumps({"version": _FORMAT_VERSION, "elements": elements}, indent=2)
+
+
+def topology_from_json(text: str) -> Topology:
+    """Rebuild a topology from :func:`topology_to_json` output."""
+    payload = json.loads(text)
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported topology format version {version!r}")
+    topology = Topology()
+    pending = list(payload["elements"])
+    # Insert parents before children regardless of serialisation order.
+    inserted = set()
+    while pending:
+        progressed = False
+        remaining = []
+        for raw in pending:
+            parent = raw.get("parent_id")
+            if parent is None or parent in inserted:
+                topology.add(_element_from(raw))
+                inserted.add(raw["element_id"])
+                progressed = True
+            else:
+                remaining.append(raw)
+        if not progressed:
+            missing = sorted({r.get("parent_id") for r in remaining})
+            raise ValueError(f"unresolvable parent references: {missing}")
+        pending = remaining
+    return topology
+
+
+def _element_from(raw: dict) -> NetworkElement:
+    try:
+        return NetworkElement(
+            element_id=raw["element_id"],
+            role=ElementRole(raw["role"]),
+            technology=Technology(raw["technology"]),
+            region=Region(raw["region"]),
+            location=GeoPoint(raw["lat"], raw["lon"]),
+            zip_code=raw["zip_code"],
+            terrain=Terrain(raw["terrain"]),
+            traffic_profile=TrafficProfile(raw["traffic_profile"]),
+            vendor=raw["vendor"],
+            software_version=raw["software_version"],
+            parent_id=raw.get("parent_id"),
+        )
+    except KeyError as exc:
+        raise ValueError(f"element record missing field {exc}") from None
+
+
+def write_topology_json(topology: Topology, path: PathLike) -> None:
+    """Write a topology to a JSON file."""
+    Path(path).write_text(topology_to_json(topology))
+
+
+def read_topology_json(path: PathLike) -> Topology:
+    """Read a topology from a JSON file."""
+    return topology_from_json(Path(path).read_text())
+
+
+def changelog_to_json(log: ChangeLog) -> str:
+    """Serialise a change log to a JSON string."""
+    events = [
+        {
+            "change_id": e.change_id,
+            "change_type": e.change_type.value,
+            "day": e.day,
+            "element_ids": sorted(e.element_ids),
+            "description": e.description,
+            "parameters": list(e.parameters),
+        }
+        for e in log
+    ]
+    return json.dumps({"version": _FORMAT_VERSION, "events": events}, indent=2)
+
+
+def changelog_from_json(text: str) -> ChangeLog:
+    """Rebuild a change log from :func:`changelog_to_json` output."""
+    payload = json.loads(text)
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError("unsupported change-log format version")
+    log = ChangeLog()
+    for raw in payload["events"]:
+        log.record(
+            ChangeEvent(
+                change_id=raw["change_id"],
+                change_type=ChangeType(raw["change_type"]),
+                day=raw["day"],
+                element_ids=frozenset(raw["element_ids"]),
+                description=raw.get("description", ""),
+                parameters=tuple(raw.get("parameters", ())),
+            )
+        )
+    return log

@@ -1,0 +1,57 @@
+"""KPI substrate: metric catalog, seasonality/noise models, effects,
+spatially correlated generation and the measurement store."""
+
+from .counters import (
+    DailyCounters,
+    accessibility,
+    retainability,
+    simulate_counters,
+)
+from .effects import Effect, LevelShift, Ramp, Spike, TransientDip, apply_effects
+from .generator import GeneratorConfig, KpiGenerator, generate_kpis
+from .metrics import DEFAULT_KPIS, KPI_CATALOG, Kpi, KpiKind, get_kpi
+from .noise import Ar1Noise, GaussianNoise, MixtureNoise, NoiseModel, StudentTNoise
+from .seasonality import (
+    DAYS_PER_YEAR,
+    CompositeSeasonality,
+    DiurnalPattern,
+    FoliageModel,
+    LinearTrend,
+    SeasonalityModel,
+    WeeklyPattern,
+)
+from .store import KpiStore
+
+__all__ = [
+    "DAYS_PER_YEAR",
+    "DEFAULT_KPIS",
+    "KPI_CATALOG",
+    "Ar1Noise",
+    "DailyCounters",
+    "CompositeSeasonality",
+    "DiurnalPattern",
+    "Effect",
+    "FoliageModel",
+    "GaussianNoise",
+    "GeneratorConfig",
+    "Kpi",
+    "KpiGenerator",
+    "KpiKind",
+    "KpiStore",
+    "LevelShift",
+    "LinearTrend",
+    "MixtureNoise",
+    "NoiseModel",
+    "Ramp",
+    "SeasonalityModel",
+    "Spike",
+    "StudentTNoise",
+    "TransientDip",
+    "WeeklyPattern",
+    "accessibility",
+    "apply_effects",
+    "generate_kpis",
+    "get_kpi",
+    "retainability",
+    "simulate_counters",
+]

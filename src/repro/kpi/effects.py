@@ -1,0 +1,143 @@
+"""Effect primitives: the shapes changes and external factors leave on KPIs.
+
+Every confounder and every injected change in the evaluation harness is
+expressed as one of these additive effects over a day window — a sustained
+level shift (a config change that helps or hurts), a ramp (gradual rollout
+or slow recovery), a transient dip with recovery (a storm passing through),
+or a spike (one-off incident).  Effects are signed in *KPI units*: apply a
+negative level shift to a higher-is-better ratio to model a degradation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..stats.timeseries import TimeSeries
+
+__all__ = [
+    "Effect",
+    "LevelShift",
+    "Ramp",
+    "TransientDip",
+    "Spike",
+    "apply_effects",
+]
+
+
+class Effect:
+    """Base class for additive KPI effects.
+
+    ``delta(index)`` returns the additive offset for each *fractional day*
+    in ``index`` (daily series pass integer days).
+    """
+
+    def delta(self, index: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def apply(self, series: TimeSeries) -> TimeSeries:
+        """Return the series with this effect added (respecting frequency)."""
+        days = series.index / series.freq
+        return TimeSeries(
+            series.values + self.delta(days), series.start, series.freq
+        )
+
+
+@dataclass(frozen=True)
+class LevelShift(Effect):
+    """A sustained step starting at ``start_day`` (optionally ending)."""
+
+    magnitude: float
+    start_day: float
+    end_day: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.end_day is not None and self.end_day <= self.start_day:
+            raise ValueError("end_day must be after start_day")
+
+    def delta(self, index: np.ndarray) -> np.ndarray:
+        index = np.asarray(index, dtype=float)
+        active = index >= self.start_day
+        if self.end_day is not None:
+            active &= index < self.end_day
+        return self.magnitude * active.astype(float)
+
+
+@dataclass(frozen=True)
+class Ramp(Effect):
+    """A linear drift beginning at ``start_day``.
+
+    The offset grows by ``slope_per_day`` each day; after ``end_day`` (if
+    given) it holds at its final value — a rollout that completes.
+    """
+
+    slope_per_day: float
+    start_day: float
+    end_day: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.end_day is not None and self.end_day <= self.start_day:
+            raise ValueError("end_day must be after start_day")
+
+    def delta(self, index: np.ndarray) -> np.ndarray:
+        index = np.asarray(index, dtype=float)
+        elapsed = np.maximum(index - self.start_day, 0.0)
+        if self.end_day is not None:
+            elapsed = np.minimum(elapsed, self.end_day - self.start_day)
+        return self.slope_per_day * elapsed
+
+
+@dataclass(frozen=True)
+class TransientDip(Effect):
+    """A dip that decays back to baseline — a storm or outage footprint.
+
+    Depth is reached immediately at ``start_day`` and the effect recovers
+    exponentially with time constant ``recovery_days``; beyond five time
+    constants the effect is numerically gone.  Use a negative depth for a
+    degradation of a higher-is-better KPI, positive for a load surge on a
+    volume metric.
+    """
+
+    depth: float
+    start_day: float
+    recovery_days: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.recovery_days <= 0:
+            raise ValueError("recovery_days must be positive")
+
+    def delta(self, index: np.ndarray) -> np.ndarray:
+        index = np.asarray(index, dtype=float)
+        elapsed = index - self.start_day
+        active = elapsed >= 0
+        out = np.zeros_like(index)
+        out[active] = self.depth * np.exp(-elapsed[active] / self.recovery_days)
+        return out
+
+
+@dataclass(frozen=True)
+class Spike(Effect):
+    """A single-day (or few-day) excursion with hard edges."""
+
+    magnitude: float
+    start_day: float
+    duration_days: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration_days <= 0:
+            raise ValueError("duration_days must be positive")
+
+    def delta(self, index: np.ndarray) -> np.ndarray:
+        index = np.asarray(index, dtype=float)
+        active = (index >= self.start_day) & (index < self.start_day + self.duration_days)
+        return self.magnitude * active.astype(float)
+
+
+def apply_effects(series: TimeSeries, effects: Sequence[Effect]) -> TimeSeries:
+    """Apply several effects additively to a series."""
+    out = series
+    for effect in effects:
+        out = effect.apply(out)
+    return out

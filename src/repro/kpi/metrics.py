@@ -1,0 +1,88 @@
+"""Key Performance Indicator (KPI) definitions.
+
+The paper assesses changes against aggregate service-quality metrics
+computed from per-element performance counters (Section 2.2):
+
+* **Accessibility** — fraction of call/session attempts that succeed.
+* **Retainability** — fraction of established calls/sessions terminated by
+  the user rather than the network (1 - dropped-call ratio).
+* **Data throughput** — bits delivered to users.
+
+Accessibility and retainability are tracked separately for voice and data.
+Each KPI carries its direction-of-good (throughput up = good, dropped-call
+ratio up = bad) so assessment verdicts can translate a raw directional
+change into improvement/degradation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["KpiKind", "Kpi", "KPI_CATALOG", "DEFAULT_KPIS", "get_kpi"]
+
+
+class KpiKind(str, enum.Enum):
+    """Identifier for each KPI in the catalog."""
+
+    VOICE_ACCESSIBILITY = "voice-accessibility"
+    VOICE_RETAINABILITY = "voice-retainability"
+    DATA_ACCESSIBILITY = "data-accessibility"
+    DATA_RETAINABILITY = "data-retainability"
+    DATA_THROUGHPUT = "data-throughput"
+    DROPPED_CALL_RATIO = "dropped-call-ratio"
+    CALL_VOLUME = "call-volume"
+    RADIO_BEARER_SUCCESS = "radio-bearer-success"
+
+
+@dataclass(frozen=True)
+class Kpi:
+    """Static description of a service-quality metric."""
+
+    kind: KpiKind
+    unit: str
+    higher_is_better: bool
+    baseline: float  # typical healthy operating point
+    noise_scale: float  # day-to-day robust sigma at a healthy element
+    bounded_unit_interval: bool  # ratios live in [0, 1]
+
+    @property
+    def name(self) -> str:
+        """Short string name (the enum value)."""
+        return self.kind.value
+
+    def goodness_sign(self) -> int:
+        """+1 when an increase is an improvement, -1 when it is a degradation."""
+        return 1 if self.higher_is_better else -1
+
+
+KPI_CATALOG: Dict[KpiKind, Kpi] = {
+    kpi.kind: kpi
+    for kpi in [
+        # Baselines sit far enough below 1.0 (and above 0.0 for the
+        # dropped-call ratio) that a several-sigma improvement does not
+        # saturate the [0, 1] bound — saturation would destroy the linear
+        # study/control dependency the whole method rests on.
+        Kpi(KpiKind.VOICE_ACCESSIBILITY, "ratio", True, 0.960, 0.004, True),
+        Kpi(KpiKind.VOICE_RETAINABILITY, "ratio", True, 0.970, 0.003, True),
+        Kpi(KpiKind.DATA_ACCESSIBILITY, "ratio", True, 0.950, 0.005, True),
+        Kpi(KpiKind.DATA_RETAINABILITY, "ratio", True, 0.955, 0.004, True),
+        Kpi(KpiKind.DATA_THROUGHPUT, "Mbps", True, 12.0, 0.8, False),
+        Kpi(KpiKind.DROPPED_CALL_RATIO, "ratio", False, 0.030, 0.003, True),
+        Kpi(KpiKind.CALL_VOLUME, "calls/day", True, 5000.0, 300.0, False),
+        Kpi(KpiKind.RADIO_BEARER_SUCCESS, "ratio", True, 0.958, 0.004, True),
+    ]
+}
+
+#: The KPI set Table 2 assessments draw from.
+DEFAULT_KPIS: Tuple[KpiKind, ...] = (
+    KpiKind.VOICE_RETAINABILITY,
+    KpiKind.DATA_RETAINABILITY,
+    KpiKind.DATA_THROUGHPUT,
+)
+
+
+def get_kpi(kind: "KpiKind | str") -> Kpi:
+    """Look up a KPI definition by kind or by its string name."""
+    return KPI_CATALOG[KpiKind(kind)]

@@ -1,0 +1,114 @@
+"""Noise models for synthetic KPI series.
+
+Operational KPI series are not i.i.d. Gaussian: they show day-to-day
+persistence (weather systems, load regimes last several days) and
+occasional heavy-tailed glitches (counter resets, one-off incidents).  The
+models here supply those textures; the robust pieces of Litmus (median
+aggregation, MAD scaling, rank tests) exist precisely to survive them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NoiseModel", "GaussianNoise", "StudentTNoise", "Ar1Noise", "MixtureNoise"]
+
+
+class NoiseModel:
+    """Base class: draw an additive noise vector of a given length."""
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class GaussianNoise(NoiseModel):
+    """Plain i.i.d. Gaussian noise."""
+
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.normal(0.0, self.sigma, size=n)
+
+
+@dataclass(frozen=True)
+class StudentTNoise(NoiseModel):
+    """Heavy-tailed noise via Student's t, scaled to unit-ish variance.
+
+    Low degrees of freedom (3–5) produce the occasional large outlier that
+    breaks mean-based methods but not rank-based ones.
+    """
+
+    sigma: float
+    df: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if self.df <= 2:
+            raise ValueError("df must exceed 2 for finite variance")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        raw = rng.standard_t(self.df, size=n)
+        # Standardise so sigma is the marginal standard deviation.
+        scale = np.sqrt(self.df / (self.df - 2.0))
+        return self.sigma * raw / scale
+
+
+@dataclass(frozen=True)
+class Ar1Noise(NoiseModel):
+    """AR(1) noise: persistent day-to-day deviations.
+
+    ``phi`` is the lag-1 autocorrelation; ``sigma`` is the *marginal*
+    standard deviation (the innovation variance is scaled accordingly).
+    """
+
+    sigma: float
+    phi: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if not -1.0 < self.phi < 1.0:
+            raise ValueError("phi must be in (-1, 1)")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if n == 0:
+            return np.zeros(0)
+        innov_sigma = self.sigma * np.sqrt(1.0 - self.phi**2)
+        eps = rng.normal(0.0, innov_sigma, size=n)
+        out = np.empty(n)
+        out[0] = rng.normal(0.0, self.sigma)
+        for t in range(1, n):
+            out[t] = self.phi * out[t - 1] + eps[t]
+        return out
+
+
+@dataclass(frozen=True)
+class MixtureNoise(NoiseModel):
+    """AR(1) body plus sparse heavy outliers — the default KPI texture."""
+
+    sigma: float
+    phi: float = 0.5
+    outlier_prob: float = 0.01
+    outlier_scale: float = 6.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.outlier_prob < 1.0:
+            raise ValueError("outlier_prob must be in [0, 1)")
+        if self.outlier_scale < 0:
+            raise ValueError("outlier_scale must be non-negative")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        body = Ar1Noise(self.sigma, self.phi).sample(rng, n)
+        if self.outlier_prob > 0 and n > 0:
+            mask = rng.random(n) < self.outlier_prob
+            spikes = rng.normal(0.0, self.outlier_scale * self.sigma, size=n)
+            body = body + mask * spikes
+        return body

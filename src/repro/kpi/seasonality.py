@@ -1,0 +1,166 @@
+"""Seasonality models for KPI series.
+
+Section 2.5 documents seasonality at three time-scales:
+
+* **time-of-day** — peak-hour vs. overnight call volumes,
+* **weekly** — weekday vs. weekend, shaped by what the element serves
+  (business district vs. lakeside leisure area),
+* **yearly foliage** — in regions with deciduous foliage, performance dips
+  April→August (leaves budding obstruct radio propagation) and recovers
+  September→January (Fig. 3); absent in the Southeast.
+
+Each model maps an array of *fractional day indices* (day 0.0 = experiment
+epoch, which we pin to January 1 of year 0) to an additive KPI offset in
+the metric's units.  Offsets are signed so that a *negative* value degrades
+a higher-is-better KPI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..network.elements import TrafficProfile
+from ..network.geography import REGION_FOLIAGE_INTENSITY, Region
+
+__all__ = [
+    "DAYS_PER_YEAR",
+    "LEAF_BUD_START",
+    "LEAF_FALL_END",
+    "SeasonalityModel",
+    "DiurnalPattern",
+    "WeeklyPattern",
+    "FoliageModel",
+    "LinearTrend",
+    "CompositeSeasonality",
+]
+
+DAYS_PER_YEAR = 365.0
+
+#: Fractional-year positions of the foliage cycle (day-of-year / 365).
+LEAF_BUD_START = 90 / DAYS_PER_YEAR  # early April
+LEAF_FALL_END = 245 / DAYS_PER_YEAR  # early September
+_LEAF_BUD_START = LEAF_BUD_START
+_LEAF_FALL_END = LEAF_FALL_END
+
+
+class SeasonalityModel:
+    """Base class: callable mapping fractional days to additive offsets."""
+
+    def __call__(self, days: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def offsets(self, days: Union[Sequence[float], np.ndarray]) -> np.ndarray:
+        """Vectorised evaluation with input validation."""
+        arr = np.asarray(days, dtype=float)
+        return self(arr)
+
+
+@dataclass(frozen=True)
+class DiurnalPattern(SeasonalityModel):
+    """Time-of-day load effect, meaningful for sub-daily sampling.
+
+    Busy hours load the network and depress success ratios.  The peak hour
+    depends on the traffic profile: business sites peak mid-workday,
+    leisure sites in the evening.
+    """
+
+    amplitude: float
+    profile: TrafficProfile = TrafficProfile.RESIDENTIAL
+
+    _PEAK_HOUR = {
+        TrafficProfile.BUSINESS: 14.0,
+        TrafficProfile.RESIDENTIAL: 20.0,
+        TrafficProfile.LEISURE: 19.0,
+        TrafficProfile.VENUE: 20.0,
+        TrafficProfile.HIGHWAY: 17.0,
+    }
+
+    def __call__(self, days: np.ndarray) -> np.ndarray:
+        hours = (days % 1.0) * 24.0
+        peak = self._PEAK_HOUR[self.profile]
+        # Cosine bump centred on the peak hour; negative (load hurts KPIs).
+        phase = (hours - peak) / 24.0 * 2.0 * math.pi
+        return -self.amplitude * 0.5 * (1.0 + np.cos(phase))
+
+
+@dataclass(frozen=True)
+class WeeklyPattern(SeasonalityModel):
+    """Weekday/weekend load difference by traffic profile.
+
+    Business sites are loaded Monday–Friday; leisure sites on weekends.
+    Day 0 of the global axis is defined to be a Monday.
+    """
+
+    amplitude: float
+    profile: TrafficProfile = TrafficProfile.RESIDENTIAL
+
+    _WEEKEND_SIGN = {
+        # +1: *weekend* is the loaded (degraded) period.
+        TrafficProfile.BUSINESS: -1.0,
+        TrafficProfile.RESIDENTIAL: 0.3,
+        TrafficProfile.LEISURE: 1.0,
+        TrafficProfile.VENUE: 1.0,
+        TrafficProfile.HIGHWAY: 0.5,
+    }
+
+    def __call__(self, days: np.ndarray) -> np.ndarray:
+        dow = np.floor(days) % 7  # 0 = Monday ... 6 = Sunday
+        weekend = (dow >= 5).astype(float)
+        sign = self._WEEKEND_SIGN[self.profile]
+        # Loaded days get the negative offset.
+        loaded = weekend if sign >= 0 else (1.0 - weekend)
+        return -self.amplitude * abs(sign) * loaded
+
+
+@dataclass(frozen=True)
+class FoliageModel(SeasonalityModel):
+    """Annual foliage effect (Fig. 3).
+
+    A smooth degradation window between leaf budding (early April) and leaf
+    fall (early September), scaled by the region's foliage intensity —
+    strong in the Northeast, zero in the Southeast.
+    """
+
+    amplitude: float
+    region: Region = Region.NORTHEAST
+
+    def __call__(self, days: np.ndarray) -> np.ndarray:
+        intensity = REGION_FOLIAGE_INTENSITY[self.region]
+        if intensity == 0.0 or self.amplitude == 0.0:
+            return np.zeros_like(days, dtype=float)
+        frac = (days / DAYS_PER_YEAR) % 1.0
+        window = np.zeros_like(frac)
+        in_leaf = (frac >= _LEAF_BUD_START) & (frac <= _LEAF_FALL_END)
+        span = _LEAF_FALL_END - _LEAF_BUD_START
+        # Raised-cosine bump: 0 at the window edges, 1 mid-summer.
+        t = (frac[in_leaf] - _LEAF_BUD_START) / span
+        window[in_leaf] = 0.5 * (1.0 - np.cos(2.0 * math.pi * t))
+        return -self.amplitude * intensity * window
+
+
+@dataclass(frozen=True)
+class LinearTrend(SeasonalityModel):
+    """Slow drift, e.g. the continuous carrier-driven improvement visible in
+    Fig. 3's year-over-year rise."""
+
+    slope_per_year: float
+
+    def __call__(self, days: np.ndarray) -> np.ndarray:
+        return self.slope_per_year * (days / DAYS_PER_YEAR)
+
+
+class CompositeSeasonality(SeasonalityModel):
+    """Sum of several seasonality components."""
+
+    def __init__(self, *components: SeasonalityModel) -> None:
+        self.components = tuple(components)
+
+    def __call__(self, days: np.ndarray) -> np.ndarray:
+        out = np.zeros_like(np.asarray(days, dtype=float))
+        for component in self.components:
+            out = out + component(days)
+        return out

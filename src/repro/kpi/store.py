@@ -1,0 +1,103 @@
+"""KPI store: the measurement database of the simulated network.
+
+Maps ``(element_id, KpiKind)`` to a :class:`~repro.stats.timeseries.TimeSeries`
+and provides the aligned-matrix extraction the regression algorithms
+consume.  The store is the single mutation point for effect injection, so
+an experiment script reads as: generate → inject effects → assess.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..network.elements import ElementId
+from ..stats.timeseries import TimeSeries, align
+from .effects import Effect
+from .metrics import KpiKind, get_kpi
+
+__all__ = ["KpiStore"]
+
+
+class KpiStore:
+    """In-memory KPI measurement store."""
+
+    def __init__(self) -> None:
+        self._series: Dict[Tuple[ElementId, KpiKind], TimeSeries] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def put(self, element_id: ElementId, kpi: KpiKind, series: TimeSeries) -> None:
+        """Insert or replace the series for an element/KPI pair."""
+        self._series[(element_id, KpiKind(kpi))] = series
+
+    def apply_effect(self, element_id: ElementId, kpi: KpiKind, effect: Effect) -> None:
+        """Add an effect to a stored series in place (bounded KPIs re-clipped)."""
+        key = (element_id, KpiKind(kpi))
+        series = self._get(key)
+        updated = effect.apply(series)
+        if get_kpi(kpi).bounded_unit_interval:
+            updated = updated.clip(0.0, 1.0)
+        self._series[key] = updated
+
+    def apply_effect_many(
+        self, element_ids: Iterable[ElementId], kpi: KpiKind, effect: Effect
+    ) -> None:
+        """Apply the same effect across several elements (e.g. a regional
+        weather footprint)."""
+        for element_id in element_ids:
+            self.apply_effect(element_id, kpi, effect)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def _get(self, key: Tuple[ElementId, KpiKind]) -> TimeSeries:
+        try:
+            return self._series[key]
+        except KeyError:
+            raise KeyError(
+                f"no series stored for element {key[0]!r}, kpi {key[1].value!r}"
+            ) from None
+
+    def get(self, element_id: ElementId, kpi: KpiKind) -> TimeSeries:
+        """Fetch the series for an element/KPI pair."""
+        return self._get((element_id, KpiKind(kpi)))
+
+    def has(self, element_id: ElementId, kpi: KpiKind) -> bool:
+        """True when a series is stored for the pair."""
+        return (element_id, KpiKind(kpi)) in self._series
+
+    def element_ids(self, kpi: Optional[KpiKind] = None) -> List[ElementId]:
+        """Element ids with stored series (optionally for a specific KPI)."""
+        if kpi is None:
+            return sorted({eid for eid, _ in self._series})
+        kind = KpiKind(kpi)
+        return sorted({eid for eid, k in self._series if k == kind})
+
+    def kpis_for(self, element_id: ElementId) -> List[KpiKind]:
+        """KPIs stored for an element."""
+        return sorted(
+            (k for eid, k in self._series if eid == element_id),
+            key=lambda k: k.value,
+        )
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    # ------------------------------------------------------------------
+    # Matrix extraction
+    # ------------------------------------------------------------------
+    def matrix(
+        self, element_ids: Sequence[ElementId], kpi: KpiKind
+    ) -> Tuple[np.ndarray, int]:
+        """Aligned (time, element) matrix for a set of elements on one KPI.
+
+        Returns ``(matrix, start_index)``; column order follows
+        ``element_ids``.
+        """
+        if not element_ids:
+            raise ValueError("element_ids must be non-empty")
+        series = [self.get(eid, kpi) for eid in element_ids]
+        return align(series)

@@ -1,0 +1,65 @@
+"""Cellular network substrate: elements, topology, configuration, changes.
+
+Models the GSM/UMTS/LTE service architecture of Section 2.1 at the
+granularity the assessment algorithms need — elements with geography and
+configuration attributes, a containment hierarchy, daily configuration
+snapshots, and a change-management log.
+"""
+
+from .builder import NetworkBuilder, NetworkSpec, build_network
+from .changes import ChangeEvent, ChangeLog, ChangeType
+from .configuration import (
+    PARAMETER_CATALOG,
+    ChangeFrequency,
+    ConfigSnapshot,
+    ConfigStore,
+    ParameterSpec,
+)
+from .elements import ElementId, NetworkElement, TrafficProfile
+from .son import SonAction, SonConfig, SonController
+from .geography import (
+    REGION_BOXES,
+    REGION_FOLIAGE_INTENSITY,
+    GeoPoint,
+    Region,
+    Terrain,
+    distance_matrix_km,
+    haversine_km,
+    zip_code_for,
+)
+from .technology import HIERARCHY, ElementRole, Technology, controller_role, tower_role
+from .topology import Topology
+
+__all__ = [
+    "HIERARCHY",
+    "PARAMETER_CATALOG",
+    "REGION_BOXES",
+    "REGION_FOLIAGE_INTENSITY",
+    "ChangeEvent",
+    "ChangeFrequency",
+    "ChangeLog",
+    "ChangeType",
+    "ConfigSnapshot",
+    "ConfigStore",
+    "ElementId",
+    "ElementRole",
+    "GeoPoint",
+    "NetworkBuilder",
+    "NetworkElement",
+    "NetworkSpec",
+    "ParameterSpec",
+    "Region",
+    "SonAction",
+    "SonConfig",
+    "SonController",
+    "Technology",
+    "Terrain",
+    "Topology",
+    "TrafficProfile",
+    "build_network",
+    "controller_role",
+    "distance_matrix_km",
+    "haversine_km",
+    "tower_role",
+    "zip_code_for",
+]

@@ -1,0 +1,229 @@
+"""Synthetic network builder.
+
+Generates a realistic multi-technology topology: per region, core nodes
+(MSC/SGSN for GSM/UMTS, MME/S-GW/P-GW for LTE), controllers under the core,
+towers clustered geographically around their controller, and optional
+sectors/cells under each tower.  Tower placement is clustered (a controller
+serves a metro area), which is what makes "same upstream controller" and
+"same zip code" sensible control-group predicates.
+
+Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .elements import NetworkElement, TrafficProfile
+from .geography import REGION_BOXES, GeoPoint, Region, Terrain, zip_code_for
+from .technology import ElementRole, Technology, controller_role, tower_role
+
+__all__ = ["NetworkSpec", "NetworkBuilder", "build_network"]
+
+_TERRAIN_CYCLE = [
+    Terrain.URBAN,
+    Terrain.SUBURBAN,
+    Terrain.SUBURBAN,
+    Terrain.RURAL,
+    Terrain.COASTAL,
+]
+
+_PROFILE_CYCLE = [
+    TrafficProfile.RESIDENTIAL,
+    TrafficProfile.BUSINESS,
+    TrafficProfile.RESIDENTIAL,
+    TrafficProfile.LEISURE,
+    TrafficProfile.BUSINESS,
+    TrafficProfile.HIGHWAY,
+]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Size and composition of a synthetic network."""
+
+    technologies: Tuple[Technology, ...] = (Technology.UMTS,)
+    regions: Tuple[Region, ...] = (Region.NORTHEAST,)
+    controllers_per_region: int = 6
+    towers_per_controller: int = 8
+    sectors_per_tower: int = 0  # 0 skips the sector/cell layer
+    #: Number of primary core nodes (MSC for GSM/UMTS, MME for LTE) per
+    #: region; controllers are attached round-robin.  More than one is
+    #: needed when the *core* nodes themselves form a study group, as in
+    #: the paper's MSC configuration-change case study (Section 5.2).
+    cores_per_region: int = 1
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.controllers_per_region <= 0:
+            raise ValueError("controllers_per_region must be positive")
+        if self.cores_per_region <= 0:
+            raise ValueError("cores_per_region must be positive")
+        if self.towers_per_controller <= 0:
+            raise ValueError("towers_per_controller must be positive")
+        if self.sectors_per_tower < 0:
+            raise ValueError("sectors_per_tower must be non-negative")
+        if not self.technologies:
+            raise ValueError("at least one technology required")
+        if not self.regions:
+            raise ValueError("at least one region required")
+
+
+class NetworkBuilder:
+    """Builds a :class:`~repro.network.topology.Topology` from a spec."""
+
+    #: Controller cluster radius in degrees (~0.3 deg ≈ 30 km) — towers of a
+    #: controller land within this of the controller's site.
+    CLUSTER_RADIUS_DEG = 0.3
+
+    def __init__(self, spec: NetworkSpec) -> None:
+        self.spec = spec
+        self._rng = np.random.default_rng(spec.seed)
+
+    def build(self):
+        """Construct and return the topology (import-cycle-free lazily)."""
+        from .topology import Topology
+
+        topo = Topology()
+        for tech in self.spec.technologies:
+            for region in self.spec.regions:
+                self._build_region(topo, Technology(tech), Region(region))
+        return topo
+
+    # ------------------------------------------------------------------
+    def _build_region(self, topo, tech: Technology, region: Region) -> None:
+        primary_ids = self._build_core(topo, tech, region)
+        ctrl_role = controller_role(tech)
+        for c_idx in range(self.spec.controllers_per_region):
+            controller = self._make_element(
+                role=ctrl_role,
+                tech=tech,
+                region=region,
+                name=f"{ctrl_role.value}-{tech.value}-{region.value}-{c_idx}",
+                location=self._random_point(region),
+                parent_id=primary_ids[c_idx % len(primary_ids)],
+                ordinal=c_idx,
+            )
+            topo.add(controller)
+            if tech is Technology.LTE:
+                # eNodeB is both controller and tower; cells hang directly.
+                self._build_sectors(topo, controller, tech, region)
+                continue
+            twr_role = tower_role(tech)
+            for t_idx in range(self.spec.towers_per_controller):
+                tower = self._make_element(
+                    role=twr_role,
+                    tech=tech,
+                    region=region,
+                    name=f"{twr_role.value}-{tech.value}-{region.value}-{c_idx}-{t_idx}",
+                    location=self._clustered_point(region, controller.location),
+                    parent_id=controller.element_id,
+                    ordinal=c_idx * self.spec.towers_per_controller + t_idx,
+                )
+                topo.add(tower)
+                self._build_sectors(topo, tower, tech, region)
+
+    def _build_core(self, topo, tech: Technology, region: Region) -> List[str]:
+        """Create the core nodes for a technology/region.
+
+        Returns the ids of the *primary* core nodes (MSC / MME), which are
+        the parents controllers attach to; the supporting roles (GMSC,
+        SGSN/GGSN or S-GW/P-GW) are created once per region.
+        """
+        if tech is Technology.LTE:
+            primary, support = ElementRole.MME, [ElementRole.SGW, ElementRole.PGW]
+        else:
+            primary, support = ElementRole.MSC, [
+                ElementRole.GMSC,
+                ElementRole.SGSN,
+                ElementRole.GGSN,
+            ]
+        primary_ids = []
+        for idx in range(self.spec.cores_per_region):
+            node = self._make_element(
+                role=primary,
+                tech=tech,
+                region=region,
+                name=f"{primary.value}-{tech.value}-{region.value}-{idx}",
+                location=self._random_point(region),
+                parent_id=None,
+                ordinal=idx,
+            )
+            topo.add(node)
+            primary_ids.append(node.element_id)
+        point = self._random_point(region)
+        for role in support:
+            node = self._make_element(
+                role=role,
+                tech=tech,
+                region=region,
+                name=f"{role.value}-{tech.value}-{region.value}",
+                location=point,
+                parent_id=None,
+                ordinal=0,
+            )
+            topo.add(node)
+        return primary_ids
+
+    def _build_sectors(self, topo, tower: NetworkElement, tech: Technology, region: Region) -> None:
+        for s_idx in range(self.spec.sectors_per_tower):
+            sector = self._make_element(
+                role=ElementRole.SECTOR,
+                tech=tech,
+                region=region,
+                name=f"{tower.element_id}-sec{s_idx}",
+                location=tower.location,
+                parent_id=tower.element_id,
+                ordinal=s_idx,
+            )
+            topo.add(sector)
+
+    # ------------------------------------------------------------------
+    def _random_point(self, region: Region) -> GeoPoint:
+        lat_min, lat_max, lon_min, lon_max = REGION_BOXES[region]
+        lat = float(self._rng.uniform(lat_min, lat_max))
+        lon = float(self._rng.uniform(lon_min, lon_max))
+        return GeoPoint(lat, lon)
+
+    def _clustered_point(self, region: Region, center: GeoPoint) -> GeoPoint:
+        lat_min, lat_max, lon_min, lon_max = REGION_BOXES[region]
+        r = self.CLUSTER_RADIUS_DEG
+        lat = float(np.clip(center.lat + self._rng.uniform(-r, r), lat_min, lat_max))
+        lon = float(np.clip(center.lon + self._rng.uniform(-r, r), lon_min, lon_max))
+        return GeoPoint(lat, lon)
+
+    def _make_element(
+        self,
+        role: ElementRole,
+        tech: Technology,
+        region: Region,
+        name: str,
+        location: GeoPoint,
+        parent_id: Optional[str],
+        ordinal: int,
+    ) -> NetworkElement:
+        return NetworkElement(
+            element_id=name,
+            role=role,
+            technology=tech,
+            region=region,
+            location=location,
+            zip_code=zip_code_for(region, location),
+            terrain=_TERRAIN_CYCLE[ordinal % len(_TERRAIN_CYCLE)],
+            traffic_profile=_PROFILE_CYCLE[ordinal % len(_PROFILE_CYCLE)],
+            vendor="vendor-a" if ordinal % 3 else "vendor-b",
+            software_version="5.2.1",
+            parent_id=parent_id,
+        )
+
+
+def build_network(spec: Optional[NetworkSpec] = None, **overrides):
+    """Convenience wrapper: ``build_network(seed=3, regions=(...))``."""
+    if spec is None:
+        spec = NetworkSpec(**overrides)
+    elif overrides:
+        raise ValueError("pass either a spec or keyword overrides, not both")
+    return NetworkBuilder(spec).build()

@@ -1,0 +1,133 @@
+"""Change management log.
+
+Every planned network activity — configuration change, software upgrade,
+re-home, hardware swap — is recorded with its target elements and time
+(Section 2.2: "we use the change information to determine when and where to
+perform the service performance assessments").  A :class:`ChangeEvent` is
+the unit Litmus assesses; :class:`ChangeLog` provides the overlap queries
+used to warn when another activity lands near the assessment window.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from .elements import ElementId
+
+__all__ = ["ChangeType", "ChangeEvent", "ChangeLog"]
+
+
+class ChangeType(str, enum.Enum):
+    """Categories of network change from Section 2.2."""
+
+    CONFIGURATION = "configuration"
+    SOFTWARE_UPGRADE = "software-upgrade"
+    FEATURE_ACTIVATION = "feature-activation"
+    TOPOLOGY = "topology"  # re-homes
+    HARDWARE = "hardware"
+    TRAFFIC_MIGRATION = "traffic-migration"
+    MAINTENANCE = "maintenance"
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """A change applied to a set of elements at a point in time.
+
+    ``day`` is the global day index at which the change takes effect; the
+    elements listed form the *study group* for its assessment.
+    """
+
+    change_id: str
+    change_type: ChangeType
+    day: int
+    element_ids: FrozenSet[ElementId]
+    description: str = ""
+    parameters: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.change_id:
+            raise ValueError("change_id must be non-empty")
+        ids = frozenset(self.element_ids)
+        if not ids:
+            raise ValueError(f"change {self.change_id!r} must target >= 1 element")
+        object.__setattr__(self, "element_ids", ids)
+
+    @property
+    def study_group(self) -> List[ElementId]:
+        """The target element ids in stable order."""
+        return sorted(self.element_ids)
+
+
+class ChangeLog:
+    """Time-ordered record of change events with overlap queries."""
+
+    def __init__(self, events: Iterable[ChangeEvent] = ()) -> None:
+        self._events: Dict[str, ChangeEvent] = {}
+        for event in events:
+            self.record(event)
+
+    def record(self, event: ChangeEvent) -> None:
+        """Add an event; ids must be unique."""
+        if event.change_id in self._events:
+            raise ValueError(f"duplicate change id {event.change_id!r}")
+        self._events[event.change_id] = event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(sorted(self._events.values(), key=lambda e: (e.day, e.change_id)))
+
+    def get(self, change_id: str) -> ChangeEvent:
+        """Fetch an event by id."""
+        try:
+            return self._events[change_id]
+        except KeyError:
+            raise KeyError(f"unknown change id {change_id!r}") from None
+
+    def events_in_window(self, start_day: int, end_day: int) -> List[ChangeEvent]:
+        """Events effective within ``[start_day, end_day]`` inclusive."""
+        return [e for e in self if start_day <= e.day <= end_day]
+
+    def events_touching(
+        self,
+        element_ids: Iterable[ElementId],
+        start_day: Optional[int] = None,
+        end_day: Optional[int] = None,
+    ) -> List[ChangeEvent]:
+        """Events targeting any of the given elements, optionally windowed."""
+        targets = set(element_ids)
+        out = []
+        for event in self:
+            if not (event.element_ids & targets):
+                continue
+            if start_day is not None and event.day < start_day:
+                continue
+            if end_day is not None and event.day > end_day:
+                continue
+            out.append(event)
+        return out
+
+    def conflicting_events(
+        self,
+        change: ChangeEvent,
+        candidate_control: Iterable[ElementId],
+        window_days: int,
+    ) -> List[ChangeEvent]:
+        """Other changes hitting candidate control elements near the
+        assessment window.
+
+        A control element undergoing its own change during the comparison
+        window is exactly the "contaminated control group" scenario the
+        robust regression must tolerate — but the selector still prefers to
+        avoid known conflicts up front.
+        """
+        lo = change.day - window_days
+        hi = change.day + window_days
+        out = []
+        for event in self.events_touching(candidate_control, lo, hi):
+            if event.change_id != change.change_id:
+                out.append(event)
+        return out

@@ -1,0 +1,165 @@
+"""Configuration snapshots and parameter definitions.
+
+Carriers take daily configuration snapshots of every element (Section 2.2).
+Parameters split into *high-frequency* knobs tuned continuously against
+network/traffic conditions (antenna tilt, downlink power) and *low-frequency
+gold-standard* parameters changed only with major software releases (radio
+link failure timers) that follow a "one value fits all locations" rule
+(Section 2.3).  This module models the parameter catalog, per-element
+per-day snapshots, and the audit queries used to detect when and where a
+parameter changed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .elements import ElementId
+
+__all__ = [
+    "ChangeFrequency",
+    "ParameterSpec",
+    "PARAMETER_CATALOG",
+    "ConfigSnapshot",
+    "ConfigStore",
+]
+
+
+class ChangeFrequency(str, enum.Enum):
+    """How often a parameter is expected to change (Section 2.3)."""
+
+    HIGH = "high"  # tuned dynamically against traffic conditions
+    LOW = "low"  # gold-standard, changed with software releases
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """A configurable parameter of a network element."""
+
+    name: str
+    frequency: ChangeFrequency
+    unit: str
+    default: float
+    gold_standard: bool = False
+
+    def __post_init__(self) -> None:
+        if self.gold_standard and self.frequency is not ChangeFrequency.LOW:
+            raise ValueError(
+                f"gold-standard parameter {self.name!r} must be low-frequency"
+            )
+
+
+#: The parameters exercised by the paper's examples and Table 2 change types.
+PARAMETER_CATALOG: Dict[str, ParameterSpec] = {
+    spec.name: spec
+    for spec in [
+        ParameterSpec("antenna_tilt_deg", ChangeFrequency.HIGH, "degrees", 2.0),
+        ParameterSpec("downlink_power_dbm", ChangeFrequency.HIGH, "dBm", 43.0),
+        ParameterSpec("operating_frequency_mhz", ChangeFrequency.LOW, "MHz", 1900.0),
+        ParameterSpec(
+            "radio_link_failure_timer_ms",
+            ChangeFrequency.LOW,
+            "ms",
+            1000.0,
+            gold_standard=True,
+        ),
+        ParameterSpec(
+            "access_threshold_db", ChangeFrequency.LOW, "dB", -110.0, gold_standard=True
+        ),
+        ParameterSpec(
+            "handover_hysteresis_db", ChangeFrequency.LOW, "dB", 3.0, gold_standard=True
+        ),
+        ParameterSpec(
+            "time_to_trigger_ms", ChangeFrequency.LOW, "ms", 256.0, gold_standard=True
+        ),
+        ParameterSpec("max_tx_power_dbm", ChangeFrequency.LOW, "dBm", 46.0),
+        ParameterSpec("son_load_balancing", ChangeFrequency.LOW, "bool", 0.0),
+        ParameterSpec("son_neighbor_discovery", ChangeFrequency.LOW, "bool", 0.0),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class ConfigSnapshot:
+    """The configuration of one element on one day."""
+
+    element_id: ElementId
+    day: int
+    parameters: Mapping[str, float]
+    software_version: str
+
+    def get(self, name: str) -> float:
+        """Parameter value, falling back to the catalog default."""
+        if name in self.parameters:
+            return self.parameters[name]
+        spec = PARAMETER_CATALOG.get(name)
+        if spec is None:
+            raise KeyError(f"unknown parameter {name!r}")
+        return spec.default
+
+
+class ConfigStore:
+    """Daily configuration snapshots, queryable for diffs.
+
+    Snapshots are sparse: a day without an explicit snapshot inherits the
+    most recent earlier one (configuration persists until changed).
+    """
+
+    def __init__(self) -> None:
+        self._by_element: Dict[ElementId, List[ConfigSnapshot]] = {}
+
+    def record(self, snapshot: ConfigSnapshot) -> None:
+        """Store a snapshot, keeping each element's history day-ordered."""
+        history = self._by_element.setdefault(snapshot.element_id, [])
+        if history and snapshot.day <= history[-1].day:
+            # Insert keeping order; same-day re-records replace.
+            history[:] = [s for s in history if s.day != snapshot.day]
+            history.append(snapshot)
+            history.sort(key=lambda s: s.day)
+        else:
+            history.append(snapshot)
+
+    def snapshot(self, element_id: ElementId, day: int) -> Optional[ConfigSnapshot]:
+        """The effective configuration of an element on a day, or ``None``."""
+        history = self._by_element.get(element_id, [])
+        effective = None
+        for snap in history:
+            if snap.day <= day:
+                effective = snap
+            else:
+                break
+        return effective
+
+    def parameter(self, element_id: ElementId, day: int, name: str) -> float:
+        """Effective parameter value on a day (catalog default if unset)."""
+        snap = self.snapshot(element_id, day)
+        if snap is None:
+            spec = PARAMETER_CATALOG.get(name)
+            if spec is None:
+                raise KeyError(f"unknown parameter {name!r}")
+            return spec.default
+        return snap.get(name)
+
+    def diff_days(self, element_id: ElementId) -> List[Tuple[int, Dict[str, Tuple[float, float]]]]:
+        """Days on which any parameter changed, with (old, new) per parameter."""
+        history = self._by_element.get(element_id, [])
+        out: List[Tuple[int, Dict[str, Tuple[float, float]]]] = []
+        for prev, cur in zip(history, history[1:]):
+            delta: Dict[str, Tuple[float, float]] = {}
+            names = set(prev.parameters) | set(cur.parameters)
+            for name in sorted(names):
+                old = prev.get(name) if name in PARAMETER_CATALOG or name in prev.parameters else None
+                new = cur.get(name) if name in PARAMETER_CATALOG or name in cur.parameters else None
+                if old != new:
+                    delta[name] = (old, new)
+            if prev.software_version != cur.software_version:
+                delta["software_version"] = (0.0, 0.0)
+            if delta:
+                out.append((cur.day, delta))
+        return out
+
+    def elements(self) -> List[ElementId]:
+        """All element ids with at least one snapshot."""
+        return sorted(self._by_element)

@@ -1,0 +1,116 @@
+"""Network element model.
+
+A :class:`NetworkElement` is any managed entity KPIs are reported against:
+a cell, a tower (BTS/NodeB/eNodeB), a controller (BSC/RNC/eNodeB) or a core
+node (MSC, SGSN, MME, ...).  Elements carry the attributes that the
+control-group selection predicates key on — geography (region, zip,
+lat/lon), technology, terrain, vendor/software configuration and a traffic
+profile class.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from .geography import GeoPoint, Region, Terrain
+from .technology import ElementRole, Technology
+
+__all__ = ["TrafficProfile", "NetworkElement", "ElementId"]
+
+ElementId = str
+
+
+class TrafficProfile(str, enum.Enum):
+    """Daily usage shape of the population an element serves.
+
+    The paper's DiD-failure example contrasts a business-district tower
+    (busy weekday 9-to-5) with a lakeside tower (busy weekends/evenings) —
+    the profile drives the diurnal/weekly seasonality of the element's KPIs
+    and is also exposed as a selection attribute.
+    """
+
+    BUSINESS = "business"
+    RESIDENTIAL = "residential"
+    LEISURE = "leisure"  # lakes, parks — weekend/evening peaks
+    VENUE = "venue"  # stadiums — bursty event-driven load
+    HIGHWAY = "highway"
+
+
+@dataclass(frozen=True)
+class NetworkElement:
+    """An addressable, KPI-reporting element of the cellular network.
+
+    Instances are immutable; configuration that changes over time lives in
+    :class:`repro.network.configuration.ConfigStore`, keyed by element id.
+    """
+
+    element_id: ElementId
+    role: ElementRole
+    technology: Technology
+    region: Region
+    location: GeoPoint
+    zip_code: str
+    terrain: Terrain = Terrain.SUBURBAN
+    traffic_profile: TrafficProfile = TrafficProfile.RESIDENTIAL
+    vendor: str = "vendor-a"
+    software_version: str = "1.0.0"
+    parent_id: Optional[ElementId] = None
+
+    def __post_init__(self) -> None:
+        if not self.element_id:
+            raise ValueError("element_id must be non-empty")
+
+    @property
+    def is_controller(self) -> bool:
+        """True for BSC / RNC / eNodeB elements."""
+        return self.role in (ElementRole.BSC, ElementRole.RNC, ElementRole.ENODEB)
+
+    @property
+    def is_tower(self) -> bool:
+        """True for BTS / NodeB / eNodeB elements."""
+        return self.role in (ElementRole.BTS, ElementRole.NODEB, ElementRole.ENODEB)
+
+    @property
+    def is_core(self) -> bool:
+        """True for CS/PS/EPC core nodes."""
+        return self.role in (
+            ElementRole.MSC,
+            ElementRole.GMSC,
+            ElementRole.HLR,
+            ElementRole.VLR,
+            ElementRole.SGSN,
+            ElementRole.GGSN,
+            ElementRole.MME,
+            ElementRole.SGW,
+            ElementRole.PGW,
+            ElementRole.HSS,
+            ElementRole.PCRF,
+        )
+
+    def with_software(self, version: str) -> "NetworkElement":
+        """Copy of this element running a different software version."""
+        return replace(self, software_version=version)
+
+    def distance_km(self, other: "NetworkElement") -> float:
+        """Great-circle distance to another element."""
+        return self.location.distance_km(other.location)
+
+    def describe(self) -> Dict[str, str]:
+        """Flat attribute dictionary used by selection predicates."""
+        return {
+            "element_id": self.element_id,
+            "role": self.role.value,
+            "technology": self.technology.value,
+            "region": self.region.value,
+            "zip_code": self.zip_code,
+            "terrain": self.terrain.value,
+            "traffic_profile": self.traffic_profile.value,
+            "vendor": self.vendor,
+            "software_version": self.software_version,
+            "parent_id": self.parent_id or "",
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.role.value}:{self.element_id}"

@@ -1,0 +1,134 @@
+"""Geography: regions, markets, zip codes, terrain and distances.
+
+The paper's evaluation draws study groups from four geographically diverse
+US regions — Northeastern, Southeastern, Western and Southwestern — whose
+external-factor profiles differ (foliage seasonality in the Northeast,
+hurricanes on the coasts, none of either in the desert Southwest).  This
+module models just enough geography for those dynamics: a coarse lat/lon
+bounding box per region, synthetic zip codes, terrain classes, and great-
+circle distances for proximity predicates and spatial correlation kernels.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Region",
+    "Terrain",
+    "GeoPoint",
+    "haversine_km",
+    "distance_matrix_km",
+    "REGION_BOXES",
+    "REGION_FOLIAGE_INTENSITY",
+    "zip_code_for",
+]
+
+EARTH_RADIUS_KM = 6371.0
+
+
+class Region(str, enum.Enum):
+    """Coarse US regions used for study/control placement."""
+
+    NORTHEAST = "northeast"
+    SOUTHEAST = "southeast"
+    WEST = "west"
+    SOUTHWEST = "southwest"
+
+
+class Terrain(str, enum.Enum):
+    """Terrain classes affecting radio propagation (Section 1)."""
+
+    URBAN = "urban"
+    SUBURBAN = "suburban"
+    RURAL = "rural"
+    MOUNTAIN = "mountain"
+    COASTAL = "coastal"
+
+
+#: (lat_min, lat_max, lon_min, lon_max) per region — coarse boxes sufficient
+#: for distance-based predicates and weather footprints.
+REGION_BOXES: Dict[Region, Tuple[float, float, float, float]] = {
+    Region.NORTHEAST: (39.0, 45.0, -80.0, -70.0),
+    Region.SOUTHEAST: (25.0, 35.0, -88.0, -78.0),
+    Region.WEST: (34.0, 48.0, -124.0, -114.0),
+    Region.SOUTHWEST: (31.0, 37.0, -114.0, -103.0),
+}
+
+#: Annual foliage seasonality amplitude per region (Fig. 3: strong in the
+#: Northeast, absent in the Southeast "because of a lack of foliage change").
+REGION_FOLIAGE_INTENSITY: Dict[Region, float] = {
+    Region.NORTHEAST: 1.0,
+    Region.SOUTHEAST: 0.0,
+    Region.WEST: 0.55,
+    Region.SOUTHWEST: 0.1,
+}
+
+#: Zip prefix per region, loosely mirroring real USPS prefixes.
+_ZIP_PREFIX: Dict[Region, int] = {
+    Region.NORTHEAST: 10,
+    Region.SOUTHEAST: 30,
+    Region.WEST: 97,
+    Region.SOUTHWEST: 85,
+}
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A latitude/longitude pair in degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to another point."""
+        return haversine_km(self.lat, self.lon, other.lat, other.lon)
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two lat/lon points in kilometres."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = phi2 - phi1
+    dlmb = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlmb / 2) ** 2
+    return 2 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def distance_matrix_km(points: Sequence[GeoPoint]) -> np.ndarray:
+    """Pairwise great-circle distance matrix (vectorised haversine)."""
+    if not points:
+        return np.zeros((0, 0))
+    lat = np.radians([p.lat for p in points])
+    lon = np.radians([p.lon for p in points])
+    dphi = lat[:, None] - lat[None, :]
+    dlmb = lon[:, None] - lon[None, :]
+    a = np.sin(dphi / 2) ** 2 + np.cos(lat)[:, None] * np.cos(lat)[None, :] * np.sin(dlmb / 2) ** 2
+    a = np.clip(a, 0.0, 1.0)
+    return 2 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(a))
+
+
+def zip_code_for(region: Region, point: GeoPoint) -> str:
+    """Deterministic synthetic 5-digit zip code for a point.
+
+    Points within roughly a 0.1-degree tile share a zip, so geographic
+    closeness implies zip equality — the property the "same zip code"
+    control-group predicate relies on.
+    """
+    region = Region(region)
+    prefix = _ZIP_PREFIX[region]
+    lat_min, _, lon_min, _ = REGION_BOXES[region]
+    tile_lat = int((point.lat - lat_min) / 0.1)
+    tile_lon = int((point.lon - lon_min) / 0.1)
+    suffix = (tile_lat * 37 + tile_lon) % 1000
+    return f"{prefix:02d}{suffix:03d}"

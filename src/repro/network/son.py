@@ -1,0 +1,173 @@
+"""Self-Optimizing Network (SON) controller simulation.
+
+Section 2.3 and the hurricane case study (Section 5.3): SON features —
+automatic neighbour discovery and load balancing — watch per-element KPIs
+and dynamically retune high-frequency parameters (antenna tilt, downlink
+power) when performance degrades, recovering part of the damage.  This
+module simulates that control loop over a KPI store:
+
+1. each day, compare every enabled element's KPI against its own trailing
+   baseline;
+2. when the dip exceeds the activation threshold, "retune" — record the
+   parameter changes in a :class:`~repro.network.configuration.ConfigStore`
+   and apply a relief effect proportional to the dip;
+3. relief is capped by ``mitigation_fraction``: SON softens a hurricane,
+   it does not repeal it.
+
+The controller produces exactly the study-group dynamics of Fig. 10: SON
+towers degrade less than their non-SON peers under a shared external
+shock, which Litmus then reads as a relative improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..kpi.effects import TransientDip
+from ..kpi.metrics import KpiKind, get_kpi
+from ..kpi.store import KpiStore
+from ..stats.descriptive import mad
+from .configuration import ConfigSnapshot, ConfigStore
+from .elements import ElementId
+from .topology import Topology
+
+__all__ = ["SonConfig", "SonAction", "SonController"]
+
+
+@dataclass(frozen=True)
+class SonConfig:
+    """SON control-loop knobs."""
+
+    #: Dip (in robust sigmas of the trailing window) that triggers a retune.
+    activation_sigmas: float = 3.0
+    #: Fraction of the detected dip the retune recovers.
+    mitigation_fraction: float = 0.5
+    #: Trailing window used as the element's own baseline.
+    baseline_days: int = 28
+    #: Relief decays with this time constant (re-optimisation persists a
+    #: few days beyond the trigger).
+    relief_recovery_days: float = 7.0
+    #: Minimum days between retunes of the same element.
+    cooldown_days: int = 5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.mitigation_fraction <= 1.0:
+            raise ValueError("mitigation_fraction must be in (0, 1]")
+        if self.activation_sigmas <= 0:
+            raise ValueError("activation_sigmas must be positive")
+        if self.baseline_days < 7:
+            raise ValueError("baseline_days must be at least 7")
+        if self.cooldown_days < 1:
+            raise ValueError("cooldown_days must be at least 1")
+
+
+@dataclass(frozen=True)
+class SonAction:
+    """One retune performed by the controller."""
+
+    element_id: ElementId
+    day: int
+    kpi: KpiKind
+    dip_sigmas: float
+    relief: float  # KPI units applied
+
+
+class SonController:
+    """Simulates the SON loop over a day range and mutates the store.
+
+    The controller only sees data up to the day it acts on — no
+    lookahead — so its behaviour is causally plausible.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        store: KpiStore,
+        enabled: Sequence[ElementId],
+        config: Optional[SonConfig] = None,
+        config_store: Optional[ConfigStore] = None,
+    ) -> None:
+        self.topology = topology
+        self.store = store
+        self.enabled = list(enabled)
+        self.config = config or SonConfig()
+        self.config_store = config_store if config_store is not None else ConfigStore()
+        for eid in self.enabled:
+            self.topology.get(eid)  # validate ids
+        self._last_action: Dict[Tuple[ElementId, KpiKind], int] = {}
+
+    # ------------------------------------------------------------------
+    def run(
+        self, kpis: Sequence[KpiKind], start_day: int, end_day: int
+    ) -> List[SonAction]:
+        """Run the control loop daily over ``[start_day, end_day)``."""
+        if end_day <= start_day:
+            raise ValueError("end_day must be after start_day")
+        actions: List[SonAction] = []
+        for day in range(start_day, end_day):
+            for kpi in kpis:
+                kind = KpiKind(kpi)
+                for eid in self.enabled:
+                    if not self.store.has(eid, kind):
+                        continue
+                    action = self._maybe_retune(eid, kind, day)
+                    if action is not None:
+                        actions.append(action)
+        return actions
+
+    # ------------------------------------------------------------------
+    def _maybe_retune(
+        self, element_id: ElementId, kpi: KpiKind, day: int
+    ) -> Optional[SonAction]:
+        cfg = self.config
+        last = self._last_action.get((element_id, kpi))
+        if last is not None and day - last < cfg.cooldown_days:
+            return None
+
+        series = self.store.get(element_id, kpi)
+        baseline = series.before(day, cfg.baseline_days)
+        if len(baseline) < cfg.baseline_days // 2:
+            return None
+        today = series.window(day, day + 1)
+        if today.is_empty():
+            return None
+
+        meta = get_kpi(kpi)
+        center = baseline.median()
+        scale = mad(baseline.values)
+        if scale == 0.0:
+            return None
+        # Dip in goodness space: positive means service got worse today.
+        dip = meta.goodness_sign() * (center - today.values[0]) / scale
+        if dip < cfg.activation_sigmas:
+            return None
+
+        relief_sigmas = cfg.mitigation_fraction * dip
+        relief = meta.goodness_sign() * relief_sigmas * scale
+        self.store.apply_effect(
+            element_id,
+            kpi,
+            TransientDip(relief, float(day), cfg.relief_recovery_days),
+        )
+        self._record_retune(element_id, day)
+        self._last_action[(element_id, kpi)] = day
+        return SonAction(element_id, day, kpi, float(dip), float(relief))
+
+    def _record_retune(self, element_id: ElementId, day: int) -> None:
+        """Log the parameter change the retune corresponds to."""
+        previous = self.config_store.snapshot(element_id, day)
+        tilt = previous.get("antenna_tilt_deg") if previous else 2.0
+        power = previous.get("downlink_power_dbm") if previous else 43.0
+        self.config_store.record(
+            ConfigSnapshot(
+                element_id,
+                day,
+                {
+                    "antenna_tilt_deg": tilt - 0.5,  # up-tilt widens coverage
+                    "downlink_power_dbm": min(power + 1.0, 46.0),
+                    "son_load_balancing": 1.0,
+                },
+                software_version=self.topology.get(element_id).software_version,
+            )
+        )

@@ -1,0 +1,101 @@
+"""Radio access technologies and element roles.
+
+The paper's data spans three generations — GSM, UMTS and LTE — whose radio
+access networks have different hierarchies (Section 2.1):
+
+* GSM:  cells → BTS towers → BSC controllers → MSC/GMSC (CS core), SGSN/GGSN (PS core)
+* UMTS: cells → NodeB towers → RNC controllers → same cores as GSM
+* LTE:  cells → eNodeB (controller and tower collapse into one) → EPC
+  (MME, S-GW, P-GW, HSS, PCRF)
+
+This module defines the vocabulary; :mod:`repro.network.elements` defines
+the element classes and :mod:`repro.network.topology` wires them together.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+__all__ = ["Technology", "ElementRole", "HIERARCHY", "controller_role", "tower_role"]
+
+
+class Technology(str, enum.Enum):
+    """Radio access technology generations covered by the paper."""
+
+    GSM = "gsm"
+    UMTS = "umts"
+    LTE = "lte"
+
+
+class ElementRole(str, enum.Enum):
+    """Functional roles of network elements across the three technologies."""
+
+    CELL = "cell"
+    SECTOR = "sector"
+    # Towers (radio heads)
+    BTS = "bts"  # GSM
+    NODEB = "nodeb"  # UMTS
+    ENODEB = "enodeb"  # LTE (tower + controller)
+    # Controllers
+    BSC = "bsc"  # GSM
+    RNC = "rnc"  # UMTS
+    # Circuit-switched core
+    MSC = "msc"
+    GMSC = "gmsc"
+    HLR = "hlr"
+    VLR = "vlr"
+    # Packet-switched core (GSM/UMTS)
+    SGSN = "sgsn"
+    GGSN = "ggsn"
+    # LTE evolved packet core
+    MME = "mme"
+    SGW = "sgw"
+    PGW = "pgw"
+    HSS = "hss"
+    PCRF = "pcrf"
+
+
+#: Parent role for each child role, per technology.  ``None`` marks the top
+#: of the radio hierarchy (the element attaches to the core).
+HIERARCHY: Dict[Technology, Dict[ElementRole, ElementRole]] = {
+    Technology.GSM: {
+        ElementRole.SECTOR: ElementRole.BTS,
+        ElementRole.CELL: ElementRole.SECTOR,
+        ElementRole.BTS: ElementRole.BSC,
+        ElementRole.BSC: ElementRole.MSC,
+    },
+    Technology.UMTS: {
+        ElementRole.SECTOR: ElementRole.NODEB,
+        ElementRole.CELL: ElementRole.SECTOR,
+        ElementRole.NODEB: ElementRole.RNC,
+        ElementRole.RNC: ElementRole.MSC,
+    },
+    Technology.LTE: {
+        ElementRole.SECTOR: ElementRole.ENODEB,
+        ElementRole.CELL: ElementRole.SECTOR,
+        ElementRole.ENODEB: ElementRole.MME,
+    },
+}
+
+_CONTROLLER: Dict[Technology, ElementRole] = {
+    Technology.GSM: ElementRole.BSC,
+    Technology.UMTS: ElementRole.RNC,
+    Technology.LTE: ElementRole.ENODEB,
+}
+
+_TOWER: Dict[Technology, ElementRole] = {
+    Technology.GSM: ElementRole.BTS,
+    Technology.UMTS: ElementRole.NODEB,
+    Technology.LTE: ElementRole.ENODEB,
+}
+
+
+def controller_role(tech: Technology) -> ElementRole:
+    """The controller role for a technology (BSC / RNC / eNodeB)."""
+    return _CONTROLLER[Technology(tech)]
+
+
+def tower_role(tech: Technology) -> ElementRole:
+    """The tower role for a technology (BTS / NodeB / eNodeB)."""
+    return _TOWER[Technology(tech)]

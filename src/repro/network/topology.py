@@ -1,0 +1,177 @@
+"""Topology graph over network elements.
+
+The configuration snapshots a carrier collects daily are used "to
+automatically infer the topological structure of the cellular network"
+(Section 2.2), which in turn identifies (i) the causal impact scope of a
+change and (ii) control-group candidates sharing upstream elements.  This
+module is that inferred structure: a parent/child containment tree (cells
+under towers under controllers under core nodes) plus geographic neighbour
+queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from .elements import ElementId, NetworkElement
+from .technology import ElementRole, Technology
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """Containment hierarchy and lookup index for network elements."""
+
+    def __init__(self, elements: Iterable[NetworkElement] = ()) -> None:
+        self._elements: Dict[ElementId, NetworkElement] = {}
+        self._children: Dict[ElementId, List[ElementId]] = {}
+        for element in elements:
+            self.add(element)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, element: NetworkElement) -> None:
+        """Register an element; its parent (if named) must already exist."""
+        if element.element_id in self._elements:
+            raise ValueError(f"duplicate element id {element.element_id!r}")
+        if element.parent_id is not None and element.parent_id not in self._elements:
+            raise ValueError(
+                f"parent {element.parent_id!r} of {element.element_id!r} not in topology"
+            )
+        self._elements[element.element_id] = element
+        self._children.setdefault(element.element_id, [])
+        if element.parent_id is not None:
+            self._children[element.parent_id].append(element.element_id)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, element_id: ElementId) -> bool:
+        return element_id in self._elements
+
+    def __iter__(self) -> Iterator[NetworkElement]:
+        return iter(self._elements.values())
+
+    def get(self, element_id: ElementId) -> NetworkElement:
+        """Fetch an element by id, raising ``KeyError`` with context."""
+        try:
+            return self._elements[element_id]
+        except KeyError:
+            raise KeyError(f"unknown element id {element_id!r}") from None
+
+    def elements(
+        self,
+        role: Optional[ElementRole] = None,
+        technology: Optional[Technology] = None,
+    ) -> List[NetworkElement]:
+        """All elements, optionally filtered by role and/or technology."""
+        out = list(self._elements.values())
+        if role is not None:
+            out = [e for e in out if e.role == role]
+        if technology is not None:
+            out = [e for e in out if e.technology == technology]
+        return out
+
+    # ------------------------------------------------------------------
+    # Hierarchy traversal
+    # ------------------------------------------------------------------
+    def parent(self, element_id: ElementId) -> Optional[NetworkElement]:
+        """Immediate parent, or ``None`` at the top of the hierarchy."""
+        pid = self.get(element_id).parent_id
+        return self._elements[pid] if pid is not None else None
+
+    def children(self, element_id: ElementId) -> List[NetworkElement]:
+        """Immediate children."""
+        self.get(element_id)  # validate id
+        return [self._elements[cid] for cid in self._children.get(element_id, [])]
+
+    def ancestors(self, element_id: ElementId) -> List[NetworkElement]:
+        """Chain of parents from the element's parent up to the root."""
+        out: List[NetworkElement] = []
+        node = self.parent(element_id)
+        while node is not None:
+            out.append(node)
+            node = self.parent(node.element_id)
+        return out
+
+    def descendants(self, element_id: ElementId) -> List[NetworkElement]:
+        """All elements below this one (breadth-first)."""
+        self.get(element_id)
+        out: List[NetworkElement] = []
+        frontier = list(self._children.get(element_id, []))
+        while frontier:
+            cid = frontier.pop(0)
+            child = self._elements[cid]
+            out.append(child)
+            frontier.extend(self._children.get(cid, []))
+        return out
+
+    def siblings(self, element_id: ElementId) -> List[NetworkElement]:
+        """Elements sharing this element's parent (excluding itself)."""
+        element = self.get(element_id)
+        if element.parent_id is None:
+            return [
+                e
+                for e in self._elements.values()
+                if e.parent_id is None
+                and e.role == element.role
+                and e.element_id != element_id
+            ]
+        return [
+            e
+            for e in self.children(element.parent_id)
+            if e.element_id != element_id
+        ]
+
+    def controller_of(self, element_id: ElementId) -> Optional[NetworkElement]:
+        """Nearest ancestor (or the element itself) that is a controller."""
+        element = self.get(element_id)
+        if element.is_controller:
+            return element
+        for ancestor in self.ancestors(element_id):
+            if ancestor.is_controller:
+                return ancestor
+        return None
+
+    def subtree_ids(self, element_id: ElementId) -> Set[ElementId]:
+        """Ids of the element plus all of its descendants — the causal
+        impact scope of a change applied at this element."""
+        return {element_id} | {e.element_id for e in self.descendants(element_id)}
+
+    # ------------------------------------------------------------------
+    # Geographic queries
+    # ------------------------------------------------------------------
+    def within_km(
+        self,
+        element_id: ElementId,
+        radius_km: float,
+        role: Optional[ElementRole] = None,
+    ) -> List[NetworkElement]:
+        """Elements within a great-circle radius of the given element."""
+        if radius_km < 0:
+            raise ValueError("radius_km must be non-negative")
+        anchor = self.get(element_id)
+        out = []
+        for other in self._elements.values():
+            if other.element_id == element_id:
+                continue
+            if role is not None and other.role != role:
+                continue
+            if anchor.distance_km(other) <= radius_km:
+                out.append(other)
+        return out
+
+    def same_zip(self, element_id: ElementId, role: Optional[ElementRole] = None) -> List[NetworkElement]:
+        """Other elements sharing this element's zip code."""
+        anchor = self.get(element_id)
+        return [
+            e
+            for e in self._elements.values()
+            if e.element_id != element_id
+            and e.zip_code == anchor.zip_code
+            and (role is None or e.role == role)
+        ]

@@ -1,0 +1,21 @@
+"""Operational workflows: multi-window confirmation and change screening."""
+
+from .attribution import Attribution, Cooccurrence, explain_assessment
+from .monitor import FfaDecision, FfaMonitor, FfaStatus
+from .persistence import ConfirmedAssessment, PersistentAssessor, WindowVerdict
+from .screening import ScreeningEntry, ScreeningReport, screen_changes
+
+__all__ = [
+    "Attribution",
+    "ConfirmedAssessment",
+    "Cooccurrence",
+    "FfaDecision",
+    "FfaMonitor",
+    "FfaStatus",
+    "PersistentAssessor",
+    "ScreeningEntry",
+    "ScreeningReport",
+    "WindowVerdict",
+    "explain_assessment",
+    "screen_changes",
+]

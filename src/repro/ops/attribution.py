@@ -1,0 +1,142 @@
+"""Assessment attribution: what else was going on?
+
+When Litmus reports an impact (or a suspicious no-impact), the first
+operator question is "what co-occurred?" — is there an overlapping change
+in the log, a storm whose footprint covers the study group, a holiday in
+the comparison window?  :func:`explain_assessment` gathers that context:
+it does not change the verdict, it annotates it, mirroring how the paper's
+case studies were argued (the Fig. 9 improvement *was* foliage; the
+Fig. 11 improvement *was* the holiday).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.litmus import ChangeAssessmentReport
+from ..external.calendar import HolidayCalendar
+from ..external.factors import ExternalFactor
+from ..kpi.seasonality import DAYS_PER_YEAR, LEAF_BUD_START, LEAF_FALL_END
+from ..network.changes import ChangeLog
+from ..network.geography import REGION_FOLIAGE_INTENSITY
+from ..network.topology import Topology
+
+__all__ = ["Cooccurrence", "Attribution", "explain_assessment"]
+
+
+@dataclass(frozen=True)
+class Cooccurrence:
+    """One contextual fact overlapping the assessment window."""
+
+    kind: str  # "change" | "weather" | "holiday" | "foliage" | "factor"
+    description: str
+    day: float
+    touches_study: bool
+    touches_control: bool
+
+    @property
+    def shared(self) -> bool:
+        """True when both sides are exposed — the confounder should cancel
+        in the relative comparison."""
+        return self.touches_study and self.touches_control
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """An assessment report annotated with overlapping context."""
+
+    report: ChangeAssessmentReport
+    cooccurrences: Tuple[Cooccurrence, ...]
+
+    @property
+    def unshared(self) -> List[Cooccurrence]:
+        """Context touching only one side — candidate alternative causes."""
+        return [c for c in self.cooccurrences if not c.shared]
+
+    def to_text(self) -> str:
+        lines = [self.report.to_text(), ""]
+        if not self.cooccurrences:
+            lines.append("No co-occurring events found in the assessment window.")
+            return "\n".join(lines)
+        lines.append("Co-occurring context:")
+        for c in self.cooccurrences:
+            scope = "study+control" if c.shared else (
+                "study only" if c.touches_study else "control only"
+            )
+            lines.append(f"  day {c.day:g} [{c.kind}] ({scope}) {c.description}")
+        if self.unshared:
+            lines.append(
+                "Warning: events touching only one side can masquerade as the "
+                "change's impact — review before the go/no-go call."
+            )
+        return "\n".join(lines)
+
+
+def explain_assessment(
+    report: ChangeAssessmentReport,
+    topology: Topology,
+    change_log: Optional[ChangeLog] = None,
+    factors: Sequence[ExternalFactor] = (),
+    calendar: Optional[HolidayCalendar] = None,
+) -> Attribution:
+    """Annotate a report with overlapping changes, factors and seasons."""
+    change = report.change
+    window = report.window_days
+    lo, hi = change.day - window, change.day + window
+    study = set(change.study_group)
+    control = set(report.control_group)
+    out: List[Cooccurrence] = []
+
+    if change_log is not None:
+        for event in change_log.events_in_window(lo, hi):
+            if event.change_id == change.change_id:
+                continue
+            touched = set(event.element_ids)
+            out.append(
+                Cooccurrence(
+                    "change",
+                    f"{event.change_id} ({event.change_type.value})",
+                    float(event.day),
+                    bool(touched & study),
+                    bool(touched & control),
+                )
+            )
+
+    for factor in factors:
+        day = getattr(factor, "start_day", getattr(factor, "day", None))
+        if day is None or not (lo <= day <= hi):
+            continue
+        touched = {e.element_id for e in factor.affected_elements(topology)}
+        out.append(
+            Cooccurrence(
+                "factor",
+                factor.name,
+                float(day),
+                bool(touched & study),
+                bool(touched & control),
+            )
+        )
+
+    calendar = calendar or HolidayCalendar()
+    for name, start, end in calendar.windows_between(int(lo), int(hi)):
+        out.append(Cooccurrence("holiday", name, float(start), True, True))
+
+    # Foliage transition overlapping the window (region-wide, both sides).
+    regions = {topology.get(eid).region for eid in study}
+    for region in regions:
+        if REGION_FOLIAGE_INTENSITY.get(region, 0.0) <= 0.0:
+            continue
+        for edge_day, label in (
+            (LEAF_BUD_START * DAYS_PER_YEAR, "leaves budding (degradation season)"),
+            (LEAF_FALL_END * DAYS_PER_YEAR, "leaves falling (recovery season)"),
+        ):
+            year = int(change.day // DAYS_PER_YEAR)
+            absolute = year * DAYS_PER_YEAR + edge_day
+            if lo - 30 <= absolute <= hi + 30:
+                out.append(
+                    Cooccurrence("foliage", f"{region.value}: {label}", absolute, True, True)
+                )
+
+    out.sort(key=lambda c: c.day)
+    return Attribution(report, tuple(out))

@@ -1,0 +1,121 @@
+"""Continuous FFA monitoring.
+
+Operationally a trial is not assessed once: data accrues daily, the
+Engineering team watches the verdict firm up, and the go/no-go call is
+made when the evidence is persistent (Section 5: assessments run over 1–2
+weeks, confirmed over multiple intervals).  :class:`FfaMonitor` is that
+loop as a state machine:
+
+* ``PENDING`` — not enough post-change data yet;
+* ``OBSERVING`` — assessments are running but the confirmation windows do
+  not agree yet;
+* ``GO`` — confirmed improvement or no impact, with no degradation on any
+  KPI;
+* ``NO_GO`` — confirmed degradation on some KPI (roll back);
+* ``EXTENDED`` — the full observation budget elapsed without agreement;
+  the operator must extend the trial or decide manually.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..core.litmus import Litmus
+from ..core.verdict import Verdict
+from ..kpi.metrics import DEFAULT_KPIS, KpiKind
+from ..network.changes import ChangeEvent
+from .persistence import ConfirmedAssessment, PersistentAssessor
+
+__all__ = ["FfaStatus", "FfaDecision", "FfaMonitor"]
+
+
+class FfaStatus(str, enum.Enum):
+    """State of a monitored First Field Application."""
+
+    PENDING = "pending"
+    OBSERVING = "observing"
+    GO = "go"
+    NO_GO = "no-go"
+    EXTENDED = "extended"
+
+
+@dataclass(frozen=True)
+class FfaDecision:
+    """Monitor output at one point in time."""
+
+    status: FfaStatus
+    day: int
+    assessments: Tuple[ConfirmedAssessment, ...]
+
+    def describe(self) -> str:
+        lines = [f"day {self.day}: {self.status.value}"]
+        for assessment in self.assessments:
+            lines.append(f"  {assessment.describe()}")
+        return "\n".join(lines)
+
+
+class FfaMonitor:
+    """Tracks one change trial as measurement days accrue.
+
+    ``min_days`` is the shortest post-change window worth testing;
+    ``decision_days`` is when the full confirmation protocol can run;
+    ``max_days`` is the observation budget before the monitor gives up
+    and reports ``EXTENDED``.
+    """
+
+    def __init__(
+        self,
+        engine: Litmus,
+        change: ChangeEvent,
+        kpis: Sequence[KpiKind] = DEFAULT_KPIS,
+        min_days: int = 7,
+        decision_days: int = 14,
+        max_days: int = 28,
+    ) -> None:
+        if not min_days <= decision_days <= max_days:
+            raise ValueError("need min_days <= decision_days <= max_days")
+        if min_days < 3:
+            raise ValueError("min_days must be at least 3")
+        self.engine = engine
+        self.change = change
+        self.kpis = tuple(KpiKind(k) for k in kpis)
+        self.min_days = min_days
+        self.decision_days = decision_days
+        self.max_days = max_days
+
+    # ------------------------------------------------------------------
+    def update(self, current_day: int) -> FfaDecision:
+        """Evaluate the trial state as of ``current_day``."""
+        elapsed = current_day - self.change.day
+        if elapsed < self.min_days:
+            return FfaDecision(FfaStatus.PENDING, current_day, ())
+
+        if elapsed < self.decision_days:
+            # Early look: a single short window; only a confirmed
+            # degradation acts early (roll back fast), anything else keeps
+            # observing.
+            report = self.engine.assess(
+                self.change, self.kpis, window_days=elapsed
+            )
+            degraded = any(
+                vote.winner is Verdict.DEGRADATION
+                for vote in report.summary().values()
+            )
+            status = FfaStatus.NO_GO if degraded else FfaStatus.OBSERVING
+            return FfaDecision(status, current_day, ())
+
+        # Full confirmation protocol over the available span.
+        half = min(elapsed // 2, 14)
+        windows = ((0, half), (0, min(elapsed, 2 * half)), (half, half))
+        assessor = PersistentAssessor(self.engine, windows)
+        confirmed = tuple(assessor.assess(self.change, self.kpis))
+
+        if any(c.confirmed is Verdict.DEGRADATION for c in confirmed):
+            return FfaDecision(FfaStatus.NO_GO, current_day, confirmed)
+        if all(c.is_conclusive for c in confirmed):
+            return FfaDecision(FfaStatus.GO, current_day, confirmed)
+        if elapsed >= self.max_days:
+            return FfaDecision(FfaStatus.EXTENDED, current_day, confirmed)
+        return FfaDecision(FfaStatus.OBSERVING, current_day, confirmed)

@@ -1,0 +1,108 @@
+"""Multi-window confirmation of assessment verdicts.
+
+Section 5: "It is common operational practice to confirm performance
+impacts over multiple time-intervals before a decision is made for a
+wide-scale roll-out."  :class:`PersistentAssessor` re-runs an assessment
+over several post-change windows (e.g. the first week, the first
+fortnight, the second week alone) and only confirms a verdict when the
+windows agree — one-off transients wash out, genuine level changes and
+ramps persist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.litmus import Litmus
+from ..core.verdict import Verdict
+from ..kpi.metrics import DEFAULT_KPIS, KpiKind
+from ..network.changes import ChangeEvent
+
+__all__ = ["WindowVerdict", "ConfirmedAssessment", "PersistentAssessor"]
+
+
+@dataclass(frozen=True)
+class WindowVerdict:
+    """Voted verdict of one assessment window."""
+
+    offset_days: int  # window start relative to the change day
+    window_days: int
+    verdict: Verdict
+
+
+@dataclass(frozen=True)
+class ConfirmedAssessment:
+    """Multi-window confirmation outcome for one KPI."""
+
+    kpi: KpiKind
+    windows: Tuple[WindowVerdict, ...]
+    confirmed: Optional[Verdict]  # None when the windows disagree
+
+    @property
+    def is_conclusive(self) -> bool:
+        return self.confirmed is not None
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"[+{w.offset_days}d,{w.window_days}d]={w.verdict.value}"
+            for w in self.windows
+        )
+        outcome = self.confirmed.value if self.confirmed else "inconclusive"
+        return f"{self.kpi.value}: {outcome} ({parts})"
+
+
+class PersistentAssessor:
+    """Confirms verdicts across several post-change windows.
+
+    ``windows`` is a list of (offset_days, window_days) pairs relative to
+    the change day; the defaults check the first week, the full fortnight
+    and the second week alone.  A verdict is confirmed only when every
+    window with enough data agrees.
+    """
+
+    DEFAULT_WINDOWS: Tuple[Tuple[int, int], ...] = ((0, 7), (0, 14), (7, 7))
+
+    def __init__(
+        self,
+        engine: Litmus,
+        windows: Sequence[Tuple[int, int]] = DEFAULT_WINDOWS,
+    ) -> None:
+        if not windows:
+            raise ValueError("at least one confirmation window required")
+        for offset, length in windows:
+            if offset < 0 or length < 3:
+                raise ValueError(f"invalid window (offset={offset}, days={length})")
+        self.engine = engine
+        self.windows = tuple(windows)
+
+    def assess(
+        self,
+        change: ChangeEvent,
+        kpis: Sequence[KpiKind] = DEFAULT_KPIS,
+    ) -> List[ConfirmedAssessment]:
+        """Run the confirmation protocol; one result per KPI."""
+        per_window: Dict[Tuple[int, int], Dict[KpiKind, Verdict]] = {}
+        for offset, length in self.windows:
+            # Training stays anchored at the change day; only the post-
+            # change comparison window moves.  Post-change samples never
+            # leak into the learned dependency structure.
+            report = self.engine.assess(
+                change, kpis, window_days=length, after_offset_days=offset
+            )
+            per_window[(offset, length)] = {
+                kpi: vote.winner for kpi, vote in report.summary().items()
+            }
+
+        out: List[ConfirmedAssessment] = []
+        for kpi in kpis:
+            kind = KpiKind(kpi)
+            window_verdicts = tuple(
+                WindowVerdict(offset, length, per_window[(offset, length)][kind])
+                for offset, length in self.windows
+                if kind in per_window[(offset, length)]
+            )
+            verdicts = {w.verdict for w in window_verdicts}
+            confirmed = window_verdicts[0].verdict if len(verdicts) == 1 else None
+            out.append(ConfirmedAssessment(kind, window_verdicts, confirmed))
+        return out

@@ -1,0 +1,121 @@
+"""Network-wide change screening.
+
+Mercury-style batch operation: walk the change-management log, assess
+every change with Litmus, and produce an operator-facing digest ordered by
+severity.  Changes whose control-group selection fails (no plausible
+peers) are reported as skipped rather than aborting the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.litmus import ChangeAssessmentReport, Litmus
+from ..core.verdict import Verdict
+from ..kpi.metrics import DEFAULT_KPIS, KpiKind
+from ..network.changes import ChangeEvent, ChangeLog
+from ..reporting.tables import render_table
+from ..selection.selector import SelectionError
+
+__all__ = ["ScreeningEntry", "ScreeningReport", "screen_changes"]
+
+#: Severity order for the digest: degradations first.
+_SEVERITY = {
+    Verdict.DEGRADATION: 0,
+    Verdict.IMPROVEMENT: 1,
+    Verdict.NO_IMPACT: 2,
+}
+
+
+@dataclass(frozen=True)
+class ScreeningEntry:
+    """One change's screening outcome."""
+
+    change: ChangeEvent
+    report: Optional[ChangeAssessmentReport]
+    skipped_reason: Optional[str] = None
+
+    @property
+    def verdict(self) -> Optional[Verdict]:
+        return self.report.overall_verdict() if self.report else None
+
+
+@dataclass(frozen=True)
+class ScreeningReport:
+    """Digest of a full change-log sweep."""
+
+    entries: Tuple[ScreeningEntry, ...]
+
+    @property
+    def degradations(self) -> List[ScreeningEntry]:
+        return [e for e in self.entries if e.verdict is Verdict.DEGRADATION]
+
+    @property
+    def skipped(self) -> List[ScreeningEntry]:
+        return [e for e in self.entries if e.report is None]
+
+    def counts(self) -> Dict[str, int]:
+        out = {"degradation": 0, "improvement": 0, "no-impact": 0, "skipped": 0}
+        for entry in self.entries:
+            if entry.verdict is None:
+                out["skipped"] += 1
+            else:
+                out[entry.verdict.value] += 1
+        return out
+
+    def to_text(self) -> str:
+        """Render the digest, most severe first."""
+        ordered = sorted(
+            self.entries,
+            key=lambda e: (
+                _SEVERITY.get(e.verdict, 3),
+                e.change.day,
+                e.change.change_id,
+            ),
+        )
+        rows = []
+        for entry in ordered:
+            if entry.report is None:
+                outcome = f"skipped ({entry.skipped_reason})"
+            else:
+                outcome = entry.verdict.value
+            rows.append(
+                [
+                    entry.change.change_id,
+                    entry.change.change_type.value,
+                    entry.change.day,
+                    len(entry.change.element_ids),
+                    outcome,
+                ]
+            )
+        counts = self.counts()
+        summary = ", ".join(f"{k}={v}" for k, v in counts.items())
+        table = render_table(
+            ["change", "type", "day", "study size", "outcome"],
+            rows,
+            title="Change screening digest",
+        )
+        return f"{table}\n{summary}"
+
+
+def screen_changes(
+    engine: Litmus,
+    log: ChangeLog,
+    kpis: Sequence[KpiKind] = DEFAULT_KPIS,
+) -> ScreeningReport:
+    """Assess every change in the log with the given engine.
+
+    Changes that cannot be assessed — no usable control group, or the KPI
+    store does not cover their window — are recorded as skipped with the
+    reason, so one unassessable change never aborts the sweep.
+    """
+    entries: List[ScreeningEntry] = []
+    for change in log:
+        try:
+            report = engine.assess(change, kpis)
+        except (SelectionError, ValueError, KeyError) as exc:
+            entries.append(ScreeningEntry(change, None, str(exc)))
+            continue
+        entries.append(ScreeningEntry(change, report))
+    return ScreeningReport(tuple(entries))

@@ -1,0 +1,12 @@
+"""Plain-text reporting: tables and terminal plots."""
+
+from .ascii_plot import line_plot, sparkline
+from .tables import format_percent, render_confusion_table, render_table
+
+__all__ = [
+    "format_percent",
+    "line_plot",
+    "render_confusion_table",
+    "render_table",
+    "sparkline",
+]

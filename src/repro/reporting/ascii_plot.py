@@ -1,0 +1,94 @@
+"""Terminal line plots for the figure experiments.
+
+The paper's figures are KPI time-series with annotated events; these
+helpers render them as ASCII so the benchmark harness and examples can show
+the regenerated shapes without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "line_plot"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of a series."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return ""
+    lo, hi = float(np.min(arr)), float(np.max(arr))
+    if hi == lo:
+        return _SPARK_CHARS[0] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)
+    return "".join(_SPARK_CHARS[int(round(v))] for v in scaled)
+
+
+def line_plot(
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: Optional[int] = None,
+    title: Optional[str] = None,
+    mark_x: Optional[int] = None,
+) -> str:
+    """Multi-series ASCII line plot.
+
+    Each named series becomes a distinct glyph; ``mark_x`` draws a vertical
+    line (e.g. at the change day).  Series are resampled onto a common
+    width when one is given.
+    """
+    if not series:
+        raise ValueError("line_plot requires at least one series")
+    if height < 3:
+        raise ValueError("height must be at least 3")
+
+    arrays = {name: np.asarray(v, dtype=float) for name, v in series.items()}
+    n = max(a.size for a in arrays.values())
+    if width is None:
+        width = min(n, 80)
+
+    def resample(a: np.ndarray) -> np.ndarray:
+        if a.size == width:
+            return a
+        x_old = np.linspace(0.0, 1.0, a.size)
+        x_new = np.linspace(0.0, 1.0, width)
+        return np.interp(x_new, x_old, a)
+
+    resampled = {name: resample(a) for name, a in arrays.items()}
+    all_vals = np.concatenate(list(resampled.values()))
+    lo, hi = float(np.min(all_vals)), float(np.max(all_vals))
+    if hi == lo:
+        hi = lo + 1.0
+
+    glyphs = "*o+x#@%&"
+    grid = [[" "] * width for _ in range(height)]
+
+    if mark_x is not None and n > 1:
+        col = int(round(mark_x / (n - 1) * (width - 1)))
+        if 0 <= col < width:
+            for r in range(height):
+                grid[r][col] = "|"
+
+    for idx, (name, arr) in enumerate(resampled.items()):
+        glyph = glyphs[idx % len(glyphs)]
+        for x, v in enumerate(arr):
+            y = int(round((v - lo) / (hi - lo) * (height - 1)))
+            row = height - 1 - y
+            grid[row][x] = glyph
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:.4g}".rjust(10))
+    for row in grid:
+        lines.append("    " + "".join(row))
+    lines.append(f"{lo:.4g}".rjust(10))
+    legend = "    " + "  ".join(
+        f"{glyphs[i % len(glyphs)]} {name}" for i, name in enumerate(resampled)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Plain-text table rendering for benchmark and CLI output."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # avoid a circular import; matrices are duck-typed below
+    from ..evaluation.metrics import ConfusionMatrix
+
+__all__ = ["render_table", "render_confusion_table", "format_percent"]
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """Format a ratio as a percentage string (``0.8235`` → ``'82.35 %'``)."""
+    return f"{100.0 * value:.{digits}f} %"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a boxed monospace table.
+
+    Cells are stringified with ``str``; floats keep their repr, so format
+    them before passing when precision matters.
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(sep_left: str, sep_mid: str, sep_right: str, fill: str) -> str:
+        return sep_left + sep_mid.join(fill * (w + 2) for w in widths) + sep_right
+
+    def render_row(row: Sequence[str]) -> str:
+        return "|" + "|".join(f" {c:<{w}} " for c, w in zip(row, widths)) + "|"
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line("+", "+", "+", "-"))
+    out.append(render_row(headers))
+    out.append(line("+", "+", "+", "="))
+    for row in cells:
+        out.append(render_row(row))
+    out.append(line("+", "+", "+", "-"))
+    return "\n".join(out)
+
+
+def render_confusion_table(
+    matrices: "Dict[str, ConfusionMatrix]", title: Optional[str] = None
+) -> str:
+    """Render per-algorithm confusion matrices in the paper's Table-2/4
+    summary layout (counts plus the four derived metrics)."""
+    headers = ["metric"] + list(matrices.keys())
+    rows: List[List[str]] = []
+    for label, attr in [
+        ("True positive", "tp"),
+        ("True negative", "tn"),
+        ("False positive", "fp"),
+        ("False negative", "fn"),
+    ]:
+        rows.append([label] + [str(getattr(m, attr)) for m in matrices.values()])
+    for label, attr in [
+        ("Precision", "precision"),
+        ("Recall", "recall"),
+        ("True negative rate", "true_negative_rate"),
+        ("Accuracy", "accuracy"),
+    ]:
+        rows.append(
+            [label] + [format_percent(getattr(m, attr)) for m in matrices.values()]
+        )
+    return render_table(headers, rows, title)

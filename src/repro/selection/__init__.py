@@ -1,0 +1,54 @@
+"""Domain-knowledge-guided control-group selection (Section 3.3)."""
+
+from .diagnostics import (
+    POOR_PREDICTOR_THRESHOLD,
+    ControlQuality,
+    QualityReport,
+    control_group_quality,
+)
+from .predicates import (
+    And,
+    AttributeEquals,
+    Not,
+    Or,
+    Predicate,
+    SameController,
+    SameParent,
+    SameRegion,
+    SameRole,
+    SameSoftwareVersion,
+    SameTechnology,
+    SameTerrain,
+    SameTrafficProfile,
+    SameVendor,
+    SameZipCode,
+    WithinDistanceKm,
+)
+from .selector import ControlGroup, ControlGroupSelector, SelectionError, default_predicate
+
+__all__ = [
+    "And",
+    "AttributeEquals",
+    "ControlGroup",
+    "ControlGroupSelector",
+    "ControlQuality",
+    "POOR_PREDICTOR_THRESHOLD",
+    "QualityReport",
+    "control_group_quality",
+    "Not",
+    "Or",
+    "Predicate",
+    "SameController",
+    "SameParent",
+    "SameRegion",
+    "SameRole",
+    "SameSoftwareVersion",
+    "SameTechnology",
+    "SameTerrain",
+    "SameTrafficProfile",
+    "SameVendor",
+    "SameZipCode",
+    "SelectionError",
+    "WithinDistanceKm",
+    "default_predicate",
+]

@@ -1,0 +1,134 @@
+"""Control-group quality diagnostics.
+
+Section 3.3's warning: the robust regression tolerates a *few* bad control
+members, but a mostly poor selection wrecks the forecast.  Before trusting
+an assessment, an operator wants to know: how well does each control track
+the study element, how well does the group as a whole forecast it, and
+which members look like lakeside towers in a business-district group?
+
+:func:`control_group_quality` answers with pre-change data only, so it can
+run before the change even executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.config import LitmusConfig
+from ..kpi.metrics import KpiKind
+from ..kpi.store import KpiStore
+from ..network.elements import ElementId
+from ..stats.correlation import pearson
+from ..stats.linreg import fit_ols
+from ..reporting.tables import render_table
+
+__all__ = ["ControlQuality", "QualityReport", "control_group_quality"]
+
+#: Pre-change correlation below which a control is flagged as a poor
+#: predictor (the business-vs-lakeside mismatch).
+POOR_PREDICTOR_THRESHOLD = 0.2
+
+
+@dataclass(frozen=True)
+class ControlQuality:
+    """Per-control diagnostics against one study element."""
+
+    control_id: ElementId
+    correlation: float
+    is_poor_predictor: bool
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Control-group quality for one (study element, KPI) pair."""
+
+    study_id: ElementId
+    kpi: KpiKind
+    controls: Tuple[ControlQuality, ...]
+    r_squared: float
+    coefficient_sum: float
+
+    @property
+    def n_poor(self) -> int:
+        return sum(1 for c in self.controls if c.is_poor_predictor)
+
+    @property
+    def usable(self) -> bool:
+        """A majority of the control group must be decent predictors and
+        the joint fit must explain a meaningful share of variance."""
+        if not self.controls:
+            return False
+        return self.n_poor <= len(self.controls) // 2 and self.r_squared >= 0.2
+
+    def to_text(self) -> str:
+        rows = [
+            [
+                c.control_id,
+                f"{c.correlation:+.3f}",
+                "POOR" if c.is_poor_predictor else "ok",
+            ]
+            for c in sorted(self.controls, key=lambda c: -c.correlation)
+        ]
+        table = render_table(
+            ["control", "corr", "flag"],
+            rows,
+            title=f"Control quality for {self.study_id} / {self.kpi.value}",
+        )
+        return (
+            f"{table}\n"
+            f"joint fit: R^2={self.r_squared:.3f}, sum(beta)={self.coefficient_sum:.3f}, "
+            f"{self.n_poor} poor predictor(s); "
+            f"{'USABLE' if self.usable else 'NOT USABLE — reselect'}"
+        )
+
+
+def control_group_quality(
+    store: KpiStore,
+    study_id: ElementId,
+    control_ids: Sequence[ElementId],
+    kpi: KpiKind,
+    change_day: int,
+    config: Optional[LitmusConfig] = None,
+) -> QualityReport:
+    """Diagnose a control group on pre-change data only."""
+    if not control_ids:
+        raise ValueError("control_ids must be non-empty")
+    cfg = config or LitmusConfig()
+    kind = KpiKind(kpi)
+    study = store.get(study_id, kind)
+    training = cfg.training_days * study.freq
+    before = study.before(change_day * study.freq, training)
+    if len(before) < cfg.window_days * study.freq:
+        raise ValueError(
+            f"study series does not cover the training window before day {change_day}"
+        )
+
+    controls: List[ControlQuality] = []
+    columns = []
+    usable_ids = []
+    for cid in control_ids:
+        series = store.get(cid, kind).window(before.start, before.end)
+        if len(series) != len(before):
+            continue
+        corr = pearson(before.values, series.values)
+        controls.append(
+            ControlQuality(cid, corr, corr < POOR_PREDICTOR_THRESHOLD)
+        )
+        columns.append(series.values)
+        usable_ids.append(cid)
+
+    if not columns:
+        raise ValueError("no control covers the study element's training window")
+
+    X = np.column_stack(columns)
+    model = fit_ols(X, before.values, intercept=False)
+    return QualityReport(
+        study_id=study_id,
+        kpi=kind,
+        controls=tuple(controls),
+        r_squared=model.r_squared(X, before.values),
+        coefficient_sum=float(model.coef.sum()),
+    )

@@ -1,0 +1,217 @@
+"""Predicate algebra for domain-knowledge-guided control-group selection.
+
+Section 3.3: Litmus "employs predicates to capture the dependency between
+the study and control group", built from attributes domain experts care
+about — geographic distance / zip code, topological structure, configuration
+(software version, equipment model, antenna parameters), terrain and
+traffic patterns.  Predicates can be uni-variate ("cell towers within the
+same zip code") or multi-variate, composed with :class:`And` / :class:`Or` /
+:class:`Not` ("towers sharing the common upstream RNC *and* the same OS").
+
+A predicate answers: *is this candidate a plausible control for this study
+element?*  Both elements and the topology are available, so structural
+predicates (shared controller) work alongside attribute ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..network.elements import NetworkElement
+from ..network.topology import Topology
+
+__all__ = [
+    "Predicate",
+    "And",
+    "Or",
+    "Not",
+    "SameZipCode",
+    "SameRegion",
+    "WithinDistanceKm",
+    "SameController",
+    "SameParent",
+    "SameTechnology",
+    "SameRole",
+    "SameSoftwareVersion",
+    "SameVendor",
+    "SameTerrain",
+    "SameTrafficProfile",
+    "AttributeEquals",
+]
+
+
+class Predicate:
+    """Base class; subclasses implement :meth:`matches`."""
+
+    def matches(
+        self, study: NetworkElement, candidate: NetworkElement, topology: Topology
+    ) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def describe(self) -> str:
+        """Human-readable form for selection diagnostics."""
+        return type(self).__name__
+
+
+class And(Predicate):
+    """All component predicates must match."""
+
+    def __init__(self, *predicates: Predicate) -> None:
+        if not predicates:
+            raise ValueError("And requires at least one predicate")
+        self.predicates = predicates
+
+    def matches(self, study, candidate, topology) -> bool:
+        return all(p.matches(study, candidate, topology) for p in self.predicates)
+
+    def describe(self) -> str:
+        return "(" + " and ".join(p.describe() for p in self.predicates) + ")"
+
+
+class Or(Predicate):
+    """Any component predicate may match."""
+
+    def __init__(self, *predicates: Predicate) -> None:
+        if not predicates:
+            raise ValueError("Or requires at least one predicate")
+        self.predicates = predicates
+
+    def matches(self, study, candidate, topology) -> bool:
+        return any(p.matches(study, candidate, topology) for p in self.predicates)
+
+    def describe(self) -> str:
+        return "(" + " or ".join(p.describe() for p in self.predicates) + ")"
+
+
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    def __init__(self, predicate: Predicate) -> None:
+        self.predicate = predicate
+
+    def matches(self, study, candidate, topology) -> bool:
+        return not self.predicate.matches(study, candidate, topology)
+
+    def describe(self) -> str:
+        return f"not {self.predicate.describe()}"
+
+
+class SameZipCode(Predicate):
+    """Geographic proximity via shared synthetic zip code."""
+
+    def matches(self, study, candidate, topology) -> bool:
+        return study.zip_code == candidate.zip_code
+
+
+class SameRegion(Predicate):
+    """Same coarse region — the minimum for shared external factors."""
+
+    def matches(self, study, candidate, topology) -> bool:
+        return study.region == candidate.region
+
+
+@dataclass
+class WithinDistanceKm(Predicate):
+    """Great-circle distance threshold."""
+
+    radius_km: float
+
+    def __post_init__(self) -> None:
+        if self.radius_km <= 0:
+            raise ValueError("radius_km must be positive")
+
+    def matches(self, study, candidate, topology) -> bool:
+        return study.distance_km(candidate) <= self.radius_km
+
+    def describe(self) -> str:
+        return f"WithinDistanceKm({self.radius_km:g})"
+
+
+class SameController(Predicate):
+    """Shares the study element's upstream controller (or, when the study
+    element *is* a controller, hangs off the same core parent)."""
+
+    def matches(self, study, candidate, topology) -> bool:
+        study_ctrl = topology.controller_of(study.element_id)
+        cand_ctrl = topology.controller_of(candidate.element_id)
+        if study_ctrl is None or cand_ctrl is None:
+            return False
+        if study_ctrl.element_id == study.element_id:
+            # Controller-level study group: compare parents instead.
+            return study.parent_id is not None and study.parent_id == candidate.parent_id
+        return study_ctrl.element_id == cand_ctrl.element_id
+
+
+class SameParent(Predicate):
+    """Direct siblings in the containment tree."""
+
+    def matches(self, study, candidate, topology) -> bool:
+        return study.parent_id is not None and study.parent_id == candidate.parent_id
+
+
+class SameTechnology(Predicate):
+    """Same radio access technology (GSM/UMTS/LTE)."""
+
+    def matches(self, study, candidate, topology) -> bool:
+        return study.technology == candidate.technology
+
+
+class SameRole(Predicate):
+    """Same element role — compare RNCs with RNCs, towers with towers."""
+
+    def matches(self, study, candidate, topology) -> bool:
+        return study.role == candidate.role
+
+
+class SameSoftwareVersion(Predicate):
+    """Same software load (configuration-similarity attribute)."""
+
+    def matches(self, study, candidate, topology) -> bool:
+        return study.software_version == candidate.software_version
+
+
+class SameVendor(Predicate):
+    """Same equipment vendor/model family."""
+
+    def matches(self, study, candidate, topology) -> bool:
+        return study.vendor == candidate.vendor
+
+
+class SameTerrain(Predicate):
+    """Same terrain class (urban/suburban/rural/...)."""
+
+    def matches(self, study, candidate, topology) -> bool:
+        return study.terrain == candidate.terrain
+
+
+class SameTrafficProfile(Predicate):
+    """Same served-population usage shape — filters out the business-vs-lake
+    mismatch that breaks Difference in Differences (Section 3.2)."""
+
+    def matches(self, study, candidate, topology) -> bool:
+        return study.traffic_profile == candidate.traffic_profile
+
+
+@dataclass
+class AttributeEquals(Predicate):
+    """Generic attribute equality over :meth:`NetworkElement.describe` keys."""
+
+    attribute: str
+
+    def matches(self, study, candidate, topology) -> bool:
+        s = study.describe()
+        c = candidate.describe()
+        if self.attribute not in s:
+            raise KeyError(f"unknown element attribute {self.attribute!r}")
+        return s[self.attribute] == c[self.attribute]
+
+    def describe(self) -> str:
+        return f"AttributeEquals({self.attribute!r})"

@@ -1,0 +1,180 @@
+"""Control group selection.
+
+Implements Section 3.3's guidelines: control elements must (i) be subject
+to the same external factors as the study group and (ii) share similar
+properties (geography, configuration, traffic) — while sitting *outside the
+change's impact scope*.  The selector also consults the change log to avoid
+candidates with their own changes near the assessment window (robust
+regression tolerates a few, but known conflicts are dropped up front), and
+bounds the group size: the paper intentionally keeps control groups at
+"10s-100s", not the whole network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..network.changes import ChangeEvent, ChangeLog
+from ..network.elements import ElementId, NetworkElement
+from ..network.topology import Topology
+from .predicates import Predicate, SameRegion, SameRole, SameTechnology
+
+__all__ = ["SelectionError", "ControlGroup", "ControlGroupSelector", "default_predicate"]
+
+
+class SelectionError(ValueError):
+    """Raised when no acceptable control group can be formed."""
+
+
+@dataclass(frozen=True)
+class ControlGroup:
+    """A selected control group plus diagnostics for the operator."""
+
+    element_ids: Tuple[ElementId, ...]
+    predicate: str
+    n_candidates: int
+    n_excluded_scope: int
+    n_excluded_conflicts: int
+    n_excluded_predicate: int
+
+    def __len__(self) -> int:
+        return len(self.element_ids)
+
+    def __iter__(self):
+        return iter(self.element_ids)
+
+
+def default_predicate() -> Predicate:
+    """The selection used in the paper's evaluation: same role and
+    technology within the same region (geographic proximity for LTE, same
+    upstream structure handled separately for GSM/UMTS)."""
+    return SameRole() & SameTechnology() & SameRegion()
+
+
+class ControlGroupSelector:
+    """Domain-knowledge-guided control-group selection engine."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        change_log: Optional[ChangeLog] = None,
+        min_size: int = 4,
+        max_size: int = 100,
+    ) -> None:
+        if min_size <= 0:
+            raise ValueError("min_size must be positive")
+        if max_size < min_size:
+            raise ValueError("max_size must be >= min_size")
+        self.topology = topology
+        self.change_log = change_log
+        self.min_size = min_size
+        self.max_size = max_size
+
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        study_ids: Sequence[ElementId],
+        predicate: Optional[Predicate] = None,
+        match: str = "any",
+        conflict_window_days: int = 14,
+        change: Optional[ChangeEvent] = None,
+    ) -> ControlGroup:
+        """Select a control group for the given study elements.
+
+        ``match='any'`` admits a candidate matching *any* study element
+        (the default — study groups spanning several sites each recruit
+        their neighbours); ``'all'`` requires matching every study element.
+        """
+        if not study_ids:
+            raise SelectionError("study group must be non-empty")
+        if match not in ("any", "all"):
+            raise ValueError(f"match must be 'any' or 'all', got {match!r}")
+        predicate = predicate or default_predicate()
+        study = [self.topology.get(eid) for eid in study_ids]
+
+        scope = self._impact_scope(study_ids)
+        candidates = [
+            e for e in self.topology if e.element_id not in scope
+        ]
+        n_candidates = len(candidates) + len(scope)
+        n_excluded_scope = len(scope)
+
+        matched: List[NetworkElement] = []
+        n_excluded_predicate = 0
+        for candidate in candidates:
+            hits = (
+                predicate.matches(s, candidate, self.topology) for s in study
+            )
+            ok = any(hits) if match == "any" else all(
+                predicate.matches(s, candidate, self.topology) for s in study
+            )
+            if ok:
+                matched.append(candidate)
+            else:
+                n_excluded_predicate += 1
+
+        matched, n_excluded_conflicts = self._drop_conflicted(
+            matched, change, conflict_window_days
+        )
+
+        if len(matched) < self.min_size:
+            raise SelectionError(
+                f"only {len(matched)} control candidates matched "
+                f"{predicate.describe()} (need >= {self.min_size}); relax the "
+                "predicate or widen the candidate pool"
+            )
+
+        matched = self._cap(matched, study)
+        return ControlGroup(
+            element_ids=tuple(e.element_id for e in matched),
+            predicate=predicate.describe(),
+            n_candidates=n_candidates,
+            n_excluded_scope=n_excluded_scope,
+            n_excluded_conflicts=n_excluded_conflicts,
+            n_excluded_predicate=n_excluded_predicate,
+        )
+
+    # ------------------------------------------------------------------
+    def _impact_scope(self, study_ids: Sequence[ElementId]) -> Set[ElementId]:
+        """The change's causal impact scope: each study element's subtree
+        plus its ancestor chain (a change at a tower can also move its
+        controller's aggregate KPIs)."""
+        scope: Set[ElementId] = set()
+        for eid in study_ids:
+            scope |= self.topology.subtree_ids(eid)
+            scope |= {a.element_id for a in self.topology.ancestors(eid)}
+        return scope
+
+    def _drop_conflicted(
+        self,
+        matched: List[NetworkElement],
+        change: Optional[ChangeEvent],
+        window_days: int,
+    ) -> Tuple[List[NetworkElement], int]:
+        if self.change_log is None or change is None:
+            return matched, 0
+        conflicted: Set[ElementId] = set()
+        ids = [e.element_id for e in matched]
+        for event in self.change_log.conflicting_events(change, ids, window_days):
+            conflicted |= set(event.element_ids)
+        kept = [e for e in matched if e.element_id not in conflicted]
+        return kept, len(matched) - len(kept)
+
+    def _cap(
+        self, matched: List[NetworkElement], study: List[NetworkElement]
+    ) -> List[NetworkElement]:
+        """Keep the closest ``max_size`` candidates to the study centroid —
+        nearer elements share external factors more reliably."""
+        if len(matched) <= self.max_size:
+            return sorted(matched, key=lambda e: e.element_id)
+        lat = sum(s.location.lat for s in study) / len(study)
+        lon = sum(s.location.lon for s in study) / len(study)
+        from ..network.geography import GeoPoint
+
+        centroid = GeoPoint(lat, lon)
+        ranked = sorted(
+            matched,
+            key=lambda e: (e.location.distance_km(centroid), e.element_id),
+        )
+        return sorted(ranked[: self.max_size], key=lambda e: e.element_id)

@@ -1,0 +1,94 @@
+"""Statistical substrate: time series, robust statistics, tests, regression.
+
+Everything the Litmus core and the evaluation harness need is implemented
+here from scratch on numpy — no scipy dependency — so the statistical
+behaviour of the reproduction is fully auditable.
+"""
+
+from .changepoint import (
+    ChangePoint,
+    ChangeSignature,
+    classify_signature,
+    cusum_changepoint,
+    detect_level_shift,
+    detect_ramp,
+)
+from .correlation import (
+    correlation_matrix,
+    cross_correlation,
+    distance_weights,
+    morans_i,
+    pearson,
+    spearman,
+)
+from .deseasonalize import (
+    remove_trend,
+    remove_weekly,
+    seasonally_adjust,
+    weekly_profile,
+)
+from .descriptive import (
+    Summary,
+    hodges_lehmann,
+    iqr,
+    mad,
+    robust_zscores,
+    summarize,
+    trimmed_mean,
+    winsorize,
+)
+from .linreg import LinearModel, fit_lasso, fit_ols, fit_ridge
+from .rank_tests import (
+    Alternative,
+    Direction,
+    TestResult,
+    compare_windows,
+    fligner_policello,
+    mann_whitney_u,
+    rankdata,
+    welch_t,
+)
+from .timeseries import Frequency, TimeSeries, align, stack
+
+__all__ = [
+    "Alternative",
+    "ChangePoint",
+    "ChangeSignature",
+    "Direction",
+    "Frequency",
+    "LinearModel",
+    "Summary",
+    "TestResult",
+    "TimeSeries",
+    "align",
+    "classify_signature",
+    "compare_windows",
+    "correlation_matrix",
+    "cross_correlation",
+    "cusum_changepoint",
+    "detect_level_shift",
+    "detect_ramp",
+    "distance_weights",
+    "fit_lasso",
+    "fit_ols",
+    "fit_ridge",
+    "fligner_policello",
+    "hodges_lehmann",
+    "iqr",
+    "mad",
+    "mann_whitney_u",
+    "morans_i",
+    "pearson",
+    "rankdata",
+    "robust_zscores",
+    "remove_trend",
+    "remove_weekly",
+    "seasonally_adjust",
+    "spearman",
+    "stack",
+    "summarize",
+    "trimmed_mean",
+    "welch_t",
+    "weekly_profile",
+    "winsorize",
+]

@@ -1,0 +1,161 @@
+"""Robust descriptive statistics.
+
+The Litmus pipeline leans on median-based summaries because KPI series from
+operational networks carry one-off outliers (a transient outage, a counter
+glitch) that must not dominate an assessment.  Everything here is implemented
+directly on numpy arrays and accepts any array-like input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "mad",
+    "trimmed_mean",
+    "winsorize",
+    "iqr",
+    "robust_zscores",
+    "hodges_lehmann",
+    "Summary",
+    "summarize",
+]
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+# Scale factor making the MAD a consistent estimator of the standard
+# deviation under normality (1 / Phi^{-1}(3/4)).
+_MAD_TO_SIGMA = 1.4826022185056018
+
+
+def _as_array(x: ArrayLike, name: str = "x") -> np.ndarray:
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def mad(x: ArrayLike, scale: bool = True) -> float:
+    """Median absolute deviation.
+
+    With ``scale=True`` (default) the MAD is multiplied by 1.4826 so it
+    estimates the standard deviation for Gaussian data.
+    """
+    arr = _as_array(x)
+    if arr.size == 0:
+        return float("nan")
+    raw = float(np.median(np.abs(arr - np.median(arr))))
+    return raw * _MAD_TO_SIGMA if scale else raw
+
+
+def trimmed_mean(x: ArrayLike, proportion: float = 0.1) -> float:
+    """Mean after symmetrically discarding a fraction of each tail.
+
+    ``proportion`` is the fraction trimmed from *each* end and must be in
+    ``[0, 0.5)``.
+    """
+    if not 0.0 <= proportion < 0.5:
+        raise ValueError(f"proportion must be in [0, 0.5), got {proportion}")
+    arr = np.sort(_as_array(x))
+    if arr.size == 0:
+        return float("nan")
+    k = int(arr.size * proportion)
+    trimmed = arr[k : arr.size - k]
+    return float(np.mean(trimmed))
+
+
+def winsorize(x: ArrayLike, proportion: float = 0.05) -> np.ndarray:
+    """Clamp a fraction of each tail to the nearest retained quantile."""
+    if not 0.0 <= proportion < 0.5:
+        raise ValueError(f"proportion must be in [0, 0.5), got {proportion}")
+    arr = _as_array(x).copy()
+    if arr.size == 0 or proportion == 0.0:
+        return arr
+    lo = np.quantile(arr, proportion)
+    hi = np.quantile(arr, 1.0 - proportion)
+    return np.clip(arr, lo, hi)
+
+
+def iqr(x: ArrayLike) -> float:
+    """Interquartile range (Q3 - Q1)."""
+    arr = _as_array(x)
+    if arr.size == 0:
+        return float("nan")
+    q1, q3 = np.quantile(arr, [0.25, 0.75])
+    return float(q3 - q1)
+
+
+def robust_zscores(x: ArrayLike) -> np.ndarray:
+    """Median/MAD-based z-scores, robust to outliers.
+
+    When the MAD is zero (more than half the samples identical) the IQR is
+    used as a fallback scale; if that is also zero the scores are all zero.
+    """
+    arr = _as_array(x)
+    if arr.size == 0:
+        return arr.copy()
+    center = np.median(arr)
+    scale = mad(arr)
+    if scale == 0.0:
+        scale = iqr(arr) / 1.349 if iqr(arr) > 0 else 0.0
+    if scale == 0.0:
+        return np.zeros_like(arr)
+    return (arr - center) / scale
+
+
+def hodges_lehmann(x: ArrayLike, y: ArrayLike) -> float:
+    """Hodges–Lehmann estimator of the shift between two samples.
+
+    The median of all pairwise differences ``x_i - y_j``; a robust,
+    rank-based effect-size companion to the rank tests in
+    :mod:`repro.stats.rank_tests`.
+    """
+    a = _as_array(x, "x")
+    b = _as_array(y, "y")
+    if a.size == 0 or b.size == 0:
+        return float("nan")
+    diffs = a[:, None] - b[None, :]
+    return float(np.median(diffs))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    n: int
+    mean: float
+    median: float
+    std: float
+    mad: float
+    min: float
+    max: float
+    q1: float
+    q3: float
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.q3 - self.q1
+
+
+def summarize(x: ArrayLike) -> Summary:
+    """Compute a :class:`Summary` for a sample."""
+    arr = _as_array(x)
+    if arr.size == 0:
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan, nan, nan, nan)
+    q1, q3 = np.quantile(arr, [0.25, 0.75])
+    return Summary(
+        n=int(arr.size),
+        mean=float(np.mean(arr)),
+        median=float(np.median(arr)),
+        std=float(np.std(arr, ddof=1)) if arr.size > 1 else 0.0,
+        mad=mad(arr),
+        min=float(np.min(arr)),
+        max=float(np.max(arr)),
+        q1=float(q1),
+        q3=float(q3),
+    )

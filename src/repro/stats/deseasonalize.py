@@ -1,0 +1,81 @@
+"""Seasonal adjustment utilities.
+
+An obvious objection to the paper's control-group machinery: "why not just
+deseasonalize the study series and compare before/after?"  These helpers
+implement exactly that — day-of-week adjustment and a trailing-baseline
+detrend — so the ablation benchmark can show why it is not enough: seasonal
+adjustment removes *periodic* structure, but the confounders that break
+study-only analysis (storms, holidays landing on arbitrary dates, upstream
+changes) are aperiodic.  Only a control group tracks those.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from .timeseries import TimeSeries
+
+__all__ = [
+    "weekly_profile",
+    "remove_weekly",
+    "remove_trend",
+    "seasonally_adjust",
+]
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def weekly_profile(series: TimeSeries) -> np.ndarray:
+    """Median value per day-of-week (day 0 of the axis is a Monday).
+
+    Computed with medians so one anomalous Tuesday does not distort the
+    Tuesday baseline.
+    """
+    if series.freq != 1:
+        raise ValueError("weekly_profile expects a daily series")
+    profile = np.empty(7)
+    dow = series.index % 7
+    for day in range(7):
+        values = series.values[dow == day]
+        profile[day] = np.median(values) if values.size else np.nan
+    overall = float(np.median(series.values)) if len(series) else np.nan
+    profile = np.where(np.isnan(profile), overall, profile)
+    return profile - overall  # offsets around the overall level
+
+
+def remove_weekly(series: TimeSeries, profile: np.ndarray = None) -> TimeSeries:
+    """Subtract the day-of-week offsets (estimated from the series itself
+    unless a pre-computed profile is given)."""
+    if profile is None:
+        profile = weekly_profile(series)
+    profile = np.asarray(profile, dtype=float)
+    if profile.shape != (7,):
+        raise ValueError("profile must have 7 entries")
+    dow = series.index % 7
+    return TimeSeries(series.values - profile[dow], series.start, series.freq)
+
+
+def remove_trend(series: TimeSeries, window: int = 28) -> TimeSeries:
+    """Subtract a trailing-median baseline (slow trend / annual drift).
+
+    Each sample is adjusted by the median of the preceding ``window``
+    samples (itself excluded), so a level shift at time t is *not* absorbed
+    until the window rolls past it — the adjustment removes slow
+    seasonality without erasing the change under test immediately.
+    """
+    if window < 3:
+        raise ValueError("window must be at least 3")
+    values = series.values
+    adjusted = np.empty_like(values)
+    for i in range(len(values)):
+        lo = max(0, i - window)
+        baseline = np.median(values[lo:i]) if i > lo else values[0]
+        adjusted[i] = values[i] - baseline
+    return TimeSeries(adjusted, series.start, series.freq)
+
+
+def seasonally_adjust(series: TimeSeries, trend_window: int = 28) -> TimeSeries:
+    """Full adjustment: weekly profile plus trailing-baseline detrend."""
+    return remove_trend(remove_weekly(series), trend_window)

@@ -1,0 +1,182 @@
+"""Linear regression estimators for the spatial dependency model.
+
+Litmus learns the dependency between the study series and the control-group
+series with plain least squares: the paper argues explicitly *against*
+sparsity regularization (ridge/lasso/l1), because a sparse fit concentrates
+forecast weight on a handful of control elements and a performance change in
+just one of them would then wreck the forecast.  Ridge and lasso are still
+implemented here so the ablation benchmarks can demonstrate that argument
+empirically.
+
+All estimators are written directly on numpy (lstsq / closed forms / ISTA);
+no scipy dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "LinearModel",
+    "fit_ols",
+    "fit_ridge",
+    "fit_lasso",
+]
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+@dataclass(frozen=True)
+class LinearModel:
+    """A fitted linear map from predictor matrix rows to a response.
+
+    ``coef`` has one entry per predictor column; ``intercept`` is separate.
+    """
+
+    coef: np.ndarray
+    intercept: float
+    method: str
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.coef, dtype=float).ravel()
+        arr = arr.copy()
+        arr.flags.writeable = False
+        object.__setattr__(self, "coef", arr)
+
+    @property
+    def n_predictors(self) -> int:
+        """Number of predictor columns the model was fitted on."""
+        return int(self.coef.size)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Forecast responses for each row of ``X``."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.coef.size:
+            raise ValueError(
+                f"predictor matrix must be (n, {self.coef.size}), got {X.shape}"
+            )
+        return X @ self.coef + self.intercept
+
+    def residuals(self, X: np.ndarray, y: ArrayLike) -> np.ndarray:
+        """Observed minus predicted responses."""
+        y = np.asarray(y, dtype=float).ravel()
+        return y - self.predict(X)
+
+    def r_squared(self, X: np.ndarray, y: ArrayLike) -> float:
+        """Coefficient of determination on the given data."""
+        y = np.asarray(y, dtype=float).ravel()
+        resid = self.residuals(X, y)
+        ss_res = float(np.sum(resid**2))
+        ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+        if ss_tot == 0.0:
+            return 1.0 if ss_res == 0.0 else 0.0
+        return 1.0 - ss_res / ss_tot
+
+
+def _check_xy(X: np.ndarray, y: ArrayLike) -> tuple:
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if X.shape[0] != y.size:
+        raise ValueError(f"X has {X.shape[0]} rows but y has {y.size} samples")
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit a regression on zero samples")
+    return X, y
+
+
+def fit_ols(X: np.ndarray, y: ArrayLike, intercept: bool = True) -> LinearModel:
+    """Ordinary least squares via ``numpy.linalg.lstsq``.
+
+    ``lstsq`` returns the minimum-norm solution when the system is
+    underdetermined (more control elements than pre-change samples), which
+    spreads weight across correlated predictors — exactly the
+    non-concentrating behaviour the robustness argument wants.
+    """
+    X, y = _check_xy(X, y)
+    if intercept:
+        design = np.column_stack([X, np.ones(X.shape[0])])
+    else:
+        design = X
+    beta, *_ = np.linalg.lstsq(design, y, rcond=None)
+    if intercept:
+        return LinearModel(beta[:-1], float(beta[-1]), "ols")
+    return LinearModel(beta, 0.0, "ols")
+
+
+def fit_ridge(
+    X: np.ndarray, y: ArrayLike, alpha: float = 1.0, intercept: bool = True
+) -> LinearModel:
+    """Ridge regression with closed-form normal equations.
+
+    The intercept is never penalised: the data are centred before solving.
+    """
+    if alpha < 0:
+        raise ValueError(f"alpha must be non-negative, got {alpha}")
+    X, y = _check_xy(X, y)
+    if intercept:
+        x_mean = X.mean(axis=0)
+        y_mean = float(np.mean(y))
+        Xc = X - x_mean
+        yc = y - y_mean
+    else:
+        x_mean = np.zeros(X.shape[1])
+        y_mean = 0.0
+        Xc, yc = X, y
+    p = X.shape[1]
+    gram = Xc.T @ Xc + alpha * np.eye(p)
+    coef = np.linalg.solve(gram, Xc.T @ yc)
+    b0 = y_mean - float(x_mean @ coef) if intercept else 0.0
+    return LinearModel(coef, b0, "ridge")
+
+
+def fit_lasso(
+    X: np.ndarray,
+    y: ArrayLike,
+    alpha: float = 0.1,
+    intercept: bool = True,
+    max_iter: int = 2000,
+    tol: float = 1e-8,
+) -> LinearModel:
+    """Lasso via ISTA (iterative shrinkage-thresholding).
+
+    Minimises ``(1/2n) ||y - Xb||^2 + alpha * ||b||_1``.  Provided for the
+    ablation that shows why sparse fits are fragile for this application.
+    """
+    if alpha < 0:
+        raise ValueError(f"alpha must be non-negative, got {alpha}")
+    X, y = _check_xy(X, y)
+    n = X.shape[0]
+    if intercept:
+        x_mean = X.mean(axis=0)
+        y_mean = float(np.mean(y))
+        Xc = X - x_mean
+        yc = y - y_mean
+    else:
+        x_mean = np.zeros(X.shape[1])
+        y_mean = 0.0
+        Xc, yc = X, y
+
+    # Lipschitz constant of the smooth part's gradient.
+    if Xc.size == 0:
+        return LinearModel(np.zeros(X.shape[1]), y_mean if intercept else 0.0, "lasso")
+    lip = float(np.linalg.norm(Xc, ord=2) ** 2) / n
+    if lip == 0.0:
+        return LinearModel(np.zeros(X.shape[1]), y_mean if intercept else 0.0, "lasso")
+    step = 1.0 / lip
+    thresh = alpha * step
+
+    coef = np.zeros(X.shape[1])
+    for _ in range(max_iter):
+        grad = Xc.T @ (Xc @ coef - yc) / n
+        candidate = coef - step * grad
+        new = np.sign(candidate) * np.maximum(np.abs(candidate) - thresh, 0.0)
+        if float(np.max(np.abs(new - coef))) < tol:
+            coef = new
+            break
+        coef = new
+    b0 = y_mean - float(x_mean @ coef) if intercept else 0.0
+    return LinearModel(coef, b0, "lasso")

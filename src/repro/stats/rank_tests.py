@@ -1,0 +1,375 @@
+"""Nonparametric two-sample tests used by the assessment algorithms.
+
+The paper compares forecast-difference windows before and after a change
+with *robust rank-order tests* (Fligner–Policello), citing Feltovich (2003)
+and Lanzante (1996): rank-based procedures resist one-off outliers and pick
+up level shifts and ramps without distributional assumptions.  This module
+implements, from scratch on numpy:
+
+* :func:`mann_whitney_u` — the Wilcoxon–Mann–Whitney test with tie-corrected
+  normal approximation and an exact small-sample null distribution,
+* :func:`fligner_policello` — the robust rank-order test, which unlike
+  Mann–Whitney does not assume equal variances under the null,
+* :func:`welch_t` — Welch's t-test, kept as an ablation baseline,
+* :func:`compare_windows` — the directional decision rule used by Litmus.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "Alternative",
+    "Direction",
+    "TestResult",
+    "mann_whitney_u",
+    "fligner_policello",
+    "welch_t",
+    "rankdata",
+    "compare_windows",
+]
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+class Alternative(str, enum.Enum):
+    """Alternative hypotheses for the two-sample tests."""
+
+    TWO_SIDED = "two-sided"
+    GREATER = "greater"  # first sample stochastically greater
+    LESS = "less"
+
+
+class Direction(str, enum.Enum):
+    """Directional outcome of a before/after window comparison."""
+
+    INCREASE = "increase"
+    DECREASE = "decrease"
+    NO_CHANGE = "no-change"
+
+    def flipped(self) -> "Direction":
+        """The opposite direction (no-change maps to itself)."""
+        if self is Direction.INCREASE:
+            return Direction.DECREASE
+        if self is Direction.DECREASE:
+            return Direction.INCREASE
+        return Direction.NO_CHANGE
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of a two-sample hypothesis test."""
+
+    statistic: float
+    p_value: float
+    alternative: Alternative
+    method: str
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """True when the null hypothesis is rejected at level ``alpha``."""
+        return self.p_value < alpha
+
+
+def _normal_sf(z: float) -> float:
+    """Survival function of the standard normal distribution."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def _validate(x: ArrayLike, y: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(x, dtype=float).ravel()
+    b = np.asarray(y, dtype=float).ravel()
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both samples must be non-empty")
+    if np.isnan(a).any() or np.isnan(b).any():
+        raise ValueError("samples must not contain NaN")
+    return a, b
+
+
+def rankdata(values: ArrayLike) -> np.ndarray:
+    """Midranks (average ranks for ties), 1-based, like ``scipy.stats.rankdata``."""
+    arr = np.asarray(values, dtype=float).ravel()
+    order = np.argsort(arr, kind="mergesort")
+    ranks = np.empty(arr.size, dtype=float)
+    sorted_vals = arr[order]
+    i = 0
+    while i < arr.size:
+        j = i
+        while j + 1 < arr.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        avg = 0.5 * (i + j) + 1.0
+        ranks[order[i : j + 1]] = avg
+        i = j + 1
+    return ranks
+
+
+@lru_cache(maxsize=4096)
+def _u_count(m: int, n: int, u: int) -> int:
+    """Number of arrangements with Mann–Whitney statistic exactly ``u``.
+
+    Classic recursion: f(m, n, u) = f(m-1, n, u-n) + f(m, n-1, u).
+    """
+    if u < 0 or u > m * n:
+        return 0
+    if m == 0 or n == 0:
+        return 1 if u == 0 else 0
+    return _u_count(m - 1, n, u - n) + _u_count(m, n - 1, u)
+
+
+def _u_exact_sf(m: int, n: int, u: float) -> float:
+    """Exact P(U >= u) under the null, no ties."""
+    total = math.comb(m + n, m)
+    u_ceil = math.ceil(u - 1e-12)
+    count = sum(_u_count(m, n, k) for k in range(u_ceil, m * n + 1))
+    return count / total
+
+
+def mann_whitney_u(
+    x: ArrayLike,
+    y: ArrayLike,
+    alternative: Alternative = Alternative.TWO_SIDED,
+    exact_threshold: int = 12,
+) -> TestResult:
+    """Wilcoxon–Mann–Whitney test that ``x`` and ``y`` share a distribution.
+
+    The statistic reported is ``U`` for the first sample (number of pairs
+    ``(x_i, y_j)`` with ``x_i > y_j``, ties counted half).  For small,
+    tie-free samples (both sizes <= ``exact_threshold``) the exact null
+    distribution is used; otherwise the tie-corrected normal approximation
+    with continuity correction.
+    """
+    a, b = _validate(x, y)
+    alternative = Alternative(alternative)
+    m, n = a.size, b.size
+
+    combined = np.concatenate([a, b])
+    ranks = rankdata(combined)
+    r_a = float(np.sum(ranks[:m]))
+    u_a = r_a - m * (m + 1) / 2.0  # pairs where x beats y (ties half)
+    has_ties = np.unique(combined).size != combined.size
+
+    if not has_ties and m <= exact_threshold and n <= exact_threshold:
+        sf_greater = _u_exact_sf(m, n, u_a)
+        sf_less = _u_exact_sf(n, m, m * n - u_a)
+        if alternative is Alternative.GREATER:
+            p = sf_greater
+        elif alternative is Alternative.LESS:
+            p = sf_less
+        else:
+            p = min(1.0, 2.0 * min(sf_greater, sf_less))
+        return TestResult(u_a, p, alternative, "mann-whitney-exact")
+
+    mu = m * n / 2.0
+    counts = np.unique(combined, return_counts=True)[1]
+    tie_term = float(np.sum(counts**3 - counts))
+    total = m + n
+    var = m * n / 12.0 * ((total + 1) - tie_term / (total * (total - 1)))
+    if var <= 0:
+        # All values identical: no evidence of difference.
+        return TestResult(u_a, 1.0, alternative, "mann-whitney-normal")
+    sd = math.sqrt(var)
+    # Continuity correction toward the mean.
+    if alternative is Alternative.GREATER:
+        z = (u_a - mu - 0.5) / sd
+        p = _normal_sf(z)
+    elif alternative is Alternative.LESS:
+        z = (u_a - mu + 0.5) / sd
+        p = _normal_sf(-z)
+    else:
+        z = (u_a - mu - math.copysign(0.5, u_a - mu)) / sd if u_a != mu else 0.0
+        p = min(1.0, 2.0 * _normal_sf(abs(z)))
+    return TestResult(u_a, p, alternative, "mann-whitney-normal")
+
+
+def fligner_policello(
+    x: ArrayLike,
+    y: ArrayLike,
+    alternative: Alternative = Alternative.TWO_SIDED,
+) -> TestResult:
+    """Fligner–Policello robust rank-order test.
+
+    Tests ``P(X > Y) = 1/2`` without assuming equal variances — the "robust
+    rank-order test" the paper uses to compare forecast differences.  The
+    statistic is asymptotically standard normal; ties contribute half
+    placements (Feltovich 2003).
+
+    A positive statistic indicates the first sample tends to exceed the
+    second.
+    """
+    a, b = _validate(x, y)
+    alternative = Alternative(alternative)
+    m, n = a.size, b.size
+    if m < 2 or n < 2:
+        raise ValueError("fligner_policello needs at least 2 samples per group")
+
+    # Placements: for each a_i the count of b_j below it (ties count 1/2).
+    b_sorted = np.sort(b)
+    p_a = np.searchsorted(b_sorted, a, side="left") + 0.5 * (
+        np.searchsorted(b_sorted, a, side="right") - np.searchsorted(b_sorted, a, side="left")
+    )
+    a_sorted = np.sort(a)
+    p_b = np.searchsorted(a_sorted, b, side="left") + 0.5 * (
+        np.searchsorted(a_sorted, b, side="right") - np.searchsorted(a_sorted, b, side="left")
+    )
+
+    pbar_a = float(np.mean(p_a))
+    pbar_b = float(np.mean(p_b))
+    v_a = float(np.sum((p_a - pbar_a) ** 2))
+    v_b = float(np.sum((p_b - pbar_b) ** 2))
+
+    denom_sq = v_a + v_b + pbar_a * pbar_b
+    num = float(np.sum(p_a) - np.sum(p_b))
+    if denom_sq <= 0:
+        # Happens when the samples are completely separated with zero
+        # placement variance (or identical constants).  Perfect separation
+        # is maximal evidence; identical constants are no evidence.
+        if num == 0:
+            return TestResult(0.0, 1.0, alternative, "fligner-policello")
+        z = math.copysign(float("inf"), num)
+    else:
+        z = num / (2.0 * math.sqrt(denom_sq))
+
+    if alternative is Alternative.GREATER:
+        p = _normal_sf(z)
+    elif alternative is Alternative.LESS:
+        p = _normal_sf(-z)
+    else:
+        p = min(1.0, 2.0 * _normal_sf(abs(z)))
+    return TestResult(z, p, alternative, "fligner-policello")
+
+
+def welch_t(
+    x: ArrayLike,
+    y: ArrayLike,
+    alternative: Alternative = Alternative.TWO_SIDED,
+) -> TestResult:
+    """Welch's unequal-variance t-test (ablation baseline, not robust)."""
+    a, b = _validate(x, y)
+    alternative = Alternative(alternative)
+    m, n = a.size, b.size
+    if m < 2 or n < 2:
+        raise ValueError("welch_t needs at least 2 samples per group")
+    va = float(np.var(a, ddof=1))
+    vb = float(np.var(b, ddof=1))
+    se_sq = va / m + vb / n
+    if se_sq == 0:
+        diff = float(np.mean(a) - np.mean(b))
+        if diff == 0:
+            return TestResult(0.0, 1.0, alternative, "welch-t")
+        t = math.copysign(float("inf"), diff)
+        df = float(m + n - 2)
+    else:
+        t = float((np.mean(a) - np.mean(b)) / math.sqrt(se_sq))
+        # Welch–Satterthwaite; the denominator can underflow to zero for
+        # denormal variances even when se_sq did not.
+        denom = (va / m) ** 2 / (m - 1) + (vb / n) ** 2 / (n - 1)
+        df = se_sq**2 / denom if denom > 0.0 else float(m + n - 2)
+
+    p_greater = _t_sf(t, df)
+    if alternative is Alternative.GREATER:
+        p = p_greater
+    elif alternative is Alternative.LESS:
+        p = 1.0 - p_greater if math.isfinite(t) else (1.0 if t > 0 else 0.0)
+    else:
+        p = min(1.0, 2.0 * min(p_greater, 1.0 - p_greater)) if math.isfinite(t) else 0.0
+    return TestResult(t, p, alternative, "welch-t")
+
+
+def _t_sf(t: float, df: float) -> float:
+    """Survival function of Student's t via the incomplete beta function."""
+    if not math.isfinite(t):
+        return 0.0 if t > 0 else 1.0
+    if df <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    x = df / (df + t * t)
+    prob = 0.5 * _betainc_regularized(df / 2.0, 0.5, x)
+    return prob if t > 0 else 1.0 - prob
+
+
+def _betainc_regularized(a: float, b: float, x: float) -> float:
+    """Regularized incomplete beta function I_x(a, b) via continued fraction."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log(1.0 - x)
+    )
+    front = math.exp(ln_front)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_cf(a, b, x) / a
+    return 1.0 - front * _beta_cf(b, a, 1.0 - x) / b
+
+
+def _beta_cf(a: float, b: float, x: float, max_iter: int = 200, eps: float = 1e-12) -> float:
+    """Lentz continued fraction for the incomplete beta function."""
+    tiny = 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, max_iter + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < eps:
+            break
+    return h
+
+
+def compare_windows(
+    after: ArrayLike,
+    before: ArrayLike,
+    alpha: float = 0.05,
+    test: str = "fligner-policello",
+) -> Direction:
+    """Directional decision rule used throughout Litmus.
+
+    Compares the post-change window against the pre-change window with the
+    chosen two-sample test and returns whether the series significantly
+    increased, decreased, or shows no change at level ``alpha``.
+    """
+    tests = {
+        "fligner-policello": fligner_policello,
+        "mann-whitney": mann_whitney_u,
+        "welch-t": welch_t,
+    }
+    if test not in tests:
+        raise ValueError(f"unknown test {test!r}; use one of {sorted(tests)}")
+    fn = tests[test]
+    up = fn(after, before, Alternative.GREATER)
+    if up.p_value < alpha:
+        return Direction.INCREASE
+    down = fn(after, before, Alternative.LESS)
+    if down.p_value < alpha:
+        return Direction.DECREASE
+    return Direction.NO_CHANGE

@@ -1,0 +1,303 @@
+"""Time-series container used throughout the library.
+
+KPI measurements in cellular networks arrive as regularly sampled series
+(hourly or daily aggregates per network element).  :class:`TimeSeries` is a
+small immutable wrapper around a numpy vector plus a time axis expressed as
+integer sample indices relative to a configurable epoch.  It supports the
+operations the Litmus pipeline needs: windowing around a change point,
+alignment of several series onto a common axis, aggregation from hourly to
+daily resolution and elementwise arithmetic.
+
+The class intentionally avoids any dependency on wall-clock datetimes: the
+simulators and the assessment algorithms only ever reason about sample
+offsets ("14 days before the change"), which keeps the math exact and the
+tests deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "Frequency",
+    "TimeSeries",
+    "align",
+    "stack",
+]
+
+
+class Frequency:
+    """Sampling frequencies understood by :class:`TimeSeries`.
+
+    Values are the number of samples per day, which makes resampling
+    arithmetic trivial.
+    """
+
+    HOURLY = 24
+    DAILY = 1
+
+    _NAMES = {24: "hourly", 1: "daily"}
+
+    @classmethod
+    def name(cls, samples_per_day: int) -> str:
+        """Return a human-readable name for a frequency value."""
+        return cls._NAMES.get(samples_per_day, f"{samples_per_day}/day")
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """A regularly sampled series of KPI values.
+
+    Parameters
+    ----------
+    values:
+        The measurements, one per sample.  Stored as a read-only
+        ``float64`` numpy array.
+    start:
+        Index of the first sample on the global time axis.  Two series
+        with the same frequency share a time axis, so ``start`` lets a
+        series begin mid-experiment.
+    freq:
+        Samples per day (``Frequency.HOURLY`` or ``Frequency.DAILY``).
+    """
+
+    values: np.ndarray
+    start: int = 0
+    freq: int = Frequency.DAILY
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.values, dtype=float)
+        if arr.ndim != 1:
+            raise ValueError(f"TimeSeries values must be 1-D, got shape {arr.shape}")
+        arr = arr.copy()
+        arr.flags.writeable = False
+        object.__setattr__(self, "values", arr)
+        if self.freq <= 0:
+            raise ValueError(f"freq must be positive, got {self.freq}")
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values)
+
+    def __getitem__(self, item: Union[int, slice]) -> Union[float, "TimeSeries"]:
+        if isinstance(item, slice):
+            if item.step not in (None, 1):
+                raise ValueError("TimeSeries slicing does not support a step")
+            start, stop, _ = item.indices(len(self.values))
+            return TimeSeries(self.values[start:stop], self.start + start, self.freq)
+        return float(self.values[item])
+
+    @property
+    def end(self) -> int:
+        """Index one past the last sample on the global axis."""
+        return self.start + len(self.values)
+
+    @property
+    def index(self) -> np.ndarray:
+        """Global sample indices for each value."""
+        return np.arange(self.start, self.end)
+
+    @property
+    def duration_days(self) -> float:
+        """Length of the series expressed in days."""
+        return len(self.values) / self.freq
+
+    def is_empty(self) -> bool:
+        """Return True when the series holds no samples."""
+        return len(self.values) == 0
+
+    # ------------------------------------------------------------------
+    # Windowing
+    # ------------------------------------------------------------------
+    def window(self, start: int, stop: int) -> "TimeSeries":
+        """Return the sub-series covering global indices ``[start, stop)``.
+
+        The window is clipped to the available samples; asking for a window
+        entirely outside the series yields an empty series.
+        """
+        lo = max(start, self.start)
+        hi = min(stop, self.end)
+        if hi <= lo:
+            return TimeSeries(np.empty(0), start, self.freq)
+        return TimeSeries(self.values[lo - self.start : hi - self.start], lo, self.freq)
+
+    def before(self, pivot: int, length: int) -> "TimeSeries":
+        """Samples in ``[pivot - length, pivot)`` — the pre-change window."""
+        return self.window(pivot - length, pivot)
+
+    def after(self, pivot: int, length: int) -> "TimeSeries":
+        """Samples in ``[pivot, pivot + length)`` — the post-change window."""
+        return self.window(pivot, pivot + length)
+
+    def split(self, pivot: int) -> Tuple["TimeSeries", "TimeSeries"]:
+        """Split at a global index into (before, after)."""
+        return self.window(self.start, pivot), self.window(pivot, self.end)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[np.ndarray], np.ndarray]) -> "TimeSeries":
+        """Apply a vectorised function to the values."""
+        out = np.asarray(fn(self.values), dtype=float)
+        if out.shape != self.values.shape:
+            raise ValueError("map function must preserve the series length")
+        return TimeSeries(out, self.start, self.freq)
+
+    def shift_values(self, delta: float) -> "TimeSeries":
+        """Add a constant to every sample."""
+        return TimeSeries(self.values + delta, self.start, self.freq)
+
+    def scale(self, factor: float) -> "TimeSeries":
+        """Multiply every sample by a constant."""
+        return TimeSeries(self.values * factor, self.start, self.freq)
+
+    def clip(self, lo: float, hi: float) -> "TimeSeries":
+        """Clip samples into ``[lo, hi]`` (KPI ratios live in [0, 1])."""
+        return TimeSeries(np.clip(self.values, lo, hi), self.start, self.freq)
+
+    def diff(self) -> "TimeSeries":
+        """First difference; one sample shorter, starts one index later."""
+        if len(self.values) < 2:
+            return TimeSeries(np.empty(0), self.start + 1, self.freq)
+        return TimeSeries(np.diff(self.values), self.start + 1, self.freq)
+
+    def rolling_mean(self, window: int) -> "TimeSeries":
+        """Trailing moving average with the given window size."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if window > len(self.values):
+            return TimeSeries(np.empty(0), self.start, self.freq)
+        kernel = np.ones(window) / window
+        smoothed = np.convolve(self.values, kernel, mode="valid")
+        return TimeSeries(smoothed, self.start + window - 1, self.freq)
+
+    def resample_daily(self, how: str = "mean") -> "TimeSeries":
+        """Aggregate an hourly (or finer) series into daily samples.
+
+        Partial days at either end are dropped so every output sample
+        aggregates a full day, matching the carrier practice of reporting
+        daily KPI aggregates.
+        """
+        if self.freq == Frequency.DAILY:
+            return self
+        per_day = self.freq
+        # Align to day boundaries on the global axis.
+        first_day = -(-self.start // per_day)  # ceil division
+        lo = first_day * per_day
+        n_days = (self.end - lo) // per_day
+        if n_days <= 0:
+            return TimeSeries(np.empty(0), first_day, Frequency.DAILY)
+        block = self.values[lo - self.start : lo - self.start + n_days * per_day]
+        block = block.reshape(n_days, per_day)
+        reducers = {
+            "mean": np.mean,
+            "median": np.median,
+            "sum": np.sum,
+            "min": np.min,
+            "max": np.max,
+        }
+        if how not in reducers:
+            raise ValueError(f"unknown aggregation {how!r}; use one of {sorted(reducers)}")
+        return TimeSeries(reducers[how](block, axis=1), first_day, Frequency.DAILY)
+
+    # ------------------------------------------------------------------
+    # Arithmetic (axis-aligned)
+    # ------------------------------------------------------------------
+    def _binary(self, other: Union["TimeSeries", float], op: Callable) -> "TimeSeries":
+        if isinstance(other, TimeSeries):
+            if other.freq != self.freq:
+                raise ValueError("cannot combine series with different frequencies")
+            lo = max(self.start, other.start)
+            hi = min(self.end, other.end)
+            if hi <= lo:
+                return TimeSeries(np.empty(0), lo, self.freq)
+            a = self.values[lo - self.start : hi - self.start]
+            b = other.values[lo - other.start : hi - other.start]
+            return TimeSeries(op(a, b), lo, self.freq)
+        return TimeSeries(op(self.values, float(other)), self.start, self.freq)
+
+    def __add__(self, other: Union["TimeSeries", float]) -> "TimeSeries":
+        return self._binary(other, np.add)
+
+    def __sub__(self, other: Union["TimeSeries", float]) -> "TimeSeries":
+        return self._binary(other, np.subtract)
+
+    def __mul__(self, other: Union["TimeSeries", float]) -> "TimeSeries":
+        return self._binary(other, np.multiply)
+
+    def __truediv__(self, other: Union["TimeSeries", float]) -> "TimeSeries":
+        return self._binary(other, np.divide)
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        """Arithmetic mean of the samples."""
+        return float(np.mean(self.values)) if len(self.values) else float("nan")
+
+    def median(self) -> float:
+        """Median of the samples."""
+        return float(np.median(self.values)) if len(self.values) else float("nan")
+
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1; 0.0 for singleton series)."""
+        if len(self.values) < 2:
+            return 0.0
+        return float(np.std(self.values, ddof=1))
+
+    def min(self) -> float:
+        """Smallest sample."""
+        return float(np.min(self.values)) if len(self.values) else float("nan")
+
+    def max(self) -> float:
+        """Largest sample."""
+        return float(np.max(self.values)) if len(self.values) else float("nan")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        freq = Frequency.name(self.freq)
+        return (
+            f"TimeSeries(n={len(self.values)}, start={self.start}, freq={freq}, "
+            f"mean={self.mean():.4g})"
+        )
+
+
+def align(series: Sequence[TimeSeries]) -> Tuple[np.ndarray, int]:
+    """Align several series onto their common time span.
+
+    Returns ``(matrix, start)`` where ``matrix`` has one column per input
+    series restricted to the overlapping index range, and ``start`` is the
+    global index of the first row.  Raises ``ValueError`` when the inputs
+    share no overlap or mix frequencies.
+    """
+    if not series:
+        raise ValueError("align requires at least one series")
+    freqs = {s.freq for s in series}
+    if len(freqs) != 1:
+        raise ValueError(f"cannot align series with mixed frequencies: {sorted(freqs)}")
+    lo = max(s.start for s in series)
+    hi = min(s.end for s in series)
+    if hi <= lo:
+        raise ValueError("series do not overlap in time")
+    cols = [s.values[lo - s.start : hi - s.start] for s in series]
+    return np.column_stack(cols), lo
+
+
+def stack(series: Iterable[TimeSeries]) -> np.ndarray:
+    """Stack same-shaped, same-start series into a (time, element) matrix."""
+    items = list(series)
+    if not items:
+        raise ValueError("stack requires at least one series")
+    n = len(items[0])
+    start = items[0].start
+    for s in items:
+        if len(s) != n or s.start != start:
+            raise ValueError("stack requires identically indexed series; use align()")
+    return np.column_stack([s.values for s in items])

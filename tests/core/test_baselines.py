@@ -1,0 +1,148 @@
+"""Tests for repro.core.baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    DifferenceInDifferences,
+    StudyOnlyAnalysis,
+    did_measure,
+)
+from repro.core.config import AssessmentConfig
+from repro.stats.rank_tests import Direction
+
+
+def synth(seed=0, n_before=70, n_after=14, n_controls=8, loading_spread=0.0):
+    """Shared-factor study/control windows with white local noise."""
+    rng = np.random.default_rng(seed)
+    T = n_before + n_after
+    factor = np.cumsum(rng.normal(0, 0.3, T))  # persistent common factor
+    study = factor + rng.normal(0, 1.0, T)
+    controls = np.column_stack(
+        [
+            (1.0 + loading_spread * rng.uniform(-1, 1)) * factor
+            + rng.normal(0, 1.0, T)
+            for _ in range(n_controls)
+        ]
+    )
+    return (
+        study[:n_before],
+        study[n_before:],
+        controls[:n_before],
+        controls[n_before:],
+    )
+
+
+class TestStudyOnly:
+    def test_detects_study_shift(self):
+        yb, ya, xb, xa = synth(1)
+        result = StudyOnlyAnalysis().compare(yb, ya + 8.0, xb, xa)
+        assert result.direction is Direction.INCREASE
+
+    def test_no_change_when_clean(self):
+        yb, ya, xb, xa = synth(2)
+        result = StudyOnlyAnalysis().compare(yb, ya, xb, xa)
+        assert result.direction is Direction.NO_CHANGE
+
+    def test_ignores_controls(self):
+        yb, ya, xb, xa = synth(3)
+        with_ctrl = StudyOnlyAnalysis().compare(yb, ya, xb, xa)
+        without = StudyOnlyAnalysis().compare(yb, ya)
+        assert with_ctrl.direction == without.direction
+        assert with_ctrl.p_value_increase == without.p_value_increase
+
+    def test_blind_to_shared_confounder(self):
+        """The documented failure: a factor hitting study AND control looks
+        like a change impact to study-only analysis."""
+        yb, ya, xb, xa = synth(4)
+        result = StudyOnlyAnalysis().compare(yb, ya + 8.0, xb, xa + 8.0)
+        assert result.direction is Direction.INCREASE  # false positive
+
+    def test_uses_symmetric_comparison_window(self):
+        """Extra history in `before` must not dilute the comparison."""
+        rng = np.random.default_rng(5)
+        old_regime = rng.normal(50.0, 1.0, 56)  # ancient history, far away
+        recent = rng.normal(0.0, 1.0, 14)
+        after = rng.normal(0.0, 1.0, 14)
+        result = StudyOnlyAnalysis().compare(
+            np.concatenate([old_regime, recent]), after
+        )
+        assert result.direction is Direction.NO_CHANGE
+
+    def test_minimum_samples(self):
+        with pytest.raises(ValueError):
+            StudyOnlyAnalysis().compare(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_effect_gate_blocks_tiny_shifts(self):
+        """Statistically detectable but immaterial shifts are not reported."""
+        rng = np.random.default_rng(6)
+        before = rng.normal(0, 1.0, 200)
+        after = rng.normal(0.3, 1.0, 200)  # 0.3 sigma: below the 1.5 gate
+        cfg = AssessmentConfig(min_effect_sigmas=1.5)
+        result = StudyOnlyAnalysis(cfg).compare(before, after)
+        assert result.direction is Direction.NO_CHANGE
+
+
+class TestDidMeasure:
+    def test_zero_for_parallel_movement(self):
+        yb = np.array([1.0, 2.0])
+        ya = np.array([3.0, 4.0])  # +2
+        xb = np.array([[5.0], [6.0]])
+        xa = np.array([[7.0], [8.0]])  # +2
+        d = did_measure(yb, ya, xb, xa)
+        assert d[0] == pytest.approx(0.0)
+
+    def test_relative_shift_recovered(self):
+        yb = np.zeros(10)
+        ya = np.full(10, 5.0)
+        xb = np.zeros((10, 3))
+        xa = np.full((10, 3), 2.0)
+        d = did_measure(yb, ya, xb, xa)
+        assert np.allclose(d, 3.0)
+
+    def test_median_statistic(self):
+        yb, ya = np.zeros(5), np.full(5, 4.0)
+        xb = np.zeros((5, 1))
+        xa = np.full((5, 1), 1.0)
+        d = did_measure(yb, ya, xb, xa, h=np.median)
+        assert d[0] == pytest.approx(3.0)
+
+    def test_column_mismatch(self):
+        with pytest.raises(ValueError):
+            did_measure(np.zeros(3), np.zeros(3), np.zeros((3, 2)), np.zeros((3, 3)))
+
+
+class TestDifferenceInDifferences:
+    def test_requires_controls(self):
+        yb, ya, _, _ = synth(7)
+        with pytest.raises(ValueError, match="control group"):
+            DifferenceInDifferences().compare(yb, ya)
+
+    def test_cancels_shared_confounder(self):
+        yb, ya, xb, xa = synth(8)
+        result = DifferenceInDifferences().compare(yb, ya + 8.0, xb, xa + 8.0)
+        assert result.direction is Direction.NO_CHANGE
+
+    def test_detects_relative_shift(self):
+        yb, ya, xb, xa = synth(9)
+        result = DifferenceInDifferences().compare(yb, ya + 6.0, xb, xa)
+        assert result.direction is Direction.INCREASE
+
+    def test_detects_control_side_change(self):
+        yb, ya, xb, xa = synth(10)
+        result = DifferenceInDifferences().compare(yb, ya, xb, xa + 6.0)
+        assert result.direction is Direction.DECREASE
+
+    def test_contamination_shifts_equal_weight_mean(self):
+        """One contaminated control out of four shifts the DiD mean by a
+        quarter of its drift — the documented fragility."""
+        yb, ya, xb, xa = synth(11, n_controls=4)
+        xa = xa.copy()
+        xa[:, 0] += 20.0  # unrelated change at one control
+        result = DifferenceInDifferences().compare(yb, ya, xb, xa)
+        assert result.direction is Direction.DECREASE  # false conclusion
+
+    def test_alignment_validation(self):
+        yb, ya, xb, xa = synth(12)
+        with pytest.raises(ValueError, match="align"):
+            DifferenceInDifferences().compare(yb, ya, xb[:-1], xa)

@@ -1,0 +1,63 @@
+"""Tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import AssessmentConfig, LitmusConfig
+
+
+class TestAssessmentConfig:
+    def test_defaults_match_paper(self):
+        cfg = AssessmentConfig()
+        assert cfg.window_days == 14  # "14 days before ... 14 days after"
+        assert cfg.test == "fligner-policello"
+
+    def test_window_minimum(self):
+        with pytest.raises(ValueError):
+            AssessmentConfig(window_days=2)
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            AssessmentConfig(alpha=0.0)
+        with pytest.raises(ValueError):
+            AssessmentConfig(alpha=1.0)
+
+    def test_training_at_least_window(self):
+        with pytest.raises(ValueError):
+            AssessmentConfig(window_days=14, training_days=10)
+
+    def test_negative_gate_rejected(self):
+        with pytest.raises(ValueError):
+            AssessmentConfig(min_effect_sigmas=-0.5)
+
+
+class TestLitmusConfig:
+    def test_sample_fraction_majority_rule(self):
+        """The paper requires k > N/2."""
+        with pytest.raises(ValueError, match="k > N/2"):
+            LitmusConfig(sample_fraction=0.5)
+        with pytest.raises(ValueError):
+            LitmusConfig(sample_fraction=1.5)
+        LitmusConfig(sample_fraction=0.51)  # valid
+
+    def test_iterations_positive(self):
+        with pytest.raises(ValueError):
+            LitmusConfig(n_iterations=0)
+
+    def test_min_controls(self):
+        with pytest.raises(ValueError):
+            LitmusConfig(min_controls=1)
+
+    def test_aggregation_options(self):
+        LitmusConfig(aggregation="mean")
+        with pytest.raises(ValueError):
+            LitmusConfig(aggregation="mode")
+
+    def test_estimator_options(self):
+        LitmusConfig(estimator="ridge")
+        LitmusConfig(estimator="lasso")
+        with pytest.raises(ValueError):
+            LitmusConfig(estimator="forest")
+
+    def test_is_assessment_config(self):
+        """Baselines consume LitmusConfig directly."""
+        assert isinstance(LitmusConfig(), AssessmentConfig)

@@ -1,0 +1,122 @@
+"""Tests for repro.core.litmus — the end-to-end engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import StudyOnlyAnalysis
+from repro.core.config import LitmusConfig
+from repro.core.litmus import ChangeAssessmentReport, Litmus
+from repro.core.verdict import Verdict
+from repro.external.factors import goodness_magnitude
+from repro.kpi.effects import LevelShift
+from repro.kpi.generator import generate_kpis
+from repro.kpi.metrics import KpiKind
+from repro.network.builder import build_network
+from repro.network.changes import ChangeEvent, ChangeType
+from repro.network.technology import ElementRole
+
+VR = KpiKind.VOICE_RETAINABILITY
+DR = KpiKind.DATA_RETAINABILITY
+CHANGE_DAY = 85
+
+
+@pytest.fixture
+def world():
+    topo = build_network(seed=31, controllers_per_region=10, towers_per_controller=1)
+    store = generate_kpis(topo, (VR, DR), seed=31)
+    return topo, store
+
+
+def make_change(topo, n_study=1, day=CHANGE_DAY):
+    rncs = topo.elements(role=ElementRole.RNC)
+    ids = frozenset(r.element_id for r in rncs[:n_study])
+    return ChangeEvent("test-change", ChangeType.CONFIGURATION, day, ids)
+
+
+class TestAssessment:
+    def test_detects_injected_degradation(self, world):
+        topo, store = world
+        change = make_change(topo)
+        eid = change.study_group[0]
+        store.apply_effect(eid, VR, LevelShift(goodness_magnitude(VR, -4.0), CHANGE_DAY))
+        report = Litmus(topo, store).assess(change, [VR, DR])
+        summary = report.summary()
+        assert summary[VR].winner is Verdict.DEGRADATION
+        assert summary[DR].winner is Verdict.NO_IMPACT
+        assert report.overall_verdict() is Verdict.DEGRADATION
+
+    def test_no_injection_no_impact(self, world):
+        topo, store = world
+        report = Litmus(topo, store).assess(make_change(topo), [VR])
+        assert report.summary()[VR].winner is Verdict.NO_IMPACT
+
+    def test_multi_element_study_votes(self, world):
+        topo, store = world
+        change = make_change(topo, n_study=3)
+        for eid in change.study_group:
+            store.apply_effect(eid, VR, LevelShift(goodness_magnitude(VR, 4.0), CHANGE_DAY))
+        report = Litmus(topo, store).assess(change, [VR])
+        assert report.summary()[VR].winner is Verdict.IMPROVEMENT
+        assert len(report.for_kpi(VR)) == 3
+
+    def test_automatic_control_selection_excludes_study(self, world):
+        topo, store = world
+        change = make_change(topo, n_study=2)
+        report = Litmus(topo, store).assess(change, [VR])
+        assert not set(report.control_group) & set(change.study_group)
+        assert len(report.control_group) >= 3
+
+    def test_explicit_control_ids(self, world):
+        topo, store = world
+        change = make_change(topo)
+        rncs = [r.element_id for r in topo.elements(role=ElementRole.RNC)]
+        controls = rncs[1:6]
+        report = Litmus(topo, store).assess(change, [VR], control_ids=controls)
+        assert report.control_group == tuple(controls)
+
+    def test_control_overlapping_study_rejected(self, world):
+        topo, store = world
+        change = make_change(topo)
+        with pytest.raises(ValueError, match="overlaps"):
+            Litmus(topo, store).assess(change, [VR], control_ids=change.study_group)
+
+    def test_window_coverage_validated(self, world):
+        topo, store = world
+        change = make_change(topo, day=5)  # no 70-day history before day 5
+        with pytest.raises(ValueError, match="window"):
+            Litmus(topo, store).assess(change, [VR])
+
+    def test_unknown_kpi_for_all_elements(self, world):
+        topo, store = world
+        change = make_change(topo)
+        with pytest.raises(ValueError, match="no study element"):
+            Litmus(topo, store).assess(change, [KpiKind.CALL_VOLUME])
+
+
+class TestPluggableAlgorithm:
+    def test_study_only_plugged_in(self, world):
+        topo, store = world
+        change = make_change(topo)
+        engine = Litmus(topo, store, algorithm=StudyOnlyAnalysis(LitmusConfig()))
+        report = engine.assess(change, [VR])
+        assert report.algorithm == "study-only"
+
+
+class TestReport:
+    def test_to_text_contains_key_facts(self, world):
+        topo, store = world
+        change = make_change(topo)
+        report = Litmus(topo, store).assess(change, [VR])
+        text = report.to_text()
+        assert "test-change" in text
+        assert "voice-retainability" in text
+        assert "Overall" in text
+
+    def test_overall_degradation_dominates(self, world):
+        topo, store = world
+        change = make_change(topo)
+        eid = change.study_group[0]
+        store.apply_effect(eid, VR, LevelShift(goodness_magnitude(VR, 6.0), CHANGE_DAY))
+        store.apply_effect(eid, DR, LevelShift(goodness_magnitude(DR, -6.0), CHANGE_DAY))
+        report = Litmus(topo, store).assess(change, [VR, DR])
+        assert report.overall_verdict() is Verdict.DEGRADATION

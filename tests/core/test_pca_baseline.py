@@ -1,0 +1,78 @@
+"""Tests for repro.core.pca_baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.pca_baseline import PcaConfig, PcaSubspaceDetector
+from repro.stats.rank_tests import Direction
+
+
+def panel(seed=0, n_before=70, n_after=14, n_controls=8):
+    rng = np.random.default_rng(seed)
+    T = n_before + n_after
+    factor = np.cumsum(rng.normal(0, 0.3, T))
+    study = factor + rng.normal(0, 1.0, T)
+    controls = np.column_stack(
+        [factor + rng.normal(0, 1.0, T) for _ in range(n_controls)]
+    )
+    return study[:n_before], study[n_before:], controls[:n_before], controls[n_before:]
+
+
+class TestDetection:
+    def test_study_anomaly_detected(self):
+        yb, ya, xb, xa = panel(1)
+        result = PcaSubspaceDetector().compare(yb, ya + 8.0, xb, xa)
+        assert result.direction is Direction.INCREASE
+
+    def test_clean_panel_quiet(self):
+        yb, ya, xb, xa = panel(2)
+        result = PcaSubspaceDetector().compare(yb, ya, xb, xa)
+        assert result.direction is Direction.NO_CHANGE
+
+    def test_requires_controls(self):
+        yb, ya, _, _ = panel(3)
+        with pytest.raises(ValueError):
+            PcaSubspaceDetector().compare(yb, ya)
+
+
+class TestDocumentedFailureMode:
+    def test_relative_degradation_under_absolute_improvement(self):
+        """The paper's Section 2.4 example: everything improves, the study
+        element improves *less* (a relative degradation).  The unsupervised
+        detector either stays quiet or reads the panel-wide improvement —
+        it cannot report the relative degradation."""
+        yb, ya, xb, xa = panel(4)
+        result = PcaSubspaceDetector().compare(yb, ya + 4.0, xb, xa + 8.0)
+        assert result.direction is not Direction.DECREASE
+
+    def test_control_side_change_never_read_as_relative_decrease(self):
+        """A change at the control group means the study group *relatively*
+        degraded (Table 3's CONTROL scenario).  The blind detector either
+        stays quiet or reports the absolute increase it localised — across
+        seeds it never produces the correct relative verdict."""
+        for seed in range(10):
+            yb, ya, xb, xa = panel(seed + 10)
+            result = PcaSubspaceDetector().compare(yb, ya, xb, xa + 8.0)
+            assert result.direction is not Direction.DECREASE
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PcaConfig(variance_fraction=0.0)
+        with pytest.raises(ValueError):
+            PcaConfig(spe_quantile=1.0)
+        with pytest.raises(ValueError):
+            PcaConfig(anomalous_fraction=0.0)
+
+    def test_plain_assessment_config_upgraded(self):
+        from repro.core.config import AssessmentConfig
+
+        detector = PcaSubspaceDetector(AssessmentConfig(window_days=7))
+        assert isinstance(detector.config, PcaConfig)
+        assert detector.config.window_days == 7
+
+    def test_detail_reports_anomaly_fraction(self):
+        yb, ya, xb, xa = panel(5)
+        result = PcaSubspaceDetector().compare(yb, ya + 8.0, xb, xa)
+        assert 0.0 <= result.detail["frac_anomalous"] <= 1.0

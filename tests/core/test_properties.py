@@ -1,0 +1,99 @@
+"""Property-based invariants of the assessment algorithms.
+
+These encode the algebra the method relies on: verdicts must be invariant
+to shared confounders and to affine re-scalings of the KPI, equivariant
+under sign flips, and monotone in effect size.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import DifferenceInDifferences, StudyOnlyAnalysis
+from repro.core.config import LitmusConfig
+from repro.core.regression import RobustSpatialRegression
+from repro.stats.rank_tests import Direction
+
+
+def panel(seed, n_before=70, n_after=14, n_controls=8):
+    rng = np.random.default_rng(seed)
+    T = n_before + n_after
+    factor = np.cumsum(rng.normal(0, 0.3, T))
+    study = 100.0 + factor + rng.normal(0, 1.0, T)
+    controls = np.column_stack(
+        [100.0 + rng.uniform(0.7, 1.1) * factor + rng.normal(0, 1.0, T) for _ in range(n_controls)]
+    )
+    return study[:n_before], study[n_before:], controls[:n_before], controls[n_before:]
+
+
+@given(seed=st.integers(0, 300), shift=st.floats(-20.0, 20.0))
+@settings(max_examples=25, deadline=None)
+def test_litmus_invariant_to_shared_shift(seed, shift):
+    """Adding the same constant to study AND control after the change never
+    changes the Litmus verdict relative to the clean case."""
+    yb, ya, xb, xa = panel(seed)
+    algo = RobustSpatialRegression(LitmusConfig())
+    clean = algo.compare(yb, ya, xb, xa).direction
+    confounded = algo.compare(yb, ya + shift, xb, xa + shift).direction
+    assert clean == confounded
+
+
+@given(seed=st.integers(0, 300), scale=st.floats(0.1, 50.0))
+@settings(max_examples=25, deadline=None)
+def test_algorithms_invariant_to_affine_scaling(seed, scale):
+    """Multiplying every series by a positive constant (a unit change)
+    leaves every algorithm's verdict unchanged."""
+    yb, ya, xb, xa = panel(seed)
+    ya = ya + 5.0  # a real impact
+    for algo in (
+        StudyOnlyAnalysis(LitmusConfig()),
+        DifferenceInDifferences(LitmusConfig()),
+        RobustSpatialRegression(LitmusConfig()),
+    ):
+        base = algo.compare(yb, ya, xb, xa).direction
+        scaled = algo.compare(
+            yb * scale, ya * scale, xb * scale, xa * scale
+        ).direction
+        assert base == scaled, algo.name
+
+
+@given(seed=st.integers(0, 300), shift=st.floats(4.0, 15.0))
+@settings(max_examples=25, deadline=None)
+def test_sign_flip_equivariance(seed, shift):
+    """A +delta study change and a -delta study change produce opposite
+    directions (or both miss near the threshold — never the same side)."""
+    yb, ya, xb, xa = panel(seed)
+    algo = RobustSpatialRegression(LitmusConfig())
+    up = algo.compare(yb, ya + shift, xb, xa).direction
+    down = algo.compare(yb, ya - shift, xb, xa).direction
+    assert up is Direction.INCREASE
+    assert down is Direction.DECREASE
+
+
+@given(seed=st.integers(0, 300))
+@settings(max_examples=20, deadline=None)
+def test_monotone_in_effect_size(seed):
+    """If a smaller shift is detected, every larger same-sign shift is too."""
+    yb, ya, xb, xa = panel(seed)
+    algo = RobustSpatialRegression(LitmusConfig())
+    detected_small = (
+        algo.compare(yb, ya + 3.0, xb, xa).direction is Direction.INCREASE
+    )
+    detected_large = (
+        algo.compare(yb, ya + 9.0, xb, xa).direction is Direction.INCREASE
+    )
+    if detected_small:
+        assert detected_large
+
+
+@given(seed=st.integers(0, 300))
+@settings(max_examples=20, deadline=None)
+def test_deterministic_given_inputs(seed):
+    """Identical inputs always produce identical outputs (seeded sampler)."""
+    yb, ya, xb, xa = panel(seed)
+    algo = RobustSpatialRegression(LitmusConfig())
+    a = algo.compare(yb, ya, xb, xa)
+    b = algo.compare(yb, ya, xb, xa)
+    assert a.direction == b.direction
+    assert a.p_value_increase == b.p_value_increase

@@ -1,0 +1,188 @@
+"""Tests for repro.core.regression — the Litmus algorithm itself."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import LitmusConfig
+from repro.core.regression import RobustSpatialRegression
+from repro.stats.rank_tests import Direction
+
+
+def synth(
+    seed=0,
+    n_before=70,
+    n_after=14,
+    n_controls=10,
+    n_poor=0,
+    baseline=100.0,
+):
+    """Study/control panels sharing a persistent factor through
+    heterogeneous loadings; optional poor predictors with their own factor."""
+    rng = np.random.default_rng(seed)
+    T = n_before + n_after
+
+    def ar1(sigma, phi=0.7):
+        out = np.empty(T)
+        out[0] = rng.normal(0, sigma)
+        innov = sigma * np.sqrt(1 - phi**2)
+        for t in range(1, T):
+            out[t] = phi * out[t - 1] + rng.normal(0, innov)
+        return out
+
+    factor = ar1(1.5)
+    study = baseline + rng.uniform(0.7, 1.1) * factor + rng.normal(0, 1.0, T)
+    columns = []
+    for i in range(n_controls):
+        if i < n_controls - n_poor:
+            base = rng.uniform(0.7, 1.1) * factor
+        else:
+            base = ar1(3.0)  # poor predictor: independent factor
+        columns.append(baseline + base + rng.normal(0, 1.0, T))
+    controls = np.column_stack(columns)
+    return (
+        study[:n_before],
+        study[n_before:],
+        controls[:n_before],
+        controls[n_before:],
+    )
+
+
+class TestDetection:
+    def test_study_shift_detected(self):
+        yb, ya, xb, xa = synth(1)
+        result = RobustSpatialRegression().compare(yb, ya + 6.0, xb, xa)
+        assert result.direction is Direction.INCREASE
+
+    def test_clean_case_no_change(self):
+        yb, ya, xb, xa = synth(2)
+        result = RobustSpatialRegression().compare(yb, ya, xb, xa)
+        assert result.direction is Direction.NO_CHANGE
+
+    def test_shared_confounder_cancelled(self):
+        """A confounder moving study and control alike must not register —
+        the forecast absorbs it (Σβ pinned near 1 by the DC level)."""
+        yb, ya, xb, xa = synth(3)
+        result = RobustSpatialRegression().compare(yb, ya + 8.0, xb, xa + 8.0)
+        assert result.direction is Direction.NO_CHANGE
+
+    def test_control_side_change_is_relative_decrease(self):
+        yb, ya, xb, xa = synth(4)
+        result = RobustSpatialRegression().compare(yb, ya, xb, xa + 6.0)
+        assert result.direction is Direction.DECREASE
+
+    def test_degradation_detected(self):
+        yb, ya, xb, xa = synth(5)
+        result = RobustSpatialRegression().compare(yb, ya - 6.0, xb, xa)
+        assert result.direction is Direction.DECREASE
+
+
+class TestRobustness:
+    def test_tolerates_poor_predictors_with_drift(self):
+        """The headline robustness claim: poor predictors that drift after
+        the change must not flip a clean no-impact case (they would shift
+        the DiD mean)."""
+        yb, ya, xb, xa = synth(6, n_poor=3)
+        xa = xa.copy()
+        xa[:, -3:] += 12.0  # contaminated drift at the poor predictors
+        result = RobustSpatialRegression().compare(yb, ya, xb, xa)
+        assert result.direction is Direction.NO_CHANGE
+
+    def test_still_detects_through_contamination(self):
+        """A real study impact survives control contamination that would
+        mask it under equal weighting."""
+        yb, ya, xb, xa = synth(7, n_poor=3)
+        xa = xa.copy()
+        xa[:, -3:] += 12.0
+        result = RobustSpatialRegression().compare(yb, ya + 6.0, xb, xa)
+        assert result.direction is Direction.INCREASE
+
+
+class TestValidation:
+    def test_requires_controls(self):
+        yb, ya, _, _ = synth(8)
+        with pytest.raises(ValueError, match="control group"):
+            RobustSpatialRegression().compare(yb, ya)
+
+    def test_min_controls_enforced(self):
+        yb, ya, xb, xa = synth(9, n_controls=2)
+        with pytest.raises(ValueError, match="control elements"):
+            RobustSpatialRegression().compare(yb, ya, xb, xa)
+
+    def test_column_count_mismatch(self):
+        yb, ya, xb, xa = synth(10)
+        with pytest.raises(ValueError, match="element count"):
+            RobustSpatialRegression().compare(yb, ya, xb, xa[:, :-1])
+
+    def test_row_alignment(self):
+        yb, ya, xb, xa = synth(11)
+        with pytest.raises(ValueError, match="rows"):
+            RobustSpatialRegression().compare(yb, ya, xb[:-1], xa)
+
+
+class TestSampling:
+    def test_sample_size_majority(self):
+        algo = RobustSpatialRegression(LitmusConfig(sample_fraction=0.6))
+        assert algo._sample_size(10, train_len=60) == 6
+        # Strict majority floor.
+        assert algo._sample_size(3, train_len=60) >= 2
+
+    def test_sample_size_capped_by_training_rows(self):
+        algo = RobustSpatialRegression()
+        assert algo._sample_size(100, train_len=20) <= 10
+
+    def test_deterministic_given_seed(self):
+        yb, ya, xb, xa = synth(12)
+        a = RobustSpatialRegression(LitmusConfig(seed=5)).compare(yb, ya, xb, xa)
+        b = RobustSpatialRegression(LitmusConfig(seed=5)).compare(yb, ya, xb, xa)
+        assert a.p_value_increase == b.p_value_increase
+        assert a.direction == b.direction
+
+
+class TestDiagnostics:
+    def test_diagnostics_populated(self):
+        yb, ya, xb, xa = synth(13)
+        algo = RobustSpatialRegression()
+        algo.compare(yb, ya, xb, xa)
+        d = algo.last_diagnostics
+        assert d is not None
+        assert d.n_controls == 10
+        assert d.forecast_after.shape == ya.shape
+        assert d.forecast_diff_before.shape == (14,)
+        assert 0.0 <= d.mean_r_squared <= 1.0
+
+    def test_forecast_tracks_study(self):
+        """With a strong shared factor the out-of-sample forecast explains
+        a large share of the study variance."""
+        yb, ya, xb, xa = synth(14)
+        algo = RobustSpatialRegression()
+        algo.compare(yb, ya, xb, xa)
+        d = algo.last_diagnostics
+        resid_var = np.var(d.forecast_diff_after)
+        raw_var = np.var(ya)
+        assert resid_var < raw_var
+
+
+class TestEstimatorVariants:
+    @pytest.mark.parametrize("estimator", ["ols", "ridge", "lasso"])
+    def test_all_estimators_run(self, estimator):
+        yb, ya, xb, xa = synth(15)
+        cfg = LitmusConfig(estimator=estimator, regularization=0.01)
+        result = RobustSpatialRegression(cfg).compare(yb, ya + 6.0, xb, xa)
+        assert result.direction is Direction.INCREASE
+
+    def test_mean_aggregation_runs(self):
+        yb, ya, xb, xa = synth(16)
+        cfg = LitmusConfig(aggregation="mean")
+        result = RobustSpatialRegression(cfg).compare(yb, ya, xb, xa)
+        assert result.direction is Direction.NO_CHANGE
+
+
+@given(shift=st.floats(5.0, 20.0), seed=st.integers(0, 200))
+@settings(max_examples=25, deadline=None)
+def test_large_shift_always_detected_property(shift, seed):
+    """Any >=5-sigma relative study shift is detected with the right sign."""
+    yb, ya, xb, xa = synth(seed)
+    result = RobustSpatialRegression().compare(yb, ya + shift, xb, xa)
+    assert result.direction is Direction.INCREASE

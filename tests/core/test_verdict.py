@@ -1,0 +1,56 @@
+"""Tests for repro.core.verdict."""
+
+import pytest
+
+from repro.core.verdict import (
+    AlgorithmResult,
+    Verdict,
+    direction_for_verdict,
+    verdict_from_direction,
+)
+from repro.kpi.metrics import KpiKind
+from repro.stats.rank_tests import Direction
+
+VR = KpiKind.VOICE_RETAINABILITY  # higher is better
+DCR = KpiKind.DROPPED_CALL_RATIO  # lower is better
+
+
+class TestMapping:
+    def test_increase_on_higher_better_is_improvement(self):
+        assert verdict_from_direction(Direction.INCREASE, VR) is Verdict.IMPROVEMENT
+
+    def test_increase_on_lower_better_is_degradation(self):
+        assert verdict_from_direction(Direction.INCREASE, DCR) is Verdict.DEGRADATION
+
+    def test_decrease_flips(self):
+        assert verdict_from_direction(Direction.DECREASE, VR) is Verdict.DEGRADATION
+        assert verdict_from_direction(Direction.DECREASE, DCR) is Verdict.IMPROVEMENT
+
+    def test_no_change(self):
+        assert verdict_from_direction(Direction.NO_CHANGE, VR) is Verdict.NO_IMPACT
+
+    @pytest.mark.parametrize("kpi", [VR, DCR])
+    @pytest.mark.parametrize("verdict", list(Verdict))
+    def test_roundtrip(self, kpi, verdict):
+        direction = direction_for_verdict(verdict, kpi)
+        assert verdict_from_direction(direction, kpi) is verdict
+
+    def test_symbols(self):
+        assert Verdict.IMPROVEMENT.symbol == "↑"
+        assert Verdict.DEGRADATION.symbol == "↓"
+        assert Verdict.NO_IMPACT.symbol == "↔"
+
+
+class TestAlgorithmResult:
+    def test_p_value_follows_direction(self):
+        up = AlgorithmResult(Direction.INCREASE, 0.01, 0.99, "t")
+        assert up.p_value == 0.01
+        down = AlgorithmResult(Direction.DECREASE, 0.99, 0.02, "t")
+        assert down.p_value == 0.02
+        flat = AlgorithmResult(Direction.NO_CHANGE, 0.4, 0.6, "t")
+        assert flat.p_value == 0.4
+
+    def test_verdict_shortcut(self):
+        result = AlgorithmResult(Direction.INCREASE, 0.01, 0.99, "t")
+        assert result.verdict(VR) is Verdict.IMPROVEMENT
+        assert result.verdict(DCR) is Verdict.DEGRADATION

@@ -1,0 +1,48 @@
+"""Tests for repro.core.voting."""
+
+import pytest
+
+from repro.core.verdict import Verdict
+from repro.core.voting import VoteSummary, majority_verdict
+
+UP, DOWN, FLAT = Verdict.IMPROVEMENT, Verdict.DEGRADATION, Verdict.NO_IMPACT
+
+
+class TestMajority:
+    def test_strict_majority_wins(self):
+        assert majority_verdict([UP, UP, FLAT]).winner is UP
+
+    def test_unanimous(self):
+        summary = majority_verdict([DOWN, DOWN])
+        assert summary.winner is DOWN
+        assert summary.unanimous
+
+    def test_tie_with_degradation_is_conservative(self):
+        assert majority_verdict([UP, DOWN]).winner is DOWN
+
+    def test_tie_without_degradation_is_no_impact(self):
+        assert majority_verdict([UP, FLAT]).winner is FLAT
+
+    def test_single_vote(self):
+        assert majority_verdict([UP]).winner is UP
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            majority_verdict([])
+
+
+class TestSummary:
+    def test_counts_and_total(self):
+        summary = majority_verdict([UP, UP, DOWN])
+        assert summary.total == 3
+        assert summary.counts[UP] == 2
+        assert summary.counts[DOWN] == 1
+        assert FLAT not in summary.counts
+
+    def test_fraction(self):
+        summary = majority_verdict([UP, UP, DOWN, FLAT])
+        assert summary.fraction(UP) == pytest.approx(0.5)
+        assert summary.fraction(DOWN) == pytest.approx(0.25)
+
+    def test_not_unanimous(self):
+        assert not majority_verdict([UP, FLAT]).unanimous

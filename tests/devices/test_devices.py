@@ -1,0 +1,145 @@
+"""Tests for repro.devices — the future-work device-cohort extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.verdict import Verdict
+from repro.devices.assessment import assess_device_upgrade, select_control_cohorts
+from repro.devices.cohorts import DeviceCohort, DeviceType, build_cohorts
+from repro.devices.generator import DeviceGeneratorConfig, generate_device_kpis
+from repro.external.factors import goodness_magnitude
+from repro.kpi.effects import LevelShift
+from repro.kpi.metrics import KpiKind
+from repro.network.geography import Region
+from repro.stats.correlation import pearson
+
+DR = KpiKind.DATA_RETAINABILITY
+DAY = 85
+
+
+@pytest.fixture(scope="module")
+def cohorts():
+    return build_cohorts(os_versions=("os-1", "os-2", "os-3"))
+
+
+@pytest.fixture(scope="module")
+def store(cohorts):
+    return generate_device_kpis(cohorts, (DR,), DeviceGeneratorConfig(seed=61))
+
+
+class TestCohorts:
+    def test_build_enumerates_families_and_versions(self, cohorts):
+        families = {c.model_family for c in cohorts}
+        assert {"galaxy", "lumia", "iphone", "ipad"} <= families
+        versions = {c.os_version for c in cohorts}
+        assert versions == {"os-1", "os-2", "os-3"}
+
+    def test_popularity_bounds(self, cohorts):
+        for c in cohorts:
+            assert 0.0 < c.popularity <= 1.0
+
+    def test_with_os_copies(self, cohorts):
+        c = cohorts[0]
+        upgraded = c.with_os("os-99")
+        assert upgraded.os_version == "os-99"
+        assert c.os_version != "os-99"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceCohort("", DeviceType.SMARTPHONE, "x", "1", Region.NORTHEAST)
+        with pytest.raises(ValueError):
+            DeviceCohort("c", DeviceType.SMARTPHONE, "x", "1", Region.NORTHEAST, popularity=0.0)
+
+
+class TestGenerator:
+    def test_series_per_cohort(self, cohorts, store):
+        assert len(store.element_ids(DR)) == len(cohorts)
+
+    def test_same_family_correlated(self, cohorts, store):
+        galaxy = [c.cohort_id for c in cohorts if c.model_family == "galaxy"]
+        lumia = [c.cohort_id for c in cohorts if c.model_family == "lumia"]
+        same = pearson(
+            store.get(galaxy[0], DR).values, store.get(galaxy[1], DR).values
+        )
+        cross = pearson(
+            store.get(galaxy[0], DR).values, store.get(lumia[0], DR).values
+        )
+        assert same > cross
+
+    def test_popular_cohorts_less_noisy(self, cohorts, store):
+        popular = next(c for c in cohorts if c.popularity >= 0.3)
+        niche = next(c for c in cohorts if c.popularity <= 0.1)
+        pop_noise = np.std(np.diff(store.get(popular.cohort_id, DR).values))
+        niche_noise = np.std(np.diff(store.get(niche.cohort_id, DR).values))
+        assert pop_noise < niche_noise
+
+    def test_deterministic(self, cohorts):
+        a = generate_device_kpis(cohorts[:3], (DR,), DeviceGeneratorConfig(seed=5))
+        b = generate_device_kpis(cohorts[:3], (DR,), DeviceGeneratorConfig(seed=5))
+        cid = cohorts[0].cohort_id
+        assert np.array_equal(a.get(cid, DR).values, b.get(cid, DR).values)
+
+
+class TestControlSelection:
+    def test_same_type_and_region(self, cohorts):
+        galaxy = [c.cohort_id for c in cohorts if c.model_family == "galaxy"][:1]
+        controls = select_control_cohorts(cohorts, galaxy)
+        by_id = {c.cohort_id: c for c in cohorts}
+        for cid in controls:
+            assert by_id[cid].device_type is DeviceType.SMARTPHONE
+        assert not set(controls) & set(galaxy)
+
+    def test_same_family_restriction(self, cohorts):
+        galaxy = [c.cohort_id for c in cohorts if c.model_family == "galaxy"]
+        controls = select_control_cohorts(
+            cohorts, galaxy[:1], same_family=True, min_size=2
+        )
+        by_id = {c.cohort_id: c for c in cohorts}
+        assert all(by_id[cid].model_family == "galaxy" for cid in controls)
+
+    def test_unknown_cohort(self, cohorts):
+        with pytest.raises(KeyError):
+            select_control_cohorts(cohorts, ["ghost"])
+
+    def test_min_size_enforced(self, cohorts):
+        iot = [c.cohort_id for c in cohorts if c.device_type is DeviceType.IOT]
+        with pytest.raises(ValueError, match="control cohorts"):
+            # Only 3 IoT cohorts exist, 1 is the study -> 2 controls < 3.
+            select_control_cohorts(cohorts, iot[:1], min_size=3)
+
+
+class TestUpgradeAssessment:
+    def test_firmware_regression_detected(self, cohorts, store_fresh=None):
+        store = generate_device_kpis(cohorts, (DR,), DeviceGeneratorConfig(seed=62))
+        galaxy = [c.cohort_id for c in cohorts if c.model_family == "galaxy"][:2]
+        for cid in galaxy:
+            store.apply_effect(cid, DR, LevelShift(goodness_magnitude(DR, -5.0), DAY))
+        report = assess_device_upgrade(store, cohorts, galaxy, DAY, (DR,))
+        assert report.overall_verdict() is Verdict.DEGRADATION
+        assert len(report.assessments) == 2
+
+    def test_clean_upgrade_no_impact(self, cohorts):
+        store = generate_device_kpis(cohorts, (DR,), DeviceGeneratorConfig(seed=63))
+        galaxy = [c.cohort_id for c in cohorts if c.model_family == "galaxy"][:1]
+        report = assess_device_upgrade(store, cohorts, galaxy, DAY, (DR,))
+        assert report.overall_verdict() is Verdict.NO_IMPACT
+
+    def test_network_confounder_cancelled(self, cohorts):
+        """A network-side change hits every cohort through the regional
+        factor; the device assessment must not blame the firmware."""
+        store = generate_device_kpis(cohorts, (DR,), DeviceGeneratorConfig(seed=64))
+        for c in cohorts:
+            store.apply_effect(
+                c.cohort_id, DR, LevelShift(goodness_magnitude(DR, -4.0), DAY)
+            )
+        galaxy = [c.cohort_id for c in cohorts if c.model_family == "galaxy"][:1]
+        report = assess_device_upgrade(store, cohorts, galaxy, DAY, (DR,))
+        assert report.overall_verdict() is Verdict.NO_IMPACT
+
+    def test_explicit_controls(self, cohorts):
+        store = generate_device_kpis(cohorts, (DR,), DeviceGeneratorConfig(seed=65))
+        ids = [c.cohort_id for c in cohorts if c.device_type is DeviceType.SMARTPHONE]
+        report = assess_device_upgrade(
+            store, cohorts, ids[:1], DAY, (DR,), control_ids=ids[1:7]
+        )
+        assert report.control == tuple(ids[1:7])

@@ -1,0 +1,174 @@
+"""Tests for repro.evaluation.injection."""
+
+import numpy as np
+import pytest
+
+from repro.core.verdict import Verdict
+from repro.evaluation.injection import (
+    SCENARIO_TABLE,
+    InjectionCase,
+    InjectionScenario,
+    default_algorithms,
+    evaluate_injection,
+    make_cases,
+    run_case,
+    synthesize_case,
+)
+from repro.kpi.metrics import KpiKind, get_kpi
+from repro.network.geography import Region
+
+VR = KpiKind.VOICE_RETAINABILITY
+
+
+def case(scenario=InjectionScenario.STUDY, **overrides):
+    defaults = dict(
+        scenario=scenario,
+        kpi=VR,
+        region=Region.NORTHEAST,
+        seed=0,
+        magnitude_study=4.0 if scenario in (
+            InjectionScenario.STUDY,
+            InjectionScenario.BOTH_SAME,
+            InjectionScenario.BOTH_DIFFERENT,
+        ) else 0.0,
+        magnitude_control=4.0 if scenario in (
+            InjectionScenario.CONTROL,
+            InjectionScenario.BOTH_SAME,
+        ) else (1.0 if scenario is InjectionScenario.BOTH_DIFFERENT else 0.0),
+    )
+    defaults.update(overrides)
+    return InjectionCase(**defaults)
+
+
+class TestCaseValidation:
+    def test_scenario_magnitude_consistency(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            InjectionCase(InjectionScenario.STUDY, VR, Region.WEST, 0)
+        with pytest.raises(ValueError, match="inconsistent"):
+            InjectionCase(
+                InjectionScenario.NONE, VR, Region.WEST, 0, magnitude_study=1.0
+            )
+
+    def test_both_same_requires_equal(self):
+        with pytest.raises(ValueError, match="equal"):
+            InjectionCase(
+                InjectionScenario.BOTH_SAME,
+                VR,
+                Region.WEST,
+                0,
+                magnitude_study=1.0,
+                magnitude_control=2.0,
+            )
+
+    def test_both_different_requires_different(self):
+        with pytest.raises(ValueError, match="different"):
+            InjectionCase(
+                InjectionScenario.BOTH_DIFFERENT,
+                VR,
+                Region.WEST,
+                0,
+                magnitude_study=2.0,
+                magnitude_control=2.0,
+            )
+
+    def test_contamination_bounds(self):
+        with pytest.raises(ValueError):
+            case(n_contaminated=99)
+
+
+class TestExpectedVerdict:
+    def test_none_is_no_impact(self):
+        assert case(InjectionScenario.NONE).expected_verdict() is Verdict.NO_IMPACT
+
+    def test_both_same_is_no_impact(self):
+        assert case(InjectionScenario.BOTH_SAME).expected_verdict() is Verdict.NO_IMPACT
+
+    def test_study_positive_is_improvement(self):
+        assert case(InjectionScenario.STUDY).expected_verdict() is Verdict.IMPROVEMENT
+
+    def test_study_negative_is_degradation(self):
+        c = case(InjectionScenario.STUDY, magnitude_study=-4.0)
+        assert c.expected_verdict() is Verdict.DEGRADATION
+
+    def test_lower_is_better_kpi_flips_nothing(self):
+        """Goodness-space magnitudes are direction-of-good aware already."""
+        c = case(InjectionScenario.STUDY, kpi=KpiKind.DROPPED_CALL_RATIO)
+        assert c.expected_verdict() is Verdict.IMPROVEMENT
+
+    def test_control_only_flips_sign(self):
+        c = case(InjectionScenario.CONTROL)
+        assert c.expected_verdict() is Verdict.DEGRADATION
+
+
+class TestSynthesis:
+    def test_shapes(self):
+        yb, ya, xb, xa = synthesize_case(case())
+        assert yb.shape == (70,)
+        assert ya.shape == (14,)
+        assert xb.shape == (70, 10)
+        assert xa.shape == (14, 10)
+
+    def test_deterministic(self):
+        a = synthesize_case(case())
+        b = synthesize_case(case())
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_study_injection_lands_post_change(self):
+        clean = synthesize_case(case(InjectionScenario.NONE, magnitude_study=0.0, magnitude_control=0.0))
+        # Same seed/kpi/region but a study injection.
+        injected = synthesize_case(case())
+        # Injection changes only magnitudes-dependent draw keys, so compare
+        # statistically: the injected after-window mean is higher.
+        meta = get_kpi(VR)
+        assert injected[1].mean() > clean[1].mean() + 2 * meta.noise_scale
+
+    def test_bounded_kpi_stays_in_unit_interval(self):
+        yb, ya, xb, xa = synthesize_case(case(magnitude_study=8.0))
+        for arr in (yb, ya, xb, xa):
+            assert np.all(arr >= 0.0) and np.all(arr <= 1.0)
+
+
+class TestGrid:
+    def test_case_mix_ratio(self):
+        cases = make_cases(n_seeds=4)
+        impact = sum(1 for c in cases if c.expected_verdict() is not Verdict.NO_IMPACT)
+        no_impact = len(cases) - impact
+        assert 2.0 < impact / no_impact < 4.0  # paper's ~3:1
+
+    def test_scenarios_all_present(self):
+        cases = make_cases(n_seeds=25)
+        present = {c.scenario for c in cases}
+        assert present == set(InjectionScenario)
+
+    def test_invalid_seeds(self):
+        with pytest.raises(ValueError):
+            make_cases(n_seeds=0)
+
+
+class TestRunner:
+    def test_run_case_labels_all_algorithms(self):
+        outcomes = run_case(case())
+        assert {o.algorithm for o in outcomes} == {
+            "study-only",
+            "difference-in-differences",
+            "litmus",
+        }
+
+    def test_clear_study_case_all_detect(self):
+        outcomes = run_case(case(magnitude_study=8.0))
+        for o in outcomes:
+            assert o.observed is Verdict.IMPROVEMENT, o.algorithm
+
+    def test_evaluate_injection_counts(self):
+        cases = make_cases(n_seeds=1)
+        matrices = evaluate_injection(cases)
+        for m in matrices.values():
+            assert m.total == len(cases)
+
+    def test_scenario_table_is_paper_table3(self):
+        assert len(SCENARIO_TABLE) == 5
+        expected_impact = [
+            imp for imp, _, _ in SCENARIO_TABLE.values()
+        ]
+        assert expected_impact.count(True) == 3

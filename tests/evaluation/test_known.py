@@ -1,0 +1,78 @@
+"""Tests for repro.evaluation.known — the Table 2 suite."""
+
+import pytest
+
+from repro.core.verdict import Verdict
+from repro.evaluation.known import (
+    TABLE2_ROWS,
+    KnownCaseSpec,
+    KpiTruth,
+    run_known_assessments,
+)
+from repro.kpi.metrics import KpiKind
+from repro.network.changes import ChangeType
+from repro.network.technology import ElementRole, Technology
+
+
+class TestRowSpecs:
+    def test_totals_match_paper(self):
+        """313 cases: 234 expected-impact, 79 expected-no-impact."""
+        total = sum(r.n_cases for r in TABLE2_ROWS)
+        assert total == 313
+        impact = sum(
+            r.n_study
+            for r in TABLE2_ROWS
+            for t in r.truths
+            if t.truth is not Verdict.NO_IMPACT
+        )
+        assert impact == 234
+        assert total - impact == 79
+
+    def test_nineteen_rows(self):
+        assert len(TABLE2_ROWS) == 19
+
+    def test_technologies_span_generations(self):
+        techs = {r.technology for r in TABLE2_ROWS}
+        assert techs == {Technology.GSM, Technology.UMTS, Technology.LTE}
+
+    def test_roles_span_hierarchy(self):
+        roles = {r.role for r in TABLE2_ROWS}
+        assert ElementRole.MSC in roles  # core-level assessment
+        assert ElementRole.RNC in roles
+        assert ElementRole.NODEB in roles
+        assert ElementRole.ENODEB in roles
+
+    def test_external_factors_present(self):
+        factors = {r.external_factor for r in TABLE2_ROWS}
+        assert {"foliage", "seasonality", "holiday", "weather", "other-change"} <= factors
+
+    def test_kpis_property(self):
+        row = TABLE2_ROWS[0]
+        assert len(row.kpis) == len(row.truths)
+
+
+class TestSingleRowRun:
+    @pytest.fixture(scope="class")
+    def single_row_eval(self):
+        # A small, fast row: 1 study element, 1 KPI, no factor.
+        row = next(r for r in TABLE2_ROWS if r.name == "access-threshold")
+        return run_known_assessments([row])
+
+    def test_case_count(self, single_row_eval):
+        assert single_row_eval.n_cases == 1
+        for m in single_row_eval.totals().values():
+            assert m.total == 1
+
+    def test_litmus_detects_clean_improvement(self, single_row_eval):
+        assert single_row_eval.totals()["litmus"].tp == 1
+
+
+class TestFactorRow:
+    def test_holiday_row_fools_study_only(self):
+        """The limit-max-power row: a holiday lifts throughput everywhere;
+        study-only must FP more than the relative methods."""
+        row = next(r for r in TABLE2_ROWS if r.name == "limit-max-power")
+        ev = run_known_assessments([row])
+        totals = ev.totals()
+        assert totals["study-only"].fp >= 1
+        assert totals["litmus"].fp <= totals["study-only"].fp

@@ -1,0 +1,37 @@
+"""Tests for repro.evaluation.labeling — the Table 1 methodology."""
+
+import pytest
+
+from repro.core.verdict import Verdict
+from repro.evaluation.labeling import Label, label_outcome
+
+UP, DOWN, FLAT = Verdict.IMPROVEMENT, Verdict.DEGRADATION, Verdict.NO_IMPACT
+
+
+class TestTable1:
+    """Each cell of the paper's Table 1."""
+
+    @pytest.mark.parametrize(
+        "expectation, observation, label",
+        [
+            (UP, UP, Label.TP),
+            (UP, DOWN, Label.FN),
+            (UP, FLAT, Label.FN),
+            (DOWN, UP, Label.FN),
+            (DOWN, DOWN, Label.TP),
+            (DOWN, FLAT, Label.FN),
+            (FLAT, UP, Label.FP),
+            (FLAT, DOWN, Label.FP),
+            (FLAT, FLAT, Label.TN),
+        ],
+    )
+    def test_cell(self, expectation, observation, label):
+        assert label_outcome(expectation, observation) is label
+
+    def test_wrong_direction_is_miss_not_hit(self):
+        """An expected improvement observed as degradation is a false
+        negative (the impact was not correctly captured), never a TP."""
+        assert label_outcome(UP, DOWN) is Label.FN
+
+    def test_string_coercion(self):
+        assert label_outcome("improvement", "improvement") is Label.TP

@@ -1,0 +1,74 @@
+"""Tests for repro.evaluation.metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.labeling import Label
+from repro.evaluation.metrics import ConfusionMatrix
+
+
+class TestCounting:
+    def test_add(self):
+        m = ConfusionMatrix()
+        m.add(Label.TP)
+        m.add(Label.FN, 3)
+        assert m.tp == 1 and m.fn == 3
+        assert m.total == 4
+
+    def test_add_all(self):
+        m = ConfusionMatrix()
+        m.add_all([Label.TP, Label.TN, Label.FP, Label.FN])
+        assert (m.tp, m.tn, m.fp, m.fn) == (1, 1, 1, 1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ConfusionMatrix().add(Label.TP, -1)
+
+    def test_merge_and_add_operator(self):
+        a = ConfusionMatrix(tp=1, fn=2)
+        b = ConfusionMatrix(tp=3, fp=4)
+        c = a + b
+        assert (c.tp, c.tn, c.fp, c.fn) == (4, 0, 4, 2)
+        # Non-mutating.
+        assert a.tp == 1
+
+
+class TestPaperMetrics:
+    def test_matches_published_litmus_table4(self):
+        """The derived metrics reproduce the paper's Table 4 arithmetic."""
+        litmus = ConfusionMatrix(tp=5848, tn=748, fp=1262, fn=152)
+        assert litmus.precision == pytest.approx(0.8225, abs=1e-4)
+        assert litmus.recall == pytest.approx(0.9747, abs=1e-4)
+        assert litmus.true_negative_rate == pytest.approx(0.3721, abs=1e-4)
+        assert litmus.accuracy == pytest.approx(0.8235, abs=1e-4)
+
+    def test_matches_published_did_table2(self):
+        did = ConfusionMatrix(tp=186, tn=79, fp=0, fn=48)
+        assert did.precision == 1.0
+        assert did.recall == pytest.approx(0.7949, abs=1e-4)
+        assert did.accuracy == pytest.approx(0.8466, abs=1e-4)
+
+    def test_degenerate_cases(self):
+        empty = ConfusionMatrix()
+        assert empty.accuracy == 0.0
+        assert empty.precision == 1.0  # no positives claimed
+        assert empty.recall == 1.0
+        assert empty.true_negative_rate == 1.0
+
+    def test_as_dict(self):
+        d = ConfusionMatrix(tp=1).as_dict()
+        assert d["tp"] == 1
+        assert "accuracy" in d
+
+
+@given(
+    tp=st.integers(0, 1000),
+    tn=st.integers(0, 1000),
+    fp=st.integers(0, 1000),
+    fn=st.integers(0, 1000),
+)
+def test_metric_bounds_property(tp, tn, fp, fn):
+    m = ConfusionMatrix(tp, tn, fp, fn)
+    for value in (m.precision, m.recall, m.true_negative_rate, m.accuracy):
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,83 @@
+"""Tests for repro.experiments.common — the scenario-world helpers."""
+
+import pytest
+
+from repro.core.verdict import Verdict
+from repro.experiments.common import assess_all, build_world, window_means
+from repro.external.factors import goodness_magnitude
+from repro.kpi.effects import LevelShift
+from repro.kpi.metrics import KpiKind
+from repro.network.changes import ChangeType
+from repro.network.geography import Region
+from repro.network.technology import Technology
+
+VR = KpiKind.VOICE_RETAINABILITY
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(kpis=(VR,), seed=44, n_controllers=6, towers_per_controller=2)
+
+
+class TestBuildWorld:
+    def test_controllers_and_towers(self, world):
+        assert len(world.controllers()) == 6
+        assert len(world.towers()) == 12
+
+    def test_store_covers_elements(self, world):
+        for eid in world.controllers() + world.towers():
+            assert world.store.has(eid, VR)
+
+    def test_generator_overrides_applied(self):
+        calm = build_world(
+            kpis=(VR,),
+            seed=44,
+            n_controllers=2,
+            towers_per_controller=1,
+            generator_overrides={"regional_factor_sigma": 0.0},
+        )
+        stormy = build_world(
+            kpis=(VR,), seed=44, n_controllers=2, towers_per_controller=1
+        )
+        eid = calm.controllers()[0]
+        assert calm.store.get(eid, VR).std() < stormy.store.get(eid, VR).std()
+
+    def test_region_respected(self):
+        se = build_world(region=Region.SOUTHEAST, kpis=(VR,), seed=1,
+                         n_controllers=2, towers_per_controller=1)
+        for element in se.topology:
+            assert element.region is Region.SOUTHEAST
+
+
+class TestChangeAt:
+    def test_change_event_built(self, world):
+        study = world.controllers()[:2]
+        change = world.change_at(study, 80, ChangeType.SOFTWARE_UPGRADE, "x")
+        assert change.day == 80
+        assert set(change.study_group) == set(study)
+
+
+class TestAssessAll:
+    def test_three_algorithms_report(self, world):
+        study = world.controllers()[:1]
+        controls = world.controllers()[1:]
+        world.store.apply_effect(
+            study[0], VR, LevelShift(goodness_magnitude(VR, -5.0), 85)
+        )
+        change = world.change_at(study, 85)
+        verdicts = assess_all(world, change, VR, controls)
+        assert set(verdicts) == {
+            "study-only",
+            "difference-in-differences",
+            "litmus",
+        }
+        assert verdicts["litmus"] is Verdict.DEGRADATION
+
+
+class TestWindowMeans:
+    def test_before_after_split(self, world):
+        eid = world.towers()[0]
+        before, after = window_means(world, eid, VR, 85)
+        series = world.store.get(eid, VR)
+        assert before == pytest.approx(series.before(85, 14).mean())
+        assert after == pytest.approx(series.after(85, 14).mean())

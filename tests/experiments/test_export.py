@@ -1,0 +1,62 @@
+"""Tests for repro.experiments.export and the `litmus run --save` path."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.experiments import fig4
+from repro.experiments.export import export_result
+
+
+class TestExportResult:
+    def test_figure_arrays_exported(self, tmp_path):
+        result = fig4.run()
+        written = export_result(result, tmp_path, "fig4")
+        names = {p.name for p in written}
+        assert "fig4.series.csv" in names
+        assert "fig4.days.csv" in names
+        assert "fig4.txt" in names
+
+    def test_matrix_roundtrip(self, tmp_path):
+        result = fig4.run()
+        export_result(result, tmp_path, "fig4")
+        with open(tmp_path / "fig4.series.csv") as handle:
+            rows = list(csv.reader(handle))
+        header, data = rows[0], rows[1:]
+        assert header[0] == "index"
+        assert len(data) == result.series.shape[0]
+        assert len(header) - 1 == result.series.shape[1]
+        assert float(data[0][1]) == result.series[0, 0]
+
+    def test_dict_of_arrays_flattened(self, tmp_path):
+        from repro.experiments import fig10
+
+        result = fig10.run()
+        written = export_result(result, tmp_path, "fig10")
+        names = {p.name for p in written}
+        assert "fig10.study_series.voice-accessibility.csv" in names
+
+    def test_describe_saved(self, tmp_path):
+        result = fig4.run()
+        export_result(result, tmp_path, "fig4")
+        text = (tmp_path / "fig4.txt").read_text()
+        assert "tornado" in text
+
+    def test_plain_object_supported(self, tmp_path):
+        class Plain:
+            def __init__(self):
+                self.data = np.arange(3.0)
+
+        written = export_result(Plain(), tmp_path, "plain")
+        assert [p.name for p in written] == ["plain.data.csv"]
+
+
+class TestCliSave:
+    def test_run_with_save(self, tmp_path, capsys):
+        rc = main(["run", "fig5", "--save", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "exported" in out
+        assert (tmp_path / "fig5.txt").exists()

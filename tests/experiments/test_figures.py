@@ -1,0 +1,142 @@
+"""Shape tests for every figure experiment at its default (demo) seed.
+
+Each figure module commits to a programmatic ``shape_ok`` check encoding
+the paper's qualitative claim; these tests pin that the committed demo
+seeds reproduce every claim.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.verdict import Verdict
+from repro.experiments import (
+    fig1,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+)
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig1.run()
+
+    def test_shape(self, result):
+        assert result.shape_ok
+
+    def test_study_only_blames_the_change(self, result):
+        assert result.verdicts["study-only"] is Verdict.DEGRADATION
+
+    def test_litmus_exonerates_the_change(self, result):
+        assert result.verdicts["litmus"] is Verdict.NO_IMPACT
+
+    def test_describe_mentions_change_day(self, result):
+        assert str(result.change_day) in result.describe()
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3.run()
+
+    def test_shape(self, result):
+        assert result.shape_ok
+
+    def test_two_years_of_daily_data(self, result):
+        assert len(result.northeast) == 730
+        assert len(result.southeast) == 730
+
+    def test_dip_repeats_both_years(self, result):
+        assert result.seasonal_dip(result.northeast, 0) > 0
+        assert result.seasonal_dip(result.northeast, 1) > 0
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4.run()
+
+    def test_shape(self, result):
+        assert result.shape_ok
+
+    def test_multiple_rncs(self, result):
+        assert len(result.rnc_ids) >= 5
+
+    def test_degradation_is_simultaneous(self, result):
+        """The dips are correlated: most RNCs hit in the same window."""
+        assert result.fraction_degraded >= 0.8
+
+
+class TestFig5:
+    def test_shape(self):
+        result = fig5.run()
+        assert result.shape_ok
+        assert result.volume_during > result.volume_before
+        assert result.retainability_during < result.retainability_before
+
+
+class TestFig6:
+    def test_shape(self):
+        result = fig6.run()
+        assert result.shape_ok
+        assert len(result.tower_ids) == 5
+        assert result.fraction_improved >= 0.8
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7.run()
+
+    def test_all_panels(self, result):
+        for panel in fig7.SCENARIO_EXPECTATIONS:
+            assert result.panel_ok(panel), result.describe()
+
+    def test_study_only_wrong_in_every_panel(self, result):
+        """In each illustration the study-only verdict differs from the
+        true relative impact."""
+        for panel, verdicts in result.verdicts.items():
+            assert verdicts["study-only"] is not verdicts["litmus"]
+
+
+class TestFig8:
+    def test_shape(self):
+        result = fig8.run()
+        assert result.shape_ok
+        assert result.verdicts["litmus"] is Verdict.DEGRADATION
+
+
+class TestFig9:
+    def test_shape(self):
+        result = fig9.run()
+        assert result.shape_ok
+        # Foliage lifted both sides.
+        assert result.study_delta > 0 and result.control_delta > 0
+
+
+class TestFig10:
+    def test_shape(self):
+        result = fig10.run()
+        assert result.shape_ok
+
+    def test_son_towers_degrade_less(self):
+        result = fig10.run()
+        for kpi, study in result.study_series.items():
+            control = result.control_series[kpi]
+            d = result._delta
+            assert d(study) > d(control)
+
+
+class TestFig11:
+    def test_shape(self):
+        result = fig11.run()
+        assert result.shape_ok
+        assert result.verdicts["study-only"] is Verdict.IMPROVEMENT
+        assert result.verdicts["litmus"] is Verdict.NO_IMPACT

@@ -1,0 +1,68 @@
+"""Shape tests for the table experiments and the registry."""
+
+import pytest
+
+from repro.experiments import get_experiment, list_experiments, table2, table3, table4
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = {e.experiment_id for e in list_experiments()}
+        expected = {f"fig{i}" for i in (1, 3, 4, 5, 6, 7, 8, 9, 10, 11)} | {
+            "table2",
+            "table3",
+            "table4",
+        }
+        assert ids == expected
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("fig99")
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2.run()
+
+    def test_shape(self, result):
+        assert result.shape_ok
+
+    def test_case_count_matches_paper(self, result):
+        assert result.evaluation.n_cases == 313
+
+    def test_algorithm_ordering(self, result):
+        t = result.totals
+        assert (
+            t["litmus"].accuracy
+            > t["difference-in-differences"].accuracy
+            > t["study-only"].accuracy
+        )
+
+    def test_describe_renders(self, result):
+        text = result.describe()
+        assert "Accuracy" in text and "litmus" in text
+
+
+class TestTable3:
+    def test_shape(self):
+        result = table3.run(n_seeds=6)
+        assert result.shape_ok
+        assert "MISMATCH" not in result.describe()
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table4.run(n_seeds=4)
+
+    def test_shape(self, result):
+        assert result.shape_ok
+
+    def test_litmus_best_recall(self, result):
+        m = result.matrices
+        assert m["litmus"].recall > m["difference-in-differences"].recall
+        assert m["litmus"].recall > m["study-only"].recall
+
+    def test_describe_includes_paper_comparison(self, result):
+        assert "paper accuracy" in result.describe()

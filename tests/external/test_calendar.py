@@ -1,0 +1,59 @@
+"""Tests for repro.external.calendar."""
+
+import pytest
+
+from repro.external.calendar import US_HOLIDAYS, Holiday, HolidayCalendar
+
+
+class TestHoliday:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            Holiday("bad", 365)
+        with pytest.raises(ValueError):
+            Holiday("bad", 0, 0)
+
+
+class TestCalendar:
+    def test_windows_within_one_year(self):
+        cal = HolidayCalendar()
+        windows = cal.windows_between(0, 365)
+        names = [name for name, _, _ in windows]
+        assert "christmas" in names
+        assert "independence-day" in names
+        assert names == sorted(names, key=lambda n: dict((w[0], w[1]) for w in windows)[n])
+
+    def test_windows_repeat_yearly(self):
+        cal = HolidayCalendar()
+        year1 = cal.windows_between(0, 365)
+        year2 = cal.windows_between(365, 730)
+        assert len(year1) == len(year2)
+        for (n1, s1, e1), (n2, s2, e2) in zip(year1, year2):
+            assert n1 == n2
+            assert s2 - s1 == 365
+
+    def test_windows_clipped_to_query(self):
+        cal = HolidayCalendar([Holiday("x", 100, 10)])
+        windows = cal.windows_between(105, 108)
+        assert windows == [("x", 105, 108)]
+
+    def test_empty_query(self):
+        assert HolidayCalendar().windows_between(10, 10) == []
+
+    def test_is_holiday(self):
+        cal = HolidayCalendar([Holiday("x", 50, 2)])
+        assert cal.is_holiday(50)
+        assert cal.is_holiday(51)
+        assert not cal.is_holiday(52)
+
+    def test_next_holiday_wraps_year(self):
+        cal = HolidayCalendar([Holiday("x", 10, 1)])
+        name, start = cal.next_holiday(300)
+        assert name == "x"
+        assert start == 365 + 10
+
+    def test_next_holiday_no_holidays(self):
+        with pytest.raises(ValueError):
+            HolidayCalendar([]).next_holiday(0)
+
+    def test_default_calendar_has_us_holidays(self):
+        assert len(US_HOLIDAYS) >= 5

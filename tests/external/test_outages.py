@@ -1,0 +1,79 @@
+"""Tests for repro.external.outages."""
+
+import numpy as np
+import pytest
+
+from repro.external.outages import Outage, UpstreamChange
+from repro.kpi.generator import generate_kpis
+from repro.kpi.metrics import KpiKind
+from repro.network.builder import build_network
+from repro.network.technology import ElementRole
+
+VR = KpiKind.VOICE_RETAINABILITY
+
+
+@pytest.fixture
+def world():
+    topo = build_network(seed=10, controllers_per_region=3, towers_per_controller=3)
+    store = generate_kpis(topo, (VR,), seed=10, horizon_days=60)
+    return topo, store
+
+
+class TestOutage:
+    def test_hits_subtree(self, world):
+        topo, store = world
+        rnc = topo.elements(role=ElementRole.RNC)[0]
+        touched = Outage(rnc.element_id, 30.0).apply(store, topo, [VR])
+        expected = {rnc.element_id} | {
+            e.element_id for e in topo.descendants(rnc.element_id) if e.is_tower
+        }
+        assert set(touched) == expected
+
+    def test_degrades_then_recovers(self, world):
+        topo, store = world
+        rnc = topo.elements(role=ElementRole.RNC)[0]
+        before = store.get(rnc.element_id, VR).values.copy()
+        Outage(rnc.element_id, 30.0, severity=6.0, recovery_days=2.0).apply(
+            store, topo, [VR]
+        )
+        after = store.get(rnc.element_id, VR).values
+        assert after[30] < before[30]
+        assert abs(after[55] - before[55]) < 1e-4
+
+    def test_other_subtrees_untouched(self, world):
+        topo, store = world
+        rncs = topo.elements(role=ElementRole.RNC)
+        other = rncs[1]
+        before = store.get(other.element_id, VR).values.copy()
+        Outage(rncs[0].element_id, 30.0).apply(store, topo, [VR])
+        assert np.array_equal(store.get(other.element_id, VR).values, before)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Outage("e", 0.0, severity=0.0)
+        with pytest.raises(ValueError):
+            Outage("e", 0.0, recovery_days=0.0)
+
+
+class TestUpstreamChange:
+    def test_sustained_improvement_on_subtree(self, world):
+        topo, store = world
+        rnc = topo.elements(role=ElementRole.RNC)[0]
+        tower = topo.children(rnc.element_id)[0]
+        before = store.get(tower.element_id, VR).values.copy()
+        UpstreamChange(rnc.element_id, 30.0, severity=3.0).apply(store, topo, [VR])
+        after = store.get(tower.element_id, VR).values
+        assert np.all(after[30:] >= before[30:])
+        assert after[55] > before[55]  # sustained, not transient
+
+    def test_negative_severity_degrades(self, world):
+        topo, store = world
+        rnc = topo.elements(role=ElementRole.RNC)[1]
+        before = store.get(rnc.element_id, VR).values.copy()
+        UpstreamChange(rnc.element_id, 30.0, severity=-3.0).apply(store, topo, [VR])
+        assert store.get(rnc.element_id, VR).values[40] < before[40]
+
+    def test_unknown_element(self, world):
+        topo, store = world
+        with pytest.raises(KeyError):
+            UpstreamChange("ghost", 30.0).apply(store, topo, [VR])

@@ -1,0 +1,81 @@
+"""Tests for repro.external.timeline."""
+
+import pytest
+
+from repro.external.outages import Outage, UpstreamChange
+from repro.external.timeline import TimelineConfig, generate_timeline
+from repro.external.traffic import HolidayLull
+from repro.external.weather import WeatherEvent
+from repro.kpi.generator import generate_kpis
+from repro.kpi.metrics import KpiKind
+from repro.network.builder import build_network
+from repro.network.geography import Region
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_network(seed=91, controllers_per_region=4, towers_per_controller=2)
+
+
+class TestGeneration:
+    def test_deterministic(self, topo):
+        a = generate_timeline(topo, Region.NORTHEAST, 0, 365)
+        b = generate_timeline(topo, Region.NORTHEAST, 0, 365)
+        assert len(a) == len(b)
+        assert [type(f).__name__ for f in a] == [type(f).__name__ for f in b]
+
+    def test_event_mix(self, topo):
+        factors = generate_timeline(
+            topo,
+            Region.NORTHEAST,
+            0,
+            365,
+            TimelineConfig(seed=3),
+        )
+        kinds = {type(f) for f in factors}
+        assert WeatherEvent in kinds
+        assert HolidayLull in kinds
+
+    def test_rates_scale_with_duration(self, topo):
+        cfg = TimelineConfig(storms_per_year=50.0, include_holidays=False, seed=4)
+        short = generate_timeline(topo, Region.NORTHEAST, 0, 30, cfg)
+        long = generate_timeline(topo, Region.NORTHEAST, 0, 365, cfg)
+        assert len(long) > len(short)
+
+    def test_zero_rates_only_holidays(self, topo):
+        cfg = TimelineConfig(
+            storms_per_year=0,
+            severe_per_year=0,
+            outages_per_year=0,
+            upstream_changes_per_year=0,
+        )
+        factors = generate_timeline(topo, Region.NORTHEAST, 0, 365, cfg)
+        assert all(isinstance(f, HolidayLull) for f in factors)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TimelineConfig(storms_per_year=-1.0)
+
+    def test_factors_applicable(self, topo):
+        """Every generated factor applies cleanly to a store."""
+        store = generate_kpis(
+            topo, (KpiKind.VOICE_RETAINABILITY,), seed=91, horizon_days=120
+        )
+        factors = generate_timeline(
+            topo, Region.NORTHEAST, 0, 120, TimelineConfig(seed=5)
+        )
+        for factor in factors:
+            factor.apply(store, topo, [KpiKind.VOICE_RETAINABILITY])
+
+    def test_outage_targets_in_region(self, topo):
+        factors = generate_timeline(
+            topo,
+            Region.NORTHEAST,
+            0,
+            3650,
+            TimelineConfig(outages_per_year=20, include_holidays=False, seed=6),
+        )
+        outages = [f for f in factors if isinstance(f, (Outage, UpstreamChange))]
+        assert outages
+        for outage in outages:
+            assert topo.get(outage.element_id).region is Region.NORTHEAST

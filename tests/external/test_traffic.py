@@ -1,0 +1,84 @@
+"""Tests for repro.external.traffic."""
+
+import numpy as np
+import pytest
+
+from repro.external.calendar import Holiday, HolidayCalendar
+from repro.external.traffic import BigEvent, HolidayLull
+from repro.kpi.generator import generate_kpis
+from repro.kpi.metrics import KpiKind
+from repro.network.builder import build_network
+from repro.network.geography import GeoPoint, Region
+
+VR = KpiKind.VOICE_RETAINABILITY
+CV = KpiKind.CALL_VOLUME
+
+
+@pytest.fixture
+def world():
+    topo = build_network(seed=8, controllers_per_region=3, towers_per_controller=3)
+    store = generate_kpis(topo, (VR, CV), seed=8, horizon_days=60)
+    return topo, store
+
+
+class TestHolidayLull:
+    def test_quality_up_volume_down(self, world):
+        topo, store = world
+        eid = store.element_ids(VR)[0]
+        vr_before = store.get(eid, VR).values.copy()
+        cv_before = store.get(eid, CV).values.copy()
+        HolidayLull(Region.NORTHEAST, 30.0, 5.0, severity=4.0).apply(
+            store, topo, [VR, CV]
+        )
+        assert store.get(eid, VR).values[32] > vr_before[32]
+        assert store.get(eid, CV).values[32] < cv_before[32]
+
+    def test_window_bounded(self, world):
+        topo, store = world
+        eid = store.element_ids(VR)[0]
+        before = store.get(eid, VR).values.copy()
+        HolidayLull(Region.NORTHEAST, 30.0, 5.0).apply(store, topo, [VR])
+        after = store.get(eid, VR).values
+        assert np.array_equal(after[:30], before[:30])
+        assert np.array_equal(after[36:], before[36:])
+
+    def test_region_scoped(self, world):
+        topo, store = world
+        lull = HolidayLull(Region.SOUTHEAST, 30.0, 5.0)
+        assert lull.apply(store, topo, [VR]) == []
+
+    def test_from_calendar(self):
+        cal = HolidayCalendar([Holiday("x", 40, 3)])
+        lull = HolidayLull.from_calendar(cal, Region.NORTHEAST, around_day=10)
+        assert lull.start_day == 40.0
+        assert lull.duration_days == 3.0
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            HolidayLull(Region.NORTHEAST, 0.0, 0.0)
+
+
+class TestBigEvent:
+    def test_volume_surge_quality_dip(self, world):
+        topo, store = world
+        venue = next(iter(topo)).location
+        event = BigEvent(venue, 30.0, duration_days=1.0, radius_km=5000.0, surge=5.0)
+        eid = store.element_ids(VR)[0]
+        vr_before = store.get(eid, VR).values.copy()
+        cv_before = store.get(eid, CV).values.copy()
+        event.apply(store, topo, [VR, CV])
+        assert store.get(eid, VR).values[30] < vr_before[30]
+        assert store.get(eid, CV).values[30] > cv_before[30]
+
+    def test_localised_footprint(self, world):
+        topo, store = world
+        venue = next(iter(topo)).location
+        event = BigEvent(venue, 30.0, radius_km=1.0)
+        touched = event.apply(store, topo, [VR])
+        assert len(touched) < len(store.element_ids(VR))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BigEvent(GeoPoint(0, 0), 0.0, duration_days=0.0)
+        with pytest.raises(ValueError):
+            BigEvent(GeoPoint(0, 0), 0.0, radius_km=0.0)

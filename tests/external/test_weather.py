@@ -1,0 +1,129 @@
+"""Tests for repro.external.weather."""
+
+import numpy as np
+import pytest
+
+from repro.external.weather import WeatherEvent, WeatherKind, hurricane, tornado_outbreak
+from repro.kpi.generator import generate_kpis
+from repro.kpi.metrics import KpiKind, get_kpi
+from repro.network.builder import build_network
+from repro.network.geography import GeoPoint
+
+VR = KpiKind.VOICE_RETAINABILITY
+DCR = KpiKind.DROPPED_CALL_RATIO
+
+
+@pytest.fixture
+def world():
+    topo = build_network(seed=6, controllers_per_region=3, towers_per_controller=3)
+    store = generate_kpis(topo, (VR, DCR), seed=6, horizon_days=60)
+    return topo, store
+
+
+def center_of(topo):
+    lats = [e.location.lat for e in topo]
+    lons = [e.location.lon for e in topo]
+    return GeoPoint(sum(lats) / len(lats), sum(lons) / len(lons))
+
+
+class TestFootprint:
+    def test_radius_limits_footprint(self, world):
+        topo, _ = world
+        anchor = next(iter(topo))
+        tight = WeatherEvent(WeatherKind.RAIN, anchor.location, 1.0, 30.0)
+        wide = WeatherEvent(WeatherKind.RAIN, anchor.location, 5000.0, 30.0)
+        assert len(tight.affected_elements(topo)) < len(wide.affected_elements(topo))
+        assert len(wide.affected_elements(topo)) == len(topo)
+
+    def test_attenuation_declines_with_distance(self, world):
+        topo, _ = world
+        center = center_of(topo)
+        event = WeatherEvent(WeatherKind.STORM, center, 800.0, 30.0)
+        elements = sorted(
+            topo, key=lambda e: e.location.distance_km(center)
+        )
+        nearest, farthest = elements[0], elements[-1]
+        assert event.attenuation(nearest) >= event.attenuation(farthest)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            WeatherEvent(WeatherKind.RAIN, GeoPoint(0, 0), 0.0, 1.0)
+
+
+class TestApplication:
+    def test_degrades_higher_better_kpi(self, world):
+        topo, store = world
+        center = center_of(topo)
+        eid = store.element_ids(VR)[0]
+        before = store.get(eid, VR).values.copy()
+        WeatherEvent(WeatherKind.STORM, center, 5000.0, 30.0, severity=5.0).apply(
+            store, topo, [VR]
+        )
+        after = store.get(eid, VR).values
+        assert after[31] < before[31]
+        assert np.array_equal(after[:30], before[:30])  # pre-event untouched
+
+    def test_raises_lower_better_kpi(self, world):
+        topo, store = world
+        center = center_of(topo)
+        eid = store.element_ids(DCR)[0]
+        before = store.get(eid, DCR).values.copy()
+        WeatherEvent(WeatherKind.STORM, center, 5000.0, 30.0, severity=5.0).apply(
+            store, topo, [DCR]
+        )
+        assert store.get(eid, DCR).values[31] > before[31]
+
+    def test_returns_touched_ids(self, world):
+        topo, store = world
+        touched = WeatherEvent(
+            WeatherKind.RAIN, center_of(topo), 5000.0, 30.0
+        ).apply(store, topo, [VR])
+        assert set(touched) == set(store.element_ids(VR))
+
+    def test_recovery_returns_to_baseline(self, world):
+        topo, store = world
+        eid = store.element_ids(VR)[0]
+        before = store.get(eid, VR).values.copy()
+        WeatherEvent(
+            WeatherKind.WIND, center_of(topo), 5000.0, 30.0, severity=4.0, recovery_days=2.0
+        ).apply(store, topo, [VR])
+        after = store.get(eid, VR).values
+        assert abs(after[55] - before[55]) < 1e-4
+
+
+class TestOutages:
+    def test_outage_fraction_picks_towers(self, world):
+        topo, store = world
+        event = WeatherEvent(
+            WeatherKind.HURRICANE,
+            center_of(topo),
+            5000.0,
+            30.0,
+            outage_fraction=0.5,
+        )
+        outages = event._pick_outages(event.affected_elements(topo))
+        n_towers = sum(1 for e in topo if e.is_tower)
+        assert len(outages) == round(0.5 * n_towers)
+
+    def test_outage_selection_deterministic(self, world):
+        topo, _ = world
+        event = WeatherEvent(
+            WeatherKind.HURRICANE, center_of(topo), 5000.0, 30.0, outage_fraction=0.3
+        )
+        affected = event.affected_elements(topo)
+        assert event._pick_outages(affected) == event._pick_outages(affected)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            WeatherEvent(WeatherKind.RAIN, GeoPoint(0, 0), 10.0, 0.0, outage_fraction=1.5)
+
+
+class TestHelpers:
+    def test_hurricane_defaults(self):
+        h = hurricane(GeoPoint(40.0, -74.0), 100.0)
+        assert h.kind is WeatherKind.HURRICANE
+        assert h.outage_fraction > 0
+
+    def test_tornado_outbreak(self):
+        t = tornado_outbreak(GeoPoint(40.0, -74.0), 50.0)
+        assert t.kind is WeatherKind.HAIL_TORNADO

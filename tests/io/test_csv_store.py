@@ -1,0 +1,100 @@
+"""Tests for repro.io.csv_store."""
+
+import numpy as np
+import pytest
+
+from repro.io.csv_store import read_store_csv, write_store_csv
+from repro.kpi.metrics import KpiKind
+from repro.kpi.store import KpiStore
+from repro.stats.timeseries import Frequency, TimeSeries
+
+VR = KpiKind.VOICE_RETAINABILITY
+TH = KpiKind.DATA_THROUGHPUT
+
+
+@pytest.fixture
+def store():
+    s = KpiStore()
+    s.put("e1", VR, TimeSeries([0.97, 0.96, 0.98], start=5))
+    s.put("e1", TH, TimeSeries([12.0, 11.5, 12.5], start=5))
+    s.put("e2", VR, TimeSeries([0.95, 0.94], start=0))
+    return s
+
+
+class TestRoundTrip:
+    def test_values_and_axes_preserved(self, store, tmp_path):
+        path = tmp_path / "kpi.csv"
+        rows = write_store_csv(store, path)
+        assert rows == 8
+        loaded = read_store_csv(path)
+        for eid in store.element_ids():
+            for kpi in store.kpis_for(eid):
+                original = store.get(eid, kpi)
+                restored = loaded.get(eid, kpi)
+                assert restored.start == original.start
+                assert np.array_equal(restored.values, original.values)
+
+    def test_float_precision_exact(self, store, tmp_path):
+        path = tmp_path / "kpi.csv"
+        s = KpiStore()
+        s.put("e", VR, TimeSeries([0.1 + 0.2]))  # a notoriously ugly float
+        write_store_csv(s, path)
+        loaded = read_store_csv(path)
+        assert loaded.get("e", VR)[0] == 0.1 + 0.2
+
+    def test_hourly_freq_roundtrip(self, tmp_path):
+        path = tmp_path / "kpi.csv"
+        s = KpiStore()
+        s.put("e", VR, TimeSeries(np.full(48, 0.97), freq=Frequency.HOURLY))
+        write_store_csv(s, path, freq=Frequency.HOURLY)
+        loaded = read_store_csv(path)
+        assert loaded.get("e", VR).freq == Frequency.HOURLY
+
+
+class TestValidation:
+    def test_freq_mismatch_on_write(self, tmp_path):
+        s = KpiStore()
+        s.put("e", VR, TimeSeries([0.9], freq=24))
+        with pytest.raises(ValueError, match="freq"):
+            write_store_csv(s, tmp_path / "kpi.csv", freq=1)
+
+    def test_gap_rejected_on_read(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "element_id,kpi,day,value\n"
+            "e,voice-retainability,0,0.9\n"
+            "e,voice-retainability,2,0.9\n"
+        )
+        with pytest.raises(ValueError, match="gaps"):
+            read_store_csv(path)
+
+    def test_unknown_kpi_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("element_id,kpi,day,value\ne,bogus-kpi,0,0.9\n")
+        with pytest.raises(ValueError, match="unknown KPI"):
+            read_store_csv(path)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            read_store_csv(path)
+
+    def test_malformed_value_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "element_id,kpi,day,value\ne,voice-retainability,0,not-a-number\n"
+        )
+        with pytest.raises(ValueError, match="malformed"):
+            read_store_csv(path)
+
+    def test_headerless_plain_csv_accepted(self, tmp_path):
+        """Files without the export comment still load (freq=1)."""
+        path = tmp_path / "plain.csv"
+        path.write_text(
+            "element_id,kpi,day,value\n"
+            "e,voice-retainability,0,0.9\n"
+            "e,voice-retainability,1,0.91\n"
+        )
+        loaded = read_store_csv(path)
+        assert len(loaded.get("e", VR)) == 2

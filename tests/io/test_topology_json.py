@@ -1,0 +1,91 @@
+"""Tests for repro.io.topology_json."""
+
+import json
+
+import pytest
+
+from repro.io.topology_json import (
+    changelog_from_json,
+    changelog_to_json,
+    read_topology_json,
+    topology_from_json,
+    topology_to_json,
+    write_topology_json,
+)
+from repro.network.builder import build_network
+from repro.network.changes import ChangeEvent, ChangeLog, ChangeType
+
+
+class TestTopologyRoundTrip:
+    def test_full_roundtrip(self):
+        topo = build_network(seed=12, controllers_per_region=3, towers_per_controller=2)
+        restored = topology_from_json(topology_to_json(topo))
+        assert len(restored) == len(topo)
+        for element in topo:
+            twin = restored.get(element.element_id)
+            assert twin == element
+
+    def test_hierarchy_preserved(self):
+        topo = build_network(seed=12)
+        restored = topology_from_json(topology_to_json(topo))
+        for element in topo:
+            original_parent = topo.parent(element.element_id)
+            restored_parent = restored.parent(element.element_id)
+            if original_parent is None:
+                assert restored_parent is None
+            else:
+                assert restored_parent.element_id == original_parent.element_id
+
+    def test_out_of_order_elements_resolved(self):
+        """Children serialised before parents still load."""
+        topo = build_network(seed=12, controllers_per_region=2, towers_per_controller=1)
+        payload = json.loads(topology_to_json(topo))
+        payload["elements"].reverse()
+        restored = topology_from_json(json.dumps(payload))
+        assert len(restored) == len(topo)
+
+    def test_missing_parent_rejected(self):
+        topo = build_network(seed=12, controllers_per_region=1, towers_per_controller=1)
+        payload = json.loads(topology_to_json(topo))
+        payload["elements"] = [
+            e for e in payload["elements"] if e["parent_id"] is not None
+        ]
+        with pytest.raises(ValueError, match="unresolvable"):
+            topology_from_json(json.dumps(payload))
+
+    def test_version_checked(self):
+        with pytest.raises(ValueError, match="version"):
+            topology_from_json(json.dumps({"version": 99, "elements": []}))
+
+    def test_file_helpers(self, tmp_path):
+        topo = build_network(seed=13, controllers_per_region=1, towers_per_controller=1)
+        path = tmp_path / "topo.json"
+        write_topology_json(topo, path)
+        assert len(read_topology_json(path)) == len(topo)
+
+
+class TestChangeLogRoundTrip:
+    def test_roundtrip(self):
+        log = ChangeLog(
+            [
+                ChangeEvent(
+                    "c1",
+                    ChangeType.SOFTWARE_UPGRADE,
+                    10,
+                    frozenset({"a", "b"}),
+                    description="upgrade",
+                    parameters=("x",),
+                ),
+                ChangeEvent("c2", ChangeType.MAINTENANCE, 3, frozenset({"c"})),
+            ]
+        )
+        restored = changelog_from_json(changelog_to_json(log))
+        assert len(restored) == 2
+        c1 = restored.get("c1")
+        assert c1.change_type is ChangeType.SOFTWARE_UPGRADE
+        assert c1.element_ids == frozenset({"a", "b"})
+        assert c1.parameters == ("x",)
+
+    def test_version_checked(self):
+        with pytest.raises(ValueError, match="version"):
+            changelog_from_json(json.dumps({"version": 0, "events": []}))

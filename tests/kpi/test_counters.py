@@ -1,0 +1,119 @@
+"""Tests for repro.kpi.counters — CDR-level counter simulation."""
+
+import numpy as np
+import pytest
+
+from repro.kpi.counters import (
+    DailyCounters,
+    accessibility,
+    retainability,
+    simulate_counters,
+)
+
+
+class TestSimulation:
+    def test_ratios_match_probabilities(self):
+        n = 365
+        counters = simulate_counters(
+            daily_volume=20000,
+            accessibility_prob=np.full(n, 0.96),
+            drop_prob=np.full(n, 0.02),
+            seed=1,
+        )
+        acc = accessibility(counters)
+        ret = retainability(counters)
+        assert acc.mean() == pytest.approx(0.96, abs=0.002)
+        assert ret.mean() == pytest.approx(0.98, abs=0.002)
+
+    def test_small_volume_noisier(self):
+        n = 365
+        kwargs = dict(
+            accessibility_prob=np.full(n, 0.96),
+            drop_prob=np.full(n, 0.02),
+            seed=2,
+        )
+        small = accessibility(simulate_counters(daily_volume=200, **kwargs))
+        large = accessibility(simulate_counters(daily_volume=20000, **kwargs))
+        assert small.std() > 3 * large.std()
+
+    def test_weekend_volume_reduced(self):
+        counters = simulate_counters(
+            daily_volume=10000,
+            accessibility_prob=np.full(70, 0.95),
+            drop_prob=np.full(70, 0.02),
+            seed=3,
+        )
+        dow = np.arange(70) % 7
+        weekday_mean = counters.attempts[dow < 5].mean()
+        weekend_mean = counters.attempts[dow >= 5].mean()
+        assert weekend_mean < weekday_mean
+
+    def test_probability_change_moves_ratio(self):
+        """A mid-series drop-probability change shows up in retainability —
+        the counter-level view of a KPI level shift."""
+        n = 60
+        p_drop = np.where(np.arange(n) < 30, 0.02, 0.05)
+        counters = simulate_counters(
+            daily_volume=20000,
+            accessibility_prob=np.full(n, 0.96),
+            drop_prob=p_drop,
+            seed=4,
+        )
+        ret = retainability(counters)
+        assert ret.values[:30].mean() - ret.values[30:].mean() == pytest.approx(
+            0.03, abs=0.005
+        )
+
+    def test_deterministic(self):
+        kwargs = dict(
+            daily_volume=1000,
+            accessibility_prob=np.full(10, 0.9),
+            drop_prob=np.full(10, 0.05),
+            seed=5,
+        )
+        a = simulate_counters(**kwargs)
+        b = simulate_counters(**kwargs)
+        assert np.array_equal(a.attempts, b.attempts)
+        assert np.array_equal(a.network_drops, b.network_drops)
+
+
+class TestValidation:
+    def test_counter_consistency_enforced(self):
+        with pytest.raises(ValueError, match="exceed"):
+            DailyCounters(
+                attempts=np.array([10]),
+                establishments=np.array([11]),
+                network_drops=np.array([0]),
+            )
+        with pytest.raises(ValueError, match="exceed"):
+            DailyCounters(
+                attempts=np.array([10]),
+                establishments=np.array([8]),
+                network_drops=np.array([9]),
+            )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DailyCounters(np.array([1]), np.array([1, 1]), np.array([0]))
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            simulate_counters(100, [1.5], [0.0])
+
+    def test_volume_positive(self):
+        with pytest.raises(ValueError):
+            simulate_counters(0, [0.9], [0.01])
+
+    def test_zero_attempt_day_ratio_one(self):
+        counters = DailyCounters(
+            attempts=np.array([0]),
+            establishments=np.array([0]),
+            network_drops=np.array([0]),
+        )
+        assert accessibility(counters)[0] == 1.0
+        assert retainability(counters)[0] == 1.0
+
+    def test_counters_immutable(self):
+        counters = DailyCounters(np.array([5]), np.array([4]), np.array([1]))
+        with pytest.raises(ValueError):
+            counters.attempts[0] = 99

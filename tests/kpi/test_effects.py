@@ -1,0 +1,124 @@
+"""Tests for repro.kpi.effects."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kpi.effects import LevelShift, Ramp, Spike, TransientDip, apply_effects
+from repro.stats.timeseries import Frequency, TimeSeries
+
+
+def flat(n=30, value=10.0, start=0, freq=1):
+    return TimeSeries(np.full(n, value), start=start, freq=freq)
+
+
+class TestLevelShift:
+    def test_step_at_start_day(self):
+        ts = LevelShift(2.0, 10).apply(flat())
+        assert ts[9] == 10.0
+        assert ts[10] == 12.0
+        assert ts[29] == 12.0
+
+    def test_bounded_window(self):
+        ts = LevelShift(2.0, 10, 20).apply(flat())
+        assert ts[19] == 12.0
+        assert ts[20] == 10.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            LevelShift(1.0, 10, 10)
+
+    def test_hourly_series_day_units(self):
+        hourly = flat(n=48, freq=Frequency.HOURLY)
+        ts = LevelShift(1.0, 1.0).apply(hourly)
+        assert ts[23] == 10.0  # last hour of day 0
+        assert ts[24] == 11.0  # first hour of day 1
+
+
+class TestRamp:
+    def test_linear_growth(self):
+        ts = Ramp(0.5, 10).apply(flat())
+        assert ts[10] == 10.0
+        assert ts[12] == 11.0
+        assert ts[20] == 15.0
+
+    def test_holds_after_end(self):
+        ts = Ramp(1.0, 10, 15).apply(flat())
+        assert ts[15] == 15.0
+        assert ts[25] == 15.0  # held at final value
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            Ramp(1.0, 5, 5)
+
+
+class TestTransientDip:
+    def test_immediate_depth_then_decay(self):
+        ts = TransientDip(-4.0, 10, recovery_days=2.0).apply(flat())
+        assert ts[10] == pytest.approx(6.0)
+        assert ts[12] == pytest.approx(10.0 - 4.0 * np.exp(-1.0))
+        assert ts[29] == pytest.approx(10.0, abs=1e-3)
+
+    def test_no_effect_before_start(self):
+        ts = TransientDip(-4.0, 10).apply(flat())
+        assert ts[9] == 10.0
+
+    def test_invalid_recovery(self):
+        with pytest.raises(ValueError):
+            TransientDip(-1.0, 0, recovery_days=0.0)
+
+
+class TestSpike:
+    def test_hard_edges(self):
+        ts = Spike(3.0, 10, 2.0).apply(flat())
+        assert ts[9] == 10.0
+        assert ts[10] == 13.0
+        assert ts[11] == 13.0
+        assert ts[12] == 10.0
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            Spike(1.0, 0, 0.0)
+
+
+class TestApplyEffects:
+    def test_additive_composition(self):
+        ts = apply_effects(flat(), [LevelShift(1.0, 5), LevelShift(2.0, 10)])
+        assert ts[4] == 10.0
+        assert ts[7] == 11.0
+        assert ts[15] == 13.0
+
+    def test_empty_effect_list_identity(self):
+        original = flat()
+        assert np.array_equal(apply_effects(original, []).values, original.values)
+
+
+@given(
+    magnitude=st.floats(-10, 10),
+    start=st.integers(0, 25),
+    n=st.integers(1, 40),
+)
+@settings(max_examples=50)
+def test_level_shift_conservation_property(magnitude, start, n):
+    """Samples before start are untouched; samples after differ by exactly
+    the magnitude."""
+    base = TimeSeries(np.zeros(n))
+    shifted = LevelShift(magnitude, start).apply(base)
+    for i in range(n):
+        expected = magnitude if i >= start else 0.0
+        assert shifted[i] == pytest.approx(expected)
+
+
+@given(
+    depth=st.floats(-5, -0.1),
+    recovery=st.floats(0.5, 10.0),
+)
+@settings(max_examples=50)
+def test_transient_dip_monotone_recovery_property(depth, recovery):
+    """After the initial hit, the dip decays monotonically back to zero."""
+    base = TimeSeries(np.zeros(40))
+    dipped = TransientDip(depth, 5, recovery).apply(base)
+    tail = dipped.values[5:]
+    assert np.all(np.diff(tail) >= -1e-12)
+    assert tail[0] == pytest.approx(depth)

@@ -1,0 +1,138 @@
+"""Tests for repro.kpi.generator — the spatially correlated KPI substrate.
+
+These tests validate the generative model against the paper's Section 3.1
+observations: nearby elements are statistically dependent, same-controller
+elements more so, foliage shows up in the Northeast only.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kpi.generator import GeneratorConfig, KpiGenerator, generate_kpis
+from repro.kpi.metrics import KpiKind, get_kpi
+from repro.network.builder import NetworkSpec, build_network
+from repro.network.geography import Region
+from repro.network.technology import ElementRole
+from repro.stats.correlation import pearson
+
+VR = KpiKind.VOICE_RETAINABILITY
+
+
+@pytest.fixture(scope="module")
+def world():
+    topo = build_network(seed=3, controllers_per_region=4, towers_per_controller=4)
+    store = generate_kpis(topo, (VR,), seed=3, horizon_days=200)
+    return topo, store
+
+
+class TestBasics:
+    def test_series_for_all_reporting_elements(self, world):
+        topo, store = world
+        reporting = [e for e in topo if e.is_tower or e.is_controller or e.is_core]
+        assert len(store.element_ids(VR)) == len(reporting)
+
+    def test_horizon_respected(self, world):
+        topo, store = world
+        eid = store.element_ids(VR)[0]
+        assert len(store.get(eid, VR)) == 200
+
+    def test_bounded_kpis_in_unit_interval(self, world):
+        topo, store = world
+        for eid in store.element_ids(VR):
+            values = store.get(eid, VR).values
+            assert np.all(values >= 0.0) and np.all(values <= 1.0)
+
+    def test_values_near_baseline(self, world):
+        topo, store = world
+        baseline = get_kpi(VR).baseline
+        for eid in store.element_ids(VR)[:5]:
+            assert store.get(eid, VR).mean() == pytest.approx(baseline, abs=0.05)
+
+
+class TestDeterminism:
+    def test_same_seed_identical(self):
+        topo = build_network(seed=5, controllers_per_region=2, towers_per_controller=2)
+        a = generate_kpis(topo, (VR,), seed=9)
+        b = generate_kpis(topo, (VR,), seed=9)
+        for eid in a.element_ids(VR):
+            assert np.array_equal(a.get(eid, VR).values, b.get(eid, VR).values)
+
+    def test_element_series_independent_of_selection(self):
+        """Generating a subset must not change an element's series —
+        random streams are keyed per element, not drawn sequentially."""
+        topo = build_network(seed=5, controllers_per_region=2, towers_per_controller=2)
+        full = generate_kpis(topo, (VR,), seed=9)
+        towers = [e for e in topo if e.is_tower]
+        gen = KpiGenerator(GeneratorConfig(seed=9))
+        partial = gen.generate(topo, (VR,), elements=towers[:1])
+        eid = towers[0].element_id
+        assert np.array_equal(full.get(eid, VR).values, partial.get(eid, VR).values)
+
+
+class TestSpatialDependency:
+    def test_same_region_positive_correlation(self, world):
+        """Observation (i): nearby elements are statistically dependent."""
+        topo, store = world
+        towers = [e.element_id for e in topo if e.is_tower][:8]
+        correlations = []
+        for i in range(len(towers)):
+            for j in range(i + 1, len(towers)):
+                a = store.get(towers[i], VR).values
+                b = store.get(towers[j], VR).values
+                correlations.append(pearson(a, b))
+        assert np.median(correlations) > 0.3
+
+    def test_same_controller_more_correlated(self, world):
+        """Same-RNC towers share an extra factor, so they correlate more
+        strongly than cross-RNC pairs."""
+        topo, store = world
+        same, cross = [], []
+        towers = [e for e in topo if e.is_tower]
+        for i in range(len(towers)):
+            for j in range(i + 1, len(towers)):
+                r = pearson(
+                    store.get(towers[i].element_id, VR).values,
+                    store.get(towers[j].element_id, VR).values,
+                )
+                if towers[i].parent_id == towers[j].parent_id:
+                    same.append(r)
+                else:
+                    cross.append(r)
+        assert np.mean(same) > np.mean(cross)
+
+
+class TestFoliage:
+    def test_northeast_summer_dip_southeast_flat(self):
+        spec = NetworkSpec(
+            regions=(Region.NORTHEAST, Region.SOUTHEAST),
+            controllers_per_region=2,
+            towers_per_controller=2,
+            seed=4,
+        )
+        topo = build_network(spec)
+        store = generate_kpis(
+            topo, (VR,), seed=4, horizon_days=365, foliage_amplitude=6.0
+        )
+
+        def seasonal_gap(region):
+            ids = [e.element_id for e in topo if e.is_tower and e.region == region]
+            matrix, _ = store.matrix(ids, VR)
+            avg = matrix.mean(axis=1)
+            return float(np.mean(avg[280:360]) - np.mean(avg[130:220]))
+
+        assert seasonal_gap(Region.NORTHEAST) > 3 * abs(seasonal_gap(Region.SOUTHEAST))
+
+
+class TestConfigValidation:
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(horizon_days=0)
+
+    def test_bad_loading_range(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(loading_range=(1.0, 0.5))
+
+    def test_config_and_overrides_exclusive(self):
+        topo = build_network(seed=1, controllers_per_region=1, towers_per_controller=1)
+        with pytest.raises(ValueError):
+            generate_kpis(topo, (VR,), config=GeneratorConfig(), seed=3)

@@ -1,0 +1,55 @@
+"""Tests for repro.kpi.metrics."""
+
+import pytest
+
+from repro.kpi.metrics import DEFAULT_KPIS, KPI_CATALOG, Kpi, KpiKind, get_kpi
+
+
+class TestCatalog:
+    def test_every_kind_in_catalog(self):
+        for kind in KpiKind:
+            assert kind in KPI_CATALOG
+
+    def test_default_kpis_subset(self):
+        for kind in DEFAULT_KPIS:
+            assert kind in KPI_CATALOG
+
+    def test_ratio_kpis_bounded(self):
+        for kpi in KPI_CATALOG.values():
+            if kpi.unit == "ratio":
+                assert kpi.bounded_unit_interval
+                assert 0.0 < kpi.baseline < 1.0
+
+    def test_headroom_for_injections(self):
+        """Baselines must leave >= 6 sigma of headroom before saturating,
+        otherwise injected improvements would clip and break the linear
+        dependency the method relies on."""
+        for kpi in KPI_CATALOG.values():
+            if not kpi.bounded_unit_interval:
+                continue
+            if kpi.higher_is_better:
+                assert kpi.baseline + 6 * kpi.noise_scale < 1.0
+            else:
+                assert kpi.baseline - 6 * kpi.noise_scale > 0.0
+
+    def test_dropped_call_ratio_lower_is_better(self):
+        assert not KPI_CATALOG[KpiKind.DROPPED_CALL_RATIO].higher_is_better
+
+    def test_goodness_sign(self):
+        assert get_kpi(KpiKind.VOICE_RETAINABILITY).goodness_sign() == 1
+        assert get_kpi(KpiKind.DROPPED_CALL_RATIO).goodness_sign() == -1
+
+
+class TestLookup:
+    def test_get_by_kind(self):
+        assert get_kpi(KpiKind.DATA_THROUGHPUT).unit == "Mbps"
+
+    def test_get_by_string(self):
+        assert get_kpi("voice-retainability").kind is KpiKind.VOICE_RETAINABILITY
+
+    def test_get_unknown(self):
+        with pytest.raises(ValueError):
+            get_kpi("nonexistent-kpi")
+
+    def test_name_property(self):
+        assert get_kpi(KpiKind.CALL_VOLUME).name == "call-volume"

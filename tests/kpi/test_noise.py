@@ -1,0 +1,98 @@
+"""Tests for repro.kpi.noise."""
+
+import numpy as np
+import pytest
+
+from repro.kpi.noise import Ar1Noise, GaussianNoise, MixtureNoise, StudentTNoise
+
+
+def acf1(x):
+    """Lag-1 autocorrelation."""
+    x = x - x.mean()
+    return float(np.sum(x[1:] * x[:-1]) / np.sum(x * x))
+
+
+class TestGaussian:
+    def test_marginal_sigma(self):
+        rng = np.random.default_rng(0)
+        sample = GaussianNoise(2.0).sample(rng, 50000)
+        assert np.std(sample) == pytest.approx(2.0, rel=0.05)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(-1.0)
+
+
+class TestStudentT:
+    def test_marginal_sigma_standardised(self):
+        rng = np.random.default_rng(1)
+        sample = StudentTNoise(1.5, df=5.0).sample(rng, 100000)
+        assert np.std(sample) == pytest.approx(1.5, rel=0.05)
+
+    def test_heavier_tails_than_gaussian(self):
+        rng = np.random.default_rng(2)
+        t_sample = StudentTNoise(1.0, df=3.5).sample(rng, 50000)
+        g_sample = GaussianNoise(1.0).sample(rng, 50000)
+        t_extreme = np.mean(np.abs(t_sample) > 4.0)
+        g_extreme = np.mean(np.abs(g_sample) > 4.0)
+        assert t_extreme > 3 * g_extreme
+
+    def test_df_must_exceed_two(self):
+        with pytest.raises(ValueError):
+            StudentTNoise(1.0, df=2.0)
+
+
+class TestAr1:
+    def test_autocorrelation_matches_phi(self):
+        rng = np.random.default_rng(3)
+        sample = Ar1Noise(1.0, phi=0.7).sample(rng, 50000)
+        assert acf1(sample) == pytest.approx(0.7, abs=0.03)
+
+    def test_marginal_sigma(self):
+        rng = np.random.default_rng(4)
+        sample = Ar1Noise(2.5, phi=0.6).sample(rng, 50000)
+        assert np.std(sample) == pytest.approx(2.5, rel=0.05)
+
+    def test_phi_bounds(self):
+        with pytest.raises(ValueError):
+            Ar1Noise(1.0, phi=1.0)
+        with pytest.raises(ValueError):
+            Ar1Noise(1.0, phi=-1.0)
+
+    def test_zero_length(self):
+        rng = np.random.default_rng(5)
+        assert Ar1Noise(1.0).sample(rng, 0).size == 0
+
+
+class TestMixture:
+    def test_outliers_present(self):
+        rng = np.random.default_rng(6)
+        sample = MixtureNoise(1.0, phi=0.2, outlier_prob=0.05, outlier_scale=10.0).sample(
+            rng, 20000
+        )
+        assert np.mean(np.abs(sample) > 5.0) > 0.005
+
+    def test_no_outliers_when_prob_zero(self):
+        rng = np.random.default_rng(7)
+        sample = MixtureNoise(1.0, phi=0.0, outlier_prob=0.0).sample(rng, 20000)
+        assert np.max(np.abs(sample)) < 6.0
+
+    def test_prob_bounds(self):
+        with pytest.raises(ValueError):
+            MixtureNoise(1.0, outlier_prob=1.0)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            GaussianNoise(1.0),
+            StudentTNoise(1.0),
+            Ar1Noise(1.0, 0.5),
+            MixtureNoise(1.0),
+        ],
+    )
+    def test_same_rng_seed_same_draw(self, model):
+        a = model.sample(np.random.default_rng(42), 100)
+        b = model.sample(np.random.default_rng(42), 100)
+        assert np.array_equal(a, b)

@@ -1,0 +1,99 @@
+"""Tests for repro.kpi.seasonality."""
+
+import numpy as np
+import pytest
+
+from repro.kpi.seasonality import (
+    DAYS_PER_YEAR,
+    CompositeSeasonality,
+    DiurnalPattern,
+    FoliageModel,
+    LinearTrend,
+    WeeklyPattern,
+)
+from repro.network.elements import TrafficProfile
+from repro.network.geography import Region
+
+
+class TestFoliage:
+    def test_summer_dip_northeast(self):
+        model = FoliageModel(amplitude=1.0, region=Region.NORTHEAST)
+        summer = model.offsets(np.array([170.0]))  # mid-June
+        winter = model.offsets(np.array([0.0]))  # January
+        assert summer[0] < -0.5
+        assert winter[0] == 0.0
+
+    def test_southeast_flat(self):
+        model = FoliageModel(amplitude=1.0, region=Region.SOUTHEAST)
+        days = np.arange(0.0, 365.0)
+        assert np.all(model.offsets(days) == 0.0)
+
+    def test_yearly_periodicity(self):
+        model = FoliageModel(amplitude=1.0, region=Region.NORTHEAST)
+        days = np.arange(0.0, 365.0, 7.0)
+        year1 = model.offsets(days)
+        year2 = model.offsets(days + DAYS_PER_YEAR)
+        assert np.allclose(year1, year2)
+
+    def test_never_positive(self):
+        """Foliage only ever degrades performance."""
+        model = FoliageModel(amplitude=2.0, region=Region.NORTHEAST)
+        assert np.all(model.offsets(np.arange(0.0, 730.0)) <= 0.0)
+
+    def test_smooth_edges(self):
+        model = FoliageModel(amplitude=1.0, region=Region.NORTHEAST)
+        # Offsets near the window edges are near zero (raised cosine).
+        edges = model.offsets(np.array([91.0, 244.0]))
+        assert np.all(np.abs(edges) < 0.05)
+
+
+class TestWeekly:
+    def test_business_degraded_on_weekdays(self):
+        model = WeeklyPattern(amplitude=1.0, profile=TrafficProfile.BUSINESS)
+        monday = model.offsets(np.array([0.0]))[0]
+        saturday = model.offsets(np.array([5.0]))[0]
+        assert monday < saturday
+
+    def test_leisure_degraded_on_weekends(self):
+        model = WeeklyPattern(amplitude=1.0, profile=TrafficProfile.LEISURE)
+        monday = model.offsets(np.array([0.0]))[0]
+        saturday = model.offsets(np.array([5.0]))[0]
+        assert saturday < monday
+
+    def test_weekly_periodicity(self):
+        model = WeeklyPattern(amplitude=1.0, profile=TrafficProfile.RESIDENTIAL)
+        days = np.arange(0.0, 7.0)
+        assert np.allclose(model.offsets(days), model.offsets(days + 7.0))
+
+
+class TestDiurnal:
+    def test_peak_hour_most_degraded(self):
+        model = DiurnalPattern(amplitude=1.0, profile=TrafficProfile.BUSINESS)
+        hours = np.arange(0, 24) / 24.0
+        offsets = model.offsets(hours)
+        assert int(np.argmin(offsets)) == 14  # business peak at 14:00
+
+    def test_never_positive(self):
+        model = DiurnalPattern(amplitude=1.0, profile=TrafficProfile.LEISURE)
+        assert np.all(model.offsets(np.linspace(0, 1, 48)) <= 0.0)
+
+
+class TestTrend:
+    def test_linear_growth(self):
+        model = LinearTrend(slope_per_year=2.0)
+        assert model.offsets(np.array([365.0]))[0] == pytest.approx(2.0)
+        assert model.offsets(np.array([0.0]))[0] == 0.0
+
+
+class TestComposite:
+    def test_sum_of_components(self):
+        days = np.arange(0.0, 30.0)
+        trend = LinearTrend(1.0)
+        weekly = WeeklyPattern(0.5, TrafficProfile.BUSINESS)
+        combo = CompositeSeasonality(trend, weekly)
+        assert np.allclose(
+            combo.offsets(days), trend.offsets(days) + weekly.offsets(days)
+        )
+
+    def test_empty_composite_is_zero(self):
+        assert np.all(CompositeSeasonality().offsets(np.arange(5.0)) == 0.0)

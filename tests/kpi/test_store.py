@@ -1,0 +1,87 @@
+"""Tests for repro.kpi.store."""
+
+import numpy as np
+import pytest
+
+from repro.kpi.effects import LevelShift
+from repro.kpi.metrics import KpiKind
+from repro.kpi.store import KpiStore
+from repro.stats.timeseries import TimeSeries
+
+VR = KpiKind.VOICE_RETAINABILITY
+TH = KpiKind.DATA_THROUGHPUT
+
+
+@pytest.fixture
+def store():
+    s = KpiStore()
+    s.put("e1", VR, TimeSeries(np.full(30, 0.97)))
+    s.put("e2", VR, TimeSeries(np.full(30, 0.96)))
+    s.put("e1", TH, TimeSeries(np.full(30, 12.0)))
+    return s
+
+
+class TestAccess:
+    def test_get_roundtrip(self, store):
+        assert store.get("e1", VR).mean() == pytest.approx(0.97)
+
+    def test_get_accepts_string_kind(self, store):
+        assert store.get("e1", "voice-retainability").mean() == pytest.approx(0.97)
+
+    def test_missing_raises_with_context(self, store):
+        with pytest.raises(KeyError, match="e3"):
+            store.get("e3", VR)
+
+    def test_has(self, store):
+        assert store.has("e1", VR)
+        assert not store.has("e2", TH)
+
+    def test_element_ids(self, store):
+        assert store.element_ids() == ["e1", "e2"]
+        assert store.element_ids(TH) == ["e1"]
+
+    def test_kpis_for(self, store):
+        assert store.kpis_for("e1") == [TH, VR]
+
+    def test_len(self, store):
+        assert len(store) == 3
+
+
+class TestEffects:
+    def test_apply_effect_mutates_in_place(self, store):
+        store.apply_effect("e1", TH, LevelShift(3.0, 10))
+        series = store.get("e1", TH)
+        assert series[5] == 12.0
+        assert series[15] == 15.0
+
+    def test_bounded_kpi_clipped(self, store):
+        store.apply_effect("e1", VR, LevelShift(0.5, 0))
+        assert store.get("e1", VR).max() == 1.0
+
+    def test_apply_effect_many(self, store):
+        store.apply_effect_many(["e1", "e2"], VR, LevelShift(-0.01, 10))
+        assert store.get("e1", VR)[15] == pytest.approx(0.96)
+        assert store.get("e2", VR)[15] == pytest.approx(0.95)
+
+    def test_apply_to_missing_raises(self, store):
+        with pytest.raises(KeyError):
+            store.apply_effect("ghost", VR, LevelShift(1.0, 0))
+
+
+class TestMatrix:
+    def test_column_order_follows_input(self, store):
+        matrix, start = store.matrix(["e2", "e1"], VR)
+        assert start == 0
+        assert matrix.shape == (30, 2)
+        assert matrix[0, 0] == pytest.approx(0.96)
+        assert matrix[0, 1] == pytest.approx(0.97)
+
+    def test_alignment_trims_to_overlap(self, store):
+        store.put("late", VR, TimeSeries(np.full(10, 0.9), start=25))
+        matrix, start = store.matrix(["e1", "late"], VR)
+        assert start == 25
+        assert matrix.shape == (5, 2)
+
+    def test_empty_ids_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.matrix([], VR)

@@ -1,0 +1,109 @@
+"""Tests for repro.network.builder."""
+
+import pytest
+
+from repro.network.builder import NetworkSpec, build_network
+from repro.network.geography import REGION_BOXES, Region
+from repro.network.technology import ElementRole, Technology
+
+
+class TestSpecValidation:
+    def test_defaults_valid(self):
+        NetworkSpec()
+
+    def test_bad_counts(self):
+        with pytest.raises(ValueError):
+            NetworkSpec(controllers_per_region=0)
+        with pytest.raises(ValueError):
+            NetworkSpec(towers_per_controller=0)
+        with pytest.raises(ValueError):
+            NetworkSpec(cores_per_region=0)
+        with pytest.raises(ValueError):
+            NetworkSpec(technologies=())
+
+    def test_build_network_rejects_spec_plus_overrides(self):
+        with pytest.raises(ValueError):
+            build_network(NetworkSpec(), seed=1)
+
+
+class TestUmtsBuild:
+    def test_structure(self):
+        topo = build_network(seed=1, controllers_per_region=3, towers_per_controller=2)
+        rncs = topo.elements(role=ElementRole.RNC)
+        assert len(rncs) == 3
+        nodebs = topo.elements(role=ElementRole.NODEB)
+        assert len(nodebs) == 6
+        # CS + PS core present.
+        assert len(topo.elements(role=ElementRole.MSC)) == 1
+        assert len(topo.elements(role=ElementRole.SGSN)) == 1
+
+    def test_towers_parent_to_their_controller(self):
+        topo = build_network(seed=1)
+        for tower in topo.elements(role=ElementRole.NODEB):
+            parent = topo.parent(tower.element_id)
+            assert parent.role is ElementRole.RNC
+
+    def test_towers_clustered_near_controller(self):
+        topo = build_network(seed=2)
+        for tower in topo.elements(role=ElementRole.NODEB):
+            controller = topo.parent(tower.element_id)
+            assert tower.distance_km(controller) < 60.0
+
+    def test_locations_inside_region_box(self):
+        topo = build_network(seed=3)
+        lat_min, lat_max, lon_min, lon_max = REGION_BOXES[Region.NORTHEAST]
+        for e in topo:
+            assert lat_min <= e.location.lat <= lat_max
+            assert lon_min <= e.location.lon <= lon_max
+
+
+class TestLteBuild:
+    def test_enodeb_is_leaf_controller(self):
+        topo = build_network(
+            NetworkSpec(technologies=(Technology.LTE,), controllers_per_region=4)
+        )
+        enbs = topo.elements(role=ElementRole.ENODEB)
+        assert len(enbs) == 4
+        for enb in enbs:
+            assert topo.parent(enb.element_id).role is ElementRole.MME
+        # EPC core nodes exist.
+        assert len(topo.elements(role=ElementRole.SGW)) == 1
+        assert len(topo.elements(role=ElementRole.PGW)) == 1
+
+
+class TestMultiCore:
+    def test_cores_per_region(self):
+        topo = build_network(
+            NetworkSpec(cores_per_region=5, controllers_per_region=10)
+        )
+        mscs = topo.elements(role=ElementRole.MSC)
+        assert len(mscs) == 5
+        # Controllers spread round-robin over the MSCs.
+        parents = {topo.parent(r.element_id).element_id for r in topo.elements(role=ElementRole.RNC)}
+        assert len(parents) == 5
+
+
+class TestDeterminism:
+    def test_same_seed_same_network(self):
+        a = build_network(seed=9)
+        b = build_network(seed=9)
+        assert [e.element_id for e in a] == [e.element_id for e in b]
+        assert all(
+            x.location == y.location for x, y in zip(a, b)
+        )
+
+    def test_different_seed_different_layout(self):
+        a = build_network(seed=1)
+        b = build_network(seed=2)
+        assert any(x.location != y.location for x, y in zip(a, b))
+
+
+class TestSectors:
+    def test_sector_layer_optional(self):
+        topo = build_network(
+            NetworkSpec(sectors_per_tower=3, controllers_per_region=1, towers_per_controller=2)
+        )
+        sectors = topo.elements(role=ElementRole.SECTOR)
+        assert len(sectors) == 6
+        for s in sectors:
+            assert topo.parent(s.element_id).is_tower

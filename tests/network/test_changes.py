@@ -1,0 +1,70 @@
+"""Tests for repro.network.changes."""
+
+import pytest
+
+from repro.network.changes import ChangeEvent, ChangeLog, ChangeType
+
+
+def event(cid, day, targets, ctype=ChangeType.CONFIGURATION):
+    return ChangeEvent(cid, ctype, day, frozenset(targets))
+
+
+class TestChangeEvent:
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            event("", 0, {"e1"})
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValueError, match="1 element"):
+            event("c1", 0, set())
+
+    def test_study_group_sorted(self):
+        e = event("c1", 0, {"b", "a", "c"})
+        assert e.study_group == ["a", "b", "c"]
+
+    def test_element_ids_coerced_to_frozenset(self):
+        e = ChangeEvent("c1", ChangeType.CONFIGURATION, 0, {"a", "b"})
+        assert isinstance(e.element_ids, frozenset)
+
+
+class TestChangeLog:
+    def test_duplicate_id_rejected(self):
+        log = ChangeLog([event("c1", 0, {"a"})])
+        with pytest.raises(ValueError, match="duplicate"):
+            log.record(event("c1", 5, {"b"}))
+
+    def test_iteration_time_ordered(self):
+        log = ChangeLog([event("late", 9, {"a"}), event("early", 1, {"b"})])
+        assert [e.change_id for e in log] == ["early", "late"]
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError):
+            ChangeLog().get("ghost")
+
+    def test_events_in_window_inclusive(self):
+        log = ChangeLog([event(f"c{d}", d, {"a"}) for d in (0, 5, 10)])
+        assert [e.change_id for e in log.events_in_window(5, 10)] == ["c5", "c10"]
+
+    def test_events_touching(self):
+        log = ChangeLog([event("c1", 0, {"a", "b"}), event("c2", 1, {"c"})])
+        hits = log.events_touching({"b"})
+        assert [e.change_id for e in hits] == ["c1"]
+
+    def test_events_touching_windowed(self):
+        log = ChangeLog([event("c1", 0, {"a"}), event("c2", 20, {"a"})])
+        hits = log.events_touching({"a"}, start_day=10)
+        assert [e.change_id for e in hits] == ["c2"]
+
+    def test_conflicting_events_excludes_self(self):
+        trial = event("trial", 10, {"study"})
+        near = event("near", 12, {"ctrl-1"})
+        far = event("far", 60, {"ctrl-1"})
+        log = ChangeLog([trial, near, far])
+        conflicts = log.conflicting_events(trial, ["ctrl-1", "ctrl-2"], window_days=14)
+        assert [e.change_id for e in conflicts] == ["near"]
+
+    def test_conflicting_events_ignores_untouched_controls(self):
+        trial = event("trial", 10, {"study"})
+        other = event("other", 11, {"elsewhere"})
+        log = ChangeLog([trial, other])
+        assert log.conflicting_events(trial, ["ctrl-1"], 14) == []

@@ -1,0 +1,97 @@
+"""Tests for repro.network.configuration."""
+
+import pytest
+
+from repro.network.configuration import (
+    PARAMETER_CATALOG,
+    ChangeFrequency,
+    ConfigSnapshot,
+    ConfigStore,
+    ParameterSpec,
+)
+
+
+class TestCatalog:
+    def test_gold_standard_params_are_low_frequency(self):
+        for spec in PARAMETER_CATALOG.values():
+            if spec.gold_standard:
+                assert spec.frequency is ChangeFrequency.LOW
+
+    def test_high_frequency_knobs_present(self):
+        assert PARAMETER_CATALOG["antenna_tilt_deg"].frequency is ChangeFrequency.HIGH
+        assert PARAMETER_CATALOG["downlink_power_dbm"].frequency is ChangeFrequency.HIGH
+
+    def test_gold_standard_high_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSpec("bad", ChangeFrequency.HIGH, "x", 0.0, gold_standard=True)
+
+
+class TestSnapshot:
+    def test_get_explicit_value(self):
+        snap = ConfigSnapshot("e1", 0, {"antenna_tilt_deg": 4.0}, "1.0")
+        assert snap.get("antenna_tilt_deg") == 4.0
+
+    def test_get_falls_back_to_default(self):
+        snap = ConfigSnapshot("e1", 0, {}, "1.0")
+        assert snap.get("antenna_tilt_deg") == PARAMETER_CATALOG["antenna_tilt_deg"].default
+
+    def test_unknown_parameter(self):
+        snap = ConfigSnapshot("e1", 0, {}, "1.0")
+        with pytest.raises(KeyError):
+            snap.get("nonexistent")
+
+
+class TestConfigStore:
+    def test_snapshot_persists_until_changed(self):
+        store = ConfigStore()
+        store.record(ConfigSnapshot("e1", 0, {"antenna_tilt_deg": 2.0}, "1.0"))
+        store.record(ConfigSnapshot("e1", 10, {"antenna_tilt_deg": 5.0}, "1.0"))
+        assert store.parameter("e1", 5, "antenna_tilt_deg") == 2.0
+        assert store.parameter("e1", 10, "antenna_tilt_deg") == 5.0
+        assert store.parameter("e1", 99, "antenna_tilt_deg") == 5.0
+
+    def test_before_first_snapshot_uses_default(self):
+        store = ConfigStore()
+        store.record(ConfigSnapshot("e1", 10, {}, "1.0"))
+        assert (
+            store.parameter("e1", 0, "antenna_tilt_deg")
+            == PARAMETER_CATALOG["antenna_tilt_deg"].default
+        )
+
+    def test_snapshot_none_when_no_history(self):
+        assert ConfigStore().snapshot("ghost", 5) is None
+
+    def test_same_day_rerecord_replaces(self):
+        store = ConfigStore()
+        store.record(ConfigSnapshot("e1", 3, {"antenna_tilt_deg": 1.0}, "1.0"))
+        store.record(ConfigSnapshot("e1", 3, {"antenna_tilt_deg": 9.0}, "1.0"))
+        assert store.parameter("e1", 3, "antenna_tilt_deg") == 9.0
+
+    def test_out_of_order_insert(self):
+        store = ConfigStore()
+        store.record(ConfigSnapshot("e1", 10, {"antenna_tilt_deg": 5.0}, "1.0"))
+        store.record(ConfigSnapshot("e1", 2, {"antenna_tilt_deg": 1.0}, "1.0"))
+        assert store.parameter("e1", 4, "antenna_tilt_deg") == 1.0
+
+    def test_diff_days(self):
+        store = ConfigStore()
+        store.record(ConfigSnapshot("e1", 0, {"antenna_tilt_deg": 2.0}, "1.0"))
+        store.record(ConfigSnapshot("e1", 7, {"antenna_tilt_deg": 6.0}, "1.0"))
+        diffs = store.diff_days("e1")
+        assert len(diffs) == 1
+        day, delta = diffs[0]
+        assert day == 7
+        assert delta["antenna_tilt_deg"] == (2.0, 6.0)
+
+    def test_diff_days_software_change(self):
+        store = ConfigStore()
+        store.record(ConfigSnapshot("e1", 0, {}, "1.0"))
+        store.record(ConfigSnapshot("e1", 5, {}, "2.0"))
+        diffs = store.diff_days("e1")
+        assert diffs and "software_version" in diffs[0][1]
+
+    def test_elements_listing(self):
+        store = ConfigStore()
+        store.record(ConfigSnapshot("b", 0, {}, "1.0"))
+        store.record(ConfigSnapshot("a", 0, {}, "1.0"))
+        assert store.elements() == ["a", "b"]

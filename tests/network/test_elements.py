@@ -1,0 +1,83 @@
+"""Tests for repro.network.elements and technology roles."""
+
+import pytest
+
+from repro.network.elements import NetworkElement, TrafficProfile
+from repro.network.geography import GeoPoint, Region, Terrain
+from repro.network.technology import (
+    HIERARCHY,
+    ElementRole,
+    Technology,
+    controller_role,
+    tower_role,
+)
+
+
+def make_element(**overrides):
+    defaults = dict(
+        element_id="rnc-1",
+        role=ElementRole.RNC,
+        technology=Technology.UMTS,
+        region=Region.NORTHEAST,
+        location=GeoPoint(41.0, -74.0),
+        zip_code="10001",
+    )
+    defaults.update(overrides)
+    return NetworkElement(**defaults)
+
+
+class TestRoles:
+    def test_controller_roles(self):
+        assert controller_role(Technology.GSM) is ElementRole.BSC
+        assert controller_role(Technology.UMTS) is ElementRole.RNC
+        assert controller_role(Technology.LTE) is ElementRole.ENODEB
+
+    def test_tower_roles(self):
+        assert tower_role(Technology.GSM) is ElementRole.BTS
+        assert tower_role(Technology.UMTS) is ElementRole.NODEB
+        assert tower_role(Technology.LTE) is ElementRole.ENODEB
+
+    def test_hierarchy_towers_under_controllers(self):
+        assert HIERARCHY[Technology.UMTS][ElementRole.NODEB] is ElementRole.RNC
+        assert HIERARCHY[Technology.GSM][ElementRole.BTS] is ElementRole.BSC
+        assert HIERARCHY[Technology.LTE][ElementRole.ENODEB] is ElementRole.MME
+
+
+class TestNetworkElement:
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            make_element(element_id="")
+
+    def test_is_controller(self):
+        assert make_element().is_controller
+        assert not make_element(role=ElementRole.NODEB).is_controller
+        # eNodeB is both controller and tower.
+        enb = make_element(role=ElementRole.ENODEB, technology=Technology.LTE)
+        assert enb.is_controller and enb.is_tower
+
+    def test_is_core(self):
+        assert make_element(role=ElementRole.MSC).is_core
+        assert make_element(role=ElementRole.MME).is_core
+        assert not make_element().is_core
+
+    def test_with_software_copies(self):
+        original = make_element()
+        updated = original.with_software("9.9.9")
+        assert updated.software_version == "9.9.9"
+        assert original.software_version == "1.0.0"
+        assert updated.element_id == original.element_id
+
+    def test_describe_flat_attributes(self):
+        d = make_element(traffic_profile=TrafficProfile.BUSINESS).describe()
+        assert d["role"] == "rnc"
+        assert d["traffic_profile"] == "business"
+        assert d["parent_id"] == ""
+
+    def test_distance(self):
+        a = make_element()
+        b = make_element(element_id="rnc-2", location=GeoPoint(42.0, -74.0))
+        assert a.distance_km(b) == pytest.approx(111.2, rel=0.01)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make_element().vendor = "other"

@@ -1,0 +1,110 @@
+"""Tests for repro.network.geography."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.geography import (
+    REGION_BOXES,
+    REGION_FOLIAGE_INTENSITY,
+    GeoPoint,
+    Region,
+    distance_matrix_km,
+    haversine_km,
+    zip_code_for,
+)
+
+
+class TestGeoPoint:
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, -181.0)
+
+    def test_distance_zero_to_self(self):
+        p = GeoPoint(40.0, -75.0)
+        assert p.distance_km(p) == 0.0
+
+
+class TestHaversine:
+    def test_known_distance_nyc_la(self):
+        # JFK to LAX is roughly 3974 km.
+        d = haversine_km(40.6413, -73.7781, 33.9416, -118.4085)
+        assert d == pytest.approx(3974, rel=0.02)
+
+    def test_symmetry(self):
+        d1 = haversine_km(10.0, 20.0, 30.0, 40.0)
+        d2 = haversine_km(30.0, 40.0, 10.0, 20.0)
+        assert d1 == pytest.approx(d2)
+
+    def test_one_degree_latitude(self):
+        assert haversine_km(0.0, 0.0, 1.0, 0.0) == pytest.approx(111.2, rel=0.01)
+
+
+class TestDistanceMatrix:
+    def test_matches_scalar_haversine(self):
+        points = [GeoPoint(40.0, -75.0), GeoPoint(41.0, -74.0), GeoPoint(42.5, -73.0)]
+        D = distance_matrix_km(points)
+        for i, a in enumerate(points):
+            for j, b in enumerate(points):
+                assert D[i, j] == pytest.approx(a.distance_km(b), abs=1e-6)
+
+    def test_empty(self):
+        assert distance_matrix_km([]).shape == (0, 0)
+
+    def test_diagonal_zero(self):
+        points = [GeoPoint(40.0, -75.0), GeoPoint(30.0, -85.0)]
+        assert np.allclose(np.diag(distance_matrix_km(points)), 0.0)
+
+
+class TestRegions:
+    def test_all_regions_have_boxes(self):
+        for region in Region:
+            assert region in REGION_BOXES
+            lat_min, lat_max, lon_min, lon_max = REGION_BOXES[region]
+            assert lat_min < lat_max and lon_min < lon_max
+
+    def test_foliage_intensity_contract(self):
+        """The NE has the strongest foliage cycle, the SE none (Fig. 3)."""
+        assert REGION_FOLIAGE_INTENSITY[Region.NORTHEAST] == 1.0
+        assert REGION_FOLIAGE_INTENSITY[Region.SOUTHEAST] == 0.0
+
+
+class TestZipCodes:
+    def test_deterministic(self):
+        p = GeoPoint(40.0, -75.0)
+        assert zip_code_for(Region.NORTHEAST, p) == zip_code_for(Region.NORTHEAST, p)
+
+    def test_five_digits(self):
+        z = zip_code_for(Region.SOUTHWEST, GeoPoint(33.0, -110.0))
+        assert len(z) == 5 and z.isdigit()
+
+    def test_nearby_points_share_zip(self):
+        # Points inside the same 0.1-degree tile (not straddling an edge).
+        a = GeoPoint(40.04, -75.04)
+        b = GeoPoint(40.06, -75.06)
+        assert zip_code_for(Region.NORTHEAST, a) == zip_code_for(Region.NORTHEAST, b)
+
+    def test_distant_points_differ(self):
+        a = GeoPoint(40.0, -75.0)
+        b = GeoPoint(44.0, -71.0)
+        assert zip_code_for(Region.NORTHEAST, a) != zip_code_for(Region.NORTHEAST, b)
+
+    def test_region_prefix_distinguishes(self):
+        ne = zip_code_for(Region.NORTHEAST, GeoPoint(40.0, -75.0))
+        se = zip_code_for(Region.SOUTHEAST, GeoPoint(30.0, -83.0))
+        assert ne[:2] != se[:2]
+
+
+@given(
+    lat1=st.floats(-89, 89), lon1=st.floats(-179, 179),
+    lat2=st.floats(-89, 89), lon2=st.floats(-179, 179),
+)
+@settings(max_examples=60)
+def test_haversine_metric_properties(lat1, lon1, lat2, lon2):
+    d = haversine_km(lat1, lon1, lat2, lon2)
+    assert d >= 0.0
+    assert d <= 20038.0  # half the equatorial circumference
+    assert haversine_km(lat2, lon2, lat1, lon1) == pytest.approx(d, abs=1e-6)

@@ -1,0 +1,125 @@
+"""Tests for repro.network.son — the SON control-loop simulator."""
+
+import numpy as np
+import pytest
+
+from repro.external.factors import goodness_magnitude
+from repro.external.weather import WeatherEvent, WeatherKind
+from repro.kpi.effects import LevelShift
+from repro.kpi.generator import generate_kpis
+from repro.kpi.metrics import KpiKind
+from repro.network.builder import build_network
+from repro.network.geography import GeoPoint, REGION_BOXES, Region
+from repro.network.son import SonConfig, SonController
+
+VR = KpiKind.VOICE_RETAINABILITY
+SHOCK_DAY = 60
+
+
+@pytest.fixture
+def world():
+    topo = build_network(seed=66, controllers_per_region=4, towers_per_controller=4)
+    store = generate_kpis(topo, (VR,), seed=66, horizon_days=100)
+    return topo, store
+
+
+def shock(topo, store, severity=8.0):
+    lat_min, lat_max, lon_min, lon_max = REGION_BOXES[Region.NORTHEAST]
+    center = GeoPoint((lat_min + lat_max) / 2, (lon_min + lon_max) / 2)
+    WeatherEvent(
+        WeatherKind.HURRICANE,
+        center,
+        radius_km=5000.0,
+        start_day=float(SHOCK_DAY),
+        severity=severity,
+        recovery_days=8.0,
+    ).apply(store, topo, [VR])
+
+
+class TestControlLoop:
+    def test_quiet_network_no_actions(self, world):
+        topo, store = world
+        towers = [e.element_id for e in topo if e.is_tower]
+        controller = SonController(topo, store, towers[:4])
+        actions = controller.run([VR], 40, 55)
+        assert len(actions) <= 1  # at most ambient-noise triggers
+
+    def test_shock_triggers_retunes(self, world):
+        topo, store = world
+        shock(topo, store)
+        towers = [e.element_id for e in topo if e.is_tower]
+        controller = SonController(topo, store, towers[:6])
+        actions = controller.run([VR], 40, 80)
+        triggered = {a.element_id for a in actions if a.day >= SHOCK_DAY}
+        assert len(triggered) >= 4  # most enabled towers reacted
+        for action in actions:
+            assert action.dip_sigmas >= controller.config.activation_sigmas
+
+    def test_enabled_towers_recover_more(self, world):
+        """The Fig. 10 dynamic: SON towers end up less degraded than
+        identical towers without SON."""
+        topo, store = world
+        shock(topo, store)
+        towers = [e.element_id for e in topo if e.is_tower]
+        son, plain = towers[: len(towers) // 2], towers[len(towers) // 2 :]
+
+        def post_shock_mean(ids):
+            values = [
+                store.get(eid, VR).window(SHOCK_DAY, SHOCK_DAY + 14).mean()
+                for eid in ids
+            ]
+            return float(np.mean(values))
+
+        before_control = post_shock_mean(son)
+        SonController(topo, store, son).run([VR], 40, 80)
+        assert post_shock_mean(son) > before_control  # relief applied
+        assert post_shock_mean(son) > post_shock_mean(plain)
+
+    def test_retunes_logged_to_config_store(self, world):
+        topo, store = world
+        shock(topo, store)
+        towers = [e.element_id for e in topo if e.is_tower][:4]
+        controller = SonController(topo, store, towers)
+        actions = controller.run([VR], 40, 80)
+        assert actions
+        victim = actions[0].element_id
+        snap = controller.config_store.snapshot(victim, actions[0].day)
+        assert snap is not None
+        assert snap.get("son_load_balancing") == 1.0
+
+    def test_cooldown_limits_retunes(self, world):
+        topo, store = world
+        shock(topo, store, severity=12.0)
+        towers = [e.element_id for e in topo if e.is_tower][:1]
+        controller = SonController(topo, store, towers, SonConfig(cooldown_days=30))
+        actions = controller.run([VR], 40, 90)
+        assert len(actions) <= 2  # one retune per cooldown period
+
+    def test_no_lookahead(self, world):
+        """Running the loop strictly before the shock never reacts to it."""
+        topo, store = world
+        shock(topo, store)
+        towers = [e.element_id for e in topo if e.is_tower][:4]
+        controller = SonController(topo, store, towers)
+        actions = controller.run([VR], 30, SHOCK_DAY)
+        assert all(a.day < SHOCK_DAY for a in actions)
+        assert len(actions) <= 1
+
+
+class TestValidation:
+    def test_unknown_element(self, world):
+        topo, store = world
+        with pytest.raises(KeyError):
+            SonController(topo, store, ["ghost"])
+
+    def test_bad_config(self):
+        with pytest.raises(ValueError):
+            SonConfig(mitigation_fraction=0.0)
+        with pytest.raises(ValueError):
+            SonConfig(activation_sigmas=0.0)
+
+    def test_bad_day_range(self, world):
+        topo, store = world
+        towers = [e.element_id for e in topo if e.is_tower][:2]
+        with pytest.raises(ValueError):
+            SonController(topo, store, towers).run([VR], 50, 50)

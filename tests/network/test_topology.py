@@ -1,0 +1,119 @@
+"""Tests for repro.network.topology."""
+
+import pytest
+
+from repro.network.elements import NetworkElement
+from repro.network.geography import GeoPoint, Region
+from repro.network.technology import ElementRole, Technology
+from repro.network.topology import Topology
+
+
+def element(eid, role, parent=None, lat=41.0, lon=-74.0, zip_code="10001"):
+    return NetworkElement(
+        element_id=eid,
+        role=role,
+        technology=Technology.UMTS,
+        region=Region.NORTHEAST,
+        location=GeoPoint(lat, lon),
+        zip_code=zip_code,
+        parent_id=parent,
+    )
+
+
+@pytest.fixture
+def topo():
+    """msc -> rnc-{1,2}; rnc-1 -> nodeb-{a,b}; rnc-2 -> nodeb-c."""
+    t = Topology()
+    t.add(element("msc", ElementRole.MSC))
+    t.add(element("rnc-1", ElementRole.RNC, "msc"))
+    t.add(element("rnc-2", ElementRole.RNC, "msc", lat=42.0))
+    t.add(element("nodeb-a", ElementRole.NODEB, "rnc-1"))
+    t.add(element("nodeb-b", ElementRole.NODEB, "rnc-1", lat=41.01))
+    t.add(element("nodeb-c", ElementRole.NODEB, "rnc-2", lat=42.01, zip_code="10999"))
+    return t
+
+
+class TestConstruction:
+    def test_duplicate_id_rejected(self, topo):
+        with pytest.raises(ValueError, match="duplicate"):
+            topo.add(element("msc", ElementRole.MSC))
+
+    def test_unknown_parent_rejected(self):
+        t = Topology()
+        with pytest.raises(ValueError, match="parent"):
+            t.add(element("orphan", ElementRole.NODEB, "ghost"))
+
+    def test_len_and_contains(self, topo):
+        assert len(topo) == 6
+        assert "rnc-1" in topo
+        assert "ghost" not in topo
+
+    def test_get_unknown_raises_keyerror(self, topo):
+        with pytest.raises(KeyError, match="ghost"):
+            topo.get("ghost")
+
+
+class TestFiltering:
+    def test_filter_by_role(self, topo):
+        rncs = topo.elements(role=ElementRole.RNC)
+        assert {e.element_id for e in rncs} == {"rnc-1", "rnc-2"}
+
+    def test_filter_by_technology(self, topo):
+        assert len(topo.elements(technology=Technology.LTE)) == 0
+
+
+class TestTraversal:
+    def test_parent(self, topo):
+        assert topo.parent("nodeb-a").element_id == "rnc-1"
+        assert topo.parent("msc") is None
+
+    def test_children(self, topo):
+        kids = {e.element_id for e in topo.children("rnc-1")}
+        assert kids == {"nodeb-a", "nodeb-b"}
+
+    def test_ancestors(self, topo):
+        chain = [e.element_id for e in topo.ancestors("nodeb-a")]
+        assert chain == ["rnc-1", "msc"]
+
+    def test_descendants(self, topo):
+        below = {e.element_id for e in topo.descendants("msc")}
+        assert below == {"rnc-1", "rnc-2", "nodeb-a", "nodeb-b", "nodeb-c"}
+
+    def test_siblings_of_tower(self, topo):
+        sibs = {e.element_id for e in topo.siblings("nodeb-a")}
+        assert sibs == {"nodeb-b"}
+
+    def test_siblings_of_root_same_role(self, topo):
+        assert topo.siblings("msc") == []
+
+    def test_controller_of_tower(self, topo):
+        assert topo.controller_of("nodeb-a").element_id == "rnc-1"
+
+    def test_controller_of_controller_is_itself(self, topo):
+        assert topo.controller_of("rnc-1").element_id == "rnc-1"
+
+    def test_controller_of_core_is_none(self, topo):
+        assert topo.controller_of("msc") is None
+
+    def test_subtree_ids_impact_scope(self, topo):
+        assert topo.subtree_ids("rnc-1") == {"rnc-1", "nodeb-a", "nodeb-b"}
+
+
+class TestGeoQueries:
+    def test_within_km(self, topo):
+        near = {e.element_id for e in topo.within_km("nodeb-a", 5.0)}
+        assert "nodeb-b" in near
+        assert "nodeb-c" not in near
+
+    def test_within_km_role_filter(self, topo):
+        near = topo.within_km("nodeb-a", 500.0, role=ElementRole.RNC)
+        assert all(e.role is ElementRole.RNC for e in near)
+
+    def test_within_km_negative_radius(self, topo):
+        with pytest.raises(ValueError):
+            topo.within_km("nodeb-a", -1.0)
+
+    def test_same_zip(self, topo):
+        same = {e.element_id for e in topo.same_zip("nodeb-a")}
+        assert "nodeb-c" not in same
+        assert "nodeb-b" in same

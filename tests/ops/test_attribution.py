@@ -1,0 +1,97 @@
+"""Tests for repro.ops.attribution."""
+
+import pytest
+
+from repro.core.litmus import Litmus
+from repro.external.calendar import Holiday, HolidayCalendar
+from repro.external.outages import UpstreamChange
+from repro.external.weather import tornado_outbreak
+from repro.kpi.generator import generate_kpis
+from repro.kpi.metrics import KpiKind
+from repro.network.builder import build_network
+from repro.network.changes import ChangeEvent, ChangeLog, ChangeType
+from repro.network.geography import GeoPoint, Region
+from repro.network.technology import ElementRole
+from repro.ops.attribution import explain_assessment
+
+VR = KpiKind.VOICE_RETAINABILITY
+DAY = 85
+
+
+@pytest.fixture(scope="module")
+def world():
+    topo = build_network(seed=67, controllers_per_region=10, towers_per_controller=1)
+    store = generate_kpis(topo, (VR,), seed=67)
+    rncs = [r.element_id for r in topo.elements(role=ElementRole.RNC)]
+    change = ChangeEvent("attr", ChangeType.CONFIGURATION, DAY, frozenset({rncs[0]}))
+    report = Litmus(topo, store).assess(change, [VR])
+    return topo, rncs, change, report
+
+
+class TestCooccurrences:
+    def test_overlapping_change_reported(self, world):
+        topo, rncs, change, report = world
+        other = ChangeEvent(
+            "other", ChangeType.SOFTWARE_UPGRADE, DAY + 2, frozenset({rncs[1]})
+        )
+        log = ChangeLog([change, other])
+        attribution = explain_assessment(report, topo, change_log=log)
+        changes = [c for c in attribution.cooccurrences if c.kind == "change"]
+        assert len(changes) == 1
+        assert "other" in changes[0].description
+        # rncs[1] is in the control group -> control-only exposure.
+        assert not changes[0].touches_study
+        assert changes[0] in attribution.unshared
+
+    def test_far_changes_ignored(self, world):
+        topo, rncs, change, report = world
+        far = ChangeEvent("far", ChangeType.MAINTENANCE, 2, frozenset({rncs[1]}))
+        log = ChangeLog([change, far])
+        attribution = explain_assessment(report, topo, change_log=log)
+        assert not [c for c in attribution.cooccurrences if c.kind == "change"]
+
+    def test_weather_footprint_classified(self, world):
+        topo, rncs, change, report = world
+        anchor = topo.get(rncs[0])
+        storm = tornado_outbreak(anchor.location, day=float(DAY + 1), radius_km=5000.0)
+        attribution = explain_assessment(report, topo, factors=[storm])
+        factors = [c for c in attribution.cooccurrences if c.kind == "factor"]
+        assert len(factors) == 1
+        assert factors[0].shared  # region-wide: both sides exposed
+
+    def test_holiday_window_reported(self, world):
+        topo, rncs, change, report = world
+        calendar = HolidayCalendar([Holiday("festival", DAY + 3, 2)])
+        attribution = explain_assessment(report, topo, calendar=calendar)
+        holidays = [c for c in attribution.cooccurrences if c.kind == "holiday"]
+        assert [h.description for h in holidays] == ["festival"]
+        assert holidays[0].shared
+
+    def test_foliage_transition_near_window(self, world):
+        topo, rncs, change, report = world
+        # change day 85 is ~5 days before leaf budding (day 90) in the NE.
+        attribution = explain_assessment(
+            report, topo, calendar=HolidayCalendar([])
+        )
+        foliage = [c for c in attribution.cooccurrences if c.kind == "foliage"]
+        assert foliage and "budding" in foliage[0].description
+
+    def test_to_text_warns_on_unshared(self, world):
+        topo, rncs, change, report = world
+        other = ChangeEvent(
+            "other", ChangeType.SOFTWARE_UPGRADE, DAY + 2, frozenset({rncs[1]})
+        )
+        log = ChangeLog([change, other])
+        text = explain_assessment(report, topo, change_log=log).to_text()
+        assert "Warning" in text
+        assert "control only" in text
+
+    def test_empty_context(self, world):
+        topo, rncs, change, report = world
+        # Southeast change would have no foliage; here suppress everything.
+        attribution = explain_assessment(
+            report, topo, calendar=HolidayCalendar([])
+        )
+        # Only the foliage note remains for the NE; drop it to test the
+        # empty path via an empty calendar + no factors + no log.
+        assert all(c.kind == "foliage" for c in attribution.cooccurrences)

@@ -1,0 +1,93 @@
+"""Tests for repro.ops.monitor — the FFA decision loop."""
+
+import pytest
+
+from repro.core.litmus import Litmus
+from repro.external.factors import goodness_magnitude
+from repro.kpi.effects import LevelShift, Spike
+from repro.kpi.generator import generate_kpis
+from repro.kpi.metrics import KpiKind
+from repro.network.builder import build_network
+from repro.network.changes import ChangeEvent, ChangeType
+from repro.network.technology import ElementRole
+from repro.ops.monitor import FfaMonitor, FfaStatus
+
+VR = KpiKind.VOICE_RETAINABILITY
+DAY = 85
+
+
+def make_world(seed):
+    topo = build_network(seed=seed, controllers_per_region=10, towers_per_controller=1)
+    store = generate_kpis(topo, (VR,), seed=seed, horizon_days=125)
+    rnc = topo.elements(role=ElementRole.RNC)[0].element_id
+    change = ChangeEvent("m", ChangeType.CONFIGURATION, DAY, frozenset({rnc}))
+    return topo, store, rnc, change
+
+
+class TestLifecycle:
+    def test_pending_before_min_days(self):
+        topo, store, _, change = make_world(71)
+        monitor = FfaMonitor(Litmus(topo, store), change, (VR,))
+        decision = monitor.update(DAY + 3)
+        assert decision.status is FfaStatus.PENDING
+
+    def test_clean_trial_reaches_go(self):
+        topo, store, _, change = make_world(72)
+        monitor = FfaMonitor(Litmus(topo, store), change, (VR,))
+        decision = monitor.update(DAY + 14)
+        assert decision.status is FfaStatus.GO
+        assert all(a.is_conclusive for a in decision.assessments)
+
+    def test_regression_reaches_no_go(self):
+        topo, store, rnc, change = make_world(73)
+        store.apply_effect(rnc, VR, LevelShift(goodness_magnitude(VR, -5.0), DAY))
+        monitor = FfaMonitor(Litmus(topo, store), change, (VR,))
+        decision = monitor.update(DAY + 14)
+        assert decision.status is FfaStatus.NO_GO
+
+    def test_early_no_go_on_immediate_regression(self):
+        """A severe regression is caught in the early-look phase, before
+        the full decision window elapses."""
+        topo, store, rnc, change = make_world(74)
+        store.apply_effect(rnc, VR, LevelShift(goodness_magnitude(VR, -8.0), DAY))
+        monitor = FfaMonitor(Litmus(topo, store), change, (VR,))
+        decision = monitor.update(DAY + 9)
+        assert decision.status is FfaStatus.NO_GO
+
+    def test_transient_observes_then_goes(self):
+        """A 2-day spike right after the change must not trigger NO_GO at
+        the decision point — the confirmation windows disagree with it."""
+        topo, store, rnc, change = make_world(75)
+        store.apply_effect(rnc, VR, Spike(goodness_magnitude(VR, -8.0), DAY, 2.0))
+        monitor = FfaMonitor(Litmus(topo, store), change, (VR,))
+        decision = monitor.update(DAY + 14)
+        assert decision.status is not FfaStatus.NO_GO
+
+    def test_describe(self):
+        topo, store, _, change = make_world(76)
+        monitor = FfaMonitor(Litmus(topo, store), change, (VR,))
+        text = monitor.update(DAY + 14).describe()
+        assert f"day {DAY + 14}" in text
+
+
+class TestValidation:
+    def test_window_ordering(self):
+        topo, store, _, change = make_world(77)
+        with pytest.raises(ValueError):
+            FfaMonitor(Litmus(topo, store), change, (VR,), min_days=20, decision_days=10)
+        with pytest.raises(ValueError):
+            FfaMonitor(Litmus(topo, store), change, (VR,), min_days=2)
+
+
+class TestReportExport:
+    def test_report_to_dict_roundtrips_json(self):
+        import json
+
+        topo, store, rnc, change = make_world(78)
+        store.apply_effect(rnc, VR, LevelShift(goodness_magnitude(VR, -5.0), DAY))
+        report = Litmus(topo, store).assess(change, [VR])
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["overall_verdict"] == "degradation"
+        assert payload["kpis"]["voice-retainability"]["verdict"] == "degradation"
+        assert payload["change_id"] == "m"
+        assert len(payload["assessments"]) == 1

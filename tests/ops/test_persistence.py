@@ -1,0 +1,86 @@
+"""Tests for repro.ops.persistence."""
+
+import pytest
+
+from repro.core.litmus import Litmus
+from repro.core.verdict import Verdict
+from repro.external.factors import goodness_magnitude
+from repro.kpi.effects import LevelShift, Spike
+from repro.kpi.generator import generate_kpis
+from repro.kpi.metrics import KpiKind
+from repro.network.builder import build_network
+from repro.network.changes import ChangeEvent, ChangeType
+from repro.network.technology import ElementRole
+from repro.ops.persistence import PersistentAssessor
+
+VR = KpiKind.VOICE_RETAINABILITY
+DAY = 85
+
+
+@pytest.fixture
+def world():
+    topo = build_network(seed=52, controllers_per_region=10, towers_per_controller=1)
+    store = generate_kpis(topo, (VR,), seed=52)
+    rnc = topo.elements(role=ElementRole.RNC)[0].element_id
+    change = ChangeEvent("p", ChangeType.CONFIGURATION, DAY, frozenset({rnc}))
+    return topo, store, rnc, change
+
+
+class TestConfirmation:
+    def test_sustained_impact_confirmed(self, world):
+        topo, store, rnc, change = world
+        store.apply_effect(rnc, VR, LevelShift(goodness_magnitude(VR, -5.0), DAY))
+        assessor = PersistentAssessor(Litmus(topo, store))
+        [confirmed] = assessor.assess(change, (VR,))
+        assert confirmed.is_conclusive
+        assert confirmed.confirmed is Verdict.DEGRADATION
+        assert len(confirmed.windows) == 3
+
+    def test_clean_change_confirmed_no_impact(self, world):
+        topo, store, rnc, change = world
+        assessor = PersistentAssessor(Litmus(topo, store))
+        [confirmed] = assessor.assess(change, (VR,))
+        assert confirmed.confirmed is Verdict.NO_IMPACT
+
+    def test_transient_spike_not_confirmed_as_impact(self, world):
+        """A 3-day spike right after the change alarms the first-week
+        window but not the second week — the protocol's whole point."""
+        topo, store, rnc, change = world
+        store.apply_effect(rnc, VR, Spike(goodness_magnitude(VR, -8.0), DAY, 3.0))
+        assessor = PersistentAssessor(Litmus(topo, store))
+        [confirmed] = assessor.assess(change, (VR,))
+        assert confirmed.confirmed is not Verdict.DEGRADATION
+        window_verdicts = {w.offset_days: w.verdict for w in confirmed.windows}
+        assert window_verdicts[7] is Verdict.NO_IMPACT  # week 2 clean
+
+    def test_training_never_sees_post_change_data(self, world):
+        """The offset window must anchor training at the change day: a
+        sustained shift is still fully visible in the +7d window (if the
+        shift leaked into training the forecast would absorb it)."""
+        topo, store, rnc, change = world
+        store.apply_effect(rnc, VR, LevelShift(goodness_magnitude(VR, -5.0), DAY))
+        assessor = PersistentAssessor(Litmus(topo, store), windows=((7, 7),))
+        [confirmed] = assessor.assess(change, (VR,))
+        assert confirmed.confirmed is Verdict.DEGRADATION
+
+
+class TestValidation:
+    def test_empty_windows_rejected(self, world):
+        topo, store, _, _ = world
+        with pytest.raises(ValueError):
+            PersistentAssessor(Litmus(topo, store), windows=())
+
+    def test_bad_window_rejected(self, world):
+        topo, store, _, _ = world
+        with pytest.raises(ValueError):
+            PersistentAssessor(Litmus(topo, store), windows=((-1, 7),))
+        with pytest.raises(ValueError):
+            PersistentAssessor(Litmus(topo, store), windows=((0, 2),))
+
+    def test_describe(self, world):
+        topo, store, rnc, change = world
+        assessor = PersistentAssessor(Litmus(topo, store))
+        [confirmed] = assessor.assess(change, (VR,))
+        text = confirmed.describe()
+        assert "voice-retainability" in text
+        assert "[+0d,7d]" in text

@@ -1,0 +1,68 @@
+"""Tests for repro.ops.screening."""
+
+import pytest
+
+from repro.core.litmus import Litmus
+from repro.core.verdict import Verdict
+from repro.external.factors import goodness_magnitude
+from repro.kpi.effects import LevelShift
+from repro.kpi.generator import generate_kpis
+from repro.kpi.metrics import KpiKind
+from repro.network.builder import build_network
+from repro.network.changes import ChangeEvent, ChangeLog, ChangeType
+from repro.network.technology import ElementRole
+from repro.ops.screening import screen_changes
+
+VR = KpiKind.VOICE_RETAINABILITY
+DAY = 85
+
+
+@pytest.fixture
+def world():
+    topo = build_network(seed=53, controllers_per_region=12, towers_per_controller=1)
+    store = generate_kpis(topo, (VR,), seed=53)
+    return topo, store
+
+
+def test_screening_sweep(world):
+    topo, store = world
+    rncs = [r.element_id for r in topo.elements(role=ElementRole.RNC)]
+
+    good = ChangeEvent("good", ChangeType.CONFIGURATION, DAY, frozenset({rncs[0]}))
+    bad = ChangeEvent("bad", ChangeType.SOFTWARE_UPGRADE, DAY, frozenset({rncs[1]}))
+    too_early = ChangeEvent("early", ChangeType.MAINTENANCE, 3, frozenset({rncs[2]}))
+    log = ChangeLog([good, bad, too_early])
+
+    store.apply_effect(rncs[0], VR, LevelShift(goodness_magnitude(VR, 5.0), DAY))
+    store.apply_effect(rncs[1], VR, LevelShift(goodness_magnitude(VR, -5.0), DAY))
+
+    report = screen_changes(Litmus(topo, store, change_log=log), log, (VR,))
+
+    by_id = {e.change.change_id: e for e in report.entries}
+    assert by_id["good"].verdict is Verdict.IMPROVEMENT
+    assert by_id["bad"].verdict is Verdict.DEGRADATION
+    assert by_id["early"].report is None
+    assert "window" in by_id["early"].skipped_reason
+
+    counts = report.counts()
+    assert counts == {
+        "degradation": 1,
+        "improvement": 1,
+        "no-impact": 0,
+        "skipped": 1,
+    }
+    assert [e.change.change_id for e in report.degradations] == ["bad"]
+
+
+def test_digest_orders_degradations_first(world):
+    topo, store = world
+    rncs = [r.element_id for r in topo.elements(role=ElementRole.RNC)]
+    ok = ChangeEvent("ok", ChangeType.CONFIGURATION, DAY, frozenset({rncs[0]}))
+    regress = ChangeEvent("regress", ChangeType.CONFIGURATION, DAY, frozenset({rncs[1]}))
+    log = ChangeLog([ok, regress])
+    store.apply_effect(rncs[1], VR, LevelShift(goodness_magnitude(VR, -5.0), DAY))
+
+    report = screen_changes(Litmus(topo, store), log, (VR,))
+    text = report.to_text()
+    assert text.index("regress") < text.index("ok")
+    assert "degradation=1" in text

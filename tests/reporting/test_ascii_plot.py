@@ -1,0 +1,53 @@
+"""Tests for repro.reporting.ascii_plot."""
+
+import numpy as np
+import pytest
+
+from repro.reporting.ascii_plot import line_plot, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1.0, 2.0, 3.0])) == 3
+
+    def test_monotone_series_monotone_glyphs(self):
+        s = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert list(s) == sorted(s)
+
+    def test_constant_series(self):
+        s = sparkline([5.0, 5.0, 5.0])
+        assert len(set(s)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestLinePlot:
+    def test_contains_legend_and_bounds(self):
+        text = line_plot({"a": [0.0, 1.0, 2.0], "b": [2.0, 1.0, 0.0]}, height=5)
+        assert "a" in text and "b" in text
+        assert "2" in text  # max label
+        assert "0" in text  # min label
+
+    def test_title(self):
+        text = line_plot({"s": [1.0, 2.0]}, title="T", height=4)
+        assert text.splitlines()[0] == "T"
+
+    def test_mark_x_draws_vertical(self):
+        text = line_plot({"s": np.arange(20.0)}, mark_x=10, height=6)
+        assert "|" in text
+
+    def test_resampling_to_width(self):
+        text = line_plot({"s": np.arange(500.0)}, width=40, height=5)
+        body = [l for l in text.splitlines() if l.startswith("    ") and "*" in l]
+        assert all(len(l) <= 44 for l in body)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+        with pytest.raises(ValueError):
+            line_plot({"s": [1.0]}, height=2)
+
+    def test_constant_series_no_crash(self):
+        text = line_plot({"s": [3.0, 3.0, 3.0]}, height=4)
+        assert "*" in text

@@ -1,0 +1,48 @@
+"""Tests for repro.reporting.tables."""
+
+import pytest
+
+from repro.evaluation.metrics import ConfusionMatrix
+from repro.reporting.tables import format_percent, render_confusion_table, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("+")
+        assert "| a " in lines[1]
+        # All rows share the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title(self):
+        text = render_table(["x"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_cell_count_validated(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_non_string_cells_coerced(self):
+        text = render_table(["n"], [[42]])
+        assert "42" in text
+
+
+class TestConfusionTable:
+    def test_contains_metrics_and_counts(self):
+        matrices = {
+            "litmus": ConfusionMatrix(tp=10, tn=5, fp=1, fn=2),
+            "study-only": ConfusionMatrix(tp=5, tn=1, fp=9, fn=3),
+        }
+        text = render_confusion_table(matrices, "Results")
+        assert "Results" in text
+        assert "litmus" in text and "study-only" in text
+        assert "True positive" in text
+        assert "Accuracy" in text
+        assert "10" in text
+
+
+class TestFormatPercent:
+    def test_formatting(self):
+        assert format_percent(0.8235) == "82.35 %"
+        assert format_percent(1.0, digits=0) == "100 %"

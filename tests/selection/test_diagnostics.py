@@ -1,0 +1,72 @@
+"""Tests for repro.selection.diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.kpi.generator import generate_kpis
+from repro.kpi.metrics import KpiKind
+from repro.kpi.noise import Ar1Noise
+from repro.kpi.store import KpiStore
+from repro.network.builder import build_network
+from repro.network.technology import ElementRole
+from repro.selection.diagnostics import control_group_quality
+from repro.stats.timeseries import TimeSeries
+
+VR = KpiKind.VOICE_RETAINABILITY
+DAY = 85
+
+
+@pytest.fixture
+def world():
+    topo = build_network(seed=57, controllers_per_region=8, towers_per_controller=1)
+    store = generate_kpis(topo, (VR,), seed=57)
+    rncs = [r.element_id for r in topo.elements(role=ElementRole.RNC)]
+    return store, rncs
+
+
+class TestQuality:
+    def test_well_selected_group_usable(self, world):
+        store, rncs = world
+        report = control_group_quality(store, rncs[0], rncs[1:], VR, DAY)
+        assert report.usable
+        assert report.n_poor <= 2
+        assert report.r_squared > 0.2
+        assert report.coefficient_sum == pytest.approx(1.0, abs=0.1)
+
+    def test_poor_predictor_flagged(self, world):
+        store, rncs = world
+        # Replace one control with an independent series.
+        rng = np.random.default_rng(0)
+        victim = rncs[3]
+        independent = 0.96 + Ar1Noise(0.01, 0.6).sample(rng, 120)
+        store.put(victim, VR, TimeSeries(np.clip(independent, 0, 1)))
+        report = control_group_quality(store, rncs[0], rncs[1:], VR, DAY)
+        flagged = {c.control_id for c in report.controls if c.is_poor_predictor}
+        assert victim in flagged
+
+    def test_mostly_poor_group_not_usable(self, world):
+        store, rncs = world
+        rng = np.random.default_rng(1)
+        controls = rncs[1:6]
+        for victim in controls[:4]:
+            independent = 0.96 + Ar1Noise(0.01, 0.6).sample(rng, 120)
+            store.put(victim, VR, TimeSeries(np.clip(independent, 0, 1)))
+        report = control_group_quality(store, rncs[0], controls, VR, DAY)
+        assert not report.usable
+
+    def test_empty_controls_rejected(self, world):
+        store, rncs = world
+        with pytest.raises(ValueError):
+            control_group_quality(store, rncs[0], [], VR, DAY)
+
+    def test_insufficient_history_rejected(self, world):
+        store, rncs = world
+        with pytest.raises(ValueError, match="training window"):
+            control_group_quality(store, rncs[0], rncs[1:], VR, change_day=5)
+
+    def test_to_text(self, world):
+        store, rncs = world
+        report = control_group_quality(store, rncs[0], rncs[1:], VR, DAY)
+        text = report.to_text()
+        assert "R^2" in text
+        assert "USABLE" in text

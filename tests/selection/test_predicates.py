@@ -1,0 +1,136 @@
+"""Tests for repro.selection.predicates."""
+
+import pytest
+
+from repro.network.builder import NetworkSpec, build_network
+from repro.network.geography import Region
+from repro.network.technology import ElementRole, Technology
+from repro.selection.predicates import (
+    And,
+    AttributeEquals,
+    Not,
+    Or,
+    SameController,
+    SameParent,
+    SameRegion,
+    SameRole,
+    SameSoftwareVersion,
+    SameTechnology,
+    SameTrafficProfile,
+    SameVendor,
+    SameZipCode,
+    WithinDistanceKm,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    spec = NetworkSpec(
+        technologies=(Technology.UMTS, Technology.LTE),
+        regions=(Region.NORTHEAST, Region.SOUTHEAST),
+        controllers_per_region=3,
+        towers_per_controller=3,
+        seed=14,
+    )
+    return build_network(spec)
+
+
+@pytest.fixture(scope="module")
+def towers(topo):
+    return [e for e in topo if e.role is ElementRole.NODEB]
+
+
+class TestStructural:
+    def test_same_parent(self, topo, towers):
+        a, b = towers[0], towers[1]
+        assert a.parent_id == b.parent_id
+        assert SameParent().matches(a, b, topo)
+
+    def test_same_controller_towers(self, topo, towers):
+        same_rnc = [t for t in towers if t.parent_id == towers[0].parent_id]
+        other_rnc = [t for t in towers if t.parent_id != towers[0].parent_id]
+        assert SameController().matches(towers[0], same_rnc[1], topo)
+        assert not SameController().matches(towers[0], other_rnc[0], topo)
+
+    def test_same_controller_for_controllers_compares_parents(self, topo):
+        rncs = topo.elements(role=ElementRole.RNC, technology=Technology.UMTS)
+        ne = [r for r in rncs if r.region is Region.NORTHEAST]
+        assert SameController().matches(ne[0], ne[1], topo)
+
+
+class TestAttributes:
+    def test_same_region(self, topo):
+        rncs = topo.elements(role=ElementRole.RNC)
+        ne = [r for r in rncs if r.region is Region.NORTHEAST]
+        se = [r for r in rncs if r.region is Region.SOUTHEAST]
+        assert SameRegion().matches(ne[0], ne[1], topo)
+        assert not SameRegion().matches(ne[0], se[0], topo)
+
+    def test_same_technology(self, topo):
+        umts = topo.elements(technology=Technology.UMTS)[0]
+        lte = topo.elements(technology=Technology.LTE)[0]
+        assert not SameTechnology().matches(umts, lte, topo)
+
+    def test_same_role(self, topo):
+        rnc = topo.elements(role=ElementRole.RNC)[0]
+        nodeb = topo.elements(role=ElementRole.NODEB)[0]
+        assert not SameRole().matches(rnc, nodeb, topo)
+
+    def test_software_vendor_terrain_profile(self, topo, towers):
+        a = towers[0]
+        same_sw = [t for t in towers if t.software_version == a.software_version]
+        assert SameSoftwareVersion().matches(a, same_sw[1], topo)
+        same_vendor = [t for t in towers[1:] if t.vendor == a.vendor]
+        if same_vendor:
+            assert SameVendor().matches(a, same_vendor[0], topo)
+        diff_profile = [t for t in towers if t.traffic_profile != a.traffic_profile]
+        assert not SameTrafficProfile().matches(a, diff_profile[0], topo)
+
+    def test_within_distance(self, topo, towers):
+        a, b = towers[0], towers[1]  # same cluster
+        assert WithinDistanceKm(100.0).matches(a, b, topo)
+        assert not WithinDistanceKm(0.001).matches(a, b, topo)
+
+    def test_within_distance_validation(self):
+        with pytest.raises(ValueError):
+            WithinDistanceKm(0.0)
+
+    def test_same_zip(self, topo, towers):
+        a = towers[0]
+        partner = next((t for t in towers[1:] if t.zip_code == a.zip_code), None)
+        if partner is not None:
+            assert SameZipCode().matches(a, partner, topo)
+        stranger = next(t for t in towers[1:] if t.zip_code != a.zip_code)
+        assert not SameZipCode().matches(a, stranger, topo)
+
+    def test_attribute_equals_generic(self, topo, towers):
+        pred = AttributeEquals("vendor")
+        a = towers[0]
+        assert pred.matches(a, a, topo)
+
+    def test_attribute_equals_unknown_key(self, topo, towers):
+        with pytest.raises(KeyError):
+            AttributeEquals("bogus").matches(towers[0], towers[1], topo)
+
+
+class TestCombinators:
+    def test_and_or_not(self, topo):
+        rncs = topo.elements(role=ElementRole.RNC)
+        ne = [r for r in rncs if r.region is Region.NORTHEAST]
+        se = [r for r in rncs if r.region is Region.SOUTHEAST]
+        both = SameRole() & SameRegion()
+        assert both.matches(ne[0], ne[1], topo)
+        assert not both.matches(ne[0], se[0], topo)
+        either = SameRegion() | SameRole()
+        assert either.matches(ne[0], se[0], topo)  # same role
+        assert (~SameRegion()).matches(ne[0], se[0], topo)
+
+    def test_describe_composition(self):
+        d = (SameRole() & ~SameRegion()).describe()
+        assert "SameRole" in d and "not SameRegion" in d
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(ValueError):
+            And()
+        with pytest.raises(ValueError):
+            Or()

@@ -1,0 +1,159 @@
+"""Tests for repro.selection.selector."""
+
+import pytest
+
+from repro.network.builder import NetworkSpec, build_network
+from repro.network.changes import ChangeEvent, ChangeLog, ChangeType
+from repro.network.geography import Region
+from repro.network.technology import ElementRole, Technology
+from repro.selection.predicates import SameController, SameRole
+from repro.selection.selector import (
+    ControlGroup,
+    ControlGroupSelector,
+    SelectionError,
+    default_predicate,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    spec = NetworkSpec(
+        technologies=(Technology.UMTS,),
+        regions=(Region.NORTHEAST, Region.SOUTHEAST),
+        controllers_per_region=8,
+        towers_per_controller=4,
+        seed=21,
+    )
+    return build_network(spec)
+
+
+def rnc_ids(topo, region=Region.NORTHEAST):
+    return [
+        e.element_id
+        for e in topo.elements(role=ElementRole.RNC)
+        if e.region == region
+    ]
+
+
+class TestBasicSelection:
+    def test_default_predicate_same_region_role(self, topo):
+        study = rnc_ids(topo)[:2]
+        group = ControlGroupSelector(topo).select(study)
+        assert len(group) == 6  # the other NE RNCs
+        for cid in group:
+            e = topo.get(cid)
+            assert e.role is ElementRole.RNC
+            assert e.region is Region.NORTHEAST
+
+    def test_study_excluded_from_controls(self, topo):
+        study = rnc_ids(topo)[:2]
+        group = ControlGroupSelector(topo).select(study)
+        assert not set(group) & set(study)
+
+    def test_impact_scope_excluded(self, topo):
+        """Descendant towers and ancestor core nodes of the study are out."""
+        study = rnc_ids(topo)[:1]
+        selector = ControlGroupSelector(topo, min_size=1)
+        group = selector.select(study, SameRole() & SameController())
+        towers_below = {e.element_id for e in topo.descendants(study[0])}
+        assert not set(group) & towers_below
+
+    def test_empty_study_rejected(self, topo):
+        with pytest.raises(SelectionError):
+            ControlGroupSelector(topo).select([])
+
+    def test_too_few_matches_raises(self, topo):
+        study = rnc_ids(topo)[:1]
+        selector = ControlGroupSelector(topo, min_size=50)
+        with pytest.raises(SelectionError, match="relax the predicate"):
+            selector.select(study)
+
+    def test_invalid_match_mode(self, topo):
+        with pytest.raises(ValueError):
+            ControlGroupSelector(topo).select(rnc_ids(topo)[:1], match="some")
+
+
+class TestSizeCap:
+    def test_max_size_keeps_nearest(self, topo):
+        study = rnc_ids(topo)[:1]
+        selector = ControlGroupSelector(topo, min_size=1, max_size=3)
+        group = selector.select(study)
+        assert len(group) == 3
+        # The kept controls are the nearest matching RNCs.
+        anchor = topo.get(study[0])
+        all_matches = [
+            e for e in topo.elements(role=ElementRole.RNC)
+            if e.region is Region.NORTHEAST and e.element_id != study[0]
+        ]
+        nearest = sorted(all_matches, key=lambda e: (anchor.distance_km(e), e.element_id))[:3]
+        assert set(group) == {e.element_id for e in nearest}
+
+    def test_invalid_sizes(self, topo):
+        with pytest.raises(ValueError):
+            ControlGroupSelector(topo, min_size=0)
+        with pytest.raises(ValueError):
+            ControlGroupSelector(topo, min_size=5, max_size=4)
+
+
+class TestConflicts:
+    def test_conflicted_controls_dropped(self, topo):
+        study = rnc_ids(topo)[:1]
+        victim = rnc_ids(topo)[2]
+        change = ChangeEvent(
+            "trial", ChangeType.CONFIGURATION, 50, frozenset(study)
+        )
+        log = ChangeLog(
+            [
+                change,
+                ChangeEvent(
+                    "other", ChangeType.SOFTWARE_UPGRADE, 52, frozenset({victim})
+                ),
+            ]
+        )
+        selector = ControlGroupSelector(topo, change_log=log, min_size=1)
+        group = selector.select(study, change=change)
+        assert victim not in group.element_ids
+        assert group.n_excluded_conflicts == 1
+
+    def test_far_away_changes_kept(self, topo):
+        study = rnc_ids(topo)[:1]
+        victim = rnc_ids(topo)[2]
+        change = ChangeEvent("trial", ChangeType.CONFIGURATION, 50, frozenset(study))
+        log = ChangeLog(
+            [
+                change,
+                ChangeEvent(
+                    "old", ChangeType.SOFTWARE_UPGRADE, 2, frozenset({victim})
+                ),
+            ]
+        )
+        selector = ControlGroupSelector(topo, change_log=log, min_size=1)
+        group = selector.select(study, change=change)
+        assert victim in group.element_ids
+
+
+class TestDiagnostics:
+    def test_counts_reported(self, topo):
+        study = rnc_ids(topo)[:1]
+        group = ControlGroupSelector(topo).select(study)
+        assert isinstance(group, ControlGroup)
+        assert group.n_candidates == len(topo)
+        assert group.n_excluded_predicate > 0
+        assert group.predicate == default_predicate().describe()
+
+    def test_iterable(self, topo):
+        group = ControlGroupSelector(topo).select(rnc_ids(topo)[:1])
+        assert list(group) == list(group.element_ids)
+
+
+class TestMatchModes:
+    def test_all_mode_stricter_than_any(self, topo):
+        ne = rnc_ids(topo, Region.NORTHEAST)[:1]
+        se = rnc_ids(topo, Region.SOUTHEAST)[:1]
+        study = ne + se  # study group spanning both regions
+        selector = ControlGroupSelector(topo, min_size=1)
+        any_group = selector.select(study, match="any")
+        with pytest.raises(SelectionError):
+            # No candidate is in BOTH regions at once.
+            selector.select(study, match="all")
+        assert len(any_group) > 0

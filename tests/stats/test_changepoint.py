@@ -1,0 +1,125 @@
+"""Tests for repro.stats.changepoint."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.changepoint import (
+    ChangeSignature,
+    classify_signature,
+    cusum_changepoint,
+    detect_level_shift,
+    detect_ramp,
+)
+
+
+def noisy(n, sigma=1.0, seed=0):
+    return np.random.default_rng(seed).normal(0, sigma, n)
+
+
+class TestCusum:
+    def test_locates_level_change(self):
+        x = np.concatenate([np.zeros(30), np.full(30, 5.0)]) + noisy(60, 0.2)
+        k = cusum_changepoint(x)
+        assert 27 <= k <= 33
+
+    def test_short_series(self):
+        assert cusum_changepoint([1.0]) == 0
+
+
+class TestLevelShift:
+    def test_detects_clear_shift(self):
+        before = noisy(30, 1.0, 1)
+        after = before + 6.0
+        assert detect_level_shift(before, after) == pytest.approx(6.0, abs=1.0)
+
+    def test_no_shift_none(self):
+        rng = np.random.default_rng(2)
+        assert detect_level_shift(rng.normal(0, 1, 30), rng.normal(0, 1, 30)) is None
+
+    def test_negative_shift_signed(self):
+        before = noisy(30, 0.5, 3)
+        shift = detect_level_shift(before, before - 4.0)
+        assert shift is not None and shift < 0
+
+    def test_zero_scale_constant_windows(self):
+        assert detect_level_shift([1.0, 1.0], [2.0, 2.0]) == pytest.approx(1.0)
+        assert detect_level_shift([1.0, 1.0], [1.0, 1.0]) is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            detect_level_shift([], [1.0])
+
+
+class TestRamp:
+    def test_detects_clear_ramp(self):
+        x = 0.5 * np.arange(40) + noisy(40, 0.5, 4)
+        slope = detect_ramp(x)
+        assert slope == pytest.approx(0.5, abs=0.1)
+
+    def test_flat_series_none(self):
+        assert detect_ramp(noisy(40, 1.0, 5)) is None
+
+    def test_too_short_none(self):
+        assert detect_ramp([1.0, 2.0, 3.0]) is None
+
+    def test_robust_to_outliers(self):
+        x = 0.5 * np.arange(40) + noisy(40, 0.3, 6)
+        x[10] += 50.0
+        slope = detect_ramp(x)
+        assert slope == pytest.approx(0.5, abs=0.15)
+
+
+class TestClassify:
+    def test_level_up(self):
+        before = noisy(30, 1.0, 7)
+        after = noisy(30, 1.0, 8) + 8.0
+        cp = classify_signature(before, after)
+        assert cp.signature is ChangeSignature.LEVEL_UP
+        assert cp.magnitude > 0
+
+    def test_level_down(self):
+        before = noisy(30, 1.0, 9)
+        after = noisy(30, 1.0, 10) - 8.0
+        assert classify_signature(before, after).signature is ChangeSignature.LEVEL_DOWN
+
+    def test_ramp_up(self):
+        before = noisy(30, 0.5, 11)
+        after = 1.0 * np.arange(30) + noisy(30, 0.5, 12)
+        cp = classify_signature(before, after)
+        assert cp.signature is ChangeSignature.RAMP_UP
+
+    def test_ramp_down(self):
+        before = noisy(30, 0.5, 13)
+        after = -1.0 * np.arange(30) + noisy(30, 0.5, 14)
+        assert classify_signature(before, after).signature is ChangeSignature.RAMP_DOWN
+
+    def test_transient(self):
+        before = noisy(30, 1.0, 15)
+        after = noisy(30, 1.0, 16).copy()
+        after[5] += 30.0
+        cp = classify_signature(before, after)
+        assert cp.signature is ChangeSignature.TRANSIENT
+
+    def test_none(self):
+        before = noisy(30, 1.0, 17)
+        after = noisy(30, 1.0, 18)
+        cp = classify_signature(before, after)
+        assert cp.signature is ChangeSignature.NONE
+        assert cp.magnitude == 0.0
+
+
+@given(
+    shift=st.floats(5.0, 50.0),
+    seed=st.integers(0, 500),
+)
+@settings(max_examples=40, deadline=None)
+def test_level_shift_sign_matches_property(shift, seed):
+    """A large injected shift is always detected with the right sign."""
+    rng = np.random.default_rng(seed)
+    before = rng.normal(0, 1, 25)
+    detected = detect_level_shift(before, before + shift)
+    assert detected is not None and detected > 0
+    detected_down = detect_level_shift(before, before - shift)
+    assert detected_down is not None and detected_down < 0

@@ -1,0 +1,144 @@
+"""Tests for repro.stats.correlation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.correlation import (
+    correlation_matrix,
+    cross_correlation,
+    distance_weights,
+    morans_i,
+    pearson,
+    spearman,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1.0, 2.0, 3.0], [10.0, 20.0, 30.0]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1.0, 2.0, 3.0], [3.0, 2.0, 1.0]) == pytest.approx(-1.0)
+
+    def test_constant_series_zero(self):
+        assert pearson([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            pearson([1.0], [1.0, 2.0])
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_one(self):
+        x = np.arange(1.0, 11.0)
+        assert spearman(x, x**3) == pytest.approx(1.0)
+
+    def test_matches_pearson_on_linear(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=50)
+        y = 2.0 * x
+        assert spearman(x, y) == pytest.approx(pearson(x, y), abs=1e-9)
+
+
+class TestCorrelationMatrix:
+    def test_diagonal_ones(self):
+        rng = np.random.default_rng(1)
+        M = correlation_matrix(rng.normal(size=(40, 3)))
+        assert np.allclose(np.diag(M), 1.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(2)
+        M = correlation_matrix(rng.normal(size=(40, 4)))
+        assert np.allclose(M, M.T)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            correlation_matrix(np.zeros((5, 2)), method="kendall")
+
+
+class TestCrossCorrelation:
+    def test_lag_detection(self):
+        rng = np.random.default_rng(3)
+        base = rng.normal(size=100)
+        lagged = np.roll(base, 2)  # y[t] = base[t-2]
+        cc = cross_correlation(base, lagged, max_lag=5)
+        # x[t] correlates with y[t + 2] i.e. lag -2 index.
+        assert int(np.argmax(cc)) == 5 - 2
+
+    def test_zero_lag_identity(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=60)
+        cc = cross_correlation(x, x, max_lag=3)
+        assert cc[3] == pytest.approx(1.0)
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(ValueError):
+            cross_correlation([1.0, 2.0], [1.0, 2.0], max_lag=-1)
+
+
+class TestDistanceWeights:
+    def test_rows_normalised(self):
+        D = np.array([[0.0, 1.0, 2.0], [1.0, 0.0, 1.0], [2.0, 1.0, 0.0]])
+        W = distance_weights(D, bandwidth=1.0)
+        assert np.allclose(W.sum(axis=1), 1.0)
+        assert np.allclose(np.diag(W), 0.0)
+
+    def test_nearer_gets_more_weight(self):
+        D = np.array([[0.0, 1.0, 5.0], [1.0, 0.0, 4.0], [5.0, 4.0, 0.0]])
+        W = distance_weights(D, bandwidth=2.0)
+        assert W[0, 1] > W[0, 2]
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            distance_weights(np.zeros((2, 2)), bandwidth=0.0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            distance_weights(np.zeros((2, 3)), bandwidth=1.0)
+
+
+class TestMoransI:
+    def test_clustered_values_positive(self):
+        # Two spatial clusters with matching values -> strong positive I.
+        coords = np.array([0.0, 0.1, 0.2, 10.0, 10.1, 10.2])
+        D = np.abs(coords[:, None] - coords[None, :])
+        W = distance_weights(D, bandwidth=1.0)
+        values = [5.0, 5.2, 4.9, -5.0, -5.1, -4.8]
+        assert morans_i(values, W) > 0.5
+
+    def test_alternating_values_negative(self):
+        coords = np.arange(6.0)
+        D = np.abs(coords[:, None] - coords[None, :])
+        W = distance_weights(D, bandwidth=0.8)
+        values = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0]
+        assert morans_i(values, W) < -0.5
+
+    def test_constant_values_zero(self):
+        W = distance_weights(np.ones((4, 4)) - np.eye(4), bandwidth=1.0)
+        assert morans_i([3.0, 3.0, 3.0, 3.0], W) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            morans_i([1.0, 2.0], np.zeros((3, 3)))
+
+
+@given(
+    seed=st.integers(0, 500),
+    n=st.integers(3, 40),
+)
+@settings(max_examples=40)
+def test_pearson_bounds_property(seed, n):
+    rng = np.random.default_rng(seed)
+    x, y = rng.normal(size=n), rng.normal(size=n)
+    r = pearson(x, y)
+    assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+
+
+@given(seed=st.integers(0, 500), scale=st.floats(0.1, 100.0), shift=st.floats(-50, 50))
+@settings(max_examples=40)
+def test_pearson_affine_invariance_property(seed, scale, shift):
+    rng = np.random.default_rng(seed)
+    x, y = rng.normal(size=20), rng.normal(size=20)
+    assert pearson(x, y) == pytest.approx(pearson(x * scale + shift, y), abs=1e-9)

@@ -1,0 +1,147 @@
+"""Tests for repro.stats.descriptive."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.descriptive import (
+    hodges_lehmann,
+    iqr,
+    mad,
+    robust_zscores,
+    summarize,
+    trimmed_mean,
+    winsorize,
+)
+
+finite_lists = st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=60)
+
+
+class TestMad:
+    def test_gaussian_consistency(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 2.0, size=20000)
+        assert mad(x) == pytest.approx(2.0, rel=0.05)
+
+    def test_unscaled(self):
+        x = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert mad(x, scale=False) == 1.0
+
+    def test_robust_to_one_outlier(self):
+        x = [1.0, 2.0, 3.0, 4.0, 5.0]
+        contaminated = x + [1e9]
+        assert mad(contaminated) < 10 * mad(x)
+
+    def test_empty_is_nan(self):
+        assert np.isnan(mad([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            mad(np.zeros((2, 2)))
+
+
+class TestTrimmedMean:
+    def test_no_trim_is_mean(self):
+        x = [1.0, 2.0, 3.0]
+        assert trimmed_mean(x, 0.0) == pytest.approx(2.0)
+
+    def test_trims_outliers(self):
+        x = [1.0, 2.0, 3.0, 4.0, 1000.0]
+        assert trimmed_mean(x, 0.2) == pytest.approx(3.0)
+
+    def test_invalid_proportion(self):
+        with pytest.raises(ValueError):
+            trimmed_mean([1.0], 0.5)
+
+
+class TestWinsorize:
+    def test_clamps_tails(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0, 100.0])
+        w = winsorize(x, 0.2)
+        assert w.max() < 100.0
+        assert w.min() >= 1.0
+
+    def test_zero_proportion_identity(self):
+        x = np.array([5.0, -3.0])
+        assert np.array_equal(winsorize(x, 0.0), x)
+
+
+class TestIqr:
+    def test_known_value(self):
+        assert iqr([1.0, 2.0, 3.0, 4.0, 5.0]) == pytest.approx(2.0)
+
+    def test_empty_nan(self):
+        assert np.isnan(iqr([]))
+
+
+class TestRobustZscores:
+    def test_outlier_gets_large_score(self):
+        x = np.array([1.0, 1.1, 0.9, 1.0, 1.05, 0.95, 10.0])
+        z = robust_zscores(x)
+        assert abs(z[-1]) > 5.0
+
+    def test_constant_input_all_zero(self):
+        z = robust_zscores(np.full(10, 3.0))
+        assert np.all(z == 0.0)
+
+    def test_majority_constant_uses_iqr_fallback(self):
+        x = np.array([1.0] * 8 + [2.0, 3.0])
+        z = robust_zscores(x)
+        assert np.isfinite(z).all()
+
+
+class TestHodgesLehmann:
+    def test_pure_shift_recovered(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, 200)
+        assert hodges_lehmann(x + 3.0, x) == pytest.approx(3.0, abs=0.05)
+
+    def test_empty_nan(self):
+        assert np.isnan(hodges_lehmann([], [1.0]))
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.min == 1.0
+        assert s.max == 4.0
+        assert s.iqr == pytest.approx(s.q3 - s.q1)
+
+    def test_empty(self):
+        s = summarize([])
+        assert s.n == 0
+        assert np.isnan(s.mean)
+
+
+@given(finite_lists)
+def test_mad_nonnegative_property(xs):
+    assert mad(xs) >= 0.0 or np.isnan(mad(xs))
+
+
+@given(finite_lists, st.floats(0.0, 0.45))
+def test_winsorize_bounds_property(xs, p):
+    """Winsorizing never widens the range."""
+    x = np.asarray(xs)
+    w = winsorize(x, p)
+    assert w.min() >= x.min() - 1e-9
+    assert w.max() <= x.max() + 1e-9
+
+
+@given(finite_lists)
+def test_trimmed_mean_within_range_property(xs):
+    tm = trimmed_mean(xs, 0.1)
+    assert min(xs) - 1e-9 <= tm <= max(xs) + 1e-9
+
+
+@given(
+    st.lists(st.floats(-100, 100), min_size=1, max_size=30),
+    st.floats(-50, 50),
+)
+def test_hodges_lehmann_shift_equivariance(xs, delta):
+    """HL(x + delta, x) == delta exactly for any sample."""
+    x = np.asarray(xs)
+    assert hodges_lehmann(x + delta, x) == pytest.approx(delta, abs=1e-6)

@@ -1,0 +1,82 @@
+"""Tests for repro.stats.deseasonalize."""
+
+import numpy as np
+import pytest
+
+from repro.stats.deseasonalize import (
+    remove_trend,
+    remove_weekly,
+    seasonally_adjust,
+    weekly_profile,
+)
+from repro.stats.timeseries import TimeSeries
+
+
+def weekly_series(n=70, amplitude=2.0, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    days = np.arange(n)
+    weekend = (days % 7 >= 5).astype(float)
+    values = 10.0 - amplitude * weekend + rng.normal(0, noise, n)
+    return TimeSeries(values)
+
+
+class TestWeeklyProfile:
+    def test_recovers_weekend_dip(self):
+        profile = weekly_profile(weekly_series())
+        assert profile[5] < profile[0]  # Saturday below Monday
+        assert profile[5] == pytest.approx(-2.0, abs=0.1)
+
+    def test_robust_to_outliers(self):
+        series = weekly_series(noise=0.1, seed=1)
+        spiked = TimeSeries(
+            np.where(np.arange(70) == 1, 1000.0, series.values)
+        )
+        profile = weekly_profile(spiked)
+        assert profile[1] < 10  # one crazy Tuesday does not move the median
+
+    def test_requires_daily(self):
+        with pytest.raises(ValueError):
+            weekly_profile(TimeSeries(np.zeros(48), freq=24))
+
+
+class TestRemoveWeekly:
+    def test_flattens_weekly_pattern(self):
+        adjusted = remove_weekly(weekly_series())
+        assert np.std(adjusted.values) < 0.01
+
+    def test_preserves_level_shift(self):
+        series = weekly_series(noise=0.0)
+        shifted = TimeSeries(series.values + 5.0 * (np.arange(70) >= 35))
+        adjusted = remove_weekly(shifted)
+        # The shift survives (profile estimation splits it, but the
+        # before/after contrast remains).
+        assert adjusted.values[40:].mean() - adjusted.values[:35].mean() > 3.0
+
+    def test_bad_profile_rejected(self):
+        with pytest.raises(ValueError):
+            remove_weekly(weekly_series(), profile=np.zeros(6))
+
+
+class TestRemoveTrend:
+    def test_removes_slow_drift(self):
+        drift = TimeSeries(np.linspace(0.0, 10.0, 200))
+        adjusted = remove_trend(drift, window=28)
+        # Slow drift compresses to a constant small offset.
+        assert np.std(adjusted.values[28:]) < 0.1
+
+    def test_level_shift_visible_initially(self):
+        values = np.zeros(100)
+        values[50:] = 5.0
+        adjusted = remove_trend(TimeSeries(values), window=28)
+        # Right after the change the shift is intact.
+        assert adjusted.values[51] == pytest.approx(5.0)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            remove_trend(weekly_series(), window=2)
+
+
+class TestSeasonallyAdjust:
+    def test_composition_runs(self):
+        adjusted = seasonally_adjust(weekly_series(noise=0.2, seed=2))
+        assert len(adjusted) == 70

@@ -1,0 +1,160 @@
+"""Tests for repro.stats.linreg."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.linreg import LinearModel, fit_lasso, fit_ols, fit_ridge
+
+
+def make_data(seed=0, n=100, p=4, noise=0.1):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, p))
+    coef = np.arange(1.0, p + 1.0)
+    y = X @ coef + 2.0 + rng.normal(0, noise, n)
+    return X, y, coef
+
+
+class TestOls:
+    def test_recovers_coefficients(self):
+        X, y, coef = make_data()
+        model = fit_ols(X, y)
+        assert np.allclose(model.coef, coef, atol=0.1)
+        assert model.intercept == pytest.approx(2.0, abs=0.1)
+
+    def test_no_intercept(self):
+        X, y, _ = make_data()
+        model = fit_ols(X, y, intercept=False)
+        assert model.intercept == 0.0
+
+    def test_exact_fit_r_squared_one(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([2.0, 4.0, 6.0])
+        model = fit_ols(X, y, intercept=False)
+        assert model.r_squared(X, y) == pytest.approx(1.0)
+
+    def test_underdetermined_minimum_norm(self):
+        """More predictors than samples: lstsq spreads weight rather than
+        concentrating it — the behaviour the robustness argument wants."""
+        rng = np.random.default_rng(1)
+        X = np.tile(rng.normal(size=(5, 1)), (1, 10))  # 10 identical columns
+        y = X[:, 0] * 2.0
+        model = fit_ols(X, y, intercept=False)
+        # Weight spread evenly over the identical columns.
+        assert np.allclose(model.coef, 0.2, atol=1e-6)
+
+    def test_predict_shape_mismatch(self):
+        X, y, _ = make_data()
+        model = fit_ols(X, y)
+        with pytest.raises(ValueError, match="predictor matrix"):
+            model.predict(np.zeros((3, 99)))
+
+    def test_row_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="rows"):
+            fit_ols(np.zeros((4, 2)), np.zeros(5))
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_ols(np.zeros((0, 2)), np.zeros(0))
+
+    def test_coef_immutable(self):
+        X, y, _ = make_data()
+        model = fit_ols(X, y)
+        with pytest.raises(ValueError):
+            model.coef[0] = 99.0
+
+
+class TestRidge:
+    def test_zero_alpha_matches_ols(self):
+        X, y, _ = make_data()
+        ols = fit_ols(X, y)
+        ridge = fit_ridge(X, y, alpha=0.0)
+        assert np.allclose(ridge.coef, ols.coef, atol=1e-8)
+
+    def test_shrinkage_monotone(self):
+        X, y, _ = make_data()
+        norms = [
+            np.linalg.norm(fit_ridge(X, y, alpha=a).coef)
+            for a in (0.0, 10.0, 1000.0)
+        ]
+        assert norms[0] > norms[1] > norms[2]
+
+    def test_intercept_unpenalised(self):
+        X, y, _ = make_data()
+        model = fit_ridge(X, y, alpha=1e6)
+        # Coefficients crushed, intercept takes the mean.
+        assert np.allclose(model.coef, 0.0, atol=1e-2)
+        assert model.intercept == pytest.approx(np.mean(y), abs=0.05)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            fit_ridge(np.zeros((2, 1)), np.zeros(2), alpha=-1.0)
+
+
+class TestLasso:
+    def test_produces_sparsity(self):
+        """Strong l1 penalty zeroes irrelevant coefficients — the behaviour
+        the paper argues AGAINST for control-group forecasting."""
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(200, 6))
+        y = 3.0 * X[:, 0] + rng.normal(0, 0.1, 200)
+        model = fit_lasso(X, y, alpha=0.5)
+        assert abs(model.coef[0]) > 1.0
+        assert np.sum(np.abs(model.coef[1:]) < 1e-3) >= 4
+
+    def test_zero_alpha_close_to_ols(self):
+        X, y, coef = make_data(noise=0.01)
+        model = fit_lasso(X, y, alpha=0.0, max_iter=5000)
+        assert np.allclose(model.coef, coef, atol=0.05)
+
+    def test_huge_alpha_all_zero(self):
+        X, y, _ = make_data()
+        model = fit_lasso(X, y, alpha=1e6)
+        assert np.allclose(model.coef, 0.0)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            fit_lasso(np.zeros((2, 1)), np.zeros(2), alpha=-0.1)
+
+
+class TestLinearModel:
+    def test_residuals(self):
+        model = LinearModel(np.array([2.0]), 1.0, "test")
+        X = np.array([[1.0], [2.0]])
+        resid = model.residuals(X, [3.0, 6.0])
+        assert list(resid) == [0.0, 1.0]
+
+    def test_r_squared_constant_target(self):
+        model = LinearModel(np.array([0.0]), 5.0, "test")
+        X = np.zeros((3, 1))
+        assert model.r_squared(X, [5.0, 5.0, 5.0]) == 1.0
+
+
+@given(
+    seed=st.integers(0, 1000),
+    n=st.integers(10, 60),
+    p=st.integers(1, 5),
+)
+@settings(max_examples=30, deadline=None)
+def test_ols_residuals_orthogonal_property(seed, n, p):
+    """OLS residuals are orthogonal to every predictor column."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, p))
+    y = rng.normal(size=n)
+    model = fit_ols(X, y)
+    resid = model.residuals(X, y)
+    for j in range(p):
+        assert abs(float(resid @ X[:, j])) < 1e-6 * n
+
+
+@given(seed=st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_ridge_between_zero_and_ols_property(seed):
+    """Ridge predictions interpolate between OLS fit and the mean."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(40, 3))
+    y = rng.normal(size=40)
+    ols_norm = np.linalg.norm(fit_ols(X, y).coef)
+    ridge_norm = np.linalg.norm(fit_ridge(X, y, alpha=5.0).coef)
+    assert ridge_norm <= ols_norm + 1e-9

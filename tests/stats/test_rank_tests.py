@@ -1,0 +1,211 @@
+"""Tests for repro.stats.rank_tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.rank_tests import (
+    Alternative,
+    Direction,
+    compare_windows,
+    fligner_policello,
+    mann_whitney_u,
+    rankdata,
+    welch_t,
+)
+
+
+class TestRankdata:
+    def test_simple_ranks(self):
+        assert list(rankdata([10.0, 30.0, 20.0])) == [1.0, 3.0, 2.0]
+
+    def test_ties_get_midranks(self):
+        assert list(rankdata([1.0, 2.0, 2.0, 3.0])) == [1.0, 2.5, 2.5, 4.0]
+
+    def test_all_equal(self):
+        assert list(rankdata([5.0, 5.0, 5.0])) == [2.0, 2.0, 2.0]
+
+
+class TestMannWhitney:
+    def test_clear_separation_small_sample_exact(self):
+        x = [10.0, 11.0, 12.0, 13.0]
+        y = [1.0, 2.0, 3.0, 4.0]
+        res = mann_whitney_u(x, y, Alternative.GREATER)
+        assert res.method == "mann-whitney-exact"
+        # P(U >= 16) with m=n=4 is 1/70.
+        assert res.p_value == pytest.approx(1 / 70)
+
+    def test_two_sided_symmetric(self):
+        x = [1.0, 5.0, 9.0]
+        y = [2.0, 6.0, 10.0]
+        p_xy = mann_whitney_u(x, y).p_value
+        p_yx = mann_whitney_u(y, x).p_value
+        assert p_xy == pytest.approx(p_yx)
+
+    def test_identical_samples_not_significant(self):
+        x = np.arange(20.0)
+        res = mann_whitney_u(x, x)
+        assert res.p_value > 0.5
+
+    def test_ties_force_normal_method(self):
+        x = [1.0, 2.0, 2.0]
+        y = [2.0, 3.0, 4.0]
+        assert mann_whitney_u(x, y).method == "mann-whitney-normal"
+
+    def test_all_constant_p_one(self):
+        res = mann_whitney_u([3.0] * 15, [3.0] * 15)
+        assert res.p_value == 1.0
+
+    def test_shift_detected_large_sample(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(1.0, 1.0, 50)
+        y = rng.normal(0.0, 1.0, 50)
+        assert mann_whitney_u(x, y, Alternative.GREATER).p_value < 0.01
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            mann_whitney_u([np.nan], [1.0])
+
+
+class TestFlignerPolicello:
+    def test_shift_detected(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(1.0, 1.0, 30)
+        y = rng.normal(0.0, 1.0, 30)
+        res = fligner_policello(x, y, Alternative.GREATER)
+        assert res.p_value < 0.01
+        assert res.statistic > 0
+
+    def test_unequal_variances_null_holds(self):
+        """Unlike Mann-Whitney, FP tolerates unequal variances under H0."""
+        rng = np.random.default_rng(5)
+        rejections = 0
+        for _ in range(200):
+            x = rng.normal(0.0, 1.0, 20)
+            y = rng.normal(0.0, 5.0, 20)
+            if fligner_policello(x, y).p_value < 0.05:
+                rejections += 1
+        assert rejections < 30  # near-nominal level
+
+    def test_perfect_separation_infinite_statistic(self):
+        res = fligner_policello([10.0, 11.0, 12.0], [1.0, 2.0, 3.0], Alternative.GREATER)
+        assert res.p_value == pytest.approx(0.0)
+
+    def test_identical_constants(self):
+        res = fligner_policello([2.0, 2.0, 2.0], [2.0, 2.0, 2.0])
+        assert res.p_value == 1.0
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            fligner_policello([1.0], [1.0, 2.0])
+
+    def test_antisymmetric_statistic(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(0.5, 1.0, 15)
+        y = rng.normal(0.0, 1.0, 15)
+        z_xy = fligner_policello(x, y).statistic
+        z_yx = fligner_policello(y, x).statistic
+        assert z_xy == pytest.approx(-z_yx)
+
+    def test_robust_to_single_outlier(self):
+        """A one-off outlier must not create a significant difference."""
+        rng = np.random.default_rng(7)
+        x = rng.normal(0.0, 1.0, 14)
+        y = np.concatenate([rng.normal(0.0, 1.0, 13), [100.0]])
+        assert fligner_policello(y, x, Alternative.GREATER).p_value > 0.05
+
+
+class TestWelchT:
+    def test_shift_detected(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(2.0, 1.0, 30)
+        y = rng.normal(0.0, 1.0, 30)
+        assert welch_t(x, y, Alternative.GREATER).p_value < 0.001
+
+    def test_matches_known_p_value(self):
+        # Cross-checked against scipy.stats.ttest_ind(equal_var=False).
+        x = [1.0, 2.0, 3.0, 4.0, 5.0]
+        y = [2.0, 4.0, 6.0, 8.0, 10.0]
+        res = welch_t(x, y)
+        assert res.statistic == pytest.approx(-1.8974, abs=1e-3)
+        assert res.p_value == pytest.approx(0.107531, abs=1e-4)
+
+    def test_zero_variance_identical(self):
+        assert welch_t([1.0, 1.0], [1.0, 1.0]).p_value == 1.0
+
+    def test_not_outlier_robust(self):
+        """Documents why the paper prefers rank tests: one outlier can move
+        Welch's conclusion."""
+        rng = np.random.default_rng(9)
+        x = rng.normal(0.5, 1.0, 14)
+        y = rng.normal(0.0, 1.0, 14)
+        p_clean = welch_t(x, y, Alternative.GREATER).p_value
+        x_outlier = np.concatenate([x, [-500.0]])
+        p_dirty = welch_t(x_outlier, y, Alternative.GREATER).p_value
+        assert p_dirty > p_clean  # evidence destroyed by the outlier
+
+
+class TestCompareWindows:
+    def test_increase(self):
+        rng = np.random.default_rng(10)
+        before = rng.normal(0.0, 1.0, 20)
+        after = rng.normal(3.0, 1.0, 20)
+        assert compare_windows(after, before) is Direction.INCREASE
+
+    def test_decrease(self):
+        rng = np.random.default_rng(11)
+        before = rng.normal(0.0, 1.0, 20)
+        after = rng.normal(-3.0, 1.0, 20)
+        assert compare_windows(after, before) is Direction.DECREASE
+
+    def test_no_change(self):
+        rng = np.random.default_rng(12)
+        before = rng.normal(0.0, 1.0, 20)
+        after = rng.normal(0.0, 1.0, 20)
+        assert compare_windows(after, before) is Direction.NO_CHANGE
+
+    def test_unknown_test_rejected(self):
+        with pytest.raises(ValueError, match="unknown test"):
+            compare_windows([1.0, 2.0], [1.0, 2.0], test="bogus")
+
+    def test_direction_flipped(self):
+        assert Direction.INCREASE.flipped() is Direction.DECREASE
+        assert Direction.NO_CHANGE.flipped() is Direction.NO_CHANGE
+
+
+samples = st.lists(
+    st.floats(-1e3, 1e3, allow_nan=False), min_size=3, max_size=25
+)
+
+
+@given(samples, samples)
+@settings(max_examples=60)
+def test_p_values_in_unit_interval_property(x, y):
+    for alt in Alternative:
+        for fn in (mann_whitney_u, fligner_policello, welch_t):
+            p = fn(x, y, alt).p_value
+            assert 0.0 <= p <= 1.0
+
+
+@given(samples, samples)
+@settings(max_examples=60)
+def test_one_sided_p_values_complementary_property(x, y):
+    """For continuous data the two one-sided MW p-values overlap around 1."""
+    res_g = mann_whitney_u(x, y, Alternative.GREATER)
+    res_l = mann_whitney_u(x, y, Alternative.LESS)
+    assert res_g.p_value + res_l.p_value >= 0.99
+
+
+@given(samples, st.floats(0.5, 100.0))
+@settings(max_examples=60)
+def test_shift_increases_evidence_property(x, delta):
+    """Shifting one sample up can only strengthen 'greater' evidence."""
+    x = np.asarray(x)
+    base = fligner_policello(x + delta, x, Alternative.GREATER).p_value
+    more = fligner_policello(x + 2 * delta, x, Alternative.GREATER).p_value
+    assert more <= base + 1e-9

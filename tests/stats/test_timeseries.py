@@ -1,0 +1,231 @@
+"""Tests for repro.stats.timeseries."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.timeseries import Frequency, TimeSeries, align, stack
+
+
+class TestConstruction:
+    def test_values_are_immutable(self):
+        ts = TimeSeries([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            ts.values[0] = 99.0
+
+    def test_input_array_copied(self):
+        source = np.array([1.0, 2.0])
+        ts = TimeSeries(source)
+        source[0] = 42.0
+        assert ts.values[0] == 1.0
+
+    def test_rejects_2d_values(self):
+        with pytest.raises(ValueError, match="1-D"):
+            TimeSeries(np.zeros((2, 2)))
+
+    def test_rejects_nonpositive_freq(self):
+        with pytest.raises(ValueError, match="freq"):
+            TimeSeries([1.0], freq=0)
+
+    def test_len_and_iter(self):
+        ts = TimeSeries([1.0, 2.0, 3.0])
+        assert len(ts) == 3
+        assert list(ts) == [1.0, 2.0, 3.0]
+
+    def test_end_and_index(self):
+        ts = TimeSeries([1.0, 2.0], start=5)
+        assert ts.end == 7
+        assert list(ts.index) == [5, 6]
+
+    def test_duration_days_hourly(self):
+        ts = TimeSeries(np.zeros(48), freq=Frequency.HOURLY)
+        assert ts.duration_days == 2.0
+
+
+class TestIndexing:
+    def test_int_index_returns_float(self):
+        ts = TimeSeries([1.5, 2.5])
+        assert ts[1] == 2.5
+        assert isinstance(ts[1], float)
+
+    def test_slice_preserves_axis(self):
+        ts = TimeSeries([1.0, 2.0, 3.0, 4.0], start=10)
+        sub = ts[1:3]
+        assert sub.start == 11
+        assert list(sub.values) == [2.0, 3.0]
+
+    def test_slice_with_step_rejected(self):
+        ts = TimeSeries([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="step"):
+            ts[::2]
+
+
+class TestWindowing:
+    def test_window_clips_to_available(self):
+        ts = TimeSeries([1.0, 2.0, 3.0], start=10)
+        w = ts.window(0, 12)
+        assert w.start == 10
+        assert list(w.values) == [1.0, 2.0]
+
+    def test_window_outside_is_empty(self):
+        ts = TimeSeries([1.0], start=10)
+        assert ts.window(0, 5).is_empty()
+
+    def test_before_after_partition(self):
+        ts = TimeSeries(np.arange(10.0))
+        before = ts.before(5, 3)
+        after = ts.after(5, 3)
+        assert list(before.values) == [2.0, 3.0, 4.0]
+        assert list(after.values) == [5.0, 6.0, 7.0]
+
+    def test_split(self):
+        ts = TimeSeries(np.arange(6.0))
+        left, right = ts.split(2)
+        assert list(left.values) == [0.0, 1.0]
+        assert right.start == 2
+        assert len(right) == 4
+
+
+class TestTransforms:
+    def test_map_length_preserved(self):
+        ts = TimeSeries([1.0, 4.0]).map(np.sqrt)
+        assert list(ts.values) == [1.0, 2.0]
+
+    def test_map_rejects_shape_change(self):
+        with pytest.raises(ValueError):
+            TimeSeries([1.0, 2.0]).map(lambda v: v[:1])
+
+    def test_clip(self):
+        ts = TimeSeries([-0.5, 0.5, 1.5]).clip(0.0, 1.0)
+        assert list(ts.values) == [0.0, 0.5, 1.0]
+
+    def test_diff_starts_later(self):
+        ts = TimeSeries([1.0, 3.0, 6.0], start=4)
+        d = ts.diff()
+        assert d.start == 5
+        assert list(d.values) == [2.0, 3.0]
+
+    def test_rolling_mean(self):
+        ts = TimeSeries([1.0, 2.0, 3.0, 4.0])
+        rm = ts.rolling_mean(2)
+        assert list(rm.values) == [1.5, 2.5, 3.5]
+        assert rm.start == 1
+
+    def test_rolling_mean_window_too_big(self):
+        assert TimeSeries([1.0]).rolling_mean(5).is_empty()
+
+    def test_resample_daily_mean(self):
+        hourly = TimeSeries(np.tile(np.arange(24.0), 2), freq=Frequency.HOURLY)
+        daily = hourly.resample_daily()
+        assert daily.freq == Frequency.DAILY
+        assert len(daily) == 2
+        assert daily[0] == pytest.approx(11.5)
+
+    def test_resample_daily_drops_partial_days(self):
+        hourly = TimeSeries(np.zeros(30), start=6, freq=Frequency.HOURLY)
+        daily = hourly.resample_daily()
+        # Samples 6..35 cover only day 1 fully (24..35 is partial too).
+        assert len(daily) == 0 or daily.start >= 1
+
+    def test_resample_unknown_aggregation(self):
+        hourly = TimeSeries(np.zeros(24), freq=Frequency.HOURLY)
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            hourly.resample_daily("mode")
+
+
+class TestArithmetic:
+    def test_add_scalar(self):
+        ts = TimeSeries([1.0, 2.0]) + 1.0
+        assert list(ts.values) == [2.0, 3.0]
+
+    def test_subtract_aligns_on_overlap(self):
+        a = TimeSeries([1.0, 2.0, 3.0], start=0)
+        b = TimeSeries([10.0, 20.0], start=1)
+        d = b - a
+        assert d.start == 1
+        assert list(d.values) == [8.0, 17.0]
+
+    def test_mixed_freq_rejected(self):
+        a = TimeSeries([1.0], freq=1)
+        b = TimeSeries([1.0], freq=24)
+        with pytest.raises(ValueError, match="frequencies"):
+            a + b
+
+    def test_no_overlap_gives_empty(self):
+        a = TimeSeries([1.0], start=0)
+        b = TimeSeries([1.0], start=10)
+        assert (a + b).is_empty()
+
+
+class TestSummaries:
+    def test_basic_stats(self):
+        ts = TimeSeries([1.0, 2.0, 3.0])
+        assert ts.mean() == 2.0
+        assert ts.median() == 2.0
+        assert ts.min() == 1.0
+        assert ts.max() == 3.0
+
+    def test_singleton_std_is_zero(self):
+        assert TimeSeries([5.0]).std() == 0.0
+
+    def test_empty_stats_are_nan(self):
+        empty = TimeSeries(np.empty(0))
+        assert np.isnan(empty.mean())
+        assert np.isnan(empty.median())
+
+
+class TestAlignStack:
+    def test_align_returns_common_span(self):
+        a = TimeSeries([1.0, 2.0, 3.0], start=0)
+        b = TimeSeries([5.0, 6.0, 7.0], start=1)
+        matrix, start = align([a, b])
+        assert start == 1
+        assert matrix.shape == (2, 2)
+        assert list(matrix[:, 0]) == [2.0, 3.0]
+
+    def test_align_no_overlap_raises(self):
+        a = TimeSeries([1.0], start=0)
+        b = TimeSeries([1.0], start=5)
+        with pytest.raises(ValueError, match="overlap"):
+            align([a, b])
+
+    def test_align_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            align([])
+
+    def test_stack_requires_identical_axes(self):
+        a = TimeSeries([1.0, 2.0], start=0)
+        b = TimeSeries([3.0, 4.0], start=1)
+        with pytest.raises(ValueError, match="identically indexed"):
+            stack([a, b])
+
+    def test_stack_shape(self):
+        a = TimeSeries([1.0, 2.0])
+        b = TimeSeries([3.0, 4.0])
+        assert stack([a, b]).shape == (2, 2)
+
+
+@given(
+    values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+    start=st.integers(-100, 100),
+)
+def test_window_roundtrip_property(values, start):
+    """Windowing the full span returns the original series."""
+    ts = TimeSeries(values, start=start)
+    w = ts.window(ts.start, ts.end)
+    assert w.start == ts.start
+    assert np.array_equal(w.values, ts.values)
+
+
+@given(
+    values=st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=40),
+    pivot_frac=st.floats(0.0, 1.0),
+)
+def test_split_partitions_property(values, pivot_frac):
+    """split() partitions the samples with no loss or duplication."""
+    ts = TimeSeries(values)
+    pivot = int(pivot_frac * len(values))
+    left, right = ts.split(pivot)
+    assert len(left) + len(right) == len(ts)
+    assert np.array_equal(np.concatenate([left.values, right.values]), ts.values)

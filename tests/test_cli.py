@@ -1,0 +1,43 @@
+"""Tests for the litmus CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_parses_experiment(self):
+        args = build_parser().parse_args(["run", "fig9"])
+        assert args.experiment == "fig9"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "table4" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "voice-retainability" in out
+        assert "degradation" in out  # the injected regression is caught
+
+    def test_run_figure(self, capsys):
+        assert main(["run", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99"])
+
+    def test_table4_small(self, capsys):
+        assert main(["table4", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Accuracy" in out
+        assert "litmus" in out

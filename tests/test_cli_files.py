@@ -1,0 +1,84 @@
+"""Tests for the file-driven CLI pipeline (simulate / assess / quality)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def deployment(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("deploy")
+    assert main(["simulate", str(directory), "--seed", "7"]) == 0
+    return directory
+
+
+class TestSimulate:
+    def test_files_written(self, deployment):
+        assert (deployment / "topology.json").exists()
+        assert (deployment / "kpis.csv").exists()
+        assert (deployment / "changes.json").exists()
+
+
+class TestAssess:
+    def test_screen_all(self, deployment, capsys):
+        rc = main(
+            [
+                "assess",
+                "--topology", str(deployment / "topology.json"),
+                "--kpis", str(deployment / "kpis.csv"),
+                "--changes", str(deployment / "changes.json"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ffa-bad" in out and "degradation" in out
+        assert "ffa-good" in out and "improvement" in out
+
+    def test_single_change_with_explain(self, deployment, capsys):
+        rc = main(
+            [
+                "assess",
+                "--topology", str(deployment / "topology.json"),
+                "--kpis", str(deployment / "kpis.csv"),
+                "--changes", str(deployment / "changes.json"),
+                "--change-id", "ffa-bad",
+                "--explain",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Co-occurring context" in out
+        # The other trial change happened the same day on a control RNC.
+        assert "ffa-good" in out
+
+    def test_single_change(self, deployment, capsys):
+        rc = main(
+            [
+                "assess",
+                "--topology", str(deployment / "topology.json"),
+                "--kpis", str(deployment / "kpis.csv"),
+                "--changes", str(deployment / "changes.json"),
+                "--change-id", "ffa-bad",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Overall: degradation" in out
+
+
+class TestQuality:
+    def test_usable_group_exit_zero(self, deployment, capsys):
+        rc = main(
+            [
+                "quality",
+                "--topology", str(deployment / "topology.json"),
+                "--kpis", str(deployment / "kpis.csv"),
+                "--study", "rnc-umts-northeast-0",
+                "--kpi", "voice-retainability",
+                "--day", "85",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "USABLE" in out
+        assert "sum(beta)" in out

@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; these tests keep them honest.
+Each script is run in-process (``runpy``) with stdout captured, and its
+key narrative line is asserted so a silent regression in an example's
+story — not just a crash — fails the build.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "NO-GO" in out
+        assert "voice-retainability" in out
+
+    def test_ffa_assessment(self, capsys):
+        out = run_example("ffa_assessment.py", capsys)
+        assert "dropped for conflicting changes" in out
+        assert "litmus-robust-spatial-regression" in out
+        # The trial improved voice retainability; Litmus's verdict section
+        # must say so.
+        litmus_section = out.split("litmus-robust-spatial-regression")[1]
+        assert "improvement" in litmus_section
+
+    def test_hurricane_son(self, capsys):
+        out = run_example("hurricane_son.py", capsys)
+        assert "relative improvement" in out
+
+    def test_holiday_false_positive(self, capsys):
+        out = run_example("holiday_false_positive.py", capsys)
+        assert "rollout is correctly cancelled" in out
+
+    def test_control_group_selection(self, capsys):
+        out = run_example("control_group_selection.py", capsys)
+        assert "dropped for overlapping changes" in out
+
+    def test_device_upgrade(self, capsys):
+        out = run_example("device_upgrade.py", capsys)
+        assert "Firmware verdict: degradation" in out
+
+    def test_ffa_monitoring(self, capsys):
+        out = run_example("ffa_monitoring.py", capsys)
+        assert "no-go" in out
+        assert "go" in out
+
+    def test_every_example_covered(self):
+        """A new example script must get a smoke test."""
+        scripts = {p.name for p in EXAMPLES.glob("*.py")}
+        covered = {
+            "quickstart.py",
+            "ffa_assessment.py",
+            "hurricane_son.py",
+            "holiday_false_positive.py",
+            "control_group_selection.py",
+            "device_upgrade.py",
+            "ffa_monitoring.py",
+        }
+        assert scripts == covered

@@ -1,0 +1,175 @@
+"""End-to-end integration tests spanning all subsystems.
+
+Each test builds a world, perturbs it, and checks the full pipeline —
+topology → generator → external factors → selection → assessment →
+verdicts — behaves as the paper describes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ChangeEvent,
+    ChangeLog,
+    ChangeType,
+    ElementRole,
+    KpiKind,
+    LevelShift,
+    Litmus,
+    LitmusConfig,
+    Region,
+    Verdict,
+    build_network,
+    generate_kpis,
+)
+from repro.core import DifferenceInDifferences, StudyOnlyAnalysis
+from repro.external import HolidayLull, UpstreamChange, tornado_outbreak
+from repro.external.factors import goodness_magnitude
+from repro.network.geography import REGION_BOXES, GeoPoint
+
+VR = KpiKind.VOICE_RETAINABILITY
+DAY = 85
+
+
+def build_world(seed=41, n_rnc=12):
+    topo = build_network(seed=seed, controllers_per_region=n_rnc, towers_per_controller=1)
+    store = generate_kpis(topo, (VR,), seed=seed)
+    return topo, store
+
+
+def change_for(topo, n=1):
+    rncs = topo.elements(role=ElementRole.RNC)
+    return ChangeEvent(
+        "it-change", ChangeType.CONFIGURATION, DAY, frozenset(r.element_id for r in rncs[:n])
+    )
+
+
+class TestGoNoGo:
+    def test_genuinely_good_change_is_go(self):
+        topo, store = build_world(seed=42)
+        change = change_for(topo)
+        store.apply_effect(
+            change.study_group[0], VR, LevelShift(goodness_magnitude(VR, 4.0), DAY)
+        )
+        report = Litmus(topo, store).assess(change, [VR])
+        assert report.overall_verdict() is Verdict.IMPROVEMENT
+
+    def test_regression_blocks_rollout(self):
+        topo, store = build_world(seed=43)
+        change = change_for(topo)
+        store.apply_effect(
+            change.study_group[0], VR, LevelShift(goodness_magnitude(VR, -4.0), DAY)
+        )
+        report = Litmus(topo, store).assess(change, [VR])
+        assert report.overall_verdict() is Verdict.DEGRADATION
+
+
+class TestConfounderScenarios:
+    def test_storm_does_not_frame_the_change(self):
+        """A storm overlapping the change is absorbed by the control group."""
+        topo, store = build_world(seed=44)
+        change = change_for(topo)
+        lat_min, lat_max, lon_min, lon_max = REGION_BOXES[Region.NORTHEAST]
+        storm = tornado_outbreak(
+            GeoPoint((lat_min + lat_max) / 2, (lon_min + lon_max) / 2),
+            day=float(DAY + 1),
+            radius_km=2000.0,
+        )
+        storm.apply(store, topo, [VR])
+        litmus_report = Litmus(topo, store).assess(change, [VR])
+        assert litmus_report.summary()[VR].winner is Verdict.NO_IMPACT
+
+    def test_change_effect_visible_through_holiday(self):
+        """A real improvement is still detected when a holiday lifts the
+        whole region at the same time."""
+        topo, store = build_world(seed=45)
+        change = change_for(topo)
+        HolidayLull(Region.NORTHEAST, float(DAY + 1), 10.0, severity=4.0).apply(
+            store, topo, [VR]
+        )
+        store.apply_effect(
+            change.study_group[0], VR, LevelShift(goodness_magnitude(VR, 4.0), DAY)
+        )
+        report = Litmus(topo, store).assess(change, [VR])
+        assert report.summary()[VR].winner is Verdict.IMPROVEMENT
+
+    def test_upstream_change_not_credited_to_study(self):
+        """Fig. 6 scenario: the improvement comes from the core, not the
+        study towers; sibling controls share it, so Litmus reports nothing."""
+        topo, store = build_world(seed=46)
+        msc = topo.elements(role=ElementRole.MSC)[0]
+        UpstreamChange(msc.element_id, float(DAY), severity=4.0).apply(
+            store, topo, [VR]
+        )
+        change = change_for(topo)
+        litmus = Litmus(topo, store).assess(change, [VR])
+        study_only = Litmus(
+            topo, store, algorithm=StudyOnlyAnalysis(LitmusConfig())
+        ).assess(change, [VR])
+        assert study_only.summary()[VR].winner is Verdict.IMPROVEMENT  # fooled
+        assert litmus.summary()[VR].winner is Verdict.NO_IMPACT
+
+
+class TestAlgorithmContrast:
+    def test_contaminated_control_breaks_did_not_litmus(self):
+        """The paper's core robustness claim on the full substrate: replace
+        a few controls with drifting poor predictors and DiD flips while
+        Litmus holds."""
+        topo, store = build_world(seed=47)
+        change = change_for(topo)
+        rncs = [r.element_id for r in topo.elements(role=ElementRole.RNC)]
+        controls = [r for r in rncs if r not in change.study_group]
+
+        # A genuine +3-sigma improvement at the study RNC.
+        store.apply_effect(
+            change.study_group[0], VR, LevelShift(goodness_magnitude(VR, 3.0), DAY)
+        )
+        # Contamination: 4 of the controls drift upward too (masking).
+        for victim in controls[-4:]:
+            store.apply_effect(
+                victim, VR, LevelShift(goodness_magnitude(VR, 3.0), DAY)
+            )
+            # ... and make them poor predictors: big unrelated noise.
+            rng = np.random.default_rng(hash(victim) % 2**32)
+            series = store.get(victim, VR)
+            noisy = series.values + rng.normal(0, 0.01, len(series))
+            from repro.stats.timeseries import TimeSeries
+
+            store.put(victim, VR, TimeSeries(noisy, series.start, series.freq).clip(0, 1))
+
+        cfg = LitmusConfig()
+        litmus = Litmus(topo, store, cfg).assess(change, [VR], control_ids=controls)
+        assert litmus.summary()[VR].winner is Verdict.IMPROVEMENT
+
+
+class TestChangeLogIntegration:
+    def test_conflicted_control_not_used(self):
+        topo, store = build_world(seed=48)
+        change = change_for(topo)
+        rncs = [r.element_id for r in topo.elements(role=ElementRole.RNC)]
+        victim = rncs[3]
+        log = ChangeLog(
+            [
+                change,
+                ChangeEvent(
+                    "other", ChangeType.SOFTWARE_UPGRADE, DAY + 1, frozenset({victim})
+                ),
+            ]
+        )
+        report = Litmus(topo, store, change_log=log).assess(change, [VR])
+        assert victim not in report.control_group
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self):
+        def run():
+            topo, store = build_world(seed=49)
+            change = change_for(topo)
+            store.apply_effect(
+                change.study_group[0], VR, LevelShift(goodness_magnitude(VR, -3.0), DAY)
+            )
+            report = Litmus(topo, store).assess(change, [VR])
+            a = report.assessments[0]
+            return (a.verdict, a.result.p_value_increase, a.result.p_value_decrease)
+
+        assert run() == run()
