@@ -39,6 +39,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     table4 = sub.add_parser("table4", help="synthetic-injection evaluation at scale")
     table4.add_argument("--seeds", type=int, default=10, help="grid seeds (83 ≈ paper scale)")
+    table4.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker pool for the per-case fan-out (results are identical "
+        "for any worker count)",
+    )
 
     simulate = sub.add_parser(
         "simulate", help="write a synthetic deployment (topology/KPIs/changes) to files"
@@ -59,6 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain",
         action="store_true",
         help="annotate the report with co-occurring changes/holidays/seasons",
+    )
+    assess.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker pool for the (element, KPI) fan-out (results are "
+        "identical for any worker count)",
     )
 
     quality = sub.add_parser(
@@ -126,11 +140,11 @@ def _cmd_demo(seed: int) -> int:
     return 0
 
 
-def _cmd_table4(n_seeds: int) -> int:
+def _cmd_table4(n_seeds: int, workers: int = 1) -> int:
     from .evaluation import evaluate_table4
     from .reporting import render_confusion_table
 
-    matrices, n_cases = evaluate_table4(n_seeds)
+    matrices, n_cases = evaluate_table4(n_seeds, n_workers=workers)
     print(render_confusion_table(matrices, f"Table 4 ({n_cases} cases)"))
     return 0
 
@@ -189,17 +203,19 @@ def _cmd_assess(
     changes_path: str,
     change_id: Optional[str],
     explain: bool = False,
+    workers: int = 1,
 ) -> int:
     from pathlib import Path
 
-    from .core import Litmus
+    from .core import Litmus, LitmusConfig
     from .io import changelog_from_json
     from .kpi import DEFAULT_KPIS
     from .ops import explain_assessment, screen_changes
 
     topo, store = _load_world(topology_path, kpi_path)
     log = changelog_from_json(Path(changes_path).read_text())
-    engine = Litmus(topo, store, change_log=log)
+    config = LitmusConfig(n_workers=workers)
+    engine = Litmus(topo, store, config, change_log=log)
     if change_id is not None:
         report = engine.assess(log.get(change_id), DEFAULT_KPIS)
         if explain:
@@ -236,12 +252,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "demo":
         return _cmd_demo(args.seed)
     if args.command == "table4":
-        return _cmd_table4(args.seeds)
+        return _cmd_table4(args.seeds, args.workers)
     if args.command == "simulate":
         return _cmd_simulate(args.directory, args.seed)
     if args.command == "assess":
         return _cmd_assess(
-            args.topology, args.kpis, args.changes, args.change_id, args.explain
+            args.topology,
+            args.kpis,
+            args.changes,
+            args.change_id,
+            args.explain,
+            args.workers,
         )
     if args.command == "quality":
         return _cmd_quality(args.topology, args.kpis, args.study, args.kpi, args.day)

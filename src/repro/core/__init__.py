@@ -3,6 +3,7 @@
 from .baselines import DifferenceInDifferences, StudyOnlyAnalysis, did_measure
 from .config import AssessmentConfig, LitmusConfig
 from .litmus import Assessor, ChangeAssessmentReport, ElementAssessment, Litmus
+from .parallel import executor_pool, spawn_task_seeds
 from .pca_baseline import PcaSubspaceDetector
 from .regression import RegressionDiagnostics, RobustSpatialRegression
 from .verdict import (
@@ -30,6 +31,8 @@ __all__ = [
     "VoteSummary",
     "did_measure",
     "direction_for_verdict",
+    "executor_pool",
     "majority_verdict",
+    "spawn_task_seeds",
     "verdict_from_direction",
 ]

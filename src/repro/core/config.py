@@ -69,6 +69,22 @@ class LitmusConfig(AssessmentConfig):
     #: exist for the anti-sparsity ablation.
     estimator: str = "ols"
     regularization: float = 0.1
+    #: Regression kernel: "batched" stacks every sampled control subset into
+    #: one (n_iterations, T, k) tensor and solves all fits in a single
+    #: LAPACK call; "loop" is the per-iteration reference implementation.
+    #: The two produce the same statistic (parity-tested at 1e-10); lasso
+    #: always runs the loop.  See DESIGN.md §"Batched kernel".
+    kernel: str = "batched"
+    #: Worker count for the assessment fan-out: ``Litmus.assess`` spreads
+    #: (element, KPI) tasks and the evaluation harness spreads per-case runs
+    #: over a ``concurrent.futures`` pool.  Every task is seeded from its
+    #: own ``np.random.SeedSequence.spawn`` child keyed by task order, so
+    #: results are identical for any n_workers (serial included).
+    n_workers: int = 1
+    #: Pool flavour for the fan-out: "thread" (numpy's LAPACK calls release
+    #: the GIL, so threads scale for the regression-heavy workload with
+    #: zero pickling cost) or "process" (full isolation, pays serialisation).
+    executor: str = "thread"
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -85,3 +101,9 @@ class LitmusConfig(AssessmentConfig):
             raise ValueError(f"unknown aggregation {self.aggregation!r}")
         if self.estimator not in ("ols", "ridge", "lasso"):
             raise ValueError(f"unknown estimator {self.estimator!r}")
+        if self.kernel not in ("batched", "loop"):
+            raise ValueError(f"unknown kernel {self.kernel!r}")
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        if self.executor not in ("thread", "process"):
+            raise ValueError(f"unknown executor {self.executor!r}")

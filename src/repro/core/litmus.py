@@ -26,6 +26,7 @@ from ..network.topology import Topology
 from ..selection.predicates import Predicate
 from ..selection.selector import ControlGroupSelector
 from .config import LitmusConfig
+from .parallel import executor_pool, spawn_task_seeds
 from .regression import RobustSpatialRegression
 from .verdict import AlgorithmResult, Verdict
 from .voting import VoteSummary, majority_verdict
@@ -58,6 +59,37 @@ class ElementAssessment:
 
 
 @dataclass(frozen=True)
+class _AssessmentTask:
+    """One (study element, KPI) comparison with its windowed arrays.
+
+    Tasks are prepared up front in the main process — array extraction is
+    cheap, serial, and needs the :class:`~repro.kpi.store.KpiStore` — so the
+    workers run the pure-numpy ``compare`` only.  ``dropped_controls`` names
+    the control elements excluded for this task (no stored series for the
+    KPI, or a series that does not cover the comparison windows).
+    """
+
+    element_id: ElementId
+    kpi: KpiKind
+    study_before: np.ndarray
+    study_after: np.ndarray
+    control_before: Optional[np.ndarray]
+    control_after: Optional[np.ndarray]
+    dropped_controls: Tuple[ElementId, ...]
+
+
+def _run_task(algorithm: Assessor, task: _AssessmentTask) -> AlgorithmResult:
+    """Execute one prepared comparison (module-level so process pools can
+    pickle it)."""
+    return algorithm.compare(
+        task.study_before,
+        task.study_after,
+        task.control_before,
+        task.control_after,
+    )
+
+
+@dataclass(frozen=True)
 class ChangeAssessmentReport:
     """Full outcome of assessing one change event."""
 
@@ -66,6 +98,9 @@ class ChangeAssessmentReport:
     control_group: Tuple[ElementId, ...]
     window_days: int
     assessments: Tuple[ElementAssessment, ...]
+    #: Control elements excluded from at least one comparison (missing or
+    #: window-incomplete series), surfaced so partial coverage is auditable.
+    dropped_controls: Tuple[ElementId, ...] = ()
 
     def for_kpi(self, kpi: KpiKind) -> List[ElementAssessment]:
         """Per-element assessments restricted to one KPI."""
@@ -99,6 +134,7 @@ class ChangeAssessmentReport:
             "algorithm": self.algorithm,
             "window_days": self.window_days,
             "control_group": list(self.control_group),
+            "dropped_controls": list(self.dropped_controls),
             "overall_verdict": self.overall_verdict().value,
             "kpis": {
                 kpi.value: {
@@ -126,6 +162,11 @@ class ChangeAssessmentReport:
             f"Algorithm: {self.algorithm}; window: +/-{self.window_days} days; "
             f"control group: {len(self.control_group)} elements",
         ]
+        if self.dropped_controls:
+            lines.append(
+                "  dropped controls (incomplete series): "
+                + ", ".join(str(c) for c in self.dropped_controls)
+            )
         for kpi, vote in self.summary().items():
             counts = ", ".join(
                 f"{v.value}={c}" for v, c in sorted(vote.counts.items(), key=lambda x: x[0].value)
@@ -195,46 +236,83 @@ class Litmus:
                 raise ValueError("control_ids must be non-empty")
 
         effective_window = window_days or self.config.window_days
-        assessments: List[ElementAssessment] = []
+        tasks: List[_AssessmentTask] = []
         for kpi in kpis:
             kind = KpiKind(kpi)
             usable_controls = [c for c in control if self.store.has(c, kind)]
+            missing = tuple(c for c in control if not self.store.has(c, kind))
             for element_id in study_ids:
                 if not self.store.has(element_id, kind):
                     continue
-                result = self._assess_element(
-                    element_id,
-                    kind,
-                    usable_controls,
-                    change.day,
-                    effective_window,
-                    after_offset_days,
+                tasks.append(
+                    self._prepare_task(
+                        element_id,
+                        kind,
+                        usable_controls,
+                        missing,
+                        change.day,
+                        effective_window,
+                        after_offset_days,
+                    )
                 )
-                assessments.append(
-                    ElementAssessment(element_id, kind, result, result.verdict(kind))
-                )
-        if not assessments:
+        if not tasks:
             raise ValueError(
                 "no study element has stored series for the requested KPIs"
             )
+        results = self._execute(tasks)
+        assessments = tuple(
+            ElementAssessment(t.element_id, t.kpi, r, r.verdict(t.kpi))
+            for t, r in zip(tasks, results)
+        )
+        dropped = sorted({c for t in tasks for c in t.dropped_controls})
         return ChangeAssessmentReport(
             change=change,
             algorithm=self.algorithm.name,
             control_group=control,
             window_days=effective_window,
-            assessments=tuple(assessments),
+            assessments=assessments,
+            dropped_controls=tuple(dropped),
         )
 
     # ------------------------------------------------------------------
-    def _assess_element(
+    def _execute(self, tasks: Sequence[_AssessmentTask]) -> List[AlgorithmResult]:
+        """Run the prepared comparisons, serially or over a worker pool.
+
+        Each task gets an algorithm seeded from its own
+        ``SeedSequence.spawn`` child, keyed by the task's position in the
+        deterministic task order — the serial path consumes the identical
+        seeds, so a report is bit-for-bit the same for any ``n_workers``.
+        """
+        algos = [
+            self._seeded_algorithm(seed)
+            for seed in spawn_task_seeds(self.config.seed, len(tasks))
+        ]
+        n_workers = min(self.config.n_workers, len(tasks))
+        if n_workers <= 1:
+            return [_run_task(algo, task) for algo, task in zip(algos, tasks)]
+        with executor_pool(self.config.executor, n_workers) as pool:
+            # Executor.map preserves task order regardless of scheduling.
+            return list(pool.map(_run_task, algos, tasks))
+
+    def _seeded_algorithm(self, seed: int) -> Assessor:
+        """Per-task algorithm instance; algorithms without sampling
+        randomness (no ``with_seed``) are shared as-is."""
+        maker = getattr(self.algorithm, "with_seed", None)
+        if callable(maker):
+            return maker(seed)
+        return self.algorithm
+
+    # ------------------------------------------------------------------
+    def _prepare_task(
         self,
         element_id: ElementId,
         kpi: KpiKind,
         control_ids: Sequence[ElementId],
+        missing_controls: Tuple[ElementId, ...],
         change_day: int,
         window_days: Optional[int] = None,
         after_offset_days: int = 0,
-    ) -> AlgorithmResult:
+    ) -> _AssessmentTask:
         study = self.store.get(element_id, kpi)
         window = (window_days or self.config.window_days) * study.freq
         training = max(window, self.config.training_days * study.freq)
@@ -247,20 +325,38 @@ class Litmus:
                 f"{window // study.freq}-day window around day {change_day}"
             )
 
+        dropped: List[ElementId] = list(missing_controls)
+        cb_cols, ca_cols = [], []
+        for cid in control_ids:
+            series = self.store.get(cid, kpi)
+            cb = series.window(study_before.start, study_before.end)
+            ca = series.window(study_after.start, study_after.end)
+            if len(cb) == len(study_before) and len(ca) == len(study_after):
+                cb_cols.append(cb.values)
+                ca_cols.append(ca.values)
+            else:
+                dropped.append(cid)
+        # A control with no series for the KPI or an incomplete window is
+        # unusable — but dropping below min_controls must be an error, not a
+        # silently thinner regression (the drop used to leave no trace).
+        if dropped and len(cb_cols) < self.config.min_controls:
+            raise ValueError(
+                f"only {len(cb_cols)} of {len(control_ids) + len(missing_controls)} "
+                f"control elements usable for {element_id!r}/{kpi.value} "
+                f"(need >= {self.config.min_controls}); dropped: "
+                f"{sorted(str(c) for c in dropped)}"
+            )
         control_before = control_after = None
-        if control_ids:
-            cb_cols, ca_cols = [], []
-            for cid in control_ids:
-                series = self.store.get(cid, kpi)
-                cb = series.window(study_before.start, study_before.end)
-                ca = series.window(study_after.start, study_after.end)
-                if len(cb) == len(study_before) and len(ca) == len(study_after):
-                    cb_cols.append(cb.values)
-                    ca_cols.append(ca.values)
-            if cb_cols:
-                control_before = np.column_stack(cb_cols)
-                control_after = np.column_stack(ca_cols)
+        if cb_cols:
+            control_before = np.column_stack(cb_cols)
+            control_after = np.column_stack(ca_cols)
 
-        return self.algorithm.compare(
-            study_before.values, study_after.values, control_before, control_after
+        return _AssessmentTask(
+            element_id=element_id,
+            kpi=kpi,
+            study_before=study_before.values,
+            study_after=study_after.values,
+            control_before=control_before,
+            control_after=control_after,
+            dropped_controls=tuple(dropped),
         )

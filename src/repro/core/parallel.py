@@ -1,0 +1,59 @@
+"""Deterministic fan-out primitives for the assessment engine.
+
+Two pieces the parallel paths share:
+
+* :func:`spawn_task_seeds` — per-task seeds derived with
+  ``np.random.SeedSequence.spawn``.  Seeding each task from its own spawned
+  child (keyed by the task's position in the deterministic task order)
+  makes every task's random stream independent of which worker runs it and
+  of how many workers exist, so a report is bit-identical for ``n_workers=1``
+  and ``n_workers=N`` — the property locked in by
+  ``tests/core/test_determinism.py``.
+* :func:`executor_pool` — a ``concurrent.futures`` pool for the configured
+  flavour.  "thread" is the default: the hot path is LAPACK-bound and numpy
+  releases the GIL there, so threads scale without any pickling cost;
+  "process" buys full isolation for workloads with heavy Python-level work.
+
+Results must always be collected with ``Executor.map`` (order-preserving),
+never ``as_completed``, so aggregation order — and therefore every
+downstream report — is schedule-independent.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import List
+
+import numpy as np
+
+__all__ = ["spawn_task_seeds", "executor_pool"]
+
+
+def spawn_task_seeds(seed: int, n_tasks: int) -> List[int]:
+    """Derive one integer seed per task from a root seed.
+
+    Children of a :class:`numpy.random.SeedSequence` are statistically
+    independent streams, so tasks never share sampling randomness, and the
+    derivation depends only on ``(seed, task index)`` — not on scheduling.
+    """
+    if n_tasks < 0:
+        raise ValueError("n_tasks must be non-negative")
+    if n_tasks == 0:
+        return []
+    children = np.random.SeedSequence(seed).spawn(n_tasks)
+    return [int(child.generate_state(1, np.uint64)[0]) for child in children]
+
+
+def executor_pool(executor: str, n_workers: int) -> Executor:
+    """Build the configured ``concurrent.futures`` pool.
+
+    ``executor`` is "thread" or "process" (the :class:`LitmusConfig.executor`
+    vocabulary); ``n_workers`` must be positive.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be at least 1")
+    if executor == "thread":
+        return ThreadPoolExecutor(max_workers=n_workers)
+    if executor == "process":
+        return ProcessPoolExecutor(max_workers=n_workers)
+    raise ValueError(f"unknown executor {executor!r}; use 'thread' or 'process'")

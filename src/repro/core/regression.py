@@ -26,12 +26,19 @@ sampled them, and the median ignores those iterations.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..stats.linreg import LinearModel, fit_lasso, fit_ols, fit_ridge
+from ..stats.linreg import (
+    LinearModel,
+    fit_lasso,
+    fit_ols,
+    fit_ridge,
+    fit_ridge_batched,
+    ols_subset_forecasts,
+)
 from .baselines import _directional_result
 from .config import LitmusConfig
 from .verdict import AlgorithmResult
@@ -67,6 +74,15 @@ class RobustSpatialRegression:
     def last_diagnostics(self) -> Optional[RegressionDiagnostics]:
         """Diagnostics of the most recent :meth:`compare` call."""
         return self._last_diagnostics
+
+    def with_seed(self, seed: int) -> "RobustSpatialRegression":
+        """A fresh instance identical but for the sampling seed.
+
+        Used by the parallel assessment engine to give every (element, KPI)
+        task its own :class:`numpy.random.SeedSequence`-derived stream while
+        keeping each task's result independent of worker scheduling.
+        """
+        return RobustSpatialRegression(replace(self.config, seed=seed))
 
     # ------------------------------------------------------------------
     def compare(
@@ -183,6 +199,13 @@ class RobustSpatialRegression:
             return fit_ridge(X, y, alpha=cfg.regularization, intercept=cfg.fit_intercept)
         return fit_lasso(X, y, alpha=cfg.regularization, intercept=cfg.fit_intercept)
 
+    def _effective_kernel(self) -> str:
+        """The kernel that will actually run: lasso has no batched solver
+        (ISTA is inherently iterative), so it always takes the loop path."""
+        if self.config.estimator == "lasso":
+            return "loop"
+        return self.config.kernel
+
     def _sampled_forecasts(
         self,
         y_train: np.ndarray,
@@ -196,15 +219,76 @@ class RobustSpatialRegression:
         Each iteration samples ``k`` control columns, fits the estimator on
         the training rows and forecasts the evaluation rows; the forecasts
         are aggregated (median by default) across iterations.
+
+        The column subsets are always drawn up front in iteration order, so
+        the loop and batched kernels consume the identical sample sequence
+        for a given seed and are interchangeable (see
+        ``tests/core/test_regression_parity.py``).
         """
         n_controls = x_train.shape[1]
-        eval_stack = np.empty((self.config.n_iterations, x_eval.shape[0]))
-        r2s: List[float] = []
-        for it in range(self.config.n_iterations):
-            cols = rng.choice(n_controls, size=k, replace=False)
-            model = self._fit(x_train[:, cols], y_train)
-            eval_stack[it] = model.predict(x_eval[:, cols])
-            r2s.append(model.r_squared(x_train[:, cols], y_train))
+        # One vectorised draw for all iterations: each row is an independent
+        # uniform permutation, whose first k entries are a uniform
+        # without-replacement sample — the paper's subsampling scheme.
+        base = np.tile(np.arange(n_controls), (self.config.n_iterations, 1))
+        cols = rng.permuted(base, axis=1)[:, :k]
+        if self._effective_kernel() == "batched":
+            eval_stack, r2s = self._forecasts_batched(y_train, x_train, x_eval, cols)
+        else:
+            eval_stack, r2s = self._forecasts_loop(y_train, x_train, x_eval, cols)
         if self.config.aggregation == "median":
             return np.median(eval_stack, axis=0), r2s
         return np.mean(eval_stack, axis=0), r2s
+
+    def _forecasts_loop(
+        self,
+        y_train: np.ndarray,
+        x_train: np.ndarray,
+        x_eval: np.ndarray,
+        cols: np.ndarray,
+    ) -> Tuple[np.ndarray, List[float]]:
+        """Reference kernel: one estimator fit per sampling iteration.
+
+        Retained as the ground truth the batched kernel is tested against,
+        and as the execution path for estimators without a batched solver.
+        """
+        eval_stack = np.empty((cols.shape[0], x_eval.shape[0]))
+        r2s: List[float] = []
+        for it, sample in enumerate(cols):
+            model = self._fit(x_train[:, sample], y_train)
+            eval_stack[it] = model.predict(x_eval[:, sample])
+            r2s.append(model.r_squared(x_train[:, sample], y_train))
+        return eval_stack, r2s
+
+    def _forecasts_batched(
+        self,
+        y_train: np.ndarray,
+        x_train: np.ndarray,
+        x_eval: np.ndarray,
+        cols: np.ndarray,
+    ) -> Tuple[np.ndarray, List[float]]:
+        """Batched kernel: every sampled subset solved in one LAPACK call.
+
+        Gathers the sampled column subsets into ``(B, T, k)`` design tensors
+        and solves all ``B = n_iterations`` least-squares systems with a
+        single batched SVD (OLS) or stacked normal-equations solve (ridge);
+        forecasts and R² come from the same einsum-vectorised formulas the
+        scalar :class:`~repro.stats.linreg.LinearModel` applies per fit.
+        """
+        cfg = self.config
+        if cfg.estimator == "ols":
+            forecasts, r2s = ols_subset_forecasts(
+                x_train, y_train, cols, x_eval, intercept=cfg.fit_intercept
+            )
+            return forecasts, [float(r) for r in r2s]
+        if cfg.estimator != "ridge":  # pragma: no cover - guarded by _effective_kernel
+            raise ValueError(f"no batched kernel for estimator {cfg.estimator!r}")
+        # Ridge: materialise the sampled designs; x[:, cols] fancy-indexes
+        # to (T, B, k), batch axis first for the stacked LAPACK solve.
+        train_stack = np.ascontiguousarray(x_train[:, cols].transpose(1, 0, 2))
+        eval_stack_x = np.ascontiguousarray(x_eval[:, cols].transpose(1, 0, 2))
+        model = fit_ridge_batched(
+            train_stack, y_train, alpha=cfg.regularization, intercept=cfg.fit_intercept
+        )
+        forecasts = model.predict(eval_stack_x)
+        r2s = model.r_squared(train_stack, y_train)
+        return forecasts, [float(r) for r in r2s]

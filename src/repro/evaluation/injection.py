@@ -30,13 +30,14 @@ from __future__ import annotations
 import enum
 import itertools
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.baselines import DifferenceInDifferences, StudyOnlyAnalysis
 from ..core.config import LitmusConfig
+from ..core.parallel import executor_pool, spawn_task_seeds
 from ..core.regression import RobustSpatialRegression
 from ..core.verdict import Verdict, verdict_from_direction
 from ..external.factors import goodness_magnitude
@@ -376,14 +377,44 @@ def run_case(
     return out
 
 
+def _run_case_task(
+    task: Tuple[InjectionCase, LitmusConfig, int]
+) -> List[InjectionOutcome]:
+    """Run one case with per-case-seeded algorithms (module-level so process
+    pools can pickle it)."""
+    case, cfg, seed = task
+    return run_case(case, default_algorithms(replace(cfg, seed=seed)))
+
+
 def evaluate_injection(
     cases: Iterable[InjectionCase],
     config: Optional[LitmusConfig] = None,
+    n_workers: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> Dict[str, ConfusionMatrix]:
-    """Run the full grid; returns a confusion matrix per algorithm."""
-    algorithms = default_algorithms(config)
-    matrices = {name: ConfusionMatrix() for name in algorithms}
-    for case in cases:
-        for outcome in run_case(case, algorithms):
+    """Run the full grid; returns a confusion matrix per algorithm.
+
+    ``n_workers``/``executor`` default to the config's values.  Each case
+    runs its algorithms under a ``SeedSequence.spawn``-derived seed keyed by
+    the case's grid position, so the matrices are identical for any worker
+    count — serial included.
+    """
+    cfg = config or LitmusConfig()
+    workers = cfg.n_workers if n_workers is None else n_workers
+    flavour = cfg.executor if executor is None else executor
+    case_list = list(cases)
+    tasks = [
+        (case, cfg, seed)
+        for case, seed in zip(case_list, spawn_task_seeds(cfg.seed, len(case_list)))
+    ]
+    workers = min(workers, len(tasks)) if tasks else 1
+    if workers <= 1:
+        outcome_lists = [_run_case_task(task) for task in tasks]
+    else:
+        with executor_pool(flavour, workers) as pool:
+            outcome_lists = list(pool.map(_run_case_task, tasks))
+    matrices = {name: ConfusionMatrix() for name in default_algorithms(cfg)}
+    for outcomes in outcome_lists:
+        for outcome in outcomes:
             matrices[outcome.algorithm].add(outcome.label)
     return matrices

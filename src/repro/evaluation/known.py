@@ -25,7 +25,7 @@ robust regression learns those controls out.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -33,6 +33,7 @@ import numpy as np
 from ..core.baselines import DifferenceInDifferences, StudyOnlyAnalysis
 from ..core.config import LitmusConfig
 from ..core.litmus import Litmus
+from ..core.parallel import executor_pool
 from ..core.regression import RobustSpatialRegression
 from ..core.verdict import Verdict
 from ..external.factors import goodness_magnitude
@@ -562,43 +563,69 @@ class KnownEvaluation:
         return sum(row.spec.n_cases for row in self.rows)
 
 
+def _run_known_row(
+    task: Tuple[KnownCaseSpec, LitmusConfig, int]
+) -> KnownRowResult:
+    """Regenerate and assess one Table-2 row (module-level so process pools
+    can pickle it).  Inner Litmus runs stay serial: the harness already owns
+    the worker pool, and nesting pools oversubscribes the cores."""
+    spec, cfg, base_seed = task
+    row_cfg = replace(cfg, n_workers=1)
+    topology, store, change, study_ids, predicate, region, seed = _build_scenario(
+        spec, base_seed
+    )
+    change_day, horizon = _FACTOR_TIMING[spec.external_factor]
+    _apply_external_factor(spec, topology, store, change_day, study_ids, region)
+    _inject_truth(spec, store, study_ids, change_day)
+
+    # Select the control group once (shared by all three algorithms)
+    # and contaminate it where the row calls for poor predictors.
+    engine = Litmus(topology, store, row_cfg, algorithm=RobustSpatialRegression(row_cfg))
+    group = engine.selector.select(study_ids, predicate, change=change)
+    control_ids = list(group.element_ids)
+    _contaminate_controls(spec, store, control_ids, change_day, horizon, seed)
+
+    algorithms = {
+        "study-only": StudyOnlyAnalysis(row_cfg),
+        "difference-in-differences": DifferenceInDifferences(row_cfg),
+        "litmus": RobustSpatialRegression(row_cfg),
+    }
+    truth_by_kpi = {t.kpi: t.truth for t in spec.truths}
+    matrices: Dict[str, ConfusionMatrix] = {}
+    for name, algo in algorithms.items():
+        runner = Litmus(topology, store, row_cfg, algorithm=algo)
+        report = runner.assess(change, spec.kpis, control_ids=control_ids)
+        matrix = ConfusionMatrix()
+        for assessment in report.assessments:
+            truth = truth_by_kpi[assessment.kpi]
+            matrix.add(label_outcome(truth, assessment.verdict))
+        matrices[name] = matrix
+    return KnownRowResult(spec, matrices)
+
+
 def run_known_assessments(
     rows: Sequence[KnownCaseSpec] = TABLE2_ROWS,
     config: Optional[LitmusConfig] = None,
     base_seed: int = 20131209,  # CoNEXT'13 opening day
+    n_workers: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> KnownEvaluation:
-    """Regenerate Table 2: run the three algorithms over every row."""
+    """Regenerate Table 2: run the three algorithms over every row.
+
+    Rows are independent scenarios, so they fan out over a
+    ``concurrent.futures`` pool when ``n_workers`` (default: the config's
+    value) exceeds one.  Row randomness is keyed by ``(spec, base_seed)``
+    and assessment sampling by the config seed, so the evaluation is
+    identical for any worker count.
+    """
     cfg = config or LitmusConfig()
-    results: List[KnownRowResult] = []
-    for spec in rows:
-        topology, store, change, study_ids, predicate, region, seed = _build_scenario(
-            spec, base_seed
-        )
-        change_day, horizon = _FACTOR_TIMING[spec.external_factor]
-        _apply_external_factor(spec, topology, store, change_day, study_ids, region)
-        _inject_truth(spec, store, study_ids, change_day)
-
-        # Select the control group once (shared by all three algorithms)
-        # and contaminate it where the row calls for poor predictors.
-        engine = Litmus(topology, store, cfg, algorithm=RobustSpatialRegression(cfg))
-        group = engine.selector.select(study_ids, predicate, change=change)
-        control_ids = list(group.element_ids)
-        _contaminate_controls(spec, store, control_ids, change_day, horizon, seed)
-
-        algorithms = {
-            "study-only": StudyOnlyAnalysis(cfg),
-            "difference-in-differences": DifferenceInDifferences(cfg),
-            "litmus": RobustSpatialRegression(cfg),
-        }
-        truth_by_kpi = {t.kpi: t.truth for t in spec.truths}
-        matrices: Dict[str, ConfusionMatrix] = {}
-        for name, algo in algorithms.items():
-            runner = Litmus(topology, store, cfg, algorithm=algo)
-            report = runner.assess(change, spec.kpis, control_ids=control_ids)
-            matrix = ConfusionMatrix()
-            for assessment in report.assessments:
-                truth = truth_by_kpi[assessment.kpi]
-                matrix.add(label_outcome(truth, assessment.verdict))
-            matrices[name] = matrix
-        results.append(KnownRowResult(spec, matrices))
+    workers = cfg.n_workers if n_workers is None else n_workers
+    flavour = cfg.executor if executor is None else executor
+    tasks = [(spec, cfg, base_seed) for spec in rows]
+    workers = min(workers, len(tasks)) if tasks else 1
+    if workers <= 1:
+        results = [_run_known_row(t) for t in tasks]
+    else:
+        with executor_pool(flavour, workers) as pool:
+            results = list(pool.map(_run_known_row, tasks))
     return KnownEvaluation(tuple(results))

@@ -36,22 +36,33 @@ __all__ = [
 ALGORITHM_NAMES = ("study-only", "difference-in-differences", "litmus")
 
 
-def evaluate_table2(config: Optional[LitmusConfig] = None) -> KnownEvaluation:
-    """Regenerate Table 2 (known assessments, 313 cases)."""
-    return run_known_assessments(TABLE2_ROWS, config)
+def evaluate_table2(
+    config: Optional[LitmusConfig] = None, n_workers: Optional[int] = None
+) -> KnownEvaluation:
+    """Regenerate Table 2 (known assessments, 313 cases).
+
+    ``n_workers`` (default: the config's value) fans the independent rows
+    out over the configured executor pool; results are identical for any
+    worker count.
+    """
+    return run_known_assessments(TABLE2_ROWS, config, n_workers=n_workers)
 
 
 def evaluate_table4(
-    n_seeds: int = 10, config: Optional[LitmusConfig] = None
+    n_seeds: int = 10,
+    config: Optional[LitmusConfig] = None,
+    n_workers: Optional[int] = None,
 ) -> Tuple[Dict[str, ConfusionMatrix], int]:
     """Regenerate Table 4 (synthetic injection).
 
     Returns (per-algorithm confusion matrices, number of cases).  The
     paper's grid had 8010 cases; ``n_seeds`` scales ours (n_seeds=10 →
-    ~1000 cases; ~83 → full paper scale).
+    ~1000 cases; ~83 → full paper scale).  ``n_workers`` (default: the
+    config's value) fans the per-case runs out over the executor pool;
+    results are identical for any worker count.
     """
     cases = make_cases(n_seeds=n_seeds)
-    return evaluate_injection(cases, config), len(cases)
+    return evaluate_injection(cases, config, n_workers=n_workers), len(cases)
 
 
 @dataclass(frozen=True)

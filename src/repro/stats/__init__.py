@@ -37,7 +37,16 @@ from .descriptive import (
     trimmed_mean,
     winsorize,
 )
-from .linreg import LinearModel, fit_lasso, fit_ols, fit_ridge
+from .linreg import (
+    BatchedLinearModel,
+    LinearModel,
+    fit_lasso,
+    fit_ols,
+    fit_ols_batched,
+    fit_ridge,
+    fit_ridge_batched,
+    ols_subset_forecasts,
+)
 from .rank_tests import (
     Alternative,
     Direction,
@@ -52,6 +61,7 @@ from .timeseries import Frequency, TimeSeries, align, stack
 
 __all__ = [
     "Alternative",
+    "BatchedLinearModel",
     "ChangePoint",
     "ChangeSignature",
     "Direction",
@@ -71,13 +81,16 @@ __all__ = [
     "distance_weights",
     "fit_lasso",
     "fit_ols",
+    "fit_ols_batched",
     "fit_ridge",
+    "fit_ridge_batched",
     "fligner_policello",
     "hodges_lehmann",
     "iqr",
     "mad",
     "mann_whitney_u",
     "morans_i",
+    "ols_subset_forecasts",
     "pearson",
     "rankdata",
     "robust_zscores",

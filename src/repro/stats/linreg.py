@@ -21,9 +21,13 @@ import numpy as np
 
 __all__ = [
     "LinearModel",
+    "BatchedLinearModel",
     "fit_ols",
     "fit_ridge",
     "fit_lasso",
+    "fit_ols_batched",
+    "fit_ridge_batched",
+    "ols_subset_forecasts",
 ]
 
 ArrayLike = Union[Sequence[float], np.ndarray]
@@ -180,3 +184,261 @@ def fit_lasso(
         coef = new
     b0 = y_mean - float(x_mean @ coef) if intercept else 0.0
     return LinearModel(coef, b0, "lasso")
+
+
+# ----------------------------------------------------------------------
+# Batched kernels
+# ----------------------------------------------------------------------
+#
+# The robust spatial regression fits the *same* response against many
+# sampled predictor subsets (one per sampling iteration).  Stacking the
+# sampled designs into a ``(B, T, p)`` tensor lets a single LAPACK-backed
+# gufunc solve all ``B`` systems at once, removing the Python-loop and
+# object-construction overhead of ``B`` separate ``fit_ols`` calls while
+# producing the same coefficients (see ``fit_ols_batched`` for the
+# equivalence argument).
+
+
+@dataclass(frozen=True)
+class BatchedLinearModel:
+    """``B`` fitted linear maps sharing one response vector.
+
+    ``coef`` is ``(B, p)``; ``intercept`` is ``(B,)``.  Row ``b`` is the
+    model fitted on the ``b``-th design of the batch and agrees with the
+    :class:`LinearModel` the scalar estimator would have produced on it.
+    """
+
+    coef: np.ndarray
+    intercept: np.ndarray
+    method: str
+
+    def __post_init__(self) -> None:
+        coef = np.atleast_2d(np.asarray(self.coef, dtype=float)).copy()
+        b0 = np.asarray(self.intercept, dtype=float).ravel().copy()
+        if b0.shape[0] != coef.shape[0]:
+            raise ValueError(
+                f"intercept batch {b0.shape[0]} disagrees with coef batch {coef.shape[0]}"
+            )
+        coef.flags.writeable = False
+        b0.flags.writeable = False
+        object.__setattr__(self, "coef", coef)
+        object.__setattr__(self, "intercept", b0)
+
+    @property
+    def n_models(self) -> int:
+        """Number of models in the batch."""
+        return int(self.coef.shape[0])
+
+    def predict(self, X_stack: np.ndarray) -> np.ndarray:
+        """Forecast ``(B, n)`` responses for a ``(B, n, p)`` design stack."""
+        X_stack = np.asarray(X_stack, dtype=float)
+        if X_stack.ndim != 3 or X_stack.shape[0] != self.n_models or X_stack.shape[2] != self.coef.shape[1]:
+            raise ValueError(
+                f"design stack must be ({self.n_models}, n, {self.coef.shape[1]}), "
+                f"got {X_stack.shape}"
+            )
+        return np.einsum("bnp,bp->bn", X_stack, self.coef) + self.intercept[:, None]
+
+    def r_squared(self, X_stack: np.ndarray, y: ArrayLike) -> np.ndarray:
+        """Per-model coefficient of determination against the shared ``y``."""
+        y = np.asarray(y, dtype=float).ravel()
+        resid = y[None, :] - self.predict(X_stack)
+        ss_res = np.sum(resid**2, axis=1)
+        ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+        if ss_tot == 0.0:
+            return np.where(ss_res == 0.0, 1.0, 0.0)
+        return 1.0 - ss_res / ss_tot
+
+
+def _check_batch(X_stack: np.ndarray, y: ArrayLike) -> tuple:
+    X_stack = np.asarray(X_stack, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    if X_stack.ndim != 3:
+        raise ValueError(f"design stack must be 3-D (B, T, p), got shape {X_stack.shape}")
+    if X_stack.shape[1] != y.size:
+        raise ValueError(
+            f"design stack has {X_stack.shape[1]} rows per model but y has {y.size} samples"
+        )
+    if X_stack.shape[1] == 0:
+        raise ValueError("cannot fit a regression on zero samples")
+    return X_stack, y
+
+
+def _svd_min_norm(design: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Minimum-norm least-squares solutions for a ``(B, T, p)`` stack.
+
+    Runs the same computation as ``numpy.linalg.lstsq(rcond=None)`` — SVD
+    with singular values below ``eps * max(T, p) * s_max`` treated as zero,
+    pseudo-inverse applied to ``y`` — batched over the leading axis, so each
+    row reproduces the scalar ``lstsq`` solution up to rounding, including
+    the minimum-norm behaviour on rank-deficient and underdetermined
+    systems.
+    """
+    T, p = design.shape[1], design.shape[2]
+    u, s, vt = np.linalg.svd(design, full_matrices=False)
+    cutoff = np.finfo(design.dtype).eps * max(T, p) * s[:, :1]
+    keep = s > cutoff
+    s_inv = np.where(keep, 1.0 / np.where(keep, s, 1.0), 0.0)
+    uty = np.einsum("btr,t->br", u, y)
+    return np.einsum("brp,br->bp", vt, s_inv * uty)
+
+
+def fit_ols_batched(
+    X_stack: np.ndarray, y: ArrayLike, intercept: bool = True
+) -> BatchedLinearModel:
+    """Batched OLS: solve ``B`` least-squares systems in one SVD gufunc call.
+
+    Each batch row agrees with what the scalar :func:`fit_ols` would return
+    on the same design (see :func:`_svd_min_norm` for the equivalence with
+    ``lstsq``'s cutoff rule).  This is the robust, always-correct batched
+    entry point; the performance-critical subset workload of the robust
+    spatial regression goes through :func:`ols_subset_forecasts`, which only
+    falls back to this SVD path on degenerate designs.
+    """
+    X_stack, y = _check_batch(X_stack, y)
+    if intercept:
+        ones = np.ones((X_stack.shape[0], X_stack.shape[1], 1))
+        design = np.concatenate([X_stack, ones], axis=2)
+    else:
+        design = X_stack
+    beta = _svd_min_norm(design, y)
+    if intercept:
+        return BatchedLinearModel(beta[:, :-1], beta[:, -1], "ols")
+    return BatchedLinearModel(beta, np.zeros(design.shape[0]), "ols")
+
+
+def ols_subset_forecasts(
+    x_train: np.ndarray,
+    y: ArrayLike,
+    cols: np.ndarray,
+    x_eval: np.ndarray,
+    intercept: bool = True,
+    max_refine: int = 3,
+) -> tuple:
+    """Fit OLS on ``B`` column subsets of one pool and forecast eval rows.
+
+    ``x_train`` is the ``(T, N)`` control pool, ``cols`` a ``(B, k)`` matrix
+    of sampled column indices, ``x_eval`` the ``(n, N)`` rows to forecast.
+    Returns ``(forecasts, r_squared)`` with shapes ``(B, n)`` and ``(B,)``,
+    matching what ``B`` scalar ``fit_ols(...).predict/r_squared`` calls on
+    the gathered subsets would produce (parity-tested at 1e-10).
+
+    The structure is what makes this fast: every subset design shares the
+    pool, so its normal-equations Gram is a gather from the pool Gram
+    ``X^T X`` (computed once with a single BLAS call) and all ``B`` systems
+    solve in one batched LU.  Normal equations square the conditioning, so
+    the solutions are polished with iterative refinement against the *true*
+    residual ``y - X b`` (Björck's corrected scheme) until the correction
+    is at rounding level — after which the solution matches ``lstsq`` to
+    ~1e-12 even on strongly collinear control pools.  Singular Grams
+    (duplicated columns, underdetermined subsets) and non-converging
+    batches fall back to the exact SVD minimum-norm path.
+    """
+    x_train = np.asarray(x_train, dtype=float)
+    x_eval = np.asarray(x_eval, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    cols = np.asarray(cols)
+    if x_train.ndim != 2 or x_eval.ndim != 2 or x_train.shape[1] != x_eval.shape[1]:
+        raise ValueError(
+            f"train/eval pools must be 2-D with matching columns, got "
+            f"{x_train.shape} and {x_eval.shape}"
+        )
+    if x_train.shape[0] != y.size:
+        raise ValueError(f"pool has {x_train.shape[0]} rows but y has {y.size} samples")
+    if cols.ndim != 2:
+        raise ValueError(f"cols must be 2-D (B, k), got shape {cols.shape}")
+    B = cols.shape[0]
+    n_pool = x_train.shape[1]
+
+    # An intercept is just one more pool column of ones sampled by everyone.
+    if intercept:
+        x_train = np.column_stack([x_train, np.ones(x_train.shape[0])])
+        x_eval = np.column_stack([x_eval, np.ones(x_eval.shape[0])])
+        cols = np.column_stack([cols, np.full((B, 1), n_pool, dtype=cols.dtype)])
+
+    gram_pool = x_train.T @ x_train
+    rhs_pool = x_train.T @ y
+    gram = gram_pool[cols[:, :, None], cols[:, None, :]]
+    rhs = rhs_pool[cols]
+
+    beta = None
+    try:
+        beta = np.linalg.solve(gram, rhs[..., None])[..., 0]
+        for _ in range(max_refine):
+            preds = _scatter_matmul(beta, cols, x_train)
+            corr_pool = x_train.T @ (y[None, :] - preds).T  # (N, B)
+            corr = np.take_along_axis(corr_pool.T, cols, axis=1)
+            delta = np.linalg.solve(gram, corr[..., None])[..., 0]
+            beta = beta + delta
+            # Refinement contracts the error by ~(||delta||/||beta||) per
+            # step, so accepting at 1e-7 leaves a relative error of order
+            # 1e-14 — comfortably inside the 1e-10 parity budget while
+            # usually saving a batched solve.
+            if np.max(np.abs(delta)) <= 1e-7 * (np.max(np.abs(beta)) + 1e-300):
+                break
+        else:
+            beta = None  # refinement did not converge: severely ill-conditioned
+        if beta is not None and not np.isfinite(beta).all():
+            beta = None
+    except np.linalg.LinAlgError:
+        beta = None
+    if beta is None:
+        design = np.ascontiguousarray(x_train[:, cols].transpose(1, 0, 2))
+        beta = _svd_min_norm(design, y)
+
+    forecasts = _scatter_matmul(beta, cols, x_eval)
+    preds_train = _scatter_matmul(beta, cols, x_train)
+    ss_res = np.sum((y[None, :] - preds_train) ** 2, axis=1)
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    if ss_tot == 0.0:
+        r2 = np.where(ss_res == 0.0, 1.0, 0.0)
+    else:
+        r2 = 1.0 - ss_res / ss_tot
+    return forecasts, r2
+
+
+def _scatter_matmul(beta: np.ndarray, cols: np.ndarray, pool: np.ndarray) -> np.ndarray:
+    """``(B, n)`` predictions of per-subset coefficients against pool rows.
+
+    Scatters each subset's coefficients into a dense pool-width vector so
+    the prediction for all batches is a single ``(B, N) @ (N, n)`` BLAS
+    product instead of ``B`` gathered small matmuls.
+    """
+    weights = np.zeros((beta.shape[0], pool.shape[1]))
+    np.put_along_axis(weights, cols, beta, axis=1)
+    return weights @ pool.T
+
+
+def fit_ridge_batched(
+    X_stack: np.ndarray, y: ArrayLike, alpha: float = 1.0, intercept: bool = True
+) -> BatchedLinearModel:
+    """Batched ridge via stacked normal equations (one ``solve`` call).
+
+    Mirrors :func:`fit_ridge` exactly — centring when fitting an intercept,
+    unpenalised intercept, ``(X_c^T X_c + alpha I) b = X_c^T y_c`` — so each
+    batch row agrees with the scalar estimator to rounding error.
+    """
+    if alpha < 0:
+        raise ValueError(f"alpha must be non-negative, got {alpha}")
+    X_stack, y = _check_batch(X_stack, y)
+    B, _, p = X_stack.shape
+    if intercept:
+        x_mean = X_stack.mean(axis=1)  # (B, p)
+        y_mean = float(np.mean(y))
+        Xc = X_stack - x_mean[:, None, :]
+        yc = y - y_mean
+    else:
+        x_mean = np.zeros((B, p))
+        y_mean = 0.0
+        Xc, yc = X_stack, y
+    # matmul (not einsum) so each batch slice runs the same BLAS kernel as
+    # the scalar fit_ridge's ``Xc.T @ Xc`` — keeps the two numerically flush.
+    xt = Xc.transpose(0, 2, 1)
+    gram = np.matmul(xt, Xc) + alpha * np.eye(p)
+    rhs = np.matmul(xt, yc)
+    coef = np.linalg.solve(gram, rhs[..., None])[..., 0]
+    if intercept:
+        b0 = y_mean - np.sum(x_mean * coef, axis=1)
+    else:
+        b0 = np.zeros(B)
+    return BatchedLinearModel(coef, b0, "ridge")

@@ -1,0 +1,121 @@
+"""Worker-count invariance of the assessment fan-out.
+
+Every (element, KPI) task is seeded from its own ``SeedSequence.spawn``
+child keyed by the task's position in the deterministic task order, and the
+serial path consumes the identical seeds — so a report must be bit-for-bit
+the same for ``n_workers=1``, ``n_workers=4``, thread or process pools, and
+across repeated runs.  The same contract covers the evaluation harness's
+per-case fan-out.
+"""
+
+import pytest
+
+from repro.core.config import LitmusConfig
+from repro.core.litmus import Litmus
+from repro.core.parallel import executor_pool, spawn_task_seeds
+from repro.evaluation.injection import evaluate_injection, make_cases
+from repro.kpi.generator import generate_kpis
+from repro.kpi.metrics import KpiKind
+from repro.network.builder import build_network
+from repro.network.changes import ChangeEvent, ChangeType
+from repro.network.technology import ElementRole
+
+VR = KpiKind.VOICE_RETAINABILITY
+DR = KpiKind.DATA_RETAINABILITY
+
+
+@pytest.fixture(scope="module")
+def world():
+    topo = build_network(seed=31, controllers_per_region=10, towers_per_controller=1)
+    store = generate_kpis(topo, (VR, DR), seed=31)
+    return topo, store
+
+
+def make_change(topo, n_study=2):
+    rncs = topo.elements(role=ElementRole.RNC)
+    ids = frozenset(r.element_id for r in rncs[:n_study])
+    return ChangeEvent("det-change", ChangeType.CONFIGURATION, 85, ids)
+
+
+def report_dict(world, **cfg_kwargs):
+    topo, store = world
+    cfg = LitmusConfig(**cfg_kwargs)
+    return Litmus(topo, store, cfg).assess(make_change(topo), [VR, DR]).to_dict()
+
+
+class TestAssessmentDeterminism:
+    def test_serial_vs_thread_pool(self, world):
+        assert report_dict(world, n_workers=1) == report_dict(world, n_workers=4)
+
+    def test_serial_vs_process_pool(self, world):
+        assert report_dict(world, n_workers=1) == report_dict(
+            world, n_workers=4, executor="process"
+        )
+
+    def test_repeated_runs_identical(self, world):
+        assert report_dict(world, n_workers=4) == report_dict(world, n_workers=4)
+
+    def test_seed_changes_report(self, world):
+        # The spawned task seeds derive from the root seed, so changing it
+        # must reach the sampled forecasts (p-values differ).
+        a = report_dict(world, n_workers=1)
+        b = report_dict(world, n_workers=1, seed=99)
+        p_a = [x["p_value"] for x in a["assessments"]]
+        p_b = [x["p_value"] for x in b["assessments"]]
+        assert p_a != p_b
+
+    def test_loop_kernel_same_invariance(self, world):
+        assert report_dict(world, n_workers=1, kernel="loop") == report_dict(
+            world, n_workers=4, kernel="loop"
+        )
+
+
+class TestEvaluationDeterminism:
+    def test_injection_serial_vs_parallel(self):
+        cases = make_cases(n_seeds=1)[:8]
+        serial = evaluate_injection(cases, LitmusConfig(n_workers=1))
+        parallel = evaluate_injection(cases, LitmusConfig(n_workers=4))
+        assert serial == parallel
+
+    def test_injection_worker_override(self):
+        cases = make_cases(n_seeds=1)[:4]
+        cfg = LitmusConfig()
+        assert evaluate_injection(cases, cfg, n_workers=1) == evaluate_injection(
+            cases, cfg, n_workers=3
+        )
+
+
+class TestSeedSpawning:
+    def test_spawned_seeds_deterministic(self):
+        assert spawn_task_seeds(1729, 8) == spawn_task_seeds(1729, 8)
+
+    def test_prefix_stability(self):
+        # Growing the task list leaves earlier tasks' seeds unchanged.
+        assert spawn_task_seeds(1729, 8) == spawn_task_seeds(1729, 12)[:8]
+
+    def test_distinct_across_tasks_and_roots(self):
+        seeds = spawn_task_seeds(1729, 16)
+        assert len(set(seeds)) == 16
+        assert seeds != spawn_task_seeds(1730, 16)
+
+    def test_empty(self):
+        assert spawn_task_seeds(1729, 0) == []
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_task_seeds(1729, -1)
+
+
+class TestExecutorPool:
+    @pytest.mark.parametrize("flavour", ["thread", "process"])
+    def test_pool_flavours(self, flavour):
+        with executor_pool(flavour, 2) as pool:
+            assert list(pool.map(abs, [-1, 2, -3])) == [1, 2, 3]
+
+    def test_rejects_unknown_flavour(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            executor_pool("fibers", 2)
+
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            executor_pool("thread", 0)

@@ -93,6 +93,45 @@ class TestAssessment:
             Litmus(topo, store).assess(change, [KpiKind.CALL_VOLUME])
 
 
+class TestControlCoverage:
+    """Unusable control series must be surfaced, never silently dropped."""
+
+    def _truncate(self, store, cid, kpi):
+        """Replace a control's series with one too short for any window."""
+        from repro.stats.timeseries import TimeSeries
+
+        series = store.get(cid, kpi)
+        store.put(cid, kpi, TimeSeries(series.values[:5], series.start, series.freq))
+
+    def test_dropped_controls_reported(self, world):
+        topo, store = world
+        change = make_change(topo)
+        rncs = [r.element_id for r in topo.elements(role=ElementRole.RNC)]
+        controls = rncs[1:7]
+        for kpi in (VR, DR):
+            self._truncate(store, controls[0], kpi)
+        report = Litmus(topo, store).assess(change, [VR], control_ids=controls)
+        assert report.dropped_controls == (controls[0],)
+        assert report.to_dict()["dropped_controls"] == [controls[0]]
+        assert controls[0] in report.to_text()
+
+    def test_raises_below_min_controls(self, world):
+        topo, store = world
+        change = make_change(topo)
+        rncs = [r.element_id for r in topo.elements(role=ElementRole.RNC)]
+        controls = rncs[1:5]  # 4 controls; dropping 2 leaves 2 < min_controls=3
+        for cid in controls[:2]:
+            for kpi in (VR, DR):
+                self._truncate(store, cid, kpi)
+        with pytest.raises(ValueError, match="control elements usable"):
+            Litmus(topo, store).assess(change, [VR], control_ids=controls)
+
+    def test_full_coverage_reports_nothing_dropped(self, world):
+        topo, store = world
+        report = Litmus(topo, store).assess(make_change(topo), [VR])
+        assert report.dropped_controls == ()
+
+
 class TestPluggableAlgorithm:
     def test_study_only_plugged_in(self, world):
         topo, store = world

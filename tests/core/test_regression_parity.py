@@ -1,0 +1,176 @@
+"""Parity between the batched regression kernel and the loop reference.
+
+The batched kernel (``LitmusConfig(kernel="batched")``, the default) must be
+the *same statistic* as the per-iteration loop it replaced: both consume the
+identical sampled column subsets for a given seed, so forecasts, forecast
+diffs, R² diagnostics, p-values, and verdicts have to agree to floating
+point (1e-10 here; the observed worst case is ~1e-12 over correlated
+panels, from the true-residual refinement in ``ols_subset_forecasts``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LitmusConfig
+from repro.core.regression import RobustSpatialRegression
+
+RTOL = 1e-10
+
+
+def panel(seed, n_before=70, n_after=14, n_controls=12, dtype=np.float64):
+    """Correlated study/control panel in the shape ``compare`` expects."""
+    rng = np.random.default_rng(seed)
+    T = n_before + n_after
+    factor = np.cumsum(rng.normal(0, 0.3, T))
+    study = 100.0 + factor + rng.normal(0, 1.0, T)
+    controls = np.column_stack(
+        [
+            100.0 + rng.uniform(0.7, 1.1) * factor + rng.normal(0, 1.0, T)
+            for _ in range(n_controls)
+        ]
+    )
+    study = study.astype(dtype)
+    controls = controls.astype(dtype)
+    return (
+        study[:n_before],
+        study[n_before:],
+        controls[:n_before],
+        controls[n_before:],
+    )
+
+
+def run_pair(yb, ya, xb, xa, **cfg_kwargs):
+    """Run the same comparison through the loop and batched kernels."""
+    results = {}
+    for kernel in ("loop", "batched"):
+        algo = RobustSpatialRegression(LitmusConfig(kernel=kernel, **cfg_kwargs))
+        results[kernel] = (algo.compare(yb, ya, xb, xa), algo.last_diagnostics)
+    return results["loop"], results["batched"]
+
+
+def assert_parity(loop, batched):
+    (r_loop, d_loop), (r_batched, d_batched) = loop, batched
+    np.testing.assert_allclose(
+        d_batched.forecast_before, d_loop.forecast_before, rtol=RTOL, atol=0
+    )
+    np.testing.assert_allclose(
+        d_batched.forecast_after, d_loop.forecast_after, rtol=RTOL, atol=0
+    )
+    np.testing.assert_allclose(
+        d_batched.forecast_diff_before,
+        d_loop.forecast_diff_before,
+        rtol=RTOL,
+        atol=1e-10,
+    )
+    np.testing.assert_allclose(
+        d_batched.forecast_diff_after,
+        d_loop.forecast_diff_after,
+        rtol=RTOL,
+        atol=1e-10,
+    )
+    np.testing.assert_allclose(
+        d_batched.mean_r_squared, d_loop.mean_r_squared, rtol=RTOL, atol=0
+    )
+    assert d_batched.k_sampled == d_loop.k_sampled
+    assert d_batched.n_controls == d_loop.n_controls
+    np.testing.assert_allclose(
+        r_batched.p_value_increase, r_loop.p_value_increase, rtol=RTOL, atol=0
+    )
+    np.testing.assert_allclose(
+        r_batched.p_value_decrease, r_loop.p_value_decrease, rtol=RTOL, atol=0
+    )
+    assert r_batched.direction == r_loop.direction
+
+
+class TestOlsParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_default_config(self, seed):
+        assert_parity(*run_pair(*panel(seed)))
+
+    @pytest.mark.parametrize("n_controls", [5, 12, 40])
+    def test_control_group_sizes(self, n_controls):
+        assert_parity(*run_pair(*panel(7, n_controls=n_controls)))
+
+    @pytest.mark.parametrize("window", [7, 14])
+    def test_window_lengths(self, window):
+        yb, ya, xb, xa = panel(11, n_after=window)
+        assert_parity(*run_pair(yb, ya, xb, xa, window_days=window))
+
+    def test_short_history_in_sample_branch(self):
+        # With no spare history the fit trains on the comparison window
+        # itself (the in-sample fallback); both kernels must take it.
+        yb, ya, xb, xa = panel(13, n_before=14, n_after=14)
+        assert_parity(*run_pair(yb, ya, xb, xa, training_days=14))
+
+    def test_injected_shift_same_verdict(self):
+        yb, ya, xb, xa = panel(17)
+        loop, batched = run_pair(yb, ya + 8.0, xb, xa)
+        assert_parity(loop, batched)
+        assert batched[0].direction == loop[0].direction
+
+    def test_with_intercept(self):
+        assert_parity(*run_pair(*panel(19), fit_intercept=True))
+
+    def test_mean_aggregation(self):
+        assert_parity(*run_pair(*panel(23), aggregation="mean"))
+
+    def test_many_iterations(self):
+        assert_parity(*run_pair(*panel(29), n_iterations=100))
+
+
+class TestDtypeParity:
+    def test_float32_inputs(self):
+        # compare() canonicalises to float64, so float32 inputs follow the
+        # same numeric path in both kernels.
+        assert_parity(*run_pair(*panel(31, dtype=np.float32)))
+
+    def test_integer_inputs(self):
+        yb, ya, xb, xa = panel(37)
+        args = [np.round(a * 8).astype(np.int64) for a in (yb, ya, xb, xa)]
+        assert_parity(*run_pair(*args))
+
+
+class TestRankDeficientParity:
+    def test_duplicated_control_columns(self):
+        # Duplicated columns make sampled Grams singular: the batched kernel
+        # must fall back to the SVD min-norm solve and still match the
+        # loop's lstsq forecasts.
+        yb, ya, xb, xa = panel(41, n_controls=6)
+        xb = np.column_stack([xb, xb[:, :3]])
+        xa = np.column_stack([xa, xa[:, :3]])
+        assert_parity(*run_pair(yb, ya, xb, xa))
+
+    def test_constant_column(self):
+        yb, ya, xb, xa = panel(43, n_controls=6)
+        xb = np.column_stack([xb, np.full(len(yb), 100.0)])
+        xa = np.column_stack([xa, np.full(len(ya), 100.0)])
+        assert_parity(*run_pair(yb, ya, xb, xa))
+
+
+class TestRidgeParity:
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_ridge(self, seed):
+        assert_parity(*run_pair(*panel(seed), estimator="ridge"))
+
+    def test_ridge_with_intercept(self):
+        assert_parity(
+            *run_pair(*panel(47), estimator="ridge", fit_intercept=True)
+        )
+
+
+class TestLassoFallback:
+    def test_lasso_ignores_batched_kernel(self):
+        # No batched ISTA: kernel="batched" with the lasso estimator must
+        # silently run the loop and produce the loop path's exact output.
+        yb, ya, xb, xa = panel(53)
+        loop, batched = run_pair(yb, ya, xb, xa, estimator="lasso")
+        np.testing.assert_array_equal(
+            batched[1].forecast_after, loop[1].forecast_after
+        )
+        assert batched[0].p_value_increase == loop[0].p_value_increase
+
+    def test_effective_kernel_reports_loop(self):
+        algo = RobustSpatialRegression(
+            LitmusConfig(estimator="lasso", kernel="batched")
+        )
+        assert algo._effective_kernel() == "loop"

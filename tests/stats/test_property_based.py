@@ -1,0 +1,127 @@
+"""Property-based invariants of the stats layer (hypothesis).
+
+Three families the assessment pipeline leans on:
+
+* the Fligner–Policello statistic is exactly antisymmetric under swapping
+  the samples, and directional p-values swap with it;
+* the Litmus verdict is invariant under a permutation of the control
+  columns (with ``sample_fraction=1.0`` every iteration spans the same
+  column space, so ordering must not matter);
+* ``_sample_size`` always lands in ``[2, N]``, respects the training-length
+  cap, and keeps the paper's strict majority ``k > N/2`` whenever the cap
+  leaves room for it.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import LitmusConfig
+from repro.core.regression import RobustSpatialRegression
+from repro.stats.rank_tests import Alternative, Direction, fligner_policello
+
+samples = st.lists(
+    st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=30,
+)
+
+
+class TestFlignerPolicelloSymmetry:
+    @given(x=samples, y=samples)
+    @settings(max_examples=100, deadline=None)
+    def test_statistic_antisymmetric(self, x, y):
+        """U(x, y) == -U(y, x), infinities included."""
+        fwd = fligner_policello(x, y).statistic
+        rev = fligner_policello(y, x).statistic
+        if math.isinf(fwd):
+            assert rev == -fwd
+        else:
+            assert math.isclose(fwd, -rev, rel_tol=1e-12, abs_tol=1e-12)
+
+    @given(x=samples, y=samples)
+    @settings(max_examples=100, deadline=None)
+    def test_directional_p_values_swap(self, x, y):
+        """p_greater(x, y) == p_less(y, x) — the two directional tests the
+        decision rule runs are two views of the same comparison."""
+        p_fwd = fligner_policello(x, y, Alternative.GREATER).p_value
+        p_rev = fligner_policello(y, x, Alternative.LESS).p_value
+        assert math.isclose(p_fwd, p_rev, rel_tol=1e-12, abs_tol=1e-15)
+
+    @given(x=samples, y=samples)
+    @settings(max_examples=50, deadline=None)
+    def test_two_sided_p_symmetric(self, x, y):
+        p_fwd = fligner_policello(x, y).p_value
+        p_rev = fligner_policello(y, x).p_value
+        assert math.isclose(p_fwd, p_rev, rel_tol=1e-12, abs_tol=1e-15)
+
+    @given(x=samples)
+    @settings(max_examples=50, deadline=None)
+    def test_self_comparison_is_null(self, x):
+        result = fligner_policello(x, x)
+        assert result.statistic == 0.0
+        assert result.p_value == 1.0
+
+
+def _panel(seed, n_controls=8, n_before=70, n_after=14):
+    rng = np.random.default_rng(seed)
+    T = n_before + n_after
+    factor = np.cumsum(rng.normal(0, 0.3, T))
+    study = 100.0 + factor + rng.normal(0, 1.0, T)
+    controls = np.column_stack(
+        [
+            100.0 + rng.uniform(0.7, 1.1) * factor + rng.normal(0, 1.0, T)
+            for _ in range(n_controls)
+        ]
+    )
+    return study[:n_before], study[n_before:], controls[:n_before], controls[n_before:]
+
+
+class TestPermutationInvariance:
+    @given(seed=st.integers(0, 200), perm=st.permutations(list(range(8))))
+    @settings(max_examples=25, deadline=None)
+    def test_verdict_invariant_under_control_permutation(self, seed, perm):
+        """Reordering control columns never changes the verdict.
+
+        With ``sample_fraction=1.0`` every iteration regresses on all
+        controls, so a permutation only relabels the regressors — the
+        forecast spans the identical column space and a strong +8σ study
+        shift must read as an increase either way.
+        """
+        yb, ya, xb, xa = _panel(seed)
+        algo = RobustSpatialRegression(LitmusConfig(sample_fraction=1.0))
+        base = algo.compare(yb, ya + 8.0, xb, xa).direction
+        permuted = algo.compare(yb, ya + 8.0, xb[:, perm], xa[:, perm]).direction
+        assert base is Direction.INCREASE
+        assert permuted is base
+
+
+class TestSampleSize:
+    @given(
+        n_controls=st.integers(2, 200),
+        train_len=st.integers(4, 500),
+        sample_fraction=st.floats(0.501, 1.0),
+        min_controls=st.integers(2, 5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bounds(self, n_controls, train_len, sample_fraction, min_controls):
+        cfg = LitmusConfig(
+            sample_fraction=sample_fraction, min_controls=min_controls
+        )
+        k = RobustSpatialRegression(cfg)._sample_size(n_controls, train_len)
+        cap = max(min_controls - 1, train_len // 2)
+        assert 2 <= k <= n_controls
+        assert k <= max(2, cap)
+        if cap >= n_controls // 2 + 1:
+            # The cap leaves room for the paper's rule: strict majority.
+            assert k > n_controls / 2
+
+    @given(n_controls=st.integers(2, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_majority_with_ample_history(self, n_controls):
+        """With training data to spare, k is always a strict majority."""
+        cfg = LitmusConfig()
+        k = RobustSpatialRegression(cfg)._sample_size(n_controls, train_len=500)
+        assert n_controls / 2 < k <= n_controls

@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Benchmark the batched regression kernel and the assessment fan-out.
+
+Measures, on this machine:
+
+* **loop vs batched kernel** — one ``RobustSpatialRegression.compare`` at
+  the acceptance operating point (``n_iterations=200``, ``N=100`` controls)
+  plus the default operating point, per estimator;
+* **serial vs parallel fan-out** — ``evaluate_injection`` over a small
+  case grid with ``n_workers`` 1 vs several (thread pool).
+
+Writes ``BENCH_regression.json`` next to the repository root so future PRs
+can track the trajectory:
+
+    PYTHONPATH=src python tools/bench_regression.py [--quick] [--workers N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core.config import LitmusConfig  # noqa: E402
+from repro.core.regression import RobustSpatialRegression  # noqa: E402
+from repro.evaluation.injection import evaluate_injection, make_cases  # noqa: E402
+
+
+def build_panel(n_before: int, n_after: int, n_controls: int, seed: int = 0):
+    """Correlated study/control panel (shared AR(1)-style factor)."""
+    rng = np.random.default_rng(seed)
+    T = n_before + n_after
+    factor = np.cumsum(rng.normal(0, 0.3, T))
+    study = 100.0 + factor + rng.normal(0, 1.0, T)
+    controls = np.column_stack(
+        [
+            100.0 + rng.uniform(0.7, 1.1) * factor + rng.normal(0, 1.0, T)
+            for _ in range(n_controls)
+        ]
+    )
+    return study[:n_before], study[n_before:], controls[:n_before], controls[n_before:]
+
+
+def time_call(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds (ignores warmup noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_kernels(quick: bool) -> list:
+    repeats = 2 if quick else 5
+    operating_points = [
+        # The acceptance point: n_iterations=200, N=100 controls.
+        dict(label="acceptance", n_iterations=200, n_controls=100, estimator="ols"),
+        dict(label="default", n_iterations=25, n_controls=10, estimator="ols"),
+        dict(label="ridge", n_iterations=200, n_controls=100, estimator="ridge"),
+    ]
+    if quick:
+        operating_points = operating_points[:1]
+    rows = []
+    for point in operating_points:
+        yb, ya, xb, xa = build_panel(70, 14, point["n_controls"])
+        timings = {}
+        for kernel in ("loop", "batched"):
+            cfg = LitmusConfig(
+                kernel=kernel,
+                n_iterations=point["n_iterations"],
+                estimator=point["estimator"],
+            )
+            algo = RobustSpatialRegression(cfg)
+            algo.compare(yb, ya, xb, xa)  # warm caches before timing
+            timings[kernel] = time_call(
+                lambda a=algo: a.compare(yb, ya, xb, xa), repeats
+            )
+        rows.append(
+            {
+                **point,
+                "loop_seconds": timings["loop"],
+                "batched_seconds": timings["batched"],
+                "speedup": timings["loop"] / timings["batched"],
+            }
+        )
+        print(
+            f"kernel [{point['label']}] {point['estimator']} "
+            f"iters={point['n_iterations']} N={point['n_controls']}: "
+            f"loop {timings['loop'] * 1e3:.1f} ms, "
+            f"batched {timings['batched'] * 1e3:.1f} ms "
+            f"({rows[-1]['speedup']:.1f}x)"
+        )
+    return rows
+
+
+def bench_fanout(quick: bool, workers: int) -> dict:
+    n_cases = 8 if quick else 40
+    cases = make_cases(n_seeds=1 if quick else 4)[:n_cases]
+    timings = {}
+    for n_workers in (1, workers):
+        cfg = LitmusConfig(n_workers=n_workers)
+        evaluate_injection(cases[:2], cfg)  # warmup
+        t0 = time.perf_counter()
+        evaluate_injection(cases, cfg)
+        timings[n_workers] = time.perf_counter() - t0
+    row = {
+        "n_cases": len(cases),
+        "executor": "thread",
+        "serial_seconds": timings[1],
+        "parallel_workers": workers,
+        "parallel_seconds": timings[workers],
+        "speedup": timings[1] / timings[workers],
+    }
+    print(
+        f"fan-out {len(cases)} cases: serial {timings[1]:.2f} s, "
+        f"{workers} workers {timings[workers]:.2f} s ({row['speedup']:.2f}x)"
+    )
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smoke mode: fewer points and repeats"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="worker count for the fan-out bench"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(ROOT / "BENCH_regression.json"),
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args(argv)
+
+    results = {
+        "operating_point": {"n_iterations": 200, "n_controls": 100},
+        "kernels": bench_kernels(args.quick),
+        "fanout": bench_fanout(args.quick, args.workers),
+        "quick": args.quick,
+    }
+    acceptance = results["kernels"][0]
+    results["acceptance_speedup"] = acceptance["speedup"]
+    Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if acceptance["speedup"] < 5.0 and not args.quick:
+        print("WARNING: batched kernel under the 5x acceptance threshold")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
