@@ -68,6 +68,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="annotate the report with co-occurring changes/holidays/seasons",
     )
     assess.add_argument(
+        "--quality-policy",
+        choices=("reject", "impute", "quarantine"),
+        default="quarantine",
+        help="data-quality firewall policy: quarantine faulted control "
+        "series (default), impute small gaps first, or reject the "
+        "assessment on any issue",
+    )
+    assess.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -204,6 +212,7 @@ def _cmd_assess(
     change_id: Optional[str],
     explain: bool = False,
     workers: int = 1,
+    quality_policy: str = "quarantine",
 ) -> int:
     from pathlib import Path
 
@@ -214,7 +223,7 @@ def _cmd_assess(
 
     topo, store = _load_world(topology_path, kpi_path)
     log = changelog_from_json(Path(changes_path).read_text())
-    config = LitmusConfig(n_workers=workers)
+    config = LitmusConfig(n_workers=workers, quality_policy=quality_policy)
     engine = Litmus(topo, store, config, change_log=log)
     if change_id is not None:
         report = engine.assess(log.get(change_id), DEFAULT_KPIS)
@@ -263,6 +272,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.change_id,
             args.explain,
             args.workers,
+            args.quality_policy,
         )
     if args.command == "quality":
         return _cmd_quality(args.topology, args.kpis, args.study, args.kpi, args.day)

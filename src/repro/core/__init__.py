@@ -2,8 +2,22 @@
 
 from .baselines import DifferenceInDifferences, StudyOnlyAnalysis, did_measure
 from .config import AssessmentConfig, LitmusConfig
-from .litmus import Assessor, ChangeAssessmentReport, ElementAssessment, Litmus
-from .parallel import executor_pool, spawn_task_seeds
+from .litmus import (
+    Assessor,
+    ChangeAssessmentReport,
+    ElementAssessment,
+    FailedAssessment,
+    Litmus,
+)
+from .parallel import (
+    FAILURE_CATEGORIES,
+    TaskFailure,
+    TaskOutcome,
+    classify_exception,
+    executor_pool,
+    run_tasks,
+    spawn_task_seeds,
+)
 from .pca_baseline import PcaSubspaceDetector
 from .regression import RegressionDiagnostics, RobustSpatialRegression
 from .verdict import (
@@ -21,18 +35,24 @@ __all__ = [
     "ChangeAssessmentReport",
     "DifferenceInDifferences",
     "ElementAssessment",
+    "FAILURE_CATEGORIES",
+    "FailedAssessment",
     "Litmus",
     "LitmusConfig",
     "PcaSubspaceDetector",
     "RegressionDiagnostics",
     "RobustSpatialRegression",
     "StudyOnlyAnalysis",
+    "TaskFailure",
+    "TaskOutcome",
     "Verdict",
     "VoteSummary",
+    "classify_exception",
     "did_measure",
     "direction_for_verdict",
     "executor_pool",
     "majority_verdict",
+    "run_tasks",
     "spawn_task_seeds",
     "verdict_from_direction",
 ]

@@ -83,8 +83,29 @@ class LitmusConfig(AssessmentConfig):
     n_workers: int = 1
     #: Pool flavour for the fan-out: "thread" (numpy's LAPACK calls release
     #: the GIL, so threads scale for the regression-heavy workload with
-    #: zero pickling cost) or "process" (full isolation, pays serialisation).
+    #: zero pickling cost) or "process" (full isolation, pays serialisation
+    #: — task payloads must be picklable).
     executor: str = "thread"
+    #: Data-quality firewall policy (DESIGN.md §7, "Failure semantics"):
+    #: "quarantine" (default) excludes faulted control series from the
+    #: comparison and fails tasks whose study series is faulted; "impute"
+    #: seasonal-median-fills small gaps and corrupt points first;
+    #: "reject" raises a typed DataQualityError on any issue (the strict
+    #: pre-firewall behaviour).
+    quality_policy: str = "quarantine"
+    #: Longest NaN run (in samples) the "impute" policy will fill.
+    max_gap_samples: int = 3
+    #: Shortest run of bit-identical consecutive samples flagged as a
+    #: stuck counter.
+    stuck_run_samples: int = 12
+    #: Per-task wall-clock budget in seconds for the parallel fan-out
+    #: (0 = unlimited).  A timed-out task becomes a per-task failure
+    #: instead of stalling the report; only enforced when n_workers > 1.
+    task_timeout_s: float = 0.0
+    #: Extra rounds granted to tasks whose process-pool worker crashed;
+    #: retried tasks reproduce bit-identical results (seeds are
+    #: position-keyed).
+    task_retries: int = 1
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -107,3 +128,16 @@ class LitmusConfig(AssessmentConfig):
             raise ValueError("n_workers must be at least 1")
         if self.executor not in ("thread", "process"):
             raise ValueError(f"unknown executor {self.executor!r}")
+        if self.quality_policy not in ("reject", "impute", "quarantine"):
+            raise ValueError(
+                f"unknown quality_policy {self.quality_policy!r}; use "
+                "'reject', 'impute' or 'quarantine'"
+            )
+        if self.max_gap_samples < 1:
+            raise ValueError("max_gap_samples must be positive")
+        if self.stuck_run_samples < 3:
+            raise ValueError("stuck_run_samples must be at least 3")
+        if self.task_timeout_s < 0.0:
+            raise ValueError("task_timeout_s must be non-negative")
+        if self.task_retries < 0:
+            raise ValueError("task_retries must be non-negative")

@@ -23,15 +23,24 @@ from ..kpi.store import KpiStore
 from ..network.changes import ChangeEvent, ChangeLog
 from ..network.elements import ElementId
 from ..network.topology import Topology
+from ..quality.checks import QualityConfig
+from ..quality.firewall import screen_windows
+from ..quality.report import QualityLedger, QualityReport, SeriesQuality
 from ..selection.predicates import Predicate
 from ..selection.selector import ControlGroupSelector
 from .config import LitmusConfig
-from .parallel import executor_pool, spawn_task_seeds
+from .parallel import TaskFailure, TaskOutcome, run_tasks, spawn_task_seeds
 from .regression import RobustSpatialRegression
 from .verdict import AlgorithmResult, Verdict
 from .voting import VoteSummary, majority_verdict
 
-__all__ = ["Assessor", "ElementAssessment", "ChangeAssessmentReport", "Litmus"]
+__all__ = [
+    "Assessor",
+    "ElementAssessment",
+    "FailedAssessment",
+    "ChangeAssessmentReport",
+    "Litmus",
+]
 
 
 class Assessor(Protocol):
@@ -59,6 +68,23 @@ class ElementAssessment:
 
 
 @dataclass(frozen=True)
+class FailedAssessment:
+    """A (study element, KPI) task that could not produce a verdict.
+
+    One failed task never aborts the report: it is surfaced here with its
+    typed :class:`~repro.core.parallel.TaskFailure` (error taxonomy of
+    DESIGN.md §7) while every other task's result stands.
+    """
+
+    element_id: ElementId
+    kpi: KpiKind
+    failure: TaskFailure
+
+    def describe(self) -> str:
+        return f"{self.element_id}/{self.kpi.value}: {self.failure.describe()}"
+
+
+@dataclass(frozen=True)
 class _AssessmentTask:
     """One (study element, KPI) comparison with its windowed arrays.
 
@@ -66,7 +92,11 @@ class _AssessmentTask:
     cheap, serial, and needs the :class:`~repro.kpi.store.KpiStore` — so the
     workers run the pure-numpy ``compare`` only.  ``dropped_controls`` names
     the control elements excluded for this task (no stored series for the
-    KPI, or a series that does not cover the comparison windows).
+    KPI, a series that does not cover the comparison windows, or one
+    quarantined by the data-quality firewall).  A task whose inputs already
+    failed screening carries ``prep_failure`` and is never executed — but it
+    keeps its position in the task order, so the position-keyed seeds of
+    every other task are untouched.
     """
 
     element_id: ElementId
@@ -76,11 +106,13 @@ class _AssessmentTask:
     control_before: Optional[np.ndarray]
     control_after: Optional[np.ndarray]
     dropped_controls: Tuple[ElementId, ...]
+    prep_failure: Optional[TaskFailure] = None
 
 
-def _run_task(algorithm: Assessor, task: _AssessmentTask) -> AlgorithmResult:
+def _run_task(payload: Tuple[Assessor, _AssessmentTask]) -> AlgorithmResult:
     """Execute one prepared comparison (module-level so process pools can
     pickle it)."""
+    algorithm, task = payload
     return algorithm.compare(
         task.study_before,
         task.study_after,
@@ -98,9 +130,23 @@ class ChangeAssessmentReport:
     control_group: Tuple[ElementId, ...]
     window_days: int
     assessments: Tuple[ElementAssessment, ...]
-    #: Control elements excluded from at least one comparison (missing or
-    #: window-incomplete series), surfaced so partial coverage is auditable.
+    #: Control elements excluded from at least one comparison (missing,
+    #: window-incomplete, or quality-quarantined series), surfaced so
+    #: partial coverage is auditable.
     dropped_controls: Tuple[ElementId, ...] = ()
+    #: Tasks that failed in isolation (status: failed) — the report stands
+    #: on the remaining tasks instead of aborting.
+    failures: Tuple[FailedAssessment, ...] = ()
+    #: What the data-quality firewall saw and did (None only for reports
+    #: built by code predating the firewall).
+    quality: Optional[QualityReport] = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when any task failed or any control was quarantined."""
+        return bool(self.failures) or bool(
+            self.quality is not None and self.quality.quarantined
+        )
 
     def for_kpi(self, kpi: KpiKind) -> List[ElementAssessment]:
         """Per-element assessments restricted to one KPI."""
@@ -152,6 +198,19 @@ class ChangeAssessmentReport:
                 }
                 for a in self.assessments
             ],
+            "failures": [
+                {
+                    "element_id": f.element_id,
+                    "kpi": f.kpi.value,
+                    "status": "failed",
+                    "category": f.failure.category,
+                    "error_type": f.failure.error_type,
+                    "message": f.failure.message,
+                    "attempts": f.failure.attempts,
+                }
+                for f in self.failures
+            ],
+            "quality": self.quality.to_dict() if self.quality is not None else None,
         }
 
     def to_text(self) -> str:
@@ -164,9 +223,13 @@ class ChangeAssessmentReport:
         ]
         if self.dropped_controls:
             lines.append(
-                "  dropped controls (incomplete series): "
+                "  dropped controls (incomplete or quarantined series): "
                 + ", ".join(str(c) for c in self.dropped_controls)
             )
+        if self.quality is not None and not self.quality.clean:
+            lines.extend("  " + line for line in self.quality.to_text().splitlines())
+        for f in self.failures:
+            lines.append(f"  FAILED {f.describe()}")
         for kpi, vote in self.summary().items():
             counts = ", ".join(
                 f"{v.value}={c}" for v, c in sorted(vote.counts.items(), key=lambda x: x[0].value)
@@ -236,6 +299,12 @@ class Litmus:
                 raise ValueError("control_ids must be non-empty")
 
         effective_window = window_days or self.config.window_days
+        ledger = QualityLedger(self.config.quality_policy)
+        quality_config = QualityConfig(
+            policy=self.config.quality_policy,
+            max_gap_samples=self.config.max_gap_samples,
+            stuck_run_samples=self.config.stuck_run_samples,
+        )
         tasks: List[_AssessmentTask] = []
         for kpi in kpis:
             kind = KpiKind(kpi)
@@ -253,46 +322,66 @@ class Litmus:
                         change.day,
                         effective_window,
                         after_offset_days,
+                        quality_config,
+                        ledger,
                     )
                 )
         if not tasks:
             raise ValueError(
                 "no study element has stored series for the requested KPIs"
             )
-        results = self._execute(tasks)
-        assessments = tuple(
-            ElementAssessment(t.element_id, t.kpi, r, r.verdict(t.kpi))
-            for t, r in zip(tasks, results)
-        )
+        outcomes = self._execute(tasks)
+        assessments: List[ElementAssessment] = []
+        failures: List[FailedAssessment] = []
+        for t, outcome in zip(tasks, outcomes):
+            if outcome.ok:
+                r = outcome.value
+                assessments.append(
+                    ElementAssessment(t.element_id, t.kpi, r, r.verdict(t.kpi))
+                )
+            else:
+                failures.append(FailedAssessment(t.element_id, t.kpi, outcome.failure))
         dropped = sorted({c for t in tasks for c in t.dropped_controls})
         return ChangeAssessmentReport(
             change=change,
             algorithm=self.algorithm.name,
             control_group=control,
             window_days=effective_window,
-            assessments=assessments,
+            assessments=tuple(assessments),
             dropped_controls=tuple(dropped),
+            failures=tuple(failures),
+            quality=ledger.freeze(),
         )
 
     # ------------------------------------------------------------------
-    def _execute(self, tasks: Sequence[_AssessmentTask]) -> List[AlgorithmResult]:
+    def _execute(self, tasks: Sequence[_AssessmentTask]) -> List[TaskOutcome]:
         """Run the prepared comparisons, serially or over a worker pool.
 
         Each task gets an algorithm seeded from its own
         ``SeedSequence.spawn`` child, keyed by the task's position in the
         deterministic task order — the serial path consumes the identical
-        seeds, so a report is bit-for-bit the same for any ``n_workers``.
+        seeds, so a report is bit-for-bit the same for any ``n_workers``,
+        and a task re-run after a worker crash reproduces its result
+        exactly.  Tasks whose preparation already failed keep their seed
+        slot but are never executed.
         """
-        algos = [
-            self._seeded_algorithm(seed)
-            for seed in spawn_task_seeds(self.config.seed, len(tasks))
+        seeds = spawn_task_seeds(self.config.seed, len(tasks))
+        live = [i for i, t in enumerate(tasks) if t.prep_failure is None]
+        payloads = [(self._seeded_algorithm(seeds[i]), tasks[i]) for i in live]
+        ran = run_tasks(
+            _run_task,
+            payloads,
+            executor=self.config.executor,
+            n_workers=min(self.config.n_workers, max(len(payloads), 1)),
+            timeout=self.config.task_timeout_s or None,
+            retries=self.config.task_retries,
+        )
+        outcomes: List[TaskOutcome] = [
+            TaskOutcome(failure=t.prep_failure) for t in tasks
         ]
-        n_workers = min(self.config.n_workers, len(tasks))
-        if n_workers <= 1:
-            return [_run_task(algo, task) for algo, task in zip(algos, tasks)]
-        with executor_pool(self.config.executor, n_workers) as pool:
-            # Executor.map preserves task order regardless of scheduling.
-            return list(pool.map(_run_task, algos, tasks))
+        for i, outcome in zip(live, ran):
+            outcomes[i] = outcome
+        return outcomes
 
     def _seeded_algorithm(self, seed: int) -> Assessor:
         """Per-task algorithm instance; algorithms without sampling
@@ -312,6 +401,8 @@ class Litmus:
         change_day: int,
         window_days: Optional[int] = None,
         after_offset_days: int = 0,
+        quality_config: Optional[QualityConfig] = None,
+        ledger: Optional[QualityLedger] = None,
     ) -> _AssessmentTask:
         study = self.store.get(element_id, kpi)
         window = (window_days or self.config.window_days) * study.freq
@@ -326,12 +417,14 @@ class Litmus:
             )
 
         dropped: List[ElementId] = list(missing_controls)
+        kept_ids: List[ElementId] = []
         cb_cols, ca_cols = [], []
         for cid in control_ids:
             series = self.store.get(cid, kpi)
             cb = series.window(study_before.start, study_before.end)
             ca = series.window(study_after.start, study_after.end)
             if len(cb) == len(study_before) and len(ca) == len(study_after):
+                kept_ids.append(cid)
                 cb_cols.append(cb.values)
                 ca_cols.append(ca.values)
             else:
@@ -346,17 +439,90 @@ class Litmus:
                 f"(need >= {self.config.min_controls}); dropped: "
                 f"{sorted(str(c) for c in dropped)}"
             )
+
+        # ------------------------------------------------------------------
+        # Data-quality firewall.  Screening failures become per-task
+        # ``prep_failure`` records (the task keeps its seed slot but never
+        # runs) rather than raises — degraded data must not abort the
+        # report.  Under policy "reject" screen_windows raises the typed
+        # DataQualityError, restoring the strict pre-firewall behaviour.
+        qcfg = quality_config or QualityConfig(
+            policy=self.config.quality_policy,
+            max_gap_samples=self.config.max_gap_samples,
+            stuck_run_samples=self.config.stuck_run_samples,
+        )
+        study_pieces = [
+            (study_before.values, study_before.start),
+            (study_after.values, study_after.start),
+        ]
+        prep_failure: Optional[TaskFailure] = None
+        windows, study_quality = screen_windows(
+            study_pieces, element_id=str(element_id), kpi=kpi, role="study", config=qcfg
+        )
+        if windows is None:
+            study_quality = SeriesQuality(
+                study_quality.element_id,
+                study_quality.kpi,
+                study_quality.role,
+                "failed",
+                study_quality.issues,
+            )
+            prep_failure = TaskFailure(
+                category="data-quality",
+                error_type="DataQualityError",
+                message=f"study series unusable: {study_quality.describe()}",
+            )
+            yb, ya = study_before.values, study_after.values
+        else:
+            yb, ya = windows
+        if ledger is not None:
+            ledger.record(study_quality)
+
+        screened_cb, screened_ca = [], []
+        n_before_screen = len(cb_cols)
+        for cid, cb_vals, ca_vals in zip(kept_ids, cb_cols, ca_cols):
+            col_windows, quality = screen_windows(
+                [(cb_vals, study_before.start), (ca_vals, study_after.start)],
+                element_id=str(cid),
+                kpi=kpi,
+                role="control",
+                config=qcfg,
+            )
+            if ledger is not None:
+                ledger.record(quality)
+            if col_windows is None:
+                dropped.append(cid)
+                continue
+            screened_cb.append(col_windows[0])
+            screened_ca.append(col_windows[1])
+        if (
+            prep_failure is None
+            and n_before_screen > 0
+            and len(screened_cb) < self.config.min_controls
+        ):
+            prep_failure = TaskFailure(
+                category="data-quality",
+                error_type="DataQualityError",
+                message=(
+                    f"only {len(screened_cb)} of {n_before_screen} control "
+                    f"series survived quality screening for "
+                    f"{element_id!r}/{kpi.value} "
+                    f"(need >= {self.config.min_controls})"
+                ),
+            )
+
         control_before = control_after = None
-        if cb_cols:
-            control_before = np.column_stack(cb_cols)
-            control_after = np.column_stack(ca_cols)
+        if screened_cb:
+            control_before = np.column_stack(screened_cb)
+            control_after = np.column_stack(screened_ca)
 
         return _AssessmentTask(
             element_id=element_id,
             kpi=kpi,
-            study_before=study_before.values,
-            study_after=study_after.values,
+            study_before=yb,
+            study_after=ya,
             control_before=control_before,
             control_after=control_after,
             dropped_controls=tuple(dropped),
+            prep_failure=prep_failure,
         )

@@ -1,6 +1,6 @@
-"""Deterministic fan-out primitives for the assessment engine.
+"""Deterministic, fault-tolerant fan-out primitives for the assessment engine.
 
-Two pieces the parallel paths share:
+Three pieces the parallel paths share:
 
 * :func:`spawn_task_seeds` — per-task seeds derived with
   ``np.random.SeedSequence.spawn``.  Seeding each task from its own spawned
@@ -13,20 +13,57 @@ Two pieces the parallel paths share:
   flavour.  "thread" is the default: the hot path is LAPACK-bound and numpy
   releases the GIL there, so threads scale without any pickling cost;
   "process" buys full isolation for workloads with heavy Python-level work.
+  **The process flavour requires picklable task payloads** — functions must
+  be module-level and arguments (algorithm instances, prepared task
+  structs) must survive ``pickle.dumps``; this is why ``Litmus`` prepares
+  pure-numpy task payloads up front in the main process.
+* :func:`run_tasks` — the fault-tolerant map used by ``Litmus.assess``:
+  each task is error-isolated (an exception becomes a typed
+  :class:`TaskFailure` instead of aborting the batch), a per-task timeout
+  bounds stragglers, and a worker crash (``BrokenProcessPool``) is
+  recovered by rebuilding the pool and deterministically re-running only
+  the unfinished tasks.  Because seeds are position-keyed, a retried task
+  reproduces bit-identical results.
 
-Results must always be collected with ``Executor.map`` (order-preserving),
-never ``as_completed``, so aggregation order — and therefore every
-downstream report — is schedule-independent.
+Results must always be collected in submission order (``run_tasks`` keeps
+an index-addressed result slot per task), never ``as_completed``, so
+aggregation order — and therefore every downstream report — is
+schedule-independent.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import List
+import os
+import warnings
+from concurrent.futures import BrokenExecutor, Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["spawn_task_seeds", "executor_pool"]
+from ..stats.rank_tests import DataQualityError
+
+__all__ = [
+    "spawn_task_seeds",
+    "executor_pool",
+    "run_tasks",
+    "classify_exception",
+    "TaskFailure",
+    "TaskOutcome",
+    "FAILURE_CATEGORIES",
+]
+
+#: The exception taxonomy of per-task failures (DESIGN.md §7, "Failure
+#: semantics").  Every isolated task failure is filed under exactly one.
+FAILURE_CATEGORIES = (
+    "data-quality",  # DataQualityError: the inputs failed quality checks
+    "invalid-input",  # ValueError/TypeError/KeyError: malformed task payload
+    "numerical",  # linear-algebra / floating-point breakdown
+    "timeout",  # the task exceeded the configured per-task budget
+    "worker-crash",  # the worker process died (killed, OOM, segfault)
+    "runtime",  # anything else raised while executing the task
+)
 
 
 def spawn_task_seeds(seed: int, n_tasks: int) -> List[int]:
@@ -44,16 +81,221 @@ def spawn_task_seeds(seed: int, n_tasks: int) -> List[int]:
     return [int(child.generate_state(1, np.uint64)[0]) for child in children]
 
 
+_OVERSUBSCRIPTION_WARNED = set()
+
+#: Hard ceiling on the pool size as a multiple of the machine's cores —
+#: the fan-out is LAPACK-bound, so a pool wider than this only adds
+#: scheduling overhead and memory.
+_MAX_WORKERS_PER_CPU = 4
+
+
 def executor_pool(executor: str, n_workers: int) -> Executor:
     """Build the configured ``concurrent.futures`` pool.
 
     ``executor`` is "thread" or "process" (the :class:`LitmusConfig.executor`
-    vocabulary); ``n_workers`` must be positive.
+    vocabulary); ``n_workers`` must be positive.  A request exceeding the
+    machine's core count warns once per process (oversubscription is legal
+    but wasteful for this LAPACK-bound workload) and is capped at
+    ``4 * os.cpu_count()``.
+
+    The "process" flavour requires picklable callables (module-level
+    functions) and picklable arguments.
     """
     if n_workers < 1:
         raise ValueError("n_workers must be at least 1")
+    cpus = os.cpu_count() or 1
+    ceiling = _MAX_WORKERS_PER_CPU * cpus
+    if n_workers > cpus:
+        capped = min(n_workers, ceiling)
+        key = (executor, n_workers)
+        if key not in _OVERSUBSCRIPTION_WARNED:
+            _OVERSUBSCRIPTION_WARNED.add(key)
+            warnings.warn(
+                f"n_workers={n_workers} exceeds os.cpu_count()={cpus}; the "
+                f"assessment fan-out is compute-bound, so extra workers only "
+                f"add overhead (pool capped at {capped})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        n_workers = capped
     if executor == "thread":
         return ThreadPoolExecutor(max_workers=n_workers)
     if executor == "process":
         return ProcessPoolExecutor(max_workers=n_workers)
     raise ValueError(f"unknown executor {executor!r}; use 'thread' or 'process'")
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerant task execution
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Typed record of one task's failure (see :data:`FAILURE_CATEGORIES`)."""
+
+    category: str
+    error_type: str
+    message: str
+    attempts: int = 1
+
+    def describe(self) -> str:
+        return f"[{self.category}] {self.error_type}: {self.message}"
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Result slot of one task: a value, or an isolated failure."""
+
+    value: Any = None
+    failure: Optional[TaskFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def classify_exception(exc: BaseException) -> str:
+    """File an exception under the :data:`FAILURE_CATEGORIES` taxonomy."""
+    if isinstance(exc, DataQualityError):
+        return "data-quality"
+    if isinstance(exc, (FuturesTimeoutError, TimeoutError)):
+        return "timeout"
+    if isinstance(exc, BrokenExecutor):
+        return "worker-crash"
+    if isinstance(exc, (np.linalg.LinAlgError, FloatingPointError, ZeroDivisionError, OverflowError)):
+        return "numerical"
+    if isinstance(exc, (ValueError, TypeError, KeyError, IndexError)):
+        return "invalid-input"
+    return "runtime"
+
+
+def _failure_from(exc: BaseException, attempts: int) -> TaskFailure:
+    return TaskFailure(
+        category=classify_exception(exc),
+        error_type=type(exc).__name__,
+        message=str(exc) or type(exc).__name__,
+        attempts=attempts,
+    )
+
+
+def run_tasks(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    *,
+    executor: str = "thread",
+    n_workers: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+) -> List[TaskOutcome]:
+    """Error-isolated, order-preserving map of ``fn`` over ``payloads``.
+
+    Semantics (the "Failure semantics" contract of DESIGN.md §7):
+
+    * Each task either yields ``TaskOutcome(value=...)`` or a typed
+      ``TaskOutcome(failure=...)`` — one bad task never aborts the batch.
+    * An exception *raised by* ``fn`` is deterministic, so it is recorded
+      immediately and never retried.
+    * A worker crash (``BrokenProcessPool``) takes down the pool and every
+      in-flight task with it; the pool is rebuilt and only the unfinished
+      tasks re-run, up to ``retries`` extra rounds.  Task payloads carry
+      their own position-keyed seeds, so a retried task is bit-identical
+      to what the crashed round would have produced.
+    * ``timeout`` (seconds) bounds the *wait* for each task, walking the
+      results in submission order.  A timed-out task is recorded as failed;
+      its worker is not forcibly killed (threads cannot be), so the slot
+      frees up only when the straggler returns — the timeout bounds report
+      latency, not worker CPU.
+    * The serial in-process path (``n_workers <= 1`` under the "thread"
+      flavour) applies the same exception isolation but cannot enforce
+      timeouts (there is no second thread to wait from).  The "process"
+      flavour always uses a pool, even for one worker — crash isolation is
+      exactly what that flavour buys.
+
+    Results are index-addressed, so the output order always matches
+    ``payloads`` regardless of scheduling.
+    """
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    n = len(payloads)
+    outcomes: List[Optional[TaskOutcome]] = [None] * n
+    if n == 0:
+        return []
+
+    if n_workers <= 1 and executor != "process":
+        for i, payload in enumerate(payloads):
+            try:
+                outcomes[i] = TaskOutcome(value=fn(payload))
+            except Exception as exc:
+                outcomes[i] = TaskOutcome(failure=_failure_from(exc, attempts=1))
+        return outcomes  # type: ignore[return-value]
+
+    def settle(i: int, future: Future, attempts: int) -> bool:
+        """Resolve one future into its outcome slot; True when the pool
+        broke before the task finished (the task is still unsettled)."""
+        try:
+            outcomes[i] = TaskOutcome(value=future.result(timeout=timeout))
+        except BrokenExecutor:
+            return True
+        except (FuturesTimeoutError, TimeoutError) as exc:
+            future.cancel()
+            outcomes[i] = TaskOutcome(
+                failure=TaskFailure(
+                    category="timeout",
+                    error_type=type(exc).__name__,
+                    message=f"task exceeded the {timeout}s per-task budget",
+                    attempts=attempts,
+                )
+            )
+        except Exception as exc:
+            outcomes[i] = TaskOutcome(failure=_failure_from(exc, attempts=attempts))
+        return False
+
+    # First round: the full batch over one pool.  A worker crash
+    # (BrokenProcessPool) takes the pool and every unfinished future down
+    # with it; those tasks move to the retry rounds.
+    crashed: List[int] = []
+    pool = executor_pool(executor, min(n_workers, n))
+    try:
+        futures: List[Tuple[int, Future]] = [
+            (i, pool.submit(fn, payloads[i])) for i in range(n)
+        ]
+        for i, future in futures:
+            if settle(i, future, attempts=1):
+                crashed.append(i)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    # Retry rounds: isolate each crashed task in its own fresh single-worker
+    # pool, so the one poison task that keeps killing its worker cannot take
+    # innocent in-flight siblings down with it again.  Payload seeds are
+    # position-keyed, so a re-run is bit-identical to what the crashed round
+    # would have produced.
+    for round_no in range(2, retries + 2):
+        if not crashed:
+            break
+        still_crashed: List[int] = []
+        for i in crashed:
+            solo = executor_pool(executor, 1)
+            try:
+                if settle(i, solo.submit(fn, payloads[i]), attempts=round_no):
+                    still_crashed.append(i)
+            finally:
+                solo.shutdown(wait=False, cancel_futures=True)
+        crashed = still_crashed
+
+    for i in crashed:
+        # The crash budget is exhausted; whatever killed the worker keeps
+        # killing it — file the survivors as worker crashes.
+        outcomes[i] = TaskOutcome(
+            failure=TaskFailure(
+                category="worker-crash",
+                error_type="BrokenProcessPool",
+                message=(
+                    "worker process died and the task did not complete in "
+                    f"{retries + 1} round(s)"
+                ),
+                attempts=retries + 1,
+            )
+        )
+    return outcomes  # type: ignore[return-value]

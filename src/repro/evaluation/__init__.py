@@ -1,6 +1,17 @@
 """Evaluation harness: Table-1 labeling, Table-2 known assessments,
-Table-3/4 synthetic injection, and confusion metrics."""
+Table-3/4 synthetic injection, fault-injection robustness, and confusion
+metrics."""
 
+from .faults import (
+    FAULT_KINDS,
+    FaultSpec,
+    FaultyAssessor,
+    StabilityResult,
+    copy_store,
+    inject_store_faults,
+    target_task_seed,
+    verdict_stability,
+)
 from .injection import (
     SCENARIO_TABLE,
     InjectionCase,
@@ -33,6 +44,9 @@ from .runner import (
 __all__ = [
     "ALGORITHM_NAMES",
     "ConfusionMatrix",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultyAssessor",
     "InjectionCase",
     "InjectionOutcome",
     "InjectionScenario",
@@ -42,16 +56,21 @@ __all__ = [
     "KpiTruth",
     "Label",
     "SCENARIO_TABLE",
+    "StabilityResult",
     "TABLE2_ROWS",
     "Table3Check",
+    "copy_store",
     "default_algorithms",
     "evaluate_injection",
     "evaluate_table2",
     "evaluate_table4",
+    "inject_store_faults",
     "label_outcome",
     "make_cases",
     "run_case",
     "run_known_assessments",
     "synthesize_case",
+    "target_task_seed",
+    "verdict_stability",
     "verify_table3",
 ]

@@ -1,0 +1,340 @@
+"""Fault-injection harness for the assessment pipeline.
+
+The robustness counterpart of the synthetic-injection evaluation: instead
+of injecting *performance changes* and asking whether the algorithms see
+them (Tables 3/4), this module injects *faults* — the data and process
+failures of a real telemetry pipeline — and asks whether the assessment
+survives them:
+
+* **data faults** (:func:`inject_store_faults`) — NaN gaps, stuck-at-constant
+  counters, corrupted (non-finite) samples and entirely dropped series,
+  planted into a deterministic subset of the control group around the
+  change day, exactly where the quality firewall screens;
+* **process faults** (:class:`FaultyAssessor`) — a wrapper that makes one
+  specific (element, KPI) task raise, or kill its process-pool worker
+  outright, exercising the error isolation and crash recovery of
+  :func:`repro.core.parallel.run_tasks`.
+
+:func:`verdict_stability` measures the chaos invariant the test suite
+locks: with a bounded fraction of control series faulted under the
+"quarantine" policy, the verdicts on every clean (element, KPI) pair must
+match the fault-free run exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.config import LitmusConfig
+from ..core.litmus import Assessor, ChangeAssessmentReport, Litmus
+from ..core.parallel import spawn_task_seeds
+from ..core.regression import RobustSpatialRegression
+from ..core.verdict import AlgorithmResult
+from ..kpi.metrics import KpiKind
+from ..kpi.store import KpiStore
+from ..network.changes import ChangeEvent
+from ..network.elements import ElementId
+from ..network.topology import Topology
+from ..stats.timeseries import TimeSeries
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultyAssessor",
+    "copy_store",
+    "inject_store_faults",
+    "target_task_seed",
+    "verdict_stability",
+    "StabilityResult",
+]
+
+#: The data-fault vocabulary; each maps to one firewall-visible defect.
+FAULT_KINDS = ("gap", "stuck", "corrupt", "drop")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """How much of the control group to fault, and how.
+
+    Fractions are of the control group size and are applied to *disjoint*
+    subsets (a series receives at most one fault kind), selected by a
+    deterministic permutation keyed on ``seed``.  ``gap_samples`` is the
+    length of each injected NaN run — the default of 5 exceeds the
+    firewall's default ``max_gap_samples=3``, so gapped series quarantine
+    rather than impute.
+    """
+
+    gap_fraction: float = 0.0
+    stuck_fraction: float = 0.0
+    corrupt_fraction: float = 0.0
+    drop_fraction: float = 0.0
+    gap_samples: int = 5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("gap_fraction", "stuck_fraction", "corrupt_fraction", "drop_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.total_fraction > 1.0:
+            raise ValueError("fault fractions must sum to at most 1")
+        if self.gap_samples < 1:
+            raise ValueError("gap_samples must be positive")
+
+    @property
+    def total_fraction(self) -> float:
+        return (
+            self.gap_fraction
+            + self.stuck_fraction
+            + self.corrupt_fraction
+            + self.drop_fraction
+        )
+
+
+def copy_store(store: KpiStore) -> KpiStore:
+    """Independent copy of a store (series values are copied, not shared)."""
+    out = KpiStore()
+    for element_id in store.element_ids():
+        for kpi in store.kpis_for(element_id):
+            series = store.get(element_id, kpi)
+            out.put(
+                element_id,
+                kpi,
+                TimeSeries(series.values.copy(), series.start, series.freq),
+            )
+    return out
+
+
+def _fault_series(series: TimeSeries, kind: str, change_day: int, spec: FaultSpec) -> TimeSeries:
+    """Apply one fault kind to a series, centred on the comparison windows."""
+    values = series.values.copy()
+    pivot = change_day * series.freq - series.start
+    pivot = max(0, min(pivot, len(values)))
+    if kind == "gap":
+        start = max(0, pivot - spec.gap_samples)
+        values[start:pivot] = np.nan
+    elif kind == "stuck":
+        # Freeze a run straddling the change day, long enough to trip the
+        # default stuck_run_samples=12 on both windows.
+        start = max(0, pivot - 14)
+        stop = min(len(values), pivot + 14)
+        if stop > start:
+            values[start:stop] = values[start]
+    elif kind == "corrupt":
+        # Non-finite samples in the pre-change window: out-of-range for any
+        # KPI, bounded or not.
+        for offset in (2, 5, 9):
+            idx = pivot - offset
+            if 0 <= idx < len(values):
+                values[idx] = np.inf
+    else:
+        raise ValueError(f"unknown fault kind {kind!r}")
+    return TimeSeries(values, series.start, series.freq)
+
+
+def inject_store_faults(
+    store: KpiStore,
+    control_ids: Sequence[ElementId],
+    kpis: Sequence[KpiKind],
+    change_day: int,
+    spec: FaultSpec,
+) -> Tuple[KpiStore, Dict[ElementId, str]]:
+    """Plant data faults into a copy of the store.
+
+    Selects disjoint subsets of ``control_ids`` per fault kind (sizes are
+    the spec's fractions of the control group, rounded down) and applies
+    the fault to every requested KPI of each selected element.  "drop"
+    removes the element's series entirely.  Returns the faulted copy and a
+    ``{element_id: fault_kind}`` map of what was done.
+
+    The selection permutation depends only on ``spec.seed`` and the sorted
+    control ids, so the same spec faults the same elements every run.
+    """
+    rng = np.random.default_rng(spec.seed)
+    ordered = sorted(control_ids)
+    perm = [ordered[i] for i in rng.permutation(len(ordered))]
+    n = len(ordered)
+    plan: Dict[ElementId, str] = {}
+    cursor = 0
+    for kind, fraction in (
+        ("gap", spec.gap_fraction),
+        ("stuck", spec.stuck_fraction),
+        ("corrupt", spec.corrupt_fraction),
+        ("drop", spec.drop_fraction),
+    ):
+        take = min(int(round(fraction * n)), n - cursor)
+        for element_id in perm[cursor : cursor + take]:
+            plan[element_id] = kind
+        cursor += take
+
+    faulted = KpiStore()
+    for element_id in store.element_ids():
+        kind = plan.get(element_id)
+        for kpi in store.kpis_for(element_id):
+            series = store.get(element_id, kpi)
+            if kind is None or KpiKind(kpi) not in tuple(KpiKind(k) for k in kpis):
+                faulted.put(
+                    element_id,
+                    kpi,
+                    TimeSeries(series.values.copy(), series.start, series.freq),
+                )
+            elif kind == "drop":
+                continue
+            else:
+                faulted.put(element_id, kpi, _fault_series(series, kind, change_day, spec))
+    return faulted, plan
+
+
+# ----------------------------------------------------------------------
+# Process faults
+# ----------------------------------------------------------------------
+
+
+def target_task_seed(root_seed: int, n_tasks: int, index: int) -> int:
+    """The spawned seed of task ``index`` in a ``n_tasks``-task fan-out.
+
+    ``Litmus._execute`` arms each task's algorithm via ``with_seed`` with
+    exactly these position-keyed seeds, so a :class:`FaultyAssessor` built
+    from this value faults precisely one deterministic task.
+    """
+    if not 0 <= index < n_tasks:
+        raise ValueError(f"index {index} out of range for {n_tasks} task(s)")
+    return spawn_task_seeds(root_seed, n_tasks)[index]
+
+
+class FaultyAssessor:
+    """Chaos wrapper: fault the task(s) whose spawned seed is targeted.
+
+    Wraps any :class:`~repro.core.litmus.Assessor`; ``with_seed`` arms the
+    wrapper when the task's position-keyed seed is in ``fail_seeds``.  An
+    armed ``compare`` either raises (``mode="raise"`` — exercising per-task
+    error isolation) or kills the worker process outright
+    (``mode="kill"`` — exercising ``BrokenProcessPool`` recovery; only
+    meaningful under the "process" executor).  Instances are picklable, so
+    they cross process-pool boundaries.
+    """
+
+    def __init__(
+        self,
+        inner: Optional[Assessor] = None,
+        fail_seeds: Sequence[int] = (),
+        mode: str = "raise",
+        armed: bool = False,
+    ) -> None:
+        if mode not in ("raise", "kill"):
+            raise ValueError(f"unknown fault mode {mode!r}; use 'raise' or 'kill'")
+        self.inner: Assessor = inner if inner is not None else RobustSpatialRegression()
+        self.fail_seeds = frozenset(int(s) for s in fail_seeds)
+        self.mode = mode
+        self.armed = armed
+        self.name = getattr(self.inner, "name", "faulty")
+
+    def with_seed(self, seed: int) -> "FaultyAssessor":
+        maker = getattr(self.inner, "with_seed", None)
+        inner = maker(seed) if callable(maker) else self.inner
+        return FaultyAssessor(
+            inner, self.fail_seeds, self.mode, armed=int(seed) in self.fail_seeds
+        )
+
+    def compare(
+        self,
+        study_before: np.ndarray,
+        study_after: np.ndarray,
+        control_before: Optional[np.ndarray] = None,
+        control_after: Optional[np.ndarray] = None,
+    ) -> AlgorithmResult:
+        if self.armed:
+            if self.mode == "kill":
+                # Die without cleanup, like an OOM kill or segfault would.
+                os._exit(1)
+            raise RuntimeError("injected task fault (FaultyAssessor)")
+        return self.inner.compare(
+            study_before, study_after, control_before, control_after
+        )
+
+
+# ----------------------------------------------------------------------
+# Stability measurement
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StabilityResult:
+    """Verdict agreement between a fault-free and a faulted assessment."""
+
+    label: str
+    n_pairs: int  # (element, KPI) pairs assessed in the fault-free run
+    n_compared: int  # pairs that produced a verdict in both runs
+    n_matched: int  # compared pairs with identical verdicts
+    n_failed: int  # faulted-run pairs that ended in a typed failure
+    n_quarantined: int  # control series quarantined in the faulted run
+    n_dropped: int  # controls excluded (missing/quarantined) in the faulted run
+
+    @property
+    def agreement(self) -> float:
+        """Fraction of compared pairs whose verdicts match (1.0 = stable)."""
+        return self.n_matched / self.n_compared if self.n_compared else 1.0
+
+    @property
+    def stable(self) -> bool:
+        """True when every clean pair kept its fault-free verdict."""
+        return self.n_compared == self.n_pairs and self.n_matched == self.n_compared
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "n_pairs": self.n_pairs,
+            "n_compared": self.n_compared,
+            "n_matched": self.n_matched,
+            "n_failed": self.n_failed,
+            "n_quarantined": self.n_quarantined,
+            "n_dropped": self.n_dropped,
+            "agreement": self.agreement,
+            "stable": self.stable,
+        }
+
+
+def verdict_stability(
+    topology: Topology,
+    store: KpiStore,
+    change: ChangeEvent,
+    kpis: Sequence[KpiKind],
+    spec: FaultSpec,
+    config: Optional[LitmusConfig] = None,
+    label: str = "",
+    baseline: Optional[ChangeAssessmentReport] = None,
+) -> StabilityResult:
+    """Assess fault-free vs faulted and compare verdicts pair by pair.
+
+    Only control series are faulted, so every (study element, KPI) pair is
+    "clean" — under the quarantine policy each of them must reproduce its
+    fault-free verdict.  The faulted run pins the fault-free control group
+    (selection must not silently re-route around the damage).  Pass a
+    precomputed ``baseline`` report to amortise it across sweep points.
+    """
+    cfg = config or LitmusConfig()
+    if baseline is None:
+        baseline = Litmus(topology, store, cfg).assess(change, kpis)
+    faulted_store, _plan = inject_store_faults(
+        store, baseline.control_group, kpis, change.day, spec
+    )
+    faulted = Litmus(topology, faulted_store, cfg).assess(
+        change, kpis, control_ids=baseline.control_group
+    )
+    base_verdicts = {(a.element_id, a.kpi): a.verdict for a in baseline.assessments}
+    fault_verdicts = {(a.element_id, a.kpi): a.verdict for a in faulted.assessments}
+    compared = [k for k in base_verdicts if k in fault_verdicts]
+    matched = sum(1 for k in compared if base_verdicts[k] == fault_verdicts[k])
+    return StabilityResult(
+        label=label or f"faults:{spec.total_fraction:.0%}",
+        n_pairs=len(base_verdicts),
+        n_compared=len(compared),
+        n_matched=matched,
+        n_failed=len(faulted.failures),
+        n_quarantined=len(faulted.quality.quarantined) if faulted.quality else 0,
+        n_dropped=len(faulted.dropped_controls),
+    )

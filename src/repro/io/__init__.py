@@ -1,6 +1,11 @@
 """Data ingestion and persistence: KPI CSV, topology/change-log JSON."""
 
-from .csv_store import read_store_csv, write_store_csv
+from .csv_store import (
+    IngestReport,
+    read_store_csv,
+    read_store_csv_collect,
+    write_store_csv,
+)
 from .topology_json import (
     changelog_from_json,
     changelog_to_json,
@@ -11,9 +16,11 @@ from .topology_json import (
 )
 
 __all__ = [
+    "IngestReport",
     "changelog_from_json",
     "changelog_to_json",
     "read_store_csv",
+    "read_store_csv_collect",
     "read_topology_json",
     "topology_from_json",
     "topology_to_json",

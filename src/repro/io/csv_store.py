@@ -11,14 +11,25 @@ one measurement per row:
 ``day`` is the integer sample index on the global axis (for sub-daily
 data, the sample index with ``freq`` samples per day, declared once in the
 header comment or via the ``freq`` argument).  Rows per (element, kpi)
-must form a contiguous index range; gaps are rejected rather than silently
-interpolated.
+must form a contiguous index range.
+
+Two error regimes, chosen with ``on_error``:
+
+* ``"raise"`` (default) — the strict boundary: the first malformed row,
+  duplicate day or index gap raises :class:`ValueError`, naming the
+  1-based CSV line number and the offending ``(element_id, kpi)``.
+* ``"collect"`` — the fault-tolerant boundary used by operational
+  pipelines: bad rows are recorded as :class:`~repro.quality.report.BadRow`
+  entries in an :class:`IngestReport`, gaps are filled with NaN (for the
+  downstream quality firewall to impute or quarantine), and everything
+  salvageable is loaded.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
 
@@ -26,9 +37,10 @@ import numpy as np
 
 from ..kpi.metrics import KpiKind
 from ..kpi.store import KpiStore
+from ..quality.report import BadRow
 from ..stats.timeseries import TimeSeries
 
-__all__ = ["write_store_csv", "read_store_csv"]
+__all__ = ["write_store_csv", "read_store_csv", "read_store_csv_collect", "IngestReport"]
 
 _HEADER = ["element_id", "kpi", "day", "value"]
 
@@ -69,51 +81,176 @@ def _parse_freq(first_line: str) -> int:
     return 1
 
 
-def read_store_csv(path: PathLike, freq: int = 0) -> KpiStore:
-    """Load a long-form KPI CSV into a :class:`KpiStore`.
+@dataclass(frozen=True)
+class IngestReport:
+    """What ``read_store_csv(..., on_error="collect")`` salvaged and skipped."""
 
-    ``freq=0`` (default) takes the frequency from the export header
-    comment (1 if absent).  Rows may arrive in any order; each
-    (element, kpi) series must cover a contiguous sample range.
+    #: Rows (or index problems) that could not be used, with 1-based CSV
+    #: line numbers and, where identifiable, the offending (element, kpi).
+    bad_rows: Tuple[BadRow, ...]
+    #: Measurement rows successfully loaded into the store.
+    n_rows: int
+    #: (element, kpi) series materialised.
+    n_series: int
+    #: Samples filled with NaN to bridge index gaps (the quality firewall
+    #: decides downstream whether to impute or quarantine those series).
+    n_gap_samples: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.bad_rows and self.n_gap_samples == 0
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.n_rows} row(s) loaded into {self.n_series} series; "
+            f"{len(self.bad_rows)} bad row(s); "
+            f"{self.n_gap_samples} gap sample(s) NaN-filled"
+        ]
+        lines.extend(f"  {row.describe()}" for row in self.bad_rows)
+        return "\n".join(lines)
+
+
+#: Sample row with line number: (day, value, 1-based CSV line).
+_Sample = Tuple[int, float, int]
+
+
+def _read_rows(
+    path: PathLike, collect: bool
+) -> Tuple[int, Dict[Tuple[str, KpiKind], List[_Sample]], List[BadRow], int]:
+    """Parse the CSV into per-series sample buckets.
+
+    Returns ``(header_freq, buckets, bad_rows, n_rows)``.  In strict mode
+    (``collect=False``) the first malformed row raises instead of being
+    recorded.
     """
-    buckets: Dict[Tuple[str, KpiKind], List[Tuple[int, float]]] = {}
+    buckets: Dict[Tuple[str, KpiKind], List[_Sample]] = {}
+    bad_rows: List[BadRow] = []
+    n_rows = 0
+
+    def bad(line_no: int, element_id: str, kpi: str, reason: str) -> None:
+        if not collect:
+            raise ValueError(f"line {line_no}: {reason}")
+        bad_rows.append(BadRow(line_no, element_id, kpi, reason))
+
     with open(path, newline="") as handle:
         first = handle.readline()
         header_freq = _parse_freq(first)
         if first.startswith("#"):
             reader = csv.reader(handle)
             header = next(reader)
+            data_start = 3  # comment line, then the column header
         else:
             reader = csv.reader(io.StringIO(first + handle.read()))
             header = next(reader)
+            data_start = 2
         if header != _HEADER:
             raise ValueError(f"unexpected CSV header {header!r}; expected {_HEADER!r}")
-        for line_no, row in enumerate(reader, start=3):
+        for line_no, row in enumerate(reader, start=data_start):
             if not row:
                 continue
             if len(row) != 4:
-                raise ValueError(f"line {line_no}: expected 4 fields, got {len(row)}")
+                bad(line_no, "", "", f"malformed row: expected 4 fields, got {len(row)}")
+                continue
             element_id, kpi_name, day_str, value_str = row
             try:
                 kpi = KpiKind(kpi_name)
             except ValueError:
-                raise ValueError(f"line {line_no}: unknown KPI {kpi_name!r}") from None
+                bad(line_no, element_id, kpi_name, f"unknown KPI {kpi_name!r}")
+                continue
             try:
                 day = int(day_str)
                 value = float(value_str)
             except ValueError:
-                raise ValueError(f"line {line_no}: malformed day/value") from None
-            buckets.setdefault((element_id, kpi), []).append((day, value))
+                bad(
+                    line_no,
+                    element_id,
+                    kpi.value,
+                    f"malformed day/value ({day_str!r}, {value_str!r})",
+                )
+                continue
+            buckets.setdefault((element_id, kpi), []).append((day, value, line_no))
+            n_rows += 1
+    return header_freq, buckets, bad_rows, n_rows
+
+
+def read_store_csv(
+    path: PathLike, freq: int = 0, on_error: str = "raise"
+) -> Union[KpiStore, Tuple[KpiStore, IngestReport]]:
+    """Load a long-form KPI CSV into a :class:`KpiStore`.
+
+    ``freq=0`` (default) takes the frequency from the export header
+    comment (1 if absent).  Rows may arrive in any order; each
+    (element, kpi) series must cover a contiguous sample range.
+
+    ``on_error="raise"`` (default) raises :class:`ValueError` on the first
+    problem, naming the 1-based CSV line and the offending
+    ``(element_id, kpi)``; the return value is the store alone.
+    ``on_error="collect"`` returns ``(store, IngestReport)`` instead:
+    malformed rows are skipped and recorded, duplicate days keep the first
+    occurrence, and index gaps are NaN-filled for the downstream quality
+    firewall.
+    """
+    if on_error not in ("raise", "collect"):
+        raise ValueError(f"unknown on_error mode {on_error!r}; use 'raise' or 'collect'")
+    collect = on_error == "collect"
+    header_freq, buckets, bad_rows, n_rows = _read_rows(path, collect)
 
     use_freq = freq or header_freq
     store = KpiStore()
+    n_gap_samples = 0
     for (element_id, kpi), samples in buckets.items():
-        samples.sort(key=lambda pair: pair[0])
-        days = [d for d, _ in samples]
-        if days != list(range(days[0], days[0] + len(days))):
-            raise ValueError(
-                f"series {element_id!r}/{kpi.value!r} has gaps or duplicate days"
-            )
-        values = np.array([v for _, v in samples])
-        store.put(element_id, kpi, TimeSeries(values, start=days[0], freq=use_freq))
-    return store
+        samples.sort(key=lambda item: (item[0], item[2]))
+        seen: Dict[int, int] = {}
+        deduped: List[_Sample] = []
+        for day, value, line_no in samples:
+            if day in seen:
+                reason = (
+                    f"series {element_id!r}/{kpi.value!r} has gaps or duplicate "
+                    f"days: day {day} repeated (first at line {seen[day]})"
+                )
+                if not collect:
+                    raise ValueError(f"line {line_no}: {reason}")
+                bad_rows.append(BadRow(line_no, element_id, kpi.value, reason))
+                n_rows -= 1
+                continue
+            seen[day] = line_no
+            deduped.append((day, value, line_no))
+
+        start = deduped[0][0]
+        span = deduped[-1][0] - start + 1
+        if span != len(deduped):
+            missing = span - len(deduped)
+            if not collect:
+                # Name the first row after a gap so the operator can look
+                # straight at the hole in the source file.
+                prev_day = start
+                for day, _, line_no in deduped[1:]:
+                    if day != prev_day + 1:
+                        raise ValueError(
+                            f"line {line_no}: series {element_id!r}/{kpi.value!r} "
+                            f"has gaps or duplicate days: {day - prev_day - 1} "
+                            f"missing day(s) before day {day}"
+                        )
+                    prev_day = day
+            values = np.full(span, np.nan)
+            for day, value, _ in deduped:
+                values[day - start] = value
+            n_gap_samples += missing
+        else:
+            values = np.array([v for _, v, _ in deduped])
+        store.put(element_id, kpi, TimeSeries(values, start=start, freq=use_freq))
+
+    if not collect:
+        return store
+    return store, IngestReport(
+        bad_rows=tuple(bad_rows),
+        n_rows=n_rows,
+        n_series=len(buckets),
+        n_gap_samples=n_gap_samples,
+    )
+
+
+def read_store_csv_collect(path: PathLike, freq: int = 0) -> Tuple[KpiStore, IngestReport]:
+    """Convenience wrapper for ``read_store_csv(..., on_error="collect")``."""
+    store, report = read_store_csv(path, freq, on_error="collect")
+    return store, report

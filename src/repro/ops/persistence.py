@@ -103,6 +103,13 @@ class PersistentAssessor:
                 if kind in per_window[(offset, length)]
             )
             verdicts = {w.verdict for w in window_verdicts}
-            confirmed = window_verdicts[0].verdict if len(verdicts) == 1 else None
+            # A KPI with no surviving window verdict (every task for it
+            # failed or was quarantined) is inconclusive, never confirmed —
+            # absence of evidence must not read as "no impact".
+            confirmed = (
+                window_verdicts[0].verdict
+                if window_verdicts and len(verdicts) == 1
+                else None
+            )
             out.append(ConfirmedAssessment(kind, window_verdicts, confirmed))
         return out

@@ -1,0 +1,59 @@
+"""Data-quality firewall for the assessment pipeline.
+
+Real carrier telemetry arrives with gaps, stuck counters, out-of-range
+ratios and late or duplicated rows.  The paper's algorithms assume clean
+windows; this subsystem is the boundary between the two worlds:
+
+* :mod:`repro.quality.checks` — per-series diagnostics (gap / NaN runs,
+  stuck-at-constant counters, out-of-range ratio values) plus the
+  seasonal-median imputation built on :mod:`repro.stats.deseasonalize`;
+* :mod:`repro.quality.firewall` — policy application ("reject", "impute",
+  "quarantine") over study/control panels, the exact arrays the
+  assessment algorithms consume;
+* :mod:`repro.quality.report` — the structured :class:`QualityReport`
+  attached to every assessment, so degraded coverage is auditable.
+
+The firewall never changes a verdict on clean data: screening a series
+without issues returns it untouched, and the per-task seeds of the
+assessment fan-out are position-keyed, so quarantining a faulted control
+leaves every clean (element, KPI) task's random stream intact.
+"""
+
+from .checks import (
+    POLICIES,
+    IssueKind,
+    QualityConfig,
+    QualityIssue,
+    check_values,
+    find_nan_runs,
+    impute_gaps,
+)
+from .firewall import ScreenedPanel, screen_panel, screen_series, screen_windows
+from .report import (
+    BadRow,
+    QualityLedger,
+    QualityReport,
+    QuarantinedControl,
+    SeriesQuality,
+)
+from ..stats.rank_tests import DataQualityError
+
+__all__ = [
+    "BadRow",
+    "DataQualityError",
+    "IssueKind",
+    "POLICIES",
+    "QualityConfig",
+    "QualityIssue",
+    "QualityLedger",
+    "QualityReport",
+    "QuarantinedControl",
+    "ScreenedPanel",
+    "SeriesQuality",
+    "check_values",
+    "find_nan_runs",
+    "impute_gaps",
+    "screen_panel",
+    "screen_series",
+    "screen_windows",
+]

@@ -1,0 +1,216 @@
+"""Per-series data-quality diagnostics and seasonal imputation.
+
+The checks run on exactly the windowed arrays the assessment algorithms
+consume, so what the firewall certifies is what the regression sees.  All
+checks are plain numpy scans — a screened task costs microseconds, which
+is what lets the firewall sit on the hot path of every assessment.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..kpi.metrics import KpiKind, get_kpi
+from ..stats.deseasonalize import weekly_profile
+from ..stats.timeseries import TimeSeries
+
+__all__ = [
+    "POLICIES",
+    "IssueKind",
+    "QualityIssue",
+    "QualityConfig",
+    "find_nan_runs",
+    "check_values",
+    "impute_gaps",
+]
+
+#: The configurable firewall policies, in increasing order of tolerance:
+#: "reject" raises on any issue (the pre-firewall behaviour, made typed),
+#: "impute" fills small gaps and corrupt points with seasonal medians,
+#: "quarantine" excludes faulted series from the comparison entirely.
+POLICIES = ("reject", "impute", "quarantine")
+
+#: Cap on positions recorded per issue so a fully-faulted series cannot
+#: bloat a report.
+_MAX_POSITIONS = 16
+
+
+class IssueKind(str, enum.Enum):
+    """Vocabulary of per-series data-quality defects."""
+
+    GAP = "gap"  # missing samples (NaN run) on the series axis
+    STUCK = "stuck-constant"  # counter frozen at one value
+    OUT_OF_RANGE = "out-of-range"  # ratio outside [0, 1], or non-finite
+    DUPLICATE = "duplicate-index"  # same sample index reported twice
+    MISALIGNED = "misaligned-index"  # sample index off the declared grid
+    MALFORMED = "malformed-row"  # unparseable ingestion row
+
+
+@dataclass(frozen=True)
+class QualityIssue:
+    """One defect found in one series."""
+
+    kind: IssueKind
+    #: Sample indices affected (local to the checked array; capped).
+    positions: Tuple[int, ...]
+    #: Total number of affected samples (may exceed ``len(positions)``).
+    count: int
+    detail: str = ""
+
+    def describe(self) -> str:
+        return f"{self.kind.value}: {self.detail or f'{self.count} sample(s)'}"
+
+
+@dataclass(frozen=True)
+class QualityConfig:
+    """Knobs of the data-quality firewall.
+
+    ``policy`` is one of :data:`POLICIES`.  ``max_gap_samples`` bounds the
+    NaN-run length the "impute" policy will fill (longer gaps quarantine
+    the series instead — seasonal medians cannot recover a week of missing
+    telemetry).  ``stuck_run_samples`` is the shortest run of bit-identical
+    consecutive values flagged as a frozen counter; KPI series carry
+    day-to-day noise, so long exact-constant runs indicate a stuck
+    aggregation pipeline rather than a quiet network.
+    """
+
+    policy: str = "quarantine"
+    max_gap_samples: int = 3
+    stuck_run_samples: int = 12
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown quality policy {self.policy!r}; use one of {POLICIES}")
+        if self.max_gap_samples < 1:
+            raise ValueError("max_gap_samples must be positive")
+        if self.stuck_run_samples < 3:
+            raise ValueError("stuck_run_samples must be at least 3")
+
+
+def find_nan_runs(values: np.ndarray) -> List[Tuple[int, int]]:
+    """Maximal NaN runs as ``(start, length)`` pairs, in order."""
+    mask = np.isnan(np.asarray(values, dtype=float))
+    if not mask.any():
+        return []
+    padded = np.diff(np.concatenate([[0], mask.view(np.int8), [0]]))
+    starts = np.flatnonzero(padded == 1)
+    ends = np.flatnonzero(padded == -1)
+    return [(int(s), int(e - s)) for s, e in zip(starts, ends)]
+
+
+def _constant_runs(values: np.ndarray, min_run: int) -> List[Tuple[int, int]]:
+    """Maximal runs of bit-identical consecutive finite values >= min_run."""
+    runs: List[Tuple[int, int]] = []
+    n = len(values)
+    i = 0
+    while i < n:
+        if not np.isfinite(values[i]):
+            i += 1
+            continue
+        j = i
+        while j + 1 < n and values[j + 1] == values[i]:
+            j += 1
+        if j - i + 1 >= min_run:
+            runs.append((i, j - i + 1))
+        i = j + 1
+    return runs
+
+
+def check_values(
+    values: np.ndarray,
+    kpi: Optional[KpiKind] = None,
+    config: Optional[QualityConfig] = None,
+) -> List[QualityIssue]:
+    """Diagnose one series window; returns the issues found (empty = clean).
+
+    ``kpi`` enables the range check for bounded-ratio KPIs; without it only
+    non-finite values are flagged as out-of-range.
+    """
+    cfg = config or QualityConfig()
+    arr = np.asarray(values, dtype=float).ravel()
+    issues: List[QualityIssue] = []
+
+    for start, length in find_nan_runs(arr):
+        issues.append(
+            QualityIssue(
+                IssueKind.GAP,
+                positions=tuple(range(start, min(start + length, start + _MAX_POSITIONS))),
+                count=length,
+                detail=f"{length} missing sample(s) at index {start}",
+            )
+        )
+
+    bad = np.isinf(arr)
+    if kpi is not None and get_kpi(kpi).bounded_unit_interval:
+        finite = np.isfinite(arr)
+        bad = bad | (finite & ((arr < 0.0) | (arr > 1.0)))
+    if bad.any():
+        where = np.flatnonzero(bad)
+        issues.append(
+            QualityIssue(
+                IssueKind.OUT_OF_RANGE,
+                positions=tuple(int(i) for i in where[:_MAX_POSITIONS]),
+                count=int(bad.sum()),
+                detail=f"{int(bad.sum())} value(s) outside the KPI's valid range",
+            )
+        )
+
+    for start, length in _constant_runs(arr, cfg.stuck_run_samples):
+        issues.append(
+            QualityIssue(
+                IssueKind.STUCK,
+                positions=tuple(range(start, min(start + length, start + _MAX_POSITIONS))),
+                count=length,
+                detail=f"constant for {length} consecutive samples from index {start}",
+            )
+        )
+    return issues
+
+
+def impute_gaps(
+    values: np.ndarray,
+    start: int = 0,
+    max_gap_samples: int = 3,
+    period: int = 7,
+) -> Optional[Tuple[np.ndarray, int]]:
+    """Seasonal-median fill of NaN runs no longer than ``max_gap_samples``.
+
+    Each missing sample is replaced by the series' overall median plus its
+    seasonal offset — for the daily period of 7 this reuses
+    :func:`repro.stats.deseasonalize.weekly_profile` (NaN-aware), so a
+    missing Saturday is filled with Saturday-like behaviour, not the weekday
+    level.  ``start`` anchors the values on the global axis so the phase is
+    computed correctly for windows that do not begin on day 0.
+
+    Returns ``(filled, n_imputed)``, or ``None`` when the series cannot be
+    imputed (a gap longer than ``max_gap_samples``, or too little finite
+    data to estimate the seasonal profile).
+    """
+    arr = np.asarray(values, dtype=float).ravel().copy()
+    runs = find_nan_runs(arr)
+    if not runs:
+        return arr, 0
+    if any(length > max_gap_samples for _, length in runs):
+        return None
+    finite = arr[np.isfinite(arr)]
+    if finite.size < period:
+        return None
+    overall = float(np.median(finite))
+    if period == 7:
+        offsets = weekly_profile(TimeSeries(np.where(np.isfinite(arr), arr, np.nan), start))
+    else:
+        offsets = np.empty(period)
+        phase = (start + np.arange(len(arr))) % period
+        for p in range(period):
+            vals = arr[(phase == p) & np.isfinite(arr)]
+            offsets[p] = (float(np.median(vals)) - overall) if vals.size else 0.0
+    n_imputed = 0
+    for run_start, length in runs:
+        for i in range(run_start, run_start + length):
+            arr[i] = overall + offsets[(start + i) % period]
+            n_imputed += 1
+    return arr, n_imputed

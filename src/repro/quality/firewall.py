@@ -1,0 +1,229 @@
+"""Policy application over the series and panels the algorithms consume.
+
+:func:`screen_windows` disposes of one series — presented as one or more
+windows on the global axis — under the configured policy;
+:func:`screen_series` is its single-window convenience form and
+:func:`screen_panel` applies the policy across a whole study/control panel
+— the entry point both for :meth:`repro.core.litmus.Litmus.assess` (per
+series while preparing tasks) and for the fault-injection harness, which
+screens the synthetic Table-4 arrays directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..kpi.metrics import KpiKind, get_kpi
+from ..stats.rank_tests import DataQualityError
+from .checks import IssueKind, QualityConfig, QualityIssue, check_values, impute_gaps
+from .report import QualityLedger, QualityReport, SeriesQuality
+
+__all__ = ["screen_windows", "screen_series", "screen_panel", "ScreenedPanel"]
+
+#: (values, global_start) pieces of one logical series.
+WindowPieces = Sequence[Tuple[np.ndarray, int]]
+
+
+def _mask_out_of_range(values: np.ndarray, kpi: Optional[KpiKind]) -> np.ndarray:
+    """Corrupt points become missing points, ready for gap imputation."""
+    masked = values.copy()
+    masked[np.isinf(masked)] = np.nan
+    if kpi is not None and get_kpi(kpi).bounded_unit_interval:
+        bad = np.isfinite(masked) & ((masked < 0.0) | (masked > 1.0))
+        masked[bad] = np.nan
+    return masked
+
+
+def screen_windows(
+    pieces: WindowPieces,
+    *,
+    element_id: str,
+    kpi: Optional[KpiKind],
+    role: str,
+    config: QualityConfig,
+) -> Tuple[Optional[List[np.ndarray]], SeriesQuality]:
+    """Screen one series, given as one or more windows, under the policy.
+
+    The windows (e.g. the pre-change training span and an offset post-change
+    window) are diagnosed together — one disposition covers the series —
+    but imputed per window so the seasonal phase stays anchored to each
+    window's global start.  Returns ``(usable_windows, diagnosis)`` where
+    ``usable_windows`` is ``None`` when the series must not reach the
+    algorithms.  Under ``policy="reject"`` any issue raises
+    :class:`DataQualityError` instead.
+    """
+    arrays = [np.asarray(values, dtype=float).ravel() for values, _ in pieces]
+    starts = [start for _, start in pieces]
+    kpi_name = kpi.value if kpi is not None else ""
+    issues: List[QualityIssue] = []
+    for arr in arrays:
+        issues.extend(check_values(arr, kpi, config))
+    if not issues:
+        return arrays, SeriesQuality(element_id, kpi_name, role, "kept")
+
+    if config.policy == "reject":
+        raise DataQualityError(
+            f"{role} series {element_id!r}/{kpi_name or '?'} failed quality "
+            "checks under policy 'reject': "
+            + "; ".join(issue.describe() for issue in issues)
+        )
+
+    if config.policy == "impute":
+        # Out-of-range points are treated as missing and seasonal-filled
+        # together with the gaps; a frozen counter cannot be imputed (the
+        # values are present but untrustworthy), nor can a gap longer than
+        # max_gap_samples.
+        imputable = {IssueKind.GAP, IssueKind.OUT_OF_RANGE}
+        if all(issue.kind in imputable for issue in issues):
+            filled_windows: List[np.ndarray] = []
+            total_imputed = 0
+            for arr, start in zip(arrays, starts):
+                masked = _mask_out_of_range(arr, kpi)
+                filled = impute_gaps(
+                    masked, start=start, max_gap_samples=config.max_gap_samples
+                )
+                if filled is None:
+                    break
+                filled_windows.append(filled[0])
+                total_imputed += filled[1]
+            else:
+                return filled_windows, SeriesQuality(
+                    element_id, kpi_name, role, "imputed", tuple(issues), total_imputed
+                )
+        # Fall through: not imputable -> quarantine instead.
+
+    return None, SeriesQuality(element_id, kpi_name, role, "quarantined", tuple(issues))
+
+
+def screen_series(
+    values: np.ndarray,
+    *,
+    element_id: str,
+    kpi: Optional[KpiKind],
+    role: str,
+    config: QualityConfig,
+    start: int = 0,
+) -> Tuple[Optional[np.ndarray], SeriesQuality]:
+    """Single-window form of :func:`screen_windows`."""
+    windows, quality = screen_windows(
+        [(values, start)], element_id=element_id, kpi=kpi, role=role, config=config
+    )
+    return (windows[0] if windows is not None else None), quality
+
+
+@dataclass(frozen=True)
+class ScreenedPanel:
+    """Outcome of screening one (study, controls) comparison panel."""
+
+    study_before: Optional[np.ndarray]
+    study_after: Optional[np.ndarray]
+    control_before: Optional[np.ndarray]
+    control_after: Optional[np.ndarray]
+    #: Indices (into the original control columns) that survived.
+    kept_controls: Tuple[int, ...]
+    report: QualityReport
+    #: Why the panel is unusable (None when the comparison can run).
+    failure: Optional[str] = None
+
+    @property
+    def usable(self) -> bool:
+        return self.failure is None
+
+
+def screen_panel(
+    study_before: np.ndarray,
+    study_after: np.ndarray,
+    control_before: Optional[np.ndarray],
+    control_after: Optional[np.ndarray],
+    *,
+    kpi: Optional[KpiKind] = None,
+    config: Optional[QualityConfig] = None,
+    min_controls: int = 2,
+    study_id: str = "study",
+    control_ids: Optional[Sequence[str]] = None,
+    start: int = 0,
+) -> ScreenedPanel:
+    """Screen a full comparison panel under the firewall policy.
+
+    The study's before/after windows are screened as one logical series
+    (an unusable study fails the whole panel — there is nothing to
+    quarantine it against), then every control column independently.
+    Quarantined columns are removed; if fewer than ``min_controls``
+    survive, the panel is unusable.  ``policy="reject"`` raises on the
+    first issue instead.  ``start`` is the global index of the first
+    before-window sample; the after window is assumed to follow
+    contiguously (the synthetic-injection layout).
+    """
+    cfg = config or QualityConfig()
+    ledger = QualityLedger(cfg.policy)
+    yb = np.asarray(study_before, dtype=float).ravel()
+    ya = np.asarray(study_after, dtype=float).ravel()
+    after_start = start + yb.size
+
+    windows, study_quality = screen_windows(
+        [(yb, start), (ya, after_start)],
+        element_id=study_id,
+        kpi=kpi,
+        role="study",
+        config=cfg,
+    )
+    if windows is None:
+        study_quality = SeriesQuality(
+            study_quality.element_id,
+            study_quality.kpi,
+            study_quality.role,
+            "failed",
+            study_quality.issues,
+        )
+    ledger.record(study_quality)
+    if windows is None:
+        return ScreenedPanel(
+            None, None, None, None, (), ledger.freeze(),
+            failure=f"study series unusable: {study_quality.describe()}",
+        )
+    yb, ya = windows
+
+    if control_before is None or control_after is None:
+        return ScreenedPanel(yb, ya, None, None, (), ledger.freeze())
+
+    xb = np.atleast_2d(np.asarray(control_before, dtype=float))
+    xa = np.atleast_2d(np.asarray(control_after, dtype=float))
+    n = xb.shape[1]
+    names = list(control_ids) if control_ids is not None else [f"control-{j}" for j in range(n)]
+    kept: List[int] = []
+    cb_cols: List[np.ndarray] = []
+    ca_cols: List[np.ndarray] = []
+    for j in range(n):
+        col_windows, quality = screen_windows(
+            [(xb[:, j], start), (xa[:, j], after_start)],
+            element_id=str(names[j]),
+            kpi=kpi,
+            role="control",
+            config=cfg,
+        )
+        ledger.record(quality)
+        if col_windows is None:
+            continue
+        kept.append(j)
+        cb_cols.append(col_windows[0])
+        ca_cols.append(col_windows[1])
+
+    if len(kept) < min_controls:
+        return ScreenedPanel(
+            yb, ya, None, None, tuple(kept), ledger.freeze(),
+            failure=(
+                f"only {len(kept)} of {n} control series survived quality "
+                f"screening (need >= {min_controls})"
+            ),
+        )
+    return ScreenedPanel(
+        yb,
+        ya,
+        np.column_stack(cb_cols),
+        np.column_stack(ca_cols),
+        tuple(kept),
+        ledger.freeze(),
+    )

@@ -1,0 +1,181 @@
+"""Structured quality reporting attached to every assessment.
+
+A :class:`QualityReport` travels with a
+:class:`~repro.core.litmus.ChangeAssessmentReport` and answers the
+operator's first question about a degraded run: *what exactly was wrong
+with the data, and what did the pipeline do about it?*  It is built
+incrementally through a :class:`QualityLedger` while the engine prepares
+tasks, then frozen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .checks import QualityIssue
+
+__all__ = [
+    "BadRow",
+    "SeriesQuality",
+    "QuarantinedControl",
+    "QualityReport",
+    "QualityLedger",
+]
+
+
+@dataclass(frozen=True)
+class BadRow:
+    """One ingestion row that could not be used (see ``io.csv_store``)."""
+
+    line_no: int  # 1-based line number in the source file
+    element_id: str  # "" when the row was too malformed to tell
+    kpi: str  # "" when the row was too malformed to tell
+    reason: str
+
+    def describe(self) -> str:
+        who = f" ({self.element_id}/{self.kpi})" if self.element_id else ""
+        return f"line {self.line_no}{who}: {self.reason}"
+
+
+@dataclass(frozen=True)
+class SeriesQuality:
+    """Diagnosis and disposition of one screened series."""
+
+    element_id: str
+    kpi: str
+    role: str  # "study" or "control"
+    action: str  # "kept", "imputed", "quarantined", or "failed"
+    issues: Tuple[QualityIssue, ...] = ()
+    n_imputed: int = 0
+
+    def describe(self) -> str:
+        what = "; ".join(issue.describe() for issue in self.issues) or "clean"
+        extra = f", {self.n_imputed} sample(s) imputed" if self.n_imputed else ""
+        return f"{self.role} {self.element_id}/{self.kpi}: {self.action} ({what}{extra})"
+
+
+@dataclass(frozen=True)
+class QuarantinedControl:
+    """A control excluded from the comparison, with typed reasons."""
+
+    element_id: str
+    kpi: str
+    reasons: Tuple[str, ...]  # IssueKind values
+
+    def describe(self) -> str:
+        return f"{self.element_id}/{self.kpi}: {', '.join(self.reasons)}"
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Everything the data-quality firewall did during one assessment."""
+
+    policy: str
+    #: Diagnoses of series that needed action (clean series are counted,
+    #: not listed, to keep reports proportional to the damage).
+    series: Tuple[SeriesQuality, ...] = ()
+    quarantined: Tuple[QuarantinedControl, ...] = ()
+    bad_rows: Tuple[BadRow, ...] = ()
+    n_series_checked: int = 0
+
+    @property
+    def n_imputed(self) -> int:
+        """Total samples filled by the imputation across all series."""
+        return sum(s.n_imputed for s in self.series)
+
+    @property
+    def clean(self) -> bool:
+        """True when the firewall saw no issues at all."""
+        return not self.series and not self.quarantined and not self.bad_rows
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "n_series_checked": self.n_series_checked,
+            "n_imputed": self.n_imputed,
+            "series": [
+                {
+                    "element_id": s.element_id,
+                    "kpi": s.kpi,
+                    "role": s.role,
+                    "action": s.action,
+                    "n_imputed": s.n_imputed,
+                    "issues": [
+                        {"kind": i.kind.value, "count": i.count, "detail": i.detail}
+                        for i in s.issues
+                    ],
+                }
+                for s in self.series
+            ],
+            "quarantined": [
+                {"element_id": q.element_id, "kpi": q.kpi, "reasons": list(q.reasons)}
+                for q in self.quarantined
+            ],
+            "bad_rows": [
+                {
+                    "line": r.line_no,
+                    "element_id": r.element_id,
+                    "kpi": r.kpi,
+                    "reason": r.reason,
+                }
+                for r in self.bad_rows
+            ],
+        }
+
+    def to_text(self) -> str:
+        lines = [
+            f"data quality (policy={self.policy}): "
+            f"{self.n_series_checked} series checked, "
+            f"{len(self.quarantined)} quarantined, {self.n_imputed} sample(s) imputed"
+        ]
+        lines.extend(f"  quarantined {q.describe()}" for q in self.quarantined)
+        lines.extend(
+            f"  {s.describe()}" for s in self.series if s.action != "quarantined"
+        )
+        lines.extend(f"  bad row: {r.describe()}" for r in self.bad_rows)
+        return "\n".join(lines)
+
+
+class QualityLedger:
+    """Mutable accumulator the engine writes while preparing tasks."""
+
+    def __init__(self, policy: str) -> None:
+        self.policy = policy
+        self._series: List[SeriesQuality] = []
+        self._quarantined: List[QuarantinedControl] = []
+        self._bad_rows: List[BadRow] = []
+        self._seen: set = set()
+        self.n_checked = 0
+
+    def record(self, quality: SeriesQuality) -> None:
+        """Add one diagnosis; duplicate (element, kpi, role) entries from
+        tasks sharing a control are collapsed."""
+        self.n_checked += 1
+        if quality.action == "kept" and not quality.issues:
+            return
+        key = (quality.element_id, quality.kpi, quality.role)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._series.append(quality)
+        if quality.role == "control" and quality.action == "quarantined":
+            self._quarantined.append(
+                QuarantinedControl(
+                    quality.element_id,
+                    quality.kpi,
+                    tuple(sorted({i.kind.value for i in quality.issues})),
+                )
+            )
+
+    def add_bad_rows(self, rows: Tuple[BadRow, ...]) -> None:
+        self._bad_rows.extend(rows)
+
+    def freeze(self) -> QualityReport:
+        return QualityReport(
+            policy=self.policy,
+            series=tuple(self._series),
+            quarantined=tuple(self._quarantined),
+            bad_rows=tuple(self._bad_rows),
+            n_series_checked=self.n_checked,
+        )

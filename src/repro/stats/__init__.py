@@ -49,6 +49,7 @@ from .linreg import (
 )
 from .rank_tests import (
     Alternative,
+    DataQualityError,
     Direction,
     TestResult,
     compare_windows,
@@ -64,6 +65,7 @@ __all__ = [
     "BatchedLinearModel",
     "ChangePoint",
     "ChangeSignature",
+    "DataQualityError",
     "Direction",
     "Frequency",
     "LinearModel",

@@ -31,7 +31,9 @@ def weekly_profile(series: TimeSeries) -> np.ndarray:
     """Median value per day-of-week (day 0 of the axis is a Monday).
 
     Computed with medians so one anomalous Tuesday does not distort the
-    Tuesday baseline.
+    Tuesday baseline.  NaN samples (gaps on the global axis) are ignored,
+    which is what lets the quality firewall's seasonal-median imputation
+    reuse this profile on gappy telemetry.
     """
     if series.freq != 1:
         raise ValueError("weekly_profile expects a daily series")
@@ -39,8 +41,10 @@ def weekly_profile(series: TimeSeries) -> np.ndarray:
     dow = series.index % 7
     for day in range(7):
         values = series.values[dow == day]
+        values = values[~np.isnan(values)]
         profile[day] = np.median(values) if values.size else np.nan
-    overall = float(np.median(series.values)) if len(series) else np.nan
+    finite = series.values[~np.isnan(series.values)]
+    overall = float(np.median(finite)) if finite.size else np.nan
     profile = np.where(np.isnan(profile), overall, profile)
     return profile - overall  # offsets around the overall level
 

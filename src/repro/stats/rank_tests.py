@@ -26,6 +26,7 @@ import numpy as np
 
 __all__ = [
     "Alternative",
+    "DataQualityError",
     "Direction",
     "TestResult",
     "mann_whitney_u",
@@ -36,6 +37,49 @@ __all__ = [
 ]
 
 ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+class DataQualityError(ValueError):
+    """A statistical routine received data it cannot meaningfully test.
+
+    Subclasses :class:`ValueError` so callers that matched the old generic
+    error keep working, while the assessment engine can route the failure
+    into its per-task taxonomy instead of crashing the whole report.
+    ``nan_counts`` holds the NaN count per input sample and
+    ``nan_positions`` the offending indices per input sample (capped at
+    :attr:`MAX_POSITIONS` each so a fully-NaN series cannot bloat reports).
+    """
+
+    MAX_POSITIONS = 16
+
+    def __init__(
+        self,
+        message: str,
+        nan_counts: Tuple[int, ...] = (),
+        nan_positions: Tuple[Tuple[int, ...], ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.nan_counts = tuple(nan_counts)
+        self.nan_positions = tuple(tuple(p) for p in nan_positions)
+
+    @classmethod
+    def from_samples(cls, *samples: np.ndarray) -> "DataQualityError":
+        counts = []
+        positions = []
+        for sample in samples:
+            mask = np.isnan(np.asarray(sample, dtype=float))
+            counts.append(int(mask.sum()))
+            positions.append(tuple(int(i) for i in np.flatnonzero(mask)[: cls.MAX_POSITIONS]))
+        where = "; ".join(
+            f"sample {i}: {c} NaN at {list(p)}"
+            for i, (c, p) in enumerate(zip(counts, positions))
+            if c
+        )
+        return cls(
+            f"samples must not contain NaN ({where})",
+            nan_counts=tuple(counts),
+            nan_positions=tuple(positions),
+        )
 
 
 class Alternative(str, enum.Enum):
@@ -87,7 +131,7 @@ def _validate(x: ArrayLike, y: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
     if a.size == 0 or b.size == 0:
         raise ValueError("both samples must be non-empty")
     if np.isnan(a).any() or np.isnan(b).any():
-        raise ValueError("samples must not contain NaN")
+        raise DataQualityError.from_samples(a, b)
     return a, b
 
 

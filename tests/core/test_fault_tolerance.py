@@ -1,0 +1,232 @@
+"""Tests for the fault-tolerant fan-out (run_tasks) and the engine's
+graceful degradation: one bad task yields one failed entry, never an
+aborted assessment."""
+
+import os
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import parallel
+from repro.core.config import LitmusConfig
+from repro.core.litmus import Litmus
+from repro.core.parallel import (
+    FAILURE_CATEGORIES,
+    TaskOutcome,
+    classify_exception,
+    executor_pool,
+    run_tasks,
+)
+from repro.core.regression import RobustSpatialRegression
+from repro.evaluation.faults import FaultyAssessor, target_task_seed
+from repro.kpi.generator import generate_kpis
+from repro.kpi.metrics import KpiKind
+from repro.network.builder import build_network
+from repro.network.changes import ChangeEvent, ChangeType
+from repro.network.technology import ElementRole
+from repro.stats.rank_tests import DataQualityError
+
+VR = KpiKind.VOICE_RETAINABILITY
+DR = KpiKind.DATA_RETAINABILITY
+CHANGE_DAY = 85
+
+
+def _double(x):
+    return 2 * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError(f"bad payload {x}")
+    return 2 * x
+
+
+def _die_on_three(x):
+    if x == 3:
+        os._exit(1)  # kill the worker process, no cleanup
+    return 2 * x
+
+
+def _sleep_on_three(x):
+    if x == 3:
+        time.sleep(5.0)
+    return 2 * x
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "exc,category",
+        [
+            (DataQualityError("bad"), "data-quality"),
+            (TimeoutError("slow"), "timeout"),
+            (np.linalg.LinAlgError("singular"), "numerical"),
+            (ZeroDivisionError(), "numerical"),
+            (ValueError("nope"), "invalid-input"),
+            (KeyError("missing"), "invalid-input"),
+            (RuntimeError("boom"), "runtime"),
+            (OSError("disk"), "runtime"),
+        ],
+    )
+    def test_taxonomy(self, exc, category):
+        assert category in FAILURE_CATEGORIES
+        assert classify_exception(exc) == category
+
+    def test_data_quality_wins_over_value_error(self):
+        # DataQualityError subclasses ValueError; the specific label wins.
+        assert issubclass(DataQualityError, ValueError)
+        assert classify_exception(DataQualityError.from_samples(np.array([np.nan]))) == "data-quality"
+
+
+class TestRunTasksSerial:
+    def test_results_in_payload_order(self):
+        outcomes = run_tasks(_double, [3, 1, 2], n_workers=1)
+        assert [o.value for o in outcomes] == [6, 2, 4]
+        assert all(o.ok for o in outcomes)
+
+    def test_exception_isolated_not_raised(self):
+        outcomes = run_tasks(_fail_on_three, [1, 3, 5], n_workers=1)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        failure = outcomes[1].failure
+        assert failure.category == "invalid-input"
+        assert failure.error_type == "ValueError"
+        assert "bad payload 3" in failure.message
+
+    def test_empty_payloads(self):
+        assert run_tasks(_double, [], n_workers=1) == []
+
+
+class TestRunTasksPool:
+    def test_thread_pool_matches_serial(self):
+        payloads = list(range(8))
+        serial = run_tasks(_fail_on_three, payloads, n_workers=1)
+        pooled = run_tasks(_fail_on_three, payloads, executor="thread", n_workers=4)
+        assert [o.value for o in serial] == [o.value for o in pooled]
+        assert [o.ok for o in serial] == [o.ok for o in pooled]
+
+    def test_worker_crash_recovered_others_survive(self):
+        """A killed worker fails only its own task; siblings in flight when
+        the pool broke are re-run and succeed."""
+        payloads = list(range(6))
+        outcomes = run_tasks(
+            _die_on_three, payloads, executor="process", n_workers=2, retries=1
+        )
+        assert [o.ok for o in outcomes] == [True, True, True, False, True, True]
+        assert [o.value for o in outcomes if o.ok] == [0, 2, 4, 8, 10]
+        assert outcomes[3].failure.category == "worker-crash"
+
+    def test_crash_with_no_retries_files_all_unfinished(self):
+        outcomes = run_tasks(
+            _die_on_three, [3], executor="process", n_workers=1, retries=0
+        )
+        assert not outcomes[0].ok
+        assert outcomes[0].failure.category == "worker-crash"
+
+    def test_timeout_becomes_typed_failure(self):
+        outcomes = run_tasks(
+            _sleep_on_three, [1, 3, 5], executor="thread", n_workers=3, timeout=0.5
+        )
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[1].failure.category == "timeout"
+        assert "0.5" in outcomes[1].failure.message
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError, match="retries"):
+            run_tasks(_double, [1], retries=-1)
+
+
+class TestOversubscriptionWarning:
+    def test_warns_once_and_caps(self):
+        cpus = os.cpu_count() or 1
+        excessive = 64 * cpus
+        parallel._OVERSUBSCRIPTION_WARNED.discard(("thread", excessive))
+        with pytest.warns(RuntimeWarning, match="cpu_count"):
+            pool = executor_pool("thread", excessive)
+        assert pool._max_workers <= parallel._MAX_WORKERS_PER_CPU * cpus
+        pool.shutdown(wait=False)
+        # Second identical request is silent (warned once per key).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            executor_pool("thread", excessive).shutdown(wait=False)
+
+    def test_no_warning_within_cpu_count(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            executor_pool("thread", 1).shutdown(wait=False)
+
+
+@pytest.fixture(scope="module")
+def world():
+    topo = build_network(seed=31, controllers_per_region=10, towers_per_controller=1)
+    store = generate_kpis(topo, (VR, DR), seed=31)
+    rncs = topo.elements(role=ElementRole.RNC)
+    ids = frozenset(r.element_id for r in rncs[:3])
+    change = ChangeEvent("ft", ChangeType.CONFIGURATION, CHANGE_DAY, ids)
+    return topo, store, change
+
+
+class TestLitmusDegradation:
+    """The acceptance invariant: a single injected task failure produces a
+    report with one failed entry, every other verdict intact."""
+
+    def _baseline(self, world, cfg):
+        topo, store, change = world
+        return Litmus(topo, store, cfg).assess(change, [VR, DR])
+
+    def test_single_raise_isolated(self, world):
+        topo, store, change = world
+        cfg = LitmusConfig()
+        baseline = self._baseline(world, cfg)
+        n_tasks = len(baseline.assessments) + len(baseline.failures)
+        seed = target_task_seed(cfg.seed, n_tasks, 2)
+        algo = FaultyAssessor(RobustSpatialRegression(cfg), fail_seeds=[seed])
+        report = Litmus(topo, store, cfg, algorithm=algo).assess(change, [VR, DR])
+        assert len(report.failures) == 1
+        assert report.failures[0].failure.category == "runtime"
+        assert len(report.assessments) == n_tasks - 1
+        assert report.degraded
+        # Every surviving pair keeps its fault-free verdict bit-identically.
+        base = {(a.element_id, a.kpi): a.result.p_value for a in baseline.assessments}
+        for a in report.assessments:
+            assert base[(a.element_id, a.kpi)] == a.result.p_value
+
+    def test_killed_worker_isolated(self, world):
+        topo, store, change = world
+        cfg = LitmusConfig(n_workers=2, executor="process", task_retries=2)
+        baseline = self._baseline(world, LitmusConfig())
+        n_tasks = len(baseline.assessments) + len(baseline.failures)
+        seed = target_task_seed(cfg.seed, n_tasks, 1)
+        algo = FaultyAssessor(
+            RobustSpatialRegression(cfg), fail_seeds=[seed], mode="kill"
+        )
+        report = Litmus(topo, store, cfg, algorithm=algo).assess(change, [VR, DR])
+        assert len(report.failures) == 1
+        assert report.failures[0].failure.category == "worker-crash"
+        base = {(a.element_id, a.kpi): a.verdict for a in baseline.assessments}
+        for a in report.assessments:
+            assert base[(a.element_id, a.kpi)] == a.verdict
+
+    def test_failure_serialised_in_report(self, world):
+        topo, store, change = world
+        cfg = LitmusConfig()
+        baseline = self._baseline(world, cfg)
+        n_tasks = len(baseline.assessments) + len(baseline.failures)
+        seed = target_task_seed(cfg.seed, n_tasks, 0)
+        algo = FaultyAssessor(RobustSpatialRegression(cfg), fail_seeds=[seed])
+        report = Litmus(topo, store, cfg, algorithm=algo).assess(change, [VR, DR])
+        payload = report.to_dict()
+        assert len(payload["failures"]) == 1
+        entry = payload["failures"][0]
+        assert entry["status"] == "failed"
+        assert entry["category"] == "runtime"
+        assert entry["error_type"] == "RuntimeError"
+        assert payload["quality"]["policy"] == "quarantine"
+        assert "FAILED" in report.to_text()
+
+    def test_clean_run_not_degraded(self, world):
+        cfg = LitmusConfig()
+        report = self._baseline(world, cfg)
+        assert not report.degraded
+        assert report.failures == ()
+        assert report.quality is not None and report.quality.clean

@@ -1,0 +1,168 @@
+"""Tests for repro.evaluation.faults — the fault-injection harness and the
+chaos invariant: bounded control faults never flip clean-pair verdicts."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LitmusConfig
+from repro.core.litmus import Litmus
+from repro.evaluation.faults import (
+    FaultSpec,
+    FaultyAssessor,
+    copy_store,
+    inject_store_faults,
+    target_task_seed,
+    verdict_stability,
+)
+from repro.kpi.generator import generate_kpis
+from repro.kpi.metrics import KpiKind
+from repro.network.builder import build_network
+from repro.network.changes import ChangeEvent, ChangeType
+from repro.network.technology import ElementRole
+
+VR = KpiKind.VOICE_RETAINABILITY
+DR = KpiKind.DATA_RETAINABILITY
+CHANGE_DAY = 85
+
+
+@pytest.fixture(scope="module")
+def world():
+    topo = build_network(seed=31, controllers_per_region=10, towers_per_controller=1)
+    store = generate_kpis(topo, (VR, DR), seed=31)
+    rncs = topo.elements(role=ElementRole.RNC)
+    ids = frozenset(r.element_id for r in rncs[:3])
+    change = ChangeEvent("faults", ChangeType.CONFIGURATION, CHANGE_DAY, ids)
+    return topo, store, change
+
+
+class TestFaultSpec:
+    def test_rejects_out_of_range_fraction(self):
+        with pytest.raises(ValueError, match="fraction"):
+            FaultSpec(gap_fraction=1.5)
+
+    def test_rejects_oversubscribed_total(self):
+        with pytest.raises(ValueError, match="sum"):
+            FaultSpec(gap_fraction=0.6, drop_fraction=0.6)
+
+
+class TestInjection:
+    def test_original_store_untouched(self, world):
+        topo, store, change = world
+        controls = store.element_ids(VR)[:10]
+        reference = {c: store.get(c, VR).values.copy() for c in controls}
+        inject_store_faults(store, controls, [VR], CHANGE_DAY, FaultSpec(gap_fraction=0.5, seed=1))
+        for c in controls:
+            np.testing.assert_array_equal(store.get(c, VR).values, reference[c])
+
+    def test_plan_is_deterministic(self, world):
+        topo, store, change = world
+        controls = store.element_ids(VR)[:10]
+        spec = FaultSpec(gap_fraction=0.2, stuck_fraction=0.2, seed=5)
+        _, plan_a = inject_store_faults(store, controls, [VR], CHANGE_DAY, spec)
+        _, plan_b = inject_store_faults(store, controls, [VR], CHANGE_DAY, spec)
+        assert plan_a == plan_b
+        assert sorted(plan_a.values()) == ["gap", "gap", "stuck", "stuck"]
+
+    def test_gap_fault_visible_to_firewall(self, world):
+        topo, store, change = world
+        controls = store.element_ids(VR)[:10]
+        spec = FaultSpec(gap_fraction=0.1, seed=5)
+        faulted, plan = inject_store_faults(store, controls, [VR], CHANGE_DAY, spec)
+        (target,) = [eid for eid, kind in plan.items() if kind == "gap"]
+        values = faulted.get(target, VR).values
+        assert np.isnan(values).sum() == spec.gap_samples
+
+    def test_drop_fault_removes_series(self, world):
+        topo, store, change = world
+        controls = store.element_ids(VR)[:10]
+        spec = FaultSpec(drop_fraction=0.1, seed=5)
+        faulted, plan = inject_store_faults(store, controls, [VR], CHANGE_DAY, spec)
+        (target,) = plan
+        assert not faulted.has(target, VR)
+
+    def test_copy_store_is_independent(self, world):
+        topo, store, change = world
+        cloned = copy_store(store)
+        eid = store.element_ids(VR)[0]
+        original = store.get(eid, VR).values
+        copied = cloned.get(eid, VR).values
+        np.testing.assert_array_equal(original, copied)
+        assert not np.shares_memory(original, copied)
+
+
+class TestChaosInvariant:
+    """<= 20% of control series faulted under "quarantine": every clean
+    (element, KPI) pair keeps its fault-free verdict."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            FaultSpec(gap_fraction=0.2, seed=3),
+            FaultSpec(stuck_fraction=0.2, seed=4),
+            FaultSpec(corrupt_fraction=0.2, seed=5),
+            FaultSpec(drop_fraction=0.2, seed=6),
+            FaultSpec(
+                gap_fraction=0.08,
+                stuck_fraction=0.05,
+                corrupt_fraction=0.04,
+                drop_fraction=0.03,
+                seed=7,
+            ),
+        ],
+        ids=["gaps", "stuck", "corrupt", "dropped", "mixed"],
+    )
+    def test_verdicts_stable_under_quarantine(self, world, spec):
+        topo, store, change = world
+        cfg = LitmusConfig(quality_policy="quarantine")
+        result = verdict_stability(topo, store, change, [VR, DR], spec, cfg)
+        assert result.n_pairs == 6
+        assert result.stable, result.to_dict()
+        assert result.agreement == 1.0
+
+    def test_quarantine_reported_not_silent(self, world):
+        topo, store, change = world
+        cfg = LitmusConfig(quality_policy="quarantine")
+        baseline = Litmus(topo, store, cfg).assess(change, [VR, DR])
+        faulted_store, plan = inject_store_faults(
+            store, baseline.control_group, [VR, DR], change.day, FaultSpec(gap_fraction=0.2, seed=3)
+        )
+        report = Litmus(topo, faulted_store, cfg).assess(
+            change, [VR, DR], control_ids=baseline.control_group
+        )
+        quarantined = {q.element_id for q in report.quality.quarantined}
+        assert quarantined == set(plan)
+        assert set(plan) <= {str(c) for c in report.dropped_controls}
+        assert report.degraded
+
+
+class TestFaultyAssessor:
+    def test_arms_only_on_targeted_seed(self):
+        algo = FaultyAssessor(fail_seeds=[123])
+        assert not algo.armed
+        assert algo.with_seed(123).armed
+        assert not algo.with_seed(124).armed
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            FaultyAssessor(mode="explode")
+
+    def test_armed_compare_raises(self):
+        algo = FaultyAssessor(fail_seeds=[1]).with_seed(1)
+        with pytest.raises(RuntimeError, match="injected"):
+            algo.compare(np.ones(10), np.ones(5))
+
+    def test_picklable(self):
+        import pickle
+
+        algo = FaultyAssessor(fail_seeds=[1, 2], mode="kill")
+        clone = pickle.loads(pickle.dumps(algo))
+        assert clone.fail_seeds == frozenset({1, 2})
+        assert clone.mode == "kill"
+
+    def test_target_task_seed_matches_engine_spawn(self):
+        from repro.core.parallel import spawn_task_seeds
+
+        seeds = spawn_task_seeds(1729, 6)
+        assert target_task_seed(1729, 6, 4) == seeds[4]
+        with pytest.raises(ValueError, match="out of range"):
+            target_task_seed(1729, 6, 6)

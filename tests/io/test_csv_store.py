@@ -98,3 +98,104 @@ class TestValidation:
         )
         loaded = read_store_csv(path)
         assert len(loaded.get("e", VR)) == 2
+
+
+class TestErrorLineNumbers:
+    """Errors must name the exact 1-based source line and the offending
+    (element_id, kpi) so an operator can open the file at the problem."""
+
+    def test_malformed_row_line_number_headerless(self, tmp_path):
+        # Without the export comment, data starts at line 2.
+        path = tmp_path / "plain.csv"
+        path.write_text(
+            "element_id,kpi,day,value\n"
+            "e,voice-retainability,0,0.9\n"
+            "e,voice-retainability,1,not-a-number\n"
+        )
+        with pytest.raises(ValueError, match="line 3"):
+            read_store_csv(path)
+
+    def test_malformed_row_line_number_with_comment_header(self, tmp_path):
+        # With the comment header, data starts at line 3.
+        path = tmp_path / "export.csv"
+        path.write_text(
+            "# litmus-kpi-export freq=1\n"
+            "element_id,kpi,day,value\n"
+            "e,voice-retainability,0,not-a-number\n"
+        )
+        with pytest.raises(ValueError, match="line 3"):
+            read_store_csv(path)
+
+    def test_duplicate_day_names_culprit_and_lines(self, tmp_path):
+        path = tmp_path / "dup.csv"
+        path.write_text(
+            "element_id,kpi,day,value\n"
+            "e,voice-retainability,0,0.9\n"
+            "e,voice-retainability,0,0.91\n"
+        )
+        with pytest.raises(ValueError, match=r"line 3.*'e'.*voice-retainability.*first at line 2"):
+            read_store_csv(path)
+
+    def test_gap_names_culprit_and_line_after_hole(self, tmp_path):
+        path = tmp_path / "gap.csv"
+        path.write_text(
+            "element_id,kpi,day,value\n"
+            "e,voice-retainability,0,0.9\n"
+            "e,voice-retainability,3,0.9\n"
+        )
+        with pytest.raises(ValueError, match=r"line 3.*'e'.*2 missing day"):
+            read_store_csv(path)
+
+
+class TestCollectMode:
+    def test_collect_salvages_good_rows(self, tmp_path):
+        from repro.io.csv_store import read_store_csv_collect
+
+        path = tmp_path / "messy.csv"
+        path.write_text(
+            "element_id,kpi,day,value\n"
+            "e,voice-retainability,0,0.9\n"
+            "e,voice-retainability,1,not-a-number\n"  # malformed -> skipped
+            "e,voice-retainability,2,0.92\n"
+            "e,bogus-kpi,0,1.0\n"  # unknown KPI -> skipped
+            "f,voice-retainability,0,0.95\n"
+        )
+        store, report = read_store_csv_collect(path)
+        assert store.has("e", VR) and store.has("f", VR)
+        assert len(report.bad_rows) == 2
+        assert {r.line_no for r in report.bad_rows} == {3, 5}
+        assert report.n_rows == 3
+        assert report.n_series == 2
+        # The skipped day-1 row leaves a hole, NaN-filled for the firewall.
+        values = store.get("e", VR).values
+        assert np.isnan(values[1]) and report.n_gap_samples == 1
+        assert not report.clean
+        assert "line 3" in report.describe()
+
+    def test_collect_keeps_first_of_duplicates(self, tmp_path):
+        store, report = None, None
+        path = tmp_path / "dup.csv"
+        path.write_text(
+            "element_id,kpi,day,value\n"
+            "e,voice-retainability,0,0.9\n"
+            "e,voice-retainability,0,0.99\n"
+            "e,voice-retainability,1,0.91\n"
+        )
+        store, report = read_store_csv(path, on_error="collect")
+        assert store.get("e", VR).values[0] == 0.9
+        assert len(report.bad_rows) == 1
+        assert report.bad_rows[0].line_no == 3
+
+    def test_collect_on_clean_file_reports_clean(self, store, tmp_path):
+        path = tmp_path / "kpi.csv"
+        write_store_csv(store, path)
+        loaded, report = read_store_csv(path, on_error="collect")
+        assert report.clean
+        assert report.n_rows == 8
+        assert len(loaded) == len(store)
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        path = tmp_path / "kpi.csv"
+        path.write_text("element_id,kpi,day,value\n")
+        with pytest.raises(ValueError, match="on_error"):
+            read_store_csv(path, on_error="ignore")

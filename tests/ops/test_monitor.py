@@ -91,3 +91,66 @@ class TestReportExport:
         assert payload["kpis"]["voice-retainability"]["verdict"] == "degradation"
         assert payload["change_id"] == "m"
         assert len(payload["assessments"]) == 1
+
+
+class TestDegradedMidTrial:
+    """The monitor must stay safe when the pipeline degrades mid-trial:
+    missing evidence keeps the trial open, it never converts to GO."""
+
+    def _failing_engine(self, topo, store):
+        from repro.core.config import LitmusConfig
+        from repro.core.regression import RobustSpatialRegression
+        from repro.evaluation.faults import FaultyAssessor, target_task_seed
+
+        # One study element x one KPI = one task per assess() call, so its
+        # position-keyed seed is the same every update; arming on it makes
+        # every assessment of the trial fail.
+        cfg = LitmusConfig()
+        seed = target_task_seed(cfg.seed, 1, 0)
+        algo = FaultyAssessor(RobustSpatialRegression(cfg), fail_seeds=[seed])
+        return Litmus(topo, store, cfg, algorithm=algo)
+
+    def test_all_tasks_failing_never_reaches_go(self):
+        topo, store, _, change = make_world(79)
+        monitor = FfaMonitor(self._failing_engine(topo, store), change, (VR,))
+        decision = monitor.update(DAY + 14)
+        assert decision.status is FfaStatus.OBSERVING
+        assert all(not c.is_conclusive for c in decision.assessments)
+        # The observation budget runs out without evidence: hand the call
+        # to the operator (EXTENDED), never default to GO.
+        assert monitor.update(DAY + 28).status is FfaStatus.EXTENDED
+
+    def test_empty_windows_stay_inconclusive(self):
+        from repro.ops.persistence import PersistentAssessor
+
+        topo, store, _, change = make_world(79)
+        engine = self._failing_engine(topo, store)
+        (confirmed,) = PersistentAssessor(engine).assess(change, (VR,))
+        assert confirmed.windows == ()
+        assert confirmed.confirmed is None
+        assert not confirmed.is_conclusive
+        assert "inconclusive" in confirmed.describe()
+
+    def test_quarantined_controls_do_not_block_go(self):
+        from repro.evaluation.faults import FaultSpec, inject_store_faults
+
+        topo, store, _, change = make_world(82)
+        baseline = Litmus(topo, store).assess(change, [VR])
+        faulted, plan = inject_store_faults(
+            store, baseline.control_group, [VR], DAY, FaultSpec(gap_fraction=0.2, seed=2)
+        )
+        assert plan  # some controls really are damaged
+        monitor = FfaMonitor(Litmus(topo, faulted), change, (VR,))
+        assert monitor.update(DAY + 14).status is FfaStatus.GO
+
+    def test_regression_still_caught_with_quarantined_controls(self):
+        from repro.evaluation.faults import FaultSpec, inject_store_faults
+
+        topo, store, rnc, change = make_world(83)
+        store.apply_effect(rnc, VR, LevelShift(goodness_magnitude(VR, -5.0), DAY))
+        baseline = Litmus(topo, store).assess(change, [VR])
+        faulted, _ = inject_store_faults(
+            store, baseline.control_group, [VR], DAY, FaultSpec(gap_fraction=0.2, seed=2)
+        )
+        monitor = FfaMonitor(Litmus(topo, faulted), change, (VR,))
+        assert monitor.update(DAY + 14).status is FfaStatus.NO_GO

@@ -1,0 +1,153 @@
+"""Tests for repro.quality.checks — diagnostics and seasonal imputation."""
+
+import numpy as np
+import pytest
+
+from repro.kpi.metrics import KpiKind
+from repro.quality.checks import (
+    IssueKind,
+    QualityConfig,
+    check_values,
+    find_nan_runs,
+    impute_gaps,
+)
+
+VR = KpiKind.VOICE_RETAINABILITY  # bounded ratio in [0, 1]
+CV = KpiKind.CALL_VOLUME  # unbounded count
+
+
+def weekly_series(n=70, base=0.95, amp=0.02, seed=3):
+    """Clean series with a real weekly pattern and mild noise."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return base - amp * ((t % 7) >= 5) + rng.normal(0, 0.002, n)
+
+
+class TestFindNanRuns:
+    def test_no_nans(self):
+        assert find_nan_runs(np.ones(10)) == []
+
+    def test_single_run(self):
+        values = np.ones(10)
+        values[3:6] = np.nan
+        assert find_nan_runs(values) == [(3, 3)]
+
+    def test_multiple_runs_and_edges(self):
+        values = np.ones(8)
+        values[0] = np.nan
+        values[4:6] = np.nan
+        values[7] = np.nan
+        assert find_nan_runs(values) == [(0, 1), (4, 2), (7, 1)]
+
+    def test_all_nan(self):
+        assert find_nan_runs(np.full(5, np.nan)) == [(0, 5)]
+
+
+class TestCheckValues:
+    def test_clean_series_has_no_issues(self):
+        assert check_values(weekly_series(), VR) == []
+
+    def test_gap_flagged_with_position_and_count(self):
+        values = weekly_series()
+        values[10:13] = np.nan
+        issues = check_values(values, VR)
+        assert [i.kind for i in issues] == [IssueKind.GAP]
+        assert issues[0].count == 3
+        assert issues[0].positions[0] == 10
+
+    def test_out_of_range_for_bounded_kpi(self):
+        values = weekly_series()
+        values[5] = 1.7  # ratio above 1
+        issues = check_values(values, VR)
+        assert [i.kind for i in issues] == [IssueKind.OUT_OF_RANGE]
+        assert issues[0].positions == (5,)
+
+    def test_above_one_legal_for_unbounded_kpi(self):
+        values = weekly_series(base=100.0, amp=5.0)
+        assert check_values(values, CV) == []
+
+    def test_inf_flagged_for_any_kpi(self):
+        values = weekly_series(base=100.0, amp=5.0)
+        values[4] = np.inf
+        issues = check_values(values, CV)
+        assert [i.kind for i in issues] == [IssueKind.OUT_OF_RANGE]
+
+    def test_stuck_counter_flagged(self):
+        values = weekly_series()
+        values[20:40] = values[20]
+        issues = check_values(values, VR)
+        assert IssueKind.STUCK in {i.kind for i in issues}
+
+    def test_short_constant_run_tolerated(self):
+        values = weekly_series()
+        values[20:28] = values[20]  # below the default 12-sample threshold
+        assert check_values(values, VR) == []
+
+    def test_stuck_threshold_configurable(self):
+        values = weekly_series()
+        values[20:28] = values[20]
+        cfg = QualityConfig(stuck_run_samples=5)
+        issues = check_values(values, VR, cfg)
+        assert IssueKind.STUCK in {i.kind for i in issues}
+
+    def test_multiple_issue_kinds_reported_together(self):
+        values = weekly_series()
+        values[3:5] = np.nan
+        values[10] = -0.2
+        issues = check_values(values, VR)
+        assert {i.kind for i in issues} == {IssueKind.GAP, IssueKind.OUT_OF_RANGE}
+
+
+class TestQualityConfig:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            QualityConfig(policy="ostrich")
+
+    @pytest.mark.parametrize("field,value", [("max_gap_samples", 0), ("stuck_run_samples", 2)])
+    def test_rejects_bad_knobs(self, field, value):
+        with pytest.raises(ValueError):
+            QualityConfig(**{field: value})
+
+
+class TestImputeGaps:
+    def test_gap_free_series_returned_unchanged(self):
+        values = weekly_series()
+        filled, n = impute_gaps(values)
+        assert n == 0
+        np.testing.assert_array_equal(filled, values)
+
+    def test_small_gap_filled_with_seasonal_level(self):
+        values = weekly_series(n=70, base=0.95, amp=0.04, seed=5)
+        target = values.copy()
+        # Index 33 with start=0 is a weekday; 40 falls on a weekend slot.
+        weekday_idx, weekend_idx = 30, 33  # (30 % 7, 33 % 7) = (2, 5)
+        values[weekday_idx] = np.nan
+        values[weekend_idx] = np.nan
+        filled, n = impute_gaps(values, start=0, max_gap_samples=3)
+        assert n == 2
+        # Weekend fill must sit near the weekend level, weekday near weekday.
+        assert abs(filled[weekday_idx] - 0.95) < 0.02
+        assert abs(filled[weekend_idx] - 0.91) < 0.02
+        # Untouched samples are bit-identical.
+        mask = np.isfinite(values)
+        np.testing.assert_array_equal(filled[mask], target[mask])
+
+    def test_fill_matches_same_weekday_neighbours(self):
+        # A filled sample must sit at the level of the samples one week
+        # away, whatever the window's global start — the profile and the
+        # fill share the same phase anchor.
+        for start in (0, 5):
+            values = weekly_series(n=70, amp=0.05, seed=6)
+            values[21] = np.nan
+            filled, n = impute_gaps(values, start=start)
+            assert n == 1
+            assert abs(filled[21] - (values[14] + values[28]) / 2) < 0.01
+
+    def test_long_gap_refused(self):
+        values = weekly_series()
+        values[10:16] = np.nan
+        assert impute_gaps(values, max_gap_samples=3) is None
+
+    def test_too_little_data_refused(self):
+        values = np.array([1.0, np.nan, 1.0, 2.0])
+        assert impute_gaps(values) is None

@@ -1,0 +1,231 @@
+"""Tests for repro.quality.firewall — policy application over panels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import LitmusConfig
+from repro.core.regression import RobustSpatialRegression
+from repro.kpi.metrics import KpiKind
+from repro.quality import DataQualityError
+from repro.quality.checks import QualityConfig
+from repro.quality.firewall import screen_panel, screen_series, screen_windows
+
+VR = KpiKind.VOICE_RETAINABILITY
+
+
+def weekly_series(n=70, base=0.95, amp=0.02, seed=3):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return base - amp * ((t % 7) >= 5) + rng.normal(0, 0.002, n)
+
+
+def clean_panel(n_controls=6, n_before=70, n_after=14, seed=11):
+    """Correlated study/control panel in ratio space."""
+    rng = np.random.default_rng(seed)
+    T = n_before + n_after
+    t = np.arange(T)
+    factor = np.cumsum(rng.normal(0, 0.002, T))
+    weekly = -0.02 * ((t % 7) >= 5)
+    study = 0.95 + factor + weekly + rng.normal(0, 0.002, T)
+    controls = np.column_stack(
+        [
+            0.95
+            + rng.uniform(0.7, 1.1) * factor
+            + weekly
+            + rng.normal(0, 0.002, T)
+            for _ in range(n_controls)
+        ]
+    )
+    study = np.clip(study, 0.0, 1.0)
+    controls = np.clip(controls, 0.0, 1.0)
+    return study[:n_before], study[n_before:], controls[:n_before], controls[n_before:]
+
+
+class TestScreenSeries:
+    def test_clean_series_kept_untouched(self):
+        values = weekly_series()
+        screened, quality = screen_series(
+            values, element_id="e", kpi=VR, role="study", config=QualityConfig()
+        )
+        np.testing.assert_array_equal(screened, values)
+        assert quality.action == "kept"
+
+    def test_reject_policy_raises_typed_error(self):
+        values = weekly_series()
+        values[10] = np.nan
+        with pytest.raises(DataQualityError, match="gap"):
+            screen_series(
+                values,
+                element_id="e",
+                kpi=VR,
+                role="study",
+                config=QualityConfig(policy="reject"),
+            )
+
+    def test_quarantine_policy_excludes_faulted_series(self):
+        values = weekly_series()
+        values[10:13] = np.nan
+        screened, quality = screen_series(
+            values, element_id="e", kpi=VR, role="control", config=QualityConfig()
+        )
+        assert screened is None
+        assert quality.action == "quarantined"
+
+    def test_impute_policy_fills_small_gap(self):
+        values = weekly_series()
+        values[10:12] = np.nan
+        screened, quality = screen_series(
+            values,
+            element_id="e",
+            kpi=VR,
+            role="study",
+            config=QualityConfig(policy="impute"),
+        )
+        assert quality.action == "imputed"
+        assert quality.n_imputed == 2
+        assert np.isfinite(screened).all()
+
+    def test_impute_policy_masks_out_of_range_then_fills(self):
+        values = weekly_series()
+        values[20] = 1.9
+        screened, quality = screen_series(
+            values,
+            element_id="e",
+            kpi=VR,
+            role="study",
+            config=QualityConfig(policy="impute"),
+        )
+        assert quality.action == "imputed"
+        assert screened[20] <= 1.0
+
+    def test_impute_policy_quarantines_unfillable_gap(self):
+        values = weekly_series()
+        values[10:20] = np.nan
+        screened, quality = screen_series(
+            values,
+            element_id="e",
+            kpi=VR,
+            role="control",
+            config=QualityConfig(policy="impute", max_gap_samples=3),
+        )
+        assert screened is None
+        assert quality.action == "quarantined"
+
+    def test_impute_policy_quarantines_stuck_counter(self):
+        """Stuck values are present but untrustworthy — never imputed."""
+        values = weekly_series()
+        values[20:40] = values[20]
+        screened, quality = screen_series(
+            values,
+            element_id="e",
+            kpi=VR,
+            role="control",
+            config=QualityConfig(policy="impute"),
+        )
+        assert screened is None
+        assert quality.action == "quarantined"
+
+
+class TestScreenWindows:
+    def test_windows_diagnosed_together_one_disposition(self):
+        before = weekly_series(70)
+        after = weekly_series(14, seed=9)
+        after[3] = np.nan
+        windows, quality = screen_windows(
+            [(before, 0), (after, 70)],
+            element_id="e",
+            kpi=VR,
+            role="control",
+            config=QualityConfig(),
+        )
+        assert windows is None  # one bad window quarantines the series
+        assert quality.action == "quarantined"
+
+    def test_imputation_respects_each_windows_phase(self):
+        before = weekly_series(70, amp=0.05, seed=4)
+        after = weekly_series(21, amp=0.05, seed=5)
+        after[5] = np.nan  # global index 75 -> 75 % 7 == 5 (weekend)
+        windows, quality = screen_windows(
+            [(before, 0), (after, 70)],
+            element_id="e",
+            kpi=VR,
+            role="study",
+            config=QualityConfig(policy="impute"),
+        )
+        assert quality.action == "imputed"
+        assert abs(windows[1][5] - 0.90) < 0.02  # weekend level, not weekday
+
+
+class TestScreenPanel:
+    def test_clean_panel_passes_through(self):
+        yb, ya, xb, xa = clean_panel()
+        panel = screen_panel(yb, ya, xb, xa, kpi=VR)
+        assert panel.usable
+        assert panel.kept_controls == tuple(range(xb.shape[1]))
+        np.testing.assert_array_equal(panel.study_before, yb)
+        np.testing.assert_array_equal(panel.control_after, xa)
+        assert panel.report.clean
+
+    def test_faulted_controls_quarantined_and_reported(self):
+        yb, ya, xb, xa = clean_panel()
+        xb = xb.copy()
+        xb[10:15, 2] = np.nan
+        panel = screen_panel(yb, ya, xb, xa, kpi=VR, control_ids=[f"c{i}" for i in range(6)])
+        assert panel.usable
+        assert 2 not in panel.kept_controls
+        assert panel.control_before.shape[1] == 5
+        assert [q.element_id for q in panel.report.quarantined] == ["c2"]
+
+    def test_unusable_study_fails_panel(self):
+        yb, ya, xb, xa = clean_panel()
+        yb = yb.copy()
+        yb[5:20] = np.nan
+        panel = screen_panel(yb, ya, xb, xa, kpi=VR)
+        assert not panel.usable
+        assert "study" in panel.failure
+
+    def test_too_few_surviving_controls_fails_panel(self):
+        yb, ya, xb, xa = clean_panel(n_controls=3)
+        xb = xb.copy()
+        xb[10:20, 0] = np.nan
+        xb[10:20, 1] = np.nan
+        panel = screen_panel(yb, ya, xb, xa, kpi=VR, min_controls=2)
+        assert not panel.usable
+        assert "survived" in panel.failure
+
+
+class TestImputationNeverFlipsVerdicts:
+    """Property: on a strong-effect fixture, imputing <= max_gap_samples
+    gaps must not change the verdict the regression reaches."""
+
+    @staticmethod
+    def _verdict(yb, ya, xb, xa):
+        cfg = LitmusConfig(seed=97)
+        result = RobustSpatialRegression(cfg).compare(yb, ya, xb, xa)
+        return result.direction
+
+    @given(
+        gap_start=st.integers(min_value=0, max_value=67),
+        gap_len=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_small_gap_imputation_preserves_direction(self, gap_start, gap_len, seed):
+        yb, ya, xb, xa = clean_panel(seed=seed)
+        ya = ya - 0.08  # strong, unambiguous degradation of the ratio
+        ya = np.clip(ya, 0.0, 1.0)
+        baseline = self._verdict(yb, ya, xb, xa)
+
+        gapped = yb.copy()
+        gapped[gap_start : gap_start + gap_len] = np.nan
+        windows, quality = screen_windows(
+            [(gapped, 0), (ya, len(yb))],
+            element_id="e",
+            kpi=VR,
+            role="study",
+            config=QualityConfig(policy="impute", max_gap_samples=3),
+        )
+        assert quality.action == "imputed"
+        assert self._verdict(windows[0], windows[1], xb, xa) == baseline

@@ -209,3 +209,40 @@ def test_shift_increases_evidence_property(x, delta):
     base = fligner_policello(x + delta, x, Alternative.GREATER).p_value
     more = fligner_policello(x + 2 * delta, x, Alternative.GREATER).p_value
     assert more <= base + 1e-9
+
+
+class TestDataQualityError:
+    """The typed NaN rejection: still a ValueError, but it carries where
+    the damage is."""
+
+    def test_subclasses_value_error_with_legacy_message(self):
+        from repro.stats.rank_tests import DataQualityError
+
+        with pytest.raises(ValueError, match="samples must not contain NaN"):
+            mann_whitney_u([np.nan, 1.0], [2.0])
+        with pytest.raises(DataQualityError):
+            mann_whitney_u([np.nan, 1.0], [2.0])
+
+    def test_counts_and_positions_attached(self):
+        from repro.stats.rank_tests import DataQualityError
+
+        with pytest.raises(DataQualityError) as excinfo:
+            fligner_policello([1.0, np.nan, 3.0, np.nan], [np.nan, 2.0])
+        err = excinfo.value
+        assert err.nan_counts == (2, 1)
+        assert err.nan_positions == ((1, 3), (0,))
+        assert "sample 0: 2 NaN at [1, 3]" in str(err)
+        assert "sample 1: 1 NaN at [0]" in str(err)
+
+    def test_positions_capped_for_huge_damage(self):
+        from repro.stats.rank_tests import DataQualityError
+
+        err = DataQualityError.from_samples(np.full(100, np.nan))
+        assert err.nan_counts == (100,)
+        assert len(err.nan_positions[0]) == DataQualityError.MAX_POSITIONS
+
+    def test_classified_as_data_quality_failure(self):
+        from repro.core.parallel import classify_exception
+        from repro.stats.rank_tests import DataQualityError
+
+        assert classify_exception(DataQualityError("x")) == "data-quality"

@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Fault-injection robustness sweep for the assessment pipeline.
+
+Measures, on a synthetic deployment:
+
+* **verdict stability under data faults** — a sweep over fault mixes
+  (gaps, stuck counters, corrupt samples, dropped series) planted into the
+  control group, reporting how many clean (element, KPI) verdicts match
+  the fault-free run under the "quarantine" firewall policy.  The chaos
+  invariant is agreement == 1.0 up to 20% faulted controls.
+* **process-fault recovery** — one task made to raise, and (on the
+  process executor) one task's worker killed outright; both must yield a
+  report with exactly one ``failed`` entry and every other verdict intact.
+
+Writes ``BENCH_faults.json`` next to the repository root:
+
+    PYTHONPATH=src python tools/bench_faults.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core.config import LitmusConfig  # noqa: E402
+from repro.core.litmus import Litmus  # noqa: E402
+from repro.core.regression import RobustSpatialRegression  # noqa: E402
+from repro.evaluation.faults import (  # noqa: E402
+    FaultSpec,
+    FaultyAssessor,
+    target_task_seed,
+    verdict_stability,
+)
+from repro.kpi.generator import generate_kpis  # noqa: E402
+from repro.kpi.metrics import KpiKind  # noqa: E402
+from repro.network.builder import build_network  # noqa: E402
+from repro.network.changes import ChangeEvent, ChangeType  # noqa: E402
+from repro.network.technology import ElementRole  # noqa: E402
+
+KPIS = (KpiKind.VOICE_RETAINABILITY, KpiKind.DATA_RETAINABILITY)
+CHANGE_DAY = 85
+
+
+def build_world(seed: int, controllers: int):
+    topo = build_network(
+        seed=seed, controllers_per_region=controllers, towers_per_controller=1
+    )
+    store = generate_kpis(topo, KPIS, seed=seed)
+    rncs = topo.elements(role=ElementRole.RNC)
+    study = frozenset(r.element_id for r in rncs[:3])
+    change = ChangeEvent("bench-ffa", ChangeType.CONFIGURATION, CHANGE_DAY, study)
+    return topo, store, change
+
+
+def sweep_data_faults(topo, store, change, cfg, quick: bool) -> list:
+    points = [
+        ("gaps-5%", FaultSpec(gap_fraction=0.05, seed=11)),
+        ("gaps-10%", FaultSpec(gap_fraction=0.10, seed=12)),
+        ("mixed-10%", FaultSpec(gap_fraction=0.05, stuck_fraction=0.03, corrupt_fraction=0.02, seed=13)),
+        (
+            "mixed-20%",
+            FaultSpec(
+                gap_fraction=0.08,
+                stuck_fraction=0.05,
+                corrupt_fraction=0.04,
+                drop_fraction=0.03,
+                seed=14,
+            ),
+        ),
+    ]
+    if quick:
+        points = [points[1], points[3]]
+    baseline = Litmus(topo, store, cfg).assess(change, KPIS)
+    rows = []
+    for label, spec in points:
+        t0 = time.perf_counter()
+        result = verdict_stability(
+            topo, store, change, KPIS, spec, cfg, label=label, baseline=baseline
+        )
+        row = {**result.to_dict(), "seconds": time.perf_counter() - t0}
+        rows.append(row)
+        print(
+            f"data-faults [{label}]: {result.n_matched}/{result.n_compared} verdicts "
+            f"match, {result.n_quarantined} quarantined, {result.n_failed} failed "
+            f"-> {'STABLE' if result.stable else 'UNSTABLE'}"
+        )
+    return rows
+
+
+def bench_process_faults(topo, store, change, cfg, quick: bool) -> dict:
+    baseline = Litmus(topo, store, cfg).assess(change, KPIS)
+    n_tasks = len(baseline.assessments) + len(baseline.failures)
+    target = target_task_seed(cfg.seed, n_tasks, n_tasks // 2)
+    out = {}
+
+    # One task raises: the report must carry exactly one failed entry and
+    # keep every other verdict.
+    algo = FaultyAssessor(RobustSpatialRegression(cfg), fail_seeds=[target], mode="raise")
+    report = Litmus(topo, store, cfg, algorithm=algo).assess(change, KPIS)
+    base_verdicts = {(a.element_id, a.kpi): a.verdict for a in baseline.assessments}
+    survivors_match = all(
+        base_verdicts[(a.element_id, a.kpi)] == a.verdict for a in report.assessments
+    )
+    out["raise"] = {
+        "n_tasks": n_tasks,
+        "n_failed": len(report.failures),
+        "failure_category": report.failures[0].failure.category if report.failures else None,
+        "survivor_verdicts_match": survivors_match,
+    }
+    print(
+        f"process-faults [raise]: {len(report.failures)} failed of {n_tasks}, "
+        f"survivors match: {survivors_match}"
+    )
+
+    if not quick:
+        # Kill a process-pool worker mid-batch: run_tasks rebuilds the pool
+        # and re-runs the unfinished tasks; only the armed task fails.
+        kill_cfg = LitmusConfig(
+            n_workers=2, executor="process", task_retries=2, seed=cfg.seed
+        )
+        algo = FaultyAssessor(
+            RobustSpatialRegression(kill_cfg), fail_seeds=[target], mode="kill"
+        )
+        report = Litmus(topo, store, kill_cfg, algorithm=algo).assess(change, KPIS)
+        survivors_match = all(
+            base_verdicts[(a.element_id, a.kpi)] == a.verdict for a in report.assessments
+        )
+        out["kill"] = {
+            "n_tasks": n_tasks,
+            "n_failed": len(report.failures),
+            "failure_category": report.failures[0].failure.category if report.failures else None,
+            "survivor_verdicts_match": survivors_match,
+        }
+        print(
+            f"process-faults [kill]: {len(report.failures)} failed of {n_tasks} "
+            f"({out['kill']['failure_category']}), survivors match: {survivors_match}"
+        )
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smoke mode: fewer sweep points"
+    )
+    parser.add_argument("--seed", type=int, default=31)
+    parser.add_argument(
+        "--controllers", type=int, default=10, help="controllers per region (control pool)"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(ROOT / "BENCH_faults.json"),
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args(argv)
+
+    topo, store, change = build_world(args.seed, args.controllers)
+    cfg = LitmusConfig(quality_policy="quarantine")
+    data_rows = sweep_data_faults(topo, store, change, cfg, args.quick)
+    process_rows = bench_process_faults(topo, store, change, cfg, args.quick)
+
+    results = {
+        "policy": "quarantine",
+        "kpis": [k.value for k in KPIS],
+        "data_faults": data_rows,
+        "process_faults": process_rows,
+        "quick": args.quick,
+    }
+    all_stable = all(row["stable"] for row in data_rows)
+    one_failed = all(
+        entry["n_failed"] == 1 and entry["survivor_verdicts_match"]
+        for entry in process_rows.values()
+    )
+    results["chaos_invariant_holds"] = all_stable and one_failed
+    Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if not results["chaos_invariant_holds"]:
+        print("WARNING: chaos invariant violated")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
