@@ -14,6 +14,23 @@ from typing import List, Optional
 __all__ = ["main", "build_parser"]
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by the assessment-running commands."""
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="record a structured trace of the run (trace.jsonl, "
+        "metrics.json, manifest.json) into DIR; summarize it later "
+        "with `litmus trace DIR`",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics summary table after the report",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser."""
     parser = argparse.ArgumentParser(
@@ -36,6 +53,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="end-to-end FFA assessment on a synthetic network")
     demo.add_argument("--seed", type=int, default=7)
+    _add_obs_arguments(demo)
 
     table4 = sub.add_parser("table4", help="synthetic-injection evaluation at scale")
     table4.add_argument("--seeds", type=int, default=10, help="grid seeds (83 ≈ paper scale)")
@@ -82,6 +100,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker pool for the (element, KPI) fan-out (results are "
         "identical for any worker count)",
     )
+    _add_obs_arguments(assess)
+
+    trace = sub.add_parser(
+        "trace", help="summarize a recorded run directory (see --trace)"
+    )
+    trace.add_argument("run_dir", help="directory written by --trace")
+    trace.add_argument(
+        "--top", type=int, default=10, help="how many slowest spans to list"
+    )
 
     quality = sub.add_parser(
         "quality", help="diagnose a control group before trusting an assessment"
@@ -121,11 +148,14 @@ def _cmd_run(experiment_id: str, seed: Optional[int], save: Optional[str] = None
     return 0 if ok else 1
 
 
-def _cmd_demo(seed: int) -> int:
-    from .core import Litmus
+def _cmd_demo(
+    seed: int, trace_dir: Optional[str] = None, show_metrics: bool = False
+) -> int:
+    from .core import Litmus, LitmusConfig
     from .external.factors import goodness_magnitude
     from .kpi import KpiKind, LevelShift, generate_kpis
     from .network import ChangeEvent, ChangeType, ElementRole, build_network
+    from .obs import RunRecorder, render_metrics_table
 
     topo = build_network(seed=seed)
     store = generate_kpis(topo, seed=seed)
@@ -143,8 +173,16 @@ def _cmd_demo(seed: int) -> int:
         KpiKind.VOICE_RETAINABILITY,
         LevelShift(goodness_magnitude(KpiKind.VOICE_RETAINABILITY, -4.5), 85),
     )
-    report = Litmus(topo, store).assess(change)
+    config = LitmusConfig()
+    with RunRecorder(
+        "demo", trace_dir, config=config, seed=seed, argv=tuple(sys.argv[1:])
+    ) as recorder:
+        report = Litmus(topo, store, config).assess(change)
     print(report.to_text())
+    if show_metrics:
+        print()
+        print(render_metrics_table(recorder.snapshot()))
+    print(recorder.footer())
     return 0
 
 
@@ -213,26 +251,49 @@ def _cmd_assess(
     explain: bool = False,
     workers: int = 1,
     quality_policy: str = "quarantine",
+    trace_dir: Optional[str] = None,
+    show_metrics: bool = False,
 ) -> int:
     from pathlib import Path
 
     from .core import Litmus, LitmusConfig
     from .io import changelog_from_json
     from .kpi import DEFAULT_KPIS
+    from .obs import RunRecorder, render_metrics_table
     from .ops import explain_assessment, screen_changes
 
     topo, store = _load_world(topology_path, kpi_path)
     log = changelog_from_json(Path(changes_path).read_text())
     config = LitmusConfig(n_workers=workers, quality_policy=quality_policy)
     engine = Litmus(topo, store, config, change_log=log)
-    if change_id is not None:
-        report = engine.assess(log.get(change_id), DEFAULT_KPIS)
-        if explain:
-            print(explain_assessment(report, topo, change_log=log).to_text())
+    with RunRecorder(
+        "assess", trace_dir, config=config, argv=tuple(sys.argv[1:])
+    ) as recorder:
+        if change_id is not None:
+            report = engine.assess(log.get(change_id), DEFAULT_KPIS)
+            if explain:
+                text = explain_assessment(report, topo, change_log=log).to_text()
+            else:
+                text = report.to_text()
         else:
-            print(report.to_text())
-        return 0
-    print(screen_changes(engine, log, DEFAULT_KPIS).to_text())
+            text = screen_changes(engine, log, DEFAULT_KPIS).to_text()
+    print(text)
+    if show_metrics:
+        print()
+        print(render_metrics_table(recorder.snapshot()))
+    print(recorder.footer())
+    return 0
+
+
+def _cmd_trace(run_dir: str, top: int) -> int:
+    from .obs import TraceFormatError, summarize_run
+
+    try:
+        summary = summarize_run(run_dir, top=top)
+    except (TraceFormatError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(summary)
     return 0
 
 
@@ -259,7 +320,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run":
         return _cmd_run(args.experiment, args.seed, args.save)
     if args.command == "demo":
-        return _cmd_demo(args.seed)
+        return _cmd_demo(args.seed, args.trace, args.metrics)
     if args.command == "table4":
         return _cmd_table4(args.seeds, args.workers)
     if args.command == "simulate":
@@ -273,7 +334,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.explain,
             args.workers,
             args.quality_policy,
+            args.trace,
+            args.metrics,
         )
+    if args.command == "trace":
+        return _cmd_trace(args.run_dir, args.top)
     if args.command == "quality":
         return _cmd_quality(args.topology, args.kpis, args.study, args.kpi, args.day)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -20,6 +20,8 @@ import numpy as np
 
 from ..kpi.metrics import DEFAULT_KPIS, KpiKind
 from ..kpi.store import KpiStore
+from ..obs.metrics import get_metrics
+from ..obs.trace import span as obs_span
 from ..network.changes import ChangeEvent, ChangeLog
 from ..network.elements import ElementId
 from ..network.topology import Topology
@@ -286,72 +288,93 @@ class Litmus:
         """
         if after_offset_days < 0:
             raise ValueError("after_offset_days must be non-negative")
-        study_ids = change.study_group
-        if control_ids is None:
-            group = self.selector.select(study_ids, predicate, change=change)
-            control: Tuple[ElementId, ...] = group.element_ids
-        else:
-            control = tuple(control_ids)
-            overlap = set(control) & set(study_ids)
-            if overlap:
-                raise ValueError(f"control group overlaps the study group: {sorted(overlap)}")
-            if not control:
-                raise ValueError("control_ids must be non-empty")
+        registry = get_metrics()
+        with obs_span(
+            "assess", change_id=change.change_id, algorithm=self.algorithm.name
+        ) as assess_span:
+            with obs_span("select-controls") as sel_span:
+                study_ids = change.study_group
+                if control_ids is None:
+                    group = self.selector.select(study_ids, predicate, change=change)
+                    control: Tuple[ElementId, ...] = group.element_ids
+                else:
+                    control = tuple(control_ids)
+                    overlap = set(control) & set(study_ids)
+                    if overlap:
+                        raise ValueError(
+                            f"control group overlaps the study group: {sorted(overlap)}"
+                        )
+                    if not control:
+                        raise ValueError("control_ids must be non-empty")
+                sel_span.annotate(n_controls=len(control))
 
-        effective_window = window_days or self.config.window_days
-        ledger = QualityLedger(self.config.quality_policy)
-        quality_config = QualityConfig(
-            policy=self.config.quality_policy,
-            max_gap_samples=self.config.max_gap_samples,
-            stuck_run_samples=self.config.stuck_run_samples,
-        )
-        tasks: List[_AssessmentTask] = []
-        for kpi in kpis:
-            kind = KpiKind(kpi)
-            usable_controls = [c for c in control if self.store.has(c, kind)]
-            missing = tuple(c for c in control if not self.store.has(c, kind))
-            for element_id in study_ids:
-                if not self.store.has(element_id, kind):
-                    continue
-                tasks.append(
-                    self._prepare_task(
-                        element_id,
-                        kind,
-                        usable_controls,
-                        missing,
-                        change.day,
-                        effective_window,
-                        after_offset_days,
-                        quality_config,
-                        ledger,
-                    )
-                )
-        if not tasks:
-            raise ValueError(
-                "no study element has stored series for the requested KPIs"
+            effective_window = window_days or self.config.window_days
+            ledger = QualityLedger(self.config.quality_policy)
+            quality_config = QualityConfig(
+                policy=self.config.quality_policy,
+                max_gap_samples=self.config.max_gap_samples,
+                stuck_run_samples=self.config.stuck_run_samples,
             )
-        outcomes = self._execute(tasks)
-        assessments: List[ElementAssessment] = []
-        failures: List[FailedAssessment] = []
-        for t, outcome in zip(tasks, outcomes):
-            if outcome.ok:
-                r = outcome.value
-                assessments.append(
-                    ElementAssessment(t.element_id, t.kpi, r, r.verdict(t.kpi))
+            tasks: List[_AssessmentTask] = []
+            with obs_span("prepare-tasks") as prep_span:
+                for kpi in kpis:
+                    kind = KpiKind(kpi)
+                    usable_controls = [c for c in control if self.store.has(c, kind)]
+                    missing = tuple(c for c in control if not self.store.has(c, kind))
+                    for element_id in study_ids:
+                        if not self.store.has(element_id, kind):
+                            continue
+                        tasks.append(
+                            self._prepare_task(
+                                element_id,
+                                kind,
+                                usable_controls,
+                                missing,
+                                change.day,
+                                effective_window,
+                                after_offset_days,
+                                quality_config,
+                                ledger,
+                            )
+                        )
+                prep_span.annotate(n_tasks=len(tasks))
+            if not tasks:
+                raise ValueError(
+                    "no study element has stored series for the requested KPIs"
                 )
-            else:
-                failures.append(FailedAssessment(t.element_id, t.kpi, outcome.failure))
-        dropped = sorted({c for t in tasks for c in t.dropped_controls})
-        return ChangeAssessmentReport(
-            change=change,
-            algorithm=self.algorithm.name,
-            control_group=control,
-            window_days=effective_window,
-            assessments=tuple(assessments),
-            dropped_controls=tuple(dropped),
-            failures=tuple(failures),
-            quality=ledger.freeze(),
-        )
+            registry.counter("assess.tasks").inc(len(tasks))
+            with obs_span("execute-tasks", n_workers=self.config.n_workers):
+                outcomes = self._execute(tasks)
+            assessments: List[ElementAssessment] = []
+            failures: List[FailedAssessment] = []
+            for t, outcome in zip(tasks, outcomes):
+                if outcome.ok:
+                    r = outcome.value
+                    assessments.append(
+                        ElementAssessment(t.element_id, t.kpi, r, r.verdict(t.kpi))
+                    )
+                else:
+                    failures.append(
+                        FailedAssessment(t.element_id, t.kpi, outcome.failure)
+                    )
+            dropped = sorted({c for t in tasks for c in t.dropped_controls})
+            quality = ledger.freeze()
+            registry.counter("assess.failures").inc(len(failures))
+            registry.counter("assess.quarantined_controls").inc(len(quality.quarantined))
+            registry.counter("assess.dropped_controls").inc(len(dropped))
+            assess_span.annotate(
+                n_tasks=len(tasks), n_failures=len(failures), n_dropped=len(dropped)
+            )
+            return ChangeAssessmentReport(
+                change=change,
+                algorithm=self.algorithm.name,
+                control_group=control,
+                window_days=effective_window,
+                assessments=tuple(assessments),
+                dropped_controls=tuple(dropped),
+                failures=tuple(failures),
+                quality=quality,
+            )
 
     # ------------------------------------------------------------------
     def _execute(self, tasks: Sequence[_AssessmentTask]) -> List[TaskOutcome]:

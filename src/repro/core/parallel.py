@@ -29,19 +29,31 @@ Results must always be collected in submission order (``run_tasks`` keeps
 an index-addressed result slot per task), never ``as_completed``, so
 aggregation order — and therefore every downstream report — is
 schedule-independent.
+
+When a recording tracer is installed (``repro.obs``), ``run_tasks``
+transparently wraps every task so the worker — thread or process — runs
+it under a fresh worker-local tracer/registry and ships the finished span
+tree and metric deltas back *with the result*; the parent grafts them
+under its active span.  A task that never reports back (killed worker,
+timeout) gets a parent-side synthetic ``error`` span, so the reassembled
+trace covers every task.  With the default null tracer none of this
+machinery engages: payloads and ``fn`` pass through untouched.
 """
 
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from concurrent.futures import BrokenExecutor, Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry, get_metrics, use_metrics
+from ..obs.trace import Tracer, current_tracer, use_tracer
 from ..stats.rank_tests import DataQualityError
 
 __all__ = [
@@ -179,6 +191,98 @@ def _failure_from(exc: BaseException, attempts: int) -> TaskFailure:
     )
 
 
+# ----------------------------------------------------------------------
+# Cross-worker span shipping (engaged only under a recording tracer)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _TracedPayload:
+    """One task plus the bookkeeping the worker needs to trace it."""
+
+    fn: Callable[[Any], Any]
+    payload: Any
+    index: int
+    submitted_at: float  # perf_counter at submission (queue-wait baseline)
+
+
+@dataclass(frozen=True)
+class _TracedResult:
+    """What a traced worker ships back: value/failure + span + metrics."""
+
+    value: Any = None
+    failure: Optional[TaskFailure] = None
+    span: Optional[Dict[str, Any]] = None
+    metrics: Optional[Dict[str, Any]] = None
+
+
+def _run_traced(tp: _TracedPayload) -> _TracedResult:
+    """Execute one task under a fresh worker-local tracer and registry.
+
+    Module-level so process pools can pickle it.  Exceptions raised by the
+    task are caught *here* and returned as typed failures — the span tree
+    must travel back even for a failing task, and run_tasks treats
+    deterministic task exceptions identically either way (recorded, never
+    retried).  ``perf_counter`` is CLOCK_MONOTONIC system-wide on the
+    platforms we run, so the queue wait (start minus submission) is
+    meaningful across processes too.
+    """
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    started = time.perf_counter()
+    wait = max(0.0, started - tp.submitted_at)
+    value: Any = None
+    failure: Optional[TaskFailure] = None
+    with use_tracer(tracer), use_metrics(registry):
+        registry.histogram("run_tasks.queue_wait_s").observe(wait)
+        with tracer.span("task", index=tp.index, queue_wait_s=round(wait, 6)) as sp:
+            try:
+                value = tp.fn(tp.payload)
+            except Exception as exc:
+                failure = _failure_from(exc, attempts=1)
+                sp.fail(f"{type(exc).__name__}: {exc}")
+    tree = tracer.roots[0].to_dict() if tracer.roots else None
+    return _TracedResult(
+        value=value, failure=failure, span=tree, metrics=registry.snapshot()
+    )
+
+
+def _reassemble_traced(
+    outcomes: List[Optional[TaskOutcome]], tracer, registry
+) -> List[Optional[TaskOutcome]]:
+    """Graft shipped span trees / merge metric deltas; unwrap results.
+
+    Tasks that never reported back (worker crash, timeout) get a synthetic
+    parent-side ``error`` span so the trace still covers every index.
+    """
+    for i, outcome in enumerate(outcomes):
+        if outcome is None:
+            continue
+        if outcome.ok and isinstance(outcome.value, _TracedResult):
+            shipped = outcome.value
+            if shipped.span is not None:
+                tracer.graft(shipped.span)
+            if shipped.metrics is not None:
+                registry.merge(shipped.metrics)
+            if shipped.failure is not None:
+                outcomes[i] = TaskOutcome(failure=shipped.failure)
+            else:
+                outcomes[i] = TaskOutcome(value=shipped.value)
+        elif not outcome.ok:
+            tracer.graft(
+                {
+                    "name": "task",
+                    "attrs": {"index": i, "synthesized": True},
+                    "outcome": "error",
+                    "error": outcome.failure.describe(),
+                    "started_at": 0.0,
+                    "wall_s": 0.0,
+                    "cpu_s": 0.0,
+                }
+            )
+    return outcomes
+
+
 def run_tasks(
     fn: Callable[[Any], Any],
     payloads: Sequence[Any],
@@ -222,12 +326,27 @@ def run_tasks(
     if n == 0:
         return []
 
+    tracer = current_tracer()
+    registry = get_metrics()
+    registry.counter("run_tasks.batches").inc()
+    registry.counter("run_tasks.tasks").inc(n)
+    traced = tracer.enabled
+    if traced:
+        submitted = time.perf_counter()
+        payloads = [
+            _TracedPayload(fn, payload, i, submitted)
+            for i, payload in enumerate(payloads)
+        ]
+        fn = _run_traced
+
     if n_workers <= 1 and executor != "process":
         for i, payload in enumerate(payloads):
             try:
                 outcomes[i] = TaskOutcome(value=fn(payload))
             except Exception as exc:
                 outcomes[i] = TaskOutcome(failure=_failure_from(exc, attempts=1))
+        if traced:
+            outcomes = _reassemble_traced(outcomes, tracer, registry)
         return outcomes  # type: ignore[return-value]
 
     def settle(i: int, future: Future, attempts: int) -> bool:
@@ -239,6 +358,7 @@ def run_tasks(
             return True
         except (FuturesTimeoutError, TimeoutError) as exc:
             future.cancel()
+            registry.counter("run_tasks.timeouts").inc()
             outcomes[i] = TaskOutcome(
                 failure=TaskFailure(
                     category="timeout",
@@ -276,6 +396,8 @@ def run_tasks(
             break
         still_crashed: List[int] = []
         for i in crashed:
+            registry.counter("run_tasks.retries").inc()
+            registry.counter("run_tasks.pool_restarts").inc()
             solo = executor_pool(executor, 1)
             try:
                 if settle(i, solo.submit(fn, payloads[i]), attempts=round_no):
@@ -287,6 +409,7 @@ def run_tasks(
     for i in crashed:
         # The crash budget is exhausted; whatever killed the worker keeps
         # killing it — file the survivors as worker crashes.
+        registry.counter("run_tasks.worker_crashes").inc()
         outcomes[i] = TaskOutcome(
             failure=TaskFailure(
                 category="worker-crash",
@@ -298,4 +421,6 @@ def run_tasks(
                 attempts=retries + 1,
             )
         )
+    if traced:
+        outcomes = _reassemble_traced(outcomes, tracer, registry)
     return outcomes  # type: ignore[return-value]

@@ -31,6 +31,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.metrics import get_metrics
+from ..obs.trace import span as obs_span
 from ..stats.linreg import (
     LinearModel,
     fit_lasso,
@@ -125,8 +127,20 @@ class RobustSpatialRegression:
         k = self._sample_size(n_controls, train_len=y_train.shape[0])
         rng = np.random.default_rng(self.config.seed)
 
+        registry = get_metrics()
+        registry.counter("regression.compares").inc()
+        registry.counter("regression.fits").inc(self.config.n_iterations)
+
         x_eval = np.vstack([xb[-w:], xa])
-        fc_eval, r2s = self._sampled_forecasts(y_train, x_train, x_eval, k, rng)
+        with obs_span(
+            "regression.compare",
+            kernel=self._effective_kernel(),
+            estimator=self.config.estimator,
+            n_controls=n_controls,
+            k=k,
+            n_iterations=self.config.n_iterations,
+        ):
+            fc_eval, r2s = self._sampled_forecasts(y_train, x_train, x_eval, k, rng)
         fc_before, fc_after = fc_eval[:w], fc_eval[w:]
 
         # Equations (4) and (5): forecast differences over symmetric

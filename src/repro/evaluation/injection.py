@@ -43,6 +43,8 @@ from ..core.verdict import Verdict, verdict_from_direction
 from ..external.factors import goodness_magnitude
 from ..kpi.metrics import KpiKind, get_kpi
 from ..kpi.noise import Ar1Noise, MixtureNoise
+from ..obs.metrics import get_metrics
+from ..obs.trace import span as obs_span
 from ..network.geography import Region
 from .labeling import Label, label_outcome
 from .metrics import ConfusionMatrix
@@ -408,11 +410,15 @@ def evaluate_injection(
         for case, seed in zip(case_list, spawn_task_seeds(cfg.seed, len(case_list)))
     ]
     workers = min(workers, len(tasks)) if tasks else 1
-    if workers <= 1:
-        outcome_lists = [_run_case_task(task) for task in tasks]
-    else:
-        with executor_pool(flavour, workers) as pool:
-            outcome_lists = list(pool.map(_run_case_task, tasks))
+    get_metrics().counter("eval.cases").inc(len(case_list))
+    with obs_span(
+        "evaluate-injection", n_cases=len(case_list), n_workers=workers
+    ):
+        if workers <= 1:
+            outcome_lists = [_run_case_task(task) for task in tasks]
+        else:
+            with executor_pool(flavour, workers) as pool:
+                outcome_lists = list(pool.map(_run_case_task, tasks))
     matrices = {name: ConfusionMatrix() for name in default_algorithms(cfg)}
     for outcomes in outcome_lists:
         for outcome in outcomes:

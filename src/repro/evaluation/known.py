@@ -618,14 +618,19 @@ def run_known_assessments(
     and assessment sampling by the config seed, so the evaluation is
     identical for any worker count.
     """
+    from ..obs.metrics import get_metrics
+    from ..obs.trace import span as obs_span
+
     cfg = config or LitmusConfig()
     workers = cfg.n_workers if n_workers is None else n_workers
     flavour = cfg.executor if executor is None else executor
     tasks = [(spec, cfg, base_seed) for spec in rows]
     workers = min(workers, len(tasks)) if tasks else 1
-    if workers <= 1:
-        results = [_run_known_row(t) for t in tasks]
-    else:
-        with executor_pool(flavour, workers) as pool:
-            results = list(pool.map(_run_known_row, tasks))
+    get_metrics().counter("eval.known_rows").inc(len(tasks))
+    with obs_span("evaluate-known", n_rows=len(tasks), n_workers=workers):
+        if workers <= 1:
+            results = [_run_known_row(t) for t in tasks]
+        else:
+            with executor_pool(flavour, workers) as pool:
+                results = list(pool.map(_run_known_row, tasks))
     return KnownEvaluation(tuple(results))

@@ -6,6 +6,12 @@ from .csv_store import (
     read_store_csv_collect,
     write_store_csv,
 )
+from .run_manifest import (
+    manifest_from_json,
+    manifest_to_json,
+    read_manifest_json,
+    write_manifest_json,
+)
 from .topology_json import (
     changelog_from_json,
     changelog_to_json,
@@ -19,9 +25,13 @@ __all__ = [
     "IngestReport",
     "changelog_from_json",
     "changelog_to_json",
+    "manifest_from_json",
+    "manifest_to_json",
+    "read_manifest_json",
     "read_store_csv",
     "read_store_csv_collect",
     "read_topology_json",
+    "write_manifest_json",
     "topology_from_json",
     "topology_to_json",
     "write_store_csv",

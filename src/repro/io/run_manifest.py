@@ -1,0 +1,38 @@
+"""Run-manifest persistence: JSON round-trip for :class:`RunManifest`.
+
+The manifest is the auditable record of one pipeline run (see
+:mod:`repro.obs.manifest`); this module gives it the same file-level
+read/write treatment as topologies and change logs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..obs.manifest import RunManifest, manifest_from_dict, manifest_to_dict
+
+__all__ = ["manifest_to_json", "manifest_from_json", "write_manifest_json", "read_manifest_json"]
+
+
+def manifest_to_json(manifest: RunManifest) -> str:
+    """Serialize a manifest to a JSON document."""
+    return json.dumps(manifest_to_dict(manifest), indent=2, sort_keys=True) + "\n"
+
+
+def manifest_from_json(text: str) -> RunManifest:
+    """Parse a manifest from its JSON document."""
+    data = json.loads(text)
+    if not isinstance(data, dict):
+        raise ValueError("manifest JSON must be an object")
+    return manifest_from_dict(data)
+
+
+def write_manifest_json(manifest: RunManifest, path: str) -> None:
+    """Write a manifest to ``path``."""
+    Path(path).write_text(manifest_to_json(manifest))
+
+
+def read_manifest_json(path: str) -> RunManifest:
+    """Read a manifest back from ``path``."""
+    return manifest_from_json(Path(path).read_text())

@@ -1,0 +1,96 @@
+"""Observability: structured tracing, metrics, and run manifests.
+
+Zero-dependency (stdlib-only) subsystem instrumenting the assessment
+pipeline end to end:
+
+* :mod:`repro.obs.trace` — contextvar-scoped tracer producing nested spans
+  (name, attrs, wall/CPU time, outcome) that cross process-pool boundaries
+  by shipping each task's span tree back with its result;
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket histograms
+  with quantile estimates, snapshot/merge semantics and pluggable sinks;
+* :mod:`repro.obs.manifest` — the per-run reproducibility record (config
+  hash, seed lineage, git SHA, package versions, tallies, stage timings);
+* :mod:`repro.obs.recorder` — the ``RunRecorder`` context manager that
+  installs tracer + registry and writes the run directory;
+* :mod:`repro.obs.summarize` — the ``litmus trace`` renderer (span tree,
+  top-k slowest stages, metrics table) with strict JSONL validation.
+
+Instrumentation is no-op-cheap when disabled: the default tracer and
+registry are null objects, so the hot paths pay one contextvar read.
+"""
+
+from .manifest import (
+    RunManifest,
+    build_manifest,
+    collect_versions,
+    config_fingerprint,
+    git_revision,
+    manifest_from_dict,
+    manifest_to_dict,
+    seed_lineage,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    InMemorySink,
+    JsonlSink,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    get_metrics,
+    render_metrics_table,
+    use_metrics,
+)
+from .recorder import RunRecorder
+from .summarize import (
+    LoadedTrace,
+    TraceFormatError,
+    load_trace,
+    render_span_tree,
+    summarize_run,
+    top_slowest,
+)
+from .trace import (
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    span,
+    tracing_enabled,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InMemorySink",
+    "JsonlSink",
+    "LoadedTrace",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "RunManifest",
+    "RunRecorder",
+    "Span",
+    "TraceFormatError",
+    "Tracer",
+    "build_manifest",
+    "collect_versions",
+    "config_fingerprint",
+    "current_tracer",
+    "get_metrics",
+    "git_revision",
+    "load_trace",
+    "manifest_from_dict",
+    "manifest_to_dict",
+    "render_metrics_table",
+    "render_span_tree",
+    "seed_lineage",
+    "span",
+    "summarize_run",
+    "top_slowest",
+    "tracing_enabled",
+    "use_metrics",
+    "use_tracer",
+]

@@ -1,0 +1,195 @@
+"""Run manifests: the reproducibility record written next to every trace.
+
+A :class:`RunManifest` pins down everything needed to re-run and audit an
+assessment or evaluation run: the exact configuration (plus a stable
+SHA-256 fingerprint of it), the seed lineage (root seed, how many
+``SeedSequence.spawn`` children it produced, and a digest of those spawned
+seeds, so two runs can be proven to have consumed identical randomness),
+the git revision and package versions it ran under, the quality/failure
+tallies from the metrics registry, and per-stage wall timings from the
+trace's root span.
+
+Manifests serialize to plain JSON; :mod:`repro.io` provides the
+``write_manifest_json`` / ``read_manifest_json`` round-trip.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "RunManifest",
+    "build_manifest",
+    "config_fingerprint",
+    "seed_lineage",
+    "git_revision",
+    "collect_versions",
+    "manifest_to_dict",
+    "manifest_from_dict",
+]
+
+#: Manifest schema version; bump when fields change incompatibly.
+MANIFEST_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Reproducibility record of one pipeline run."""
+
+    command: str
+    started_at: str  # ISO-8601 UTC
+    finished_at: str
+    wall_seconds: float
+    config: Dict[str, Any]
+    config_sha256: str
+    seed: Optional[int]
+    seed_lineage: Dict[str, Any]
+    git_sha: Optional[str]
+    versions: Dict[str, str]
+    tallies: Dict[str, int]
+    stage_timings: Dict[str, float]
+    argv: Tuple[str, ...] = ()
+    schema: int = MANIFEST_SCHEMA
+
+
+def config_fingerprint(config: Any) -> Tuple[Dict[str, Any], str]:
+    """(JSON-safe config dict, stable SHA-256 of it).
+
+    Accepts a dataclass (e.g. :class:`~repro.core.config.LitmusConfig`) or
+    a plain mapping; keys are sorted before hashing so the fingerprint is
+    independent of insertion order.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        raw: Dict[str, Any] = dataclasses.asdict(config)
+    elif isinstance(config, dict):
+        raw = dict(config)
+    elif config is None:
+        raw = {}
+    else:
+        raise TypeError(f"config must be a dataclass or dict, got {type(config).__name__}")
+    encoded = json.dumps(raw, sort_keys=True, default=str)
+    return json.loads(encoded), hashlib.sha256(encoded.encode()).hexdigest()
+
+
+def seed_lineage(root_seed: Optional[int], n_spawned: int) -> Dict[str, Any]:
+    """Record the ``SeedSequence.spawn`` lineage of a run.
+
+    The assessment fan-out derives task *i*'s seed from
+    ``SeedSequence(root_seed).spawn(n)[i]`` — a pure function of
+    ``(root_seed, n)`` — so the lineage is reconstructible from the root
+    seed and the task count alone.  The digest over the spawned seeds lets
+    an auditor verify a re-run consumed the identical streams without
+    storing thousands of integers.
+    """
+    lineage: Dict[str, Any] = {"root_seed": root_seed, "n_spawned": int(n_spawned)}
+    if root_seed is None or n_spawned <= 0:
+        lineage["spawned_sha256"] = None
+        lineage["first_seeds"] = []
+        return lineage
+    try:
+        import numpy as np
+
+        children = np.random.SeedSequence(root_seed).spawn(int(n_spawned))
+        seeds = [int(c.generate_state(1, np.uint64)[0]) for c in children]
+    except Exception:  # pragma: no cover - numpy is a hard repo dependency
+        lineage["spawned_sha256"] = None
+        lineage["first_seeds"] = []
+        return lineage
+    digest = hashlib.sha256(",".join(str(s) for s in seeds).encode()).hexdigest()
+    lineage["spawned_sha256"] = digest
+    lineage["first_seeds"] = seeds[:5]
+    return lineage
+
+
+def git_revision() -> Optional[str]:
+    """The repository HEAD SHA, or None outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def collect_versions() -> Dict[str, str]:
+    """Interpreter/platform/package versions the run executed under."""
+    versions = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    try:
+        import numpy
+
+        versions["numpy"] = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard repo dependency
+        pass
+    try:
+        from .. import __version__ as repro_version
+
+        versions["repro"] = str(repro_version)
+    except Exception:
+        pass
+    return versions
+
+
+def _iso(epoch: float) -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(epoch))
+
+
+def build_manifest(
+    command: str,
+    *,
+    config: Any = None,
+    seed: Optional[int] = None,
+    n_spawned: int = 0,
+    tallies: Optional[Dict[str, int]] = None,
+    stage_timings: Optional[Dict[str, float]] = None,
+    started_at: Optional[float] = None,
+    finished_at: Optional[float] = None,
+    argv: Tuple[str, ...] = (),
+) -> RunManifest:
+    """Assemble a :class:`RunManifest` from a finished run's artifacts."""
+    t1 = time.time() if finished_at is None else finished_at
+    t0 = t1 if started_at is None else started_at
+    config_dict, config_hash = config_fingerprint(config)
+    return RunManifest(
+        command=command,
+        started_at=_iso(t0),
+        finished_at=_iso(t1),
+        wall_seconds=round(max(0.0, t1 - t0), 6),
+        config=config_dict,
+        config_sha256=config_hash,
+        seed=seed,
+        seed_lineage=seed_lineage(seed, n_spawned),
+        git_sha=git_revision(),
+        versions=collect_versions(),
+        tallies=dict(tallies or {}),
+        stage_timings={k: round(float(v), 6) for k, v in (stage_timings or {}).items()},
+        argv=tuple(argv),
+    )
+
+
+def manifest_to_dict(manifest: RunManifest) -> Dict[str, Any]:
+    out = dataclasses.asdict(manifest)
+    out["argv"] = list(manifest.argv)
+    return out
+
+
+def manifest_from_dict(data: Dict[str, Any]) -> RunManifest:
+    known = {f.name for f in dataclasses.fields(RunManifest)}
+    kwargs = {k: v for k, v in data.items() if k in known}
+    kwargs["argv"] = tuple(kwargs.get("argv", ()))
+    return RunManifest(**kwargs)

@@ -1,0 +1,366 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the quantitative side of the observability subsystem: the
+tracer answers *where did the time go*, the registry answers *how often
+did things happen* — tasks run, tasks failed, controls quarantined,
+samples imputed, SVD fallbacks taken, pool restarts.
+
+Like the tracer, the active registry lives in a :mod:`contextvars`
+variable with a no-op default, so instrumentation sites call
+:func:`get_metrics` unconditionally and pay nothing when no run recorder
+is installed.  Snapshots are plain JSON-friendly dicts; worker-local
+registries snapshot at task end and the parent :meth:`MetricsRegistry.merge`\\ s
+the deltas, mirroring how spans cross pool boundaries.
+
+Histograms use fixed buckets (log-spaced for durations by default) with
+linear interpolation inside the resolving bucket for quantile estimates —
+the classic fixed-cost estimator whose error is bounded by bucket width.
+
+Sinks are pluggable consumers of snapshot events: :class:`JsonlSink`
+appends events to a JSONL file, :class:`InMemorySink` keeps them in a
+list, and :func:`render_metrics_table` formats a snapshot as the
+plain-text summary table the CLI prints.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "get_metrics",
+    "use_metrics",
+    "JsonlSink",
+    "InMemorySink",
+    "render_metrics_table",
+    "DEFAULT_DURATION_BUCKETS",
+]
+
+#: Log-spaced upper bounds (seconds) covering 100 µs to ~2 minutes — the
+#: span of one subsample solve up to one full evaluation sweep.
+DEFAULT_DURATION_BUCKETS: Tuple[float, ...] = tuple(
+    1e-4 * (10 ** (i / 3)) for i in range(19)
+)
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-written value (pool size, seed, queue depth)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantile estimates.
+
+    ``buckets`` are the inclusive upper bounds of the finite buckets; one
+    implicit overflow bucket catches everything larger.  Exact ``count``,
+    ``sum``, ``min`` and ``max`` ride along, so means are exact and only
+    quantiles are bucket-resolution estimates.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: Optional[Sequence[float]] = None) -> None:
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_DURATION_BUCKETS
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError("histogram buckets must be strictly increasing and non-empty")
+        self.buckets: Tuple[float, ...] = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)  # + overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by interpolating inside the bucket.
+
+        The estimate is exact to within the resolving bucket's width —
+        and clamped to the exact observed ``[min, max]``, so a handful of
+        observations never produce an estimate outside the data.  The
+        overflow bucket reports the exact observed maximum (the only
+        bound it has).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                if i == len(self.buckets):  # overflow bucket
+                    return self.max
+                lo = self.buckets[i - 1] if i > 0 else min(self.min, self.buckets[i])
+                hi = self.buckets[i]
+                frac = (rank - cumulative) / n
+                return min(max(lo + frac * (hi - lo), self.min), self.max)
+            cumulative += n
+        return self.max
+
+    def merge(self, other: "Histogram") -> None:
+        if self.buckets != other.buckets:
+            raise ValueError("cannot merge histograms with different buckets")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms with snapshot/merge."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- accessors (create on first use) ---------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(buckets)
+        return h
+
+    # -- snapshot / merge -------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly point-in-time view of every metric."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
+                }
+                for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a snapshot (typically a worker's) into this registry.
+
+        Counters and histogram bucket counts add; gauges take the
+        snapshot's value (last writer wins).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            other = Histogram(data["buckets"])
+            other.counts = [int(n) for n in data["counts"]]
+            other.count = int(data["count"])
+            other.sum = float(data["sum"])
+            other.min = float(data["min"]) if data.get("min") is not None else math.inf
+            other.max = float(data["max"]) if data.get("max") is not None else -math.inf
+            self.histogram(name, data["buckets"]).merge(other)
+
+    def publish(self, *sinks: "InMemorySink") -> Dict[str, Any]:
+        """Emit one ``metrics`` event carrying the snapshot to each sink."""
+        event = {"type": "metrics", "snapshot": self.snapshot()}
+        for sink in sinks:
+            sink.emit(event)
+        return event
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetricsRegistry:
+    """Disabled registry: hands out shared no-op instruments."""
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        pass
+
+
+NULL_METRICS = NullMetricsRegistry()
+
+_METRICS: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_obs_metrics", default=NULL_METRICS
+)
+
+
+def get_metrics():
+    """The metrics registry active in this context (no-op by default)."""
+    return _METRICS.get()
+
+
+class use_metrics:
+    """Install a registry for a ``with`` block (restores the previous one)."""
+
+    def __init__(self, registry) -> None:
+        self._registry = registry
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self):
+        self._token = _METRICS.set(self._registry)
+        return self._registry
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._token is not None:
+            _METRICS.reset(self._token)
+        return None
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+
+
+class InMemorySink:
+    """Collects emitted events in a list (tests, programmatic consumers)."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+
+class JsonlSink:
+    """Appends each emitted event as one JSON line."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+
+
+def render_metrics_table(snapshot: Dict[str, Any]) -> str:
+    """Plain-text summary table of a registry snapshot."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    width = max(
+        [len(k) for k in (*counters, *gauges, *histograms)] + [6]
+    )
+    if counters:
+        lines.append("counters")
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {value}")
+    if gauges:
+        lines.append("gauges")
+        for name, value in gauges.items():
+            lines.append(f"  {name:<{width}}  {value:g}")
+    if histograms:
+        lines.append("histograms (count / mean / p50 / p90 / max)")
+        for name, data in histograms.items():
+            h = Histogram(data["buckets"])
+            h.counts = [int(n) for n in data["counts"]]
+            h.count = int(data["count"])
+            h.sum = float(data["sum"])
+            h.min = float(data["min"]) if data.get("min") is not None else math.inf
+            h.max = float(data["max"]) if data.get("max") is not None else -math.inf
+            if h.count == 0:
+                lines.append(f"  {name:<{width}}  0")
+                continue
+            lines.append(
+                f"  {name:<{width}}  {h.count} / {h.mean:.4g} / "
+                f"{h.quantile(0.5):.4g} / {h.quantile(0.9):.4g} / {h.max:.4g}"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,149 @@
+"""The run recorder: one context manager wiring the whole subsystem up.
+
+``RunRecorder`` is what the CLI (and any embedding pipeline) uses: it
+installs a metrics registry — always, counters are cheap and feed the
+one-line telemetry footer — and, when a trace directory is given, a
+recording tracer.  On exit it writes the run directory:
+
+* ``trace.jsonl`` — one JSON line per root span tree, plus one final
+  ``metrics`` event carrying the registry snapshot;
+* ``metrics.json`` — the snapshot alone, for direct consumption;
+* ``manifest.json`` — the :class:`~repro.obs.manifest.RunManifest`.
+
+Without a trace directory nothing is written; the recorder still tallies
+metrics so callers can print the telemetry footer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from .manifest import build_manifest, manifest_to_dict
+from .metrics import MetricsRegistry, use_metrics
+from .trace import NULL_TRACER, Tracer, use_tracer
+
+__all__ = ["RunRecorder", "TRACE_FILE", "METRICS_FILE", "MANIFEST_FILE"]
+
+TRACE_FILE = "trace.jsonl"
+METRICS_FILE = "metrics.json"
+MANIFEST_FILE = "manifest.json"
+
+
+class RunRecorder:
+    """Collect spans + metrics for one run; persist them on exit."""
+
+    def __init__(
+        self,
+        command: str,
+        trace_dir: Optional[str] = None,
+        *,
+        config: Any = None,
+        seed: Optional[int] = None,
+        argv: Tuple[str, ...] = (),
+    ) -> None:
+        self.command = command
+        self.trace_dir = trace_dir
+        self.config = config
+        self.seed = seed
+        self.argv = tuple(argv)
+        self.tracer = Tracer() if trace_dir is not None else NULL_TRACER
+        self.registry = MetricsRegistry()
+        self.started_at: float = 0.0
+        self.finished_at: float = 0.0
+        self._tracer_ctx: Optional[use_tracer] = None
+        self._metrics_ctx: Optional[use_metrics] = None
+
+    # -- context manager -------------------------------------------------
+    def __enter__(self) -> "RunRecorder":
+        self.started_at = time.time()
+        self._tracer_ctx = use_tracer(self.tracer)
+        self._metrics_ctx = use_metrics(self.registry)
+        self._tracer_ctx.__enter__()
+        self._metrics_ctx.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finished_at = time.time()
+        if self._metrics_ctx is not None:
+            self._metrics_ctx.__exit__(exc_type, exc, tb)
+        if self._tracer_ctx is not None:
+            self._tracer_ctx.__exit__(exc_type, exc, tb)
+        if self.trace_dir is not None and exc_type is None:
+            self.flush()
+        return None
+
+    # -- outputs ----------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        return self.registry.snapshot()
+
+    def wall_seconds(self) -> float:
+        end = self.finished_at or time.time()
+        return max(0.0, end - self.started_at)
+
+    def stage_timings(self) -> Dict[str, float]:
+        """Wall seconds per top-level stage: roots and their direct children."""
+        timings: Dict[str, float] = {}
+        for root in self.tracer.roots:
+            timings[root.name] = timings.get(root.name, 0.0) + root.wall_s
+            for child in root.children:
+                key = f"{root.name}/{child.name}"
+                timings[key] = timings.get(key, 0.0) + child.wall_s
+        return timings
+
+    def build_manifest(self):
+        counters = self.snapshot()["counters"]
+        return build_manifest(
+            self.command,
+            config=self.config,
+            seed=self.seed,
+            n_spawned=int(counters.get("assess.tasks", 0)),
+            tallies={k: int(v) for k, v in counters.items()},
+            stage_timings=self.stage_timings(),
+            started_at=self.started_at,
+            finished_at=self.finished_at or time.time(),
+            argv=self.argv,
+        )
+
+    def flush(self) -> None:
+        """Write trace.jsonl + metrics.json + manifest.json to the run dir."""
+        assert self.trace_dir is not None
+        os.makedirs(self.trace_dir, exist_ok=True)
+        snapshot = self.snapshot()
+        trace_path = os.path.join(self.trace_dir, TRACE_FILE)
+        with open(trace_path, "w") as handle:
+            for tree in self.tracer.to_events():
+                handle.write(json.dumps({"type": "span", "span": tree}, sort_keys=True) + "\n")
+            handle.write(
+                json.dumps({"type": "metrics", "snapshot": snapshot}, sort_keys=True) + "\n"
+            )
+        with open(os.path.join(self.trace_dir, METRICS_FILE), "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        from ..io import write_manifest_json
+
+        write_manifest_json(
+            self.build_manifest(), os.path.join(self.trace_dir, MANIFEST_FILE)
+        )
+
+    def footer(self) -> str:
+        """The one-line telemetry summary the CLI prints after a report."""
+        counters = self.snapshot()["counters"]
+        n_tasks = counters.get("assess.tasks", 0)
+        n_failed = counters.get("assess.failures", 0)
+        n_quarantined = counters.get("assess.quarantined_controls", 0)
+        n_imputed = counters.get("quality.imputed_samples", 0)
+        parts = [
+            f"{n_tasks} task(s)",
+            f"{n_failed} failed",
+            f"{n_quarantined} control(s) quarantined",
+        ]
+        if n_imputed:
+            parts.append(f"{n_imputed} sample(s) imputed")
+        parts.append(f"{self.wall_seconds():.2f} s wall")
+        line = f"telemetry: " + ", ".join(parts)
+        if self.trace_dir is not None:
+            line += f" (trace: {self.trace_dir})"
+        return line

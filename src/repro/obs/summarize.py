@@ -1,0 +1,174 @@
+"""Summarize a recorded run directory: span tree, slowest stages, metrics.
+
+``litmus trace <run-dir>`` lands here.  Parsing is deliberately strict —
+a malformed line in ``trace.jsonl`` raises :class:`TraceFormatError` with
+its line number instead of being skipped, which is what lets CI use the
+summarizer as a validity check on emitted traces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from .metrics import render_metrics_table
+from .recorder import MANIFEST_FILE, METRICS_FILE, TRACE_FILE
+from .trace import Span
+
+__all__ = [
+    "TraceFormatError",
+    "LoadedTrace",
+    "load_trace",
+    "render_span_tree",
+    "top_slowest",
+    "summarize_run",
+]
+
+
+class TraceFormatError(ValueError):
+    """A trace file that cannot be parsed (malformed JSONL, bad event)."""
+
+
+@dataclass(frozen=True)
+class LoadedTrace:
+    """Parsed contents of one run directory."""
+
+    spans: Tuple[Span, ...]
+    metrics: Optional[Dict[str, Any]]
+    manifest: Optional[Dict[str, Any]]
+
+
+def load_trace(run_dir: str) -> LoadedTrace:
+    """Load and validate ``trace.jsonl`` (+ metrics/manifest if present)."""
+    trace_path = os.path.join(run_dir, TRACE_FILE)
+    if not os.path.exists(trace_path):
+        raise TraceFormatError(f"no {TRACE_FILE} in {run_dir!r}")
+    spans: List[Span] = []
+    metrics: Optional[Dict[str, Any]] = None
+    with open(trace_path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(
+                    f"{trace_path}:{line_no}: malformed JSON ({exc.msg})"
+                ) from exc
+            if not isinstance(event, dict) or "type" not in event:
+                raise TraceFormatError(
+                    f"{trace_path}:{line_no}: event must be an object with a 'type' key"
+                )
+            kind = event["type"]
+            if kind == "span":
+                tree = event.get("span")
+                if not isinstance(tree, dict) or "name" not in tree:
+                    raise TraceFormatError(
+                        f"{trace_path}:{line_no}: span event missing a span tree"
+                    )
+                spans.append(Span.from_dict(tree))
+            elif kind == "metrics":
+                snapshot = event.get("snapshot")
+                if not isinstance(snapshot, dict):
+                    raise TraceFormatError(
+                        f"{trace_path}:{line_no}: metrics event missing a snapshot"
+                    )
+                metrics = snapshot
+            else:
+                raise TraceFormatError(
+                    f"{trace_path}:{line_no}: unknown event type {kind!r}"
+                )
+
+    manifest: Optional[Dict[str, Any]] = None
+    manifest_path = os.path.join(run_dir, MANIFEST_FILE)
+    if os.path.exists(manifest_path):
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+    if metrics is None:
+        metrics_path = os.path.join(run_dir, METRICS_FILE)
+        if os.path.exists(metrics_path):
+            with open(metrics_path) as handle:
+                metrics = json.load(handle)
+    return LoadedTrace(spans=tuple(spans), metrics=metrics, manifest=manifest)
+
+
+def _format_span(span: Span) -> str:
+    label = span.name
+    attrs = {k: v for k, v in span.attrs.items()}
+    detail = ""
+    if attrs:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        detail = f" [{inner}]"
+    mark = "" if span.outcome == "ok" else f"  !! {span.outcome}: {span.error or ''}"
+    return f"{label:<28s} {span.wall_s * 1e3:9.1f} ms  cpu {span.cpu_s * 1e3:8.1f} ms{detail}{mark}"
+
+
+def render_span_tree(spans: Tuple[Span, ...], max_children: int = 40) -> str:
+    """Indented tree of every root span; large fan-outs are elided."""
+    lines: List[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        lines.append("  " * depth + _format_span(span))
+        shown = span.children[:max_children]
+        for child in shown:
+            walk(child, depth + 1)
+        hidden = len(span.children) - len(shown)
+        if hidden > 0:
+            lines.append("  " * (depth + 1) + f"... {hidden} more child span(s) elided")
+
+    for root in spans:
+        walk(root, 0)
+    return "\n".join(lines) if lines else "(no spans recorded)"
+
+
+def top_slowest(spans: Tuple[Span, ...], k: int = 10) -> List[Tuple[str, Span]]:
+    """The ``k`` slowest spans across all trees, with their tree paths."""
+    flat: List[Tuple[str, Span]] = []
+
+    def walk(span: Span, path: str) -> None:
+        here = f"{path}/{span.name}" if path else span.name
+        flat.append((here, span))
+        for child in span.children:
+            walk(child, here)
+
+    for root in spans:
+        walk(root, "")
+    flat.sort(key=lambda item: item[1].wall_s, reverse=True)
+    return flat[:k]
+
+
+def summarize_run(run_dir: str, top: int = 10) -> str:
+    """Full plain-text summary of a run directory."""
+    loaded = load_trace(run_dir)
+    sections: List[str] = []
+
+    if loaded.manifest is not None:
+        m = loaded.manifest
+        sections.append(
+            "run manifest\n"
+            f"  command:  {m.get('command', '?')}\n"
+            f"  started:  {m.get('started_at', '?')}  "
+            f"({m.get('wall_seconds', 0.0):.2f} s wall)\n"
+            f"  config:   sha256:{str(m.get('config_sha256', ''))[:12]}  "
+            f"seed={m.get('seed')}\n"
+            f"  lineage:  {m.get('seed_lineage', {}).get('n_spawned', 0)} spawned seed(s), "
+            f"digest {str(m.get('seed_lineage', {}).get('spawned_sha256') or '-')[:12]}\n"
+            f"  git:      {str(m.get('git_sha') or 'unknown')[:12]}"
+        )
+
+    sections.append("span tree\n" + render_span_tree(loaded.spans))
+
+    slowest = top_slowest(loaded.spans, top)
+    if slowest:
+        lines = [f"top {len(slowest)} slowest span(s)"]
+        for path, span in slowest:
+            lines.append(f"  {span.wall_s * 1e3:9.1f} ms  {path}")
+        sections.append("\n".join(lines))
+
+    if loaded.metrics is not None:
+        sections.append("metrics\n" + render_metrics_table(loaded.metrics))
+
+    return "\n\n".join(sections)

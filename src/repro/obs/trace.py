@@ -1,0 +1,290 @@
+"""Structured tracing: nested spans over the assessment pipeline.
+
+A :class:`Span` records one named stage — wall time, CPU time, free-form
+attributes, an ``ok``/``error`` outcome, and child spans.  The active
+:class:`Tracer` lives in a :mod:`contextvars` variable, so instrumentation
+sites never thread a tracer through call signatures: they call
+:func:`span` and get either a real recording span or the shared no-op
+handle of the :class:`NullTracer` (the default).  The null path costs one
+contextvar read and one attribute call — cheap enough to leave the
+instrumentation permanently compiled into the hot paths.
+
+Spans cross :class:`~concurrent.futures.ProcessPoolExecutor` (and thread
+pool) boundaries by *value*, not by shared state: the fan-out wrapper in
+:mod:`repro.core.parallel` runs each task under a fresh worker-local
+tracer, ships the finished span tree back with the task's result, and the
+parent :meth:`Tracer.graft`\\ s it under its own active span.  A task whose
+worker died never reports back; the parent synthesizes an ``error`` span
+for it so the reassembled tree still covers every task.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "use_tracer",
+    "span",
+    "tracing_enabled",
+]
+
+
+class Span:
+    """One named, timed stage with attributes, outcome, and children.
+
+    Used both as the in-flight recording object (the tracer starts/finishes
+    it) and as the serialized tree node (:meth:`to_dict` /
+    :meth:`from_dict`).  ``wall_s`` is wall-clock duration, ``cpu_s``
+    process CPU time consumed between start and finish — the gap between
+    the two is time spent waiting (queue, I/O, a straggling sibling).
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "started_at",
+        "wall_s",
+        "cpu_s",
+        "outcome",
+        "error",
+        "children",
+        "_t0",
+        "_c0",
+    )
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.started_at: float = 0.0  # epoch seconds
+        self.wall_s: float = 0.0
+        self.cpu_s: float = 0.0
+        self.outcome: str = "ok"
+        self.error: Optional[str] = None
+        self.children: List["Span"] = []
+        self._t0: float = 0.0
+        self._c0: float = 0.0
+
+    # -- lifecycle (driven by the tracer) -------------------------------
+    def _start(self) -> None:
+        self.started_at = time.time()
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+
+    def _finish(self) -> None:
+        self.wall_s = time.perf_counter() - self._t0
+        self.cpu_s = time.process_time() - self._c0
+
+    def fail(self, error: str) -> None:
+        """Mark the span's outcome as ``error`` with a message."""
+        self.outcome = "error"
+        self.error = error
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-stage (e.g. a task count)."""
+        self.attrs.update(attrs)
+
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "started_at": round(self.started_at, 6),
+            "wall_s": round(self.wall_s, 6),
+            "cpu_s": round(self.cpu_s, 6),
+            "outcome": self.outcome,
+        }
+        if self.attrs:
+            out["attrs"] = self.attrs
+        if self.error is not None:
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        span = cls(str(data.get("name", "?")), data.get("attrs"))
+        span.started_at = float(data.get("started_at", 0.0))
+        span.wall_s = float(data.get("wall_s", 0.0))
+        span.cpu_s = float(data.get("cpu_s", 0.0))
+        span.outcome = str(data.get("outcome", "ok"))
+        error = data.get("error")
+        span.error = str(error) if error is not None else None
+        span.children = [cls.from_dict(c) for c in data.get("children", ())]
+        return span
+
+    def iter_tree(self) -> Iterator["Span"]:
+        """Yield the span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_tree()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, wall_s={self.wall_s:.4f}, "
+            f"outcome={self.outcome!r}, children={len(self.children)})"
+        )
+
+
+class _SpanHandle:
+    """Context manager binding one span to a tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        self._span._start()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._span._finish()
+        if exc is not None and self._span.outcome == "ok":
+            self._span.fail(f"{exc_type.__name__}: {exc}")
+        self._tracer._pop(self._span)
+        return None
+
+
+class _NullSpan(Span):
+    """The shared do-nothing span the null tracer hands out."""
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+    def fail(self, error: str) -> None:
+        pass
+
+
+class _NullSpanHandle:
+    """No-op context manager: what :func:`span` costs when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan("null")
+_NULL_HANDLE = _NullSpanHandle()
+
+
+class NullTracer:
+    """Disabled tracer: every span is the shared no-op handle."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpanHandle:
+        return _NULL_HANDLE
+
+    def graft(self, tree: Dict[str, Any]) -> None:
+        pass
+
+    @property
+    def roots(self) -> List[Span]:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Recording tracer: spans nest along an explicit stack.
+
+    Not thread-safe by design — each thread of execution (the main process,
+    or one fan-out task inside a worker) records into its own tracer, and
+    trees are reassembled with :meth:`graft`.  That keeps the hot path free
+    of locks.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        """Open a child span of the currently active span (or a new root)."""
+        return _SpanHandle(self, Span(name, attrs))
+
+    # -- stack protocol used by the handle -------------------------------
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+
+    # -- reassembly ------------------------------------------------------
+    def graft(self, tree: Dict[str, Any]) -> None:
+        """Attach a serialized span tree under the active span.
+
+        This is how worker-recorded spans rejoin the parent's trace: the
+        fan-out ships each task's tree back by value and the collector
+        grafts it at the point the fan-out is executing.
+        """
+        span = Span.from_dict(tree)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    def to_events(self) -> List[Dict[str, Any]]:
+        """Serialized root trees, one event per root span."""
+        return [root.to_dict() for root in self.roots]
+
+
+_TRACER: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_obs_tracer", default=NULL_TRACER
+)
+
+
+def current_tracer():
+    """The tracer active in this context (the null tracer by default)."""
+    return _TRACER.get()
+
+
+def tracing_enabled() -> bool:
+    """True when a recording tracer is installed in this context."""
+    return _TRACER.get().enabled
+
+
+class use_tracer:
+    """Install a tracer for a ``with`` block (restores the previous one)."""
+
+    def __init__(self, tracer) -> None:
+        self._tracer = tracer
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self):
+        self._token = _TRACER.set(self._tracer)
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._token is not None:
+            _TRACER.reset(self._token)
+        return None
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the context's tracer — the instrumentation one-liner.
+
+    ``with span("execute-tasks", n=8) as sp: ...`` records a nested span
+    when tracing is enabled and costs a contextvar read otherwise.
+    """
+    return _TRACER.get().span(name, **attrs)

@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..kpi.metrics import KpiKind, get_kpi
+from ..obs.metrics import get_metrics
 from ..stats.rank_tests import DataQualityError
 from .checks import IssueKind, QualityConfig, QualityIssue, check_values, impute_gaps
 from .report import QualityLedger, QualityReport, SeriesQuality
@@ -58,13 +59,17 @@ def screen_windows(
     arrays = [np.asarray(values, dtype=float).ravel() for values, _ in pieces]
     starts = [start for _, start in pieces]
     kpi_name = kpi.value if kpi is not None else ""
+    registry = get_metrics()
+    registry.counter("quality.series_screened").inc()
     issues: List[QualityIssue] = []
     for arr in arrays:
         issues.extend(check_values(arr, kpi, config))
     if not issues:
         return arrays, SeriesQuality(element_id, kpi_name, role, "kept")
+    registry.counter("quality.series_with_issues").inc()
 
     if config.policy == "reject":
+        registry.counter("quality.rejects").inc()
         raise DataQualityError(
             f"{role} series {element_id!r}/{kpi_name or '?'} failed quality "
             "checks under policy 'reject': "
@@ -90,11 +95,14 @@ def screen_windows(
                 filled_windows.append(filled[0])
                 total_imputed += filled[1]
             else:
+                registry.counter("quality.imputed_series").inc()
+                registry.counter("quality.imputed_samples").inc(total_imputed)
                 return filled_windows, SeriesQuality(
                     element_id, kpi_name, role, "imputed", tuple(issues), total_imputed
                 )
         # Fall through: not imputable -> quarantine instead.
 
+    registry.counter("quality.quarantined_series").inc()
     return None, SeriesQuality(element_id, kpi_name, role, "quarantined", tuple(issues))
 
 

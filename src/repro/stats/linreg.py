@@ -19,6 +19,8 @@ from typing import Sequence, Union
 
 import numpy as np
 
+from ..obs.metrics import get_metrics
+
 __all__ = [
     "LinearModel",
     "BatchedLinearModel",
@@ -383,6 +385,9 @@ def ols_subset_forecasts(
     except np.linalg.LinAlgError:
         beta = None
     if beta is None:
+        # Observable: how often the fast normal-equations path degrades to
+        # the exact (but slower) batched SVD on this workload.
+        get_metrics().counter("regression.svd_fallback").inc()
         design = np.ascontiguousarray(x_train[:, cols].transpose(1, 0, 2))
         beta = _svd_min_norm(design, y)
 

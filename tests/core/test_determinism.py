@@ -47,6 +47,7 @@ class TestAssessmentDeterminism:
     def test_serial_vs_thread_pool(self, world):
         assert report_dict(world, n_workers=1) == report_dict(world, n_workers=4)
 
+    @pytest.mark.slow
     def test_serial_vs_process_pool(self, world):
         assert report_dict(world, n_workers=1) == report_dict(
             world, n_workers=4, executor="process"
@@ -107,7 +108,9 @@ class TestSeedSpawning:
 
 
 class TestExecutorPool:
-    @pytest.mark.parametrize("flavour", ["thread", "process"])
+    @pytest.mark.parametrize(
+        "flavour", ["thread", pytest.param("process", marks=pytest.mark.slow)]
+    )
     def test_pool_flavours(self, flavour):
         with executor_pool(flavour, 2) as pool:
             assert list(pool.map(abs, [-1, 2, -3])) == [1, 2, 3]

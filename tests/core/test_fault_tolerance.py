@@ -105,6 +105,7 @@ class TestRunTasksPool:
         assert [o.value for o in serial] == [o.value for o in pooled]
         assert [o.ok for o in serial] == [o.ok for o in pooled]
 
+    @pytest.mark.slow
     def test_worker_crash_recovered_others_survive(self):
         """A killed worker fails only its own task; siblings in flight when
         the pool broke are re-run and succeed."""
@@ -116,6 +117,7 @@ class TestRunTasksPool:
         assert [o.value for o in outcomes if o.ok] == [0, 2, 4, 8, 10]
         assert outcomes[3].failure.category == "worker-crash"
 
+    @pytest.mark.slow
     def test_crash_with_no_retries_files_all_unfinished(self):
         outcomes = run_tasks(
             _die_on_three, [3], executor="process", n_workers=1, retries=0
@@ -123,6 +125,7 @@ class TestRunTasksPool:
         assert not outcomes[0].ok
         assert outcomes[0].failure.category == "worker-crash"
 
+    @pytest.mark.slow
     def test_timeout_becomes_typed_failure(self):
         outcomes = run_tasks(
             _sleep_on_three, [1, 3, 5], executor="thread", n_workers=3, timeout=0.5
@@ -191,6 +194,7 @@ class TestLitmusDegradation:
         for a in report.assessments:
             assert base[(a.element_id, a.kpi)] == a.result.p_value
 
+    @pytest.mark.slow
     def test_killed_worker_isolated(self, world):
         topo, store, change = world
         cfg = LitmusConfig(n_workers=2, executor="process", task_retries=2)

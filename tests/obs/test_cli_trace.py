@@ -1,0 +1,83 @@
+"""CLI-level tests for the observability flags and the trace summarizer."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def demo_run(tmp_path_factory):
+    run_dir = tmp_path_factory.mktemp("runs") / "demo"
+    assert main(["demo", "--seed", "7", "--trace", str(run_dir)]) == 0
+    return run_dir
+
+
+class TestDemoTrace:
+    def test_demo_writes_the_run_directory(self, demo_run):
+        for name in ("trace.jsonl", "metrics.json", "manifest.json"):
+            assert (demo_run / name).exists()
+
+    def test_trace_jsonl_is_valid_line_delimited_json(self, demo_run):
+        lines = (demo_run / "trace.jsonl").read_text().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert events[0]["type"] == "span"
+        assert events[0]["span"]["name"] == "assess"
+        assert events[-1]["type"] == "metrics"
+
+    def test_manifest_records_command_and_seed(self, demo_run):
+        manifest = json.loads((demo_run / "manifest.json").read_text())
+        assert manifest["command"] == "demo"
+        assert manifest["seed"] == 7
+        assert manifest["config"]["quality_policy"] == "quarantine"
+
+    def test_demo_prints_telemetry_footer(self, capsys):
+        assert main(["demo", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        assert "task(s)" in out and "s wall" in out
+
+    def test_demo_metrics_flag_prints_table(self, capsys):
+        assert main(["demo", "--seed", "7", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "counters" in out
+        assert "assess.tasks" in out
+
+
+class TestTraceSummarizer:
+    def test_renders_span_tree_and_manifest(self, demo_run, capsys):
+        assert main(["trace", str(demo_run)]) == 0
+        out = capsys.readouterr().out
+        assert "run manifest" in out
+        assert "span tree" in out
+        assert "assess" in out and "execute-tasks" in out
+        assert "slowest span(s)" in out
+        assert "metrics" in out
+
+    def test_top_flag_limits_listing(self, demo_run, capsys):
+        assert main(["trace", str(demo_run), "--top", "2"]) == 0
+        assert "top 2 slowest span(s)" in capsys.readouterr().out
+
+    def test_missing_directory_fails(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_jsonl_fails_with_line_number(self, tmp_path, capsys):
+        run_dir = tmp_path / "demo"
+        assert main(["demo", "--seed", "7", "--trace", str(run_dir)]) == 0
+        trace = run_dir / "trace.jsonl"
+        n_lines = len(trace.read_text().splitlines())
+        with trace.open("a") as handle:
+            handle.write("{not json\n")
+        assert main(["trace", str(run_dir)]) == 1
+        err = capsys.readouterr().err
+        assert f"trace.jsonl:{n_lines + 1}" in err
+
+    def test_unknown_event_type_fails(self, tmp_path, capsys):
+        run_dir = tmp_path / "demo"
+        assert main(["demo", "--seed", "7", "--trace", str(run_dir)]) == 0
+        with (run_dir / "trace.jsonl").open("a") as handle:
+            handle.write(json.dumps({"type": "mystery"}) + "\n")
+        assert main(["trace", str(run_dir)]) == 1
+        assert "unknown event type" in capsys.readouterr().err

@@ -1,0 +1,104 @@
+"""Tests for repro.obs.manifest — config fingerprints, seed lineage, and
+the JSON round-trip through repro.io."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LitmusConfig
+from repro.io import read_manifest_json, write_manifest_json
+from repro.obs.manifest import (
+    RunManifest,
+    build_manifest,
+    config_fingerprint,
+    manifest_from_dict,
+    manifest_to_dict,
+    seed_lineage,
+)
+
+
+class TestConfigFingerprint:
+    def test_dataclass_and_equivalent_dict_agree(self):
+        cfg = LitmusConfig(seed=5)
+        as_dataclass, h1 = config_fingerprint(cfg)
+        _, h2 = config_fingerprint(as_dataclass)
+        assert h1 == h2
+
+    def test_key_order_does_not_matter(self):
+        _, h1 = config_fingerprint({"a": 1, "b": 2})
+        _, h2 = config_fingerprint({"b": 2, "a": 1})
+        assert h1 == h2
+
+    def test_different_configs_differ(self):
+        _, h1 = config_fingerprint(LitmusConfig(seed=1))
+        _, h2 = config_fingerprint(LitmusConfig(seed=2))
+        assert h1 != h2
+
+    def test_none_is_empty_config(self):
+        raw, _ = config_fingerprint(None)
+        assert raw == {}
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError, match="dataclass or dict"):
+            config_fingerprint("not-a-config")
+
+
+class TestSeedLineage:
+    def test_matches_spawned_seed_sequence(self):
+        lineage = seed_lineage(7, 3)
+        children = np.random.SeedSequence(7).spawn(3)
+        seeds = [int(c.generate_state(1, np.uint64)[0]) for c in children]
+        assert lineage["root_seed"] == 7
+        assert lineage["n_spawned"] == 3
+        assert lineage["first_seeds"] == seeds[:5]
+        assert lineage["spawned_sha256"]
+
+    def test_is_deterministic(self):
+        assert seed_lineage(11, 8) == seed_lineage(11, 8)
+        assert seed_lineage(11, 8) != seed_lineage(12, 8)
+
+    def test_empty_lineage_without_seed_or_tasks(self):
+        for root, n in ((None, 4), (7, 0)):
+            lineage = seed_lineage(root, n)
+            assert lineage["spawned_sha256"] is None
+            assert lineage["first_seeds"] == []
+
+
+class TestBuildAndRoundTrip:
+    def _manifest(self):
+        return build_manifest(
+            "demo",
+            config=LitmusConfig(seed=7),
+            seed=7,
+            n_spawned=3,
+            tallies={"assess.tasks": 3},
+            stage_timings={"assess": 0.5},
+            started_at=1000.0,
+            finished_at=1002.5,
+            argv=("demo", "--seed", "7"),
+        )
+
+    def test_build_manifest_fields(self):
+        m = self._manifest()
+        assert m.command == "demo"
+        assert m.wall_seconds == pytest.approx(2.5)
+        assert m.config["seed"] == 7
+        assert len(m.config_sha256) == 64
+        assert m.seed_lineage["n_spawned"] == 3
+        assert m.tallies == {"assess.tasks": 3}
+        assert m.versions["python"]
+        assert m.schema == 1
+
+    def test_dict_round_trip(self):
+        m = self._manifest()
+        assert manifest_from_dict(manifest_to_dict(m)) == m
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = manifest_to_dict(self._manifest())
+        data["future_field"] = "ignored"
+        assert isinstance(manifest_from_dict(data), RunManifest)
+
+    def test_json_round_trip_via_repro_io(self, tmp_path):
+        m = self._manifest()
+        path = tmp_path / "manifest.json"
+        write_manifest_json(m, path)
+        assert read_manifest_json(path) == m

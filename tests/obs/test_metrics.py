@@ -1,0 +1,176 @@
+"""Tests for repro.obs.metrics — instruments, histogram quantile accuracy,
+snapshot/merge, sinks, and the plain-text table."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_DURATION_BUCKETS,
+    NULL_METRICS,
+    Histogram,
+    InMemorySink,
+    JsonlSink,
+    MetricsRegistry,
+    get_metrics,
+    render_metrics_table,
+    use_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc()
+        reg.counter("n").inc(4)
+        assert reg.snapshot()["counters"]["n"] == 5
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(3)
+        reg.gauge("depth").set(1)
+        assert reg.snapshot()["gauges"]["depth"] == 1
+
+    def test_instruments_are_create_on_first_use(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("h") is reg.histogram("h")
+
+
+class TestHistogram:
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram([1.0, 1.0, 2.0])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram([])
+
+    def test_exact_stats_ride_along(self):
+        h = Histogram([1.0, 10.0, 100.0])
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)
+        assert h.min == 0.5
+        assert h.max == 500.0
+        assert h.mean == pytest.approx(555.5 / 4)
+
+    def test_quantile_accuracy_within_bucket_width(self):
+        # Uniform data on [0, 1) against 20 equal buckets: the interpolated
+        # estimate must land within one bucket width of the true quantile.
+        bounds = [i / 20 for i in range(1, 21)]
+        h = Histogram(bounds)
+        values = (np.arange(2000) + 0.5) / 2000
+        for v in values:
+            h.observe(float(v))
+        for q in (0.1, 0.25, 0.5, 0.9, 0.99):
+            assert h.quantile(q) == pytest.approx(q, abs=1 / 20)
+
+    def test_quantile_clamped_to_observed_range(self):
+        # A few observations in a wide bucket: interpolation alone could
+        # wander past the true extremes; the estimate must not.
+        h = Histogram([0.001, 1.0, 1000.0])
+        for v in (0.002, 0.5, 0.9):
+            h.observe(v)
+        for q in (0.0, 0.5, 0.9, 1.0):
+            assert 0.002 <= h.quantile(q) <= 0.9
+
+    def test_quantile_edge_cases(self):
+        h = Histogram([1.0])
+        assert h.quantile(0.5) == 0.0  # empty
+        h.observe(5.0)  # overflow bucket
+        assert h.quantile(0.5) == 5.0
+        with pytest.raises(ValueError, match="quantile"):
+            h.quantile(1.5)
+
+    def test_merge_adds_counts_and_extends_extremes(self):
+        a, b = Histogram([1.0, 2.0]), Histogram([1.0, 2.0])
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.min == 0.5 and a.max == 9.0
+        assert a.counts == [1, 1, 1]
+
+    def test_merge_rejects_mismatched_buckets(self):
+        with pytest.raises(ValueError, match="buckets"):
+            Histogram([1.0]).merge(Histogram([2.0]))
+
+    def test_default_buckets_are_log_spaced_durations(self):
+        assert DEFAULT_DURATION_BUCKETS[0] == pytest.approx(1e-4)
+        ratios = [
+            b / a for a, b in zip(DEFAULT_DURATION_BUCKETS, DEFAULT_DURATION_BUCKETS[1:])
+        ]
+        assert all(r == pytest.approx(ratios[0]) for r in ratios)
+
+
+class TestRegistrySnapshotMerge:
+    def test_merge_folds_worker_snapshot(self):
+        worker = MetricsRegistry()
+        worker.counter("tasks").inc(2)
+        worker.gauge("seed").set(7)
+        worker.histogram("wait", [1.0, 2.0]).observe(0.5)
+
+        parent = MetricsRegistry()
+        parent.counter("tasks").inc(1)
+        parent.merge(worker.snapshot())
+        snap = parent.snapshot()
+        assert snap["counters"]["tasks"] == 3
+        assert snap["gauges"]["seed"] == 7
+        assert snap["histograms"]["wait"]["count"] == 1
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", [1.0]).observe(0.5)
+        reg.counter("c").inc()
+        json.dumps(reg.snapshot())
+
+    def test_empty_histogram_snapshot_has_null_extremes(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", [1.0])
+        data = reg.snapshot()["histograms"]["h"]
+        assert data["min"] is None and data["max"] is None
+
+    def test_null_registry_is_inert(self):
+        NULL_METRICS.counter("x").inc()
+        NULL_METRICS.gauge("g").set(1)
+        NULL_METRICS.histogram("h").observe(1.0)
+        assert NULL_METRICS.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_use_metrics_installs_and_restores(self):
+        assert get_metrics() is NULL_METRICS
+        reg = MetricsRegistry()
+        with use_metrics(reg):
+            assert get_metrics() is reg
+            get_metrics().counter("n").inc()
+        assert get_metrics() is NULL_METRICS
+        assert reg.snapshot()["counters"]["n"] == 1
+
+
+class TestSinksAndTable:
+    def test_publish_to_sinks(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(2)
+        memory = InMemorySink()
+        jsonl = JsonlSink(tmp_path / "events.jsonl")
+        reg.publish(memory, jsonl)
+        assert memory.events[0]["snapshot"]["counters"]["n"] == 2
+        line = (tmp_path / "events.jsonl").read_text().strip()
+        assert json.loads(line)["type"] == "metrics"
+
+    def test_render_table_lists_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("tasks").inc(3)
+        reg.gauge("workers").set(2)
+        reg.histogram("wait", [1.0, 2.0]).observe(0.5)
+        text = render_metrics_table(reg.snapshot())
+        assert "tasks" in text and "workers" in text and "wait" in text
+        assert "counters" in text and "histograms" in text
+
+    def test_render_empty_snapshot(self):
+        assert render_metrics_table({}) == "(no metrics recorded)"

@@ -1,0 +1,167 @@
+"""Integration tests: the observability subsystem over the real pipeline.
+
+Covers the determinism invariant (byte-identical reports tracing on vs
+off), span coverage of an end-to-end assess, counter/report agreement,
+the RunRecorder's on-disk artifacts, and cross-process span reassembly
+when a worker is killed mid-batch."""
+
+import json
+
+import pytest
+
+from repro.core.config import LitmusConfig
+from repro.core.litmus import Litmus
+from repro.core.regression import RobustSpatialRegression
+from repro.evaluation.faults import FaultyAssessor, target_task_seed
+from repro.kpi.generator import generate_kpis
+from repro.kpi.metrics import KpiKind
+from repro.network.builder import build_network
+from repro.network.changes import ChangeEvent, ChangeType
+from repro.network.technology import ElementRole
+from repro.obs import (
+    MetricsRegistry,
+    RunRecorder,
+    Tracer,
+    load_trace,
+    use_metrics,
+    use_tracer,
+)
+
+VR = KpiKind.VOICE_RETAINABILITY
+DR = KpiKind.DATA_RETAINABILITY
+CHANGE_DAY = 85
+
+
+@pytest.fixture(scope="module")
+def world():
+    topo = build_network(seed=31, controllers_per_region=10, towers_per_controller=1)
+    store = generate_kpis(topo, (VR, DR), seed=31)
+    rncs = topo.elements(role=ElementRole.RNC)
+    ids = frozenset(r.element_id for r in rncs[:3])
+    change = ChangeEvent("obs", ChangeType.CONFIGURATION, CHANGE_DAY, ids)
+    return topo, store, change
+
+
+class TestDeterminism:
+    def test_reports_byte_identical_tracing_on_vs_off(self, world):
+        topo, store, change = world
+        plain = Litmus(topo, store).assess(change, [VR, DR])
+        with use_tracer(Tracer()), use_metrics(MetricsRegistry()):
+            traced = Litmus(topo, store).assess(change, [VR, DR])
+        as_bytes = lambda r: json.dumps(r.to_dict(), sort_keys=True)
+        assert as_bytes(plain) == as_bytes(traced)
+        assert plain.to_text() == traced.to_text()
+
+
+class TestSpanCoverage:
+    def test_assess_span_tree_covers_every_stage_and_task(self, world):
+        topo, store, change = world
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with use_tracer(tracer), use_metrics(registry):
+            report = Litmus(topo, store).assess(change, [VR, DR])
+        assert len(tracer.roots) == 1
+        assess = tracer.roots[0]
+        assert assess.name == "assess"
+        stages = [c.name for c in assess.children]
+        assert stages == ["select-controls", "prepare-tasks", "execute-tasks"]
+        n_tasks = len(report.assessments) + len(report.failures)
+        tasks = [s for s in assess.iter_tree() if s.name == "task"]
+        assert len(tasks) == n_tasks
+        assert sorted(t.attrs["index"] for t in tasks) == list(range(n_tasks))
+        # Every task span carries its shipped regression child.
+        for t in tasks:
+            assert [c.name for c in t.children] == ["regression.compare"]
+
+    def test_counters_agree_with_the_report(self, world):
+        topo, store, change = world
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            report = Litmus(topo, store).assess(change, [VR, DR])
+        counters = registry.snapshot()["counters"]
+        n_tasks = len(report.assessments) + len(report.failures)
+        assert counters["assess.tasks"] == n_tasks
+        assert counters["assess.failures"] == len(report.failures)
+        assert counters["regression.compares"] == len(report.assessments)
+        assert counters["run_tasks.tasks"] == n_tasks
+
+    def test_task_failure_recorded_as_error_span(self, world):
+        topo, store, change = world
+        cfg = LitmusConfig()
+        baseline = Litmus(topo, store, cfg).assess(change, [VR, DR])
+        n_tasks = len(baseline.assessments) + len(baseline.failures)
+        seed = target_task_seed(cfg.seed, n_tasks, 2)
+        algo = FaultyAssessor(RobustSpatialRegression(cfg), fail_seeds=[seed])
+        tracer = Tracer()
+        with use_tracer(tracer), use_metrics(MetricsRegistry()):
+            report = Litmus(topo, store, cfg, algorithm=algo).assess(change, [VR, DR])
+        assert len(report.failures) == 1
+        errors = [
+            s for s in tracer.roots[0].iter_tree()
+            if s.name == "task" and s.outcome == "error"
+        ]
+        assert len(errors) == 1
+        assert "RuntimeError" in errors[0].error
+
+
+class TestRunRecorder:
+    def test_writes_trace_metrics_and_manifest(self, world, tmp_path):
+        topo, store, change = world
+        run_dir = tmp_path / "run"
+        with RunRecorder("test", str(run_dir), config=LitmusConfig(), seed=31) as rec:
+            report = Litmus(topo, store).assess(change, [VR, DR])
+        loaded = load_trace(str(run_dir))
+        assert loaded.spans[0].name == "assess"
+        n_tasks = len(report.assessments) + len(report.failures)
+        assert loaded.metrics["counters"]["assess.tasks"] == n_tasks
+        manifest = loaded.manifest
+        assert manifest["command"] == "test"
+        assert manifest["seed"] == 31
+        assert manifest["seed_lineage"]["n_spawned"] == n_tasks
+        assert manifest["tallies"]["assess.tasks"] == n_tasks
+        assert "assess" in manifest["stage_timings"]
+        footer = rec.footer()
+        assert f"{n_tasks} task(s)" in footer and str(run_dir) in footer
+
+    def test_no_files_without_trace_dir(self, world, tmp_path):
+        topo, store, change = world
+        with RunRecorder("test") as rec:
+            Litmus(topo, store).assess(change, [VR])
+        assert rec.snapshot()["counters"]["assess.tasks"] > 0
+        assert list(tmp_path.iterdir()) == []
+
+
+@pytest.mark.slow
+class TestCrossProcessReassembly:
+    def test_killed_worker_leaves_synthesized_error_span(self, world, tmp_path):
+        """Spans ship by value from pool workers; a task whose worker died
+        never reports back, so the parent synthesizes its error span and
+        the reassembled tree still covers every task index."""
+        topo, store, change = world
+        cfg = LitmusConfig(n_workers=2, executor="process", task_retries=2)
+        baseline = Litmus(topo, store, LitmusConfig()).assess(change, [VR, DR])
+        n_tasks = len(baseline.assessments) + len(baseline.failures)
+        seed = target_task_seed(cfg.seed, n_tasks, 1)
+        algo = FaultyAssessor(
+            RobustSpatialRegression(cfg), fail_seeds=[seed], mode="kill"
+        )
+        run_dir = tmp_path / "run"
+        with RunRecorder("kill-test", str(run_dir), config=cfg) as rec:
+            report = Litmus(topo, store, cfg, algorithm=algo).assess(change, [VR, DR])
+        assert len(report.failures) == 1
+        assert report.failures[0].failure.category == "worker-crash"
+
+        loaded = load_trace(str(run_dir))
+        tasks = [s for s in loaded.spans[0].iter_tree() if s.name == "task"]
+        assert sorted(t.attrs["index"] for t in tasks) == list(range(n_tasks))
+        synthesized = [t for t in tasks if t.attrs.get("synthesized")]
+        assert len(synthesized) == 1
+        assert synthesized[0].outcome == "error"
+        # Surviving tasks shipped their real worker-recorded trees back.
+        real = [t for t in tasks if not t.attrs.get("synthesized")]
+        assert len(real) == n_tasks - 1
+        assert all(t.children for t in real)
+        # Worker-side metrics merged into the parent registry.
+        counters = rec.snapshot()["counters"]
+        assert counters["regression.compares"] == len(report.assessments)
+        assert counters["run_tasks.pool_restarts"] >= 1

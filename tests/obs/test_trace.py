@@ -1,0 +1,162 @@
+"""Tests for repro.obs.trace — span nesting, outcomes, serialization, and
+the null-tracer fast path."""
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    span,
+    tracing_enabled,
+    use_tracer,
+)
+
+
+class TestSpanNesting:
+    def test_children_nest_under_the_active_span(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("outer"):
+                with span("middle"):
+                    with span("inner"):
+                        pass
+                with span("sibling"):
+                    pass
+        assert len(tracer.roots) == 1
+        outer = tracer.roots[0]
+        assert outer.name == "outer"
+        assert [c.name for c in outer.children] == ["middle", "sibling"]
+        assert [c.name for c in outer.children[0].children] == ["inner"]
+
+    def test_sequential_roots_do_not_nest(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("first"):
+                pass
+            with span("second"):
+                pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+
+    def test_timings_are_recorded(self):
+        tracer = Tracer()
+        with use_tracer(tracer), span("timed"):
+            sum(range(1000))
+        sp = tracer.roots[0]
+        assert sp.wall_s >= 0.0
+        assert sp.cpu_s >= 0.0
+        assert sp.started_at > 0.0
+
+    def test_attrs_and_annotate(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("stage", n=3) as sp:
+                sp.annotate(found=7)
+        assert tracer.roots[0].attrs == {"n": 3, "found": 7}
+
+
+class TestOutcomes:
+    def test_exception_marks_error_outcome(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with pytest.raises(RuntimeError):
+                with span("doomed"):
+                    raise RuntimeError("boom")
+        sp = tracer.roots[0]
+        assert sp.outcome == "error"
+        assert "RuntimeError" in sp.error and "boom" in sp.error
+
+    def test_explicit_fail_wins_over_exception_message(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with pytest.raises(ValueError):
+                with span("task") as sp:
+                    sp.fail("custom diagnosis")
+                    raise ValueError("raw")
+        assert tracer.roots[0].error == "custom diagnosis"
+
+    def test_exception_still_pops_the_stack(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with pytest.raises(RuntimeError):
+                with span("a"):
+                    raise RuntimeError
+            with span("b"):
+                pass
+        assert [r.name for r in tracer.roots] == ["a", "b"]
+
+
+class TestNullTracer:
+    def test_default_context_is_null(self):
+        assert current_tracer() is NULL_TRACER
+        assert not tracing_enabled()
+
+    def test_null_span_is_inert(self):
+        with span("whatever", n=1) as sp:
+            sp.annotate(x=2)
+            sp.fail("ignored")
+        assert NULL_TRACER.roots == []
+        assert sp.outcome == "ok"
+
+    def test_null_tracer_graft_is_a_noop(self):
+        NullTracer().graft({"name": "ignored"})
+
+    def test_use_tracer_restores_previous(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+            assert tracing_enabled()
+            inner = Tracer()
+            with use_tracer(inner):
+                assert current_tracer() is inner
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+
+class TestSerialization:
+    def _tree(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("root", stage="assess"):
+                with span("child"):
+                    pass
+                with pytest.raises(RuntimeError), span("bad"):
+                    raise RuntimeError("x")
+        return tracer.roots[0]
+
+    def test_round_trip_preserves_tree(self):
+        root = self._tree()
+        clone = Span.from_dict(root.to_dict())
+        assert clone.to_dict() == root.to_dict()
+        assert [s.name for s in clone.iter_tree()] == ["root", "child", "bad"]
+        assert clone.children[1].outcome == "error"
+
+    def test_to_dict_omits_empty_fields(self):
+        sp = Span("bare")
+        data = sp.to_dict()
+        assert "attrs" not in data and "children" not in data and "error" not in data
+
+    def test_graft_attaches_under_active_span(self):
+        shipped = self._tree().to_dict()
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("execute-tasks"):
+                current_tracer().graft(shipped)
+        assert tracer.roots[0].children[0].name == "root"
+
+    def test_graft_without_active_span_becomes_root(self):
+        tracer = Tracer()
+        tracer.graft({"name": "orphan"})
+        assert [r.name for r in tracer.roots] == ["orphan"]
+
+    def test_to_events_one_per_root(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        events = tracer.to_events()
+        assert [e["name"] for e in events] == ["a", "b"]

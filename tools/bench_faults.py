@@ -11,6 +11,8 @@ Measures, on a synthetic deployment:
 * **process-fault recovery** — one task made to raise, and (on the
   process executor) one task's worker killed outright; both must yield a
   report with exactly one ``failed`` entry and every other verdict intact.
+* **tracer overhead** — one full ``Litmus.assess`` with observability
+  disabled vs enabled (recording tracer + metrics registry).
 
 Writes ``BENCH_faults.json`` next to the repository root:
 
@@ -144,6 +146,38 @@ def bench_process_faults(topo, store, change, cfg, quick: bool) -> dict:
     return out
 
 
+def bench_tracer_overhead(topo, store, change, cfg, quick: bool) -> dict:
+    """Full-assess wall time with observability disabled vs enabled."""
+    from repro.obs import MetricsRegistry, Tracer, use_metrics, use_tracer
+
+    repeats = 2 if quick else 5
+
+    def best_of(fn):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    engine = Litmus(topo, store, cfg)
+    engine.assess(change, KPIS)  # warmup
+    disabled = best_of(lambda: engine.assess(change, KPIS))
+    with use_tracer(Tracer()), use_metrics(MetricsRegistry()):
+        engine.assess(change, KPIS)
+        enabled = best_of(lambda: engine.assess(change, KPIS))
+    row = {
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "overhead_pct": (enabled / disabled - 1.0) * 100.0,
+    }
+    print(
+        f"tracer overhead [assess]: disabled {disabled * 1e3:.1f} ms, "
+        f"enabled {enabled * 1e3:.1f} ms ({row['overhead_pct']:+.2f}%)"
+    )
+    return row
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -164,12 +198,14 @@ def main(argv=None) -> int:
     cfg = LitmusConfig(quality_policy="quarantine")
     data_rows = sweep_data_faults(topo, store, change, cfg, args.quick)
     process_rows = bench_process_faults(topo, store, change, cfg, args.quick)
+    overhead = bench_tracer_overhead(topo, store, change, cfg, args.quick)
 
     results = {
         "policy": "quarantine",
         "kpis": [k.value for k in KPIS],
         "data_faults": data_rows,
         "process_faults": process_rows,
+        "tracer_overhead": overhead,
         "quick": args.quick,
     }
     all_stable = all(row["stable"] for row in data_rows)

@@ -7,7 +7,10 @@ Measures, on this machine:
   the acceptance operating point (``n_iterations=200``, ``N=100`` controls)
   plus the default operating point, per estimator;
 * **serial vs parallel fan-out** — ``evaluate_injection`` over a small
-  case grid with ``n_workers`` 1 vs several (thread pool).
+  case grid with ``n_workers`` 1 vs several (thread pool);
+* **tracer overhead** — the acceptance-point compare with observability
+  disabled (null tracer/registry) vs enabled (recording tracer + metrics
+  registry); the budget is < 2% overhead when enabled.
 
 Writes ``BENCH_regression.json`` next to the repository root so future PRs
 can track the trajectory:
@@ -126,6 +129,35 @@ def bench_fanout(quick: bool, workers: int) -> dict:
     return row
 
 
+def bench_tracer_overhead(quick: bool) -> dict:
+    """Acceptance-point compare: observability disabled vs enabled.
+
+    The disabled path costs one contextvar read per instrumentation site
+    (null tracer + null registry); enabled adds span bookkeeping and
+    counter increments.  Both are timed best-of-N on the identical call.
+    """
+    from repro.obs import MetricsRegistry, Tracer, use_metrics, use_tracer
+
+    repeats = 3 if quick else 7
+    yb, ya, xb, xa = build_panel(70, 14, 100)
+    algo = RobustSpatialRegression(LitmusConfig(n_iterations=200))
+    algo.compare(yb, ya, xb, xa)  # warm caches before timing
+    disabled = time_call(lambda: algo.compare(yb, ya, xb, xa), repeats)
+    with use_tracer(Tracer()), use_metrics(MetricsRegistry()):
+        algo.compare(yb, ya, xb, xa)
+        enabled = time_call(lambda: algo.compare(yb, ya, xb, xa), repeats)
+    row = {
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "overhead_pct": (enabled / disabled - 1.0) * 100.0,
+    }
+    print(
+        f"tracer overhead: disabled {disabled * 1e3:.2f} ms, "
+        f"enabled {enabled * 1e3:.2f} ms ({row['overhead_pct']:+.2f}%)"
+    )
+    return row
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -145,16 +177,21 @@ def main(argv=None) -> int:
         "operating_point": {"n_iterations": 200, "n_controls": 100},
         "kernels": bench_kernels(args.quick),
         "fanout": bench_fanout(args.quick, args.workers),
+        "tracer_overhead": bench_tracer_overhead(args.quick),
         "quick": args.quick,
     }
     acceptance = results["kernels"][0]
     results["acceptance_speedup"] = acceptance["speedup"]
     Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {args.output}")
+    failed = False
     if acceptance["speedup"] < 5.0 and not args.quick:
         print("WARNING: batched kernel under the 5x acceptance threshold")
-        return 1
-    return 0
+        failed = True
+    if results["tracer_overhead"]["overhead_pct"] >= 2.0 and not args.quick:
+        print("WARNING: tracer overhead over the 2% budget")
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
