@@ -11,7 +11,12 @@ import argparse
 import sys
 from typing import List, Optional
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_CHECKPOINTED"]
+
+#: Exit status when a journaled run is interrupted (SIGINT) and checkpoints
+#: cleanly instead of finishing: ``os.EX_TEMPFAIL`` — "try again later",
+#: here with ``litmus resume DIR``.  Documented in README/EXPERIMENTS.
+EXIT_CHECKPOINTED = 75
 
 
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
@@ -64,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker pool for the per-case fan-out (results are identical "
         "for any worker count)",
     )
+    table4.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help="journal finished cases into DIR; re-running with the same DIR "
+        "resumes instead of recomputing",
+    )
 
     simulate = sub.add_parser(
         "simulate", help="write a synthetic deployment (topology/KPIs/changes) to files"
@@ -100,7 +112,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker pool for the (element, KPI) fan-out (results are "
         "identical for any worker count)",
     )
+    assess.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help="run crash-safe: write-ahead journal every settled task and "
+        f"change into DIR; on SIGINT the run checkpoints and exits "
+        f"{EXIT_CHECKPOINTED}, and `litmus resume DIR` finishes it with a "
+        "byte-identical report",
+    )
     _add_obs_arguments(assess)
+
+    resume = sub.add_parser(
+        "resume", help="finish an interrupted --journal campaign from its directory"
+    )
+    resume.add_argument("directory", help="campaign directory written by --journal")
+    _add_obs_arguments(resume)
 
     trace = sub.add_parser(
         "trace", help="summarize a recorded run directory (see --trace)"
@@ -186,11 +213,13 @@ def _cmd_demo(
     return 0
 
 
-def _cmd_table4(n_seeds: int, workers: int = 1) -> int:
+def _cmd_table4(n_seeds: int, workers: int = 1, journal_dir: Optional[str] = None) -> int:
     from .evaluation import evaluate_table4
     from .reporting import render_confusion_table
 
-    matrices, n_cases = evaluate_table4(n_seeds, n_workers=workers)
+    matrices, n_cases = evaluate_table4(
+        n_seeds, n_workers=workers, journal_dir=journal_dir
+    )
     print(render_confusion_table(matrices, f"Table 4 ({n_cases} cases)"))
     return 0
 
@@ -229,10 +258,11 @@ def _cmd_simulate(directory: str, seed: int) -> int:
     store.apply_effect(rncs[0].element_id, vr, LevelShift(goodness_magnitude(vr, 4.5), 85))
     store.apply_effect(rncs[1].element_id, vr, LevelShift(goodness_magnitude(vr, -4.5), 85))
 
+    from .runstate.atomic import atomic_write_text
+
     write_topology_json(topo, os.path.join(directory, "topology.json"))
     rows = write_store_csv(store, os.path.join(directory, "kpis.csv"))
-    with open(os.path.join(directory, "changes.json"), "w") as handle:
-        handle.write(changelog_to_json(log))
+    atomic_write_text(os.path.join(directory, "changes.json"), changelog_to_json(log))
     print(f"wrote {len(topo)} elements, {rows} KPI rows, {len(log)} changes to {directory}/")
     return 0
 
@@ -241,6 +271,37 @@ def _load_world(topology_path: str, kpi_path: str):
     from .io import read_store_csv, read_topology_json
 
     return read_topology_json(topology_path), read_store_csv(kpi_path)
+
+
+def _run_campaign(spec, directory: str, command: str, trace_dir, show_metrics) -> int:
+    """Run (or resume) a journaled campaign and print its artifacts.
+
+    A ``KeyboardInterrupt`` checkpoint is caught *inside* the recorder
+    context so the trace still flushes, and maps to
+    :data:`EXIT_CHECKPOINTED`.
+    """
+    from .obs import RunRecorder, render_metrics_table
+    from .runstate.campaign import CampaignInterrupted, CampaignRunner
+
+    with RunRecorder(
+        command,
+        trace_dir,
+        config=spec.litmus_config(),
+        argv=tuple(sys.argv[1:]),
+    ) as recorder:
+        try:
+            result = CampaignRunner(spec, directory).run()
+        except CampaignInterrupted as exc:
+            print(f"interrupted: {exc}", file=sys.stderr)
+            return EXIT_CHECKPOINTED
+        recorder.set_journal_lineage(result.lineage())
+    print(result.report_text, end="")
+    print(result.summary())
+    if show_metrics:
+        print()
+        print(render_metrics_table(recorder.snapshot()))
+    print(recorder.footer())
+    return 0
 
 
 def _cmd_assess(
@@ -253,6 +314,7 @@ def _cmd_assess(
     quality_policy: str = "quarantine",
     trace_dir: Optional[str] = None,
     show_metrics: bool = False,
+    journal_dir: Optional[str] = None,
 ) -> int:
     from pathlib import Path
 
@@ -262,9 +324,25 @@ def _cmd_assess(
     from .obs import RunRecorder, render_metrics_table
     from .ops import explain_assessment, screen_changes
 
+    config = LitmusConfig(n_workers=workers, quality_policy=quality_policy)
+    if journal_dir is not None:
+        from .runstate.campaign import CampaignSpec
+
+        spec = CampaignSpec.build(
+            topology_path,
+            kpi_path,
+            changes_path,
+            config=config,
+            change_id=change_id,
+            explain=explain,
+            argv=tuple(sys.argv[1:]),
+        )
+        _ensure_dir(journal_dir)
+        spec.save(journal_dir)
+        return _run_campaign(spec, journal_dir, "assess", trace_dir, show_metrics)
+
     topo, store = _load_world(topology_path, kpi_path)
     log = changelog_from_json(Path(changes_path).read_text())
-    config = LitmusConfig(n_workers=workers, quality_policy=quality_policy)
     engine = Litmus(topo, store, config, change_log=log)
     with RunRecorder(
         "assess", trace_dir, config=config, argv=tuple(sys.argv[1:])
@@ -283,6 +361,30 @@ def _cmd_assess(
         print(render_metrics_table(recorder.snapshot()))
     print(recorder.footer())
     return 0
+
+
+def _ensure_dir(directory: str) -> bool:
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    return True
+
+
+def _cmd_resume(
+    directory: str, trace_dir: Optional[str] = None, show_metrics: bool = False
+) -> int:
+    from .runstate.campaign import CampaignSpec
+
+    try:
+        spec = CampaignSpec.load(directory)
+    except FileNotFoundError:
+        print(
+            f"error: {directory} has no campaign.json — was it started "
+            "with `litmus assess --journal`?",
+            file=sys.stderr,
+        )
+        return 1
+    return _run_campaign(spec, directory, "resume", trace_dir, show_metrics)
 
 
 def _cmd_trace(run_dir: str, top: int) -> int:
@@ -322,7 +424,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "demo":
         return _cmd_demo(args.seed, args.trace, args.metrics)
     if args.command == "table4":
-        return _cmd_table4(args.seeds, args.workers)
+        return _cmd_table4(args.seeds, args.workers, args.journal)
     if args.command == "simulate":
         return _cmd_simulate(args.directory, args.seed)
     if args.command == "assess":
@@ -336,7 +438,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.quality_policy,
             args.trace,
             args.metrics,
+            args.journal,
         )
+    if args.command == "resume":
+        return _cmd_resume(args.directory, args.trace, args.metrics)
     if args.command == "trace":
         return _cmd_trace(args.run_dir, args.top)
     if args.command == "quality":

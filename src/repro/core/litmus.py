@@ -253,6 +253,7 @@ class Litmus:
         algorithm: Optional[Assessor] = None,
         max_control: int = 100,
         min_control: int = 3,
+        ledger: Optional[object] = None,
     ) -> None:
         self.topology = topology
         self.store = store
@@ -262,6 +263,10 @@ class Litmus:
         self.selector = ControlGroupSelector(
             topology, change_log, min_size=min_control, max_size=max_control
         )
+        #: Optional :class:`repro.runstate.ledger.TaskLedger`: when set,
+        #: every (element, KPI) task outcome is journaled as it settles and
+        #: a re-run replays journaled outcomes instead of recomputing them.
+        self.ledger = ledger
 
     # ------------------------------------------------------------------
     def assess(
@@ -343,8 +348,15 @@ class Litmus:
                     "no study element has stored series for the requested KPIs"
                 )
             registry.counter("assess.tasks").inc(len(tasks))
+            # Ledger keys pin everything a replayed outcome depends on:
+            # change, algorithm, window geometry, (element, KPI) — and the
+            # task's position-keyed seed is appended in _execute.
+            key_prefix = (
+                f"assess/{change.change_id}/{self.algorithm.name}"
+                f"/w{effective_window}+{after_offset_days}"
+            )
             with obs_span("execute-tasks", n_workers=self.config.n_workers):
-                outcomes = self._execute(tasks)
+                outcomes = self._execute(tasks, key_prefix=key_prefix)
             assessments: List[ElementAssessment] = []
             failures: List[FailedAssessment] = []
             for t, outcome in zip(tasks, outcomes):
@@ -377,7 +389,9 @@ class Litmus:
             )
 
     # ------------------------------------------------------------------
-    def _execute(self, tasks: Sequence[_AssessmentTask]) -> List[TaskOutcome]:
+    def _execute(
+        self, tasks: Sequence[_AssessmentTask], key_prefix: str = ""
+    ) -> List[TaskOutcome]:
         """Run the prepared comparisons, serially or over a worker pool.
 
         Each task gets an algorithm seeded from its own
@@ -386,11 +400,19 @@ class Litmus:
         seeds, so a report is bit-for-bit the same for any ``n_workers``,
         and a task re-run after a worker crash reproduces its result
         exactly.  Tasks whose preparation already failed keep their seed
-        slot but are never executed.
+        slot but are never executed.  With a ledger installed, task keys
+        (prefix + element + KPI + seed) make the run resumable: journaled
+        outcomes replay, only the remainder recomputes.
         """
         seeds = spawn_task_seeds(self.config.seed, len(tasks))
         live = [i for i, t in enumerate(tasks) if t.prep_failure is None]
         payloads = [(self._seeded_algorithm(seeds[i]), tasks[i]) for i in live]
+        task_keys = None
+        if self.ledger is not None:
+            task_keys = [
+                f"{key_prefix}/{tasks[i].element_id}/{tasks[i].kpi.value}#{seeds[i]}"
+                for i in live
+            ]
         ran = run_tasks(
             _run_task,
             payloads,
@@ -398,6 +420,8 @@ class Litmus:
             n_workers=min(self.config.n_workers, max(len(payloads), 1)),
             timeout=self.config.task_timeout_s or None,
             retries=self.config.task_retries,
+            ledger=self.ledger,
+            task_keys=task_keys,
         )
         outcomes: List[TaskOutcome] = [
             TaskOutcome(failure=t.prep_failure) for t in tasks

@@ -248,15 +248,29 @@ def _run_traced(tp: _TracedPayload) -> _TracedResult:
 
 
 def _reassemble_traced(
-    outcomes: List[Optional[TaskOutcome]], tracer, registry
+    outcomes: List[Optional[TaskOutcome]], tracer, registry, replayed=frozenset()
 ) -> List[Optional[TaskOutcome]]:
     """Graft shipped span trees / merge metric deltas; unwrap results.
 
     Tasks that never reported back (worker crash, timeout) get a synthetic
-    parent-side ``error`` span so the trace still covers every index.
+    parent-side ``error`` span so the trace still covers every index, and
+    ledger-replayed tasks get a zero-cost ``replayed`` span (no worker ever
+    ran them, but the trace must still account for every task).
     """
     for i, outcome in enumerate(outcomes):
         if outcome is None:
+            continue
+        if i in replayed:
+            tracer.graft(
+                {
+                    "name": "task",
+                    "attrs": {"index": i, "replayed": True},
+                    "outcome": "ok",
+                    "started_at": 0.0,
+                    "wall_s": 0.0,
+                    "cpu_s": 0.0,
+                }
+            )
             continue
         if outcome.ok and isinstance(outcome.value, _TracedResult):
             shipped = outcome.value
@@ -291,6 +305,8 @@ def run_tasks(
     n_workers: int = 1,
     timeout: Optional[float] = None,
     retries: int = 1,
+    ledger: Optional[Any] = None,
+    task_keys: Optional[Sequence[str]] = None,
 ) -> List[TaskOutcome]:
     """Error-isolated, order-preserving map of ``fn`` over ``payloads``.
 
@@ -316,6 +332,15 @@ def run_tasks(
       flavour always uses a pool, even for one worker — crash isolation is
       exactly what that flavour buys.
 
+    When a ``ledger`` (see :class:`repro.runstate.ledger.TaskLedger`) and
+    matching ``task_keys`` are given, run_tasks becomes *resumable*: a key
+    already in the ledger replays its journaled outcome without executing
+    the task, and every freshly settled outcome is durably recorded —
+    write-ahead, before the next task settles — so an interrupt at any
+    point (SIGINT, ``kill -9``) loses at most in-flight work.  Keys embed
+    the position-keyed seeds, so a replayed outcome is bit-identical to
+    recomputation.
+
     Results are index-addressed, so the output order always matches
     ``payloads`` regardless of scheduling.
     """
@@ -323,6 +348,8 @@ def run_tasks(
         raise ValueError("retries must be non-negative")
     n = len(payloads)
     outcomes: List[Optional[TaskOutcome]] = [None] * n
+    if ledger is not None and (task_keys is None or len(task_keys) != n):
+        raise ValueError("a ledger requires one task key per payload")
     if n == 0:
         return []
 
@@ -330,6 +357,37 @@ def run_tasks(
     registry = get_metrics()
     registry.counter("run_tasks.batches").inc()
     registry.counter("run_tasks.tasks").inc(n)
+
+    # Replay pass: journaled outcomes fill their slots up front; only the
+    # remainder is ever wrapped, submitted, or executed.
+    replayed: frozenset = frozenset()
+    if ledger is not None:
+        assert task_keys is not None
+        for i in range(n):
+            outcomes[i] = ledger.get(task_keys[i])
+        replayed = frozenset(i for i in range(n) if outcomes[i] is not None)
+
+    def record(i: int) -> None:
+        """Write-ahead journal one freshly settled outcome.
+
+        Under a recording tracer the settled value is the worker's
+        ``_TracedResult`` envelope; the ledger stores the *unwrapped*
+        outcome so replay never depends on tracing being on or off.
+        """
+        if ledger is None:
+            return
+        outcome = outcomes[i]
+        if outcome is None:
+            return
+        if outcome.ok and isinstance(outcome.value, _TracedResult):
+            shipped = outcome.value
+            outcome = (
+                TaskOutcome(failure=shipped.failure)
+                if shipped.failure is not None
+                else TaskOutcome(value=shipped.value)
+            )
+        ledger.put(task_keys[i], outcome)  # type: ignore[index]
+
     traced = tracer.enabled
     if traced:
         submitted = time.perf_counter()
@@ -341,12 +399,15 @@ def run_tasks(
 
     if n_workers <= 1 and executor != "process":
         for i, payload in enumerate(payloads):
+            if outcomes[i] is not None:
+                continue
             try:
                 outcomes[i] = TaskOutcome(value=fn(payload))
             except Exception as exc:
                 outcomes[i] = TaskOutcome(failure=_failure_from(exc, attempts=1))
+            record(i)
         if traced:
-            outcomes = _reassemble_traced(outcomes, tracer, registry)
+            outcomes = _reassemble_traced(outcomes, tracer, registry, replayed)
         return outcomes  # type: ignore[return-value]
 
     def settle(i: int, future: Future, attempts: int) -> bool:
@@ -369,16 +430,18 @@ def run_tasks(
             )
         except Exception as exc:
             outcomes[i] = TaskOutcome(failure=_failure_from(exc, attempts=attempts))
+        record(i)
         return False
 
     # First round: the full batch over one pool.  A worker crash
     # (BrokenProcessPool) takes the pool and every unfinished future down
     # with it; those tasks move to the retry rounds.
+    pending = [i for i in range(n) if outcomes[i] is None]
     crashed: List[int] = []
-    pool = executor_pool(executor, min(n_workers, n))
+    pool = executor_pool(executor, min(n_workers, max(len(pending), 1)))
     try:
         futures: List[Tuple[int, Future]] = [
-            (i, pool.submit(fn, payloads[i])) for i in range(n)
+            (i, pool.submit(fn, payloads[i])) for i in pending
         ]
         for i, future in futures:
             if settle(i, future, attempts=1):
@@ -422,5 +485,5 @@ def run_tasks(
             )
         )
     if traced:
-        outcomes = _reassemble_traced(outcomes, tracer, registry)
+        outcomes = _reassemble_traced(outcomes, tracer, registry, replayed)
     return outcomes  # type: ignore[return-value]

@@ -50,6 +50,9 @@ __all__ = [
     "target_task_seed",
     "verdict_stability",
     "StabilityResult",
+    "CrashRunResult",
+    "count_journal_records",
+    "crash_resume_campaign",
 ]
 
 #: The data-fault vocabulary; each maps to one firewall-visible defect.
@@ -296,6 +299,171 @@ class StabilityResult:
             "agreement": self.agreement,
             "stable": self.stable,
         }
+
+
+# ----------------------------------------------------------------------
+# Crash harness: SIGKILL a journaled campaign, resume, compare bytes
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CrashRunResult:
+    """One kill-and-resume experiment against a journaled campaign."""
+
+    kill_after_records: int  # requested kill point (journal record count)
+    records_at_kill: int  # journal records actually durable when killed
+    killed: bool  # False when the run finished before the kill point
+    resumes: int  # resume invocations needed to converge
+    report_sha256: str  # SHA-256 of the final report.txt bytes
+    byte_identical: Optional[bool]  # vs the baseline sha (None: no baseline)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kill_after_records": self.kill_after_records,
+            "records_at_kill": self.records_at_kill,
+            "killed": self.killed,
+            "resumes": self.resumes,
+            "report_sha256": self.report_sha256,
+            "byte_identical": self.byte_identical,
+        }
+
+
+def count_journal_records(path: str) -> int:
+    """Complete (newline-terminated) records currently durable in a journal."""
+    try:
+        with open(path, "rb") as handle:
+            return sum(1 for line in handle if line.endswith(b"\n"))
+    except OSError:
+        return 0
+
+
+def _campaign_env() -> Dict[str, str]:
+    """Subprocess environment with this checkout's ``src`` importable."""
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
+    return env
+
+
+def _run_until_kill(
+    argv: Sequence[str], journal_path: str, kill_after_records: int, timeout_s: float
+) -> Tuple[Optional[int], int]:
+    """Launch a campaign subprocess and SIGKILL it once the journal holds
+    ``kill_after_records`` durable records.
+
+    Returns ``(returncode, records_at_kill)``; returncode is None when the
+    process was killed, its exit status when it finished first.
+    """
+    import subprocess
+    import sys
+    import time
+
+    proc = subprocess.Popen(
+        argv, env=_campaign_env(), stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+    )
+    deadline = time.monotonic() + timeout_s
+    try:
+        while proc.poll() is None:
+            if time.monotonic() > deadline:
+                proc.kill()
+                proc.wait()
+                raise TimeoutError(f"campaign exceeded {timeout_s}s: {argv}")
+            records = count_journal_records(journal_path)
+            if records >= kill_after_records:
+                proc.kill()  # SIGKILL: no cleanup, no atexit, no flush
+                proc.wait()
+                return None, records
+            time.sleep(0.0005)
+    except BaseException:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        raise
+    return proc.returncode, count_journal_records(journal_path)
+
+
+def crash_resume_campaign(
+    topology: str,
+    kpis: str,
+    changes: str,
+    directory: str,
+    *,
+    kill_after_records: int,
+    baseline_sha256: Optional[str] = None,
+    change_id: Optional[str] = None,
+    max_resumes: int = 25,
+    timeout_s: float = 120.0,
+) -> CrashRunResult:
+    """SIGKILL a ``litmus assess --journal`` campaign, then resume it.
+
+    Starts the campaign as a real subprocess, kills it -9 once the journal
+    holds ``kill_after_records`` durable records, then runs ``litmus
+    resume`` until it exits 0 (each resume may itself be a fresh recovery
+    of a torn journal tail).  This is the acceptance experiment of the
+    durability layer: the converged ``report.txt`` must be byte-identical
+    to an uninterrupted run's, for every kill point.
+    """
+    import hashlib
+    import subprocess
+    import sys
+
+    from ..runstate.journal import JOURNAL_FILE
+    from ..runstate.campaign import REPORT_TEXT_FILE
+
+    assess_argv = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "assess",
+        "--topology",
+        topology,
+        "--kpis",
+        kpis,
+        "--changes",
+        changes,
+        "--journal",
+        directory,
+    ]
+    if change_id is not None:
+        assess_argv += ["--change-id", change_id]
+    journal_path = os.path.join(directory, JOURNAL_FILE)
+    returncode, records_at_kill = _run_until_kill(
+        assess_argv, journal_path, kill_after_records, timeout_s
+    )
+    killed = returncode is None
+    if not killed and returncode != 0:
+        raise RuntimeError(f"campaign failed with exit {returncode}: {assess_argv}")
+
+    resume_argv = [sys.executable, "-m", "repro.cli", "resume", directory]
+    resumes = 0
+    while killed and resumes < max_resumes:
+        resumes += 1
+        proc = subprocess.run(
+            resume_argv,
+            env=_campaign_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            timeout=timeout_s,
+        )
+        if proc.returncode == 0:
+            break
+    else:
+        if killed:
+            raise RuntimeError(f"resume did not converge in {max_resumes} attempts")
+
+    with open(os.path.join(directory, REPORT_TEXT_FILE), "rb") as handle:
+        sha = hashlib.sha256(handle.read()).hexdigest()
+    return CrashRunResult(
+        kill_after_records=kill_after_records,
+        records_at_kill=records_at_kill,
+        killed=killed,
+        resumes=resumes,
+        report_sha256=sha,
+        byte_identical=None if baseline_sha256 is None else sha == baseline_sha256,
+    )
 
 
 def verdict_stability(

@@ -388,11 +388,36 @@ def _run_case_task(
     return run_case(case, default_algorithms(replace(cfg, seed=seed)))
 
 
+def _case_key(case: InjectionCase, spawned_seed: int) -> str:
+    """Idempotent ledger key for one grid case.
+
+    Pins every input the case's outcome depends on — the full case identity
+    plus its position-keyed spawned seed — so a resumed sweep can only ever
+    replay the exact same computation (any grid/seed change misses and
+    recomputes).
+    """
+    return (
+        f"table4/{case.scenario.value}/{case.kpi.value}/{case.region.value}"
+        f"/m{case.magnitude_study!r}:{case.magnitude_control!r}"
+        f"/n{case.n_controls}c{case.n_contaminated}"
+        f"/w{case.window_days}t{case.training_days}"
+        f"/s{case.seed}#{spawned_seed}"
+    )
+
+
+def _outcome_rows(outcomes: Sequence[InjectionOutcome]) -> List[List[str]]:
+    """JSON-able ``[algorithm, label]`` rows — what the ledger journals and
+    what the confusion matrices are rebuilt from (fresh and replayed cases
+    flow through the identical representation)."""
+    return [[o.algorithm, o.label.value] for o in outcomes]
+
+
 def evaluate_injection(
     cases: Iterable[InjectionCase],
     config: Optional[LitmusConfig] = None,
     n_workers: Optional[int] = None,
     executor: Optional[str] = None,
+    ledger: Optional[object] = None,
 ) -> Dict[str, ConfusionMatrix]:
     """Run the full grid; returns a confusion matrix per algorithm.
 
@@ -400,27 +425,51 @@ def evaluate_injection(
     runs its algorithms under a ``SeedSequence.spawn``-derived seed keyed by
     the case's grid position, so the matrices are identical for any worker
     count — serial included.
+
+    With a :class:`~repro.runstate.ledger.TaskLedger` installed the sweep is
+    crash-safe: every finished case is journaled as it settles (pool results
+    arrive in submission order, so at most the in-flight window is lost) and
+    a resumed sweep replays journaled cases instead of recomputing them.
     """
+    from ..core.parallel import TaskOutcome
+
     cfg = config or LitmusConfig()
     workers = cfg.n_workers if n_workers is None else n_workers
     flavour = cfg.executor if executor is None else executor
     case_list = list(cases)
-    tasks = [
-        (case, cfg, seed)
-        for case, seed in zip(case_list, spawn_task_seeds(cfg.seed, len(case_list)))
-    ]
+    seeds = spawn_task_seeds(cfg.seed, len(case_list))
+    keys = [_case_key(case, seed) for case, seed in zip(case_list, seeds)]
+    rows: List[Optional[List[List[str]]]] = [None] * len(case_list)
+    if ledger is not None:
+        for i, key in enumerate(keys):
+            cached = ledger.get(key)
+            if cached is not None and cached.ok:
+                rows[i] = cached.value
+    pending = [i for i in range(len(case_list)) if rows[i] is None]
+    tasks = [(case_list[i], cfg, seeds[i]) for i in pending]
     workers = min(workers, len(tasks)) if tasks else 1
     get_metrics().counter("eval.cases").inc(len(case_list))
+
+    def settle(i: int, outcomes: List[InjectionOutcome]) -> None:
+        rows[i] = _outcome_rows(outcomes)
+        if ledger is not None:
+            ledger.put(keys[i], TaskOutcome(value=rows[i]))
+
     with obs_span(
-        "evaluate-injection", n_cases=len(case_list), n_workers=workers
+        "evaluate-injection",
+        n_cases=len(case_list),
+        n_workers=workers,
+        n_replayed=len(case_list) - len(pending),
     ):
         if workers <= 1:
-            outcome_lists = [_run_case_task(task) for task in tasks]
+            for i, task in zip(pending, tasks):
+                settle(i, _run_case_task(task))
         else:
             with executor_pool(flavour, workers) as pool:
-                outcome_lists = list(pool.map(_run_case_task, tasks))
+                for i, outcomes in zip(pending, pool.map(_run_case_task, tasks)):
+                    settle(i, outcomes)
     matrices = {name: ConfusionMatrix() for name in default_algorithms(cfg)}
-    for outcomes in outcome_lists:
-        for outcome in outcomes:
-            matrices[outcome.algorithm].add(outcome.label)
+    for row_list in rows:
+        for algorithm, label in row_list or ():
+            matrices[algorithm].add(Label(label))
     return matrices

@@ -52,6 +52,7 @@ def evaluate_table4(
     n_seeds: int = 10,
     config: Optional[LitmusConfig] = None,
     n_workers: Optional[int] = None,
+    journal_dir: Optional[str] = None,
 ) -> Tuple[Dict[str, ConfusionMatrix], int]:
     """Regenerate Table 4 (synthetic injection).
 
@@ -60,9 +61,30 @@ def evaluate_table4(
     ~1000 cases; ~83 → full paper scale).  ``n_workers`` (default: the
     config's value) fans the per-case runs out over the executor pool;
     results are identical for any worker count.
+
+    ``journal_dir`` makes the sweep crash-safe: each finished case lands in
+    a write-ahead journal there, and re-running with the same directory
+    replays journaled cases instead of recomputing them (the matrices are
+    identical either way — both paths rebuild from the journaled rows).
     """
     cases = make_cases(n_seeds=n_seeds)
-    return evaluate_injection(cases, config, n_workers=n_workers), len(cases)
+    if journal_dir is None:
+        return evaluate_injection(cases, config, n_workers=n_workers), len(cases)
+
+    import os
+
+    from ..runstate import JOURNAL_FILE, Journal, TaskLedger
+
+    os.makedirs(journal_dir, exist_ok=True)
+    journal, recovery = Journal.open(os.path.join(journal_dir, JOURNAL_FILE))
+    try:
+        ledger = TaskLedger(journal, recovery.records)
+        matrices = evaluate_injection(
+            cases, config, n_workers=n_workers, ledger=ledger
+        )
+    finally:
+        journal.close()
+    return matrices, len(cases)
 
 
 @dataclass(frozen=True)

@@ -10,10 +10,13 @@ from __future__ import annotations
 
 import csv
 import dataclasses
+import io
 from pathlib import Path
 from typing import Dict, List, Union
 
 import numpy as np
+
+from ..runstate.atomic import atomic_write_text
 
 __all__ = ["export_result"]
 
@@ -22,18 +25,19 @@ PathLike = Union[str, Path]
 
 def _write_array(path: Path, array: np.ndarray) -> None:
     array = np.asarray(array)
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        if array.ndim == 1:
-            writer.writerow(["index", "value"])
-            for i, v in enumerate(array):
-                writer.writerow([i, repr(float(v))])
-        elif array.ndim == 2:
-            writer.writerow(["index"] + [f"col{j}" for j in range(array.shape[1])])
-            for i, row in enumerate(array):
-                writer.writerow([i] + [repr(float(v)) for v in row])
-        else:
-            raise ValueError(f"cannot export array of ndim {array.ndim}")
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    if array.ndim == 1:
+        writer.writerow(["index", "value"])
+        for i, v in enumerate(array):
+            writer.writerow([i, repr(float(v))])
+    elif array.ndim == 2:
+        writer.writerow(["index"] + [f"col{j}" for j in range(array.shape[1])])
+        for i, row in enumerate(array):
+            writer.writerow([i] + [repr(float(v)) for v in row])
+    else:
+        raise ValueError(f"cannot export array of ndim {array.ndim}")
+    atomic_write_text(str(path), buffer.getvalue())
 
 
 def export_result(result: object, directory: PathLike, stem: str) -> List[Path]:
@@ -75,6 +79,6 @@ def export_result(result: object, directory: PathLike, stem: str) -> List[Path]:
     describe = getattr(result, "describe", None)
     if callable(describe):
         path = directory / f"{stem}.txt"
-        path.write_text(describe() + "\n")
+        atomic_write_text(str(path), describe() + "\n")
         written.append(path)
     return written

@@ -52,23 +52,28 @@ def write_store_csv(store: KpiStore, path: PathLike, freq: int = 1) -> int:
 
     Returns the number of measurement rows written.  ``freq`` is recorded
     as a ``# freq=N`` comment so a round-trip restores sub-daily series.
+    The file lands via temp-file + ``os.replace``: readers never observe a
+    partially written export.
     """
+    from ..runstate.atomic import atomic_write_text
+
     rows = 0
-    with open(path, "w", newline="") as handle:
-        handle.write(f"# litmus-kpi-export freq={freq}\n")
-        writer = csv.writer(handle)
-        writer.writerow(_HEADER)
-        for element_id in store.element_ids():
-            for kpi in store.kpis_for(element_id):
-                series = store.get(element_id, kpi)
-                if series.freq != freq:
-                    raise ValueError(
-                        f"series for {element_id!r}/{kpi.value!r} has freq "
-                        f"{series.freq}, export declared freq={freq}"
-                    )
-                for index, value in zip(series.index, series.values):
-                    writer.writerow([element_id, kpi.value, int(index), repr(float(value))])
-                    rows += 1
+    buffer = io.StringIO(newline="")
+    buffer.write(f"# litmus-kpi-export freq={freq}\n")
+    writer = csv.writer(buffer)
+    writer.writerow(_HEADER)
+    for element_id in store.element_ids():
+        for kpi in store.kpis_for(element_id):
+            series = store.get(element_id, kpi)
+            if series.freq != freq:
+                raise ValueError(
+                    f"series for {element_id!r}/{kpi.value!r} has freq "
+                    f"{series.freq}, export declared freq={freq}"
+                )
+            for index, value in zip(series.index, series.values):
+                writer.writerow([element_id, kpi.value, int(index), repr(float(value))])
+                rows += 1
+    atomic_write_text(str(path), buffer.getvalue())
     return rows
 
 

@@ -29,8 +29,10 @@ def manifest_from_json(text: str) -> RunManifest:
 
 
 def write_manifest_json(manifest: RunManifest, path: str) -> None:
-    """Write a manifest to ``path``."""
-    Path(path).write_text(manifest_to_json(manifest))
+    """Write a manifest to ``path`` (atomically, via ``os.replace``)."""
+    from ..runstate.atomic import atomic_write_text
+
+    atomic_write_text(str(path), manifest_to_json(manifest))
 
 
 def read_manifest_json(path: str) -> RunManifest:

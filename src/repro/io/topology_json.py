@@ -102,8 +102,10 @@ def _element_from(raw: dict) -> NetworkElement:
 
 
 def write_topology_json(topology: Topology, path: PathLike) -> None:
-    """Write a topology to a JSON file."""
-    Path(path).write_text(topology_to_json(topology))
+    """Write a topology to a JSON file (atomically, via ``os.replace``)."""
+    from ..runstate.atomic import atomic_write_text
+
+    atomic_write_text(str(path), topology_to_json(topology))
 
 
 def read_topology_json(path: PathLike) -> Topology:

@@ -37,7 +37,9 @@ __all__ = [
 ]
 
 #: Manifest schema version; bump when fields change incompatibly.
-MANIFEST_SCHEMA = 1
+#: 2: added ``journal`` (crash-safe campaign lineage; None for unjournaled
+#: runs).
+MANIFEST_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -57,6 +59,11 @@ class RunManifest:
     tallies: Dict[str, int]
     stage_timings: Dict[str, float]
     argv: Tuple[str, ...] = ()
+    #: Journal lineage of a ``--journal`` campaign run (directory, report
+    #: SHA-256, replay/recompute counts — see
+    #: :meth:`repro.runstate.campaign.CampaignResult.lineage`); None when
+    #: the run was not journaled.
+    journal: Optional[Dict[str, Any]] = None
     schema: int = MANIFEST_SCHEMA
 
 
@@ -160,6 +167,7 @@ def build_manifest(
     started_at: Optional[float] = None,
     finished_at: Optional[float] = None,
     argv: Tuple[str, ...] = (),
+    journal: Optional[Dict[str, Any]] = None,
 ) -> RunManifest:
     """Assemble a :class:`RunManifest` from a finished run's artifacts."""
     t1 = time.time() if finished_at is None else finished_at
@@ -179,6 +187,7 @@ def build_manifest(
         tallies=dict(tallies or {}),
         stage_timings={k: round(float(v), 6) for k, v in (stage_timings or {}).items()},
         argv=tuple(argv),
+        journal=dict(journal) if journal is not None else None,
     )
 
 

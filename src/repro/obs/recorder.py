@@ -53,8 +53,14 @@ class RunRecorder:
         self.registry = MetricsRegistry()
         self.started_at: float = 0.0
         self.finished_at: float = 0.0
+        self.journal_lineage: Optional[Dict[str, Any]] = None
         self._tracer_ctx: Optional[use_tracer] = None
         self._metrics_ctx: Optional[use_metrics] = None
+
+    def set_journal_lineage(self, lineage: Dict[str, Any]) -> None:
+        """Attach a campaign's journal lineage to the manifest (see
+        :meth:`repro.runstate.campaign.CampaignResult.lineage`)."""
+        self.journal_lineage = dict(lineage)
 
     # -- context manager -------------------------------------------------
     def __enter__(self) -> "RunRecorder":
@@ -105,23 +111,32 @@ class RunRecorder:
             started_at=self.started_at,
             finished_at=self.finished_at or time.time(),
             argv=self.argv,
+            journal=self.journal_lineage,
         )
 
     def flush(self) -> None:
-        """Write trace.jsonl + metrics.json + manifest.json to the run dir."""
+        """Write trace.jsonl + metrics.json + manifest.json to the run dir.
+
+        All three land via temp-file + ``os.replace`` so a crash mid-flush
+        never leaves a half-written artifact behind.
+        """
         assert self.trace_dir is not None
         os.makedirs(self.trace_dir, exist_ok=True)
+        from ..runstate.atomic import atomic_write_text
+
         snapshot = self.snapshot()
-        trace_path = os.path.join(self.trace_dir, TRACE_FILE)
-        with open(trace_path, "w") as handle:
-            for tree in self.tracer.to_events():
-                handle.write(json.dumps({"type": "span", "span": tree}, sort_keys=True) + "\n")
-            handle.write(
-                json.dumps({"type": "metrics", "snapshot": snapshot}, sort_keys=True) + "\n"
-            )
-        with open(os.path.join(self.trace_dir, METRICS_FILE), "w") as handle:
-            json.dump(snapshot, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        lines = [
+            json.dumps({"type": "span", "span": tree}, sort_keys=True)
+            for tree in self.tracer.to_events()
+        ]
+        lines.append(json.dumps({"type": "metrics", "snapshot": snapshot}, sort_keys=True))
+        atomic_write_text(
+            os.path.join(self.trace_dir, TRACE_FILE), "".join(f"{l}\n" for l in lines)
+        )
+        atomic_write_text(
+            os.path.join(self.trace_dir, METRICS_FILE),
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+        )
         from ..io import write_manifest_json
 
         write_manifest_json(

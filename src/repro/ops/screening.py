@@ -18,7 +18,12 @@ from ..network.changes import ChangeEvent, ChangeLog
 from ..reporting.tables import render_table
 from ..selection.selector import SelectionError
 
-__all__ = ["ScreeningEntry", "ScreeningReport", "screen_changes"]
+__all__ = [
+    "ScreeningEntry",
+    "ScreeningReport",
+    "screen_changes",
+    "render_screening_digest",
+]
 
 #: Severity order for the digest: degradations first.
 _SEVERITY = {
@@ -26,6 +31,41 @@ _SEVERITY = {
     Verdict.IMPROVEMENT: 1,
     Verdict.NO_IMPACT: 2,
 }
+
+#: Severity by verdict *value* string — what journaled digest rows carry.
+_SEVERITY_BY_VALUE = {verdict.value: rank for verdict, rank in _SEVERITY.items()}
+
+
+def render_screening_digest(
+    rows: Sequence[Dict[str, object]], counts: Dict[str, int]
+) -> str:
+    """Render the operator digest from plain row dicts.
+
+    Each row needs ``change_id``, ``change_type``, ``day``, ``n_study``,
+    ``outcome`` (the cell text) and ``verdict`` (a verdict value string or
+    None for skipped) — exactly what a campaign journal records per change,
+    so a resumed run renders its final report from the journal through the
+    *same* code path as an uninterrupted one (byte-identical by
+    construction).
+    """
+    ordered = sorted(
+        rows,
+        key=lambda r: (
+            _SEVERITY_BY_VALUE.get(r.get("verdict"), 3),
+            r["day"],
+            r["change_id"],
+        ),
+    )
+    table = render_table(
+        ["change", "type", "day", "study size", "outcome"],
+        [
+            [r["change_id"], r["change_type"], r["day"], r["n_study"], r["outcome"]]
+            for r in ordered
+        ],
+        title="Change screening digest",
+    )
+    summary = ", ".join(f"{k}={v}" for k, v in counts.items())
+    return f"{table}\n{summary}"
 
 
 @dataclass(frozen=True)
@@ -39,6 +79,22 @@ class ScreeningEntry:
     @property
     def verdict(self) -> Optional[Verdict]:
         return self.report.overall_verdict() if self.report else None
+
+    def to_row(self) -> Dict[str, object]:
+        """The digest row for :func:`render_screening_digest`."""
+        verdict = self.verdict
+        if self.report is None:
+            outcome = f"skipped ({self.skipped_reason})"
+        else:
+            outcome = verdict.value
+        return {
+            "change_id": self.change.change_id,
+            "change_type": self.change.change_type.value,
+            "day": self.change.day,
+            "n_study": len(self.change.element_ids),
+            "outcome": outcome,
+            "verdict": verdict.value if verdict is not None else None,
+        }
 
 
 @dataclass(frozen=True)
@@ -66,37 +122,9 @@ class ScreeningReport:
 
     def to_text(self) -> str:
         """Render the digest, most severe first."""
-        ordered = sorted(
-            self.entries,
-            key=lambda e: (
-                _SEVERITY.get(e.verdict, 3),
-                e.change.day,
-                e.change.change_id,
-            ),
+        return render_screening_digest(
+            [entry.to_row() for entry in self.entries], self.counts()
         )
-        rows = []
-        for entry in ordered:
-            if entry.report is None:
-                outcome = f"skipped ({entry.skipped_reason})"
-            else:
-                outcome = entry.verdict.value
-            rows.append(
-                [
-                    entry.change.change_id,
-                    entry.change.change_type.value,
-                    entry.change.day,
-                    len(entry.change.element_ids),
-                    outcome,
-                ]
-            )
-        counts = self.counts()
-        summary = ", ".join(f"{k}={v}" for k, v in counts.items())
-        table = render_table(
-            ["change", "type", "day", "study size", "outcome"],
-            rows,
-            title="Change screening digest",
-        )
-        return f"{table}\n{summary}"
 
 
 def screen_changes(

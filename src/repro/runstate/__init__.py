@@ -1,0 +1,49 @@
+"""Durability layer: crash-safe state, write-ahead journal, task ledger.
+
+``repro.runstate`` is what lets a killed campaign resume without
+recomputation or silent divergence (DESIGN.md §9):
+
+* :mod:`~repro.runstate.atomic` — temp-file + ``os.replace`` + fsync
+  writes, used by every state file in the repo;
+* :mod:`~repro.runstate.retry` — exponential backoff with jitter for
+  transient store/journal IO;
+* :mod:`~repro.runstate.journal` — the append-only JSONL write-ahead
+  journal (per-record CRC, torn-tail truncation on recovery);
+* :mod:`~repro.runstate.ledger` — the idempotent task ledger replaying
+  journaled outcomes bit-identically;
+* :mod:`~repro.runstate.campaign` — journaled campaign runs with
+  checkpoint/resume (imported as a submodule — it pulls in the engine and
+  IO stacks, which themselves use the primitives above).
+"""
+
+from .atomic import atomic_write_bytes, atomic_write_text, fsync_dir
+from .codec import decode_outcome, encode_outcome
+from .journal import (
+    JOURNAL_FILE,
+    Journal,
+    JournalRecord,
+    RecoveryReport,
+    recover_journal,
+)
+from .ledger import TASK_DONE, TRANSIENT_CATEGORIES, LedgerDivergence, TaskLedger
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy, with_retries
+
+__all__ = [
+    "JOURNAL_FILE",
+    "TASK_DONE",
+    "TRANSIENT_CATEGORIES",
+    "DEFAULT_RETRY_POLICY",
+    "Journal",
+    "JournalRecord",
+    "LedgerDivergence",
+    "RecoveryReport",
+    "RetryPolicy",
+    "TaskLedger",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "decode_outcome",
+    "encode_outcome",
+    "fsync_dir",
+    "recover_journal",
+    "with_retries",
+]

@@ -1,0 +1,81 @@
+"""Crash-safe file writes: temp file + ``os.replace`` + fsync.
+
+Every state file the pipeline leaves behind — reports, manifests,
+exported CSVs, the journal's recovered prefix — goes through
+:func:`atomic_write_bytes`: the content is written to a temporary file in
+the *same directory* as the target, flushed and fsynced, and then renamed
+over the target with ``os.replace``.  POSIX rename is atomic within a
+filesystem, so a reader (or a process resuming after a crash) only ever
+sees the old complete file or the new complete file — never a torn
+half-write.  The directory entry itself is fsynced afterwards so the
+rename survives a power cut, not just a process kill.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "fsync_dir"]
+
+PathLike = Union[str, Path]
+
+
+def fsync_dir(directory: PathLike) -> None:
+    """Flush a directory entry to disk (best-effort on exotic filesystems).
+
+    After ``os.replace`` the new name exists in the page cache; fsyncing
+    the directory file descriptor makes the rename itself durable.  Some
+    filesystems refuse ``O_RDONLY`` directory fsync — that is ignorable:
+    the rename is still atomic, only its durability window widens.
+    """
+    try:
+        fd = os.open(os.fspath(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes, *, sync: bool = True) -> None:
+    """Write ``data`` to ``path`` so a crash never leaves a partial file.
+
+    The temporary file lives in the target's directory (``os.replace``
+    must not cross filesystems) and is unlinked on any failure, so an
+    interrupted write leaves the previous version of ``path`` untouched.
+    ``sync=False`` skips the fsyncs for callers inside a tight loop that
+    fence durability elsewhere (atomicity is preserved either way).
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if sync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    if sync:
+        fsync_dir(directory)
+
+
+def atomic_write_text(
+    path: PathLike, text: str, *, encoding: str = "utf-8", sync: bool = True
+) -> None:
+    """Text counterpart of :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode(encoding), sync=sync)

@@ -1,0 +1,449 @@
+"""Crash-safe campaign runs: journaled change screening with resume.
+
+A *campaign* is the FFA workflow at operational scale: walk a change log,
+assess every change, and leave behind one digest report.  This module
+makes that workflow restartable after any process death:
+
+* ``campaign.json`` — the immutable spec (input paths, config + SHA-256
+  fingerprint, argv), written atomically when the campaign starts; it is
+  everything ``litmus resume DIR`` needs to rebuild the engine.
+* ``journal.jsonl`` — the write-ahead journal: one ``task-done`` record
+  per settled (element, KPI) task (via the
+  :class:`~repro.runstate.ledger.TaskLedger`) and one ``change-done``
+  record per finished change, carrying its digest row, rendered text, and
+  full report dict.
+* ``report.txt`` / ``report.json`` — the final artifacts, written
+  atomically and fingerprinted in the closing ``campaign-end`` record.
+
+**The report is derived from the journal, never from live objects**: an
+uninterrupted run and a ten-times-killed-and-resumed run render their
+final report from identical journaled data through identical code, so the
+outputs are byte-identical by construction (and the crash harness in
+``tools/bench_resume.py`` proves it by SIGKILLing at randomized points).
+
+A ``KeyboardInterrupt`` anywhere inside :meth:`CampaignRunner.run` is a
+clean checkpoint: everything settled is already on disk (write-ahead), a
+``checkpoint`` record marks the interruption, and
+:class:`CampaignInterrupted` propagates so the CLI can exit with the
+documented status (``EXIT_CHECKPOINTED = 75``, ``EX_TEMPFAIL``: retry
+with ``litmus resume``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import LitmusConfig
+from ..core.litmus import Litmus
+from ..kpi.metrics import DEFAULT_KPIS, KpiKind
+from ..obs.manifest import config_fingerprint
+from ..obs.metrics import get_metrics
+from ..obs.trace import span as obs_span
+from ..ops.screening import ScreeningEntry, render_screening_digest
+from ..selection.selector import SelectionError
+from .atomic import atomic_write_text
+from .journal import JOURNAL_FILE, Journal, JournalRecord
+from .ledger import LedgerDivergence, TaskLedger
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy, with_retries
+
+__all__ = [
+    "CAMPAIGN_FILE",
+    "REPORT_TEXT_FILE",
+    "REPORT_JSON_FILE",
+    "CAMPAIGN_BEGIN",
+    "CHANGE_DONE",
+    "CHECKPOINT",
+    "CAMPAIGN_END",
+    "CampaignInterrupted",
+    "CampaignSpec",
+    "CampaignResult",
+    "CampaignRunner",
+]
+
+CAMPAIGN_FILE = "campaign.json"
+REPORT_TEXT_FILE = "report.txt"
+REPORT_JSON_FILE = "report.json"
+
+#: Journal record types owned by the campaign layer (the ledger owns
+#: ``task-done``).
+#: Group-commit coalescing for change-boundary fsyncs: at most one
+#: boundary fsync per this many seconds (checkpoint and campaign-end
+#: records always fsync).  Bounds the power-loss window; ``kill -9``
+#: durability is unaffected (every record is flushed).
+BOUNDARY_SYNC_INTERVAL_S = 0.1
+
+CAMPAIGN_BEGIN = "campaign-begin"
+CHANGE_DONE = "change-done"
+CHECKPOINT = "checkpoint"
+CAMPAIGN_END = "campaign-end"
+
+#: Campaign spec schema; bump on incompatible change.
+CAMPAIGN_SCHEMA = 1
+
+
+class CampaignInterrupted(KeyboardInterrupt):
+    """The campaign checkpointed cleanly after an interrupt signal."""
+
+    def __init__(self, directory: str) -> None:
+        super().__init__(f"campaign checkpointed; resume with: litmus resume {directory}")
+        self.directory = directory
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything needed to (re)build the campaign's engine and inputs."""
+
+    topology: str
+    kpis: str
+    changes: str
+    change_id: Optional[str] = None
+    explain: bool = False
+    config: Dict[str, Any] = field(default_factory=dict)
+    kpi_names: Tuple[str, ...] = tuple(k.value for k in DEFAULT_KPIS)
+    argv: Tuple[str, ...] = ()
+    schema: int = CAMPAIGN_SCHEMA
+
+    @classmethod
+    def build(
+        cls,
+        topology: str,
+        kpis: str,
+        changes: str,
+        *,
+        config: Optional[LitmusConfig] = None,
+        change_id: Optional[str] = None,
+        explain: bool = False,
+        argv: Sequence[str] = (),
+    ) -> "CampaignSpec":
+        """Spec from CLI-level inputs; paths are pinned absolute so a
+        resume from any working directory finds the same files."""
+        config_dict, _sha = config_fingerprint(config or LitmusConfig())
+        return cls(
+            topology=os.path.abspath(topology),
+            kpis=os.path.abspath(kpis),
+            changes=os.path.abspath(changes),
+            change_id=change_id,
+            explain=explain,
+            config=config_dict,
+            argv=tuple(argv),
+        )
+
+    # -- persistence -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        out["kpi_names"] = list(self.kpi_names)
+        out["argv"] = list(self.argv)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        kwargs["kpi_names"] = tuple(kwargs.get("kpi_names", ()))
+        kwargs["argv"] = tuple(kwargs.get("argv", ()))
+        return cls(**kwargs)
+
+    def save(self, directory: str) -> str:
+        path = os.path.join(directory, CAMPAIGN_FILE)
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, directory: str) -> "CampaignSpec":
+        path = os.path.join(directory, CAMPAIGN_FILE)
+        with open(path) as handle:
+            data = json.load(handle)
+        if not isinstance(data, dict):
+            raise ValueError(f"{path}: campaign spec must be a JSON object")
+        return cls.from_dict(data)
+
+    # -- derived ----------------------------------------------------------
+    def litmus_config(self) -> LitmusConfig:
+        return LitmusConfig(**self.config)
+
+    def kpi_kinds(self) -> Tuple[KpiKind, ...]:
+        return tuple(KpiKind(name) for name in self.kpi_names)
+
+    @property
+    def config_sha256(self) -> str:
+        return config_fingerprint(self.config)[1]
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of one (possibly resumed) campaign run."""
+
+    directory: str
+    report_text: str
+    report_sha256: str
+    counts: Dict[str, int]
+    n_changes: int
+    changes_replayed: int
+    tasks_replayed: int
+    tasks_recorded: int
+    recovered_records: int
+    dropped_tail_bytes: int
+
+    def lineage(self) -> Dict[str, Any]:
+        """The journal-lineage block recorded in the run manifest."""
+        return {
+            "directory": self.directory,
+            "journal": JOURNAL_FILE,
+            "report_sha256": self.report_sha256,
+            "n_changes": self.n_changes,
+            "changes_replayed": self.changes_replayed,
+            "tasks_replayed": self.tasks_replayed,
+            "tasks_recorded": self.tasks_recorded,
+            "recovered_records": self.recovered_records,
+            "dropped_tail_bytes": self.dropped_tail_bytes,
+        }
+
+    def summary(self) -> str:
+        """One-line resume telemetry for the CLI."""
+        return (
+            f"journal: {self.changes_replayed}/{self.n_changes} change(s) replayed, "
+            f"{self.tasks_replayed} task(s) replayed, "
+            f"{self.tasks_recorded} recomputed ({self.directory})"
+        )
+
+
+class CampaignRunner:
+    """Run (or resume) a journaled campaign in a directory.
+
+    ``engine_factory(topology, store, config, change_log, ledger)`` exists
+    for tests (fault-injecting engines); the default builds a plain
+    :class:`~repro.core.litmus.Litmus` with the ledger installed.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        directory: str,
+        *,
+        sync: bool = True,
+        retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+        engine_factory: Optional[Callable[..., Litmus]] = None,
+    ) -> None:
+        self.spec = spec
+        self.directory = os.path.abspath(directory)
+        self.sync = sync
+        self.retry_policy = retry_policy
+        self.engine_factory = engine_factory or (
+            lambda topology, store, config, change_log, ledger: Litmus(
+                topology, store, config, change_log=change_log, ledger=ledger
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.directory, JOURNAL_FILE)
+
+    def _load_world(self):
+        """Read the input files (transient IO retried with backoff)."""
+        from ..io import changelog_from_json, read_store_csv, read_topology_json
+
+        topology = with_retries(
+            lambda: read_topology_json(self.spec.topology),
+            policy=self.retry_policy,
+            label="read-topology",
+        )
+        store = with_retries(
+            lambda: read_store_csv(self.spec.kpis),
+            policy=self.retry_policy,
+            label="read-kpis",
+        )
+
+        def read_changes():
+            with open(self.spec.changes) as handle:
+                return changelog_from_json(handle.read())
+
+        log = with_retries(read_changes, policy=self.retry_policy, label="read-changes")
+        return topology, store, log
+
+    def _verify_lineage(
+        self, journal: Journal, records: Sequence[JournalRecord], change_ids: List[str]
+    ) -> None:
+        """Pin the journal to this spec; append campaign-begin on first run."""
+        begin = next((r for r in records if r.type == CAMPAIGN_BEGIN), None)
+        expected = {
+            "config_sha256": self.spec.config_sha256,
+            "change_ids": change_ids,
+            "root_seed": self.spec.config.get("seed"),
+        }
+        if begin is None:
+            journal.append(CAMPAIGN_BEGIN, expected)
+            return
+        for key, want in expected.items():
+            got = begin.data.get(key)
+            if got != want:
+                raise LedgerDivergence(
+                    f"journal {self.journal_path} was written by a different "
+                    f"campaign: {key} is {got!r}, this run has {want!r}"
+                )
+
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignResult:
+        """Execute the campaign, replaying whatever the journal proves done.
+
+        Raises :class:`CampaignInterrupted` after durably checkpointing on
+        ``KeyboardInterrupt`` and :class:`LedgerDivergence` when the
+        journal belongs to a different spec.
+        """
+        registry = get_metrics()
+        os.makedirs(self.directory, exist_ok=True)
+        with obs_span("campaign", directory=self.directory) as campaign_span:
+            with obs_span("journal-recover") as recover_span:
+                journal, recovery = Journal.open(
+                    self.journal_path,
+                    sync=self.sync,
+                    sync_interval_s=BOUNDARY_SYNC_INTERVAL_S,
+                    retry_policy=self.retry_policy,
+                )
+                recover_span.annotate(
+                    records=len(recovery.records),
+                    dropped_bytes=recovery.dropped_bytes,
+                    truncated=recovery.truncated,
+                )
+            try:
+                return self._run_body(journal, recovery, campaign_span, registry)
+            except KeyboardInterrupt:
+                # Everything settled is already journaled (write-ahead);
+                # mark the clean checkpoint and hand the CLI its exit code.
+                journal.append(CHECKPOINT, {"reason": "interrupt"}, sync=self.sync)
+                registry.counter("runstate.checkpoints").inc()
+                campaign_span.annotate(checkpointed=True)
+                raise CampaignInterrupted(self.directory) from None
+            finally:
+                journal.close()
+
+    # ------------------------------------------------------------------
+    def _run_body(self, journal, recovery, campaign_span, registry) -> CampaignResult:
+        done: Dict[str, Dict[str, Any]] = {
+            r.data["change_id"]: r.data
+            for r in recovery.records
+            if r.type == CHANGE_DONE and "change_id" in r.data
+        }
+        ledger = TaskLedger(journal, recovery.records)
+
+        topology, store, log = self._load_world()
+        if self.spec.change_id is not None:
+            changes = [log.get(self.spec.change_id)]
+        else:
+            changes = list(log)
+        change_ids = [c.change_id for c in changes]
+        self._verify_lineage(journal, recovery.records, change_ids)
+
+        config = self.spec.litmus_config()
+        kpis = self.spec.kpi_kinds()
+        engine = self.engine_factory(topology, store, config, log, ledger)
+
+        changes_replayed = 0
+        for change in changes:
+            if change.change_id in done:
+                changes_replayed += 1
+                registry.counter("runstate.changes_replayed").inc()
+                continue
+            with obs_span("change", change_id=change.change_id) as change_span:
+                data = self._assess_one(engine, change, kpis, topology, log)
+                change_span.annotate(status=data["status"])
+            journal.append(CHANGE_DONE, data)
+            done[change.change_id] = data
+
+        text, payload = self._render(done, change_ids)
+        report_bytes = text.encode("utf-8")
+        sha = hashlib.sha256(report_bytes).hexdigest()
+        atomic_write_text(os.path.join(self.directory, REPORT_TEXT_FILE), text)
+        atomic_write_text(
+            os.path.join(self.directory, REPORT_JSON_FILE),
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        )
+        journal.append(
+            CAMPAIGN_END,
+            {"report_sha256": sha, "n_changes": len(changes)},
+            sync=self.sync,
+        )
+        campaign_span.annotate(
+            n_changes=len(changes),
+            changes_replayed=changes_replayed,
+            tasks_replayed=ledger.replayed_count,
+        )
+        return CampaignResult(
+            directory=self.directory,
+            report_text=text,
+            report_sha256=sha,
+            counts=payload["counts"],
+            n_changes=len(changes),
+            changes_replayed=changes_replayed,
+            tasks_replayed=ledger.replayed_count,
+            tasks_recorded=ledger.recorded_count,
+            recovered_records=len(recovery.records),
+            dropped_tail_bytes=recovery.dropped_bytes,
+        )
+
+    def _assess_one(self, engine, change, kpis, topology, log) -> Dict[str, Any]:
+        """Assess one change into its journal record (never raises for the
+        unassessable-change cases a screening sweep tolerates)."""
+        try:
+            report = engine.assess(change, kpis)
+        except (SelectionError, ValueError, KeyError) as exc:
+            entry = ScreeningEntry(change, None, str(exc))
+            return {
+                "change_id": change.change_id,
+                "status": "skipped",
+                "reason": str(exc),
+                "row": entry.to_row(),
+                "text": None,
+                "report": None,
+            }
+        if self.spec.explain:
+            from ..ops.attribution import explain_assessment
+
+            text = explain_assessment(report, topology, change_log=log).to_text()
+        else:
+            text = report.to_text()
+        entry = ScreeningEntry(change, report)
+        return {
+            "change_id": change.change_id,
+            "status": "assessed",
+            "reason": None,
+            "row": entry.to_row(),
+            "text": text,
+            "report": report.to_dict(),
+        }
+
+    def _render(
+        self, done: Dict[str, Dict[str, Any]], change_ids: List[str]
+    ) -> Tuple[str, Dict[str, Any]]:
+        """Final report from journaled records only (see module docstring)."""
+        rows = [done[cid]["row"] for cid in change_ids]
+        counts = {"degradation": 0, "improvement": 0, "no-impact": 0, "skipped": 0}
+        for row in rows:
+            counts[row["verdict"] if row["verdict"] is not None else "skipped"] += 1
+        if self.spec.change_id is not None:
+            data = done[self.spec.change_id]
+            text = data["text"] if data["text"] is not None else f"skipped ({data['reason']})"
+        else:
+            text = render_screening_digest(rows, counts)
+        payload = {
+            "schema": CAMPAIGN_SCHEMA,
+            "change_id": self.spec.change_id,
+            "config_sha256": self.spec.config_sha256,
+            "counts": counts,
+            "changes": [
+                {
+                    "change_id": cid,
+                    "status": done[cid]["status"],
+                    "reason": done[cid]["reason"],
+                    "row": done[cid]["row"],
+                    "report": done[cid]["report"],
+                }
+                for cid in change_ids
+            ],
+        }
+        return text + "\n", payload

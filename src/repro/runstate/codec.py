@@ -1,0 +1,95 @@
+"""JSON codec for journaled task outcomes.
+
+The ledger stores every completed task's :class:`~repro.core.parallel.TaskOutcome`
+as plain JSON so a resumed process can replay it without unpickling
+arbitrary objects (a journal written by one version of the code must stay
+readable, and pickle across versions is exactly the trap this avoids).
+
+Three value kinds cover the pipeline:
+
+* ``algorithm-result`` — :class:`~repro.core.verdict.AlgorithmResult`, the
+  assessment fan-out's payload.  Floats survive bit-exactly: ``json``
+  serializes via ``repr`` (shortest round-tripping form), which is what
+  makes a replayed report byte-identical to the uninterrupted run.
+* ``json`` — any value that is already plain JSON (the evaluation
+  harness's label lists, counts, ...).
+* failures — the typed :class:`~repro.core.parallel.TaskFailure` fields.
+
+Anything else raises ``TypeError`` at *record* time, never at replay time:
+a journal only ever contains records this module can decode.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..core.parallel import TaskFailure, TaskOutcome
+from ..core.verdict import AlgorithmResult
+from ..stats.rank_tests import Direction
+
+__all__ = ["encode_outcome", "decode_outcome"]
+
+
+def _encode_value(value: Any) -> Dict[str, Any]:
+    if isinstance(value, AlgorithmResult):
+        return {
+            "kind": "algorithm-result",
+            "direction": value.direction.value,
+            "p_value_increase": value.p_value_increase,
+            "p_value_decrease": value.p_value_decrease,
+            "method": value.method,
+            "detail": {str(k): float(v) for k, v in value.detail.items()},
+        }
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(
+            f"cannot journal task result of type {type(value).__name__}: {exc}"
+        ) from None
+    return {"kind": "json", "value": value}
+
+
+def _decode_value(data: Dict[str, Any]) -> Any:
+    kind = data.get("kind")
+    if kind == "algorithm-result":
+        return AlgorithmResult(
+            direction=Direction(data["direction"]),
+            p_value_increase=float(data["p_value_increase"]),
+            p_value_decrease=float(data["p_value_decrease"]),
+            method=str(data["method"]),
+            detail={str(k): float(v) for k, v in data.get("detail", {}).items()},
+        )
+    if kind == "json":
+        return data.get("value")
+    raise ValueError(f"unknown journaled value kind {kind!r}")
+
+
+def encode_outcome(outcome: TaskOutcome) -> Dict[str, Any]:
+    """Encode a task outcome (value or typed failure) as plain JSON."""
+    if outcome.failure is not None:
+        f = outcome.failure
+        return {
+            "failure": {
+                "category": f.category,
+                "error_type": f.error_type,
+                "message": f.message,
+                "attempts": f.attempts,
+            }
+        }
+    return {"value": _encode_value(outcome.value)}
+
+
+def decode_outcome(data: Dict[str, Any]) -> TaskOutcome:
+    """Inverse of :func:`encode_outcome`."""
+    failure = data.get("failure")
+    if failure is not None:
+        return TaskOutcome(
+            failure=TaskFailure(
+                category=str(failure["category"]),
+                error_type=str(failure["error_type"]),
+                message=str(failure["message"]),
+                attempts=int(failure.get("attempts", 1)),
+            )
+        )
+    return TaskOutcome(value=_decode_value(data["value"]))

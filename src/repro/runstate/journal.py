@@ -1,0 +1,287 @@
+"""Append-only JSONL write-ahead journal with CRC records and recovery.
+
+The journal is the durability primitive of a campaign run: every completed
+unit of work appends one record *before* the result is considered done
+(write-ahead), so after any crash — ``kill -9`` included — the journal's
+valid prefix is exactly the set of work that must not be repeated.
+
+**Record format.**  One line per record::
+
+    crc32-hex SP json-body LF
+    e.g.  7f1c2a09 {"data":{...},"seq":4,"type":"task-done"}
+
+The CRC-32 is computed over the exact body bytes as written, so validation
+needs no canonicalization; the body carries a strictly increasing ``seq``
+so a record can never be replayed out of order or spliced in from another
+file.
+
+**Recovery invariants** (property-tested in ``tests/runstate``):
+
+* recovery accepts the longest prefix of lines that are newline-terminated,
+  CRC-valid, and ``seq``-contiguous from 0;
+* the first torn or corrupt line ends the prefix — **nothing after the
+  first bad CRC is ever resurrected**, even if later lines look valid
+  (a bit flip may hide a lost record, so the tail cannot be trusted);
+* recovery truncates the file back to the valid prefix via an atomic
+  rewrite (temp file + ``os.replace``), so a recovered journal is again a
+  well-formed journal and appending can continue.
+
+Appends go through an ``'ab'`` handle, always flushed to the OS per record
+— a flushed record survives any *process* death, ``kill -9`` included —
+while the fsync (durability across power loss) is **group-committed**:
+``append(..., sync=False)`` skips the per-record fsync, and the next
+synced append or :meth:`Journal.close` fsyncs once for everything flushed
+before it.  The task ledger uses this for high-rate ``task-done`` records;
+campaign boundary records (``change-done`` etc.) sync under a coalescing
+interval (at most one boundary fsync per ``sync_interval_s``), and
+checkpoint/end records fsync unconditionally — so the power-loss durable
+point is the last synced boundary, at most one interval behind.  Appends and recovery both
+retry transient ``OSError`` under the exponential-backoff policy of
+:mod:`repro.runstate.retry`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Any, BinaryIO, Dict, List, Optional, Tuple, Union
+
+from ..obs.metrics import get_metrics
+from .atomic import atomic_write_bytes, fsync_dir
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy, with_retries
+
+__all__ = [
+    "JournalRecord",
+    "RecoveryReport",
+    "Journal",
+    "recover_journal",
+    "JOURNAL_FILE",
+]
+
+#: Conventional journal file name inside a campaign directory.
+JOURNAL_FILE = "journal.jsonl"
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One validated journal entry."""
+
+    seq: int
+    type: str
+    data: Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What recovery found: the valid prefix and how much tail it dropped."""
+
+    records: Tuple[JournalRecord, ...]
+    valid_bytes: int
+    dropped_bytes: int
+    truncated: bool  # True when a torn/corrupt tail was cut off
+
+    @property
+    def next_seq(self) -> int:
+        return self.records[-1].seq + 1 if self.records else 0
+
+
+def _encode_record(seq: int, type_: str, data: Dict[str, Any]) -> bytes:
+    body = json.dumps(
+        {"data": data, "seq": seq, "type": type_},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    if b"\n" in body:  # json.dumps never emits raw newlines, but be explicit
+        raise ValueError("journal record data must not serialize to multiple lines")
+    return b"%08x " % zlib.crc32(body) + body + b"\n"
+
+
+def _decode_line(line: bytes, expected_seq: int) -> Optional[JournalRecord]:
+    """Validate one newline-stripped line; None means torn/corrupt."""
+    if len(line) < 10 or line[8:9] != b" ":
+        return None
+    body = line[9:]
+    # Byte-exact match against the canonical lowercase hex the encoder
+    # writes — int() parsing would accept case-mangled prefixes, i.e. treat
+    # a demonstrably damaged line as valid.
+    if line[:8] != b"%08x" % zlib.crc32(body):
+        return None
+    try:
+        obj = json.loads(body)
+    except ValueError:
+        return None
+    if not isinstance(obj, dict):
+        return None
+    seq, type_, data = obj.get("seq"), obj.get("type"), obj.get("data")
+    if seq != expected_seq or not isinstance(type_, str) or not isinstance(data, dict):
+        return None
+    return JournalRecord(seq=int(seq), type=type_, data=data)
+
+
+def recover_journal(
+    path: Union[str, os.PathLike],
+    *,
+    truncate: bool = True,
+    retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+) -> RecoveryReport:
+    """Read the journal's valid prefix; optionally cut the torn tail off.
+
+    A missing file recovers to an empty journal.  With ``truncate`` the
+    file is atomically rewritten to its valid prefix, so the journal is
+    append-ready again; without it the file is left untouched (read-only
+    inspection).
+    """
+    path = os.fspath(path)
+
+    def read() -> bytes:
+        try:
+            with open(path, "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return b""
+
+    raw = with_retries(read, policy=retry_policy, label="journal-recover")
+    records: List[JournalRecord] = []
+    offset = 0
+    while offset < len(raw):
+        end = raw.find(b"\n", offset)
+        if end < 0:
+            break  # unterminated tail: the append was torn mid-line
+        record = _decode_line(raw[offset:end], expected_seq=len(records))
+        if record is None:
+            break  # first bad CRC/seq: nothing past it can be trusted
+        records.append(record)
+        offset = end + 1
+
+    dropped = len(raw) - offset
+    truncated = False
+    if dropped and truncate:
+        with_retries(
+            lambda: atomic_write_bytes(path, raw[:offset]),
+            policy=retry_policy,
+            label="journal-truncate",
+        )
+        truncated = True
+    registry = get_metrics()
+    registry.counter("runstate.recovered_records").inc(len(records))
+    if dropped:
+        registry.counter("runstate.dropped_tail_bytes").inc(dropped)
+    return RecoveryReport(
+        records=tuple(records),
+        valid_bytes=offset,
+        dropped_bytes=dropped,
+        truncated=truncated,
+    )
+
+
+class Journal:
+    """Append handle over a (recovered) journal file.
+
+    Use :meth:`Journal.open` — it runs recovery first, so appending always
+    starts from a well-formed file with a known next ``seq``.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        *,
+        start_seq: int = 0,
+        sync: bool = True,
+        sync_interval_s: float = 0.0,
+        retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.sync = sync
+        #: With a positive interval, *default-policy* fsyncs coalesce: an
+        #: append that would fsync only flushes when the last fsync was
+        #: less than this many seconds ago (explicit ``sync=True`` always
+        #: fsyncs).  Bounds the power-loss window without paying one fsync
+        #: per boundary on fast campaigns.
+        self.sync_interval_s = sync_interval_s
+        self.retry_policy = retry_policy
+        self._next_seq = start_seq
+        self._handle: Optional[BinaryIO] = None
+        self._last_fsync = float("-inf")
+
+    @classmethod
+    def open(
+        cls,
+        path: Union[str, os.PathLike],
+        *,
+        sync: bool = True,
+        sync_interval_s: float = 0.0,
+        retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    ) -> Tuple["Journal", RecoveryReport]:
+        """Recover ``path`` (truncating any torn tail) and open for append."""
+        report = recover_journal(path, truncate=True, retry_policy=retry_policy)
+        journal = cls(
+            path,
+            start_seq=report.next_seq,
+            sync=sync,
+            sync_interval_s=sync_interval_s,
+            retry_policy=retry_policy,
+        )
+        return journal, report
+
+    # ------------------------------------------------------------------
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    def _file(self) -> BinaryIO:
+        if self._handle is None or self._handle.closed:
+            self._handle = open(self.path, "ab")
+        return self._handle
+
+    def append(
+        self, type_: str, data: Dict[str, Any], *, sync: Optional[bool] = None
+    ) -> JournalRecord:
+        """Append one record; returns once it is flushed to the OS.
+
+        ``sync`` overrides the journal's fsync policy for this record:
+        ``False`` group-commits (flush only — still crash-safe against
+        process death; the next synced append or :meth:`close` fsyncs it),
+        ``True`` always fsyncs, ``None`` uses the journal default — which
+        itself coalesces under ``sync_interval_s``.
+        """
+        if sync is None:
+            effective_sync = self.sync and (
+                time.monotonic() - self._last_fsync >= self.sync_interval_s
+            )
+        else:
+            effective_sync = sync
+        seq = self._next_seq
+        line = _encode_record(seq, type_, data)
+
+        def write() -> None:
+            handle = self._file()
+            handle.write(line)
+            handle.flush()
+            if effective_sync:
+                os.fsync(handle.fileno())
+                self._last_fsync = time.monotonic()
+
+        with_retries(write, policy=self.retry_policy, label="journal-append")
+        self._next_seq = seq + 1
+        get_metrics().counter("runstate.journal_appends").inc()
+        return JournalRecord(seq=seq, type=type_, data=data)
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            if self.sync:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+        if self.sync:
+            parent = os.path.dirname(self.path) or "."
+            fsync_dir(parent)
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+        return None

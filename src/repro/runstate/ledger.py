@@ -1,0 +1,118 @@
+"""Idempotent task ledger: exactly-once replay of journaled task results.
+
+The ledger maps a stable *task key* to its journaled
+:class:`~repro.core.parallel.TaskOutcome`.  Keys embed the task's
+position-keyed seed (the ``SeedSequence.spawn`` child already used by
+``core/parallel.run_tasks``), e.g. ::
+
+    assess/ffa-bad/w14+0/RNC-NE-03/voice-retainability#1357924680
+
+so a key hit guarantees the cached result is bit-identical to what
+recomputation would produce: same inputs (pinned by the campaign's config
+fingerprint), same randomness (pinned by the seed in the key).  Any change
+to the config, seed, or task order changes the key and simply misses — the
+task recomputes, it is never replayed wrongly.
+
+**Exactly-once contract** (DESIGN.md §9):
+
+* a task result is journaled *after* the task completes and *before* the
+  batch moves on, so a crash re-runs at most the in-flight tasks;
+* deterministic outcomes — values and the ``data-quality`` /
+  ``invalid-input`` / ``numerical`` / ``runtime`` failure categories — are
+  journaled and replayed verbatim;
+* **transient** failures (``timeout``, ``worker-crash``) are *not*
+  journaled: a resume must retry them, not replay them (a task that timed
+  out because the host was dying would otherwise fail forever);
+* replays tick ``runstate.tasks_replayed`` and executions
+  ``runstate.tasks_recorded`` so a resume can prove "zero completed tasks
+  re-executed" from its metrics alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..core.parallel import TaskOutcome
+from ..obs.metrics import get_metrics
+from .codec import decode_outcome, encode_outcome
+from .journal import Journal, JournalRecord
+
+__all__ = ["LedgerDivergence", "TaskLedger", "TASK_DONE", "TRANSIENT_CATEGORIES"]
+
+#: Journal record type for one completed task.
+TASK_DONE = "task-done"
+
+#: Failure categories a resume must retry instead of replaying.
+TRANSIENT_CATEGORIES = frozenset({"timeout", "worker-crash"})
+
+
+class LedgerDivergence(RuntimeError):
+    """The journal belongs to a different run (config/seed mismatch)."""
+
+
+class TaskLedger:
+    """Write-ahead ledger of completed task outcomes over a journal.
+
+    ``journal=None`` gives a read-only ledger (replay without recording),
+    which is what report rendering uses after the campaign body finished.
+    """
+
+    def __init__(
+        self,
+        journal: Optional[Journal] = None,
+        records: Iterable[JournalRecord] = (),
+    ) -> None:
+        self.journal = journal
+        #: Replays / fresh recordings served by *this* ledger instance —
+        #: the per-run numbers behind the global metrics counters.
+        self.replayed_count = 0
+        self.recorded_count = 0
+        self._done: Dict[str, Dict] = {}
+        for record in records:
+            if record.type == TASK_DONE:
+                data = record.data
+                key = data.get("key")
+                if isinstance(key, str) and "outcome" in data:
+                    # Last write wins: a re-recorded key (crash between
+                    # journal append and ledger bookkeeping) is harmless
+                    # because both records decode to the identical outcome.
+                    self._done[key] = data["outcome"]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._done)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._done
+
+    def get(self, key: str) -> Optional[TaskOutcome]:
+        """The journaled outcome for ``key``, or None to recompute.
+
+        A hit counts toward ``runstate.tasks_replayed`` — the counter the
+        resume tests use to assert zero completed tasks re-executed.
+        """
+        encoded = self._done.get(key)
+        if encoded is None:
+            return None
+        self.replayed_count += 1
+        get_metrics().counter("runstate.tasks_replayed").inc()
+        return decode_outcome(encoded)
+
+    def put(self, key: str, outcome: TaskOutcome) -> None:
+        """Durably record one completed task (write-ahead, fsynced).
+
+        Transient failures are deliberately dropped — see the module
+        contract — and a read-only ledger records nothing.
+        """
+        if outcome.failure is not None and outcome.failure.category in TRANSIENT_CATEGORIES:
+            return
+        encoded = encode_outcome(outcome)
+        if self.journal is not None:
+            # Group commit: flushed (kill -9 safe) per task, fsynced by the
+            # next campaign boundary record or journal close.
+            self.journal.append(
+                TASK_DONE, {"key": key, "outcome": encoded}, sync=False
+            )
+        self._done[key] = encoded
+        self.recorded_count += 1
+        get_metrics().counter("runstate.tasks_recorded").inc()

@@ -1,0 +1,90 @@
+"""Exponential-backoff-with-jitter retries for transient store/journal IO.
+
+A campaign writing its journal to network-attached storage sees transient
+``OSError``\\ s (NFS hiccups, ``EINTR``, momentary ``ENOSPC`` while a log
+rotates) that deterministic task errors never produce.  :func:`with_retries`
+wraps exactly that class of failure: it retries the callable under an
+exponential backoff with multiplicative jitter, re-raising the last error
+once the attempt budget is spent.
+
+Jitter is drawn from a caller-seedable :class:`random.Random` so tests —
+and resumed campaigns, which must not consume numpy task randomness —
+get deterministic schedules without touching any global RNG.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from ..obs.metrics import get_metrics
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY_POLICY", "with_retries"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Shape of the backoff schedule.
+
+    Attempt *k* (0-based) sleeps ``min(max_delay_s, base_delay_s * 2**k)``
+    scaled by ``1 + jitter * u`` with ``u ~ U[0, 1)`` — full multiplicative
+    jitter, so concurrent campaigns hammering one filer decorrelate.
+    """
+
+    attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError("need 0 <= base_delay_s <= max_delay_s")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    def delay(self, attempt: int, u: float) -> float:
+        """Backoff before retry ``attempt`` (0-based) given jitter draw ``u``."""
+        return min(self.max_delay_s, self.base_delay_s * (2.0**attempt)) * (
+            1.0 + self.jitter * u
+        )
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def with_retries(
+    fn: Callable[[], T],
+    *,
+    policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+    sleep: Callable[[float], None] = time.sleep,
+    seed: Optional[int] = None,
+    label: str = "io",
+) -> T:
+    """Call ``fn`` until it succeeds or the attempt budget is spent.
+
+    Only exceptions in ``retry_on`` (transient IO by default) are retried;
+    anything else — including the data-quality and task-payload errors the
+    assessment taxonomy classifies as deterministic — propagates on the
+    first raise.  Retries tick the ``runstate.io_retries`` counter so a
+    flaky store shows up in the run's telemetry footer and manifest.
+    """
+    rng = random.Random(seed)
+    last: Optional[BaseException] = None
+    for attempt in range(policy.attempts):
+        try:
+            return fn()
+        except retry_on as exc:  # type: ignore[misc]
+            last = exc
+            if attempt == policy.attempts - 1:
+                break
+            get_metrics().counter("runstate.io_retries").inc()
+            sleep(policy.delay(attempt, rng.random()))
+    assert last is not None
+    raise last

@@ -86,7 +86,8 @@ class TestBuildAndRoundTrip:
         assert m.seed_lineage["n_spawned"] == 3
         assert m.tallies == {"assess.tasks": 3}
         assert m.versions["python"]
-        assert m.schema == 1
+        assert m.schema == 2
+        assert m.journal is None
 
     def test_dict_round_trip(self):
         m = self._manifest()

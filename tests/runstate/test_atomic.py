@@ -1,0 +1,50 @@
+"""Atomic file writes: crashes never leave partial or missing state."""
+
+import os
+
+import pytest
+
+from repro.runstate.atomic import atomic_write_bytes, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "state.json"
+        atomic_write_bytes(target, b'{"a": 1}')
+        assert target.read_bytes() == b'{"a": 1}'
+
+    def test_replaces_existing(self, tmp_path):
+        target = tmp_path / "state.json"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        target = tmp_path / "state.json"
+        atomic_write_text(target, "x" * 10_000)
+        assert os.listdir(tmp_path) == ["state.json"]
+
+    def test_failed_replace_leaves_original_and_no_droppings(self, tmp_path, monkeypatch):
+        target = tmp_path / "state.json"
+        target.write_text("original")
+
+        def boom(src, dst):
+            raise OSError("simulated rename failure")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "replacement")
+        monkeypatch.undo()
+        assert target.read_text() == "original"
+        assert os.listdir(tmp_path) == ["state.json"]
+
+    def test_text_round_trips_utf8(self, tmp_path):
+        target = tmp_path / "report.txt"
+        atomic_write_text(target, "σ-shift → dégradation\n")
+        assert target.read_text(encoding="utf-8") == "σ-shift → dégradation\n"
+
+    def test_sync_false_still_atomic(self, tmp_path):
+        target = tmp_path / "fast.bin"
+        atomic_write_bytes(target, b"payload", sync=False)
+        assert target.read_bytes() == b"payload"
+        assert os.listdir(tmp_path) == ["fast.bin"]

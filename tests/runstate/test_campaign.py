@@ -1,0 +1,226 @@
+"""Campaign checkpoint/resume: interrupted runs converge bit-identically.
+
+The interrupt tests inject a ``KeyboardInterrupt`` from *inside* the task
+fan-out (exactly what SIGINT does to a serial run), assert the campaign
+checkpoints durably, and prove the resume replays every journaled task —
+zero completed tasks re-executed, counted at the algorithm itself.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.core.config import LitmusConfig
+from repro.core.litmus import Litmus
+from repro.core.regression import RobustSpatialRegression
+from repro.external.factors import goodness_magnitude
+from repro.io import changelog_to_json, write_store_csv, write_topology_json
+from repro.kpi import DEFAULT_KPIS, KpiKind, LevelShift, generate_kpis
+from repro.network import ChangeEvent, ChangeLog, ChangeType, ElementRole, build_network
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.runstate.atomic import atomic_write_text
+from repro.runstate.campaign import (
+    CAMPAIGN_FILE,
+    CHECKPOINT,
+    CampaignInterrupted,
+    CampaignRunner,
+    CampaignSpec,
+)
+from repro.runstate.journal import JOURNAL_FILE, recover_journal
+from repro.runstate.ledger import TASK_DONE, LedgerDivergence
+
+CHANGE_DAY = 85
+N_KPIS = len(DEFAULT_KPIS)  # tasks per change (one study element each)
+
+
+@pytest.fixture(scope="module")
+def world(tmp_path_factory):
+    """Two-change deployment on disk, as `litmus simulate` would write it."""
+    directory = tmp_path_factory.mktemp("world")
+    topo = build_network(seed=7, controllers_per_region=10, towers_per_controller=1)
+    store = generate_kpis(topo, DEFAULT_KPIS, seed=7)
+    rncs = topo.elements(role=ElementRole.RNC)
+    vr = KpiKind.VOICE_RETAINABILITY
+    log = ChangeLog(
+        [
+            ChangeEvent(
+                "ffa-good",
+                ChangeType.CONFIGURATION,
+                CHANGE_DAY,
+                frozenset({rncs[0].element_id}),
+            ),
+            ChangeEvent(
+                "ffa-bad",
+                ChangeType.SOFTWARE_UPGRADE,
+                CHANGE_DAY,
+                frozenset({rncs[1].element_id}),
+            ),
+        ]
+    )
+    store.apply_effect(rncs[0].element_id, vr, LevelShift(goodness_magnitude(vr, 4.5), CHANGE_DAY))
+    store.apply_effect(rncs[1].element_id, vr, LevelShift(goodness_magnitude(vr, -4.5), CHANGE_DAY))
+    write_topology_json(topo, str(directory / "topology.json"))
+    write_store_csv(store, str(directory / "kpis.csv"))
+    atomic_write_text(str(directory / "changes.json"), changelog_to_json(log))
+    return directory
+
+
+def make_spec(world, **overrides):
+    spec = CampaignSpec.build(
+        str(world / "topology.json"),
+        str(world / "kpis.csv"),
+        str(world / "changes.json"),
+        config=overrides.pop("config", None),
+    )
+    return dataclasses.replace(spec, **overrides) if overrides else spec
+
+
+class CountingAssessor:
+    """Transparent wrapper counting real ``compare`` executions, optionally
+    blowing a KeyboardInterrupt fuse — the in-process equivalent of SIGINT
+    landing mid-``run_tasks``."""
+
+    def __init__(self, inner, calls, fuse=None):
+        self.inner = inner
+        self.calls = calls  # shared mutable [count]
+        self.fuse = fuse
+        self.name = inner.name  # ledger keys embed the algorithm name
+
+    def with_seed(self, seed):
+        maker = getattr(self.inner, "with_seed", None)
+        inner = maker(seed) if callable(maker) else self.inner
+        return CountingAssessor(inner, self.calls, self.fuse)
+
+    def compare(self, *args, **kwargs):
+        self.calls[0] += 1
+        if self.fuse is not None and self.calls[0] == self.fuse:
+            raise KeyboardInterrupt
+        return self.inner.compare(*args, **kwargs)
+
+
+def counting_factory(calls, fuse=None):
+    def factory(topology, store, config, change_log, ledger):
+        algo = CountingAssessor(RobustSpatialRegression(config), calls, fuse)
+        return Litmus(
+            topology, store, config, algorithm=algo, change_log=change_log, ledger=ledger
+        )
+
+    return factory
+
+
+class TestFreshRun:
+    def test_run_writes_artifacts_and_journal(self, world, tmp_path):
+        spec = make_spec(world)
+        result = CampaignRunner(spec, str(tmp_path)).run()
+        assert (tmp_path / "report.txt").read_text() == result.report_text
+        assert (tmp_path / "report.json").exists()
+        assert result.n_changes == 2 and result.changes_replayed == 0
+        assert result.tasks_recorded == 2 * N_KPIS and result.tasks_replayed == 0
+        types = [r.type for r in recover_journal(tmp_path / JOURNAL_FILE).records]
+        assert types[0] == "campaign-begin" and types[-1] == "campaign-end"
+        assert types.count("change-done") == 2 and types.count(TASK_DONE) == 2 * N_KPIS
+
+    def test_rerun_replays_everything_byte_identically(self, world, tmp_path):
+        spec = make_spec(world)
+        first = CampaignRunner(spec, str(tmp_path)).run()
+        calls = [0]
+        again = CampaignRunner(
+            spec, str(tmp_path), engine_factory=counting_factory(calls)
+        ).run()
+        assert again.changes_replayed == 2 and again.tasks_recorded == 0
+        assert calls[0] == 0  # zero tasks re-executed
+        assert again.report_text == first.report_text
+        assert again.report_sha256 == first.report_sha256
+
+
+class TestInterruptAndResume:
+    def test_interrupt_checkpoints_durably(self, world, tmp_path):
+        spec = make_spec(world)
+        registry = MetricsRegistry()
+        calls = [0]
+        runner = CampaignRunner(
+            spec, str(tmp_path), engine_factory=counting_factory(calls, fuse=2)
+        )
+        with use_metrics(registry):
+            with pytest.raises(CampaignInterrupted) as excinfo:
+                runner.run()
+        assert excinfo.value.directory == str(tmp_path)
+        assert isinstance(excinfo.value, KeyboardInterrupt)
+        records = recover_journal(tmp_path / JOURNAL_FILE).records
+        assert records[-1].type == CHECKPOINT
+        # Task 1 settled before the fuse blew on task 2: it is durable.
+        assert sum(1 for r in records if r.type == TASK_DONE) == 1
+        assert registry.snapshot()["counters"]["runstate.checkpoints"] == 1
+        assert not (tmp_path / "report.txt").exists()
+
+    def test_resume_replays_and_reexecutes_zero_completed_tasks(self, world, tmp_path):
+        spec = make_spec(world)
+        reference = CampaignRunner(spec, str(tmp_path / "reference")).run()
+
+        directory = tmp_path / "interrupted"
+        calls = [0]
+        with pytest.raises(CampaignInterrupted):
+            CampaignRunner(
+                spec, str(directory), engine_factory=counting_factory(calls, fuse=2)
+            ).run()
+        executed_before_interrupt = calls[0] - 1  # the fuse call ran nothing
+
+        resumed_calls = [0]
+        result = CampaignRunner(
+            spec, str(directory), engine_factory=counting_factory(resumed_calls)
+        ).run()
+        # Every journaled task replays; only the remainder executes.
+        assert result.tasks_replayed == executed_before_interrupt == 1
+        assert result.tasks_recorded == 2 * N_KPIS - 1
+        assert resumed_calls[0] == 2 * N_KPIS - 1  # zero completed re-executed
+        # And the converged report is byte-identical to the clean run's.
+        assert result.report_text == reference.report_text
+        assert (directory / "report.txt").read_bytes() == (
+            tmp_path / "reference" / "report.txt"
+        ).read_bytes()
+
+    def test_interrupt_on_second_change_replays_first_wholesale(self, world, tmp_path):
+        spec = make_spec(world)
+        calls = [0]
+        with pytest.raises(CampaignInterrupted):
+            CampaignRunner(
+                spec, str(tmp_path), engine_factory=counting_factory(calls, fuse=N_KPIS + 1)
+            ).run()
+        resumed = CampaignRunner(spec, str(tmp_path)).run()
+        assert resumed.changes_replayed == 1  # change 1 fully journaled
+        assert resumed.tasks_replayed == 0  # change replay skips its tasks
+        assert resumed.tasks_recorded == N_KPIS  # only change 2 recomputed
+
+
+class TestSpecAndLineage:
+    def test_spec_round_trips_via_campaign_json(self, world, tmp_path):
+        spec = make_spec(world, change_id="ffa-bad", explain=True)
+        spec.save(str(tmp_path))
+        loaded = CampaignSpec.load(str(tmp_path))
+        assert loaded == spec
+        assert (tmp_path / CAMPAIGN_FILE).exists()
+
+    def test_divergent_config_is_refused(self, world, tmp_path):
+        CampaignRunner(make_spec(world), str(tmp_path)).run()
+        other = make_spec(world, config=LitmusConfig(seed=9999))
+        with pytest.raises(LedgerDivergence, match="different"):
+            CampaignRunner(other, str(tmp_path)).run()
+
+    def test_single_change_mode_resumes_from_journaled_text(self, world, tmp_path):
+        spec = make_spec(world, change_id="ffa-bad")
+        first = CampaignRunner(spec, str(tmp_path)).run()
+        assert "ffa-bad" in first.report_text
+        again = CampaignRunner(spec, str(tmp_path)).run()
+        assert again.report_text == first.report_text
+        assert again.changes_replayed == 1
+
+    def test_lineage_block_reports_replays(self, world, tmp_path):
+        spec = make_spec(world)
+        CampaignRunner(spec, str(tmp_path)).run()
+        result = CampaignRunner(spec, str(tmp_path)).run()
+        lineage = result.lineage()
+        assert lineage["directory"] == str(tmp_path)
+        assert lineage["changes_replayed"] == 2
+        assert lineage["report_sha256"] == result.report_sha256
+        assert lineage["recovered_records"] > 0

@@ -1,0 +1,123 @@
+"""Task ledger: exactly-once replay semantics over the journal."""
+
+import math
+
+import pytest
+
+from repro.core.parallel import TaskFailure, TaskOutcome
+from repro.core.verdict import AlgorithmResult
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.runstate.codec import decode_outcome, encode_outcome
+from repro.runstate.journal import JOURNAL_FILE, Journal
+from repro.runstate.ledger import TRANSIENT_CATEGORIES, TaskLedger
+from repro.stats.rank_tests import Direction
+
+
+def algorithm_result(p_inc=0.001234567890123, p_dec=0.91):
+    return AlgorithmResult(
+        direction=Direction.DECREASE,
+        p_value_increase=p_inc,
+        p_value_decrease=p_dec,
+        method="unit-test",
+        detail={"hl_shift": -0.00881598366754998, "scale": 1.7e-308},
+    )
+
+
+class TestCodec:
+    def test_algorithm_result_round_trips_bit_exactly(self):
+        original = TaskOutcome(value=algorithm_result())
+        decoded = decode_outcome(encode_outcome(original))
+        assert decoded.value == original.value
+        # Bit-exact, not approx: byte-identical reports depend on it.
+        assert repr(decoded.value.p_value_increase) == repr(original.value.p_value_increase)
+        assert repr(decoded.value.detail["scale"]) == repr(original.value.detail["scale"])
+
+    def test_failure_round_trips(self):
+        original = TaskOutcome(
+            failure=TaskFailure("numerical", "LinAlgError", "singular matrix", attempts=2)
+        )
+        decoded = decode_outcome(encode_outcome(original))
+        assert decoded.failure == original.failure and not decoded.ok
+
+    def test_plain_json_value_round_trips(self):
+        original = TaskOutcome(value=[["litmus", "tp"], ["did", "fn"]])
+        assert decode_outcome(encode_outcome(original)).value == original.value
+
+    def test_unjournalable_value_raises_at_record_time(self):
+        with pytest.raises(TypeError, match="cannot journal"):
+            encode_outcome(TaskOutcome(value=object()))
+
+    def test_nonfinite_json_value_round_trips(self):
+        # Python's json emits/accepts Infinity tokens; the codec preserves
+        # them rather than silently coercing.
+        value = TaskOutcome(value={"x": math.inf})
+        assert decode_outcome(encode_outcome(value)).value == {"x": math.inf}
+
+
+class TestLedger:
+    def test_get_miss_returns_none(self):
+        ledger = TaskLedger()
+        assert ledger.get("assess/x/y#1") is None
+        assert ledger.replayed_count == 0
+
+    def test_put_then_get_replays_identically(self, tmp_path):
+        journal, _ = Journal.open(tmp_path / JOURNAL_FILE)
+        ledger = TaskLedger(journal)
+        outcome = TaskOutcome(value=algorithm_result())
+        ledger.put("assess/c/algo/w14+0/el/kpi#123", outcome)
+        journal.close()
+
+        journal2, recovery = Journal.open(tmp_path / JOURNAL_FILE)
+        resumed = TaskLedger(journal2, recovery.records)
+        replayed = resumed.get("assess/c/algo/w14+0/el/kpi#123")
+        assert replayed is not None and replayed.value == outcome.value
+        assert resumed.replayed_count == 1
+        journal2.close()
+
+    def test_deterministic_failures_are_replayed(self, tmp_path):
+        journal, _ = Journal.open(tmp_path / JOURNAL_FILE)
+        ledger = TaskLedger(journal)
+        failure = TaskOutcome(failure=TaskFailure("data-quality", "DataQualityError", "gap"))
+        ledger.put("k#1", failure)
+        journal.close()
+        _, recovery = Journal.open(tmp_path / JOURNAL_FILE)
+        resumed = TaskLedger(records=recovery.records)
+        assert resumed.get("k#1").failure.category == "data-quality"
+
+    @pytest.mark.parametrize("category", sorted(TRANSIENT_CATEGORIES))
+    def test_transient_failures_never_journaled(self, tmp_path, category):
+        journal, _ = Journal.open(tmp_path / JOURNAL_FILE)
+        ledger = TaskLedger(journal)
+        ledger.put("k#1", TaskOutcome(failure=TaskFailure(category, "E", "flaky")))
+        journal.close()
+        _, recovery = Journal.open(tmp_path / JOURNAL_FILE)
+        resumed = TaskLedger(records=recovery.records)
+        assert resumed.get("k#1") is None  # resume retries, never replays
+
+    def test_different_key_misses(self, tmp_path):
+        journal, _ = Journal.open(tmp_path / JOURNAL_FILE)
+        ledger = TaskLedger(journal)
+        ledger.put("assess/c/w14+0/el/kpi#123", TaskOutcome(value=algorithm_result()))
+        # Changed seed or window geometry -> different key -> recompute.
+        assert ledger.get("assess/c/w14+0/el/kpi#999") is None
+        assert ledger.get("assess/c/w7+0/el/kpi#123") is None
+        journal.close()
+
+    def test_counters_tick(self, tmp_path):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            journal, _ = Journal.open(tmp_path / JOURNAL_FILE)
+            ledger = TaskLedger(journal)
+            ledger.put("k#1", TaskOutcome(value=1.5))
+            ledger.get("k#1")
+            journal.close()
+        counters = registry.snapshot()["counters"]
+        assert counters["runstate.tasks_recorded"] == 1
+        assert counters["runstate.tasks_replayed"] == 1
+        assert ledger.recorded_count == 1 and ledger.replayed_count == 1
+
+    def test_read_only_ledger_records_nothing(self, tmp_path):
+        ledger = TaskLedger()  # no journal
+        ledger.put("k#1", TaskOutcome(value=2.0))
+        assert ledger.get("k#1") is not None  # in-memory only
+        assert not (tmp_path / JOURNAL_FILE).exists()

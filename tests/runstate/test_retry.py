@@ -1,0 +1,113 @@
+"""Exponential-backoff retry policy for transient journal/store IO."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.runstate.retry import RetryPolicy, with_retries
+
+
+class TestRetryPolicy:
+    def test_delay_grows_exponentially(self):
+        policy = RetryPolicy(attempts=5, base_delay_s=0.1, max_delay_s=100.0, jitter=0.0)
+        delays = [policy.delay(k, 0.0) for k in range(4)]
+        assert delays == [pytest.approx(0.1 * 2**k) for k in range(4)]
+
+    def test_delay_capped_at_max(self):
+        policy = RetryPolicy(attempts=10, base_delay_s=0.1, max_delay_s=0.5, jitter=0.0)
+        assert policy.delay(9, 0.0) == pytest.approx(0.5)
+
+    def test_jitter_is_multiplicative_and_bounded(self):
+        policy = RetryPolicy(base_delay_s=1.0, max_delay_s=10.0, jitter=0.5)
+        base = policy.delay(0, 0.0)
+        assert policy.delay(0, 0.999) <= base * 1.5
+        assert policy.delay(0, 0.5) == pytest.approx(base * 1.25)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=2.0, max_delay_s=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+
+class TestWithRetries:
+    def test_returns_on_first_success(self):
+        calls = []
+        result = with_retries(lambda: calls.append(1) or 42, sleep=lambda s: None)
+        assert result == 42 and len(calls) == 1
+
+    def test_retries_transient_oserror_then_succeeds(self):
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        slept = []
+        policy = RetryPolicy(attempts=3, base_delay_s=0.01, jitter=0.0)
+        assert with_retries(flaky, policy=policy, sleep=slept.append, seed=0) == "ok"
+        assert attempts["n"] == 3 and len(slept) == 2
+        assert slept[1] > slept[0]  # exponential growth
+
+    def test_exhausted_budget_reraises_last_error(self):
+        policy = RetryPolicy(attempts=2, base_delay_s=0.0, jitter=0.0)
+        with pytest.raises(OSError, match="always"):
+            with_retries(
+                lambda: (_ for _ in ()).throw(OSError("always")),
+                policy=policy,
+                sleep=lambda s: None,
+            )
+
+    def test_non_transient_errors_propagate_immediately(self):
+        attempts = {"n": 0}
+
+        def broken():
+            attempts["n"] += 1
+            raise ValueError("deterministic")
+
+        with pytest.raises(ValueError):
+            with_retries(broken, sleep=lambda s: None)
+        assert attempts["n"] == 1
+
+    def test_retries_tick_the_counter(self):
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise OSError("once")
+            return None
+
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            with_retries(
+                flaky,
+                policy=RetryPolicy(attempts=2, base_delay_s=0.0, jitter=0.0),
+                sleep=lambda s: None,
+            )
+        assert registry.snapshot()["counters"]["runstate.io_retries"] == 1
+
+    def test_jitter_schedule_is_seed_deterministic(self):
+        def make_schedule(seed):
+            slept = []
+            attempts = {"n": 0}
+
+            def flaky():
+                attempts["n"] += 1
+                if attempts["n"] < 4:
+                    raise OSError("x")
+                return None
+
+            with_retries(
+                flaky,
+                policy=RetryPolicy(attempts=4, base_delay_s=0.01, jitter=1.0),
+                sleep=slept.append,
+                seed=seed,
+            )
+            return slept
+
+        assert make_schedule(7) == make_schedule(7)
+        assert make_schedule(7) != make_schedule(8)

@@ -1,0 +1,169 @@
+"""CLI surface of the durability layer: --journal, resume, exit codes.
+
+The SIGINT path is exercised two ways: in-process (monkeypatched engine
+raising KeyboardInterrupt mid-fan-out — byte-for-byte what the default
+signal handler does to a serial run) for the exit-code and
+zero-re-execution contract, and as a real ``kill -9`` subprocess
+round-trip in the slow-marked crash harness test.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_CHECKPOINTED, main
+
+
+@pytest.fixture(scope="module")
+def deployment(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("deploy")
+    assert main(["simulate", str(directory), "--seed", "7"]) == 0
+    return directory
+
+
+def assess_args(deployment, *extra):
+    return [
+        "assess",
+        "--topology", str(deployment / "topology.json"),
+        "--kpis", str(deployment / "kpis.csv"),
+        "--changes", str(deployment / "changes.json"),
+        *extra,
+    ]
+
+
+class TestJournaledAssess:
+    def test_journal_run_writes_campaign_dir(self, deployment, tmp_path, capsys):
+        campaign = tmp_path / "camp"
+        rc = main(assess_args(deployment, "--journal", str(campaign)))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "degradation" in out and "journal:" in out
+        assert (campaign / "campaign.json").exists()
+        assert (campaign / "journal.jsonl").exists()
+        assert (campaign / "report.txt").exists()
+        assert (campaign / "report.json").exists()
+
+    def test_journaled_report_matches_plain_run(self, deployment, tmp_path, capsys):
+        rc = main(assess_args(deployment))
+        assert rc == 0
+        plain = capsys.readouterr().out
+        campaign = tmp_path / "camp"
+        assert main(assess_args(deployment, "--journal", str(campaign))) == 0
+        capsys.readouterr()
+        digest = plain.split("\ntelemetry:")[0]
+        assert (campaign / "report.txt").read_text().strip() == digest.strip()
+
+    def test_resume_of_finished_campaign_is_byte_identical(
+        self, deployment, tmp_path, capsys
+    ):
+        campaign = tmp_path / "camp"
+        assert main(assess_args(deployment, "--journal", str(campaign))) == 0
+        capsys.readouterr()
+        before = (campaign / "report.txt").read_bytes()
+        assert main(["resume", str(campaign)]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 change(s) replayed" in out
+        assert (campaign / "report.txt").read_bytes() == before
+
+    def test_resume_without_campaign_json_errors(self, tmp_path, capsys):
+        rc = main(["resume", str(tmp_path)])
+        assert rc == 1
+        assert "campaign.json" in capsys.readouterr().err
+
+    def test_journal_lineage_lands_in_manifest(self, deployment, tmp_path, capsys):
+        campaign, trace = tmp_path / "camp", tmp_path / "trace"
+        rc = main(
+            assess_args(deployment, "--journal", str(campaign), "--trace", str(trace))
+        )
+        assert rc == 0
+        capsys.readouterr()
+        manifest = json.loads((trace / "manifest.json").read_text())
+        assert manifest["schema"] == 2
+        assert manifest["journal"]["directory"] == str(campaign)
+        assert manifest["journal"]["report_sha256"]
+        assert manifest["journal"]["tasks_recorded"] == 6
+
+
+class TestInterrupt:
+    def test_sigint_checkpoints_and_exits_75(
+        self, deployment, tmp_path, capsys, monkeypatch
+    ):
+        """KeyboardInterrupt mid-campaign -> documented exit code, durable
+        checkpoint, and a resume that re-executes zero completed tasks."""
+        from repro.core.regression import RobustSpatialRegression
+        from repro.runstate import recover_journal
+
+        campaign = tmp_path / "camp"
+        original = RobustSpatialRegression.compare
+        state = {"calls": 0}
+
+        def interrupting(self, *args, **kwargs):
+            state["calls"] += 1
+            if state["calls"] == 3:
+                raise KeyboardInterrupt  # what SIGINT raises in a serial run
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(RobustSpatialRegression, "compare", interrupting)
+        rc = main(assess_args(deployment, "--journal", str(campaign)))
+        assert rc == EXIT_CHECKPOINTED == 75
+        err = capsys.readouterr().err
+        assert "litmus resume" in err
+        records = recover_journal(campaign / "journal.jsonl").records
+        assert records[-1].type == "checkpoint"
+        assert sum(1 for r in records if r.type == "task-done") == 2
+        monkeypatch.undo()
+
+        # Resume completes; the 2 journaled tasks replay, 4 recompute.
+        assert main(["resume", str(campaign)]) == 0
+        out = capsys.readouterr().out
+        assert "2 task(s) replayed, 4 recomputed" in out
+        # Converged report matches an uninterrupted campaign byte for byte.
+        reference = tmp_path / "reference"
+        assert main(assess_args(deployment, "--journal", str(reference))) == 0
+        assert (campaign / "report.txt").read_bytes() == (
+            reference / "report.txt"
+        ).read_bytes()
+
+
+class TestTable4Journal:
+    def test_table4_journal_resumes_identically(self, tmp_path, capsys, monkeypatch):
+        import repro.evaluation.runner as runner_mod
+        from repro.evaluation.injection import _GRID_KPIS, _GRID_REGIONS, make_cases
+
+        monkeypatch.setattr(
+            runner_mod,
+            "make_cases",
+            lambda n_seeds: make_cases(
+                n_seeds=1, kpis=_GRID_KPIS[:1], regions=_GRID_REGIONS[:1]
+            ),
+        )
+        journal = tmp_path / "t4"
+        assert main(["table4", "--seeds", "1", "--journal", str(journal)]) == 0
+        first = capsys.readouterr().out
+        assert main(["table4", "--seeds", "1", "--journal", str(journal)]) == 0
+        second = capsys.readouterr().out
+        assert first == second  # resumed matrices identical to computed ones
+        assert (journal / "journal.jsonl").exists()
+
+
+@pytest.mark.slow
+class TestKillDashNine:
+    def test_sigkill_resume_converges_byte_identically(self, deployment, tmp_path):
+        """Real subprocess, real SIGKILL, via the crash harness."""
+        import hashlib
+
+        from repro.evaluation.faults import crash_resume_campaign
+
+        baseline = tmp_path / "baseline"
+        assert main(assess_args(deployment, "--journal", str(baseline))) == 0
+        sha = hashlib.sha256((baseline / "report.txt").read_bytes()).hexdigest()
+        result = crash_resume_campaign(
+            str(deployment / "topology.json"),
+            str(deployment / "kpis.csv"),
+            str(deployment / "changes.json"),
+            str(tmp_path / "killed"),
+            kill_after_records=3,
+            baseline_sha256=sha,
+        )
+        assert result.killed and result.byte_identical
+        assert result.resumes >= 1
