@@ -124,10 +124,75 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_arguments(assess)
 
     resume = sub.add_parser(
-        "resume", help="finish an interrupted --journal campaign from its directory"
+        "resume",
+        help="finish an interrupted --journal campaign or drained serve "
+        "directory (dispatches on campaign.json vs service.json)",
     )
-    resume.add_argument("directory", help="campaign directory written by --journal")
+    resume.add_argument("directory", help="directory written by --journal")
     _add_obs_arguments(resume)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the streaming assessment daemon (bounded admission, "
+        "circuit breakers, graceful drain on SIGTERM)",
+    )
+    serve.add_argument("--topology", required=True, help="topology JSON (see simulate)")
+    serve.add_argument("--kpis", required=True, help="KPI measurements CSV")
+    serve.add_argument("--changes", required=True, help="change-log JSON")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8331, help="bind port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="concurrent assessment workers"
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="bounded admission queue depth — the daemon's memory ceiling; "
+        "submissions beyond it shed with a typed queue-full rejection",
+    )
+    serve.add_argument(
+        "--deadline-s",
+        type=float,
+        default=60.0,
+        help="default per-request deadline, propagated into the task fan-out",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="consecutive unhealthy assessments that open a control group's "
+        "circuit breaker",
+    )
+    serve.add_argument(
+        "--breaker-recovery-s",
+        type=float,
+        default=30.0,
+        help="seconds an open breaker waits before half-opening a probe",
+    )
+    serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help="checkpoint admissions/results into DIR; a SIGTERM drain "
+        f"leaves unstarted requests pending there (exit {EXIT_CHECKPOINTED}) "
+        "and `litmus resume DIR` finishes them byte-identically",
+    )
+    _add_obs_arguments(serve)
+
+    health = sub.add_parser(
+        "health", help="probe a running serve daemon's health endpoints"
+    )
+    health.add_argument("--host", default="127.0.0.1")
+    health.add_argument("--port", type=int, default=8331)
+    health.add_argument(
+        "--endpoint",
+        choices=("healthz", "readyz", "stats"),
+        default="readyz",
+        help="which probe to hit (default readyz: exit 0 only while admitting)",
+    )
 
     trace = sub.add_parser(
         "trace", help="summarize a recorded run directory (see --trace)"
@@ -374,17 +439,145 @@ def _cmd_resume(
     directory: str, trace_dir: Optional[str] = None, show_metrics: bool = False
 ) -> int:
     from .runstate.campaign import CampaignSpec
+    from .serve.checkpoint import is_service_dir
 
+    if is_service_dir(directory):
+        return _resume_service_dir(directory, trace_dir, show_metrics)
     try:
         spec = CampaignSpec.load(directory)
     except FileNotFoundError:
         print(
-            f"error: {directory} has no campaign.json — was it started "
-            "with `litmus assess --journal`?",
+            f"error: {directory} has no campaign.json or service.json — was "
+            "it started with `litmus assess --journal` or `litmus serve "
+            "--journal`?",
             file=sys.stderr,
         )
         return 1
     return _run_campaign(spec, directory, "resume", trace_dir, show_metrics)
+
+
+def _resume_service_dir(directory: str, trace_dir, show_metrics) -> int:
+    """Replay a drained serve directory's pending requests (byte-identical)."""
+    from .obs import RunRecorder, render_metrics_table
+    from .runstate.servicestate import ServiceSpec
+    from .serve.checkpoint import resume_service
+
+    spec = ServiceSpec.load(directory)
+    with RunRecorder(
+        "resume", trace_dir, config=spec.litmus_config(), argv=tuple(sys.argv[1:])
+    ) as recorder:
+        summary = resume_service(
+            directory, progress=lambda msg: print(msg, file=sys.stderr)
+        )
+    print(
+        f"service resume: {summary['n_resumed']} pending request(s) completed, "
+        f"{summary['n_already_settled']} already settled"
+    )
+    print(f"results: {summary['results_path']} ({summary['n_results']} result(s))")
+    if show_metrics:
+        print()
+        print(render_metrics_table(recorder.snapshot()))
+    print(recorder.footer())
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the streaming daemon until SIGTERM/SIGINT, then drain."""
+    import signal
+    import threading
+    from pathlib import Path
+
+    from .core import LitmusConfig
+    from .io import changelog_from_json
+    from .obs import RunRecorder, render_metrics_table
+    from .runstate.servicestate import ServiceSpec
+    from .serve import AssessmentService, HttpFrontend, ServeConfig
+
+    # The daemon parallelises ACROSS requests (serve workers); each
+    # engine call fans out serially so worker counts compose predictably.
+    config = LitmusConfig(n_workers=1)
+    serve_config = ServeConfig(
+        n_workers=args.workers,
+        queue_depth=args.queue_depth,
+        default_deadline_s=args.deadline_s,
+        breaker_failure_threshold=args.breaker_threshold,
+        breaker_recovery_s=args.breaker_recovery_s,
+    )
+    if args.journal is not None:
+        _ensure_dir(args.journal)
+        ServiceSpec.build(
+            args.topology,
+            args.kpis,
+            args.changes,
+            config=config,
+            serve=serve_config.to_dict(),
+            argv=tuple(sys.argv[1:]),
+        ).save(args.journal)
+
+    topo, store = _load_world(args.topology, args.kpis)
+    log = changelog_from_json(Path(args.changes).read_text())
+
+    stop = threading.Event()
+
+    def _request_stop(signum, _frame):
+        print(f"signal {signum}: draining", file=sys.stderr, flush=True)
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+
+    with RunRecorder(
+        "serve", args.trace, config=config, argv=tuple(sys.argv[1:])
+    ) as recorder:
+        service = AssessmentService(
+            topo,
+            store,
+            config,
+            log,
+            serve_config=serve_config,
+            journal_dir=args.journal,
+        ).start()
+        frontend = HttpFrontend(service, args.host, args.port).start()
+        print(
+            f"litmus serve on http://{args.host}:{frontend.port} "
+            f"(workers={service.n_workers} queue={args.queue_depth} "
+            f"journal={args.journal or 'none'})",
+            flush=True,
+        )
+        stop.wait()
+        drain = service.drain()
+        frontend.stop()
+    print(
+        f"drained: {drain.inflight_completed} in-flight finished, "
+        f"{drain.n_drained} checkpointed pending"
+        + (f" in {drain.journal_dir}" if drain.journal_dir else ""),
+        flush=True,
+    )
+    if args.metrics:
+        print()
+        print(render_metrics_table(recorder.snapshot()))
+    print(recorder.footer())
+    if drain.n_drained and args.journal is not None:
+        print(f"resume with: litmus resume {args.journal}", flush=True)
+        return EXIT_CHECKPOINTED
+    return 0
+
+
+def _cmd_health(host: str, port: int, endpoint: str) -> int:
+    import urllib.error
+    import urllib.request
+
+    url = f"http://{host}:{port}/{endpoint}"
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            print(response.read().decode().strip())
+            return 0
+    except urllib.error.HTTPError as exc:
+        print(exc.read().decode().strip())
+        return 1
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"error: {url}: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_trace(run_dir: str, top: int) -> int:
@@ -442,6 +635,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.command == "resume":
         return _cmd_resume(args.directory, args.trace, args.metrics)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "health":
+        return _cmd_health(args.host, args.port, args.endpoint)
     if args.command == "trace":
         return _cmd_trace(args.run_dir, args.top)
     if args.command == "quality":

@@ -11,10 +11,12 @@ from .litmus import (
 )
 from .parallel import (
     FAILURE_CATEGORIES,
+    Deadline,
     TaskFailure,
     TaskOutcome,
     classify_exception,
     executor_pool,
+    resolve_worker_count,
     run_tasks,
     spawn_task_seeds,
 )
@@ -33,6 +35,7 @@ __all__ = [
     "AssessmentConfig",
     "Assessor",
     "ChangeAssessmentReport",
+    "Deadline",
     "DifferenceInDifferences",
     "ElementAssessment",
     "FAILURE_CATEGORIES",
@@ -52,6 +55,7 @@ __all__ = [
     "direction_for_verdict",
     "executor_pool",
     "majority_verdict",
+    "resolve_worker_count",
     "run_tasks",
     "spawn_task_seeds",
     "verdict_from_direction",

@@ -31,7 +31,7 @@ from ..quality.report import QualityLedger, QualityReport, SeriesQuality
 from ..selection.predicates import Predicate
 from ..selection.selector import ControlGroupSelector
 from .config import LitmusConfig
-from .parallel import TaskFailure, TaskOutcome, run_tasks, spawn_task_seeds
+from .parallel import Deadline, TaskFailure, TaskOutcome, run_tasks, spawn_task_seeds
 from .regression import RobustSpatialRegression
 from .verdict import AlgorithmResult, Verdict
 from .voting import VoteSummary, majority_verdict
@@ -277,6 +277,7 @@ class Litmus:
         control_ids: Optional[Sequence[ElementId]] = None,
         window_days: Optional[int] = None,
         after_offset_days: int = 0,
+        deadline: Optional[Deadline] = None,
     ) -> ChangeAssessmentReport:
         """Assess a change on the given KPIs.
 
@@ -290,6 +291,11 @@ class Litmus:
         the multi-window confirmation protocol without ever letting
         post-change samples leak into the training history (which stays
         anchored at the change day).
+
+        ``deadline`` propagates a request-level wall-clock budget into the
+        task fan-out: tasks the budget cannot cover settle as typed
+        ``timeout`` failures instead of wedging the caller, so the serving
+        daemon's per-request deadline bounds report latency end to end.
         """
         if after_offset_days < 0:
             raise ValueError("after_offset_days must be non-negative")
@@ -356,7 +362,7 @@ class Litmus:
                 f"/w{effective_window}+{after_offset_days}"
             )
             with obs_span("execute-tasks", n_workers=self.config.n_workers):
-                outcomes = self._execute(tasks, key_prefix=key_prefix)
+                outcomes = self._execute(tasks, key_prefix=key_prefix, deadline=deadline)
             assessments: List[ElementAssessment] = []
             failures: List[FailedAssessment] = []
             for t, outcome in zip(tasks, outcomes):
@@ -390,7 +396,10 @@ class Litmus:
 
     # ------------------------------------------------------------------
     def _execute(
-        self, tasks: Sequence[_AssessmentTask], key_prefix: str = ""
+        self,
+        tasks: Sequence[_AssessmentTask],
+        key_prefix: str = "",
+        deadline: Optional[Deadline] = None,
     ) -> List[TaskOutcome]:
         """Run the prepared comparisons, serially or over a worker pool.
 
@@ -422,6 +431,7 @@ class Litmus:
             retries=self.config.task_retries,
             ledger=self.ledger,
             task_keys=task_keys,
+            deadline=deadline,
         )
         outcomes: List[TaskOutcome] = [
             TaskOutcome(failure=t.prep_failure) for t in tasks

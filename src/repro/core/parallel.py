@@ -59,8 +59,10 @@ from ..stats.rank_tests import DataQualityError
 __all__ = [
     "spawn_task_seeds",
     "executor_pool",
+    "resolve_worker_count",
     "run_tasks",
     "classify_exception",
+    "Deadline",
     "TaskFailure",
     "TaskOutcome",
     "FAILURE_CATEGORIES",
@@ -93,7 +95,40 @@ def spawn_task_seeds(seed: int, n_tasks: int) -> List[int]:
     return [int(child.generate_state(1, np.uint64)[0]) for child in children]
 
 
-_OVERSUBSCRIPTION_WARNED = set()
+@dataclass(frozen=True)
+class Deadline:
+    """A wall-clock budget that travels with a request.
+
+    Built once at admission (``Deadline.after(seconds)``) and propagated
+    through :meth:`Litmus.assess` down to :func:`run_tasks`, so a slow
+    task bounds *report latency* end-to-end instead of each layer
+    re-deriving its own budget.  The clock is injectable (tests and the
+    serving daemon's watchdog use a fake clock); the default is
+    ``time.monotonic``, immune to wall-clock steps.
+    """
+
+    expires_at: float
+    clock: Callable[[], float] = time.monotonic
+
+    @classmethod
+    def after(
+        cls, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """A deadline ``seconds`` from now on ``clock``."""
+        if seconds < 0:
+            raise ValueError("deadline budget must be non-negative")
+        return cls(expires_at=clock() + seconds, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (never negative)."""
+        return max(0.0, self.expires_at - self.clock())
+
+    @property
+    def expired(self) -> bool:
+        return self.clock() >= self.expires_at
+
+
+_OVERSUBSCRIPTION_WARNED = False
 
 #: Hard ceiling on the pool size as a multiple of the machine's cores —
 #: the fan-out is LAPACK-bound, so a pool wider than this only adds
@@ -101,35 +136,49 @@ _OVERSUBSCRIPTION_WARNED = set()
 _MAX_WORKERS_PER_CPU = 4
 
 
-def executor_pool(executor: str, n_workers: int) -> Executor:
-    """Build the configured ``concurrent.futures`` pool.
+def resolve_worker_count(executor: str, n_workers: int) -> int:
+    """Apply the oversubscription cap to a requested worker count.
 
-    ``executor`` is "thread" or "process" (the :class:`LitmusConfig.executor`
-    vocabulary); ``n_workers`` must be positive.  A request exceeding the
-    machine's core count warns once per process (oversubscription is legal
-    but wasteful for this LAPACK-bound workload) and is capped at
-    ``4 * os.cpu_count()``.
-
-    The "process" flavour requires picklable callables (module-level
-    functions) and picklable arguments.
+    This is *the* sizing policy for every pool in the system — the
+    assessment fan-out, the evaluation harness, and the serving daemon's
+    worker loops all go through it rather than re-deriving their own caps.
+    A request exceeding the machine's core count warns **once per
+    process** (oversubscription is legal but wasteful for this
+    LAPACK-bound workload) and is capped at ``4 * os.cpu_count()``.
     """
+    global _OVERSUBSCRIPTION_WARNED
     if n_workers < 1:
         raise ValueError("n_workers must be at least 1")
+    if executor not in ("thread", "process"):
+        raise ValueError(f"unknown executor {executor!r}; use 'thread' or 'process'")
     cpus = os.cpu_count() or 1
     ceiling = _MAX_WORKERS_PER_CPU * cpus
     if n_workers > cpus:
         capped = min(n_workers, ceiling)
-        key = (executor, n_workers)
-        if key not in _OVERSUBSCRIPTION_WARNED:
-            _OVERSUBSCRIPTION_WARNED.add(key)
+        if not _OVERSUBSCRIPTION_WARNED:
+            _OVERSUBSCRIPTION_WARNED = True
             warnings.warn(
                 f"n_workers={n_workers} exceeds os.cpu_count()={cpus}; the "
                 f"assessment fan-out is compute-bound, so extra workers only "
                 f"add overhead (pool capped at {capped})",
                 RuntimeWarning,
-                stacklevel=2,
+                stacklevel=3,
             )
         n_workers = capped
+    return n_workers
+
+
+def executor_pool(executor: str, n_workers: int) -> Executor:
+    """Build the configured ``concurrent.futures`` pool.
+
+    ``executor`` is "thread" or "process" (the :class:`LitmusConfig.executor`
+    vocabulary); ``n_workers`` must be positive and is subject to the
+    :func:`resolve_worker_count` oversubscription cap.
+
+    The "process" flavour requires picklable callables (module-level
+    functions) and picklable arguments.
+    """
+    n_workers = resolve_worker_count(executor, n_workers)
     if executor == "thread":
         return ThreadPoolExecutor(max_workers=n_workers)
     if executor == "process":
@@ -307,6 +356,7 @@ def run_tasks(
     retries: int = 1,
     ledger: Optional[Any] = None,
     task_keys: Optional[Sequence[str]] = None,
+    deadline: Optional[Deadline] = None,
 ) -> List[TaskOutcome]:
     """Error-isolated, order-preserving map of ``fn`` over ``payloads``.
 
@@ -326,6 +376,12 @@ def run_tasks(
       its worker is not forcibly killed (threads cannot be), so the slot
       frees up only when the straggler returns — the timeout bounds report
       latency, not worker CPU.
+    * ``deadline`` caps the wait for the *whole batch*: each task's wait is
+      the minimum of ``timeout`` and the deadline's remaining budget, and
+      tasks reached after expiry are recorded as ``timeout`` failures
+      without waiting at all (the serial path checks before executing each
+      task).  Deadline failures are transient — a ledger never journals
+      them — so a resumed run retries them with a fresh budget.
     * The serial in-process path (``n_workers <= 1`` under the "thread"
       flavour) applies the same exception isolation but cannot enforce
       timeouts (there is no second thread to wait from).  The "process"
@@ -397,9 +453,22 @@ def run_tasks(
         ]
         fn = _run_traced
 
+    def deadline_failure(attempts: int) -> TaskFailure:
+        registry.counter("run_tasks.deadline_expired").inc()
+        return TaskFailure(
+            category="timeout",
+            error_type="DeadlineExceeded",
+            message="request deadline expired before the task completed",
+            attempts=attempts,
+        )
+
     if n_workers <= 1 and executor != "process":
         for i, payload in enumerate(payloads):
             if outcomes[i] is not None:
+                continue
+            if deadline is not None and deadline.expired:
+                outcomes[i] = TaskOutcome(failure=deadline_failure(attempts=1))
+                record(i)
                 continue
             try:
                 outcomes[i] = TaskOutcome(value=fn(payload))
@@ -413,21 +482,33 @@ def run_tasks(
     def settle(i: int, future: Future, attempts: int) -> bool:
         """Resolve one future into its outcome slot; True when the pool
         broke before the task finished (the task is still unsettled)."""
+        wait = timeout
+        if deadline is not None:
+            left = deadline.remaining()
+            wait = left if wait is None else min(wait, left)
+            if left <= 0.0 and not future.done():
+                future.cancel()
+                outcomes[i] = TaskOutcome(failure=deadline_failure(attempts))
+                record(i)
+                return False
         try:
-            outcomes[i] = TaskOutcome(value=future.result(timeout=timeout))
+            outcomes[i] = TaskOutcome(value=future.result(timeout=wait))
         except BrokenExecutor:
             return True
         except (FuturesTimeoutError, TimeoutError) as exc:
             future.cancel()
             registry.counter("run_tasks.timeouts").inc()
-            outcomes[i] = TaskOutcome(
-                failure=TaskFailure(
-                    category="timeout",
-                    error_type=type(exc).__name__,
-                    message=f"task exceeded the {timeout}s per-task budget",
-                    attempts=attempts,
+            if deadline is not None and deadline.expired:
+                outcomes[i] = TaskOutcome(failure=deadline_failure(attempts))
+            else:
+                outcomes[i] = TaskOutcome(
+                    failure=TaskFailure(
+                        category="timeout",
+                        error_type=type(exc).__name__,
+                        message=f"task exceeded the {timeout}s per-task budget",
+                        attempts=attempts,
+                    )
                 )
-            )
         except Exception as exc:
             outcomes[i] = TaskOutcome(failure=_failure_from(exc, attempts=attempts))
         record(i)

@@ -36,10 +36,12 @@ from .report import (
     QuarantinedControl,
     SeriesQuality,
 )
+from .signals import BreakerSignal, breaker_signal
 from ..stats.rank_tests import DataQualityError
 
 __all__ = [
     "BadRow",
+    "BreakerSignal",
     "DataQualityError",
     "IssueKind",
     "POLICIES",
@@ -50,6 +52,7 @@ __all__ = [
     "QuarantinedControl",
     "ScreenedPanel",
     "SeriesQuality",
+    "breaker_signal",
     "check_values",
     "find_nan_runs",
     "impute_gaps",

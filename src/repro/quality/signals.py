@@ -1,0 +1,114 @@
+"""Health signals the serving layer derives from assessment outcomes.
+
+The circuit breakers in :mod:`repro.serve` are deliberately *fed from the
+quality layer*: the firewall already diagnoses every series an assessment
+touched (:class:`~repro.quality.report.QualityReport`) and the fan-out
+already files every task failure under the
+:data:`~repro.core.parallel.FAILURE_CATEGORIES` taxonomy.  A
+:class:`BreakerSignal` condenses one finished (or failed) assessment over
+one control group into the single healthy/unhealthy bit a breaker
+consumes, while keeping the evidence (counts and categories) for the
+operator-facing breaker state dump.
+
+This module takes plain data — quarantine counts and failure-category
+strings — so the quality package stays a leaf: it never imports the
+engine that produces the reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from .report import QualityReport
+
+__all__ = ["BreakerSignal", "breaker_signal"]
+
+#: Failure categories that indicate the *control group's data* (rather
+#: than, say, a transient host hiccup) is producing bad assessments; any
+#: occurrence marks the signal unhealthy regardless of quarantine counts.
+UNHEALTHY_CATEGORIES = frozenset({"data-quality", "numerical", "invalid-input"})
+
+
+@dataclass(frozen=True)
+class BreakerSignal:
+    """One assessment's contribution to its control group's breaker."""
+
+    #: Controls the assessment started with (quarantines are a fraction of
+    #: this; 0 means the assessment never reached selection).
+    n_controls: int
+    n_quarantined: int
+    #: Per-category counts of the assessment's task failures.
+    failure_counts: Tuple[Tuple[str, int], ...] = ()
+    #: True when the assessment itself raised and produced no report.
+    aborted: bool = False
+    #: Quarantined fraction at or above which the group is unhealthy.
+    quarantine_threshold: float = 0.5
+
+    @property
+    def quarantined_fraction(self) -> float:
+        if self.n_controls <= 0:
+            return 1.0 if self.n_quarantined else 0.0
+        return self.n_quarantined / self.n_controls
+
+    @property
+    def n_failures(self) -> int:
+        return sum(count for _, count in self.failure_counts)
+
+    @property
+    def healthy(self) -> bool:
+        """The bit a circuit breaker records.
+
+        Unhealthy when the assessment aborted outright, when the firewall
+        quarantined at least ``quarantine_threshold`` of the control
+        group, or when any task failed for a data-shaped reason
+        (:data:`UNHEALTHY_CATEGORIES`).  Transient categories (timeout,
+        worker-crash) do *not* mark the group unhealthy — they say
+        nothing about the controls and retrying them is the point.
+        """
+        if self.aborted:
+            return False
+        if self.quarantined_fraction >= self.quarantine_threshold:
+            return False
+        return not any(
+            category in UNHEALTHY_CATEGORIES and count > 0
+            for category, count in self.failure_counts
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "healthy": self.healthy,
+            "aborted": self.aborted,
+            "n_controls": self.n_controls,
+            "n_quarantined": self.n_quarantined,
+            "quarantined_fraction": round(self.quarantined_fraction, 6),
+            "failures": {category: count for category, count in self.failure_counts},
+        }
+
+
+def breaker_signal(
+    quality: Optional[QualityReport],
+    failure_categories: Sequence[str] = (),
+    *,
+    n_controls: int = 0,
+    aborted: bool = False,
+    quarantine_threshold: float = 0.5,
+) -> BreakerSignal:
+    """Condense one assessment outcome into a :class:`BreakerSignal`.
+
+    ``quality`` is the report's firewall block (``None`` when the
+    assessment aborted before screening), ``failure_categories`` the
+    category string of every per-task failure the report carries.
+    """
+    if not 0.0 < quarantine_threshold <= 1.0:
+        raise ValueError("quarantine_threshold must be in (0, 1]")
+    counts: Dict[str, int] = {}
+    for category in failure_categories:
+        counts[category] = counts.get(category, 0) + 1
+    return BreakerSignal(
+        n_controls=n_controls,
+        n_quarantined=len(quality.quarantined) if quality is not None else 0,
+        failure_counts=tuple(sorted(counts.items())),
+        aborted=aborted,
+        quarantine_threshold=quarantine_threshold,
+    )

@@ -13,7 +13,12 @@ recomputation or silent divergence (DESIGN.md §9):
   journaled outcomes bit-identically;
 * :mod:`~repro.runstate.campaign` — journaled campaign runs with
   checkpoint/resume (imported as a submodule — it pulls in the engine and
-  IO stacks, which themselves use the primitives above).
+  IO stacks, which themselves use the primitives above);
+* :mod:`~repro.runstate.servicestate` — the serving daemon's durable
+  state: spec file, request-admitted/request-done journal records, and
+  the drain math (pending = admitted − done) behind `litmus serve`'s
+  graceful drain and resume (also imported as a submodule, for the same
+  reason as campaign).
 """
 
 from .atomic import atomic_write_bytes, atomic_write_text, fsync_dir

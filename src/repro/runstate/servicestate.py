@@ -1,0 +1,218 @@
+"""Durable state of a serving daemon: spec, journal records, drain math.
+
+The streaming service reuses the campaign substrate — the same CRC'd
+write-ahead :mod:`~repro.runstate.journal` — with its own record types:
+
+* ``service-begin`` — pins the journal to the service's config SHA-256
+  (a journal can never be resumed under a different config);
+* ``request-admitted`` — appended when a request enters the bounded
+  queue, *before* any worker touches it;
+* ``request-done`` — appended when a request settles (completed or
+  failed), carrying the full :class:`~repro.serve.requests.RequestResult`
+  payload;
+* ``service-drain`` — the graceful-drain marker listing every request
+  checkpointed for resume.
+
+The drain invariant falls out of write-ahead ordering: **pending =
+admitted − done**, computed by :func:`pending_requests` from the
+journal's recovered prefix alone.  ``litmus resume`` on a service
+directory replays exactly that set; because every verdict is a pure
+function of (input files, config, seed), a resumed verdict is
+byte-identical to the one the daemon would have produced.
+
+This module is journal-level only (spec + record bookkeeping); the
+engine-driving resume lives in :mod:`repro.serve.checkpoint` so the
+dependency arrow keeps pointing from serve to runstate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import LitmusConfig
+from ..kpi.metrics import DEFAULT_KPIS
+from ..obs.manifest import config_fingerprint
+from .journal import JournalRecord
+from .atomic import atomic_write_text
+from .ledger import LedgerDivergence
+
+__all__ = [
+    "SERVICE_FILE",
+    "RESULTS_FILE",
+    "SERVICE_BEGIN",
+    "REQUEST_ADMITTED",
+    "REQUEST_DONE",
+    "SERVICE_DRAIN",
+    "ServiceSpec",
+    "pending_requests",
+    "done_results",
+    "verify_service_lineage",
+]
+
+#: Spec file inside a service journal directory (the analogue of
+#: ``campaign.json``; its presence is how ``litmus resume`` dispatches).
+SERVICE_FILE = "service.json"
+#: Final results artifact a resume writes (admission order, one JSON list).
+RESULTS_FILE = "results.json"
+
+SERVICE_BEGIN = "service-begin"
+REQUEST_ADMITTED = "request-admitted"
+REQUEST_DONE = "request-done"
+SERVICE_DRAIN = "service-drain"
+
+#: Service spec schema; bump on incompatible change.
+SERVICE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """Everything a resume needs to rebuild the daemon's engine."""
+
+    topology: str
+    kpis: str
+    changes: str
+    config: Dict[str, Any] = field(default_factory=dict)
+    #: Serving knobs (queue depth, workers, deadlines) — provenance for
+    #: the operator; a resume runs the pending requests in batch and does
+    #: not need them.
+    serve: Dict[str, Any] = field(default_factory=dict)
+    argv: Tuple[str, ...] = ()
+    schema: int = SERVICE_SCHEMA
+
+    @classmethod
+    def build(
+        cls,
+        topology: str,
+        kpis: str,
+        changes: str,
+        *,
+        config: Optional[LitmusConfig] = None,
+        serve: Optional[Dict[str, Any]] = None,
+        argv: Sequence[str] = (),
+    ) -> "ServiceSpec":
+        config_dict, _sha = config_fingerprint(config or LitmusConfig())
+        return cls(
+            topology=os.path.abspath(topology),
+            kpis=os.path.abspath(kpis),
+            changes=os.path.abspath(changes),
+            config=config_dict,
+            serve=dict(serve or {}),
+            argv=tuple(argv),
+        )
+
+    # -- persistence -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        out["argv"] = list(self.argv)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServiceSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        kwargs["argv"] = tuple(kwargs.get("argv", ()))
+        kwargs["serve"] = dict(kwargs.get("serve", {}))
+        return cls(**kwargs)
+
+    def save(self, directory: str) -> str:
+        path = os.path.join(directory, SERVICE_FILE)
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, directory: str) -> "ServiceSpec":
+        path = os.path.join(directory, SERVICE_FILE)
+        with open(path) as handle:
+            data = json.load(handle)
+        if not isinstance(data, dict):
+            raise ValueError(f"{path}: service spec must be a JSON object")
+        return cls.from_dict(data)
+
+    # -- derived ---------------------------------------------------------
+    def litmus_config(self) -> LitmusConfig:
+        return LitmusConfig(**self.config)
+
+    def kpi_names(self) -> Tuple[str, ...]:
+        return tuple(k.value for k in DEFAULT_KPIS)
+
+    @property
+    def config_sha256(self) -> str:
+        return config_fingerprint(self.config)[1]
+
+
+def verify_service_lineage(
+    records: Sequence[JournalRecord],
+    *,
+    config_sha256: str,
+    root_seed: Any,
+) -> Optional[Dict[str, Any]]:
+    """Check the journal belongs to the run described by the arguments.
+
+    Returns the expected ``service-begin`` payload when the journal has
+    none yet (the caller appends it), ``None`` when the existing record
+    matches, and raises :class:`LedgerDivergence` on mismatch.  Callers
+    holding a :class:`ServiceSpec` pass ``spec.config_sha256`` and
+    ``spec.config.get("seed")``.
+    """
+    expected = {
+        "config_sha256": config_sha256,
+        "root_seed": root_seed,
+    }
+    begin = next((r for r in records if r.type == SERVICE_BEGIN), None)
+    if begin is None:
+        return expected
+    for key, want in expected.items():
+        got = begin.data.get(key)
+        if got != want:
+            raise LedgerDivergence(
+                f"service journal was written by a different run: "
+                f"{key} is {got!r}, this run has {want!r}"
+            )
+    return None
+
+
+def pending_requests(records: Sequence[JournalRecord]) -> List[Dict[str, Any]]:
+    """Admitted-but-unsettled request payloads, in admission order.
+
+    This is the drain set: every request with a ``request-admitted``
+    record and no ``request-done`` record in the journal's valid prefix.
+    Duplicate admissions of the same id (impossible for a well-behaved
+    daemon, tolerated from a damaged journal) collapse to the first.
+    """
+    admitted: Dict[str, Dict[str, Any]] = {}
+    settled = set()
+    for record in records:
+        if record.type == REQUEST_ADMITTED:
+            request = record.data.get("request")
+            if isinstance(request, dict) and "request_id" in request:
+                admitted.setdefault(request["request_id"], request)
+        elif record.type == REQUEST_DONE:
+            result = record.data.get("result")
+            if isinstance(result, dict) and "request_id" in result:
+                settled.add(result["request_id"])
+    return [req for rid, req in admitted.items() if rid not in settled]
+
+
+def done_results(records: Sequence[JournalRecord]) -> List[Dict[str, Any]]:
+    """Settled result payloads in admission order (last write wins)."""
+    order: List[str] = []
+    results: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        if record.type == REQUEST_ADMITTED:
+            request = record.data.get("request")
+            if isinstance(request, dict) and "request_id" in request:
+                rid = request["request_id"]
+                if rid not in results and rid not in order:
+                    order.append(rid)
+        elif record.type == REQUEST_DONE:
+            result = record.data.get("result")
+            if isinstance(result, dict) and "request_id" in result:
+                rid = result["request_id"]
+                if rid not in order:
+                    order.append(rid)
+                results[rid] = result
+    return [results[rid] for rid in order if rid in results]

@@ -1,0 +1,51 @@
+"""Resilient streaming assessment service (DESIGN.md §10).
+
+``litmus serve`` wraps the batch engine in a long-running daemon that
+degrades gracefully instead of falling over:
+
+* :mod:`~repro.serve.requests` — the request/result vocabulary and the
+  typed :class:`ShedError` load-shedding rejection;
+* :mod:`~repro.serve.queue` — the bounded admission queue (the daemon's
+  memory ceiling);
+* :mod:`~repro.serve.breaker` — per-control-group circuit breakers fed
+  by the data-quality firewall;
+* :mod:`~repro.serve.service` — the service core: workers, watchdog,
+  deadline propagation, graceful drain into the runstate journal;
+* :mod:`~repro.serve.checkpoint` — ``litmus resume`` for a drained
+  service directory (byte-identical replay of the pending set);
+* :mod:`~repro.serve.http` — the stdlib health/readiness/assess HTTP
+  front end.
+"""
+
+from .breaker import BreakerBoard, BreakerOpen, BreakerState, CircuitBreaker
+from .checkpoint import is_service_dir, resume_service
+from .http import HttpFrontend, SHED_STATUS
+from .queue import AdmissionQueue
+from .requests import (
+    SHED_REASONS,
+    AssessRequest,
+    RequestResult,
+    RequestState,
+    ShedError,
+)
+from .service import AssessmentService, DrainReport, ServeConfig
+
+__all__ = [
+    "SHED_REASONS",
+    "SHED_STATUS",
+    "AdmissionQueue",
+    "AssessRequest",
+    "AssessmentService",
+    "BreakerBoard",
+    "BreakerOpen",
+    "BreakerState",
+    "CircuitBreaker",
+    "DrainReport",
+    "HttpFrontend",
+    "RequestResult",
+    "RequestState",
+    "ServeConfig",
+    "ShedError",
+    "is_service_dir",
+    "resume_service",
+]

@@ -1,0 +1,179 @@
+"""Per-control-group circuit breakers for the serving daemon.
+
+A control group whose data keeps failing the quality firewall poisons
+every assessment that recruits it; retrying into it burns worker budget
+and returns garbage verdicts.  Each group therefore gets a classic
+three-state breaker fed by :class:`~repro.quality.signals.BreakerSignal`:
+
+* **closed** — requests flow; ``failure_threshold`` *consecutive*
+  unhealthy outcomes open it.
+* **open** — requests against the group shed immediately with a typed
+  ``breaker-open`` rejection (plus ``retry_after_s``); after
+  ``recovery_s`` the breaker half-opens.
+* **half-open** — exactly one probe request is admitted; a healthy
+  outcome closes the breaker, an unhealthy one re-opens it for a fresh
+  ``recovery_s``.
+
+The clock is injectable so the state machine is deterministic under test;
+state transitions tick ``serve.breaker_opened`` / ``serve.breaker_closed``
+counters and every board exposes a JSON state dump for the health
+endpoint.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+from ..obs.metrics import get_metrics
+
+__all__ = ["BreakerOpen", "BreakerState", "CircuitBreaker", "BreakerBoard"]
+
+
+class BreakerState(str, enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class BreakerOpen(Exception):
+    """Raised by :meth:`CircuitBreaker.check` when admission is refused."""
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__(f"circuit breaker open; retry in {retry_after_s:.3f}s")
+        self.retry_after_s = retry_after_s
+
+
+class CircuitBreaker:
+    """One control group's breaker; thread-safe, injectable clock."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if recovery_s <= 0:
+            raise ValueError("recovery_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> BreakerState:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state is BreakerState.OPEN
+            and self._opened_at is not None
+            and self.clock() - self._opened_at >= self.recovery_s
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probe_in_flight = False
+
+    def check(self) -> None:
+        """Gate one admission; raises :class:`BreakerOpen` when refused.
+
+        In half-open state exactly one caller passes (the probe); every
+        other caller sheds until the probe's outcome is recorded.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.CLOSED:
+                return
+            if self._state is BreakerState.HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return
+            opened_at = self._opened_at if self._opened_at is not None else self.clock()
+            elapsed = self.clock() - opened_at
+            raise BreakerOpen(retry_after_s=max(0.0, self.recovery_s - elapsed))
+
+    def record(self, healthy: bool) -> None:
+        """Feed one assessment outcome into the state machine."""
+        registry = get_metrics()
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.HALF_OPEN:
+                self._probe_in_flight = False
+                if healthy:
+                    self._state = BreakerState.CLOSED
+                    self._consecutive_failures = 0
+                    self._opened_at = None
+                    registry.counter("serve.breaker_closed").inc()
+                else:
+                    self._state = BreakerState.OPEN
+                    self._opened_at = self.clock()
+                    registry.counter("serve.breaker_reopened").inc()
+                return
+            if healthy:
+                self._consecutive_failures = 0
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state is BreakerState.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = BreakerState.OPEN
+                self._opened_at = self.clock()
+                registry.counter("serve.breaker_opened").inc()
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state.value,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "recovery_s": self.recovery_s,
+            }
+
+
+class BreakerBoard:
+    """Lazily-created breaker per control-group key."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._breakers: Dict[Hashable, CircuitBreaker] = {}
+
+    def for_key(self, key: Hashable) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = self._breakers[key] = CircuitBreaker(
+                    self.failure_threshold, self.recovery_s, self.clock
+                )
+            return breaker
+
+    def states(self) -> Dict[str, Dict[str, Any]]:
+        """JSON state dump keyed by ``str(key)`` (for the health endpoint)."""
+        with self._lock:
+            items: Tuple[Tuple[Hashable, CircuitBreaker], ...] = tuple(
+                self._breakers.items()
+            )
+        return {str(key): breaker.to_dict() for key, breaker in items}
+
+    def open_count(self) -> int:
+        with self._lock:
+            breakers = list(self._breakers.values())
+        return sum(1 for b in breakers if b.state is not BreakerState.CLOSED)

@@ -1,0 +1,165 @@
+"""Resume a drained (or crashed) serving daemon's pending requests.
+
+``litmus resume <dir>`` on a directory holding a ``service.json`` lands
+here.  The daemon's write-ahead journal pins admission order, so the
+resume is pure replay:
+
+1. recover the journal's valid prefix and verify its lineage (config
+   SHA-256 + root seed) against the saved :class:`ServiceSpec` — a
+   journal can never be resumed under a different config;
+2. compute the pending set (**admitted − done**, in admission order);
+3. rebuild the engine from the spec's input files and run each pending
+   request through ``Litmus.assess``, appending ``request-done`` records
+   as each settles;
+4. write ``results.json`` with every settled result in admission order.
+
+Because a verdict is a pure function of (input files, config, seed) —
+and drained requests never started executing — the resumed verdicts are
+byte-identical to what the daemon would have produced, which the serve
+benchmark asserts end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core.litmus import Litmus
+from ..core.parallel import classify_exception
+from ..kpi.metrics import DEFAULT_KPIS, KpiKind
+from ..obs.metrics import get_metrics
+from ..obs.trace import span as obs_span
+from ..runstate import servicestate
+from ..runstate.atomic import atomic_write_text
+from ..runstate.journal import JOURNAL_FILE, Journal
+from .requests import AssessRequest, RequestResult, RequestState
+
+__all__ = ["is_service_dir", "resume_service"]
+
+
+def is_service_dir(directory: str) -> bool:
+    """True when ``directory`` holds a serving daemon's checkpoint."""
+    return os.path.isfile(os.path.join(directory, servicestate.SERVICE_FILE))
+
+
+def _run_one(engine: Litmus, request: AssessRequest, change_log: Any) -> RequestResult:
+    """Assess one pending request exactly as the daemon would have.
+
+    No deadline is applied: a resume is a batch completion, not a latency-
+    bound serving path, and imposing one could produce a timeout verdict
+    the daemon would not have produced.
+    """
+    try:
+        change = change_log.get(request.change_id)
+        kpis = (
+            tuple(KpiKind(name) for name in request.kpis)
+            if request.kpis
+            else tuple(DEFAULT_KPIS)
+        )
+        with obs_span(
+            "resume-request",
+            request_id=request.request_id,
+            change_id=request.change_id,
+        ):
+            report = engine.assess(
+                change,
+                kpis=kpis,
+                window_days=request.window_days,
+                after_offset_days=request.after_offset_days,
+            )
+    except Exception as exc:  # noqa: BLE001 - typed into the taxonomy
+        return RequestResult(
+            request_id=request.request_id,
+            state=RequestState.FAILED,
+            failure_category=classify_exception(exc),
+            failure_message=f"{type(exc).__name__}: {exc}",
+            meta={"change_id": request.change_id, "resumed": True},
+        )
+    return RequestResult(
+        request_id=request.request_id,
+        state=RequestState.COMPLETED,
+        verdict=report.to_dict(),
+        meta={"change_id": request.change_id, "resumed": True},
+    )
+
+
+def resume_service(
+    directory: str,
+    *,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Complete every pending request checkpointed in ``directory``.
+
+    Idempotent: already-settled requests replay from the journal without
+    recomputation, and a resume interrupted partway picks up where it
+    stopped.  Returns a summary dict (counts + artifact paths).
+    """
+    say = progress or (lambda _msg: None)
+    spec = servicestate.ServiceSpec.load(directory)
+    journal, recovery = Journal.open(os.path.join(directory, JOURNAL_FILE))
+    try:
+        expected = servicestate.verify_service_lineage(
+            recovery.records,
+            config_sha256=spec.config_sha256,
+            root_seed=spec.config.get("seed"),
+        )
+        if expected is not None:
+            journal.append(servicestate.SERVICE_BEGIN, expected)
+        pending_payloads = servicestate.pending_requests(recovery.records)
+        already_done = servicestate.done_results(recovery.records)
+        say(
+            f"service journal: {len(already_done)} settled, "
+            f"{len(pending_payloads)} pending"
+        )
+
+        resumed: List[Dict[str, Any]] = []
+        if pending_payloads:
+            from ..io import changelog_from_json, read_store_csv, read_topology_json
+
+            topology = read_topology_json(spec.topology)
+            store = read_store_csv(spec.kpis)
+            with open(spec.changes) as handle:
+                change_log = changelog_from_json(handle.read())
+            engine = Litmus(
+                topology, store, spec.litmus_config(), change_log=change_log
+            )
+            for payload in pending_payloads:
+                try:
+                    request = AssessRequest.from_dict(payload)
+                except (ValueError, KeyError) as exc:
+                    result = RequestResult(
+                        request_id=str(payload.get("request_id", "?")),
+                        state=RequestState.FAILED,
+                        failure_category="invalid-input",
+                        failure_message=f"unreplayable journal payload: {exc}",
+                        meta={"resumed": True},
+                    )
+                else:
+                    result = _run_one(engine, request, change_log)
+                journal.append(
+                    servicestate.REQUEST_DONE, {"result": result.to_dict()}
+                )
+                resumed.append(result.to_dict())
+                get_metrics().counter("serve.resumed_requests").inc()
+                say(f"resumed {result.request_id}: {result.state.value}")
+    finally:
+        journal.close()
+
+    # Final artifact: every settled result in admission order, replayed
+    # results and freshly-resumed ones alike.
+    _journal2, recovery2 = Journal.open(os.path.join(directory, JOURNAL_FILE))
+    _journal2.close()
+    all_results = servicestate.done_results(recovery2.records)
+    results_path = os.path.join(directory, servicestate.RESULTS_FILE)
+    atomic_write_text(
+        results_path, json.dumps(all_results, indent=2, sort_keys=True) + "\n"
+    )
+    return {
+        "directory": os.path.abspath(directory),
+        "n_already_settled": len(already_done),
+        "n_resumed": len(resumed),
+        "n_results": len(all_results),
+        "results_path": results_path,
+        "resumed_ids": [r["request_id"] for r in resumed],
+    }

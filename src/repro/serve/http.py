@@ -1,0 +1,156 @@
+"""Stdlib-only HTTP front end for the serving daemon.
+
+No web framework — ``http.server.ThreadingHTTPServer`` is enough for an
+operational surface:
+
+* ``GET /healthz``  — liveness: 200 as long as the process serves HTTP.
+* ``GET /readyz``   — readiness: 200 while admitting, 503 once draining
+  (load balancers stop routing before SIGTERM finishes the drain).
+* ``GET /stats``    — the service's operator snapshot as JSON.
+* ``POST /assess``  — synchronous assessment: JSON request body in, the
+  settled :class:`~repro.serve.requests.RequestResult` out.  A typed shed
+  maps to ``429`` (``503`` for ``draining``) with the machine-readable
+  reason and ``Retry-After`` hint in both header and body.
+
+Binding port 0 picks a free port (the bound one is exposed as
+``HttpFrontend.port``), which is what the tests and the CI smoke use.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from .requests import AssessRequest, ShedError
+from .service import AssessmentService
+
+__all__ = ["HttpFrontend", "SHED_STATUS"]
+
+#: HTTP status per shed reason: overload and breaker sheds are 429 (back
+#: off and retry), draining is 503 (this instance is going away), invalid
+#: requests are the client's fault.
+SHED_STATUS = {
+    "queue-full": 429,
+    "breaker-open": 429,
+    "draining": 503,
+    "invalid-request": 400,
+}
+
+
+def _make_handler(service: AssessmentService, result_timeout_s: float):
+    class _Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "litmus-serve"
+
+        # -- plumbing --------------------------------------------------
+        def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+            pass  # the daemon's own observability covers this
+
+        def _send_json(
+            self,
+            status: int,
+            payload: Dict[str, Any],
+            extra_headers: Optional[Dict[str, str]] = None,
+        ) -> None:
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for key, value in (extra_headers or {}).items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(body)
+
+        # -- routes ----------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+            if self.path == "/healthz":
+                self._send_json(200, {"status": "ok"})
+            elif self.path == "/readyz":
+                if service.accepting:
+                    self._send_json(200, {"status": "ready"})
+                else:
+                    self._send_json(503, {"status": "draining"})
+            elif self.path == "/stats":
+                self._send_json(200, service.stats())
+            else:
+                self._send_json(404, {"error": f"no route {self.path!r}"})
+
+        def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+            if self.path != "/assess":
+                self._send_json(404, {"error": f"no route {self.path!r}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                request = AssessRequest.from_dict(json.loads(self.rfile.read(length)))
+            except (ValueError, KeyError, TypeError) as exc:
+                self._send_json(
+                    400, {"shed": True, "reason": "invalid-request", "detail": str(exc)}
+                )
+                return
+            try:
+                service.submit(request)
+            except ShedError as shed:
+                headers = {}
+                if shed.retry_after_s is not None:
+                    headers["Retry-After"] = str(max(1, int(shed.retry_after_s + 0.5)))
+                self._send_json(
+                    SHED_STATUS.get(shed.reason, 429), shed.to_dict(), headers
+                )
+                return
+            result = service.result(request.request_id, timeout=result_timeout_s)
+            if result is None:
+                self._send_json(
+                    504,
+                    {
+                        "request_id": request.request_id,
+                        "error": "result did not settle within the frontend timeout",
+                    },
+                )
+                return
+            self._send_json(200, result.to_dict())
+
+    return _Handler
+
+
+class HttpFrontend:
+    """The daemon's HTTP listener; owns a ThreadingHTTPServer."""
+
+    def __init__(
+        self,
+        service: AssessmentService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        result_timeout_s: float = 300.0,
+    ) -> None:
+        self.service = service
+        handler = _make_handler(service, result_timeout_s)
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address[:2]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    def start(self) -> "HttpFrontend":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None

@@ -1,0 +1,101 @@
+"""Bounded admission queue: the memory ceiling of the serving daemon.
+
+Everything the daemon holds in flight lives here, so the configured depth
+*is* the memory bound — ``offer`` refuses instead of growing, and the
+caller turns that refusal into a typed ``queue-full`` shed.  The queue
+publishes its depth and high-water mark through the metrics registry
+(``serve.queue_depth`` gauge, ``serve.queue_peak_depth`` gauge), which is
+what the overload benchmark reads to prove boundedness.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from ..obs.metrics import get_metrics
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """A closable, bounded FIFO with non-blocking admission.
+
+    * :meth:`offer` never blocks: it returns ``False`` at capacity (the
+      caller sheds) — backpressure surfaces at the edge instead of
+      accumulating inside.
+    * :meth:`take` blocks workers with a timeout so they can notice
+      shutdown; a closed, empty queue returns ``None`` forever.
+    * :meth:`drain` atomically empties the queue and closes it — the
+      graceful-drain path, returning every admitted-but-unstarted item so
+      the service can checkpoint them.
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError("queue depth must be at least 1")
+        self.depth = depth
+        self._items: Deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def _publish_depth(self, depth: int) -> None:
+        registry = get_metrics()
+        registry.gauge("serve.queue_depth").set(depth)
+        if depth > self.peak_depth:
+            self.peak_depth = depth
+            registry.gauge("serve.queue_peak_depth").set(depth)
+
+    def offer(self, item: Any) -> bool:
+        """Admit ``item`` unless at capacity or closed; never blocks."""
+        with self._lock:
+            if self._closed or len(self._items) >= self.depth:
+                return False
+            self._items.append(item)
+            self._publish_depth(len(self._items))
+            self._not_empty.notify()
+            return True
+
+    def take(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Pop the oldest item, waiting up to ``timeout`` seconds.
+
+        Returns ``None`` on timeout or when the queue is closed and empty.
+        """
+        with self._lock:
+            if not self._items:
+                if self._closed:
+                    return None
+                self._not_empty.wait(timeout)
+                if not self._items:
+                    return None
+            item = self._items.popleft()
+            self._publish_depth(len(self._items))
+            return item
+
+    def drain(self) -> List[Any]:
+        """Close the queue and return everything still waiting, in order."""
+        with self._lock:
+            self._closed = True
+            items = list(self._items)
+            self._items.clear()
+            self._publish_depth(0)
+            self._not_empty.notify_all()
+            return items
+
+    def close(self) -> None:
+        """Close without draining (workers finish what is queued)."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()

@@ -1,0 +1,167 @@
+"""Request/response vocabulary of the streaming assessment service.
+
+An :class:`AssessRequest` names one verdict the caller wants — a change
+from the service's change log, optionally restricted to specific KPIs and
+window geometry — plus a wall-clock budget.  Every *admitted* request is
+accounted for exactly once as one of the terminal
+:class:`RequestState` values; a request the service refuses at the door
+raises a :class:`ShedError` carrying one of the typed
+:data:`SHED_REASONS` instead (the backpressure contract: rejection is an
+answer, unbounded queueing is not).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "AssessRequest",
+    "RequestResult",
+    "RequestState",
+    "SHED_REASONS",
+    "ShedError",
+]
+
+#: Typed admission-control rejections.  Every shed names exactly one.
+SHED_REASONS = (
+    "queue-full",  # the bounded admission queue is at capacity
+    "breaker-open",  # the request's control group's circuit breaker is open
+    "draining",  # the service is draining and admits nothing new
+    "invalid-request",  # malformed request (unknown change, bad KPI, ...)
+)
+
+
+class RequestState(str, enum.Enum):
+    """Terminal disposition of one admitted request."""
+
+    COMPLETED = "completed"  # a verdict was produced
+    FAILED = "failed"  # admitted but produced no verdict (typed failure)
+    DRAINED = "drained"  # checkpointed to the journal by a graceful drain
+
+
+class ShedError(Exception):
+    """The service refused admission; ``reason`` is one of SHED_REASONS."""
+
+    def __init__(
+        self, reason: str, detail: str = "", retry_after_s: Optional[float] = None
+    ) -> None:
+        if reason not in SHED_REASONS:
+            raise ValueError(f"unknown shed reason {reason!r}")
+        super().__init__(detail or reason)
+        self.reason = reason
+        self.detail = detail
+        self.retry_after_s = retry_after_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"shed": True, "reason": self.reason, "detail": self.detail}
+        if self.retry_after_s is not None:
+            out["retry_after_s"] = round(self.retry_after_s, 3)
+        return out
+
+
+@dataclass(frozen=True)
+class AssessRequest:
+    """One streaming assessment request.
+
+    ``kpis`` empty means the service default; ``deadline_s`` is the
+    end-to-end budget from admission (``None`` = service default).  The
+    ``request_id`` must be unique over the life of the service — it keys
+    the result, the journal records, and the drain checkpoint.
+    """
+
+    request_id: str
+    change_id: str
+    kpis: Tuple[str, ...] = ()
+    window_days: Optional[int] = None
+    after_offset_days: int = 0
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            raise ValueError("request_id must be non-empty")
+        if not self.change_id:
+            raise ValueError("change_id must be non-empty")
+        if self.after_offset_days < 0:
+            raise ValueError("after_offset_days must be non-negative")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        object.__setattr__(self, "kpis", tuple(self.kpis))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "change_id": self.change_id,
+            "kpis": list(self.kpis),
+            "window_days": self.window_days,
+            "after_offset_days": self.after_offset_days,
+            "deadline_s": self.deadline_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AssessRequest":
+        if not isinstance(data, dict):
+            raise ValueError("request must be a JSON object")
+        known = {
+            "request_id",
+            "change_id",
+            "kpis",
+            "window_days",
+            "after_offset_days",
+            "deadline_s",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown request field(s): {sorted(unknown)}")
+        kwargs = dict(data)
+        kwargs["kpis"] = tuple(kwargs.get("kpis") or ())
+        kwargs.setdefault("after_offset_days", 0)
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class RequestResult:
+    """Terminal record of one admitted request."""
+
+    request_id: str
+    state: RequestState
+    #: ``ChangeAssessmentReport.to_dict()`` for COMPLETED requests.
+    verdict: Optional[Dict[str, Any]] = None
+    #: Failure taxonomy fields for FAILED requests.
+    failure_category: Optional[str] = None
+    failure_message: Optional[str] = None
+    #: Seconds spent waiting in the admission queue / executing.
+    queued_s: float = 0.0
+    run_s: float = 0.0
+    #: Extra bookkeeping (breaker key, drain batch, ...).
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.state is RequestState.COMPLETED
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "state": self.state.value,
+            "verdict": self.verdict,
+            "failure_category": self.failure_category,
+            "failure_message": self.failure_message,
+            "queued_s": round(self.queued_s, 6),
+            "run_s": round(self.run_s, 6),
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RequestResult":
+        return cls(
+            request_id=data["request_id"],
+            state=RequestState(data["state"]),
+            verdict=data.get("verdict"),
+            failure_category=data.get("failure_category"),
+            failure_message=data.get("failure_message"),
+            queued_s=float(data.get("queued_s", 0.0)),
+            run_s=float(data.get("run_s", 0.0)),
+            meta=dict(data.get("meta") or {}),
+        )

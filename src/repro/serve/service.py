@@ -1,0 +1,701 @@
+"""The resilient streaming assessment service behind ``litmus serve``.
+
+:class:`AssessmentService` turns the batch engine into a long-running
+daemon that degrades instead of falling over:
+
+* **Admission control** — every request passes the bounded
+  :class:`~repro.serve.queue.AdmissionQueue`; at capacity, while
+  draining, or against an open breaker the submit *sheds* with a typed
+  :class:`~repro.serve.requests.ShedError` instead of queueing unbounded
+  work.  The configured depth is the service's memory ceiling.
+* **Circuit breakers** — one per control group (the group the selector
+  recruits for the request's change), fed by
+  :func:`repro.quality.signals.breaker_signal` over each assessment's
+  firewall outcome and task-failure taxonomy.  Repeated quarantines or
+  data-shaped failures open the breaker; a half-open probe recovers it.
+* **Deadline propagation** — each request's budget becomes a
+  :class:`~repro.core.parallel.Deadline` at admission and travels through
+  ``Litmus.assess`` into the task fan-out, so one slow task cannot wedge
+  a worker past the request's budget.
+* **Watchdog** — a supervisor thread detects a worker stuck past its
+  request's deadline plus a grace period, fails the request, abandons the
+  worker (Python threads cannot be killed; its eventual result is
+  discarded) and recruits a replacement so capacity never leaks away.
+* **Graceful drain** — ``drain()`` (the SIGTERM path) stops admission,
+  lets in-flight requests finish, and checkpoints everything still queued
+  into the :mod:`repro.runstate` write-ahead journal; ``litmus resume``
+  (or a restarted daemon) replays exactly the pending set, byte-identical
+  because verdicts are pure functions of (inputs, config, seed).
+
+**Request conservation invariant** (property-tested in
+``tests/serve/test_conservation.py``): every admitted request settles
+exactly once as completed, failed, or drained-to-journal — no silent
+loss, no duplicates.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.config import LitmusConfig
+from ..core.litmus import Litmus
+from ..core.parallel import Deadline, classify_exception, resolve_worker_count
+from ..kpi.metrics import DEFAULT_KPIS, KpiKind
+from ..network.changes import ChangeLog
+from ..obs.metrics import get_metrics
+from ..obs.trace import span as obs_span
+from ..quality.signals import BreakerSignal, breaker_signal
+from ..runstate.journal import JOURNAL_FILE, Journal
+from ..runstate import servicestate
+from .breaker import BreakerBoard, BreakerOpen
+from .queue import AdmissionQueue
+from .requests import AssessRequest, RequestResult, RequestState, ShedError
+
+__all__ = ["ServeConfig", "AssessmentService", "DrainReport"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Operational knobs of the serving daemon."""
+
+    #: Worker threads pulling from the admission queue.  Subject to the
+    #: same oversubscription cap as every other pool in the system
+    #: (:func:`repro.core.parallel.resolve_worker_count`).
+    n_workers: int = 2
+    #: Bounded admission-queue depth — the daemon's memory ceiling.
+    queue_depth: int = 16
+    #: Default end-to-end budget for requests that carry none.
+    default_deadline_s: float = 60.0
+    #: Consecutive unhealthy assessments that open a group's breaker.
+    breaker_failure_threshold: int = 3
+    #: Seconds an open breaker waits before half-opening a probe.
+    breaker_recovery_s: float = 30.0
+    #: Quarantined-control fraction at which an assessment reads unhealthy.
+    breaker_quarantine_fraction: float = 0.5
+    #: Watchdog sweep period.
+    watchdog_interval_s: float = 0.25
+    #: Grace beyond a request's deadline before its worker is recycled.
+    watchdog_grace_s: float = 5.0
+    #: Settled results retained for pickup before FIFO eviction.
+    max_retained_results: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be at least 1")
+        if self.default_deadline_s <= 0:
+            raise ValueError("default_deadline_s must be positive")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be at least 1")
+        if self.breaker_recovery_s <= 0:
+            raise ValueError("breaker_recovery_s must be positive")
+        if not 0.0 < self.breaker_quarantine_fraction <= 1.0:
+            raise ValueError("breaker_quarantine_fraction must be in (0, 1]")
+        if self.watchdog_interval_s <= 0:
+            raise ValueError("watchdog_interval_s must be positive")
+        if self.watchdog_grace_s < 0:
+            raise ValueError("watchdog_grace_s must be non-negative")
+        if self.max_retained_results < 1:
+            raise ValueError("max_retained_results must be at least 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "n_workers": self.n_workers,
+            "queue_depth": self.queue_depth,
+            "default_deadline_s": self.default_deadline_s,
+            "breaker_failure_threshold": self.breaker_failure_threshold,
+            "breaker_recovery_s": self.breaker_recovery_s,
+            "breaker_quarantine_fraction": self.breaker_quarantine_fraction,
+            "watchdog_interval_s": self.watchdog_interval_s,
+            "watchdog_grace_s": self.watchdog_grace_s,
+            "max_retained_results": self.max_retained_results,
+        }
+
+
+@dataclass
+class _Admitted:
+    """One admitted request travelling through the queue to a worker."""
+
+    request: AssessRequest
+    change: Any
+    kpis: Tuple[KpiKind, ...]
+    breaker_key: Tuple[str, ...]
+    deadline: Deadline
+    admitted_at: float
+
+
+@dataclass
+class _WorkerSlot:
+    """Bookkeeping for one worker thread (watchdog state)."""
+
+    index: int
+    thread: Optional[threading.Thread] = None
+    busy_since: Optional[float] = None
+    deadline: Optional[Deadline] = None
+    request_id: Optional[str] = None
+    abandoned: bool = False
+
+
+@dataclass(frozen=True)
+class DrainReport:
+    """Outcome of one graceful drain."""
+
+    drained_ids: Tuple[str, ...]
+    inflight_completed: int
+    clean: bool  # every worker finished inside the drain timeout
+    journal_dir: Optional[str]
+
+    @property
+    def n_drained(self) -> int:
+        return len(self.drained_ids)
+
+
+class AssessmentService:
+    """Long-running streaming assessment daemon over one loaded world.
+
+    ``engine_factory(topology, store, config, change_log)`` exists for
+    tests (fake engines); the default builds a plain
+    :class:`~repro.core.litmus.Litmus`.  ``clock`` must be monotonic and
+    is injectable for deterministic breaker/watchdog tests.
+    """
+
+    def __init__(
+        self,
+        topology: Any,
+        store: Any,
+        config: Optional[LitmusConfig] = None,
+        change_log: Optional[ChangeLog] = None,
+        *,
+        serve_config: Optional[ServeConfig] = None,
+        journal_dir: Optional[str] = None,
+        clock: Callable[[], float] = time.monotonic,
+        engine_factory: Optional[Callable[..., Any]] = None,
+    ) -> None:
+        if change_log is None:
+            raise ValueError("a change log is required to resolve request change ids")
+        self.config = config or LitmusConfig()
+        self.serve_config = serve_config or ServeConfig()
+        self.change_log = change_log
+        self.clock = clock
+        factory = engine_factory or (
+            lambda topo, st, cfg, log: Litmus(topo, st, cfg, change_log=log)
+        )
+        self.engine = factory(topology, store, self.config, change_log)
+        # Reuse the one sizing policy — never a serve-local copy of it.
+        self.n_workers = resolve_worker_count("thread", self.serve_config.n_workers)
+        self._queue = AdmissionQueue(self.serve_config.queue_depth)
+        self._breakers = BreakerBoard(
+            failure_threshold=self.serve_config.breaker_failure_threshold,
+            recovery_s=self.serve_config.breaker_recovery_s,
+            clock=clock,
+        )
+        self._lock = threading.RLock()
+        self._journal_lock = threading.Lock()
+        self._results: "OrderedDict[str, RequestResult]" = OrderedDict()
+        self._events: Dict[str, threading.Event] = {}
+        self._known_ids: set = set()
+        self._group_keys: Dict[str, Tuple[str, ...]] = {}
+        self.counts: Dict[str, Any] = {
+            "submitted": 0,
+            "admitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "drained": 0,
+            "shed": {},
+            "results_evicted": 0,
+            "workers_recycled": 0,
+            "restored_from_journal": 0,
+        }
+        self._started = False
+        self._draining = False
+        self._stopping = threading.Event()
+        self._workers: List[_WorkerSlot] = []
+        self._zombies: List[_WorkerSlot] = []
+        self._watchdog: Optional[threading.Thread] = None
+        self._next_worker_index = 0
+
+        self.journal_dir = journal_dir
+        self._journal: Optional[Journal] = None
+        self._restorable: List[Dict[str, Any]] = []
+        if journal_dir is not None:
+            os.makedirs(journal_dir, exist_ok=True)
+            self._open_journal(journal_dir)
+
+    # ------------------------------------------------------------------
+    # Journal lifecycle
+    # ------------------------------------------------------------------
+    def _open_journal(self, journal_dir: str) -> None:
+        from ..obs.manifest import config_fingerprint
+
+        path = os.path.join(journal_dir, JOURNAL_FILE)
+        journal, recovery = Journal.open(path)
+        _, sha = config_fingerprint(self.config)
+        expected = servicestate.verify_service_lineage(
+            recovery.records, config_sha256=sha, root_seed=self.config.seed
+        )
+        if expected is not None:
+            journal.append(servicestate.SERVICE_BEGIN, expected)
+        self._journal = journal
+        self._restorable = servicestate.pending_requests(recovery.records)
+
+    def _journal_append(self, type_: str, data: Dict[str, Any], sync: bool = False) -> None:
+        if self._journal is None:
+            return
+        with self._journal_lock:
+            self._journal.append(type_, data, sync=sync)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "AssessmentService":
+        """Spawn workers and the watchdog; restore journaled backlog."""
+        with self._lock:
+            if self._started:
+                raise RuntimeError("service already started")
+            self._started = True
+        for _ in range(self.n_workers):
+            self._spawn_worker()
+        self._watchdog = threading.Thread(
+            target=self._watchdog_loop, name="serve-watchdog", daemon=True
+        )
+        self._watchdog.start()
+        self._restore_backlog()
+        return self
+
+    def _spawn_worker(self) -> _WorkerSlot:
+        with self._lock:
+            slot = _WorkerSlot(index=self._next_worker_index)
+            self._next_worker_index += 1
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(slot,),
+                name=f"serve-worker-{slot.index}",
+                daemon=True,
+            )
+            slot.thread = thread
+            self._workers.append(slot)
+        thread.start()
+        return slot
+
+    def _restore_backlog(self) -> None:
+        """Re-admit requests a previous daemon checkpointed (drain/crash).
+
+        Restores at most one queue's worth — the depth is the memory
+        bound even across restarts; anything beyond stays pending in the
+        journal (``litmus resume`` completes it in batch, or the next
+        restart picks it up).
+        """
+        restored = 0
+        for payload in self._restorable:
+            if restored >= self.serve_config.queue_depth:
+                break
+            try:
+                request = AssessRequest.from_dict(payload)
+                item = self._build_item(request)
+            except (ValueError, KeyError):
+                continue  # journaled garbage must not wedge startup
+            with self._lock:
+                if self._queue.offer(item):
+                    self._known_ids.add(request.request_id)
+                    self._events[request.request_id] = threading.Event()
+                    self.counts["admitted"] += 1
+                    restored += 1
+        self.counts["restored_from_journal"] = restored
+        self._restorable = []
+        if restored:
+            get_metrics().counter("serve.restored_requests").inc(restored)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _build_item(self, request: AssessRequest) -> _Admitted:
+        """Resolve and validate one request (raises ValueError/KeyError)."""
+        change = self.change_log.get(request.change_id)
+        kpis = (
+            tuple(KpiKind(name) for name in request.kpis)
+            if request.kpis
+            else tuple(DEFAULT_KPIS)
+        )
+        if request.window_days is not None and request.window_days < 3:
+            raise ValueError("window_days must be at least 3")
+        budget = request.deadline_s or self.serve_config.default_deadline_s
+        return _Admitted(
+            request=request,
+            change=change,
+            kpis=kpis,
+            breaker_key=self._breaker_key(change),
+            deadline=Deadline.after(budget, clock=self.clock),
+            admitted_at=self.clock(),
+        )
+
+    def _breaker_key(self, change: Any) -> Tuple[str, ...]:
+        """Control-group key for the change (selector-derived, cached).
+
+        Engines without a selector (test fakes) key on the study group.
+        """
+        cached = self._group_keys.get(change.change_id)
+        if cached is not None:
+            return cached
+        selector = getattr(self.engine, "selector", None)
+        if selector is None:
+            key = tuple(sorted(str(e) for e in change.study_group))
+        else:
+            group = selector.select(change.study_group, change=change)
+            key = tuple(sorted(str(e) for e in group.element_ids))
+        self._group_keys[change.change_id] = key
+        return key
+
+    def _shed(self, reason: str, detail: str, retry_after_s: Optional[float] = None):
+        registry = get_metrics()
+        registry.counter("serve.shed").inc()
+        registry.counter(f"serve.shed.{reason}").inc()
+        with self._lock:
+            shed = self.counts["shed"]
+            shed[reason] = shed.get(reason, 0) + 1
+        raise ShedError(reason, detail, retry_after_s)
+
+    def submit(self, request: AssessRequest) -> str:
+        """Admit one request or shed with a typed :class:`ShedError`.
+
+        Returns the request id; the verdict is picked up with
+        :meth:`result`.  Admission is write-ahead: the journal's
+        ``request-admitted`` record lands before the queue accepts the
+        item, so a crash can strand a journaled-but-unqueued request
+        (resumed later) but never a queued-but-unjournaled one (lost).
+        """
+        with self._lock:
+            self.counts["submitted"] += 1
+            get_metrics().counter("serve.submitted").inc()
+            if not self._started or self._draining or self._stopping.is_set():
+                self._shed("draining", "service is not accepting requests")
+            if request.request_id in self._known_ids:
+                self._shed(
+                    "invalid-request", f"duplicate request_id {request.request_id!r}"
+                )
+        try:
+            item = self._build_item(request)
+        except (KeyError, ValueError) as exc:
+            self._shed("invalid-request", str(exc))
+        try:
+            self._breakers.for_key(item.breaker_key).check()
+        except BreakerOpen as exc:
+            self._shed(
+                "breaker-open",
+                f"control group {'/'.join(item.breaker_key[:3])}... is unhealthy"
+                if len(item.breaker_key) > 3
+                else f"control group {'/'.join(item.breaker_key)} is unhealthy",
+                retry_after_s=exc.retry_after_s,
+            )
+        with self._lock:
+            if self._draining or self._stopping.is_set():
+                self._shed("draining", "service is draining")
+            if len(self._queue) >= self.serve_config.queue_depth:
+                self._shed(
+                    "queue-full",
+                    f"admission queue at capacity ({self.serve_config.queue_depth})",
+                )
+            # Deadline starts at admission, not at build time above.
+            item.deadline = Deadline.after(
+                request.deadline_s or self.serve_config.default_deadline_s,
+                clock=self.clock,
+            )
+            item.admitted_at = self.clock()
+            self._journal_append(
+                servicestate.REQUEST_ADMITTED, {"request": request.to_dict()}
+            )
+            if not self._queue.offer(item):  # pragma: no cover - guarded above
+                self._shed("queue-full", "admission queue refused the request")
+            self._known_ids.add(request.request_id)
+            self._events[request.request_id] = threading.Event()
+            self.counts["admitted"] += 1
+            get_metrics().counter("serve.admitted").inc()
+        return request.request_id
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def result(self, request_id: str, timeout: Optional[float] = None) -> Optional[RequestResult]:
+        """The settled result for an admitted request, waiting if needed."""
+        with self._lock:
+            event = self._events.get(request_id)
+            done = self._results.get(request_id)
+        if done is not None:
+            return done
+        if event is None:
+            return None
+        event.wait(timeout)
+        with self._lock:
+            return self._results.get(request_id)
+
+    def _settle(self, result: RequestResult, journal: bool = True) -> bool:
+        """Record one terminal result exactly once; False if already settled."""
+        registry = get_metrics()
+        with self._lock:
+            if result.request_id in self._results:
+                return False
+            self._results[result.request_id] = result
+            while len(self._results) > self.serve_config.max_retained_results:
+                evicted_id, _ = self._results.popitem(last=False)
+                self._events.pop(evicted_id, None)
+                self.counts["results_evicted"] += 1
+                registry.counter("serve.results_evicted").inc()
+            if result.state is RequestState.COMPLETED:
+                self.counts["completed"] += 1
+                registry.counter("serve.completed").inc()
+            elif result.state is RequestState.FAILED:
+                self.counts["failed"] += 1
+                registry.counter("serve.failed").inc()
+            else:
+                self.counts["drained"] += 1
+                registry.counter("serve.drained").inc()
+            registry.histogram("serve.queued_s").observe(result.queued_s)
+            if result.state is not RequestState.DRAINED:
+                registry.histogram("serve.latency_s").observe(
+                    result.queued_s + result.run_s
+                )
+            event = self._events.get(result.request_id)
+        if journal:
+            self._journal_append(
+                servicestate.REQUEST_DONE, {"result": result.to_dict()}
+            )
+        if event is not None:
+            event.set()
+        return True
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self, slot: _WorkerSlot) -> None:
+        while True:
+            if slot.abandoned:
+                return
+            item = self._queue.take(timeout=0.05)
+            if item is None:
+                if self._stopping.is_set() and (
+                    self._queue.closed or len(self._queue) == 0
+                ):
+                    return
+                continue
+            self._process(slot, item)
+            if slot.abandoned:
+                return
+
+    def _process(self, slot: _WorkerSlot, item: _Admitted) -> None:
+        request = item.request
+        slot.request_id = request.request_id
+        slot.deadline = item.deadline
+        slot.busy_since = self.clock()
+        queued_s = max(0.0, self.clock() - item.admitted_at)
+        breaker = self._breakers.for_key(item.breaker_key)
+        started = self.clock()
+        signal: Optional[BreakerSignal] = None
+        result: Optional[RequestResult] = None
+        try:
+            if item.deadline.expired:
+                result = RequestResult(
+                    request_id=request.request_id,
+                    state=RequestState.FAILED,
+                    failure_category="timeout",
+                    failure_message="deadline expired before execution started",
+                    queued_s=queued_s,
+                    meta={"change_id": request.change_id},
+                )
+            else:
+                with obs_span(
+                    "serve-request",
+                    request_id=request.request_id,
+                    change_id=request.change_id,
+                ):
+                    report = self.engine.assess(
+                        item.change,
+                        kpis=item.kpis,
+                        window_days=request.window_days,
+                        after_offset_days=request.after_offset_days,
+                        deadline=item.deadline,
+                    )
+                signal = breaker_signal(
+                    getattr(report, "quality", None),
+                    [f.failure.category for f in getattr(report, "failures", ())],
+                    n_controls=len(getattr(report, "control_group", ())),
+                    quarantine_threshold=self.serve_config.breaker_quarantine_fraction,
+                )
+                result = RequestResult(
+                    request_id=request.request_id,
+                    state=RequestState.COMPLETED,
+                    verdict=report.to_dict(),
+                    queued_s=queued_s,
+                    run_s=max(0.0, self.clock() - started),
+                    meta={"change_id": request.change_id},
+                )
+        except Exception as exc:  # noqa: BLE001 - typed into the taxonomy
+            signal = breaker_signal(
+                None, (), n_controls=0, aborted=True,
+                quarantine_threshold=self.serve_config.breaker_quarantine_fraction,
+            )
+            result = RequestResult(
+                request_id=request.request_id,
+                state=RequestState.FAILED,
+                failure_category=classify_exception(exc),
+                failure_message=f"{type(exc).__name__}: {exc}",
+                queued_s=queued_s,
+                run_s=max(0.0, self.clock() - started),
+                meta={"change_id": request.change_id},
+            )
+        if signal is not None:
+            breaker.record(signal.healthy)
+        self._settle(result)
+        slot.busy_since = None
+        slot.deadline = None
+        slot.request_id = None
+
+    # ------------------------------------------------------------------
+    # Watchdog
+    # ------------------------------------------------------------------
+    def _watchdog_loop(self) -> None:
+        interval = self.serve_config.watchdog_interval_s
+        while not self._stopping.wait(interval):
+            self._watchdog_sweep()
+        # One final sweep so a drain cannot wait forever on a stuck worker.
+        self._watchdog_sweep()
+
+    def _watchdog_sweep(self) -> None:
+        """Fail and replace workers stuck past deadline + grace."""
+        now = self.clock()
+        stuck: List[_WorkerSlot] = []
+        with self._lock:
+            for slot in self._workers:
+                if (
+                    slot.busy_since is not None
+                    and slot.deadline is not None
+                    and not slot.abandoned
+                    and now >= slot.deadline.expires_at + self.serve_config.watchdog_grace_s
+                ):
+                    slot.abandoned = True
+                    stuck.append(slot)
+            for slot in stuck:
+                self._workers.remove(slot)
+                self._zombies.append(slot)
+        for slot in stuck:
+            get_metrics().counter("serve.workers_recycled").inc()
+            with self._lock:
+                self.counts["workers_recycled"] += 1
+            if slot.request_id is not None:
+                self._settle(
+                    RequestResult(
+                        request_id=slot.request_id,
+                        state=RequestState.FAILED,
+                        failure_category="timeout",
+                        failure_message=(
+                            "worker stuck past deadline + "
+                            f"{self.serve_config.watchdog_grace_s}s grace; "
+                            "worker recycled"
+                        ),
+                        meta={"recycled_worker": slot.index},
+                    )
+                )
+            if not self._stopping.is_set():
+                self._spawn_worker()
+
+    # ------------------------------------------------------------------
+    # Drain / stop
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = 30.0) -> DrainReport:
+        """Graceful shutdown: stop admission, finish in-flight, checkpoint.
+
+        Queued-but-unstarted requests settle as ``drained`` and stay
+        *pending* in the journal (admitted without done), which is
+        exactly what ``litmus resume`` — or the next daemon start —
+        replays.  Safe to call more than once.
+        """
+        with self._lock:
+            if self._draining:
+                return DrainReport((), 0, True, self.journal_dir)
+            self._draining = True
+        inflight_before = self.counts["completed"] + self.counts["failed"]
+        pending = self._queue.drain()
+        drained_ids = []
+        for item in pending:
+            drained_ids.append(item.request.request_id)
+            self._settle(
+                RequestResult(
+                    request_id=item.request.request_id,
+                    state=RequestState.DRAINED,
+                    queued_s=max(0.0, self.clock() - item.admitted_at),
+                    meta={"change_id": item.request.change_id},
+                ),
+                journal=False,  # drained = admitted with no done record
+            )
+        self._stopping.set()
+        deadline = None if timeout is None else self.clock() + timeout
+        clean = True
+        with self._lock:
+            workers = list(self._workers)
+        for slot in workers:
+            remaining = None if deadline is None else max(0.0, deadline - self.clock())
+            if slot.thread is not None and slot.thread is not threading.current_thread():
+                slot.thread.join(remaining)
+                if slot.thread.is_alive():
+                    clean = False
+        if self._watchdog is not None and self._watchdog is not threading.current_thread():
+            self._watchdog.join(
+                None if deadline is None else max(0.0, deadline - self.clock())
+            )
+        self._journal_append(
+            servicestate.SERVICE_DRAIN,
+            {"pending": drained_ids, "clean": clean},
+            sync=True,
+        )
+        if self._journal is not None:
+            with self._journal_lock:
+                self._journal.close()
+            self._journal = None
+        inflight_completed = (
+            self.counts["completed"] + self.counts["failed"] - inflight_before
+        )
+        get_metrics().counter("serve.drains").inc()
+        return DrainReport(
+            drained_ids=tuple(drained_ids),
+            inflight_completed=inflight_completed,
+            clean=clean,
+            journal_dir=self.journal_dir,
+        )
+
+    def stop(self, timeout: Optional[float] = 30.0) -> DrainReport:
+        """Alias for :meth:`drain` (the only shutdown there is)."""
+        return self.drain(timeout)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def accepting(self) -> bool:
+        with self._lock:
+            return self._started and not self._draining and not self._stopping.is_set()
+
+    def stats(self) -> Dict[str, Any]:
+        """Operator-facing snapshot (the /stats and /readyz payloads)."""
+        with self._lock:
+            counts = {
+                key: (dict(value) if isinstance(value, dict) else value)
+                for key, value in self.counts.items()
+            }
+            n_workers = len(self._workers)
+            n_zombies = len(self._zombies)
+        return {
+            "accepting": self.accepting,
+            "queue_depth": len(self._queue),
+            "queue_capacity": self.serve_config.queue_depth,
+            "queue_peak_depth": self._queue.peak_depth,
+            "workers": n_workers,
+            "zombie_workers": n_zombies,
+            "breakers": self._breakers.states(),
+            "open_breakers": self._breakers.open_count(),
+            "counts": counts,
+            "journal_dir": self.journal_dir,
+        }

@@ -48,6 +48,8 @@ from .linreg import (
     ols_subset_forecasts,
 )
 from .rank_tests import (
+    INCONCLUSIVE_REASONS,
+    MIN_SAMPLES,
     Alternative,
     DataQualityError,
     Direction,
@@ -68,7 +70,9 @@ __all__ = [
     "DataQualityError",
     "Direction",
     "Frequency",
+    "INCONCLUSIVE_REASONS",
     "LinearModel",
+    "MIN_SAMPLES",
     "Summary",
     "TestResult",
     "TimeSeries",

@@ -29,12 +29,31 @@ __all__ = [
     "DataQualityError",
     "Direction",
     "TestResult",
+    "INCONCLUSIVE_REASONS",
+    "MIN_SAMPLES",
     "mann_whitney_u",
     "fligner_policello",
     "welch_t",
     "rankdata",
     "compare_windows",
 ]
+
+#: Typed reasons a two-sample test can decline to decide.  Degenerate
+#: inputs — constant series, an all-tied pooled sample, samples below the
+#: minimum n — used to raise or push NaN/±inf statistics toward verdicts;
+#: now they settle as an *inconclusive* :class:`TestResult` (p = 1, so an
+#: inconclusive outcome can never flip a verdict) carrying one of these
+#: reasons.
+INCONCLUSIVE_REASONS = (
+    "too-few-samples",  # a sample is below the test's minimum n
+    "all-tied",  # every pooled value identical: zero rank information
+    "constant-input",  # both samples constant: zero within-sample variance
+)
+
+#: Minimum per-sample size for the variance-based tests
+#: (Fligner–Policello and Welch); Mann–Whitney's exact null is defined
+#: down to n = 1.
+MIN_SAMPLES = 2
 
 ArrayLike = Union[Sequence[float], np.ndarray]
 
@@ -108,16 +127,51 @@ class Direction(str, enum.Enum):
 
 @dataclass(frozen=True)
 class TestResult:
-    """Outcome of a two-sample hypothesis test."""
+    """Outcome of a two-sample hypothesis test.
+
+    ``inconclusive`` is ``None`` for a regular outcome; for degenerate
+    inputs it names the reason (one of :data:`INCONCLUSIVE_REASONS`) and
+    the result carries ``p_value = 1.0`` so it can never read as
+    significant downstream.
+    """
 
     statistic: float
     p_value: float
     alternative: Alternative
     method: str
+    inconclusive: Union[str, None] = None
+
+    @property
+    def conclusive(self) -> bool:
+        return self.inconclusive is None
 
     def significant(self, alpha: float = 0.05) -> bool:
         """True when the null hypothesis is rejected at level ``alpha``."""
-        return self.p_value < alpha
+        return self.inconclusive is None and self.p_value < alpha
+
+
+def _inconclusive(reason: str, alternative: Alternative, method: str) -> TestResult:
+    if reason not in INCONCLUSIVE_REASONS:
+        raise ValueError(f"unknown inconclusive reason {reason!r}")
+    return TestResult(0.0, 1.0, alternative, method, inconclusive=reason)
+
+
+def _degeneracy(a: np.ndarray, b: np.ndarray, min_n: int) -> Union[str, None]:
+    """Classify inputs no two-sample test can decide on, or None.
+
+    Ordering matters: a too-small sample is undecidable regardless of its
+    values, an all-tied pooled sample has zero rank information, and two
+    (different) constants have zero within-sample variance — every
+    variance estimate underneath the statistics degenerates to 0/0.
+    """
+    if a.size < min_n or b.size < min_n:
+        return "too-few-samples"
+    first = a.flat[0]
+    if np.all(a == first) and np.all(b == first):
+        return "all-tied"
+    if np.all(a == a.flat[0]) and np.all(b == b.flat[0]):
+        return "constant-input"
+    return None
 
 
 def _normal_sf(z: float) -> float:
@@ -189,6 +243,9 @@ def mann_whitney_u(
     """
     a, b = _validate(x, y)
     alternative = Alternative(alternative)
+    reason = _degeneracy(a, b, min_n=1)
+    if reason is not None:
+        return _inconclusive(reason, alternative, "mann-whitney")
     m, n = a.size, b.size
 
     combined = np.concatenate([a, b])
@@ -214,8 +271,9 @@ def mann_whitney_u(
     total = m + n
     var = m * n / 12.0 * ((total + 1) - tie_term / (total * (total - 1)))
     if var <= 0:
-        # All values identical: no evidence of difference.
-        return TestResult(u_a, 1.0, alternative, "mann-whitney-normal")
+        # Unreachable after the degeneracy screen (zero tie-corrected
+        # variance needs an all-tied pool), kept as a numerical backstop.
+        return _inconclusive("all-tied", alternative, "mann-whitney-normal")
     sd = math.sqrt(var)
     # Continuity correction toward the mean.
     if alternative is Alternative.GREATER:
@@ -247,9 +305,10 @@ def fligner_policello(
     """
     a, b = _validate(x, y)
     alternative = Alternative(alternative)
+    reason = _degeneracy(a, b, min_n=MIN_SAMPLES)
+    if reason is not None:
+        return _inconclusive(reason, alternative, "fligner-policello")
     m, n = a.size, b.size
-    if m < 2 or n < 2:
-        raise ValueError("fligner_policello needs at least 2 samples per group")
 
     # Placements: for each a_i the count of b_j below it (ties count 1/2).
     b_sorted = np.sort(b)
@@ -269,11 +328,10 @@ def fligner_policello(
     denom_sq = v_a + v_b + pbar_a * pbar_b
     num = float(np.sum(p_a) - np.sum(p_b))
     if denom_sq <= 0:
-        # Happens when the samples are completely separated with zero
-        # placement variance (or identical constants).  Perfect separation
-        # is maximal evidence; identical constants are no evidence.
+        # Zero placement variance with samples that passed the degeneracy
+        # screen means perfect separation — maximal evidence.
         if num == 0:
-            return TestResult(0.0, 1.0, alternative, "fligner-policello")
+            return _inconclusive("all-tied", alternative, "fligner-policello")
         z = math.copysign(float("inf"), num)
     else:
         z = num / (2.0 * math.sqrt(denom_sq))
@@ -295,9 +353,10 @@ def welch_t(
     """Welch's unequal-variance t-test (ablation baseline, not robust)."""
     a, b = _validate(x, y)
     alternative = Alternative(alternative)
+    reason = _degeneracy(a, b, min_n=MIN_SAMPLES)
+    if reason is not None:
+        return _inconclusive(reason, alternative, "welch-t")
     m, n = a.size, b.size
-    if m < 2 or n < 2:
-        raise ValueError("welch_t needs at least 2 samples per group")
     va = float(np.var(a, ddof=1))
     vb = float(np.var(b, ddof=1))
     se_sq = va / m + vb / n
@@ -411,6 +470,10 @@ def compare_windows(
         raise ValueError(f"unknown test {test!r}; use one of {sorted(tests)}")
     fn = tests[test]
     up = fn(after, before, Alternative.GREATER)
+    if not up.conclusive:
+        # Degenerate windows (constant, all-tied, too short) cannot
+        # support a directional claim — typed no-change, never NaN.
+        return Direction.NO_CHANGE
     if up.p_value < alpha:
         return Direction.INCREASE
     down = fn(after, before, Alternative.LESS)

@@ -1,0 +1,161 @@
+"""Deadline propagation: request budget → ``run_tasks`` → typed failures."""
+
+import time
+
+import pytest
+
+from repro.core.parallel import Deadline, run_tasks
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_after_builds_from_now(self):
+        clock = FakeClock(100.0)
+        d = Deadline.after(5.0, clock=clock)
+        assert d.expires_at == 105.0
+        assert d.remaining() == 5.0
+        assert not d.expired
+
+    def test_expiry(self):
+        clock = FakeClock()
+        d = Deadline.after(2.0, clock=clock)
+        clock.advance(1.5)
+        assert d.remaining() == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert d.expired
+        assert d.remaining() == 0.0
+
+    def test_remaining_never_negative(self):
+        clock = FakeClock()
+        d = Deadline.after(1.0, clock=clock)
+        clock.advance(10.0)
+        assert d.remaining() == 0.0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Deadline.after(-1.0)
+
+    def test_zero_budget_is_born_expired(self):
+        assert Deadline.after(0.0).expired
+
+
+class TestRunTasksSerialDeadline:
+    def test_expired_deadline_fails_remaining_tasks_without_running(self):
+        clock = FakeClock()
+        deadline = Deadline.after(10.0, clock=clock)
+        ran = []
+
+        def work(x):
+            ran.append(x)
+            if x == 1:
+                clock.advance(20.0)  # the first task blows the budget
+            return x * 2
+
+        outcomes = run_tasks(work, [1, 2, 3], n_workers=1, deadline=deadline)
+        assert outcomes[0].ok and outcomes[0].value == 2
+        assert ran == [1]  # tasks 2 and 3 never executed
+        for outcome in outcomes[1:]:
+            assert not outcome.ok
+            assert outcome.failure.category == "timeout"
+            assert outcome.failure.error_type == "DeadlineExceeded"
+
+    def test_unexpired_deadline_is_invisible(self):
+        deadline = Deadline.after(60.0)
+        outcomes = run_tasks(lambda x: x + 1, [1, 2], n_workers=1, deadline=deadline)
+        assert [o.value for o in outcomes] == [2, 3]
+
+
+class TestRunTasksPooledDeadline:
+    def test_deadline_bounds_the_batch_wait(self):
+        """A straggler past the deadline settles as DeadlineExceeded."""
+        deadline = Deadline.after(0.15)
+
+        def work(x):
+            if x == 0:
+                time.sleep(2.0)  # straggler far beyond the budget
+            return x
+
+        outcomes = run_tasks(
+            work, [0, 1], executor="thread", n_workers=2, deadline=deadline
+        )
+        assert not outcomes[0].ok
+        assert outcomes[0].failure.category == "timeout"
+        assert outcomes[0].failure.error_type == "DeadlineExceeded"
+        assert outcomes[1].ok and outcomes[1].value == 1
+
+    def test_deadline_tighter_than_per_task_timeout_wins(self):
+        deadline = Deadline.after(0.1)
+        outcomes = run_tasks(
+            lambda x: time.sleep(2.0) or x,
+            [0],
+            executor="thread",
+            n_workers=2,
+            timeout=30.0,
+            deadline=deadline,
+        )
+        assert outcomes[0].failure.error_type == "DeadlineExceeded"
+
+    def test_already_expired_deadline_fails_fast(self):
+        clock = FakeClock()
+        deadline = Deadline.after(0.0, clock=clock)
+        started = time.monotonic()
+        outcomes = run_tasks(
+            lambda x: time.sleep(5.0) or x,
+            [0, 1],
+            executor="thread",
+            n_workers=2,
+            deadline=deadline,
+        )
+        assert time.monotonic() - started < 2.0  # no 5 s waits
+        assert all(o.failure.error_type == "DeadlineExceeded" for o in outcomes)
+
+
+class TestLitmusDeadline:
+    def test_assess_with_expired_deadline_fails_all_tasks(self, tiny_world):
+        from repro.core import Litmus
+
+        topo, store, change = tiny_world
+        clock = FakeClock()
+        deadline = Deadline.after(5.0, clock=clock)
+        clock.advance(10.0)
+        report = Litmus(topo, store).assess(change, deadline=deadline)
+        assert report.assessments == ()
+        assert report.failures
+        assert all(f.failure.category == "timeout" for f in report.failures)
+
+    def test_assess_with_roomy_deadline_matches_no_deadline(self, tiny_world):
+        from repro.core import Litmus
+
+        topo, store, change = tiny_world
+        with_deadline = Litmus(topo, store).assess(
+            change, deadline=Deadline.after(600.0)
+        )
+        without = Litmus(topo, store).assess(change)
+        assert with_deadline.to_dict() == without.to_dict()
+
+
+@pytest.fixture
+def tiny_world():
+    from repro.kpi import KpiKind, generate_kpis
+    from repro.network import ChangeEvent, ChangeType, ElementRole, build_network
+
+    topo = build_network(seed=3, controllers_per_region=6, towers_per_controller=2)
+    store = generate_kpis(topo, [KpiKind.VOICE_RETAINABILITY], seed=3)
+    rnc = topo.elements(role=ElementRole.RNC)[0]
+    change = ChangeEvent(
+        "deadline-test",
+        ChangeType.CONFIGURATION,
+        day=85,
+        element_ids=frozenset({rnc.element_id}),
+    )
+    return topo, store, change

@@ -140,18 +140,21 @@ class TestRunTasksPool:
 
 
 class TestOversubscriptionWarning:
-    def test_warns_once_and_caps(self):
+    def test_warns_once_per_process_and_caps(self):
         cpus = os.cpu_count() or 1
         excessive = 64 * cpus
-        parallel._OVERSUBSCRIPTION_WARNED.discard(("thread", excessive))
+        parallel._OVERSUBSCRIPTION_WARNED = False
         with pytest.warns(RuntimeWarning, match="cpu_count"):
             pool = executor_pool("thread", excessive)
         assert pool._max_workers <= parallel._MAX_WORKERS_PER_CPU * cpus
         pool.shutdown(wait=False)
-        # Second identical request is silent (warned once per key).
+        # Any further oversubscribed request is silent — the warning fires
+        # at most once per process, even for a different worker count.
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             executor_pool("thread", excessive).shutdown(wait=False)
+            executor_pool("thread", excessive + 1).shutdown(wait=False)
+            parallel.resolve_worker_count("thread", excessive + 2)
 
     def test_no_warning_within_cpu_count(self):
         with warnings.catch_warnings():

@@ -1,0 +1,134 @@
+"""Circuit breaker state machine under an injectable clock."""
+
+import pytest
+
+from repro.serve.breaker import (
+    BreakerBoard,
+    BreakerOpen,
+    BreakerState,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, recovery_s=10.0, clock=clock)
+
+
+class TestOpening:
+    def test_starts_closed_and_admits(self, breaker):
+        assert breaker.state is BreakerState.CLOSED
+        breaker.check()  # no raise
+
+    def test_opens_after_threshold_consecutive_failures(self, breaker):
+        for _ in range(2):
+            breaker.record(healthy=False)
+            assert breaker.state is BreakerState.CLOSED
+        breaker.record(healthy=False)
+        assert breaker.state is BreakerState.OPEN
+
+    def test_success_resets_the_streak(self, breaker):
+        breaker.record(healthy=False)
+        breaker.record(healthy=False)
+        breaker.record(healthy=True)
+        breaker.record(healthy=False)
+        breaker.record(healthy=False)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_open_breaker_sheds_with_retry_hint(self, breaker, clock):
+        for _ in range(3):
+            breaker.record(healthy=False)
+        clock.advance(4.0)
+        with pytest.raises(BreakerOpen) as exc:
+            breaker.check()
+        assert exc.value.retry_after_s == pytest.approx(6.0)
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, clock=clock)
+        with pytest.raises(ValueError):
+            CircuitBreaker(recovery_s=0.0, clock=clock)
+
+
+class TestHalfOpen:
+    def _open(self, breaker):
+        for _ in range(3):
+            breaker.record(healthy=False)
+
+    def test_half_opens_after_recovery(self, breaker, clock):
+        self._open(breaker)
+        clock.advance(10.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_exactly_one_probe_admitted(self, breaker, clock):
+        self._open(breaker)
+        clock.advance(10.0)
+        breaker.check()  # the probe passes
+        with pytest.raises(BreakerOpen):
+            breaker.check()  # everyone else sheds until the probe settles
+
+    def test_healthy_probe_closes(self, breaker, clock):
+        self._open(breaker)
+        clock.advance(10.0)
+        breaker.check()
+        breaker.record(healthy=True)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.check()  # admitting again
+
+    def test_unhealthy_probe_reopens_for_a_fresh_window(self, breaker, clock):
+        self._open(breaker)
+        clock.advance(10.0)
+        breaker.check()
+        breaker.record(healthy=False)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(9.9)
+        with pytest.raises(BreakerOpen):
+            breaker.check()
+        clock.advance(0.2)
+        breaker.check()  # half-open again
+
+    def test_to_dict_reports_state(self, breaker):
+        self._open(breaker)
+        dump = breaker.to_dict()
+        assert dump["state"] == "open"
+        assert dump["consecutive_failures"] == 3
+
+
+class TestBoard:
+    def test_one_breaker_per_key(self, clock):
+        board = BreakerBoard(clock=clock)
+        a = board.for_key(("x", "y"))
+        assert board.for_key(("x", "y")) is a
+        assert board.for_key(("z",)) is not a
+
+    def test_keys_are_isolated(self, clock):
+        board = BreakerBoard(failure_threshold=1, clock=clock)
+        board.for_key("bad").record(healthy=False)
+        with pytest.raises(BreakerOpen):
+            board.for_key("bad").check()
+        board.for_key("good").check()  # untouched group still admits
+
+    def test_states_and_open_count(self, clock):
+        board = BreakerBoard(failure_threshold=1, clock=clock)
+        board.for_key("a").record(healthy=False)
+        board.for_key("b").record(healthy=True)
+        states = board.states()
+        assert states["a"]["state"] == "open"
+        assert states["b"]["state"] == "closed"
+        assert board.open_count() == 1

@@ -1,0 +1,150 @@
+"""Request conservation under random overload/drain schedules (hypothesis).
+
+The serving daemon's core accounting invariant: **every admitted request
+is accounted for exactly once** — as completed, failed, shed (refused at
+the door, never admitted), or drained-to-journal.  No request is lost, no
+request settles twice, regardless of queue pressure, engine failures,
+duplicate/invalid submissions, or where in the schedule the drain lands.
+
+Hypothesis drives randomized schedules over a gate-blocked fake engine
+(so queue pressure is real) and checks the books after the drain.
+"""
+
+import threading
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import LitmusConfig
+from repro.network.changes import ChangeEvent, ChangeLog, ChangeType
+from repro.serve import AssessmentService, AssessRequest, ServeConfig, ShedError
+from repro.serve.requests import RequestState
+
+CHANGE_IDS = ("alpha", "beta", "gamma")
+
+
+def build_service(n_workers, queue_depth, gate, fail_ids):
+    log = ChangeLog(
+        [
+            ChangeEvent(cid, ChangeType.CONFIGURATION, 85, frozenset({f"rnc-{cid}"}))
+            for cid in CHANGE_IDS
+        ]
+    )
+
+    class Engine:
+        def assess(self, change, kpis=(), window_days=None, after_offset_days=0, deadline=None):
+            gate.wait(10.0)
+            if change.change_id in fail_ids:
+                raise RuntimeError("scheduled failure")
+
+            class Report:
+                quality = None
+                failures = ()
+                control_group = ("c1", "c2", "c3")
+
+                @staticmethod
+                def to_dict():
+                    return {"change_id": change.change_id}
+
+            return Report()
+
+    return AssessmentService(
+        topology=None,
+        store=None,
+        config=LitmusConfig(n_workers=1),
+        change_log=log,
+        serve_config=ServeConfig(
+            n_workers=n_workers,
+            queue_depth=queue_depth,
+            # A very high breaker threshold: breaker sheds are exercised in
+            # test_service; here they would only obscure the accounting.
+            breaker_failure_threshold=10_000,
+        ),
+        engine_factory=lambda topo, store, cfg, log_: Engine(),
+    )
+
+
+submissions = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=9),  # request-id slot (dups likely)
+        st.sampled_from(CHANGE_IDS + ("unknown-change",)),
+        st.booleans(),  # engine fails this change id
+    ),
+    min_size=1,
+    max_size=14,
+)
+
+
+@given(
+    plan=submissions,
+    n_workers=st.integers(min_value=1, max_value=2),
+    queue_depth=st.integers(min_value=1, max_value=4),
+    release_before_drain=st.booleans(),
+    late_submits=st.integers(min_value=0, max_value=2),
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_every_admitted_request_settles_exactly_once(
+    plan, n_workers, queue_depth, release_before_drain, late_submits
+):
+    gate = threading.Event()
+    fail_ids = {cid for _, cid, fails in plan if fails and cid != "unknown-change"}
+    service = build_service(n_workers, queue_depth, gate, fail_ids).start()
+
+    admitted_ids = []
+    shed_count = 0
+    for slot, change_id, _ in plan:
+        request_id = f"req-{slot}"
+        try:
+            service.submit(
+                AssessRequest(request_id=request_id, change_id=change_id)
+            )
+            admitted_ids.append(request_id)
+        except ShedError as shed:
+            assert shed.reason in ("queue-full", "invalid-request")
+            shed_count += 1
+
+    if release_before_drain:
+        gate.set()
+    drainer_result = []
+    drainer = threading.Thread(
+        target=lambda: drainer_result.append(service.drain(timeout=15.0))
+    )
+    drainer.start()
+    gate.set()  # no-op if already released
+    drainer.join(20.0)
+    assert not drainer.is_alive()
+    assert drainer_result and drainer_result[0].clean
+
+    # Submissions after the drain shed as draining, changing no accounting.
+    for i in range(late_submits):
+        try:
+            service.submit(
+                AssessRequest(request_id=f"late-{i}", change_id=CHANGE_IDS[0])
+            )
+            raise AssertionError("a draining service must not admit")
+        except ShedError as shed:
+            assert shed.reason == "draining"
+            shed_count += 1
+
+    counts = service.counts
+    # Conservation: submitted = admitted + shed, and every admitted
+    # request landed in exactly one terminal state.
+    assert counts["submitted"] == counts["admitted"] + shed_count
+    assert counts["admitted"] == len(admitted_ids)
+    assert (
+        counts["completed"] + counts["failed"] + counts["drained"]
+        == counts["admitted"]
+    )
+    # Each admitted id has exactly one result, in a terminal state.
+    for request_id in admitted_ids:
+        result = service.result(request_id, timeout=1.0)
+        assert result is not None, f"admitted request {request_id} vanished"
+        assert result.state in (
+            RequestState.COMPLETED,
+            RequestState.FAILED,
+            RequestState.DRAINED,
+        )

@@ -1,0 +1,158 @@
+"""The stdlib HTTP front end: health, readiness, stats, synchronous assess."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.config import LitmusConfig
+from repro.serve import AssessmentService, HttpFrontend, ServeConfig
+
+from .test_service import FakeEngine, make_log
+
+
+@pytest.fixture
+def stack():
+    engine = FakeEngine(fail_ids=set())
+    service = AssessmentService(
+        topology=None,
+        store=None,
+        config=LitmusConfig(n_workers=1),
+        change_log=make_log(),
+        serve_config=ServeConfig(n_workers=1, queue_depth=4),
+        engine_factory=lambda topo, store, cfg, log: engine,
+    ).start()
+    frontend = HttpFrontend(service, host="127.0.0.1", port=0).start()
+    yield service, frontend, engine
+    frontend.stop()
+    service.drain(timeout=5.0)
+
+
+def get(frontend, path):
+    url = f"http://127.0.0.1:{frontend.port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def post(frontend, path, payload):
+    url = f"http://127.0.0.1:{frontend.port}{path}"
+    body = json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            return response.status, json.loads(response.read()), dict(response.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+class TestProbes:
+    def test_healthz(self, stack):
+        _, frontend, _ = stack
+        status, body = get(frontend, "/healthz")
+        assert status == 200 and body == {"status": "ok"}
+
+    def test_readyz_while_accepting(self, stack):
+        _, frontend, _ = stack
+        status, body = get(frontend, "/readyz")
+        assert status == 200 and body == {"status": "ready"}
+
+    def test_readyz_503_once_draining(self, stack):
+        service, frontend, _ = stack
+        service.drain(timeout=5.0)
+        status, body = get(frontend, "/readyz")
+        assert status == 503 and body == {"status": "draining"}
+
+    def test_stats_shape(self, stack):
+        _, frontend, _ = stack
+        status, body = get(frontend, "/stats")
+        assert status == 200
+        assert body["accepting"] is True
+        assert body["queue_capacity"] == 4
+        assert "counts" in body and "breakers" in body
+
+    def test_unknown_route_404(self, stack):
+        _, frontend, _ = stack
+        status, _ = get(frontend, "/nope")
+        assert status == 404
+
+
+class TestAssessRoute:
+    def test_synchronous_verdict(self, stack):
+        _, frontend, _ = stack
+        status, body, _ = post(
+            frontend, "/assess", {"request_id": "r1", "change_id": "good"}
+        )
+        assert status == 200
+        assert body["state"] == "completed"
+        assert body["verdict"]["change_id"] == "good"
+
+    def test_invalid_request_is_400(self, stack):
+        _, frontend, _ = stack
+        status, body, _ = post(
+            frontend, "/assess", {"request_id": "r1", "change_id": "nope"}
+        )
+        assert status == 400
+        assert body["shed"] is True
+        assert body["reason"] == "invalid-request"
+
+    def test_malformed_body_is_400(self, stack):
+        _, frontend, _ = stack
+        status, body, _ = post(frontend, "/assess", {"bogus": 1})
+        assert status == 400
+        assert body["reason"] == "invalid-request"
+
+    def test_draining_is_503(self, stack):
+        service, frontend, _ = stack
+        service.drain(timeout=5.0)
+        status, body, _ = post(
+            frontend, "/assess", {"request_id": "r1", "change_id": "good"}
+        )
+        assert status == 503
+        assert body["reason"] == "draining"
+
+    def test_queue_full_is_429(self, stack):
+        service, frontend, engine = stack
+        gate = threading.Event()
+        engine.gate = gate
+        results = []
+
+        def fire(rid):
+            results.append(
+                post(frontend, "/assess", {"request_id": rid, "change_id": "good"})
+            )
+
+        threads = [threading.Thread(target=fire, args=("r0",))]
+        try:
+            # r0 occupies the single worker (blocked on the gate) ...
+            threads[0].start()
+            pause = threading.Event()
+            for _ in range(500):
+                if engine.calls:
+                    break
+                pause.wait(0.01)
+            assert engine.calls
+            # ... then queue_depth(4) more fill the admission queue.
+            for i in range(1, 5):
+                threads.append(threading.Thread(target=fire, args=(f"r{i}",)))
+                threads[-1].start()
+            for _ in range(500):
+                if get(frontend, "/stats")[1]["counts"]["admitted"] == 5:
+                    break
+                pause.wait(0.01)
+            status, body, _ = post(
+                frontend, "/assess", {"request_id": "r-over", "change_id": "good"}
+            )
+            assert status == 429
+            assert body["reason"] == "queue-full"
+        finally:
+            gate.set()
+            for t in threads:
+                t.join(10.0)
+        assert all(status == 200 for status, _, _ in results)

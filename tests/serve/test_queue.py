@@ -1,0 +1,107 @@
+"""The bounded admission queue: capacity, close, and drain semantics."""
+
+import threading
+
+import pytest
+
+from repro.serve.queue import AdmissionQueue
+
+
+class TestCapacity:
+    def test_offer_within_depth(self):
+        q = AdmissionQueue(3)
+        assert all(q.offer(i) for i in range(3))
+        assert len(q) == 3
+
+    def test_offer_refuses_at_capacity(self):
+        """The queue is the memory bound: it refuses instead of growing."""
+        q = AdmissionQueue(2)
+        assert q.offer("a") and q.offer("b")
+        assert not q.offer("c")
+        assert len(q) == 2
+
+    def test_take_frees_a_slot(self):
+        q = AdmissionQueue(1)
+        assert q.offer("a")
+        assert not q.offer("b")
+        assert q.take(timeout=0.1) == "a"
+        assert q.offer("b")
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            AdmissionQueue(0)
+
+    def test_peak_depth_is_high_water_mark(self):
+        q = AdmissionQueue(4)
+        for i in range(3):
+            q.offer(i)
+        q.take(timeout=0.1)
+        q.take(timeout=0.1)
+        assert q.peak_depth == 3
+
+
+class TestOrderingAndBlocking:
+    def test_fifo(self):
+        q = AdmissionQueue(5)
+        for i in range(5):
+            q.offer(i)
+        assert [q.take(timeout=0.1) for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_take_times_out_on_empty(self):
+        q = AdmissionQueue(1)
+        assert q.take(timeout=0.01) is None
+
+    def test_take_wakes_on_offer(self):
+        q = AdmissionQueue(1)
+        got = []
+
+        def taker():
+            got.append(q.take(timeout=5.0))
+
+        t = threading.Thread(target=taker)
+        t.start()
+        q.offer("x")
+        t.join(5.0)
+        assert got == ["x"]
+
+
+class TestCloseAndDrain:
+    def test_closed_queue_refuses_offers(self):
+        q = AdmissionQueue(2)
+        q.close()
+        assert not q.offer("a")
+
+    def test_closed_empty_queue_returns_none_immediately(self):
+        q = AdmissionQueue(2)
+        q.close()
+        assert q.take(timeout=10.0) is None  # no 10 s wait
+
+    def test_close_leaves_items_takeable(self):
+        q = AdmissionQueue(2)
+        q.offer("a")
+        q.close()
+        assert q.take(timeout=0.1) == "a"
+        assert q.take(timeout=0.1) is None
+
+    def test_drain_returns_pending_in_order_and_closes(self):
+        q = AdmissionQueue(4)
+        for i in range(3):
+            q.offer(i)
+        assert q.drain() == [0, 1, 2]
+        assert q.closed
+        assert len(q) == 0
+        assert not q.offer("late")
+
+    def test_drain_wakes_blocked_takers(self):
+        q = AdmissionQueue(1)
+        got = []
+
+        def taker():
+            got.append(q.take(timeout=5.0))
+
+        t = threading.Thread(target=taker)
+        t.start()
+        q.drain()
+        t.join(5.0)
+        assert not t.is_alive()
+        assert got == [None]

@@ -1,0 +1,81 @@
+"""Request/result vocabulary: validation, round-trips, typed sheds."""
+
+import pytest
+
+from repro.serve.requests import (
+    SHED_REASONS,
+    AssessRequest,
+    RequestResult,
+    RequestState,
+    ShedError,
+)
+
+
+class TestAssessRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="request_id"):
+            AssessRequest(request_id="", change_id="c")
+        with pytest.raises(ValueError, match="change_id"):
+            AssessRequest(request_id="r", change_id="")
+        with pytest.raises(ValueError, match="after_offset_days"):
+            AssessRequest(request_id="r", change_id="c", after_offset_days=-1)
+        with pytest.raises(ValueError, match="deadline_s"):
+            AssessRequest(request_id="r", change_id="c", deadline_s=0.0)
+
+    def test_round_trip(self):
+        req = AssessRequest(
+            request_id="r1",
+            change_id="ffa",
+            kpis=("voice-retainability",),
+            window_days=14,
+            deadline_s=30.0,
+        )
+        assert AssessRequest.from_dict(req.to_dict()) == req
+
+    def test_from_dict_rejects_unknown_fields(self):
+        """Journaled payloads from a newer schema must fail loudly."""
+        with pytest.raises(ValueError, match="unknown request field"):
+            AssessRequest.from_dict(
+                {"request_id": "r", "change_id": "c", "priority": 9}
+            )
+
+    def test_from_dict_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            AssessRequest.from_dict(["not", "a", "dict"])
+
+
+class TestRequestResult:
+    def test_round_trip(self):
+        result = RequestResult(
+            request_id="r1",
+            state=RequestState.FAILED,
+            failure_category="timeout",
+            failure_message="too slow",
+            queued_s=0.25,
+            run_s=1.5,
+            meta={"change_id": "ffa"},
+        )
+        assert RequestResult.from_dict(result.to_dict()) == result
+
+    def test_ok_only_for_completed(self):
+        done = RequestResult("r", RequestState.COMPLETED, verdict={"v": 1})
+        assert done.ok
+        for state in (RequestState.FAILED, RequestState.DRAINED):
+            assert not RequestResult("r", state).ok
+
+
+class TestShedError:
+    def test_reason_must_be_typed(self):
+        with pytest.raises(ValueError, match="unknown shed reason"):
+            ShedError("because")
+
+    @pytest.mark.parametrize("reason", SHED_REASONS)
+    def test_every_reason_constructs(self, reason):
+        shed = ShedError(reason, detail="d")
+        assert shed.reason == reason
+        assert shed.to_dict()["shed"] is True
+
+    def test_retry_hint_serialized(self):
+        shed = ShedError("breaker-open", retry_after_s=12.3456)
+        assert shed.to_dict()["retry_after_s"] == 12.346
+        assert "retry_after_s" not in ShedError("queue-full").to_dict()

@@ -1,0 +1,142 @@
+"""Drain → checkpoint → ``resume_service`` byte-identical replay."""
+
+import json
+
+import pytest
+
+from repro.core import Litmus, LitmusConfig
+from repro.runstate import servicestate
+from repro.runstate.journal import JOURNAL_FILE, recover_journal
+from repro.runstate.ledger import LedgerDivergence
+from repro.serve import AssessmentService, AssessRequest, ServeConfig
+from repro.serve.checkpoint import is_service_dir, resume_service
+
+
+@pytest.fixture(scope="module")
+def world_files(tmp_path_factory):
+    """A small simulated deployment written to disk (spec needs paths)."""
+    import os
+
+    from repro.external.factors import goodness_magnitude
+    from repro.io import changelog_to_json, write_store_csv, write_topology_json
+    from repro.kpi import KpiKind, LevelShift, generate_kpis
+    from repro.network import (
+        ChangeEvent,
+        ChangeLog,
+        ChangeType,
+        ElementRole,
+        build_network,
+    )
+    from repro.runstate.atomic import atomic_write_text
+
+    directory = tmp_path_factory.mktemp("world")
+    topo = build_network(seed=5, controllers_per_region=8, towers_per_controller=2)
+    store = generate_kpis(topo, [KpiKind.VOICE_RETAINABILITY], seed=5)
+    rncs = topo.elements(role=ElementRole.RNC)
+    log = ChangeLog(
+        [
+            ChangeEvent(
+                "up", ChangeType.CONFIGURATION, 85, frozenset({rncs[0].element_id})
+            ),
+            ChangeEvent(
+                "down", ChangeType.SOFTWARE_UPGRADE, 85, frozenset({rncs[1].element_id})
+            ),
+        ]
+    )
+    vr = KpiKind.VOICE_RETAINABILITY
+    store.apply_effect(rncs[0].element_id, vr, LevelShift(goodness_magnitude(vr, 4.0), 85))
+
+    write_topology_json(topo, os.path.join(directory, "topology.json"))
+    write_store_csv(store, os.path.join(directory, "kpis.csv"))
+    atomic_write_text(os.path.join(directory, "changes.json"), changelog_to_json(log))
+    return {
+        "topology": os.path.join(directory, "topology.json"),
+        "kpis": os.path.join(directory, "kpis.csv"),
+        "changes": os.path.join(directory, "changes.json"),
+    }
+
+
+def drain_with_pending(world_files, journal_dir, request_ids):
+    """Run a daemon over the real world files and drain before any work."""
+    from pathlib import Path
+
+    from repro.io import changelog_from_json, read_store_csv, read_topology_json
+
+    config = LitmusConfig(n_workers=1)
+    servicestate.ServiceSpec.build(
+        world_files["topology"],
+        world_files["kpis"],
+        world_files["changes"],
+        config=config,
+    ).save(str(journal_dir))
+    topo = read_topology_json(world_files["topology"])
+    store = read_store_csv(world_files["kpis"])
+    log = changelog_from_json(Path(world_files["changes"]).read_text())
+
+    # One worker + immediate drain: most (usually all) requests stay queued.
+    service = AssessmentService(
+        topo,
+        store,
+        config,
+        log,
+        serve_config=ServeConfig(n_workers=1, queue_depth=len(request_ids)),
+        journal_dir=str(journal_dir),
+    ).start()
+    for i, change_id in enumerate(request_ids):
+        service.submit(AssessRequest(request_id=f"r{i}", change_id=change_id))
+    report = service.drain(timeout=30.0)
+    assert report.clean
+    return config, topo, store, log
+
+
+class TestResume:
+    def test_resume_completes_pending_byte_identically(self, world_files, tmp_path):
+        config, topo, store, log = drain_with_pending(
+            world_files, tmp_path, ["up", "down", "up"]
+        )
+        assert is_service_dir(str(tmp_path))
+
+        summary = resume_service(str(tmp_path))
+        assert summary["n_resumed"] + summary["n_already_settled"] == 3
+        assert summary["n_results"] == 3
+
+        results = json.loads((tmp_path / servicestate.RESULTS_FILE).read_text())
+        assert [r["request_id"] for r in results] == ["r0", "r1", "r2"]
+        assert all(r["state"] == "completed" for r in results)
+
+        # Byte-identical: the daemon would have produced exactly these
+        # verdicts (pure function of input files, config, seed).
+        engine = Litmus(topo, store, config, change_log=log)
+        for result, change_id in zip(results, ["up", "down", "up"]):
+            expected = engine.assess(log.get(change_id)).to_dict()
+            assert json.dumps(result["verdict"], sort_keys=True) == json.dumps(
+                expected, sort_keys=True
+            )
+
+    def test_resume_is_idempotent(self, world_files, tmp_path):
+        drain_with_pending(world_files, tmp_path, ["up"])
+        first = resume_service(str(tmp_path))
+        second = resume_service(str(tmp_path))
+        assert second["n_resumed"] == 0
+        assert second["n_already_settled"] == first["n_results"]
+        records = recover_journal(str(tmp_path / JOURNAL_FILE)).records
+        assert servicestate.pending_requests(records) == []
+
+    def test_resume_refuses_foreign_config(self, world_files, tmp_path):
+        """A journal written under one config cannot resume under another."""
+        drain_with_pending(world_files, tmp_path, ["up"])
+        spec = servicestate.ServiceSpec.load(str(tmp_path))
+        tampered = dict(spec.config)
+        tampered["seed"] = (tampered.get("seed") or 0) + 1
+        servicestate.ServiceSpec(
+            topology=spec.topology,
+            kpis=spec.kpis,
+            changes=spec.changes,
+            config=tampered,
+            serve=spec.serve,
+        ).save(str(tmp_path))
+        with pytest.raises(LedgerDivergence, match="different run"):
+            resume_service(str(tmp_path))
+
+    def test_is_service_dir(self, tmp_path):
+        assert not is_service_dir(str(tmp_path))

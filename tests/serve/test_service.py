@@ -1,0 +1,378 @@
+"""AssessmentService behaviour with a controllable fake engine.
+
+The fake engine makes the interesting schedules deterministic: a gate
+blocks workers inside ``assess`` (queue pressure on demand), a failure
+set makes chosen changes raise (breaker food), and an injectable clock
+drives deadlines, breakers, and the watchdog without real waiting.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.config import LitmusConfig
+from repro.network.changes import ChangeEvent, ChangeLog, ChangeType
+from repro.runstate.journal import JOURNAL_FILE, recover_journal
+from repro.runstate import servicestate
+from repro.serve import (
+    AssessmentService,
+    AssessRequest,
+    RequestState,
+    ServeConfig,
+    ShedError,
+)
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+        self._lock = threading.Lock()
+
+    def __call__(self):
+        with self._lock:
+            return self.now
+
+    def advance(self, seconds):
+        with self._lock:
+            self.now += seconds
+
+
+class FakeReport:
+    def __init__(self, change_id):
+        self.change_id = change_id
+        self.quality = None
+        self.failures = ()
+        self.control_group = ("c1", "c2", "c3")
+
+    def to_dict(self):
+        return {"change_id": self.change_id, "overall_verdict": "no-change"}
+
+
+class FakeEngine:
+    """Deterministic stand-in for Litmus (no ``selector`` attribute)."""
+
+    def __init__(self, gate=None, fail_ids=()):
+        self.gate = gate
+        self.fail_ids = set(fail_ids)
+        self.calls = []
+        self._lock = threading.Lock()
+
+    def assess(self, change, kpis=(), window_days=None, after_offset_days=0, deadline=None):
+        with self._lock:
+            self.calls.append(change.change_id)
+        if self.gate is not None:
+            self.gate.wait(10.0)
+        if change.change_id in self.fail_ids:
+            raise RuntimeError(f"engine failure for {change.change_id}")
+        return FakeReport(change.change_id)
+
+
+def make_log():
+    return ChangeLog(
+        [
+            ChangeEvent("good", ChangeType.CONFIGURATION, 85, frozenset({"rnc-1"})),
+            ChangeEvent("bad", ChangeType.CONFIGURATION, 85, frozenset({"rnc-2"})),
+            ChangeEvent("other", ChangeType.CONFIGURATION, 85, frozenset({"rnc-3"})),
+        ]
+    )
+
+
+def make_service(engine, clock=None, journal_dir=None, **serve_kwargs):
+    serve_kwargs.setdefault("n_workers", 1)
+    serve_kwargs.setdefault("watchdog_interval_s", 0.05)
+    return AssessmentService(
+        topology=None,
+        store=None,
+        config=LitmusConfig(n_workers=1),
+        change_log=make_log(),
+        serve_config=ServeConfig(**serve_kwargs),
+        journal_dir=journal_dir,
+        clock=clock or time.monotonic,
+        engine_factory=lambda topo, store, cfg, log: engine,
+    )
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestHappyPath:
+    def test_submit_and_result(self):
+        service = make_service(FakeEngine()).start()
+        try:
+            rid = service.submit(AssessRequest(request_id="r1", change_id="good"))
+            result = service.result(rid, timeout=5.0)
+            assert result.state is RequestState.COMPLETED
+            assert result.verdict == {"change_id": "good", "overall_verdict": "no-change"}
+            assert service.counts["admitted"] == 1
+            assert service.counts["completed"] == 1
+        finally:
+            service.drain(timeout=5.0)
+
+    def test_engine_failure_settles_as_typed_failure(self):
+        service = make_service(FakeEngine(fail_ids={"bad"})).start()
+        try:
+            rid = service.submit(AssessRequest(request_id="r1", change_id="bad"))
+            result = service.result(rid, timeout=5.0)
+            assert result.state is RequestState.FAILED
+            assert result.failure_category == "runtime"
+            assert "engine failure" in result.failure_message
+        finally:
+            service.drain(timeout=5.0)
+
+    def test_result_for_unknown_id_is_none(self):
+        service = make_service(FakeEngine()).start()
+        try:
+            assert service.result("never-submitted", timeout=0.01) is None
+        finally:
+            service.drain(timeout=5.0)
+
+
+class TestAdmissionControl:
+    def test_duplicate_request_id_sheds(self):
+        service = make_service(FakeEngine()).start()
+        try:
+            service.submit(AssessRequest(request_id="r1", change_id="good"))
+            with pytest.raises(ShedError) as exc:
+                service.submit(AssessRequest(request_id="r1", change_id="good"))
+            assert exc.value.reason == "invalid-request"
+            assert "duplicate" in exc.value.detail
+        finally:
+            service.drain(timeout=5.0)
+
+    def test_unknown_change_sheds(self):
+        service = make_service(FakeEngine()).start()
+        try:
+            with pytest.raises(ShedError) as exc:
+                service.submit(AssessRequest(request_id="r1", change_id="nope"))
+            assert exc.value.reason == "invalid-request"
+        finally:
+            service.drain(timeout=5.0)
+
+    def test_unknown_kpi_sheds(self):
+        service = make_service(FakeEngine()).start()
+        try:
+            with pytest.raises(ShedError) as exc:
+                service.submit(
+                    AssessRequest(request_id="r1", change_id="good", kpis=("nope",))
+                )
+            assert exc.value.reason == "invalid-request"
+        finally:
+            service.drain(timeout=5.0)
+
+    def test_queue_full_sheds_typed(self):
+        """At capacity the service refuses — memory stays bounded."""
+        gate = threading.Event()
+        engine = FakeEngine(gate=gate)
+        service = make_service(engine, n_workers=1, queue_depth=2).start()
+        try:
+            service.submit(AssessRequest(request_id="r0", change_id="good"))
+            assert wait_until(lambda: engine.calls)  # r0 occupies the worker
+            service.submit(AssessRequest(request_id="r1", change_id="good"))
+            service.submit(AssessRequest(request_id="r2", change_id="good"))
+            with pytest.raises(ShedError) as exc:
+                service.submit(AssessRequest(request_id="r3", change_id="good"))
+            assert exc.value.reason == "queue-full"
+            assert service.counts["shed"] == {"queue-full": 1}
+        finally:
+            gate.set()
+            service.drain(timeout=5.0)
+
+    def test_submit_before_start_sheds_draining(self):
+        service = make_service(FakeEngine())
+        with pytest.raises(ShedError) as exc:
+            service.submit(AssessRequest(request_id="r1", change_id="good"))
+        assert exc.value.reason == "draining"
+
+
+class TestBreakers:
+    def test_breaker_opens_per_control_group(self):
+        clock = FakeClock()
+        engine = FakeEngine(fail_ids={"bad"})
+        service = make_service(
+            engine, clock=clock, breaker_failure_threshold=2, breaker_recovery_s=10.0
+        ).start()
+        try:
+            for i in range(2):
+                rid = service.submit(
+                    AssessRequest(request_id=f"r{i}", change_id="bad")
+                )
+                assert service.result(rid, timeout=5.0).state is RequestState.FAILED
+            with pytest.raises(ShedError) as exc:
+                service.submit(AssessRequest(request_id="r2", change_id="bad"))
+            assert exc.value.reason == "breaker-open"
+            assert exc.value.retry_after_s is not None
+            # A different change (different control group) still admits.
+            rid = service.submit(AssessRequest(request_id="r3", change_id="good"))
+            assert service.result(rid, timeout=5.0).state is RequestState.COMPLETED
+        finally:
+            service.drain(timeout=5.0)
+
+    def test_half_open_probe_recovers(self):
+        clock = FakeClock()
+        engine = FakeEngine(fail_ids={"bad"})
+        service = make_service(
+            engine, clock=clock, breaker_failure_threshold=1, breaker_recovery_s=5.0
+        ).start()
+        try:
+            rid = service.submit(AssessRequest(request_id="r0", change_id="bad"))
+            service.result(rid, timeout=5.0)
+            with pytest.raises(ShedError):
+                service.submit(AssessRequest(request_id="r1", change_id="bad"))
+            engine.fail_ids.clear()  # the group's data recovered
+            clock.advance(5.0)
+            rid = service.submit(AssessRequest(request_id="r2", change_id="bad"))
+            assert service.result(rid, timeout=5.0).state is RequestState.COMPLETED
+            assert service.stats()["open_breakers"] == 0
+        finally:
+            service.drain(timeout=5.0)
+
+
+class TestDrain:
+    def test_drain_checkpoints_queued_requests(self, tmp_path):
+        gate = threading.Event()
+        engine = FakeEngine(gate=gate)
+        service = make_service(
+            engine, n_workers=1, queue_depth=4, journal_dir=str(tmp_path)
+        ).start()
+        service.submit(AssessRequest(request_id="r0", change_id="good"))
+        assert wait_until(lambda: engine.calls)
+        for i in range(1, 4):
+            service.submit(AssessRequest(request_id=f"r{i}", change_id="good"))
+        drainer = threading.Thread(target=lambda: gate.set())
+        drainer.start()
+        report = service.drain(timeout=10.0)
+        drainer.join()
+        assert report.clean
+        assert set(report.drained_ids) == {"r1", "r2", "r3"}
+        for rid in report.drained_ids:
+            assert service.result(rid, timeout=1.0).state is RequestState.DRAINED
+        # r0 was in flight and finished normally.
+        assert service.result("r0", timeout=1.0).state is RequestState.COMPLETED
+
+        records = recover_journal(str(tmp_path / JOURNAL_FILE)).records
+        pending = servicestate.pending_requests(records)
+        assert [p["request_id"] for p in pending] == ["r1", "r2", "r3"]
+        done = servicestate.done_results(records)
+        assert [d["request_id"] for d in done] == ["r0"]
+
+    def test_submit_after_drain_sheds_draining(self):
+        service = make_service(FakeEngine()).start()
+        service.drain(timeout=5.0)
+        with pytest.raises(ShedError) as exc:
+            service.submit(AssessRequest(request_id="r1", change_id="good"))
+        assert exc.value.reason == "draining"
+        assert not service.accepting
+
+    def test_drain_is_idempotent(self):
+        service = make_service(FakeEngine()).start()
+        first = service.drain(timeout=5.0)
+        second = service.drain(timeout=5.0)
+        assert first.clean and second.clean
+        assert second.n_drained == 0
+
+    def test_restart_restores_journaled_backlog(self, tmp_path):
+        """A restarted daemon re-admits what the drain checkpointed."""
+        gate = threading.Event()
+        service = make_service(
+            FakeEngine(gate=gate), n_workers=1, queue_depth=4,
+            journal_dir=str(tmp_path),
+        ).start()
+        service.submit(AssessRequest(request_id="r0", change_id="good"))
+        service.submit(AssessRequest(request_id="r1", change_id="bad"))
+        gate.set()
+        drained = service.drain(timeout=10.0).drained_ids
+
+        revived = make_service(
+            FakeEngine(), n_workers=1, queue_depth=4, journal_dir=str(tmp_path)
+        ).start()
+        try:
+            assert revived.counts["restored_from_journal"] == len(drained)
+            for rid in drained:
+                result = revived.result(rid, timeout=5.0)
+                assert result.state is RequestState.COMPLETED
+        finally:
+            revived.drain(timeout=5.0)
+
+
+class TestWatchdog:
+    def test_stuck_worker_is_failed_and_replaced(self):
+        clock = FakeClock()
+        gate = threading.Event()
+        engine = FakeEngine(gate=gate)
+        service = make_service(
+            engine,
+            clock=clock,
+            n_workers=1,
+            default_deadline_s=1.0,
+            watchdog_grace_s=1.0,
+            watchdog_interval_s=0.05,
+        ).start()
+        try:
+            rid = service.submit(AssessRequest(request_id="r0", change_id="good"))
+            assert wait_until(lambda: engine.calls)
+            clock.advance(5.0)  # past deadline (1 s) + grace (1 s)
+            result = service.result(rid, timeout=5.0)
+            assert result.state is RequestState.FAILED
+            assert result.failure_category == "timeout"
+            assert "recycled" in result.failure_message
+            # Capacity was not lost: a replacement worker serves new requests.
+            assert wait_until(lambda: service.stats()["workers"] == 1)
+            assert service.stats()["zombie_workers"] == 1
+            assert service.counts["workers_recycled"] == 1
+            gate.set()  # release the zombie
+            rid2 = service.submit(AssessRequest(request_id="r1", change_id="good"))
+            assert service.result(rid2, timeout=5.0).state is RequestState.COMPLETED
+            # The zombie's late result was discarded (first writer wins).
+            assert service.counts["failed"] == 1
+            assert service.counts["completed"] == 1
+        finally:
+            gate.set()
+            service.drain(timeout=5.0)
+
+
+class TestRetention:
+    def test_results_evicted_fifo_beyond_cap(self):
+        service = make_service(FakeEngine(), max_retained_results=2).start()
+        try:
+            for i in range(3):
+                rid = service.submit(
+                    AssessRequest(request_id=f"r{i}", change_id="good")
+                )
+                assert service.result(rid, timeout=5.0) is not None
+            assert service.result("r0", timeout=0.01) is None  # evicted
+            assert service.result("r2", timeout=0.01) is not None
+            assert service.counts["results_evicted"] == 1
+        finally:
+            service.drain(timeout=5.0)
+
+
+class TestExpiredWhileQueued:
+    def test_deadline_expired_in_queue_fails_without_running(self):
+        clock = FakeClock()
+        gate = threading.Event()
+        engine = FakeEngine(gate=gate)
+        service = make_service(
+            engine, clock=clock, n_workers=1, queue_depth=4,
+            default_deadline_s=1.0, watchdog_grace_s=100.0,
+        ).start()
+        try:
+            service.submit(AssessRequest(request_id="r0", change_id="good"))
+            assert wait_until(lambda: engine.calls)
+            service.submit(AssessRequest(request_id="r1", change_id="other"))
+            clock.advance(2.0)  # r1's deadline expires while it waits
+            gate.set()
+            result = service.result("r1", timeout=5.0)
+            assert result.state is RequestState.FAILED
+            assert result.failure_category == "timeout"
+            assert "before execution" in result.failure_message
+            assert engine.calls.count("other") == 0  # never ran
+        finally:
+            gate.set()
+            service.drain(timeout=5.0)

@@ -1,5 +1,7 @@
 """Tests for repro.stats.rank_tests."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -53,9 +55,11 @@ class TestMannWhitney:
         y = [2.0, 3.0, 4.0]
         assert mann_whitney_u(x, y).method == "mann-whitney-normal"
 
-    def test_all_constant_p_one(self):
+    def test_all_constant_is_typed_inconclusive(self):
         res = mann_whitney_u([3.0] * 15, [3.0] * 15)
         assert res.p_value == 1.0
+        assert res.inconclusive == "all-tied"
+        assert not res.significant()
 
     def test_shift_detected_large_sample(self):
         rng = np.random.default_rng(3)
@@ -99,10 +103,14 @@ class TestFlignerPolicello:
     def test_identical_constants(self):
         res = fligner_policello([2.0, 2.0, 2.0], [2.0, 2.0, 2.0])
         assert res.p_value == 1.0
+        assert res.inconclusive == "all-tied"
 
-    def test_minimum_size_enforced(self):
-        with pytest.raises(ValueError, match="at least 2"):
-            fligner_policello([1.0], [1.0, 2.0])
+    def test_below_minimum_size_is_typed_inconclusive(self):
+        """A too-small sample used to raise; now it declines to decide."""
+        res = fligner_policello([1.0], [1.0, 2.0])
+        assert res.inconclusive == "too-few-samples"
+        assert res.p_value == 1.0
+        assert not res.significant()
 
     def test_antisymmetric_statistic(self):
         rng = np.random.default_rng(6)
@@ -136,7 +144,9 @@ class TestWelchT:
         assert res.p_value == pytest.approx(0.107531, abs=1e-4)
 
     def test_zero_variance_identical(self):
-        assert welch_t([1.0, 1.0], [1.0, 1.0]).p_value == 1.0
+        res = welch_t([1.0, 1.0], [1.0, 1.0])
+        assert res.p_value == 1.0
+        assert res.inconclusive == "all-tied"
 
     def test_not_outlier_robust(self):
         """Documents why the paper prefers rank tests: one outlier can move
@@ -209,6 +219,68 @@ def test_shift_increases_evidence_property(x, delta):
     base = fligner_policello(x + delta, x, Alternative.GREATER).p_value
     more = fligner_policello(x + 2 * delta, x, Alternative.GREATER).p_value
     assert more <= base + 1e-9
+
+
+class TestInconclusiveOutcomes:
+    """Degenerate inputs settle as typed inconclusive results — never NaN,
+    never a raise: one unit case per reason, per test."""
+
+    ALL_TESTS = (mann_whitney_u, fligner_policello, welch_t)
+
+    @pytest.mark.parametrize("fn", (fligner_policello, welch_t))
+    def test_too_few_samples(self, fn):
+        for x, y in (([1.0], [1.0, 2.0]), ([1.0, 2.0], [3.0])):
+            res = fn(x, y)
+            assert res.inconclusive == "too-few-samples"
+            assert res.p_value == 1.0
+            assert not math.isnan(res.statistic)
+
+    @pytest.mark.parametrize("fn", ALL_TESTS)
+    def test_all_tied_ranks(self, fn):
+        res = fn([7.0, 7.0, 7.0], [7.0, 7.0, 7.0, 7.0])
+        assert res.inconclusive == "all-tied"
+        assert res.p_value == 1.0
+        assert not math.isnan(res.statistic)
+
+    @pytest.mark.parametrize("fn", ALL_TESTS)
+    def test_two_different_constants(self, fn):
+        """Both series constant at different levels: zero within-sample
+        variance, so no test statistic is defined — typed inconclusive,
+        not an infinite statistic or a NaN p-value."""
+        res = fn([1.0, 1.0, 1.0], [2.0, 2.0, 2.0])
+        assert res.inconclusive == "constant-input"
+        assert res.p_value == 1.0
+        assert not res.significant(alpha=0.9999)
+
+    @pytest.mark.parametrize("fn", ALL_TESTS)
+    def test_conclusive_results_unmarked(self, fn):
+        res = fn([1.0, 2.0, 3.0, 4.0], [2.0, 3.0, 4.0, 5.0])
+        assert res.conclusive
+        assert res.inconclusive is None
+
+    def test_inconclusive_never_flips_a_verdict(self):
+        for x, y in (
+            ([5.0, 5.0, 5.0], [5.0, 5.0, 5.0]),  # all tied
+            ([1.0, 1.0, 1.0], [9.0, 9.0, 9.0]),  # two constants
+            ([1.0], [2.0, 3.0]),  # below minimum n
+        ):
+            assert compare_windows(x, y) is Direction.NO_CHANGE
+
+    def test_unknown_reason_rejected(self):
+        from repro.stats.rank_tests import _inconclusive
+
+        with pytest.raises(ValueError, match="unknown inconclusive reason"):
+            _inconclusive("shrug", Alternative.TWO_SIDED, "m")
+
+    def test_reasons_are_exported(self):
+        from repro.stats import INCONCLUSIVE_REASONS, MIN_SAMPLES
+
+        assert INCONCLUSIVE_REASONS == (
+            "too-few-samples",
+            "all-tied",
+            "constant-input",
+        )
+        assert MIN_SAMPLES == 2
 
 
 class TestDataQualityError:

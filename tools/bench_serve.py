@@ -1,0 +1,328 @@
+#!/usr/bin/env python
+"""Overload acceptance benchmark for the streaming assessment service.
+
+Three phases against a real engine on a synthetic deployment:
+
+* **uncontended** — sequential requests on an idle daemon establish the
+  baseline p99 verdict latency;
+* **overload** — requests offered at ~2x measured capacity; acceptance
+  requires the daemon to shed *typed* rejections (never queue unbounded),
+  keep the admitted p99 within 3x the uncontended p99, keep the queue's
+  high-water mark within the configured depth (the memory bound), and
+  lose zero admitted requests (conservation: every admitted request
+  settles exactly once);
+* **drain/resume** — a graceful drain checkpoints queued requests into
+  the journal and ``resume_service`` completes them; the resumed verdicts
+  must be byte-identical to a fresh engine's.
+
+Writes ``BENCH_serve.json`` next to the repository root:
+
+    PYTHONPATH=src python tools/bench_serve.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core import Litmus, LitmusConfig  # noqa: E402
+from repro.external.factors import goodness_magnitude  # noqa: E402
+from repro.io import (  # noqa: E402
+    changelog_from_json,
+    changelog_to_json,
+    read_store_csv,
+    read_topology_json,
+    write_store_csv,
+    write_topology_json,
+)
+from repro.kpi import KpiKind, LevelShift, generate_kpis  # noqa: E402
+from repro.network import (  # noqa: E402
+    ChangeEvent,
+    ChangeLog,
+    ChangeType,
+    ElementRole,
+    build_network,
+)
+from repro.runstate.atomic import atomic_write_text  # noqa: E402
+from repro.runstate.servicestate import ServiceSpec  # noqa: E402
+from repro.serve import (  # noqa: E402
+    AssessmentService,
+    AssessRequest,
+    RequestState,
+    ServeConfig,
+    ShedError,
+)
+from repro.serve.checkpoint import resume_service  # noqa: E402
+
+CHANGE_DAY = 85
+SEED = 17
+
+
+def write_world(directory: Path, n_changes: int) -> dict:
+    topo = build_network(seed=SEED, controllers_per_region=10, towers_per_controller=2)
+    store = generate_kpis(topo, [KpiKind.VOICE_RETAINABILITY], seed=SEED)
+    rncs = topo.elements(role=ElementRole.RNC)
+    vr = KpiKind.VOICE_RETAINABILITY
+    events = []
+    for i in range(n_changes):
+        rnc = rncs[i % len(rncs)]
+        events.append(
+            ChangeEvent(
+                f"bench-change-{i}",
+                ChangeType.CONFIGURATION,
+                CHANGE_DAY,
+                frozenset({rnc.element_id}),
+            )
+        )
+        store.apply_effect(
+            rnc.element_id,
+            vr,
+            LevelShift(goodness_magnitude(vr, 4.0 if i % 2 == 0 else -4.0), CHANGE_DAY),
+        )
+    log = ChangeLog(events)
+    write_topology_json(topo, str(directory / "topology.json"))
+    write_store_csv(store, str(directory / "kpis.csv"))
+    atomic_write_text(str(directory / "changes.json"), changelog_to_json(log))
+    return {
+        "topology": str(directory / "topology.json"),
+        "kpis": str(directory / "kpis.csv"),
+        "changes": str(directory / "changes.json"),
+        "change_ids": [e.change_id for e in events],
+    }
+
+
+def build_service(world, journal_dir=None, n_workers=2, queue_depth=None):
+    topo = read_topology_json(world["topology"])
+    store = read_store_csv(world["kpis"])
+    log = changelog_from_json(Path(world["changes"]).read_text())
+    config = LitmusConfig(n_workers=1)
+    serve_config = ServeConfig(
+        n_workers=n_workers,
+        queue_depth=queue_depth or n_workers,
+        default_deadline_s=300.0,
+        breaker_failure_threshold=10_000,  # breakers exercised in tests, not here
+    )
+    if journal_dir is not None:
+        ServiceSpec.build(
+            world["topology"],
+            world["kpis"],
+            world["changes"],
+            config=config,
+            serve=serve_config.to_dict(),
+        ).save(str(journal_dir))
+    service = AssessmentService(
+        topo, store, config, log,
+        serve_config=serve_config,
+        journal_dir=str(journal_dir) if journal_dir else None,
+    )
+    return service, config, topo, store, log
+
+
+def phase_uncontended(service, change_ids, n_requests) -> dict:
+    """Sequential requests on an idle daemon: baseline latency."""
+    latencies = []
+    for i in range(n_requests):
+        rid = service.submit(
+            AssessRequest(
+                request_id=f"uncontended-{i}",
+                change_id=change_ids[i % len(change_ids)],
+            )
+        )
+        result = service.result(rid, timeout=120.0)
+        assert result is not None and result.state is RequestState.COMPLETED
+        latencies.append(result.queued_s + result.run_s)
+    return {
+        "n_requests": n_requests,
+        "p50_s": float(np.percentile(latencies, 50)),
+        "p99_s": float(np.percentile(latencies, 99)),
+        "mean_s": float(np.mean(latencies)),
+    }
+
+
+def phase_overload(service, change_ids, n_per_client) -> dict:
+    """Closed-loop saturation at 2x the daemon's carrying capacity.
+
+    ``2 * (queue_depth + n_workers)`` concurrent clients each keep one
+    request outstanding (submit, retry on shed, wait for the verdict), so
+    twice as many requests contend as the daemon can hold — overload is
+    structural, not dependent on sleep-timer accuracy.  Results are
+    fetched as they settle, so the retention buffer never evicts.
+    """
+    capacity = service.serve_config.queue_depth + service.n_workers
+    n_clients = 2 * capacity
+    lock = threading.Lock()
+    shed, states, latencies, lost = {}, {}, [], []
+
+    def client(c):
+        for k in range(n_per_client):
+            rid = f"overload-{c}-{k}"
+            while True:
+                try:
+                    service.submit(
+                        AssessRequest(
+                            request_id=rid,
+                            change_id=change_ids[(c + k) % len(change_ids)],
+                        )
+                    )
+                    break
+                except ShedError as exc:
+                    with lock:
+                        shed[exc.reason] = shed.get(exc.reason, 0) + 1
+                    time.sleep(0.002)
+            result = service.result(rid, timeout=120.0)
+            with lock:
+                if result is None:
+                    lost.append(rid)
+                elif result.state is RequestState.COMPLETED:
+                    states["completed"] = states.get("completed", 0) + 1
+                    latencies.append(result.queued_s + result.run_s)
+                else:
+                    states[result.state.value] = states.get(result.state.value, 0) + 1
+
+    threads = [
+        threading.Thread(target=client, args=(c,), name=f"bench-client-{c}")
+        for c in range(n_clients)
+    ]
+    started = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.monotonic() - started
+
+    admitted = n_clients * n_per_client
+    stats = service.stats()
+    return {
+        "n_clients": n_clients,
+        "offered": admitted + sum(shed.values()),
+        "admitted": admitted,
+        "elapsed_s": elapsed,
+        "shed": shed,
+        "admitted_states": states,
+        "lost": len(lost),
+        "admitted_p99_s": float(np.percentile(latencies, 99)) if latencies else None,
+        "queue_peak_depth": stats["queue_peak_depth"],
+        "queue_capacity": stats["queue_capacity"],
+    }
+
+
+def phase_drain_resume(world, n_requests) -> dict:
+    """Drain mid-batch, resume, compare verdicts byte-for-byte."""
+    journal_dir = Path(tempfile.mkdtemp(prefix="bench-serve-journal-"))
+    try:
+        service, config, topo, store, log = build_service(
+            world, journal_dir=journal_dir, n_workers=1, queue_depth=n_requests
+        )
+        service.start()
+        ids = []
+        for i in range(n_requests):
+            rid = service.submit(
+                AssessRequest(
+                    request_id=f"drain-{i}",
+                    change_id=world["change_ids"][i % len(world["change_ids"])],
+                )
+            )
+            ids.append(rid)
+        report = service.drain(timeout=120.0)
+
+        summary = resume_service(str(journal_dir))
+        results = json.loads((journal_dir / "results.json").read_text())
+
+        engine = Litmus(topo, store, config, change_log=log)
+        identical = 0
+        for i, result in enumerate(results):
+            expected = engine.assess(
+                log.get(world["change_ids"][i % len(world["change_ids"])])
+            ).to_dict()
+            if json.dumps(result["verdict"], sort_keys=True) == json.dumps(
+                expected, sort_keys=True
+            ):
+                identical += 1
+        return {
+            "n_requests": n_requests,
+            "drained": report.n_drained,
+            "inflight_completed": report.inflight_completed,
+            "resumed": summary["n_resumed"],
+            "results": len(results),
+            "byte_identical": identical,
+        }
+    finally:
+        shutil.rmtree(journal_dir, ignore_errors=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smoke mode: shorter phases")
+    parser.add_argument("--output", default=str(ROOT / "BENCH_serve.json"))
+    args = parser.parse_args()
+
+    n_uncontended = 6 if args.quick else 20
+    n_per_client = 10 if args.quick else 40
+    n_drain = 4 if args.quick else 8
+
+    world_dir = Path(tempfile.mkdtemp(prefix="bench-serve-world-"))
+    results = {"quick": args.quick}
+    try:
+        world = write_world(world_dir, n_changes=6)
+
+        service, *_ = build_service(world, n_workers=2)
+        service.start()
+        print("phase 1/3: uncontended baseline", flush=True)
+        results["uncontended"] = phase_uncontended(
+            service, world["change_ids"], n_uncontended
+        )
+        print(f"  p99 {results['uncontended']['p99_s'] * 1e3:.1f} ms", flush=True)
+
+        print("phase 2/3: 2x overload", flush=True)
+        results["overload"] = phase_overload(
+            service, world["change_ids"], n_per_client
+        )
+        service.drain(timeout=120.0)
+        ov = results["overload"]
+        print(
+            f"  offered {ov['offered']}, admitted {ov['admitted']}, "
+            f"shed {sum(ov['shed'].values())}, lost {ov['lost']}",
+            flush=True,
+        )
+
+        print("phase 3/3: drain/resume byte-identity", flush=True)
+        results["drain_resume"] = phase_drain_resume(world, n_drain)
+
+        # -- acceptance gates -----------------------------------------
+        uncontended_p99 = results["uncontended"]["p99_s"]
+        checks = {
+            "overload_sheds_typed": sum(ov["shed"].values()) > 0
+            and all(reason in ("queue-full",) for reason in ov["shed"]),
+            "admitted_p99_within_3x": ov["admitted_p99_s"] is not None
+            and ov["admitted_p99_s"] <= 3.0 * uncontended_p99,
+            "queue_bounded": ov["queue_peak_depth"] <= ov["queue_capacity"],
+            "zero_admitted_lost": ov["lost"] == 0
+            and sum(ov["admitted_states"].values()) == ov["admitted"],
+            "resume_byte_identical": results["drain_resume"]["byte_identical"]
+            == results["drain_resume"]["results"]
+            == results["drain_resume"]["n_requests"],
+        }
+        results["checks"] = checks
+        results["pass"] = all(checks.values())
+    finally:
+        shutil.rmtree(world_dir, ignore_errors=True)
+
+    Path(args.output).write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(checks, indent=2, sort_keys=True))
+    print(f"{'PASS' if results['pass'] else 'FAIL'} -> {args.output}")
+    return 0 if results["pass"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

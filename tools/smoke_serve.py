@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""End-to-end SIGTERM smoke for the `litmus serve` daemon.
+
+Drives the real CLI as subprocesses, the way an operator would:
+
+1. ``litmus simulate`` writes a synthetic deployment;
+2. ``litmus serve --journal`` starts the daemon on a free port;
+3. ``litmus health`` probes readyz; one synchronous ``POST /assess``
+   proves the request path end to end;
+4. a burst of fire-and-forget requests backlogs the queue, then SIGTERM
+   lands mid-flight — the daemon must drain cleanly: finish in-flight
+   work, checkpoint the queued remainder into the journal, and exit
+   with the checkpoint code (75);
+5. ``litmus resume`` completes the checkpointed requests and writes
+   ``results.json``; a second resume is a no-op (idempotent).
+
+Run from the repository root:
+
+    python tools/smoke_serve.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+ENV = {**os.environ, "PYTHONPATH": str(ROOT / "src")}
+CLI = [sys.executable, "-m", "repro.cli"]
+EXIT_CHECKPOINTED = 75
+N_BURST = 16
+
+
+def run_cli(*args, check=True):
+    proc = subprocess.run(
+        [*CLI, *args], env=ENV, capture_output=True, text=True, timeout=300
+    )
+    if check and proc.returncode != 0:
+        raise RuntimeError(
+            f"litmus {' '.join(args)} exited {proc.returncode}:\n"
+            f"{proc.stdout}{proc.stderr}"
+        )
+    return proc
+
+
+def get(port, path):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/{path}", timeout=10.0
+    ) as response:
+        return json.loads(response.read())
+
+
+def post_assess(port, payload, timeout):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/assess",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def fire_assess(port, payload):
+    """Send a POST /assess and return without reading the response.
+
+    Admission happens server-side on receipt, so the request is in the
+    daemon's books the moment the bytes land; the caller never blocks on
+    the verdict.  Returns the open socket (closed by the caller later).
+    """
+    body = json.dumps(payload).encode()
+    head = (
+        f"POST /assess HTTP/1.1\r\nHost: 127.0.0.1:{port}\r\n"
+        f"Content-Type: application/json\r\nContent-Length: {len(body)}\r\n\r\n"
+    ).encode()
+    sock = socket.create_connection(("127.0.0.1", port), timeout=5.0)
+    sock.sendall(head + body)
+    return sock
+
+
+def wait_until(predicate, timeout_s, what):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise RuntimeError(f"timed out waiting for {what}")
+
+
+def main() -> int:
+    world = Path(tempfile.mkdtemp(prefix="smoke-serve-world-"))
+    journal = Path(tempfile.mkdtemp(prefix="smoke-serve-journal-"))
+
+    print("== simulate world ==", flush=True)
+    run_cli("simulate", str(world), "--seed", "7")
+
+    print("== start daemon ==", flush=True)
+    daemon = subprocess.Popen(
+        [
+            *CLI,
+            "serve",
+            "--topology", str(world / "topology.json"),
+            "--kpis", str(world / "kpis.csv"),
+            "--changes", str(world / "changes.json"),
+            "--port", "0",
+            "--workers", "1",
+            "--queue-depth", str(N_BURST + 1),
+            "--journal", str(journal),
+        ],
+        env=ENV,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        banner = daemon.stdout.readline()
+        match = re.search(r"http://127\.0\.0\.1:(\d+)", banner)
+        assert match, f"no port in daemon banner: {banner!r}"
+        port = int(match.group(1))
+        print(f"  daemon on port {port}", flush=True)
+
+        print("== health probes ==", flush=True)
+        wait_until(
+            lambda: run_cli("health", "--port", str(port), check=False).returncode == 0,
+            10.0,
+            "readyz",
+        )
+        assert run_cli("health", "--port", str(port), "--endpoint", "healthz").returncode == 0
+        stats = get(port, "stats")
+        assert stats["accepting"] and stats["workers"] == 1, stats
+
+        print("== synchronous verdict ==", flush=True)
+        verdict = post_assess(
+            port, {"request_id": "warm", "change_id": "ffa-good"}, timeout=120.0
+        )
+        assert verdict["state"] == "completed", verdict
+        assert verdict["verdict"]["change_id"] == "ffa-good", verdict
+
+        print(f"== burst {N_BURST} requests, SIGTERM mid-flight ==", flush=True)
+        burst = [
+            fire_assess(
+                port,
+                {
+                    "request_id": f"burst-{i}",
+                    "change_id": "ffa-good" if i % 2 == 0 else "ffa-bad",
+                },
+            )
+            for i in range(N_BURST)
+        ]
+        wait_until(
+            lambda: get(port, "stats")["counts"]["admitted"] == N_BURST + 1,
+            10.0,
+            "burst admission",
+        )
+        daemon.send_signal(signal.SIGTERM)
+        out, _ = daemon.communicate(timeout=120)
+        for sock in burst:
+            sock.close()
+        print(out, flush=True)
+
+        drained = re.search(r"(\d+) checkpointed pending", out)
+        assert drained, f"no drain summary in daemon output:\n{out}"
+        n_pending = int(drained.group(1))
+        if n_pending:
+            assert daemon.returncode == EXIT_CHECKPOINTED, daemon.returncode
+        else:
+            # The engine outran the burst — legal, but the smoke loses
+            # its resume leg; fail loudly so the burst size gets bumped.
+            raise RuntimeError("drain left no pending requests; increase N_BURST")
+        print(f"  clean drain, {n_pending} pending", flush=True)
+
+        print("== resume ==", flush=True)
+        resumed = run_cli("resume", str(journal))
+        assert f"service resume: {n_pending} pending request(s) completed" in resumed.stdout, resumed.stdout
+        results = json.loads((journal / "results.json").read_text())
+        assert len(results) == N_BURST + 1, len(results)
+        assert all(r["state"] == "completed" for r in results), results
+
+        again = run_cli("resume", str(journal))
+        assert "service resume: 0 pending request(s) completed" in again.stdout, again.stdout
+
+        print("== daemon gone: health must fail ==", flush=True)
+        assert run_cli("health", "--port", str(port), check=False).returncode == 2
+
+        print("SMOKE PASS", flush=True)
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
