@@ -36,6 +36,18 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    """`--store`: which measurement backend interprets the --kpis path."""
+    parser.add_argument(
+        "--store",
+        choices=("auto", "csv", "columnar"),
+        default="auto",
+        help="measurement backend for --kpis: auto (default; dispatch on "
+        "the path — a `litmus convert` directory opens memory-mapped, "
+        "anything else parses as CSV), or force one side",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser."""
     parser = argparse.ArgumentParser(
@@ -83,11 +95,31 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("directory", help="output directory")
     simulate.add_argument("--seed", type=int, default=7)
 
+    convert = sub.add_parser(
+        "convert",
+        help="ingest a KPI CSV into a columnar memory-mapped store directory",
+    )
+    convert.add_argument("csv", help="long-form KPI CSV (see simulate)")
+    convert.add_argument("directory", help="output store directory, e.g. kpis.col")
+    convert.add_argument(
+        "--freq",
+        type=int,
+        default=0,
+        help="samples per day (default: the CSV export header, 1 if absent)",
+    )
+    convert.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-hash the written store against its header after ingestion",
+    )
+
     assess = sub.add_parser(
         "assess", help="assess changes from topology/KPI/change-log files"
     )
     assess.add_argument("--topology", required=True, help="topology JSON (see simulate)")
-    assess.add_argument("--kpis", required=True, help="KPI measurements CSV")
+    assess.add_argument(
+        "--kpis", required=True, help="KPI measurements: CSV or columnar store directory"
+    )
     assess.add_argument("--changes", required=True, help="change-log JSON")
     assess.add_argument(
         "--change-id", default=None, help="assess one change (default: screen all)"
@@ -121,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
         f"{EXIT_CHECKPOINTED}, and `litmus resume DIR` finishes it with a "
         "byte-identical report",
     )
+    _add_store_argument(assess)
     _add_obs_arguments(assess)
 
     resume = sub.add_parser(
@@ -137,7 +170,9 @@ def build_parser() -> argparse.ArgumentParser:
         "circuit breakers, graceful drain on SIGTERM)",
     )
     serve.add_argument("--topology", required=True, help="topology JSON (see simulate)")
-    serve.add_argument("--kpis", required=True, help="KPI measurements CSV")
+    serve.add_argument(
+        "--kpis", required=True, help="KPI measurements: CSV or columnar store directory"
+    )
     serve.add_argument("--changes", required=True, help="change-log JSON")
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
@@ -180,6 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
         f"leaves unstarted requests pending there (exit {EXIT_CHECKPOINTED}) "
         "and `litmus resume DIR` finishes them byte-identically",
     )
+    _add_store_argument(serve)
     _add_obs_arguments(serve)
 
     health = sub.add_parser(
@@ -210,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
     quality.add_argument("--study", required=True, help="study element id")
     quality.add_argument("--kpi", required=True, help="KPI name, e.g. voice-retainability")
     quality.add_argument("--day", type=int, required=True, help="change day")
+    _add_store_argument(quality)
     return parser
 
 
@@ -332,10 +369,52 @@ def _cmd_simulate(directory: str, seed: int) -> int:
     return 0
 
 
-def _load_world(topology_path: str, kpi_path: str):
-    from .io import read_store_csv, read_topology_json
+def _load_world(topology_path: str, kpi_path: str, store_backend: str = "auto"):
+    from .io import load_kpi_backend, read_topology_json
 
-    return read_topology_json(topology_path), read_store_csv(kpi_path)
+    return read_topology_json(topology_path), load_kpi_backend(
+        kpi_path, backend=store_backend
+    )
+
+
+def _store_lineage(store, kpi_path: str):
+    """Measurement-store provenance for the run manifest."""
+    import os
+
+    from .io import ColumnarKpiStore
+
+    if isinstance(store, ColumnarKpiStore):
+        return store.lineage()
+    return {
+        "backend": "csv",
+        "path": os.path.abspath(kpi_path),
+        "n_series": len(store),
+    }
+
+
+def _cmd_convert(csv_path: str, directory: str, freq: int = 0, verify: bool = False) -> int:
+    from .io import ColumnarKpiStore, read_store_csv, write_colstore
+
+    store = read_store_csv(csv_path, freq=freq)
+    import os
+
+    lineage = write_colstore(
+        store,
+        directory,
+        source={
+            "format": "csv",
+            "path": os.path.abspath(csv_path),
+            "n_series": len(store),
+        },
+    )
+    if verify:
+        ColumnarKpiStore.open(directory, verify=True)
+    print(
+        f"converted {lineage['n_series']} series ({lineage['n_kinds']} KPI kind(s), "
+        f"{lineage['bytes']} bytes) from {csv_path} to {directory}/"
+        + (" [verified]" if verify else "")
+    )
+    return 0
 
 
 def _run_campaign(spec, directory: str, command: str, trace_dir, show_metrics) -> int:
@@ -380,6 +459,7 @@ def _cmd_assess(
     trace_dir: Optional[str] = None,
     show_metrics: bool = False,
     journal_dir: Optional[str] = None,
+    store_backend: str = "auto",
 ) -> int:
     from pathlib import Path
 
@@ -406,12 +486,13 @@ def _cmd_assess(
         spec.save(journal_dir)
         return _run_campaign(spec, journal_dir, "assess", trace_dir, show_metrics)
 
-    topo, store = _load_world(topology_path, kpi_path)
+    topo, store = _load_world(topology_path, kpi_path, store_backend)
     log = changelog_from_json(Path(changes_path).read_text())
     engine = Litmus(topo, store, config, change_log=log)
     with RunRecorder(
         "assess", trace_dir, config=config, argv=tuple(sys.argv[1:])
     ) as recorder:
+        recorder.set_store_lineage(_store_lineage(store, kpi_path))
         if change_id is not None:
             report = engine.assess(log.get(change_id), DEFAULT_KPIS)
             if explain:
@@ -514,7 +595,7 @@ def _cmd_serve(args) -> int:
             argv=tuple(sys.argv[1:]),
         ).save(args.journal)
 
-    topo, store = _load_world(args.topology, args.kpis)
+    topo, store = _load_world(args.topology, args.kpis, args.store)
     log = changelog_from_json(Path(args.changes).read_text())
 
     stop = threading.Event()
@@ -529,6 +610,7 @@ def _cmd_serve(args) -> int:
     with RunRecorder(
         "serve", args.trace, config=config, argv=tuple(sys.argv[1:])
     ) as recorder:
+        recorder.set_store_lineage(_store_lineage(store, args.kpis))
         service = AssessmentService(
             topo,
             store,
@@ -592,12 +674,19 @@ def _cmd_trace(run_dir: str, top: int) -> int:
     return 0
 
 
-def _cmd_quality(topology_path: str, kpi_path: str, study: str, kpi_name: str, day: int) -> int:
+def _cmd_quality(
+    topology_path: str,
+    kpi_path: str,
+    study: str,
+    kpi_name: str,
+    day: int,
+    store_backend: str = "auto",
+) -> int:
     from .core import Litmus
     from .kpi import KpiKind
     from .selection import control_group_quality
 
-    topo, store = _load_world(topology_path, kpi_path)
+    topo, store = _load_world(topology_path, kpi_path, store_backend)
     engine = Litmus(topo, store)
     group = engine.selector.select([study])
     report = control_group_quality(
@@ -620,6 +709,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_table4(args.seeds, args.workers, args.journal)
     if args.command == "simulate":
         return _cmd_simulate(args.directory, args.seed)
+    if args.command == "convert":
+        return _cmd_convert(args.csv, args.directory, args.freq, args.verify)
     if args.command == "assess":
         return _cmd_assess(
             args.topology,
@@ -632,6 +723,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.trace,
             args.metrics,
             args.journal,
+            args.store,
         )
     if args.command == "resume":
         return _cmd_resume(args.directory, args.trace, args.metrics)
@@ -642,7 +734,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "trace":
         return _cmd_trace(args.run_dir, args.top)
     if args.command == "quality":
-        return _cmd_quality(args.topology, args.kpis, args.study, args.kpi, args.day)
+        return _cmd_quality(
+            args.topology, args.kpis, args.study, args.kpi, args.day, args.store
+        )
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 import numpy as np
 
 from ..kpi.metrics import DEFAULT_KPIS, KpiKind
-from ..kpi.store import KpiStore
+from ..kpi.store import KpiBackend
 from ..obs.metrics import get_metrics
 from ..obs.trace import span as obs_span
 from ..network.changes import ChangeEvent, ChangeLog
@@ -91,7 +91,7 @@ class _AssessmentTask:
     """One (study element, KPI) comparison with its windowed arrays.
 
     Tasks are prepared up front in the main process — array extraction is
-    cheap, serial, and needs the :class:`~repro.kpi.store.KpiStore` — so the
+    cheap, serial, and needs the :class:`~repro.kpi.store.KpiBackend` — so the
     workers run the pure-numpy ``compare`` only.  ``dropped_controls`` names
     the control elements excluded for this task (no stored series for the
     KPI, a series that does not cover the comparison windows, or one
@@ -247,7 +247,7 @@ class Litmus:
     def __init__(
         self,
         topology: Topology,
-        store: KpiStore,
+        store: KpiBackend,
         config: Optional[LitmusConfig] = None,
         change_log: Optional[ChangeLog] = None,
         algorithm: Optional[Assessor] = None,

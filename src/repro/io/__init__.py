@@ -1,5 +1,13 @@
-"""Data ingestion and persistence: KPI CSV, topology/change-log JSON."""
+"""Data ingestion and persistence: KPI CSV, columnar memory-mapped store,
+topology/change-log JSON."""
 
+from .colstore import (
+    ColumnarKpiStore,
+    StoreCorruption,
+    is_colstore,
+    load_kpi_backend,
+    write_colstore,
+)
 from .csv_store import (
     IngestReport,
     read_store_csv,
@@ -22,9 +30,13 @@ from .topology_json import (
 )
 
 __all__ = [
+    "ColumnarKpiStore",
     "IngestReport",
+    "StoreCorruption",
     "changelog_from_json",
     "changelog_to_json",
+    "is_colstore",
+    "load_kpi_backend",
     "manifest_from_json",
     "manifest_to_json",
     "read_manifest_json",
@@ -34,6 +46,7 @@ __all__ = [
     "write_manifest_json",
     "topology_from_json",
     "topology_to_json",
+    "write_colstore",
     "write_store_csv",
     "write_topology_json",
 ]

@@ -1,0 +1,477 @@
+"""Columnar, memory-mapped KPI store — the binary ingestion fast path.
+
+The long-form CSV of :mod:`repro.io.csv_store` is the *interchange*
+boundary: text, greppable, tolerant.  At operational scale (millions of
+KPI series re-read on every run) its per-row text parsing dominates
+wall-clock.  This module is the *hot* boundary: the same measurements
+laid out as one raw ``float64`` matrix per KPI kind, memory-mapped on
+open, so loading a store costs a header parse and window extraction is a
+pointer adjustment instead of a parse-and-copy.
+
+On-disk layout (one directory per store)::
+
+    store.col/
+      header.json                      # schema, freq, shapes, index, sha256
+      values-voice-retainability.f64   # (n_series, width) float64, row-major
+      values-data-throughput.f64
+      ...
+
+Per KPI kind the value file holds a little-endian ``float64`` matrix with
+one row per element, all rows sharing a common time base (the earliest
+``start`` of any series of that kind); cells outside a series' own
+``[start, start + len)`` range are NaN padding, distinguished from real
+NaN gaps by the per-series index in the header.  Row-major order keeps
+each series contiguous, so a single series *and* any window of it are
+zero-copy views into the mapping, and a multi-element window is one
+strided slice.
+
+The header is written last and atomically (temp file + ``os.replace``),
+so a crashed ingestion never leaves an openable half-store.  Every value
+file's SHA-256 is recorded in the header: :meth:`ColumnarKpiStore.open`
+always validates structure (schema, file sizes, index bounds) and with
+``verify=True`` additionally re-hashes the payloads.  Any inconsistency
+raises the typed :exc:`StoreCorruption` — never garbage reads.
+
+:class:`ColumnarKpiStore` implements the read side of the
+:class:`~repro.kpi.store.KpiBackend` protocol, so ``Litmus.assess``, the
+quality firewall and ``litmus serve`` run on either backend unchanged
+(parity-tested byte-for-byte in ``tests/io/test_backend_parity.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..kpi.metrics import KpiKind
+from ..kpi.store import KpiBackend, KpiStore
+from ..stats.timeseries import TimeSeries, align
+
+__all__ = [
+    "COLSTORE_FORMAT",
+    "COLSTORE_SCHEMA",
+    "HEADER_FILE",
+    "ColumnarKpiStore",
+    "StoreCorruption",
+    "is_colstore",
+    "load_kpi_backend",
+    "write_colstore",
+]
+
+PathLike = Union[str, Path]
+
+#: Magic format tag in the header; anything else is not a colstore.
+COLSTORE_FORMAT = "litmus-colstore"
+#: On-disk schema version; bump when the layout changes incompatibly.
+COLSTORE_SCHEMA = 1
+HEADER_FILE = "header.json"
+
+#: The one dtype the format stores.  Little-endian float64 keeps the files
+#: byte-portable across the platforms numpy supports.
+_DTYPE = np.dtype("<f8")
+
+
+class StoreCorruption(Exception):
+    """A columnar store failed structural or content validation.
+
+    Raised instead of ever returning garbage reads: missing or malformed
+    header, schema/format mismatch, truncated or resized value files,
+    index entries pointing outside their matrix, or (under
+    ``verify=True``) a payload whose SHA-256 disagrees with the header.
+    """
+
+
+def is_colstore(path: PathLike) -> bool:
+    """True when ``path`` is a directory carrying a colstore header."""
+    return os.path.isdir(os.fspath(path)) and os.path.isfile(
+        os.path.join(os.fspath(path), HEADER_FILE)
+    )
+
+
+def _sha256_file(path: str, chunk: int = 1 << 20) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(chunk)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Ingestion
+# ----------------------------------------------------------------------
+
+
+def write_colstore(
+    store: KpiBackend, path: PathLike, source: Optional[Dict[str, object]] = None
+) -> Dict[str, object]:
+    """Batch-ingest every series of ``store`` into a colstore directory.
+
+    Accepts any read backend (an in-memory :class:`KpiStore`, another
+    :class:`ColumnarKpiStore`); series of one KPI kind must share a
+    sampling frequency, mirroring the per-file restriction of the CSV
+    format.  ``source`` is an optional provenance dict (e.g. the CSV path
+    and row count ``litmus convert`` ingested from) recorded verbatim in
+    the header.  Returns the store lineage (see
+    :meth:`ColumnarKpiStore.lineage`), ready for the run manifest.
+
+    The value files land first, the header last and atomically — a crash
+    mid-ingestion leaves no valid header, so :meth:`ColumnarKpiStore.open`
+    fails cleanly instead of reading a torn store.
+    """
+    from ..runstate.atomic import atomic_write_bytes, atomic_write_text
+
+    directory = os.fspath(path)
+    os.makedirs(directory, exist_ok=True)
+
+    kinds: Dict[str, Dict[str, object]] = {}
+    n_series = 0
+    total_bytes = 0
+    all_kinds = sorted(
+        {k for eid in store.element_ids() for k in store.kpis_for(eid)},
+        key=lambda k: k.value,
+    )
+    for kind in all_kinds:
+        element_ids = store.element_ids(kind)
+        series = [store.get(eid, kind) for eid in element_ids]
+        freqs = {s.freq for s in series}
+        if len(freqs) != 1:
+            raise ValueError(
+                f"series of kind {kind.value!r} mix frequencies {sorted(freqs)}; "
+                "a colstore kind stores one frequency"
+            )
+        base = min(s.start for s in series)
+        width = max(s.end for s in series) - base
+        matrix = np.full((len(series), width), np.nan, dtype=_DTYPE)
+        index: List[Dict[str, object]] = []
+        for row, (eid, s) in enumerate(zip(element_ids, series)):
+            matrix[row, s.start - base : s.end - base] = s.values
+            index.append({"id": str(eid), "start": int(s.start), "len": len(s)})
+        payload = matrix.tobytes()  # row-major little-endian float64
+        file_name = f"values-{kind.value}.f64"
+        atomic_write_bytes(os.path.join(directory, file_name), payload)
+        kinds[kind.value] = {
+            "file": file_name,
+            "shape": [len(series), int(width)],
+            "base": int(base),
+            "freq": int(freqs.pop()),
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "series": index,
+        }
+        n_series += len(series)
+        total_bytes += len(payload)
+
+    header = {
+        "format": COLSTORE_FORMAT,
+        "schema": COLSTORE_SCHEMA,
+        "dtype": str(_DTYPE.str),
+        "kinds": kinds,
+        "n_series": n_series,
+    }
+    if source is not None:
+        header["source"] = dict(source)
+    atomic_write_text(
+        os.path.join(directory, HEADER_FILE),
+        json.dumps(header, indent=2, sort_keys=True) + "\n",
+    )
+    return ColumnarKpiStore.open(directory).lineage()
+
+
+# ----------------------------------------------------------------------
+# The memory-mapped backend
+# ----------------------------------------------------------------------
+
+
+class _KindBlock:
+    """One KPI kind's matrix: lazy memmap plus the per-series index."""
+
+    __slots__ = ("path", "shape", "base", "freq", "sha256", "rows", "_matrix")
+
+    def __init__(
+        self,
+        path: str,
+        shape: Tuple[int, int],
+        base: int,
+        freq: int,
+        sha256: str,
+        rows: Dict[str, Tuple[int, int, int]],  # element_id -> (row, start, len)
+    ) -> None:
+        self.path = path
+        self.shape = shape
+        self.base = base
+        self.freq = freq
+        self.sha256 = sha256
+        self.rows = rows
+        self._matrix: Optional[np.ndarray] = None
+
+    def matrix(self) -> np.ndarray:
+        """The mapped (n_series, width) matrix; mapped on first use."""
+        if self._matrix is None:
+            try:
+                self._matrix = np.memmap(
+                    self.path, dtype=_DTYPE, mode="r", shape=self.shape
+                )
+            except (OSError, ValueError) as exc:
+                raise StoreCorruption(f"cannot map {self.path}: {exc}") from exc
+        return self._matrix
+
+    def close(self) -> None:
+        self._matrix = None
+
+
+class ColumnarKpiStore:
+    """Read-only KPI backend over a memory-mapped colstore directory.
+
+    Implements the read side of :class:`~repro.kpi.store.KpiBackend`:
+    ``get``/``has``/``element_ids``/``kpis_for``/``matrix``/``len``.
+    ``get`` returns a :class:`~repro.stats.timeseries.TimeSeries` whose
+    values are a *read-only view* into the mapping — no bytes are copied
+    until an algorithm actually computes on them, and windowing the series
+    stays zero-copy (see ``TimeSeries.window``).
+
+    The store is immutable by construction: effect injection and other
+    mutation belong to the in-memory :class:`~repro.kpi.store.KpiStore`
+    (convert back with :meth:`to_kpi_store` when a writable store is
+    needed).
+    """
+
+    def __init__(self, path: str, blocks: Dict[KpiKind, _KindBlock], header: Dict):
+        self.path = path
+        self._blocks = blocks
+        self._header = header
+
+    # ------------------------------------------------------------------
+    # Opening & validation
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path: PathLike, verify: bool = False) -> "ColumnarKpiStore":
+        """Open and structurally validate a colstore directory.
+
+        Always checked: header well-formedness, format/schema/dtype, value
+        file existence and exact byte size, index bounds and uniqueness.
+        ``verify=True`` additionally re-hashes every value file against
+        the header's SHA-256 (a full sequential read — the integrity
+        audit, not the hot path).  Raises :exc:`StoreCorruption` on any
+        mismatch.
+        """
+        directory = os.fspath(path)
+        header_path = os.path.join(directory, HEADER_FILE)
+        try:
+            header = json.loads(Path(header_path).read_text())
+        except FileNotFoundError:
+            raise StoreCorruption(f"{directory} has no {HEADER_FILE}") from None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise StoreCorruption(f"unreadable colstore header {header_path}: {exc}") from exc
+        if not isinstance(header, dict) or header.get("format") != COLSTORE_FORMAT:
+            raise StoreCorruption(
+                f"{header_path} is not a {COLSTORE_FORMAT} header"
+            )
+        if header.get("schema") != COLSTORE_SCHEMA:
+            raise StoreCorruption(
+                f"unsupported colstore schema {header.get('schema')!r} "
+                f"(this build reads schema {COLSTORE_SCHEMA})"
+            )
+        if header.get("dtype") != str(_DTYPE.str):
+            raise StoreCorruption(
+                f"unsupported dtype {header.get('dtype')!r}; expected {_DTYPE.str}"
+            )
+
+        blocks: Dict[KpiKind, _KindBlock] = {}
+        kinds = header.get("kinds")
+        if not isinstance(kinds, dict):
+            raise StoreCorruption(f"{header_path}: malformed 'kinds' table")
+        for kind_name, spec in kinds.items():
+            try:
+                kind = KpiKind(kind_name)
+            except ValueError:
+                raise StoreCorruption(
+                    f"{header_path}: unknown KPI kind {kind_name!r}"
+                ) from None
+            blocks[kind] = cls._validate_kind(directory, kind_name, spec, verify)
+        return cls(directory, blocks, header)
+
+    @staticmethod
+    def _validate_kind(
+        directory: str, kind_name: str, spec: Dict, verify: bool
+    ) -> _KindBlock:
+        try:
+            file_name = spec["file"]
+            n_rows, width = (int(v) for v in spec["shape"])
+            base = int(spec["base"])
+            freq = int(spec["freq"])
+            sha = spec["sha256"]
+            series = spec["series"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreCorruption(
+                f"malformed index for kind {kind_name!r}: {exc}"
+            ) from exc
+        if freq <= 0 or n_rows < 0 or width < 0:
+            raise StoreCorruption(
+                f"kind {kind_name!r}: invalid shape/freq ({n_rows}x{width}, freq={freq})"
+            )
+        value_path = os.path.join(directory, file_name)
+        expected = n_rows * width * _DTYPE.itemsize
+        try:
+            actual = os.path.getsize(value_path)
+        except OSError:
+            raise StoreCorruption(
+                f"kind {kind_name!r}: value file {file_name} is missing"
+            ) from None
+        if actual != expected:
+            raise StoreCorruption(
+                f"kind {kind_name!r}: value file {file_name} holds {actual} "
+                f"bytes, header declares {expected} (truncated or resized?)"
+            )
+        if len(series) != n_rows:
+            raise StoreCorruption(
+                f"kind {kind_name!r}: index lists {len(series)} series for "
+                f"{n_rows} matrix rows"
+            )
+        rows: Dict[str, Tuple[int, int, int]] = {}
+        for row, entry in enumerate(series):
+            try:
+                eid, start, length = str(entry["id"]), int(entry["start"]), int(entry["len"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise StoreCorruption(
+                    f"kind {kind_name!r}: malformed index entry {row}: {exc}"
+                ) from exc
+            if eid in rows:
+                raise StoreCorruption(
+                    f"kind {kind_name!r}: duplicate index entry for {eid!r}"
+                )
+            if length < 0 or start < base or start - base + length > width:
+                raise StoreCorruption(
+                    f"kind {kind_name!r}: series {eid!r} [{start}, {start + length}) "
+                    f"falls outside the matrix time span [{base}, {base + width})"
+                )
+            rows[eid] = (row, start, length)
+        if verify and _sha256_file(value_path) != sha:
+            raise StoreCorruption(
+                f"kind {kind_name!r}: value file {file_name} fails its "
+                "SHA-256 content check"
+            )
+        return _KindBlock(value_path, (n_rows, width), base, freq, str(sha), rows)
+
+    # ------------------------------------------------------------------
+    # KpiBackend read surface
+    # ------------------------------------------------------------------
+    def _block(self, kpi: KpiKind) -> Optional[_KindBlock]:
+        return self._blocks.get(KpiKind(kpi))
+
+    def get(self, element_id, kpi: KpiKind) -> TimeSeries:
+        """Zero-copy series for an element/KPI pair."""
+        block = self._block(kpi)
+        entry = block.rows.get(str(element_id)) if block is not None else None
+        if entry is None:
+            raise KeyError(
+                f"no series stored for element {element_id!r}, kpi {KpiKind(kpi).value!r}"
+            )
+        row, start, length = entry
+        lo = start - block.base
+        values = block.matrix()[row, lo : lo + length]
+        # The mapping is opened read-only, so the view is non-writeable and
+        # TimeSeries adopts it without copying.
+        return TimeSeries(values, start=start, freq=block.freq)
+
+    def has(self, element_id, kpi: KpiKind) -> bool:
+        """True when a series is stored for the pair."""
+        block = self._block(kpi)
+        return block is not None and str(element_id) in block.rows
+
+    def element_ids(self, kpi: Optional[KpiKind] = None) -> List[str]:
+        """Element ids with stored series (optionally for a specific KPI)."""
+        if kpi is None:
+            return sorted({eid for b in self._blocks.values() for eid in b.rows})
+        block = self._block(kpi)
+        return sorted(block.rows) if block is not None else []
+
+    def kpis_for(self, element_id) -> List[KpiKind]:
+        """KPIs stored for an element."""
+        eid = str(element_id)
+        return sorted(
+            (k for k, b in self._blocks.items() if eid in b.rows),
+            key=lambda k: k.value,
+        )
+
+    def __len__(self) -> int:
+        return sum(len(b.rows) for b in self._blocks.values())
+
+    def matrix(self, element_ids, kpi: KpiKind) -> Tuple[np.ndarray, int]:
+        """Aligned (time, element) matrix — same contract as ``KpiStore``."""
+        if not element_ids:
+            raise ValueError("element_ids must be non-empty")
+        series = [self.get(eid, kpi) for eid in element_ids]
+        return align(series)
+
+    # ------------------------------------------------------------------
+    # Conversion, lineage, lifecycle
+    # ------------------------------------------------------------------
+    def to_kpi_store(self) -> KpiStore:
+        """Materialise the mapped data into a mutable in-memory store."""
+        out = KpiStore()
+        for kind in sorted(self._blocks, key=lambda k: k.value):
+            for eid in self.element_ids(kind):
+                s = self.get(eid, kind)
+                out.put(eid, kind, TimeSeries(np.array(s.values), s.start, s.freq))
+        return out
+
+    def lineage(self) -> Dict[str, object]:
+        """Provenance record for the run manifest: where the measurements
+        came from and how to prove a later run read the same bytes."""
+        return {
+            "backend": "columnar",
+            "path": os.path.abspath(self.path),
+            "schema": int(self._header.get("schema", COLSTORE_SCHEMA)),
+            "n_series": len(self),
+            "n_kinds": len(self._blocks),
+            "bytes": sum(
+                b.shape[0] * b.shape[1] * _DTYPE.itemsize for b in self._blocks.values()
+            ),
+            "content_sha256": {
+                kind.value: block.sha256
+                for kind, block in sorted(self._blocks.items(), key=lambda kv: kv[0].value)
+            },
+            "source": self._header.get("source"),
+        }
+
+    def nbytes(self) -> int:
+        """Total mapped payload bytes across all kinds."""
+        return int(self.lineage()["bytes"])
+
+    def close(self) -> None:
+        """Drop the mappings (the store can be reopened with :meth:`open`)."""
+        for block in self._blocks.values():
+            block.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ColumnarKpiStore(path={self.path!r}, kinds={len(self._blocks)}, "
+            f"series={len(self)})"
+        )
+
+
+def load_kpi_backend(path: PathLike, backend: str = "auto"):
+    """Load KPI measurements from either backend by path.
+
+    ``backend="auto"`` (default) dispatches on what the path is: a
+    colstore directory opens memory-mapped, anything else parses as the
+    long-form CSV.  ``"columnar"`` and ``"csv"`` force one side (the
+    forced columnar open raises :exc:`StoreCorruption` on a non-store
+    path).  This is the single loader behind the CLI's ``--store`` flag.
+    """
+    if backend not in ("auto", "csv", "columnar"):
+        raise ValueError(
+            f"unknown store backend {backend!r}; use 'auto', 'csv' or 'columnar'"
+        )
+    if backend == "columnar" or (backend == "auto" and is_colstore(path)):
+        return ColumnarKpiStore.open(path)
+    from .csv_store import read_store_csv
+
+    return read_store_csv(path)

@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import csv
 import io
+import itertools
+from array import array
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
@@ -115,20 +117,52 @@ class IngestReport:
         return "\n".join(lines)
 
 
-#: Sample row with line number: (day, value, 1-based CSV line).
-_Sample = Tuple[int, float, int]
+class _SeriesBuffer:
+    """Compact per-series accumulator: three primitive-typed buffers.
+
+    A million-row file used to materialise a million ``(int, float, int)``
+    tuples (~150 bytes each with their boxed fields) before any series was
+    built.  ``array.array`` packs the same information into 24 bytes per
+    row and converts to numpy for the sort/dedup stage without any
+    per-element Python objects.
+    """
+
+    __slots__ = ("days", "values", "lines")
+
+    def __init__(self) -> None:
+        self.days = array("q")
+        self.values = array("d")
+        self.lines = array("q")
+
+    def append(self, day: int, value: float, line_no: int) -> None:
+        self.days.append(day)
+        self.values.append(value)
+        self.lines.append(line_no)
+
+    def __len__(self) -> int:
+        return len(self.days)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy numpy views over the accumulated samples."""
+        return (
+            np.frombuffer(self.days, dtype=np.int64),
+            np.frombuffer(self.values, dtype=np.float64),
+            np.frombuffer(self.lines, dtype=np.int64),
+        )
 
 
 def _read_rows(
     path: PathLike, collect: bool
-) -> Tuple[int, Dict[Tuple[str, KpiKind], List[_Sample]], List[BadRow], int]:
-    """Parse the CSV into per-series sample buckets.
+) -> Tuple[int, Dict[Tuple[str, KpiKind], _SeriesBuffer], List[BadRow], int]:
+    """Stream the CSV into per-series sample buffers.
 
     Returns ``(header_freq, buckets, bad_rows, n_rows)``.  In strict mode
     (``collect=False``) the first malformed row raises instead of being
-    recorded.
+    recorded.  Rows are consumed one at a time straight off the file
+    handle — peak memory is the packed buffers (24 bytes/row), never a
+    row-object list or a second copy of the file text.
     """
-    buckets: Dict[Tuple[str, KpiKind], List[_Sample]] = {}
+    buckets: Dict[Tuple[str, KpiKind], _SeriesBuffer] = {}
     bad_rows: List[BadRow] = []
     n_rows = 0
 
@@ -145,7 +179,9 @@ def _read_rows(
             header = next(reader)
             data_start = 3  # comment line, then the column header
         else:
-            reader = csv.reader(io.StringIO(first + handle.read()))
+            # Push the already-consumed first line back in front of the
+            # stream instead of slurping the rest of the file into memory.
+            reader = csv.reader(itertools.chain([first], handle))
             header = next(reader)
             data_start = 2
         if header != _HEADER:
@@ -173,7 +209,10 @@ def _read_rows(
                     f"malformed day/value ({day_str!r}, {value_str!r})",
                 )
                 continue
-            buckets.setdefault((element_id, kpi), []).append((day, value, line_no))
+            bucket = buckets.get((element_id, kpi))
+            if bucket is None:
+                bucket = buckets[(element_id, kpi)] = _SeriesBuffer()
+            bucket.append(day, value, line_no)
             n_rows += 1
     return header_freq, buckets, bad_rows, n_rows
 
@@ -203,46 +242,54 @@ def read_store_csv(
     use_freq = freq or header_freq
     store = KpiStore()
     n_gap_samples = 0
-    for (element_id, kpi), samples in buckets.items():
-        samples.sort(key=lambda item: (item[0], item[2]))
-        seen: Dict[int, int] = {}
-        deduped: List[_Sample] = []
-        for day, value, line_no in samples:
-            if day in seen:
+    for (element_id, kpi), bucket in buckets.items():
+        days, values, lines = bucket.as_arrays()
+        # Sort by (day, line) — ties broken by file position, so the first
+        # occurrence of a duplicated day is the one that survives dedup.
+        order = np.lexsort((lines, days))
+        days, values, lines = days[order], values[order], lines[order]
+
+        keep = np.empty(days.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(days[1:], days[:-1], out=keep[1:])
+        if not keep.all():
+            # Positions of each day-run's first line, propagated across
+            # the run so every dropped sample can name its "first at".
+            run_start = np.where(keep, np.arange(days.size), 0)
+            np.maximum.accumulate(run_start, out=run_start)
+            for idx in np.nonzero(~keep)[0]:
+                day = int(days[idx])
+                line_no = int(lines[idx])
                 reason = (
                     f"series {element_id!r}/{kpi.value!r} has gaps or duplicate "
-                    f"days: day {day} repeated (first at line {seen[day]})"
+                    f"days: day {day} repeated (first at line {int(lines[run_start[idx]])})"
                 )
                 if not collect:
                     raise ValueError(f"line {line_no}: {reason}")
                 bad_rows.append(BadRow(line_no, element_id, kpi.value, reason))
                 n_rows -= 1
-                continue
-            seen[day] = line_no
-            deduped.append((day, value, line_no))
+            days, values, lines = days[keep], values[keep], lines[keep]
 
-        start = deduped[0][0]
-        span = deduped[-1][0] - start + 1
-        if span != len(deduped):
-            missing = span - len(deduped)
+        start = int(days[0])
+        span = int(days[-1]) - start + 1
+        if span != days.size:
+            missing = span - days.size
             if not collect:
                 # Name the first row after a gap so the operator can look
                 # straight at the hole in the source file.
-                prev_day = start
-                for day, _, line_no in deduped[1:]:
-                    if day != prev_day + 1:
-                        raise ValueError(
-                            f"line {line_no}: series {element_id!r}/{kpi.value!r} "
-                            f"has gaps or duplicate days: {day - prev_day - 1} "
-                            f"missing day(s) before day {day}"
-                        )
-                    prev_day = day
-            values = np.full(span, np.nan)
-            for day, value, _ in deduped:
-                values[day - start] = value
+                gap_at = int(np.argmax(np.diff(days) > 1))
+                day = int(days[gap_at + 1])
+                raise ValueError(
+                    f"line {int(lines[gap_at + 1])}: series "
+                    f"{element_id!r}/{kpi.value!r} has gaps or duplicate days: "
+                    f"{day - int(days[gap_at]) - 1} missing day(s) before day {day}"
+                )
+            full = np.full(span, np.nan)
+            full[days - start] = values
+            values = full
             n_gap_samples += missing
         else:
-            values = np.array([v for _, v, _ in deduped])
+            values = np.ascontiguousarray(values)
         store.put(element_id, kpi, TimeSeries(values, start=start, freq=use_freq))
 
     if not collect:

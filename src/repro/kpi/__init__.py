@@ -20,7 +20,7 @@ from .seasonality import (
     SeasonalityModel,
     WeeklyPattern,
 )
-from .store import KpiStore
+from .store import KpiBackend, KpiStore
 
 __all__ = [
     "DAYS_PER_YEAR",
@@ -35,6 +35,7 @@ __all__ = [
     "GaussianNoise",
     "GeneratorConfig",
     "Kpi",
+    "KpiBackend",
     "KpiGenerator",
     "KpiKind",
     "KpiStore",

@@ -8,7 +8,17 @@ an experiment script reads as: generate → inject effects → assess.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+    runtime_checkable,
+)
 
 import numpy as np
 
@@ -17,7 +27,46 @@ from ..stats.timeseries import TimeSeries, align
 from .effects import Effect
 from .metrics import KpiKind, get_kpi
 
-__all__ = ["KpiStore"]
+__all__ = ["KpiBackend", "KpiStore"]
+
+
+@runtime_checkable
+class KpiBackend(Protocol):
+    """The read surface every KPI measurement backend provides.
+
+    ``Litmus.assess``, the quality firewall and ``litmus serve`` consume
+    measurements exclusively through these six methods, so any backend
+    implementing them — the mutable in-memory :class:`KpiStore`, the
+    memory-mapped :class:`~repro.io.colstore.ColumnarKpiStore` — plugs in
+    transparently (byte-identical reports are pinned by the dual-backend
+    parity suite).  Mutation (``put``/``apply_effect``) is deliberately
+    *not* part of the protocol: it belongs to the in-memory store only.
+    """
+
+    def get(self, element_id: ElementId, kpi: KpiKind) -> TimeSeries:
+        """Fetch the series for an element/KPI pair (KeyError if absent)."""
+        ...
+
+    def has(self, element_id: ElementId, kpi: KpiKind) -> bool:
+        """True when a series is stored for the pair."""
+        ...
+
+    def element_ids(self, kpi: Optional[KpiKind] = None) -> List[ElementId]:
+        """Element ids with stored series (optionally for a specific KPI)."""
+        ...
+
+    def kpis_for(self, element_id: ElementId) -> List[KpiKind]:
+        """KPIs stored for an element."""
+        ...
+
+    def __len__(self) -> int:
+        ...
+
+    def matrix(
+        self, element_ids: Sequence[ElementId], kpi: KpiKind
+    ) -> Tuple[np.ndarray, int]:
+        """Aligned (time, element) matrix for a set of elements on one KPI."""
+        ...
 
 
 class KpiStore:
@@ -25,13 +74,20 @@ class KpiStore:
 
     def __init__(self) -> None:
         self._series: Dict[Tuple[ElementId, KpiKind], TimeSeries] = {}
+        # Secondary indexes so element_ids()/kpis_for() are O(result), not
+        # full-store scans — batch ingestion walks both per series.
+        self._kinds_by_element: Dict[ElementId, Set[KpiKind]] = {}
+        self._elements_by_kind: Dict[KpiKind, Set[ElementId]] = {}
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def put(self, element_id: ElementId, kpi: KpiKind, series: TimeSeries) -> None:
         """Insert or replace the series for an element/KPI pair."""
-        self._series[(element_id, KpiKind(kpi))] = series
+        kind = KpiKind(kpi)
+        self._series[(element_id, kind)] = series
+        self._kinds_by_element.setdefault(element_id, set()).add(kind)
+        self._elements_by_kind.setdefault(kind, set()).add(element_id)
 
     def apply_effect(self, element_id: ElementId, kpi: KpiKind, effect: Effect) -> None:
         """Add an effect to a stored series in place (bounded KPIs re-clipped)."""
@@ -72,15 +128,13 @@ class KpiStore:
     def element_ids(self, kpi: Optional[KpiKind] = None) -> List[ElementId]:
         """Element ids with stored series (optionally for a specific KPI)."""
         if kpi is None:
-            return sorted({eid for eid, _ in self._series})
-        kind = KpiKind(kpi)
-        return sorted({eid for eid, k in self._series if k == kind})
+            return sorted(self._kinds_by_element)
+        return sorted(self._elements_by_kind.get(KpiKind(kpi), ()))
 
     def kpis_for(self, element_id: ElementId) -> List[KpiKind]:
         """KPIs stored for an element."""
         return sorted(
-            (k for eid, k in self._series if eid == element_id),
-            key=lambda k: k.value,
+            self._kinds_by_element.get(element_id, ()), key=lambda k: k.value
         )
 
     def __len__(self) -> int:

@@ -39,7 +39,10 @@ __all__ = [
 #: Manifest schema version; bump when fields change incompatibly.
 #: 2: added ``journal`` (crash-safe campaign lineage; None for unjournaled
 #: runs).
-MANIFEST_SCHEMA = 2
+#: 3: added ``store`` (KPI measurement-store lineage: backend, path,
+#: per-kind content SHA-256 — see ``ColumnarKpiStore.lineage``; None when
+#: the measurements came from an in-memory store with no file source).
+MANIFEST_SCHEMA = 3
 
 
 @dataclass(frozen=True)
@@ -64,6 +67,11 @@ class RunManifest:
     #: :meth:`repro.runstate.campaign.CampaignResult.lineage`); None when
     #: the run was not journaled.
     journal: Optional[Dict[str, Any]] = None
+    #: Lineage of the KPI measurement store the run read (backend kind,
+    #: path, content digests — see
+    #: :meth:`repro.io.colstore.ColumnarKpiStore.lineage`); None when the
+    #: measurements were supplied in memory.
+    store: Optional[Dict[str, Any]] = None
     schema: int = MANIFEST_SCHEMA
 
 
@@ -168,6 +176,7 @@ def build_manifest(
     finished_at: Optional[float] = None,
     argv: Tuple[str, ...] = (),
     journal: Optional[Dict[str, Any]] = None,
+    store: Optional[Dict[str, Any]] = None,
 ) -> RunManifest:
     """Assemble a :class:`RunManifest` from a finished run's artifacts."""
     t1 = time.time() if finished_at is None else finished_at
@@ -188,6 +197,7 @@ def build_manifest(
         stage_timings={k: round(float(v), 6) for k, v in (stage_timings or {}).items()},
         argv=tuple(argv),
         journal=dict(journal) if journal is not None else None,
+        store=dict(store) if store is not None else None,
     )
 
 

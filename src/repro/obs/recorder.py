@@ -54,6 +54,7 @@ class RunRecorder:
         self.started_at: float = 0.0
         self.finished_at: float = 0.0
         self.journal_lineage: Optional[Dict[str, Any]] = None
+        self.store_lineage: Optional[Dict[str, Any]] = None
         self._tracer_ctx: Optional[use_tracer] = None
         self._metrics_ctx: Optional[use_metrics] = None
 
@@ -61,6 +62,11 @@ class RunRecorder:
         """Attach a campaign's journal lineage to the manifest (see
         :meth:`repro.runstate.campaign.CampaignResult.lineage`)."""
         self.journal_lineage = dict(lineage)
+
+    def set_store_lineage(self, lineage: Dict[str, Any]) -> None:
+        """Attach the measurement store's lineage to the manifest (see
+        :meth:`repro.io.colstore.ColumnarKpiStore.lineage`)."""
+        self.store_lineage = dict(lineage)
 
     # -- context manager -------------------------------------------------
     def __enter__(self) -> "RunRecorder":
@@ -112,6 +118,7 @@ class RunRecorder:
             finished_at=self.finished_at or time.time(),
             argv=self.argv,
             journal=self.journal_lineage,
+            store=self.store_lineage,
         )
 
     def flush(self) -> None:

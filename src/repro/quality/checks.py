@@ -104,20 +104,21 @@ def find_nan_runs(values: np.ndarray) -> List[Tuple[int, int]]:
 
 def _constant_runs(values: np.ndarray, min_run: int) -> List[Tuple[int, int]]:
     """Maximal runs of bit-identical consecutive finite values >= min_run."""
-    runs: List[Tuple[int, int]] = []
-    n = len(values)
-    i = 0
-    while i < n:
-        if not np.isfinite(values[i]):
-            i += 1
-            continue
-        j = i
-        while j + 1 < n and values[j + 1] == values[i]:
-            j += 1
-        if j - i + 1 >= min_run:
-            runs.append((i, j - i + 1))
-        i = j + 1
-    return runs
+    arr = np.asarray(values, dtype=float).ravel()
+    n = arr.size
+    if n == 0:
+        return []
+    finite = np.isfinite(arr)
+    # extends[i]: position i continues the segment started at or before
+    # i-1 (equal values, and the predecessor is finite — NaN/inf always
+    # break a run and can never anchor one).
+    extends = np.zeros(n, dtype=bool)
+    extends[1:] = (arr[1:] == arr[:-1]) & finite[:-1]
+    seg_starts = np.flatnonzero(~extends)
+    seg_ends = np.concatenate([seg_starts[1:], [n]])
+    lengths = seg_ends - seg_starts
+    keep = (lengths >= min_run) & finite[seg_starts]
+    return [(int(s), int(l)) for s, l in zip(seg_starts[keep], lengths[keep])]
 
 
 def check_values(

@@ -246,15 +246,17 @@ class CampaignRunner:
 
     def _load_world(self):
         """Read the input files (transient IO retried with backoff)."""
-        from ..io import changelog_from_json, read_store_csv, read_topology_json
+        from ..io import changelog_from_json, load_kpi_backend, read_topology_json
 
         topology = with_retries(
             lambda: read_topology_json(self.spec.topology),
             policy=self.retry_policy,
             label="read-topology",
         )
+        # load_kpi_backend dispatches on the path: a columnar store
+        # directory opens memory-mapped, anything else parses as CSV.
         store = with_retries(
-            lambda: read_store_csv(self.spec.kpis),
+            lambda: load_kpi_backend(self.spec.kpis),
             policy=self.retry_policy,
             label="read-kpis",
         )

@@ -115,10 +115,10 @@ def resume_service(
 
         resumed: List[Dict[str, Any]] = []
         if pending_payloads:
-            from ..io import changelog_from_json, read_store_csv, read_topology_json
+            from ..io import changelog_from_json, load_kpi_backend, read_topology_json
 
             topology = read_topology_json(spec.topology)
-            store = read_store_csv(spec.kpis)
+            store = load_kpi_backend(spec.kpis)
             with open(spec.changes) as handle:
                 change_log = changelog_from_json(handle.read())
             engine = Litmus(

@@ -37,6 +37,13 @@ from .descriptive import (
     trimmed_mean,
     winsorize,
 )
+from .gramcache import (
+    GramCache,
+    array_digest,
+    get_gram_cache,
+    set_gram_cache,
+    use_gram_cache,
+)
 from .linreg import (
     BatchedLinearModel,
     LinearModel,
@@ -70,6 +77,7 @@ __all__ = [
     "DataQualityError",
     "Direction",
     "Frequency",
+    "GramCache",
     "INCONCLUSIVE_REASONS",
     "LinearModel",
     "MIN_SAMPLES",
@@ -77,6 +85,7 @@ __all__ = [
     "TestResult",
     "TimeSeries",
     "align",
+    "array_digest",
     "classify_signature",
     "compare_windows",
     "correlation_matrix",
@@ -91,6 +100,7 @@ __all__ = [
     "fit_ridge",
     "fit_ridge_batched",
     "fligner_policello",
+    "get_gram_cache",
     "hodges_lehmann",
     "iqr",
     "mad",
@@ -103,10 +113,12 @@ __all__ = [
     "remove_trend",
     "remove_weekly",
     "seasonally_adjust",
+    "set_gram_cache",
     "spearman",
     "stack",
     "summarize",
     "trimmed_mean",
+    "use_gram_cache",
     "welch_t",
     "weekly_profile",
     "winsorize",

@@ -1,0 +1,199 @@
+"""Pool-Gram / coefficient cache for the batched regression kernel.
+
+Campaigns and ``serve`` re-assess the same changes with overlapping
+windows: the training window is anchored at the change day, so varying
+``after_offset_days`` re-submits the *identical* ``(x_train, y, cols)``
+problem to :func:`~repro.stats.linreg.ols_subset_forecasts` and only the
+evaluation rows differ.  Rebuilding the pool Gram and re-solving the
+``B`` normal-equation systems for every such request is pure waste.
+
+This module memoizes the two expensive, eval-independent stages of the
+kernel:
+
+* ``gram``  — the pool products ``(X^T X, X^T y)`` for a training pool;
+* ``beta``  — the refined per-subset coefficients and training ``R²``
+  for a ``(pool, response, subsets)`` triple.
+
+Keys are SHA-256 digests of the exact array bytes (values, shape,
+dtype), so a hit can only ever return the stored output of the *same*
+computation — cached and uncached results are bit-identical by
+construction, and invalidation is automatic: touch one sample, one
+control column or one sampled subset and the digest (hence the key)
+changes.  The digest of ``x_train`` subsumes the (control-set, window,
+offset) identity: two requests share an entry exactly when they would
+have built the same design.
+
+The cache is a bounded LRU guarded by a lock, shared process-wide so the
+``run_tasks`` thread fan-out reuses entries across workers (process
+pools get a fresh empty cache per child, which is safe — a miss just
+recomputes).  Hits, misses and evictions are exported through the
+:mod:`repro.obs` metrics registry as ``gramcache.hits`` /
+``gramcache.misses`` / ``gramcache.evictions``, so ``--metrics`` output
+shows whether a workload is actually sharing work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..obs.metrics import get_metrics
+
+__all__ = [
+    "GramCache",
+    "array_digest",
+    "get_gram_cache",
+    "set_gram_cache",
+    "use_gram_cache",
+]
+
+#: Default entry bound: generous for a campaign's worth of distinct
+#: (change, kpi, window) training problems, small next to the panels
+#: themselves (an entry stores a (k, k) Gram or (B, k) betas, not pools).
+DEFAULT_MAX_ENTRIES = 128
+
+
+def array_digest(*arrays: np.ndarray) -> str:
+    """SHA-256 over the exact bytes, shape and dtype of the arrays.
+
+    Shape and dtype are hashed alongside the payload so e.g. a ``(2, 6)``
+    and a ``(3, 4)`` view of the same buffer never collide.  Arrays are
+    made contiguous if needed; the digest is of *content*, not identity,
+    which is what makes cache hits provably result-preserving.
+    """
+    h = hashlib.sha256()
+    for arr in arrays:
+        a = np.ascontiguousarray(arr)
+        h.update(str(a.dtype.str).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+class GramCache:
+    """Thread-safe bounded LRU for Gram products and refined coefficients.
+
+    Entries are namespaced (``"gram"``, ``"beta"``) so the two stages
+    share one bound and one eviction order.  ``get``/``put`` never block
+    on computation — the caller computes on a miss and stores the result
+    — so two threads racing on the same key at worst both compute the
+    identical value and one insert wins: results never depend on timing.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[str, Hashable], Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, namespace: str, key: Hashable) -> Optional[Any]:
+        """Stored value or None; a hit refreshes LRU recency."""
+        full_key = (namespace, key)
+        with self._lock:
+            try:
+                value = self._entries[full_key]
+            except KeyError:
+                self._misses += 1
+                get_metrics().counter("gramcache.misses").inc()
+                return None
+            self._entries.move_to_end(full_key)
+            self._hits += 1
+        get_metrics().counter("gramcache.hits").inc()
+        return value
+
+    def put(self, namespace: str, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) a value, evicting the LRU entry when full."""
+        full_key = (namespace, key)
+        evicted = 0
+        with self._lock:
+            self._entries[full_key] = value
+            self._entries.move_to_end(full_key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                evicted += 1
+        if evicted:
+            get_metrics().counter("gramcache.evictions").inc(evicted)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """Lifetime hit/miss/eviction counts plus current occupancy."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (
+            f"GramCache(entries={s['entries']}/{s['max_entries']}, "
+            f"hits={s['hits']}, misses={s['misses']})"
+        )
+
+
+# The active cache is a module global, NOT a contextvar: the whole point
+# is that run_tasks' thread-pool workers (each with its own context) share
+# entries.  Swaps go through set/use below; None disables caching.
+_active_lock = threading.Lock()
+_active_cache: Optional[GramCache] = GramCache()
+
+
+def get_gram_cache() -> Optional[GramCache]:
+    """The process-wide active cache, or None when caching is disabled."""
+    return _active_cache
+
+
+def set_gram_cache(cache: Optional[GramCache]) -> Optional[GramCache]:
+    """Install ``cache`` as the active cache; returns the previous one."""
+    global _active_cache
+    with _active_lock:
+        previous = _active_cache
+        _active_cache = cache
+    return previous
+
+
+class use_gram_cache:
+    """Context manager installing a cache (or None) for a scope.
+
+    The scope is process-wide, not per-thread — intended for tests and
+    benchmarks that need a private or disabled cache::
+
+        with use_gram_cache(None):          # force every call cold
+            ...
+        with use_gram_cache(GramCache(4)):  # tiny bound, observe eviction
+            ...
+    """
+
+    def __init__(self, cache: Optional[GramCache]) -> None:
+        self._cache = cache
+        self._previous: Optional[GramCache] = None
+
+    def __enter__(self) -> Optional[GramCache]:
+        self._previous = set_gram_cache(self._cache)
+        return self._cache
+
+    def __exit__(self, *exc_info) -> None:
+        set_gram_cache(self._previous)
+
+    def __iter__(self) -> Iterator:  # pragma: no cover - defensive
+        raise TypeError("use_gram_cache is a context manager, not an iterable")

@@ -72,8 +72,12 @@ class TimeSeries:
         arr = np.asarray(self.values, dtype=float)
         if arr.ndim != 1:
             raise ValueError(f"TimeSeries values must be 1-D, got shape {arr.shape}")
-        arr = arr.copy()
-        arr.flags.writeable = False
+        if arr.flags.writeable:
+            arr = arr.copy()
+            arr.flags.writeable = False
+        # Already-frozen input (a window of another TimeSeries, a slice of a
+        # read-only memmap from the columnar store) is adopted as-is: the
+        # immutability contract holds and the construction stays zero-copy.
         object.__setattr__(self, "values", arr)
         if self.freq <= 0:
             raise ValueError(f"freq must be positive, got {self.freq}")

@@ -1,0 +1,35 @@
+"""Shared fixtures: the dual-backend KPI store parametrization.
+
+``kpi_backend`` turns any test that consumes KPI measurements into a
+matrix over both storage backends — the in-memory :class:`KpiStore` and
+the memory-mapped columnar store — so every future assessment test pins
+backend parity by default just by taking the fixture.
+"""
+
+import pytest
+
+from repro.io import ColumnarKpiStore, write_colstore
+from repro.kpi import KpiStore
+
+
+@pytest.fixture(params=["memory", "columnar"])
+def kpi_backend(request, tmp_path):
+    """A factory mapping a populated ``KpiStore`` to the backend under test.
+
+    ``memory`` returns the store unchanged; ``columnar`` round-trips it
+    through an on-disk colstore and returns the memory-mapped reader.
+    Both satisfy :class:`repro.kpi.KpiBackend`, so the code under test
+    cannot tell them apart — and the assertions prove it never needs to.
+    """
+    if request.param == "memory":
+        return lambda store: store
+
+    counter = {"n": 0}
+
+    def to_columnar(store: KpiStore) -> ColumnarKpiStore:
+        counter["n"] += 1
+        path = tmp_path / f"store-{counter['n']}.col"
+        write_colstore(store, path)
+        return ColumnarKpiStore.open(path)
+
+    return to_columnar

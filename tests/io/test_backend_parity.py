@@ -1,0 +1,192 @@
+"""Dual-backend parity: byte-identical assessment reports.
+
+The columnar store earns its place only if the assessment pipeline cannot
+tell it from the in-memory store.  These tests run the tier-1 scenarios —
+the five Table-3 injection cases and the simulated FFA deployment — through
+``Litmus.assess`` on both backends and compare the *serialized* reports:
+``json.dumps(report.to_dict(), sort_keys=True)`` must match byte for byte,
+pinning every verdict, statistic and float bit, not just the headline.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Litmus, LitmusConfig
+from repro.evaluation.injection import InjectionCase, InjectionScenario, synthesize_case
+from repro.external.factors import goodness_magnitude
+from repro.io import ColumnarKpiStore, write_colstore
+from repro.kpi import DEFAULT_KPIS, KpiKind, KpiStore, LevelShift, generate_kpis
+from repro.stats import TimeSeries
+from repro.network import (
+    ChangeEvent,
+    ChangeLog,
+    ChangeType,
+    ElementRole,
+    Region,
+    build_network,
+)
+from repro.selection import control_group_quality
+
+VR = KpiKind.VOICE_RETAINABILITY
+
+
+def serialized(report) -> str:
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+def to_columnar(store: KpiStore, tmp_path, name: str) -> ColumnarKpiStore:
+    path = tmp_path / f"{name}.col"
+    write_colstore(store, path)
+    return ColumnarKpiStore.open(path)
+
+
+# ----------------------------------------------------------------------
+# Table-3 injection scenarios
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def scenario_topology():
+    # One region, 12 RNCs: a study element plus a 10-strong control pool.
+    return build_network(seed=11, controllers_per_region=12, towers_per_controller=1)
+
+
+def scenario_store(case: InjectionCase, element_ids) -> KpiStore:
+    """Load a synthesized case's arrays as full series keyed to real elements."""
+    sb, sa, cb, ca = synthesize_case(case)
+    store = KpiStore()
+    store.put(element_ids[0], case.kpi, TimeSeries(np.concatenate([sb, sa]), start=0))
+    controls = np.vstack([cb, ca])  # (T, n_controls)
+    for j, eid in enumerate(element_ids[1 : case.n_controls + 1]):
+        store.put(eid, case.kpi, TimeSeries(controls[:, j], start=0))
+    return store
+
+
+SCENARIO_CASES = [
+    InjectionCase(InjectionScenario.NONE, VR, Region.NORTHEAST, seed=3),
+    InjectionCase(InjectionScenario.STUDY, VR, Region.NORTHEAST, seed=3, magnitude_study=4.0),
+    InjectionCase(
+        InjectionScenario.CONTROL, VR, Region.NORTHEAST, seed=3, magnitude_control=4.0
+    ),
+    InjectionCase(
+        InjectionScenario.BOTH_SAME,
+        VR,
+        Region.NORTHEAST,
+        seed=3,
+        magnitude_study=4.0,
+        magnitude_control=4.0,
+    ),
+    InjectionCase(
+        InjectionScenario.BOTH_DIFFERENT,
+        VR,
+        Region.NORTHEAST,
+        seed=3,
+        magnitude_study=4.0,
+        magnitude_control=1.0,
+    ),
+]
+
+
+class TestTable3ScenarioParity:
+    @pytest.mark.parametrize(
+        "case", SCENARIO_CASES, ids=[c.scenario.value for c in SCENARIO_CASES]
+    )
+    def test_reports_byte_identical(self, case, scenario_topology, tmp_path):
+        rncs = [e.element_id for e in scenario_topology.elements(role=ElementRole.RNC)]
+        study, controls = rncs[0], rncs[1 : case.n_controls + 1]
+        store = scenario_store(case, rncs)
+        change = ChangeEvent(
+            f"inject-{case.scenario.value}",
+            ChangeType.CONFIGURATION,
+            case.training_days,
+            frozenset({study}),
+        )
+        reports = {}
+        for label, backend in (
+            ("memory", store),
+            ("columnar", to_columnar(store, tmp_path, case.scenario.value)),
+        ):
+            engine = Litmus(scenario_topology, backend, LitmusConfig())
+            reports[label] = serialized(
+                engine.assess(change, [case.kpi], control_ids=controls)
+            )
+        assert reports["memory"] == reports["columnar"]
+
+
+# ----------------------------------------------------------------------
+# The simulated FFA deployment (the `litmus simulate` world)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    topo = build_network(seed=7, controllers_per_region=10, towers_per_controller=2)
+    store = generate_kpis(topo, DEFAULT_KPIS, seed=7)
+    rncs = topo.elements(role=ElementRole.RNC)
+    log = ChangeLog(
+        [
+            ChangeEvent(
+                "ffa-good",
+                ChangeType.CONFIGURATION,
+                85,
+                frozenset({rncs[0].element_id}),
+            ),
+            ChangeEvent(
+                "ffa-bad",
+                ChangeType.SOFTWARE_UPGRADE,
+                85,
+                frozenset({rncs[1].element_id}),
+            ),
+        ]
+    )
+    store.apply_effect(rncs[0].element_id, VR, LevelShift(goodness_magnitude(VR, 4.5), 85))
+    store.apply_effect(rncs[1].element_id, VR, LevelShift(goodness_magnitude(VR, -4.5), 85))
+    return topo, store, log
+
+
+class TestDeploymentParity:
+    @pytest.mark.parametrize("change_id", ["ffa-good", "ffa-bad"])
+    def test_assessment_reports_byte_identical(self, deployment, tmp_path, change_id):
+        topo, store, log = deployment
+        col = to_columnar(store, tmp_path, change_id)
+        reports = {}
+        for label, backend in (("memory", store), ("columnar", col)):
+            engine = Litmus(topo, backend, LitmusConfig(), change_log=log)
+            reports[label] = serialized(engine.assess(log.get(change_id), DEFAULT_KPIS))
+        assert reports["memory"] == reports["columnar"]
+
+    def test_overlapping_windows_byte_identical(self, deployment, tmp_path):
+        """The warm-cache serving pattern: same change, shifted window."""
+        topo, store, log = deployment
+        col = to_columnar(store, tmp_path, "overlap")
+        for offset in (0, 1, 2):
+            reports = {}
+            for label, backend in (("memory", store), ("columnar", col)):
+                engine = Litmus(topo, backend, LitmusConfig(), change_log=log)
+                reports[label] = serialized(
+                    engine.assess(log.get("ffa-bad"), [VR], after_offset_days=offset)
+                )
+            assert reports["memory"] == reports["columnar"], f"offset={offset}"
+
+
+# ----------------------------------------------------------------------
+# The parametrized fixture: future tests get both backends for free
+# ----------------------------------------------------------------------
+
+
+class TestBackendFixture:
+    def test_quality_diagnosis_backend_agnostic(self, kpi_backend, deployment):
+        """`kpi_backend` runs this twice — once per backend — and the
+        quality firewall's verdict must not depend on which one."""
+        topo, store, _ = deployment
+        backend = kpi_backend(store)
+        engine = Litmus(topo, backend)
+        rncs = [e.element_id for e in topo.elements(role=ElementRole.RNC)]
+        group = engine.selector.select([rncs[1]])
+        report = control_group_quality(
+            backend, rncs[1], list(group.element_ids), VR, 85
+        )
+        assert report.usable
+        assert len(report.controls) == len(list(group.element_ids))

@@ -1,0 +1,313 @@
+"""Columnar store: round-trip losslessness, property tests, corruption.
+
+Three pillars pin the format to the in-memory semantics:
+
+* exact round-trip — ``KpiStore -> colstore -> KpiStore`` preserves every
+  value bit (including NaN gaps), every ``start`` offset and every
+  frequency;
+* randomized window equivalence — a window sliced from the memory-mapped
+  reader equals the same window sliced in memory, for arbitrary
+  (window, offset) pairs (Hypothesis-driven);
+* corruption containment — a truncated or tampered header/value file
+  raises the typed :class:`StoreCorruption`, never a garbage read.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import (
+    ColumnarKpiStore,
+    StoreCorruption,
+    is_colstore,
+    load_kpi_backend,
+    write_colstore,
+    write_store_csv,
+)
+from repro.io.colstore import HEADER_FILE
+from repro.kpi import KpiKind, KpiStore
+from repro.stats import TimeSeries
+
+VR = KpiKind.VOICE_RETAINABILITY
+DT = KpiKind.DATA_THROUGHPUT
+
+
+def sample_store() -> KpiStore:
+    rng = np.random.default_rng(42)
+    store = KpiStore()
+    for i in range(6):
+        values = rng.normal(0.95, 0.01, size=60)
+        if i % 2:
+            values[7] = np.nan  # a real gap, distinct from padding
+        store.put(f"rnc-{i}", VR, TimeSeries(values, start=i * 3, freq=1))
+    for i in range(3):
+        store.put(f"rnc-{i}", DT, TimeSeries(rng.normal(5.0, 1.0, 48), start=0, freq=24))
+    return store
+
+
+@pytest.fixture()
+def store_dir(tmp_path):
+    store = sample_store()
+    path = tmp_path / "kpis.col"
+    write_colstore(store, path)
+    return store, path
+
+
+class TestRoundTrip:
+    def test_lossless_per_series(self, store_dir):
+        store, path = store_dir
+        col = ColumnarKpiStore.open(path, verify=True)
+        assert len(col) == len(store)
+        assert col.element_ids() == [str(e) for e in store.element_ids()]
+        for eid in store.element_ids():
+            assert col.kpis_for(str(eid)) == store.kpis_for(eid)
+            for kpi in store.kpis_for(eid):
+                mem, mapped = store.get(eid, kpi), col.get(str(eid), kpi)
+                assert (mem.start, mem.freq) == (mapped.start, mapped.freq)
+                np.testing.assert_array_equal(
+                    np.asarray(mem.values), np.asarray(mapped.values)
+                )
+
+    def test_to_kpi_store_round_trip(self, store_dir):
+        store, path = store_dir
+        back = ColumnarKpiStore.open(path).to_kpi_store()
+        assert len(back) == len(store)
+        for eid in store.element_ids():
+            for kpi in store.kpis_for(eid):
+                a, b = store.get(eid, kpi), back.get(str(eid), kpi)
+                assert (a.start, a.freq) == (b.start, b.freq)
+                np.testing.assert_array_equal(np.asarray(a.values), np.asarray(b.values))
+
+    def test_matrix_matches_memory_backend(self, store_dir):
+        store, path = store_dir
+        col = ColumnarKpiStore.open(path)
+        ids = store.element_ids(VR)
+        m_mem, s_mem = store.matrix(ids, VR)
+        m_col, s_col = col.matrix([str(e) for e in ids], VR)
+        assert s_mem == s_col
+        np.testing.assert_array_equal(m_mem, m_col)
+
+    def test_get_is_zero_copy_and_read_only(self, store_dir):
+        _, path = store_dir
+        col = ColumnarKpiStore.open(path)
+        a = col.get("rnc-0", VR)
+        b = col.get("rnc-0", VR)
+        assert not a.values.flags.writeable
+        # Both reads are views into the same mapping — no bytes copied.
+        assert np.shares_memory(a.values, b.values)
+        w = a.window(5, 20)
+        assert np.shares_memory(w.values, a.values)
+
+    def test_has_and_missing_series(self, store_dir):
+        _, path = store_dir
+        col = ColumnarKpiStore.open(path)
+        assert col.has("rnc-0", VR)
+        assert not col.has("rnc-0", KpiKind.CALL_VOLUME)
+        assert not col.has("nonexistent", VR)
+        with pytest.raises(KeyError, match="nonexistent"):
+            col.get("nonexistent", VR)
+
+    def test_lineage_names_content(self, store_dir):
+        _, path = store_dir
+        col = ColumnarKpiStore.open(path)
+        lineage = col.lineage()
+        assert lineage["backend"] == "columnar"
+        assert lineage["n_series"] == len(col)
+        assert set(lineage["content_sha256"]) == {VR.value, DT.value}
+        assert lineage["bytes"] == col.nbytes() > 0
+
+    def test_mixed_freq_kind_rejected(self, tmp_path):
+        store = KpiStore()
+        store.put("a", VR, TimeSeries(np.ones(5), freq=1))
+        store.put("b", VR, TimeSeries(np.ones(5), freq=24))
+        with pytest.raises(ValueError, match="mix frequencies"):
+            write_colstore(store, tmp_path / "bad.col")
+
+
+class TestDetection:
+    def test_is_colstore(self, store_dir, tmp_path):
+        _, path = store_dir
+        assert is_colstore(path)
+        assert not is_colstore(tmp_path / "nope")
+        assert not is_colstore(path / HEADER_FILE)  # a file, not a store dir
+
+    def test_load_kpi_backend_dispatch(self, store_dir, tmp_path):
+        _, path = store_dir
+        assert isinstance(load_kpi_backend(path), ColumnarKpiStore)
+        daily = KpiStore()
+        daily.put("el", VR, TimeSeries(np.ones(5), freq=1))
+        csv_path = tmp_path / "kpis.csv"
+        write_store_csv(daily, csv_path, freq=1)
+        assert isinstance(load_kpi_backend(csv_path), KpiStore)
+        with pytest.raises(StoreCorruption):
+            load_kpi_backend(csv_path, backend="columnar")
+        with pytest.raises(ValueError, match="unknown store backend"):
+            load_kpi_backend(path, backend="parquet")
+
+
+# A daily series that may include NaN gaps, plus a start offset.
+series_strategy = st.tuples(
+    st.lists(
+        st.one_of(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            st.just(float("nan")),
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    st.integers(min_value=-10, max_value=25),
+)
+
+
+class TestProperties:
+    @given(series=series_strategy, freq=st.sampled_from([1, 24]))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_is_lossless(self, tmp_path_factory, series, freq):
+        values, start = series
+        store = KpiStore()
+        store.put("el", VR, TimeSeries(values, start=start, freq=freq))
+        path = tmp_path_factory.mktemp("prop") / "s.col"
+        write_colstore(store, path)
+        got = ColumnarKpiStore.open(path, verify=True).get("el", VR)
+        assert got.start == start and got.freq == freq
+        np.testing.assert_array_equal(
+            np.asarray(got.values), np.asarray(store.get("el", VR).values)
+        )
+
+    @given(
+        series=series_strategy,
+        lo=st.integers(min_value=-15, max_value=70),
+        width=st.integers(min_value=0, max_value=70),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_window_equals_in_memory_window(self, tmp_path_factory, series, lo, width):
+        values, start = series
+        mem = TimeSeries(values, start=start, freq=1)
+        store = KpiStore()
+        store.put("el", VR, mem)
+        path = tmp_path_factory.mktemp("prop") / "s.col"
+        write_colstore(store, path)
+        mapped = ColumnarKpiStore.open(path).get("el", VR)
+        w_mem, w_map = mem.window(lo, lo + width), mapped.window(lo, lo + width)
+        assert w_mem.start == w_map.start
+        np.testing.assert_array_equal(np.asarray(w_mem.values), np.asarray(w_map.values))
+
+    @given(
+        n_series=st.integers(min_value=2, max_value=6),
+        data=st.data(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_multi_series_store_round_trips(self, tmp_path_factory, n_series, data):
+        store = KpiStore()
+        for i in range(n_series):
+            values, start = data.draw(series_strategy)
+            store.put(f"el-{i}", VR, TimeSeries(values, start=start, freq=1))
+        path = tmp_path_factory.mktemp("prop") / "s.col"
+        write_colstore(store, path)
+        col = ColumnarKpiStore.open(path, verify=True)
+        for i in range(n_series):
+            a, b = store.get(f"el-{i}", VR), col.get(f"el-{i}", VR)
+            assert a.start == b.start
+            np.testing.assert_array_equal(np.asarray(a.values), np.asarray(b.values))
+
+
+class TestCorruption:
+    def _header(self, path):
+        return json.loads((path / HEADER_FILE).read_text())
+
+    def _write_header(self, path, header):
+        (path / HEADER_FILE).write_text(json.dumps(header))
+
+    def test_missing_header(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(StoreCorruption, match="has no header.json"):
+            ColumnarKpiStore.open(tmp_path / "empty")
+
+    def test_truncated_header_json(self, store_dir):
+        _, path = store_dir
+        text = (path / HEADER_FILE).read_text()
+        (path / HEADER_FILE).write_text(text[: len(text) // 2])
+        with pytest.raises(StoreCorruption, match="unreadable colstore header"):
+            ColumnarKpiStore.open(path)
+
+    def test_wrong_format_tag(self, store_dir):
+        _, path = store_dir
+        header = self._header(path)
+        header["format"] = "something-else"
+        self._write_header(path, header)
+        with pytest.raises(StoreCorruption, match="not a litmus-colstore header"):
+            ColumnarKpiStore.open(path)
+
+    def test_unsupported_schema(self, store_dir):
+        _, path = store_dir
+        header = self._header(path)
+        header["schema"] = 99
+        self._write_header(path, header)
+        with pytest.raises(StoreCorruption, match="unsupported colstore schema 99"):
+            ColumnarKpiStore.open(path)
+
+    def test_truncated_value_file(self, store_dir):
+        _, path = store_dir
+        header = self._header(path)
+        value_file = header["kinds"][VR.value]["file"]
+        full = (path / value_file).read_bytes()
+        (path / value_file).write_bytes(full[:-16])
+        with pytest.raises(StoreCorruption, match="truncated or resized"):
+            ColumnarKpiStore.open(path)
+
+    def test_missing_value_file(self, store_dir):
+        _, path = store_dir
+        header = self._header(path)
+        os.unlink(path / header["kinds"][VR.value]["file"])
+        with pytest.raises(StoreCorruption, match="is missing"):
+            ColumnarKpiStore.open(path)
+
+    def test_index_out_of_bounds(self, store_dir):
+        _, path = store_dir
+        header = self._header(path)
+        header["kinds"][VR.value]["series"][0]["len"] += 1000
+        self._write_header(path, header)
+        with pytest.raises(StoreCorruption, match="outside the matrix time span"):
+            ColumnarKpiStore.open(path)
+
+    def test_duplicate_index_entry(self, store_dir):
+        _, path = store_dir
+        header = self._header(path)
+        entries = header["kinds"][VR.value]["series"]
+        entries[1]["id"] = entries[0]["id"]
+        self._write_header(path, header)
+        with pytest.raises(StoreCorruption, match="duplicate index entry"):
+            ColumnarKpiStore.open(path)
+
+    def test_unknown_kpi_kind(self, store_dir):
+        _, path = store_dir
+        header = self._header(path)
+        header["kinds"]["not-a-kpi"] = header["kinds"].pop(VR.value)
+        self._write_header(path, header)
+        with pytest.raises(StoreCorruption, match="unknown KPI kind 'not-a-kpi'"):
+            ColumnarKpiStore.open(path)
+
+    def test_flipped_payload_byte_fails_verification(self, store_dir):
+        _, path = store_dir
+        header = self._header(path)
+        value_file = header["kinds"][VR.value]["file"]
+        raw = bytearray((path / value_file).read_bytes())
+        raw[13] ^= 0xFF  # same size, different content
+        (path / value_file).write_bytes(bytes(raw))
+        # Structural checks alone cannot see it ...
+        ColumnarKpiStore.open(path)
+        # ... the content audit does.
+        with pytest.raises(StoreCorruption, match="SHA-256 content check"):
+            ColumnarKpiStore.open(path, verify=True)
+
+    def test_malformed_index_entry(self, store_dir):
+        _, path = store_dir
+        header = self._header(path)
+        del header["kinds"][VR.value]["series"][0]["start"]
+        self._write_header(path, header)
+        with pytest.raises(StoreCorruption, match="malformed index entry"):
+            ColumnarKpiStore.open(path)

@@ -1,0 +1,93 @@
+"""Streaming-ingestion memory regression for ``read_store_csv``.
+
+The reader used to materialise one boxed ``(int, float, int)`` tuple per
+CSV row (~150 bytes each) before building any series, and the headerless
+path additionally slurped the whole remaining file into a single string.
+Both spikes scale with file size, not series size.  These tests pin the
+streaming behaviour with ``tracemalloc``: peak allocation during a
+100k-row ingestion must stay within a small per-row budget — the packed
+24-byte buffers plus bounded per-series transients — far below what any
+row-object representation can achieve.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.io import read_store_csv
+from repro.kpi import KpiKind
+
+VR = KpiKind.VOICE_RETAINABILITY
+
+#: Streaming budget per data row.  The packed buffers cost 24 bytes/row;
+#: sorting and series construction add bounded per-series transients.  The
+#: old tuple-bucket representation needed >120 bytes/row, so this threshold
+#: fails loudly on any regression to row objects while leaving ~2x headroom
+#: over the streaming implementation's real footprint.
+PEAK_BYTES_PER_ROW = 60
+
+
+def generate_csv(path, n_series: int, n_days: int, header: bool = True) -> int:
+    """Long-form CSV with ``n_series * n_days`` measurement rows."""
+    rng = np.random.default_rng(5)
+    with open(path, "w") as handle:
+        if header:
+            handle.write("# litmus-kpi-export freq=1\n")
+        handle.write("element_id,kpi,day,value\n")
+        for s in range(n_series):
+            values = rng.normal(0.95, 0.01, size=n_days)
+            for day in range(n_days):
+                handle.write(f"el-{s},{VR.value},{day},{float(values[day])!r}\n")
+    return n_series * n_days
+
+
+def peak_during_read(path):
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        store = read_store_csv(path)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return store, peak
+
+
+@pytest.mark.slow
+class TestStreamingPeakMemory:
+    def test_100k_row_ingestion_stays_within_row_budget(self, tmp_path):
+        path = tmp_path / "big.csv"
+        n_rows = generate_csv(path, n_series=100, n_days=1000)
+        assert n_rows == 100_000
+        store, peak = peak_during_read(path)
+        assert len(store) == 100
+        assert len(store.get("el-0", VR)) == 1000
+        budget = PEAK_BYTES_PER_ROW * n_rows
+        assert peak < budget, (
+            f"ingestion peaked at {peak} bytes for {n_rows} rows "
+            f"({peak / n_rows:.0f} bytes/row; budget {PEAK_BYTES_PER_ROW})"
+        )
+
+    def test_headerless_file_is_not_slurped(self, tmp_path):
+        """The headerless path must stream too — it used to read the whole
+        remaining file into one string before parsing."""
+        path = tmp_path / "plain.csv"
+        n_rows = generate_csv(path, n_series=50, n_days=1000, header=False)
+        file_size = path.stat().st_size
+        store, peak = peak_during_read(path)
+        assert len(store) == 50
+        # A slurp alone would put the full file text on the heap at once.
+        assert peak < min(file_size, PEAK_BYTES_PER_ROW * n_rows)
+
+
+class TestStreamingCorrectness:
+    def test_small_file_round_trips_exactly(self, tmp_path):
+        """The fast lane keeps a miniature twin of the slow test so the
+        streaming path's correctness is always exercised."""
+        path = tmp_path / "small.csv"
+        generate_csv(path, n_series=3, n_days=40)
+        store = read_store_csv(path)
+        assert len(store) == 3
+        series = store.get("el-1", VR)
+        assert series.start == 0 and len(series) == 40
+        assert np.isfinite(np.asarray(series.values)).all()

@@ -86,7 +86,7 @@ class TestBuildAndRoundTrip:
         assert m.seed_lineage["n_spawned"] == 3
         assert m.tallies == {"assess.tasks": 3}
         assert m.versions["python"]
-        assert m.schema == 2
+        assert m.schema == 3
         assert m.journal is None
 
     def test_dict_round_trip(self):

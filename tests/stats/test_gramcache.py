@@ -1,0 +1,217 @@
+"""Gram-cache correctness: hits must be invisible except in the clock.
+
+The cache's one non-negotiable property is that a hit returns the bit-for-
+bit output of the computation it memoized: cached vs uncached
+``ols_subset_forecasts`` must agree exactly across randomized problems,
+eviction under a tiny LRU bound must never change a result (only cost a
+recompute), and concurrent access from the ``run_tasks`` fan-out must be
+race-free.  Alongside: LRU mechanics, the metrics-registry counters that
+surface in ``--metrics`` output, and digest keying.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import run_tasks
+from repro.obs import MetricsRegistry, use_metrics
+from repro.stats import (
+    GramCache,
+    array_digest,
+    get_gram_cache,
+    ols_subset_forecasts,
+    set_gram_cache,
+    use_gram_cache,
+)
+
+
+def random_problem(rng, T=40, N=12, B=15, k=5, n_eval=7):
+    """One subset-OLS workload: pool, response, sampled columns, eval rows."""
+    x_train = rng.normal(size=(T, N))
+    y = x_train @ rng.normal(size=N) + rng.normal(0, 0.1, size=T)
+    cols = np.vstack([rng.permutation(N)[:k] for _ in range(B)])
+    x_eval = rng.normal(size=(n_eval, N))
+    return x_train, y, cols, x_eval
+
+
+class TestBitIdentity:
+    def test_cached_equals_uncached_across_random_problems(self):
+        rng = np.random.default_rng(7)
+        problems = [random_problem(rng) for _ in range(8)]
+        with use_gram_cache(None):
+            cold = [ols_subset_forecasts(*p) for p in problems]
+        with use_gram_cache(GramCache()):
+            warm_first = [ols_subset_forecasts(*p) for p in problems]
+            warm_hit = [ols_subset_forecasts(*p) for p in problems]
+        for (f0, r0), (f1, r1), (f2, r2) in zip(cold, warm_first, warm_hit):
+            np.testing.assert_array_equal(f0, f1)
+            np.testing.assert_array_equal(r0, r1)
+            np.testing.assert_array_equal(f1, f2)
+            np.testing.assert_array_equal(r1, r2)
+
+    def test_same_training_problem_different_eval_rows_hits(self):
+        """The overlapping-window pattern: beta reused, forecasts fresh."""
+        rng = np.random.default_rng(8)
+        x_train, y, cols, _ = random_problem(rng)
+        evals = [rng.normal(size=(5, x_train.shape[1])) for _ in range(3)]
+        with use_gram_cache(None):
+            cold = [ols_subset_forecasts(x_train, y, cols, xe) for xe in evals]
+        with use_gram_cache(GramCache()) as cache:
+            warm = [ols_subset_forecasts(x_train, y, cols, xe) for xe in evals]
+            stats = cache.stats()
+        for (f0, r0), (f1, r1) in zip(cold, warm):
+            np.testing.assert_array_equal(f0, f1)
+            np.testing.assert_array_equal(r0, r1)
+        assert stats["hits"] == 2  # second and third call reuse the beta
+
+    def test_returned_arrays_are_safe_to_mutate(self):
+        """A caller scribbling on results must not corrupt later hits."""
+        rng = np.random.default_rng(9)
+        p = random_problem(rng)
+        with use_gram_cache(GramCache()):
+            f1, r1 = ols_subset_forecasts(*p)
+            expected_f, expected_r = f1.copy(), r1.copy()
+            f1[:] = -1.0
+            r1[:] = -1.0
+            f2, r2 = ols_subset_forecasts(*p)
+        np.testing.assert_array_equal(f2, expected_f)
+        np.testing.assert_array_equal(r2, expected_r)
+
+
+class TestEviction:
+    def test_tiny_lru_never_changes_results(self):
+        rng = np.random.default_rng(11)
+        problems = [random_problem(rng) for _ in range(5)]
+        with use_gram_cache(None):
+            cold = [ols_subset_forecasts(*p) for p in problems]
+        # Two entries for five problems x two namespaces: constant churn.
+        with use_gram_cache(GramCache(max_entries=2)) as cache:
+            for _ in range(3):
+                for p, (f0, r0) in zip(problems, cold):
+                    f, r = ols_subset_forecasts(*p)
+                    np.testing.assert_array_equal(f, f0)
+                    np.testing.assert_array_equal(r, r0)
+            stats = cache.stats()
+        assert stats["evictions"] > 0
+        assert len(cache) <= 2
+
+    def test_lru_order_and_bound(self):
+        cache = GramCache(max_entries=2)
+        cache.put("ns", "a", 1)
+        cache.put("ns", "b", 2)
+        assert cache.get("ns", "a") == 1  # refreshes "a"
+        cache.put("ns", "c", 3)  # evicts "b", the least recent
+        assert cache.get("ns", "b") is None
+        assert cache.get("ns", "a") == 1
+        assert cache.get("ns", "c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            GramCache(max_entries=0)
+
+
+class TestConcurrency:
+    def test_run_tasks_fanout_race_free(self):
+        """Many threads hammering one shared cache on overlapping problems
+        must produce exactly the serial (and uncached) results."""
+        rng = np.random.default_rng(13)
+        base = [random_problem(rng) for _ in range(4)]
+        payloads = [base[i % len(base)] for i in range(32)]
+        with use_gram_cache(None):
+            expected = [ols_subset_forecasts(*p) for p in payloads]
+
+        def work(payload):
+            return ols_subset_forecasts(*payload)
+
+        with use_gram_cache(GramCache()) as cache:
+            outcomes = run_tasks(work, payloads, executor="thread", n_workers=4)
+            stats = cache.stats()
+        assert all(o.ok for o in outcomes)
+        for outcome, (f0, r0) in zip(outcomes, expected):
+            f, r = outcome.value
+            np.testing.assert_array_equal(f, f0)
+            np.testing.assert_array_equal(r, r0)
+        # The four distinct problems were solved at least once each; the
+        # other calls were free to hit (no assertion on the exact count —
+        # racing threads may both miss the same key, which is safe).
+        assert stats["hits"] > 0
+
+    def test_concurrent_eviction_churn_race_free(self):
+        rng = np.random.default_rng(17)
+        base = [random_problem(rng) for _ in range(6)]
+        payloads = [base[i % len(base)] for i in range(24)]
+        with use_gram_cache(None):
+            expected = [ols_subset_forecasts(*p) for p in payloads]
+        with use_gram_cache(GramCache(max_entries=3)):
+            outcomes = run_tasks(
+                lambda p: ols_subset_forecasts(*p),
+                payloads,
+                executor="thread",
+                n_workers=4,
+            )
+        for outcome, (f0, r0) in zip(outcomes, expected):
+            np.testing.assert_array_equal(outcome.value[0], f0)
+            np.testing.assert_array_equal(outcome.value[1], r0)
+
+
+class TestMetricsAndScoping:
+    def test_counters_reach_the_metrics_registry(self):
+        registry = MetricsRegistry()
+        rng = np.random.default_rng(19)
+        p = random_problem(rng)
+        with use_metrics(registry), use_gram_cache(GramCache()):
+            ols_subset_forecasts(*p)
+            ols_subset_forecasts(*p)
+        counters = registry.snapshot()["counters"]
+        assert counters["gramcache.misses"] >= 1
+        assert counters["gramcache.hits"] >= 1
+
+    def test_use_gram_cache_restores_previous(self):
+        before = get_gram_cache()
+        inner = GramCache(4)
+        with use_gram_cache(inner):
+            assert get_gram_cache() is inner
+            with use_gram_cache(None):
+                assert get_gram_cache() is None
+            assert get_gram_cache() is inner
+        assert get_gram_cache() is before
+
+    def test_set_gram_cache_returns_previous(self):
+        before = get_gram_cache()
+        replacement = GramCache(2)
+        try:
+            assert set_gram_cache(replacement) is before
+            assert get_gram_cache() is replacement
+        finally:
+            set_gram_cache(before)
+
+    def test_disabled_cache_still_correct(self):
+        rng = np.random.default_rng(23)
+        p = random_problem(rng)
+        with use_gram_cache(None):
+            f1, r1 = ols_subset_forecasts(*p)
+            f2, r2 = ols_subset_forecasts(*p)
+        np.testing.assert_array_equal(f1, f2)
+        np.testing.assert_array_equal(r1, r2)
+
+
+class TestArrayDigest:
+    def test_content_sensitivity(self):
+        a = np.arange(12, dtype=float)
+        b = a.copy()
+        assert array_digest(a) == array_digest(b)
+        b[3] += 1e-12
+        assert array_digest(a) != array_digest(b)
+
+    def test_shape_and_dtype_disambiguation(self):
+        a = np.arange(12, dtype=float)
+        assert array_digest(a.reshape(3, 4)) != array_digest(a.reshape(4, 3))
+        assert array_digest(a) != array_digest(a.astype(np.float32))
+
+    def test_multiple_arrays_are_one_key(self):
+        a, b = np.ones(3), np.zeros(3)
+        assert array_digest(a, b) != array_digest(b, a)
+
+    def test_non_contiguous_input(self):
+        a = np.arange(20, dtype=float).reshape(4, 5)
+        assert array_digest(a[:, ::2]) == array_digest(a[:, ::2].copy())

@@ -78,7 +78,7 @@ class TestJournaledAssess:
         assert rc == 0
         capsys.readouterr()
         manifest = json.loads((trace / "manifest.json").read_text())
-        assert manifest["schema"] == 2
+        assert manifest["schema"] == 3
         assert manifest["journal"]["directory"] == str(campaign)
         assert manifest["journal"]["report_sha256"]
         assert manifest["journal"]["tasks_recorded"] == 6

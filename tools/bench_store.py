@@ -1,0 +1,281 @@
+#!/usr/bin/env python
+"""Benchmark the columnar KPI store and the pool-Gram cache.
+
+Measures, on this machine:
+
+* **ingestion** — loading 10^5 series through ``read_store_csv`` vs
+  opening the equivalent colstore and materializing the full KPI matrix
+  from the mapping; reports series/sec, bytes/series and the speedup
+  (acceptance floor: 10x);
+* **warm regression** — the memoized computation itself: ``compare`` at
+  the acceptance operating point (``n_iterations=200``, N=100 controls)
+  across overlapping windows, Gram/beta cache disabled vs pre-populated
+  (acceptance floor: 2x);
+* **warm assessment** — the same overlapping-window pattern end-to-end
+  through ``Litmus.assess`` (selection and the quality firewall included),
+  with the ``gramcache.*`` counters from a metrics-registry snapshot —
+  the numbers ``litmus assess --metrics`` shows.
+
+Writes ``BENCH_store.json`` next to the repository root so future PRs can
+track the trajectory:
+
+    PYTHONPATH=src python tools/bench_store.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+import numpy as np
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core import Litmus, LitmusConfig  # noqa: E402
+from repro.external.factors import goodness_magnitude  # noqa: E402
+from repro.io import (  # noqa: E402
+    ColumnarKpiStore,
+    read_store_csv,
+    write_colstore,
+    write_store_csv,
+)
+from repro.kpi import (  # noqa: E402
+    DEFAULT_KPIS,
+    KpiKind,
+    KpiStore,
+    LevelShift,
+    generate_kpis,
+)
+from repro.network import (  # noqa: E402
+    ChangeEvent,
+    ChangeLog,
+    ChangeType,
+    ElementRole,
+    build_network,
+)
+from repro.obs import MetricsRegistry, use_metrics  # noqa: E402
+from repro.stats import GramCache, TimeSeries, use_gram_cache  # noqa: E402
+
+VR = KpiKind.VOICE_RETAINABILITY
+
+
+def time_call(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds (ignores warmup noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def build_big_store(n_series: int, n_days: int, seed: int = 0) -> KpiStore:
+    """``n_series`` daily VR series of ``n_days`` samples each."""
+    rng = np.random.default_rng(seed)
+    values = rng.normal(0.95, 0.01, size=(n_series, n_days))
+    store = KpiStore()
+    for i in range(n_series):
+        store.put(f"el-{i:06d}", VR, TimeSeries(values[i], start=0, freq=1))
+    return store
+
+
+def bench_ingestion(quick: bool) -> dict:
+    """CSV parse vs colstore open at the acceptance point (10^5 series)."""
+    n_series = 10_000 if quick else 100_000
+    n_days = 14
+    store = build_big_store(n_series, n_days)
+    with TemporaryDirectory() as tmp:
+        csv_path = Path(tmp) / "kpis.csv"
+        col_path = Path(tmp) / "kpis.col"
+        write_store_csv(store, csv_path, freq=1)
+        t0 = time.perf_counter()
+        write_colstore(store, col_path)
+        convert_seconds = time.perf_counter() - t0
+        csv_bytes = csv_path.stat().st_size
+        col_bytes = sum(p.stat().st_size for p in col_path.iterdir())
+
+        def load_csv():
+            read_store_csv(csv_path)
+
+        def load_col():
+            # Open (validates the index) and fault every payload page in so
+            # the timing covers actual bytes, not just a lazy mapping.  The
+            # CSV side likewise ends with all values resident.
+            col = ColumnarKpiStore.open(col_path)
+            checksum = 0.0
+            for block in col._blocks.values():  # bulk page-in, kind by kind
+                checksum += float(np.nansum(block.matrix()))
+            col.close()
+            return checksum
+
+        load_csv()  # warm the page cache so both sides read hot files
+        load_col()
+        csv_seconds = time_call(load_csv, repeats=1 if not quick else 2)
+        col_seconds = time_call(load_col, repeats=3)
+    row = {
+        "n_series": n_series,
+        "n_days": n_days,
+        "csv_seconds": csv_seconds,
+        "colstore_seconds": col_seconds,
+        "convert_seconds": convert_seconds,
+        "csv_series_per_sec": n_series / csv_seconds,
+        "colstore_series_per_sec": n_series / col_seconds,
+        "csv_bytes_per_series": csv_bytes / n_series,
+        "colstore_bytes_per_series": col_bytes / n_series,
+        "speedup": csv_seconds / col_seconds,
+    }
+    print(
+        f"ingestion {n_series} series x {n_days} days: "
+        f"csv {csv_seconds:.2f} s ({row['csv_series_per_sec']:.0f}/s), "
+        f"colstore {col_seconds:.3f} s ({row['colstore_series_per_sec']:.0f}/s) "
+        f"({row['speedup']:.1f}x)"
+    )
+    return row
+
+
+def build_panel(n_before: int, n_after: int, n_controls: int, seed: int = 0):
+    """Correlated study/control panel (shared AR(1)-style factor)."""
+    rng = np.random.default_rng(seed)
+    T = n_before + n_after
+    factor = np.cumsum(rng.normal(0, 0.3, T))
+    study = 100.0 + factor + rng.normal(0, 1.0, T)
+    controls = np.column_stack(
+        [
+            100.0 + rng.uniform(0.7, 1.1) * factor + rng.normal(0, 1.0, T)
+            for _ in range(n_controls)
+        ]
+    )
+    return study[:n_before], study[n_before:], controls[:n_before], controls[n_before:]
+
+
+def bench_warm_regression(quick: bool) -> dict:
+    """The cached computation itself: ``compare`` cold vs warm.
+
+    Acceptance operating point (``n_iterations=200``, N=100 controls),
+    overlapping-window pattern: the training panel is fixed, only the
+    after-window shifts — every warm call reuses the memoized pooled Gram
+    and subset betas and pays only the content digest plus one matmul.
+    """
+    from repro.core.regression import RobustSpatialRegression
+
+    n_controls = 20 if quick else 100
+    n_iterations = 50 if quick else 200
+    repeats = 3 if quick else 7
+    yb, ya, xb, xa = build_panel(70, 14 + 6, n_controls)
+    algo = RobustSpatialRegression(LitmusConfig(n_iterations=n_iterations))
+    windows = [(ya[o : o + 14], xa[o : o + 14]) for o in range(6)]
+
+    def sweep():
+        for ya_w, xa_w in windows:
+            algo.compare(yb, ya_w, xb, xa_w)
+
+    with use_gram_cache(None):
+        sweep()  # warmup (numpy internals) without memoization
+        cold = time_call(sweep, repeats)
+    with use_gram_cache(GramCache()):
+        sweep()  # populate; the timed passes then run fully warm
+        warm = time_call(sweep, repeats)
+    row = {
+        "n_controls": n_controls,
+        "n_iterations": n_iterations,
+        "n_windows": len(windows),
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "speedup": cold / warm,
+    }
+    print(
+        f"warm regression iters={n_iterations} N={n_controls} "
+        f"x {len(windows)} windows: cold {cold * 1e3:.1f} ms, "
+        f"warm {warm * 1e3:.1f} ms ({row['speedup']:.1f}x)"
+    )
+    return row
+
+
+def bench_warm_assess(quick: bool) -> dict:
+    """End-to-end overlapping-window assessment sweep, cache off vs warm.
+
+    The full pipeline includes control selection and the quality firewall,
+    which the Gram cache does not touch — this row contextualizes the
+    regression-stage speedup and surfaces the ``gramcache.*`` counters
+    exactly as ``litmus assess --metrics`` reports them.
+    """
+    topo = build_network(seed=7, controllers_per_region=10, towers_per_controller=2)
+    store = generate_kpis(topo, DEFAULT_KPIS, seed=7)
+    rncs = topo.elements(role=ElementRole.RNC)
+    study = rncs[1].element_id
+    log = ChangeLog(
+        [ChangeEvent("ffa-bad", ChangeType.SOFTWARE_UPGRADE, 85, frozenset({study}))]
+    )
+    store.apply_effect(study, VR, LevelShift(goodness_magnitude(VR, -4.5), 85))
+    offsets = range(3) if quick else range(6)
+    kpis = [VR] if quick else list(DEFAULT_KPIS)
+    repeats = 2 if quick else 5
+    config = LitmusConfig(n_iterations=200)
+
+    def sweep():
+        engine = Litmus(topo, store, config, change_log=log)
+        for offset in offsets:
+            engine.assess(log.get("ffa-bad"), kpis, after_offset_days=offset)
+
+    with use_gram_cache(None):
+        sweep()  # warmup (page cache, numpy internals) without memoization
+        cold = time_call(sweep, repeats)
+    registry = MetricsRegistry()
+    with use_metrics(registry), use_gram_cache(GramCache()):
+        sweep()  # populate the cache; the timed passes then run warm
+        warm = time_call(sweep, repeats)
+        counters = registry.snapshot()["counters"]
+    row = {
+        "n_offsets": len(offsets),
+        "n_kpis": len(kpis),
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "speedup": cold / warm,
+        "gramcache_hits": counters.get("gramcache.hits", 0),
+        "gramcache_misses": counters.get("gramcache.misses", 0),
+    }
+    print(
+        f"warm assess {len(offsets)} offsets x {len(kpis)} KPIs: "
+        f"cold {cold:.2f} s, warm {warm:.2f} s ({row['speedup']:.1f}x; "
+        f"hits {row['gramcache_hits']}, misses {row['gramcache_misses']})"
+    )
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smoke mode: fewer series and repeats"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(ROOT / "BENCH_store.json"),
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args(argv)
+
+    results = {
+        "ingestion": bench_ingestion(args.quick),
+        "warm_regression": bench_warm_regression(args.quick),
+        "warm_assess": bench_warm_assess(args.quick),
+        "quick": args.quick,
+    }
+    Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    failed = False
+    if results["ingestion"]["speedup"] < 10.0 and not args.quick:
+        print("WARNING: colstore ingestion under the 10x acceptance threshold")
+        failed = True
+    if results["warm_regression"]["speedup"] < 2.0 and not args.quick:
+        print("WARNING: warm Gram cache under the 2x acceptance threshold")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
