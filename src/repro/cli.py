@@ -158,11 +158,82 @@ def build_parser() -> argparse.ArgumentParser:
 
     resume = sub.add_parser(
         "resume",
-        help="finish an interrupted --journal campaign or drained serve "
-        "directory (dispatches on campaign.json vs service.json)",
+        help="finish an interrupted --journal campaign, drained serve "
+        "directory, or sharded run (dispatches on campaign.json / "
+        "service.json / shard.json)",
     )
     resume.add_argument("directory", help="directory written by --journal")
     _add_obs_arguments(resume)
+
+    shard = sub.add_parser(
+        "shard",
+        help="fault-tolerant sharded campaign execution (coordinator + N "
+        "worker processes, per-shard WALs, exactly-once failover)",
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    shard_run = shard_sub.add_parser(
+        "run", help="run a campaign across N shard worker processes"
+    )
+    shard_run.add_argument("--topology", required=True, help="topology JSON (see simulate)")
+    shard_run.add_argument(
+        "--kpis", required=True, help="KPI measurements: CSV or columnar store directory"
+    )
+    shard_run.add_argument("--changes", required=True, help="change-log JSON")
+    shard_run.add_argument(
+        "--journal",
+        required=True,
+        metavar="DIR",
+        help="journal directory: shard.json, coordinator.jsonl, and one "
+        "shard-NN/ WAL per worker; `litmus resume DIR` finishes an "
+        f"interrupted run (SIGINT checkpoints the fleet, exit {EXIT_CHECKPOINTED})",
+    )
+    shard_run.add_argument(
+        "--shards", type=int, default=2, help="number of shard worker processes"
+    )
+    shard_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="task-pool width inside each shard (capped once at the "
+        "coordinator when shards x workers exceeds the core count)",
+    )
+    shard_run.add_argument(
+        "--heartbeat-s",
+        type=float,
+        default=0.5,
+        help="worker heartbeat interval (seconds)",
+    )
+    shard_run.add_argument(
+        "--heartbeat-timeout-s",
+        type=float,
+        default=10.0,
+        help="heartbeat staleness after which the coordinator SIGKILLs "
+        "the shard and fails its work over",
+    )
+    shard_run.add_argument(
+        "--explain",
+        action="store_true",
+        help="annotate per-change reports with co-occurring changes",
+    )
+    shard_run.add_argument(
+        "--quality-policy",
+        choices=("reject", "impute", "quarantine"),
+        default="quarantine",
+        help="data-quality firewall policy (as in assess)",
+    )
+    _add_obs_arguments(shard_run)
+
+    shard_worker = shard_sub.add_parser(
+        "worker", help="internal: one shard worker process (spawned by run)"
+    )
+    shard_worker.add_argument("directory", help="the run's journal directory")
+    shard_worker.add_argument("shard_id", type=int, help="this worker's shard id")
+
+    shard_stats = shard_sub.add_parser(
+        "stats", help="aggregate fleet progress across shards (JSON, read-only)"
+    )
+    shard_stats.add_argument("directory", help="the run's journal directory")
 
     serve = sub.add_parser(
         "serve",
@@ -520,21 +591,87 @@ def _cmd_resume(
     directory: str, trace_dir: Optional[str] = None, show_metrics: bool = False
 ) -> int:
     from .runstate.campaign import CampaignSpec
-    from .serve.checkpoint import is_service_dir
+    from .runstate.layout import ResumeLayoutError, detect_resume_layout
 
-    if is_service_dir(directory):
-        return _resume_service_dir(directory, trace_dir, show_metrics)
     try:
-        spec = CampaignSpec.load(directory)
-    except FileNotFoundError:
-        print(
-            f"error: {directory} has no campaign.json or service.json — was "
-            "it started with `litmus assess --journal` or `litmus serve "
-            "--journal`?",
-            file=sys.stderr,
-        )
+        layout = detect_resume_layout(directory)
+    except ResumeLayoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 1
-    return _run_campaign(spec, directory, "resume", trace_dir, show_metrics)
+    if layout == "service":
+        return _resume_service_dir(directory, trace_dir, show_metrics)
+    if layout == "shard":
+        return _run_shard_coordinator(directory, None, trace_dir, show_metrics)
+    return _run_campaign(
+        CampaignSpec.load(directory), directory, "resume", trace_dir, show_metrics
+    )
+
+
+def _run_shard_coordinator(directory: str, spec, trace_dir, show_metrics) -> int:
+    """Run (or resume) a sharded campaign and print its artifacts."""
+    from .obs import RunRecorder, render_metrics_table
+    from .runstate.campaign import CampaignInterrupted
+    from .shard.coordinator import ShardCoordinator
+
+    coordinator = ShardCoordinator(directory, spec)
+    with RunRecorder(
+        "shard",
+        trace_dir,
+        config=coordinator.spec.litmus_config(),
+        argv=tuple(sys.argv[1:]),
+    ) as recorder:
+        try:
+            result = coordinator.run()
+        except CampaignInterrupted as exc:
+            print(f"interrupted: {exc}", file=sys.stderr)
+            return EXIT_CHECKPOINTED
+        recorder.set_journal_lineage(result.lineage())
+    print(result.report_text, end="")
+    print(result.summary())
+    if show_metrics:
+        print()
+        print(render_metrics_table(recorder.snapshot()))
+    print(recorder.footer())
+    return 0
+
+
+def _cmd_shard_run(args) -> int:
+    from .core import LitmusConfig
+    from .core.parallel import plan_shard_workers
+    from .shard.manifest import ShardSpec
+
+    workers = plan_shard_workers(args.shards, args.workers)
+    spec = ShardSpec.build(
+        args.topology,
+        args.kpis,
+        args.changes,
+        n_shards=args.shards,
+        workers_per_shard=workers,
+        heartbeat_interval_s=args.heartbeat_s,
+        heartbeat_timeout_s=args.heartbeat_timeout_s,
+        explain=args.explain,
+        trace=args.trace is not None,
+        config=LitmusConfig(
+            n_workers=args.workers, quality_policy=args.quality_policy
+        ),
+        argv=tuple(sys.argv[1:]),
+    )
+    return _run_shard_coordinator(args.journal, spec, args.trace, args.metrics)
+
+
+def _cmd_shard_worker(directory: str, shard_id: int) -> int:
+    from .shard.worker import run_worker
+
+    return run_worker(directory, shard_id)
+
+
+def _cmd_shard_stats(directory: str) -> int:
+    import json as _json
+
+    from .shard.stats import shard_stats
+
+    print(_json.dumps(shard_stats(directory), indent=2, sort_keys=True))
+    return 0
 
 
 def _resume_service_dir(directory: str, trace_dir, show_metrics) -> int:
@@ -727,6 +864,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.command == "resume":
         return _cmd_resume(args.directory, args.trace, args.metrics)
+    if args.command == "shard":
+        if args.shard_command == "run":
+            return _cmd_shard_run(args)
+        if args.shard_command == "worker":
+            return _cmd_shard_worker(args.directory, args.shard_id)
+        if args.shard_command == "stats":
+            return _cmd_shard_stats(args.directory)
+        raise AssertionError(f"unhandled shard command {args.shard_command!r}")
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "health":

@@ -60,6 +60,7 @@ __all__ = [
     "spawn_task_seeds",
     "executor_pool",
     "resolve_worker_count",
+    "plan_shard_workers",
     "run_tasks",
     "classify_exception",
     "Deadline",
@@ -166,6 +167,43 @@ def resolve_worker_count(executor: str, n_workers: int) -> int:
             )
         n_workers = capped
     return n_workers
+
+
+def plan_shard_workers(n_shards: int, n_workers_per_shard: int) -> int:
+    """Size the per-shard pool for a multi-process fan-out.
+
+    The shard coordinator spawns ``n_shards`` worker *processes*, each of
+    which fans out over ``n_workers_per_shard`` pool workers — so the
+    machine-level width is the product, which the per-process cap of
+    :func:`resolve_worker_count` cannot see.  This is the coordinator-side
+    policy: when ``shards × workers`` exceeds the core count, warn **once
+    here** — the shard workers receive the already-capped width and stay
+    silent, instead of each re-warning in its own process — and cap the
+    per-shard width to the machine's fair share (``cpu_count // n_shards``,
+    floor 1: with more shards than cores the shards themselves are the
+    oversubscription and each still needs one worker).
+    """
+    global _OVERSUBSCRIPTION_WARNED
+    if n_shards < 1:
+        raise ValueError("n_shards must be at least 1")
+    if n_workers_per_shard < 1:
+        raise ValueError("n_workers_per_shard must be at least 1")
+    cpus = os.cpu_count() or 1
+    total = n_shards * n_workers_per_shard
+    if total <= cpus:
+        return n_workers_per_shard
+    capped = max(1, min(n_workers_per_shard, cpus // n_shards))
+    if not _OVERSUBSCRIPTION_WARNED:
+        _OVERSUBSCRIPTION_WARNED = True
+        warnings.warn(
+            f"{n_shards} shard(s) x {n_workers_per_shard} worker(s) = {total} "
+            f"exceeds os.cpu_count()={cpus}; the assessment fan-out is "
+            f"compute-bound, so the per-shard pool is capped at {capped} "
+            "(warning emitted once, at the coordinator)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return capped
 
 
 def executor_pool(executor: str, n_workers: int) -> Executor:

@@ -14,6 +14,9 @@ recomputation or silent divergence (DESIGN.md §9):
 * :mod:`~repro.runstate.campaign` — journaled campaign runs with
   checkpoint/resume (imported as a submodule — it pulls in the engine and
   IO stacks, which themselves use the primitives above);
+* :mod:`~repro.runstate.layout` — typed detection of resumable directory
+  layouts (campaign.json / service.json / shard.json) behind the
+  ``litmus resume`` dispatch;
 * :mod:`~repro.runstate.servicestate` — the serving daemon's durable
   state: spec file, request-admitted/request-done journal records, and
   the drain math (pending = admitted − done) behind `litmus serve`'s
@@ -30,13 +33,17 @@ from .journal import (
     RecoveryReport,
     recover_journal,
 )
+from .layout import RESUME_LAYOUTS, ResumeLayoutError, detect_resume_layout
 from .ledger import TASK_DONE, TRANSIENT_CATEGORIES, LedgerDivergence, TaskLedger
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy, with_retries
 
 __all__ = [
     "JOURNAL_FILE",
+    "RESUME_LAYOUTS",
+    "ResumeLayoutError",
     "TASK_DONE",
     "TRANSIENT_CATEGORIES",
+    "detect_resume_layout",
     "DEFAULT_RETRY_POLICY",
     "Journal",
     "JournalRecord",

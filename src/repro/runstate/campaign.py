@@ -63,6 +63,8 @@ __all__ = [
     "CampaignSpec",
     "CampaignResult",
     "CampaignRunner",
+    "assess_change_record",
+    "render_campaign_report",
 ]
 
 CAMPAIGN_FILE = "campaign.json"
@@ -210,6 +212,94 @@ class CampaignResult:
             f"{self.tasks_replayed} task(s) replayed, "
             f"{self.tasks_recorded} recomputed ({self.directory})"
         )
+
+
+def assess_change_record(
+    engine: Litmus,
+    change: Any,
+    kpis: Sequence[KpiKind],
+    topology: Any,
+    log: Any,
+    *,
+    explain: bool = False,
+) -> Dict[str, Any]:
+    """Assess one change into its ``change-done`` journal record.
+
+    Never raises for the unassessable-change cases a screening sweep
+    tolerates (selection/coverage errors journal as ``skipped``).  This is
+    *the* change-assessment path for both the unsharded campaign and every
+    shard worker — one code path is what makes a sharded run's journaled
+    records bit-identical to an unsharded run's.
+    """
+    try:
+        report = engine.assess(change, kpis)
+    except (SelectionError, ValueError, KeyError) as exc:
+        entry = ScreeningEntry(change, None, str(exc))
+        return {
+            "change_id": change.change_id,
+            "status": "skipped",
+            "reason": str(exc),
+            "row": entry.to_row(),
+            "text": None,
+            "report": None,
+        }
+    if explain:
+        from ..ops.attribution import explain_assessment
+
+        text = explain_assessment(report, topology, change_log=log).to_text()
+    else:
+        text = report.to_text()
+    entry = ScreeningEntry(change, report)
+    return {
+        "change_id": change.change_id,
+        "status": "assessed",
+        "reason": None,
+        "row": entry.to_row(),
+        "text": text,
+        "report": report.to_dict(),
+    }
+
+
+def render_campaign_report(
+    done: Dict[str, Dict[str, Any]],
+    change_ids: List[str],
+    *,
+    change_id: Optional[str],
+    config_sha256: str,
+) -> Tuple[str, Dict[str, Any]]:
+    """Final (text, payload) artifacts from journaled records only.
+
+    Shared by :class:`CampaignRunner` and the shard coordinator's merge:
+    because both feed this function the same journaled data, a sharded
+    campaign's report is byte-identical to the unsharded reference by
+    construction.
+    """
+    rows = [done[cid]["row"] for cid in change_ids]
+    counts = {"degradation": 0, "improvement": 0, "no-impact": 0, "skipped": 0}
+    for row in rows:
+        counts[row["verdict"] if row["verdict"] is not None else "skipped"] += 1
+    if change_id is not None:
+        data = done[change_id]
+        text = data["text"] if data["text"] is not None else f"skipped ({data['reason']})"
+    else:
+        text = render_screening_digest(rows, counts)
+    payload = {
+        "schema": CAMPAIGN_SCHEMA,
+        "change_id": change_id,
+        "config_sha256": config_sha256,
+        "counts": counts,
+        "changes": [
+            {
+                "change_id": cid,
+                "status": done[cid]["status"],
+                "reason": done[cid]["reason"],
+                "row": done[cid]["row"],
+                "report": done[cid]["report"],
+            }
+            for cid in change_ids
+        ],
+    }
+    return text + "\n", payload
 
 
 class CampaignRunner:
@@ -389,63 +479,18 @@ class CampaignRunner:
         )
 
     def _assess_one(self, engine, change, kpis, topology, log) -> Dict[str, Any]:
-        """Assess one change into its journal record (never raises for the
-        unassessable-change cases a screening sweep tolerates)."""
-        try:
-            report = engine.assess(change, kpis)
-        except (SelectionError, ValueError, KeyError) as exc:
-            entry = ScreeningEntry(change, None, str(exc))
-            return {
-                "change_id": change.change_id,
-                "status": "skipped",
-                "reason": str(exc),
-                "row": entry.to_row(),
-                "text": None,
-                "report": None,
-            }
-        if self.spec.explain:
-            from ..ops.attribution import explain_assessment
-
-            text = explain_assessment(report, topology, change_log=log).to_text()
-        else:
-            text = report.to_text()
-        entry = ScreeningEntry(change, report)
-        return {
-            "change_id": change.change_id,
-            "status": "assessed",
-            "reason": None,
-            "row": entry.to_row(),
-            "text": text,
-            "report": report.to_dict(),
-        }
+        """One change into its journal record (see :func:`assess_change_record`)."""
+        return assess_change_record(
+            engine, change, kpis, topology, log, explain=self.spec.explain
+        )
 
     def _render(
         self, done: Dict[str, Dict[str, Any]], change_ids: List[str]
     ) -> Tuple[str, Dict[str, Any]]:
         """Final report from journaled records only (see module docstring)."""
-        rows = [done[cid]["row"] for cid in change_ids]
-        counts = {"degradation": 0, "improvement": 0, "no-impact": 0, "skipped": 0}
-        for row in rows:
-            counts[row["verdict"] if row["verdict"] is not None else "skipped"] += 1
-        if self.spec.change_id is not None:
-            data = done[self.spec.change_id]
-            text = data["text"] if data["text"] is not None else f"skipped ({data['reason']})"
-        else:
-            text = render_screening_digest(rows, counts)
-        payload = {
-            "schema": CAMPAIGN_SCHEMA,
-            "change_id": self.spec.change_id,
-            "config_sha256": self.spec.config_sha256,
-            "counts": counts,
-            "changes": [
-                {
-                    "change_id": cid,
-                    "status": done[cid]["status"],
-                    "reason": done[cid]["reason"],
-                    "row": done[cid]["row"],
-                    "report": done[cid]["report"],
-                }
-                for cid in change_ids
-            ],
-        }
-        return text + "\n", payload
+        return render_campaign_report(
+            done,
+            change_ids,
+            change_id=self.spec.change_id,
+            config_sha256=self.spec.config_sha256,
+        )

@@ -1,0 +1,73 @@
+"""Typed dispatch of ``litmus resume`` over journal-directory layouts.
+
+Three subsystems leave resumable directories behind, each identified by
+its spec file:
+
+* ``campaign.json`` — a journaled campaign (``litmus assess --journal``);
+* ``service.json`` — a drained serving daemon (``litmus serve --journal``);
+* ``shard.json`` — a sharded campaign (``litmus shard run --journal``).
+
+:func:`detect_resume_layout` inspects a directory and names the layout, or
+raises :class:`ResumeLayoutError` — a typed error carrying the expected
+layouts — instead of letting a resume on a stray path die in a bare
+``FileNotFoundError`` deep inside a spec loader.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["ResumeLayoutError", "detect_resume_layout", "RESUME_LAYOUTS"]
+
+#: layout name -> (spec file, the command that writes it).
+RESUME_LAYOUTS = {
+    "campaign": ("campaign.json", "litmus assess --journal DIR"),
+    "service": ("service.json", "litmus serve --journal DIR"),
+    "shard": ("shard.json", "litmus shard run --journal DIR"),
+}
+
+
+class ResumeLayoutError(ValueError):
+    """``directory`` is not a resumable journal directory."""
+
+    def __init__(self, directory: str, reason: str) -> None:
+        expected = "; ".join(
+            f"{spec} ({command})" for spec, command in RESUME_LAYOUTS.values()
+        )
+        super().__init__(
+            f"{directory}: {reason} — a resumable directory holds one of: "
+            f"{expected}"
+        )
+        self.directory = directory
+        self.reason = reason
+
+
+def detect_resume_layout(directory: str) -> str:
+    """Name the resumable layout of ``directory``: campaign|service|shard.
+
+    Raises :class:`ResumeLayoutError` when the directory is missing, is
+    not a directory, is empty, or holds none of the known spec files.
+    Multiple spec files in one directory are ambiguous and also rejected —
+    guessing would resume under the wrong semantics.
+    """
+    if not os.path.exists(directory):
+        raise ResumeLayoutError(directory, "no such directory")
+    if not os.path.isdir(directory):
+        raise ResumeLayoutError(directory, "not a directory")
+    found = [
+        layout
+        for layout, (spec, _command) in RESUME_LAYOUTS.items()
+        if os.path.isfile(os.path.join(directory, spec))
+    ]
+    if len(found) > 1:
+        raise ResumeLayoutError(
+            directory,
+            "ambiguous journal directory (" + " and ".join(
+                RESUME_LAYOUTS[layout][0] for layout in found
+            ) + " both present)",
+        )
+    if not found:
+        if not os.listdir(directory):
+            raise ResumeLayoutError(directory, "empty directory — nothing to resume")
+        raise ResumeLayoutError(directory, "unrecognized journal directory")
+    return found[0]

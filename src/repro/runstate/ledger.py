@@ -98,6 +98,32 @@ class TaskLedger:
         get_metrics().counter("runstate.tasks_replayed").inc()
         return decode_outcome(encoded)
 
+    def absorb(self, records: Iterable[JournalRecord]) -> int:
+        """Merge ``task-done`` records from *another* run's recovered
+        journal, read-only, first-writer-wins.
+
+        This is the exactly-once half of shard failover: a worker taking
+        over a dead shard's changes absorbs the dead shard's journal before
+        assessing, so every task the dead shard already settled replays
+        (bit-identical, seed-keyed) instead of re-executing — and is never
+        re-journaled, because :meth:`put` only runs for ledger misses.
+        Keys this ledger already holds win over absorbed ones (both are
+        identical under the key contract; keeping our own avoids churn).
+        Returns the number of newly absorbed keys.
+        """
+        absorbed = 0
+        for record in records:
+            if record.type != TASK_DONE:
+                continue
+            data = record.data
+            key = data.get("key")
+            if isinstance(key, str) and "outcome" in data and key not in self._done:
+                self._done[key] = data["outcome"]
+                absorbed += 1
+        if absorbed:
+            get_metrics().counter("runstate.tasks_absorbed").inc(absorbed)
+        return absorbed
+
     def put(self, key: str, outcome: TaskOutcome) -> None:
         """Durably record one completed task (write-ahead, fsynced).
 

@@ -1,0 +1,55 @@
+"""Sharded campaign execution: coordinator, per-shard WALs, failover.
+
+``repro.shard`` scales a journaled campaign across N worker *processes*
+(DESIGN.md §12).  Work is partitioned by consistent hashing over the
+existing task-key namespace (``assess/{change}/...``): every task key of
+one change shares the ``assess/{change}`` prefix, so hashing that prefix
+assigns a change — and with it all of its (element, KPI) tasks — to
+exactly one shard.  Each shard owns its own write-ahead journal, task
+ledger, and circuit-breaker state (:mod:`~repro.shard.worker`); a thin
+coordinator (:mod:`~repro.shard.coordinator`) routes assignments, watches
+heartbeats, fails work over from dead or stuck shards with exactly-once
+semantics, and renders the final report from the deterministic merge of
+the per-shard journals (:mod:`~repro.shard.merge`) — byte-identical to an
+unsharded run by construction.  Fleet-wide progress aggregation lives in
+:mod:`~repro.shard.stats`.
+
+:mod:`~repro.shard.worker`, :mod:`~repro.shard.coordinator`, and
+:mod:`~repro.shard.stats` are imported as submodules — they pull in the
+engine and IO stacks, mirroring how :mod:`repro.runstate` treats its
+campaign module.
+"""
+
+from .manifest import (
+    ASSIGNMENT_FILE,
+    HEARTBEAT_FILE,
+    SHARD_FILE,
+    SPANS_FILE,
+    STOP_FILE,
+    Assignment,
+    Heartbeat,
+    ShardSpec,
+    is_shard_dir,
+    shard_dir,
+)
+from .merge import JournalMergeError, MergedView, merge_shard_journals, merge_shard_records
+from .ring import HashRing, change_partition_key
+
+__all__ = [
+    "ASSIGNMENT_FILE",
+    "HEARTBEAT_FILE",
+    "SHARD_FILE",
+    "SPANS_FILE",
+    "STOP_FILE",
+    "Assignment",
+    "HashRing",
+    "Heartbeat",
+    "JournalMergeError",
+    "MergedView",
+    "ShardSpec",
+    "change_partition_key",
+    "is_shard_dir",
+    "merge_shard_journals",
+    "merge_shard_records",
+    "shard_dir",
+]

@@ -1,0 +1,509 @@
+"""The shard coordinator: spawn, watch, fail over, merge, report.
+
+The coordinator owns a sharded campaign run (DESIGN.md §12).  It loads
+only the change log — never the topology or KPI store; assessment is the
+workers' job — partitions the campaign's changes across ``n_shards``
+worker processes with the consistent-hash ring, and then supervises:
+
+* **its own WAL** (``coordinator.jsonl``): a lineage record pinning
+  (config SHA-256, change ids, shard count, root seed), one record per
+  failover, a checkpoint on SIGINT, and the final report digest — so a
+  resumed coordinator can refuse a directory written by a different run
+  and an auditor can replay the failover history;
+* **liveness**: a worker is *dead* when its process exited before the
+  stop sentinel (SIGKILL, crash, or a tripped breaker) and *stuck* when
+  its heartbeat goes stale past ``heartbeat_timeout_s``.  A stuck worker
+  is SIGKILLed **before** its work is reassigned — kill-before-reassign
+  is what makes reassignment exactly-once: a frozen-but-alive worker can
+  never wake up and journal a change a surviving shard also ran;
+* **failover**: the dead shard leaves the ring (``HashRing.without`` —
+  only its own keys move), its unfinished changes are re-routed
+  deterministically to the survivors, and every survivor's next epoch
+  carries the dead shard's journal path in ``inherit`` so settled tasks
+  replay from the WAL instead of re-executing.  Task results are keyed by
+  spawned seed, so a replay is bit-identical to the original execution by
+  construction;
+* **termination**: once the merged journals cover every change, the stop
+  sentinel is written, workers drain, and the final report is rendered by
+  the *same* :func:`~repro.runstate.campaign.render_campaign_report` the
+  unsharded campaign uses — fed the same journaled records, it produces
+  byte-identical artifacts.
+
+SIGINT checkpoints the whole fleet: workers get the signal forwarded,
+append their own checkpoint records, and exit 75; the coordinator
+journals its checkpoint and raises
+:class:`~repro.runstate.campaign.CampaignInterrupted`, which the CLI
+maps to exit 75 exactly like an unsharded campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..obs.metrics import get_metrics
+from ..obs.trace import current_tracer
+from ..obs.trace import span as obs_span
+from ..runstate.atomic import atomic_write_text
+from ..runstate.campaign import (
+    BOUNDARY_SYNC_INTERVAL_S,
+    CHECKPOINT,
+    REPORT_JSON_FILE,
+    REPORT_TEXT_FILE,
+    CampaignInterrupted,
+    render_campaign_report,
+)
+from ..runstate.journal import JOURNAL_FILE, Journal
+from ..runstate.ledger import LedgerDivergence
+from .manifest import (
+    COORDINATOR_JOURNAL_FILE,
+    SPANS_FILE,
+    STOP_FILE,
+    Assignment,
+    Heartbeat,
+    ShardSpec,
+    shard_dir,
+)
+from .merge import MergedView, merge_shard_journals
+from .ring import HashRing
+from .worker import EXIT_BREAKER_TRIPPED
+
+__all__ = [
+    "ShardCoordinator",
+    "ShardRunResult",
+    "COORDINATOR_BEGIN",
+    "SHARD_DEAD",
+    "COORDINATOR_END",
+]
+
+#: Coordinator WAL record types.
+COORDINATOR_BEGIN = "coordinator-begin"
+SHARD_DEAD = "shard-dead"
+COORDINATOR_END = "coordinator-end"
+
+#: Grace given to workers between the stop sentinel (or SIGTERM) and
+#: escalation.
+DRAIN_TIMEOUT_S = 30.0
+
+
+@dataclass
+class ShardRunResult:
+    """Outcome of one (possibly resumed) sharded campaign run."""
+
+    directory: str
+    report_text: str
+    report_sha256: str
+    counts: Dict[str, int]
+    n_changes: int
+    n_shards: int
+    failovers: List[Dict[str, Any]] = field(default_factory=list)
+    records_per_shard: Dict[int, int] = field(default_factory=dict)
+    changes_per_shard: Dict[int, int] = field(default_factory=dict)
+    tasks_merged: int = 0
+    duplicate_tasks: int = 0
+
+    def lineage(self) -> Dict[str, Any]:
+        """The journal-lineage block recorded in the run manifest."""
+        return {
+            "directory": self.directory,
+            "journal": COORDINATOR_JOURNAL_FILE,
+            "report_sha256": self.report_sha256,
+            "n_changes": self.n_changes,
+            "n_shards": self.n_shards,
+            "failovers": self.failovers,
+            "records_per_shard": {
+                str(k): v for k, v in sorted(self.records_per_shard.items())
+            },
+            "changes_per_shard": {
+                str(k): v for k, v in sorted(self.changes_per_shard.items())
+            },
+            "tasks_merged": self.tasks_merged,
+            "duplicate_tasks": self.duplicate_tasks,
+        }
+
+    def summary(self) -> str:
+        """One-line telemetry for the CLI."""
+        return (
+            f"shards: {self.n_shards} shard(s), {self.n_changes} change(s), "
+            f"{len(self.failovers)} failover(s), "
+            f"{self.tasks_merged} task(s) merged ({self.directory})"
+        )
+
+
+class ShardCoordinator:
+    """Run (or resume) a sharded campaign in a journal directory."""
+
+    def __init__(
+        self,
+        directory: str,
+        spec: Optional[ShardSpec] = None,
+        *,
+        poll_interval_s: float = 0.2,
+        drain_timeout_s: float = DRAIN_TIMEOUT_S,
+    ) -> None:
+        self.directory = os.path.abspath(directory)
+        if spec is not None:
+            os.makedirs(self.directory, exist_ok=True)
+            spec.save(self.directory)
+        self.spec = spec if spec is not None else ShardSpec.load(self.directory)
+        self.poll_interval_s = poll_interval_s
+        self.drain_timeout_s = drain_timeout_s
+        self._procs: Dict[int, subprocess.Popen] = {}
+        self._assigned: Dict[int, List[str]] = {}
+        self._inherit: Dict[int, List[str]] = {}
+        self._epochs: Dict[int, int] = {}
+        self._failovers: List[Dict[str, Any]] = []
+
+    # -- paths -----------------------------------------------------------
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.directory, COORDINATOR_JOURNAL_FILE)
+
+    def _stop_path(self) -> str:
+        return os.path.join(self.directory, STOP_FILE)
+
+    def _shard_journal(self, shard_id: int) -> str:
+        return os.path.join(shard_dir(self.directory, shard_id), JOURNAL_FILE)
+
+    # -- world -----------------------------------------------------------
+    def _load_change_ids(self) -> List[str]:
+        """The campaign's change ids in the unsharded campaign's order."""
+        from ..io import changelog_from_json
+        from ..runstate.retry import with_retries
+
+        def read_changes():
+            with open(self.spec.changes) as handle:
+                return changelog_from_json(handle.read())
+
+        log = with_retries(read_changes, label="read-changes")
+        return [change.change_id for change in log]
+
+    def _verify_lineage(self, journal: Journal, records, change_ids) -> None:
+        expected = {
+            "config_sha256": self.spec.config_sha256,
+            "change_ids": change_ids,
+            "n_shards": self.spec.n_shards,
+            "root_seed": self.spec.config.get("seed"),
+        }
+        begin = next((r for r in records if r.type == COORDINATOR_BEGIN), None)
+        if begin is None:
+            journal.append(COORDINATOR_BEGIN, expected)
+            return
+        for key, want in expected.items():
+            got = begin.data.get(key)
+            if got != want:
+                raise LedgerDivergence(
+                    f"coordinator journal {self.journal_path} was written by "
+                    f"a different run: {key} is {got!r}, this run has {want!r}"
+                )
+
+    # -- run -------------------------------------------------------------
+    def run(self) -> ShardRunResult:
+        """Drive the fleet to completion; see the module docstring.
+
+        Raises :class:`CampaignInterrupted` after checkpointing the fleet
+        on ``KeyboardInterrupt`` and :class:`LedgerDivergence` when the
+        directory belongs to a different run.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        change_ids = self._load_change_ids()
+        with obs_span(
+            "shard-coordinator",
+            directory=self.directory,
+            n_shards=self.spec.n_shards,
+        ) as root_span:
+            journal, recovery = Journal.open(
+                self.journal_path,
+                sync=True,
+                sync_interval_s=BOUNDARY_SYNC_INTERVAL_S,
+            )
+            try:
+                self._verify_lineage(journal, recovery.records, change_ids)
+                try:
+                    return self._run_body(journal, change_ids, root_span)
+                except KeyboardInterrupt:
+                    self._checkpoint_fleet(journal)
+                    root_span.annotate(checkpointed=True)
+                    raise CampaignInterrupted(self.directory) from None
+            finally:
+                journal.close()
+
+    def _run_body(self, journal, change_ids, root_span) -> ShardRunResult:
+        registry = get_metrics()
+        merged = merge_shard_journals(self.directory)
+        done: Set[str] = set(merged.done_changes)
+        remaining = [cid for cid in change_ids if cid not in done]
+        resumed = bool(merged.records_per_shard)
+        root_span.annotate(
+            n_changes=len(change_ids),
+            changes_replayed=len(change_ids) - len(remaining),
+        )
+
+        if remaining:
+            self._spawn_fleet(remaining, resumed=resumed)
+            try:
+                self._monitor(journal, change_ids)
+            finally:
+                self._reap_fleet()
+
+        merged = merge_shard_journals(self.directory)
+        missing = [cid for cid in change_ids if cid not in merged.done_changes]
+        if missing:
+            raise RuntimeError(
+                f"sharded campaign ended with {len(missing)} unassessed "
+                f"change(s) (first: {missing[0]!r}) — resume with "
+                f"`litmus resume {self.directory}`"
+            )
+        self._graft_worker_spans()
+        result = self._finalize(journal, change_ids, merged)
+        registry.counter("shard.campaigns_completed").inc()
+        root_span.annotate(
+            failovers=len(result.failovers), report_sha256=result.report_sha256
+        )
+        return result
+
+    # -- fleet lifecycle -------------------------------------------------
+    def _spawn_fleet(self, remaining: Sequence[str], *, resumed: bool) -> None:
+        """Partition remaining work over the full ring and start workers.
+
+        On resume every shard inherits all *other* shards' journal paths:
+        an earlier failover may have left a change's settled task records
+        in a journal other than its new owner's.
+        """
+        stop = self._stop_path()
+        if os.path.exists(stop):
+            os.unlink(stop)
+        ring = HashRing(range(self.spec.n_shards))
+        self._ring = ring
+        partition = ring.partition(list(remaining))
+        for shard_id in range(self.spec.n_shards):
+            sdir = shard_dir(self.directory, shard_id)
+            os.makedirs(sdir, exist_ok=True)
+            previous = Assignment.load(sdir)
+            epoch = (previous.epoch + 1) if previous is not None else 0
+            inherit: List[str] = []
+            if resumed:
+                inherit = [
+                    self._shard_journal(other)
+                    for other in range(self.spec.n_shards)
+                    if other != shard_id
+                ]
+            self._assigned[shard_id] = list(partition.get(shard_id, []))
+            self._inherit[shard_id] = inherit
+            self._epochs[shard_id] = epoch
+            Assignment(
+                epoch=epoch,
+                changes=tuple(self._assigned[shard_id]),
+                inherit=tuple(inherit),
+            ).save(sdir)
+            self._procs[shard_id] = self._spawn_worker(shard_id)
+        get_metrics().counter("shard.workers_spawned").inc(len(self._procs))
+
+    def _spawn_worker(self, shard_id: int) -> subprocess.Popen:
+        import repro
+
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "shard",
+                "worker",
+                self.directory,
+                str(shard_id),
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+
+    def _monitor(self, journal, change_ids: Sequence[str]) -> None:
+        """Poll until the merged journals cover every change, failing over
+        dead or stuck shards along the way."""
+        want = set(change_ids)
+        while True:
+            merged = merge_shard_journals(self.directory)
+            if want <= set(merged.done_changes):
+                self._drain_fleet()
+                return
+            for shard_id in sorted(self._procs):
+                proc = self._procs[shard_id]
+                code = proc.poll()
+                if code is not None:
+                    self._failover(journal, shard_id, self._death_reason(code))
+                    continue
+                beat = Heartbeat.load(shard_dir(self.directory, shard_id))
+                if (
+                    beat is not None
+                    and beat.pid == proc.pid  # not a previous incarnation's file
+                    and beat.age_s() > self.spec.heartbeat_timeout_s
+                ):
+                    # Kill-before-reassign: a frozen worker must be provably
+                    # dead before its changes can run anywhere else, or
+                    # exactly-once is lost.
+                    proc.send_signal(signal.SIGKILL)
+                    proc.wait()
+                    self._failover(journal, shard_id, "heartbeat-stale")
+            time.sleep(self.poll_interval_s)
+
+    @staticmethod
+    def _death_reason(code: int) -> str:
+        if code == EXIT_BREAKER_TRIPPED:
+            return "breaker-open"
+        if code < 0:
+            return f"signal-{-code}"
+        return f"exit-{code}"
+
+    def _failover(self, journal, dead_id: int, reason: str) -> None:
+        """Reassign the dead shard's unfinished changes to the survivors."""
+        del self._procs[dead_id]
+        survivors = sorted(self._procs)
+        merged = merge_shard_journals(self.directory)
+        done = set(merged.done_changes)
+        unfinished = [
+            cid for cid in self._assigned.get(dead_id, []) if cid not in done
+        ]
+        event = {
+            "shard_id": dead_id,
+            "reason": reason,
+            "epoch": self._epochs.get(dead_id, 0),
+            "unfinished": unfinished,
+            "survivors": survivors,
+        }
+        journal.append(SHARD_DEAD, event, sync=True)
+        self._failovers.append(event)
+        get_metrics().counter("shard.failovers").inc()
+        if not survivors:
+            raise RuntimeError(
+                f"all {self.spec.n_shards} shard(s) died (last: shard "
+                f"{dead_id}, {reason}) — resume with "
+                f"`litmus resume {self.directory}`"
+            )
+        self._ring = self._ring.without(dead_id)
+        moved: Dict[int, List[str]] = {}
+        for cid in unfinished:
+            moved.setdefault(self._ring.assign_change(cid), []).append(cid)
+        dead_journal = self._shard_journal(dead_id)
+        for target in survivors:
+            extra = moved.get(target, [])
+            inherit = self._inherit[target]
+            if dead_journal not in inherit:
+                inherit.append(dead_journal)
+            self._assigned[target].extend(extra)
+            self._epochs[target] += 1
+            Assignment(
+                epoch=self._epochs[target],
+                changes=tuple(self._assigned[target]),
+                inherit=tuple(inherit),
+            ).save(shard_dir(self.directory, target))
+
+    def _drain_fleet(self) -> None:
+        """Stop sentinel → wait → escalate to SIGTERM, then SIGKILL."""
+        atomic_write_text(self._stop_path(), "stop\n")
+        deadline = time.monotonic() + self.drain_timeout_s
+        for shard_id, proc in sorted(self._procs.items()):
+            budget = max(0.1, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=budget)
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+        self._procs.clear()
+
+    def _reap_fleet(self) -> None:
+        """Leave no orphan workers behind, whatever path unwound us."""
+        for proc in self._procs.values():
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        self._procs.clear()
+
+    def _checkpoint_fleet(self, journal) -> None:
+        """Forward SIGINT, let every worker checkpoint, journal ours."""
+        for proc in self._procs.values():
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGINT)
+        deadline = time.monotonic() + self.drain_timeout_s
+        for proc in self._procs.values():
+            try:
+                proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        self._procs.clear()
+        journal.append(CHECKPOINT, {"reason": "interrupt"}, sync=True)
+        get_metrics().counter("shard.coordinator_checkpoints").inc()
+
+    # -- finish ----------------------------------------------------------
+    def _graft_worker_spans(self) -> None:
+        """Pull each shard's dumped span trees into this run's trace."""
+        tracer = current_tracer()
+        for shard_id in range(self.spec.n_shards):
+            path = os.path.join(shard_dir(self.directory, shard_id), SPANS_FILE)
+            if not os.path.isfile(path):
+                continue
+            with open(path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        tree = json.loads(line)
+                    except ValueError:
+                        continue
+                    if isinstance(tree, dict):
+                        tree.setdefault("attrs", {})["shard_id"] = shard_id
+                        tracer.graft(tree)
+
+    def _finalize(
+        self, journal, change_ids: Sequence[str], merged: MergedView
+    ) -> ShardRunResult:
+        text, payload = render_campaign_report(
+            merged.done_changes,
+            list(change_ids),
+            change_id=None,
+            config_sha256=self.spec.config_sha256,
+        )
+        sha = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        atomic_write_text(os.path.join(self.directory, REPORT_TEXT_FILE), text)
+        atomic_write_text(
+            os.path.join(self.directory, REPORT_JSON_FILE),
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        )
+        journal.append(
+            COORDINATOR_END,
+            {
+                "report_sha256": sha,
+                "n_changes": len(change_ids),
+                "failovers": len(self._failovers),
+            },
+            sync=True,
+        )
+        return ShardRunResult(
+            directory=self.directory,
+            report_text=text,
+            report_sha256=sha,
+            counts=payload["counts"],
+            n_changes=len(change_ids),
+            n_shards=self.spec.n_shards,
+            failovers=list(self._failovers),
+            records_per_shard=dict(merged.records_per_shard),
+            changes_per_shard=merged.change_counts(),
+            tasks_merged=len(merged.tasks),
+            duplicate_tasks=merged.duplicate_tasks,
+        )

@@ -1,0 +1,307 @@
+"""Durable state files of a sharded campaign directory.
+
+Layout of a ``litmus shard run --journal DIR`` directory::
+
+    DIR/
+      shard.json            immutable spec (inputs, config, n_shards) —
+                            its presence is how ``litmus resume`` dispatches
+      coordinator.jsonl     coordinator WAL: lineage pin, epoch/failover
+                            events, checkpoint, end record
+      report.txt/.json      final artifacts (merged from shard journals)
+      stop                  shutdown sentinel (idle workers exit on it)
+      shard-00/ ... shard-NN/
+        journal.jsonl       the shard's own WAL (campaign record types)
+        assignment.json     coordinator→worker: epoch, change ids, inherit
+        heartbeat.json      worker→coordinator: pid, epoch, progress, state
+        spans.jsonl         worker trace roots (only when tracing is on)
+
+Every state file is written with temp-file + ``os.replace``
+(:mod:`repro.runstate.atomic`), so readers never observe a torn file —
+the coordinator and workers communicate exclusively through these atomic
+files plus process signals, never shared memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import LitmusConfig
+from ..kpi.metrics import DEFAULT_KPIS, KpiKind
+from ..obs.manifest import config_fingerprint
+from ..runstate.atomic import atomic_write_text
+
+__all__ = [
+    "SHARD_FILE",
+    "COORDINATOR_JOURNAL_FILE",
+    "ASSIGNMENT_FILE",
+    "HEARTBEAT_FILE",
+    "SPANS_FILE",
+    "STOP_FILE",
+    "SHARD_SCHEMA",
+    "ShardSpec",
+    "Assignment",
+    "Heartbeat",
+    "shard_dir",
+    "is_shard_dir",
+    "list_shard_ids",
+]
+
+#: Spec file inside a shard campaign directory (the analogue of
+#: ``campaign.json``; its presence is how ``litmus resume`` dispatches).
+SHARD_FILE = "shard.json"
+#: The coordinator's own WAL (events only — task/change durability lives
+#: in the per-shard journals).
+COORDINATOR_JOURNAL_FILE = "coordinator.jsonl"
+ASSIGNMENT_FILE = "assignment.json"
+HEARTBEAT_FILE = "heartbeat.json"
+SPANS_FILE = "spans.jsonl"
+#: Shutdown sentinel: the coordinator touches it when every change is
+#: journaled; idle workers poll for it and exit 0.
+STOP_FILE = "stop"
+
+#: Shard spec schema; bump on incompatible change.
+SHARD_SCHEMA = 1
+
+
+def shard_dir(directory: str, shard_id: int) -> str:
+    """The per-shard subdirectory (``shard-00`` .. ``shard-NN``)."""
+    if shard_id < 0:
+        raise ValueError("shard_id must be non-negative")
+    return os.path.join(directory, f"shard-{shard_id:02d}")
+
+
+def is_shard_dir(directory: str) -> bool:
+    """True when ``directory`` holds a sharded campaign's checkpoint."""
+    return os.path.isfile(os.path.join(directory, SHARD_FILE))
+
+
+def list_shard_ids(directory: str) -> List[int]:
+    """Shard ids with an existing subdirectory, ascending."""
+    out: List[int] = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return out
+    for name in names:
+        if name.startswith("shard-") and os.path.isdir(os.path.join(directory, name)):
+            try:
+                out.append(int(name[len("shard-") :]))
+            except ValueError:
+                continue
+    return sorted(out)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a coordinator (or a resume) needs to rebuild the run."""
+
+    topology: str
+    kpis: str
+    changes: str
+    n_shards: int
+    #: Per-shard fan-out width, already capped by
+    #: :func:`repro.core.parallel.plan_shard_workers` at build time.
+    workers_per_shard: int = 1
+    heartbeat_interval_s: float = 0.5
+    heartbeat_timeout_s: float = 10.0
+    explain: bool = False
+    trace: bool = False
+    config: Dict[str, Any] = field(default_factory=dict)
+    kpi_names: Tuple[str, ...] = tuple(k.value for k in DEFAULT_KPIS)
+    argv: Tuple[str, ...] = ()
+    schema: int = SHARD_SCHEMA
+
+    @classmethod
+    def build(
+        cls,
+        topology: str,
+        kpis: str,
+        changes: str,
+        *,
+        n_shards: int,
+        workers_per_shard: int = 1,
+        heartbeat_interval_s: float = 0.5,
+        heartbeat_timeout_s: float = 10.0,
+        explain: bool = False,
+        trace: bool = False,
+        config: Optional[LitmusConfig] = None,
+        argv: Sequence[str] = (),
+    ) -> "ShardSpec":
+        """Spec from CLI-level inputs; paths pinned absolute (resume from
+        any working directory finds the same files)."""
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        if workers_per_shard < 1:
+            raise ValueError("workers_per_shard must be at least 1")
+        if heartbeat_interval_s <= 0 or heartbeat_timeout_s <= heartbeat_interval_s:
+            raise ValueError(
+                "need 0 < heartbeat_interval_s < heartbeat_timeout_s "
+                f"(got {heartbeat_interval_s} / {heartbeat_timeout_s})"
+            )
+        config_dict, _sha = config_fingerprint(config or LitmusConfig())
+        return cls(
+            topology=os.path.abspath(topology),
+            kpis=os.path.abspath(kpis),
+            changes=os.path.abspath(changes),
+            n_shards=int(n_shards),
+            workers_per_shard=int(workers_per_shard),
+            heartbeat_interval_s=float(heartbeat_interval_s),
+            heartbeat_timeout_s=float(heartbeat_timeout_s),
+            explain=explain,
+            trace=trace,
+            config=config_dict,
+            argv=tuple(argv),
+        )
+
+    # -- persistence -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        out["kpi_names"] = list(self.kpi_names)
+        out["argv"] = list(self.argv)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        kwargs["kpi_names"] = tuple(kwargs.get("kpi_names", ()))
+        kwargs["argv"] = tuple(kwargs.get("argv", ()))
+        return cls(**kwargs)
+
+    def save(self, directory: str) -> str:
+        path = os.path.join(directory, SHARD_FILE)
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, directory: str) -> "ShardSpec":
+        path = os.path.join(directory, SHARD_FILE)
+        with open(path) as handle:
+            data = json.load(handle)
+        if not isinstance(data, dict):
+            raise ValueError(f"{path}: shard spec must be a JSON object")
+        return cls.from_dict(data)
+
+    # -- derived ----------------------------------------------------------
+    def litmus_config(self) -> LitmusConfig:
+        return LitmusConfig(**self.config)
+
+    def kpi_kinds(self) -> Tuple[KpiKind, ...]:
+        return tuple(KpiKind(name) for name in self.kpi_names)
+
+    @property
+    def config_sha256(self) -> str:
+        return config_fingerprint(self.config)[1]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One epoch of coordinator→worker routing, written atomically.
+
+    ``epoch`` increases monotonically per shard; a worker that finished
+    epoch *k* keeps polling the file and picks up work again when it sees
+    *k+1*.  ``inherit`` lists *other shards'* journal paths whose settled
+    task records the worker must absorb (read-only) before assessing —
+    that is the exactly-once half of failover: tasks a dead shard already
+    journaled replay from its WAL instead of re-executing.
+    """
+
+    epoch: int
+    changes: Tuple[str, ...] = ()
+    inherit: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "changes": list(self.changes),
+            "inherit": list(self.inherit),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Assignment":
+        return cls(
+            epoch=int(data.get("epoch", 0)),
+            changes=tuple(data.get("changes", ())),
+            inherit=tuple(data.get("inherit", ())),
+        )
+
+    def save(self, directory: str) -> str:
+        path = os.path.join(directory, ASSIGNMENT_FILE)
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, directory: str) -> Optional["Assignment"]:
+        path = os.path.join(directory, ASSIGNMENT_FILE)
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (FileNotFoundError, ValueError):
+            # A torn read is impossible (atomic replace); a missing file
+            # just means the coordinator has not routed anything yet.
+            return None
+        if not isinstance(data, dict):
+            return None
+        return cls.from_dict(data)
+
+
+#: Heartbeat states a worker reports.
+HEARTBEAT_STATES = ("starting", "running", "idle", "done", "tripped")
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """One worker liveness report, written atomically every interval.
+
+    ``wrote_at`` is wall-clock (``time.time``) — the coordinator compares
+    it against its own clock, which is valid because both processes share
+    one host; staleness beyond the spec's ``heartbeat_timeout_s`` is the
+    stuck-shard signal.
+    """
+
+    shard_id: int
+    pid: int
+    epoch: int
+    state: str
+    changes_done: int = 0
+    tasks_recorded: int = 0
+    tasks_replayed: int = 0
+    breaker: Optional[Dict[str, Any]] = None
+    wrote_at: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Heartbeat":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def save(self, directory: str) -> str:
+        path = os.path.join(directory, HEARTBEAT_FILE)
+        atomic_write_text(path, json.dumps(self.to_dict(), sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, directory: str) -> Optional["Heartbeat"]:
+        path = os.path.join(directory, HEARTBEAT_FILE)
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (FileNotFoundError, ValueError):
+            return None
+        if not isinstance(data, dict):
+            return None
+        try:
+            return cls.from_dict(data)
+        except TypeError:
+            return None
+
+    def age_s(self, now: Optional[float] = None) -> float:
+        """Seconds since the worker last wrote (never negative)."""
+        return max(0.0, (time.time() if now is None else now) - self.wrote_at)

@@ -1,0 +1,169 @@
+"""Deterministic merge of per-shard write-ahead journals.
+
+The final report of a sharded campaign is derived from the *union* of the
+per-shard journals, never from live worker state — the same
+journal-is-truth rule the unsharded campaign follows (DESIGN.md §9), so a
+run with zero failovers and a run that lost half its shards mid-flight
+render byte-identical artifacts from identical journaled data.
+
+Merge semantics (property-tested in ``tests/shard/test_merge.py``):
+
+* **order-independent** — the merged view is a pure function of the *set*
+  of (shard id, records) inputs; shard enumeration order cannot change
+  the result (everything keys on sorted shard ids and in-journal ``seq``);
+* **typed rejection of collisions** — a shard id appearing twice, a
+  non-contiguous ``seq`` stream, or two shards journaling the *same task
+  key with different outcomes* each raise :class:`JournalMergeError`
+  (collisions mean the directory holds journals from different runs — a
+  copied shard dir, a reused id — and silently unioning them would forge
+  a report);
+* **first-writer-wins on identical duplicates** — the same task key (or
+  change id) journaled twice *with identical payloads* is settled to the
+  record with the lowest ``(shard_id, seq)``, mirroring the serving
+  daemon's first-writer-wins settlement.  Under the spawned-seed-keyed
+  ledger contract duplicates are always bit-identical, so this rule can
+  never pick a "wrong" writer — it only keeps the merge total.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..runstate.journal import JOURNAL_FILE, JournalRecord, recover_journal
+from ..runstate.ledger import TASK_DONE
+from .manifest import list_shard_ids, shard_dir
+
+__all__ = [
+    "JournalMergeError",
+    "MergedView",
+    "merge_shard_records",
+    "merge_shard_journals",
+]
+
+
+class JournalMergeError(RuntimeError):
+    """Per-shard journals cannot be merged into one consistent view."""
+
+
+@dataclass
+class MergedView:
+    """The union of K per-shard journals, deduplicated and indexed."""
+
+    #: change_id -> the journaled ``change-done`` data (winner record).
+    done_changes: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: task key -> (shard_id, seq, encoded outcome) of the winning record.
+    tasks: Dict[str, Tuple[int, int, Dict[str, Any]]] = field(default_factory=dict)
+    #: shard_id -> record count in its recovered valid prefix.
+    records_per_shard: Dict[int, int] = field(default_factory=dict)
+    #: identical-payload duplicates settled first-writer-wins (a non-zero
+    #: count is legal but means a failover raced; the kill harness asserts
+    #: zero under kill-before-reassign).
+    duplicate_tasks: int = 0
+    duplicate_changes: int = 0
+
+    def change_counts(self) -> Dict[int, int]:
+        """Completed changes per shard (by winning record)."""
+        out: Dict[int, int] = {shard_id: 0 for shard_id in self.records_per_shard}
+        for data in self.done_changes.values():
+            out[data["__shard__"]] = out.get(data["__shard__"], 0) + 1
+        return out
+
+
+def _validate_stream(shard_id: int, records: Sequence[JournalRecord]) -> None:
+    """One shard's records must be a contiguous seq stream from 0 — what
+    journal recovery always yields; anything else is a spliced file."""
+    for position, record in enumerate(records):
+        if record.seq != position:
+            raise JournalMergeError(
+                f"shard {shard_id}: journal seq {record.seq} at position "
+                f"{position} — records are not a contiguous stream from 0 "
+                "(was this journal spliced from another run?)"
+            )
+
+
+def merge_shard_records(
+    shard_records: Iterable[Tuple[int, Sequence[JournalRecord]]],
+) -> MergedView:
+    """Merge recovered per-shard record streams into one consistent view.
+
+    ``shard_records`` is an iterable of ``(shard_id, records)`` pairs (the
+    output of :func:`repro.runstate.journal.recover_journal` per shard).
+    Raises :class:`JournalMergeError` on any collision — duplicate shard
+    id, broken seq stream, or conflicting payloads for one task key or
+    change id.
+    """
+    streams: Dict[int, Sequence[JournalRecord]] = {}
+    for shard_id, records in shard_records:
+        shard_id = int(shard_id)
+        if shard_id in streams:
+            raise JournalMergeError(
+                f"shard id {shard_id} appears twice in the merge input — "
+                "two journals claim the same shard"
+            )
+        _validate_stream(shard_id, records)
+        streams[shard_id] = records
+
+    view = MergedView()
+    # Sorted shard ids make the iteration order — and therefore every
+    # first-writer-wins decision — independent of input enumeration order.
+    for shard_id in sorted(streams):
+        records = streams[shard_id]
+        view.records_per_shard[shard_id] = len(records)
+        for record in records:
+            if record.type == TASK_DONE:
+                key = record.data.get("key")
+                outcome = record.data.get("outcome")
+                if not isinstance(key, str) or outcome is None:
+                    continue
+                existing = view.tasks.get(key)
+                if existing is None:
+                    view.tasks[key] = (shard_id, record.seq, outcome)
+                elif existing[2] != outcome:
+                    raise JournalMergeError(
+                        f"task key {key!r} was journaled with different "
+                        f"outcomes by shard {existing[0]} and shard "
+                        f"{shard_id} — the journals belong to different runs"
+                    )
+                else:
+                    view.duplicate_tasks += 1
+            elif record.type == "change-done":
+                change_id = record.data.get("change_id")
+                if not isinstance(change_id, str):
+                    continue
+                existing = view.done_changes.get(change_id)
+                incoming = dict(record.data)
+                incoming["__shard__"] = shard_id
+                if existing is None:
+                    view.done_changes[change_id] = incoming
+                else:
+                    previous = {k: v for k, v in existing.items() if k != "__shard__"}
+                    if previous != record.data:
+                        raise JournalMergeError(
+                            f"change {change_id!r} was journaled with "
+                            f"different reports by shard {existing['__shard__']} "
+                            f"and shard {shard_id} — the journals belong to "
+                            "different runs"
+                        )
+                    view.duplicate_changes += 1
+    return view
+
+
+def merge_shard_journals(
+    directory: str, shard_ids: Optional[Sequence[int]] = None
+) -> MergedView:
+    """Recover and merge every ``shard-*/journal.jsonl`` under ``directory``.
+
+    Recovery is read-only (``truncate=False``): the merge never mutates a
+    shard's journal — truncating a live worker's torn tail from under it
+    would corrupt the stream it is appending to.  Missing journals (a
+    shard that never started) merge as empty.
+    """
+    ids: List[int] = list(shard_ids) if shard_ids is not None else list_shard_ids(directory)
+    pairs: List[Tuple[int, Sequence[JournalRecord]]] = []
+    for shard_id in ids:
+        path = os.path.join(shard_dir(directory, shard_id), JOURNAL_FILE)
+        report = recover_journal(path, truncate=False)
+        pairs.append((shard_id, report.records))
+    return merge_shard_records(pairs)

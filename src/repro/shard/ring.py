@@ -1,0 +1,102 @@
+"""Consistent hashing over the campaign task-key namespace.
+
+The unit of shard assignment is the *change*: every (element, KPI) task
+key of one change shares the prefix ``assess/{change_id}`` (see
+:class:`~repro.runstate.ledger.TaskLedger`), so hashing that prefix routes
+a change — and with it the whole subtree of task keys it owns — to exactly
+one shard.  Keeping one change's tasks on one shard is load-bearing: the
+control-group regression of a change consumes all of its tasks, and the
+position-keyed task seeds are spawned per change, so splitting a change
+across processes would change nothing *and* help nothing.
+
+The ring is the classic virtual-node construction: each shard contributes
+``vnodes`` points at ``sha256(f"shard-{id}#{v}")``, a key lands on the
+first point clockwise of ``sha256(key)``.  Two properties matter here:
+
+* **deterministic** — assignment is a pure function of (key, shard ids),
+  independent of process, platform, and ``PYTHONHASHSEED`` (``sha256``,
+  never ``hash()``), so a resumed coordinator recomputes the identical
+  routing;
+* **minimal-movement failover** — removing a dead shard's points moves
+  *only the dead shard's keys*; every surviving shard keeps its
+  assignment, which is what makes reassignment after a SIGKILL a targeted
+  hand-off instead of a global reshuffle.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["HashRing", "change_partition_key", "DEFAULT_VNODES"]
+
+#: Virtual nodes per shard: enough that a 2-shard ring splits within a few
+#: percent of evenly, cheap enough that ring construction is trivial.
+DEFAULT_VNODES = 64
+
+
+def change_partition_key(change_id: str) -> str:
+    """The ring key of a change: the shared prefix of all its task keys."""
+    return f"assess/{change_id}"
+
+
+def _point(label: str) -> int:
+    """A ring position: the first 8 bytes of sha256, as an integer."""
+    return int.from_bytes(hashlib.sha256(label.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Immutable consistent-hash ring over integer shard ids."""
+
+    def __init__(self, shard_ids: Sequence[int], vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be at least 1")
+        ids = sorted(set(int(s) for s in shard_ids))
+        if len(ids) != len(shard_ids):
+            raise ValueError(f"duplicate shard ids: {sorted(shard_ids)}")
+        if not ids:
+            raise ValueError("a hash ring needs at least one shard")
+        self.shard_ids: Tuple[int, ...] = tuple(ids)
+        self.vnodes = vnodes
+        points: List[Tuple[int, int]] = []
+        for shard_id in ids:
+            for v in range(vnodes):
+                points.append((_point(f"shard-{shard_id}#{v}"), shard_id))
+        # Ties (two labels hashing to one point) resolve to the lower shard
+        # id; astronomically unlikely but the sort must still be total.
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def __len__(self) -> int:
+        return len(self.shard_ids)
+
+    def assign(self, key: str) -> int:
+        """The shard owning ``key`` (first ring point clockwise of it)."""
+        index = bisect.bisect_right(self._points, _point(key)) % len(self._points)
+        return self._owners[index]
+
+    def assign_change(self, change_id: str) -> int:
+        """The shard owning a change and all of its task keys."""
+        return self.assign(change_partition_key(change_id))
+
+    def without(self, shard_id: int) -> "HashRing":
+        """The ring after ``shard_id`` died (its keys redistribute; every
+        other shard's keys stay put)."""
+        if shard_id not in self.shard_ids:
+            raise ValueError(f"shard {shard_id} is not on the ring")
+        survivors = [s for s in self.shard_ids if s != shard_id]
+        return HashRing(survivors, vnodes=self.vnodes)
+
+    def partition(self, change_ids: Sequence[str]) -> Dict[int, List[str]]:
+        """Changes grouped by owning shard, input order preserved per shard.
+
+        Every shard id appears in the result (possibly with an empty
+        list), so callers can write one assignment per shard without
+        special-casing idle shards.
+        """
+        out: Dict[int, List[str]] = {shard_id: [] for shard_id in self.shard_ids}
+        for change_id in change_ids:
+            out[self.assign_change(change_id)].append(change_id)
+        return out

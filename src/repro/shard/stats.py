@@ -1,0 +1,96 @@
+"""Fleet-wide aggregation behind ``litmus shard stats``.
+
+Mirrors the serving daemon's ``/stats`` endpoint for sharded campaigns:
+one read-only pass over the journal directory — spec, coordinator WAL,
+per-shard heartbeats and journals — merged into a single JSON document.
+Safe to run against a *live* directory: journal recovery never truncates
+and heartbeats are read tolerantly, so the stats never mutate the run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+from ..runstate.journal import recover_journal
+from .coordinator import COORDINATOR_BEGIN, COORDINATOR_END, SHARD_DEAD
+from .manifest import (
+    COORDINATOR_JOURNAL_FILE,
+    Assignment,
+    Heartbeat,
+    ShardSpec,
+    shard_dir,
+)
+from .merge import merge_shard_journals
+
+__all__ = ["shard_stats"]
+
+
+def _coordinator_view(directory: str) -> Dict[str, Any]:
+    report = recover_journal(
+        os.path.join(directory, COORDINATOR_JOURNAL_FILE), truncate=False
+    )
+    begin: Optional[Dict[str, Any]] = None
+    failovers: List[Dict[str, Any]] = []
+    completed = False
+    report_sha256: Optional[str] = None
+    for record in report.records:
+        if record.type == COORDINATOR_BEGIN and begin is None:
+            begin = record.data
+        elif record.type == SHARD_DEAD:
+            failovers.append(record.data)
+        elif record.type == COORDINATOR_END:
+            completed = True
+            report_sha256 = record.data.get("report_sha256")
+    return {
+        "records": len(report.records),
+        "begin": begin,
+        "failovers": failovers,
+        "completed": completed,
+        "report_sha256": report_sha256,
+    }
+
+
+def shard_stats(directory: str) -> Dict[str, Any]:
+    """One aggregated stats document for a sharded campaign directory."""
+    directory = os.path.abspath(directory)
+    spec = ShardSpec.load(directory)
+    coordinator = _coordinator_view(directory)
+    merged = merge_shard_journals(directory)
+    change_counts = merged.change_counts()
+
+    shards = []
+    for shard_id in range(spec.n_shards):
+        sdir = shard_dir(directory, shard_id)
+        beat = Heartbeat.load(sdir)
+        assignment = Assignment.load(sdir)
+        shards.append(
+            {
+                "shard_id": shard_id,
+                "records": merged.records_per_shard.get(shard_id, 0),
+                "changes_done": change_counts.get(shard_id, 0),
+                "assigned": len(assignment.changes) if assignment else 0,
+                "epoch": assignment.epoch if assignment else None,
+                "heartbeat": beat.to_dict() if beat else None,
+                "heartbeat_age_s": round(beat.age_s(), 3) if beat else None,
+            }
+        )
+
+    begin = coordinator["begin"] or {}
+    total = len(begin.get("change_ids", ())) or None
+    done = len(merged.done_changes)
+    return {
+        "directory": directory,
+        "n_shards": spec.n_shards,
+        "workers_per_shard": spec.workers_per_shard,
+        "config_sha256": spec.config_sha256,
+        "changes_done": done,
+        "changes_total": total,
+        "tasks_merged": len(merged.tasks),
+        "duplicate_tasks": merged.duplicate_tasks,
+        "duplicate_changes": merged.duplicate_changes,
+        "failovers": coordinator["failovers"],
+        "completed": coordinator["completed"],
+        "report_sha256": coordinator["report_sha256"],
+        "shards": shards,
+    }

@@ -1,0 +1,377 @@
+"""One shard worker process: own WAL, own ledger, own circuit breaker.
+
+A worker is spawned by the coordinator as ``litmus shard worker DIR ID``
+and owns everything under ``DIR/shard-ID/``:
+
+* **journal** — the shard's write-ahead journal, campaign record types
+  (``task-done`` via the :class:`~repro.runstate.ledger.TaskLedger`,
+  ``change-done`` per finished change, ``checkpoint`` on SIGINT); the
+  shard's lineage record pins the run's config SHA-256 and shard id, so a
+  journal can never be resumed under a different spec or grafted onto a
+  different shard;
+* **assignment** — the worker polls ``assignment.json`` for epoch bumps;
+  a new epoch may carry reassigned changes from a dead shard plus
+  ``inherit`` journal paths, which are absorbed into the ledger (read-only,
+  first-writer-wins) *before* assessing, so every task the dead shard
+  already settled replays instead of re-executing — the exactly-once half
+  of failover;
+* **heartbeat** — an atomic liveness file rewritten every interval from a
+  daemon thread, carrying pid/epoch/progress; the coordinator SIGKILLs a
+  shard whose heartbeat goes stale (a wedged main thread eventually
+  starves the process; SIGSTOP freezes the writer outright);
+* **breaker** — a :class:`~repro.serve.breaker.CircuitBreaker` fed one
+  observation per change attempt: an assessment whose report carries
+  transient-category task failures (timeout, worker-crash) is *unhealthy*
+  — it indicates this process/host, not the data, so the change is retried
+  locally and, if the breaker opens, the worker exits
+  :data:`EXIT_BREAKER_TRIPPED` without journaling it; the coordinator
+  reassigns the shard's remaining work to healthy shards.  Deterministic
+  failures journal normally — moving them to another shard cannot change
+  them.
+
+Exit codes: 0 (all assigned work journaled, stop sentinel seen), 75
+(SIGINT checkpoint, resume later), :data:`EXIT_BREAKER_TRIPPED` (sick
+shard, work reassigned), anything else (crash; the coordinator fails the
+work over).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, Set
+
+from ..core.litmus import Litmus
+from ..obs.metrics import get_metrics
+from ..obs.trace import Tracer, current_tracer, use_tracer
+from ..runstate.atomic import atomic_write_text
+from ..runstate.campaign import (
+    BOUNDARY_SYNC_INTERVAL_S,
+    CHANGE_DONE,
+    CHECKPOINT,
+    assess_change_record,
+)
+from ..runstate.journal import JOURNAL_FILE, Journal, recover_journal
+from ..runstate.ledger import TRANSIENT_CATEGORIES, LedgerDivergence, TaskLedger
+from ..serve.breaker import BreakerState, CircuitBreaker
+from .manifest import SPANS_FILE, STOP_FILE, Assignment, Heartbeat, ShardSpec, shard_dir
+
+__all__ = ["ShardWorker", "SHARD_BEGIN", "EXIT_BREAKER_TRIPPED"]
+
+#: Per-shard lineage record type (the shard journal's ``campaign-begin``).
+SHARD_BEGIN = "shard-begin"
+
+#: Worker exit status when its circuit breaker opened: the shard declared
+#: itself sick and its unfinished changes must be reassigned.
+EXIT_BREAKER_TRIPPED = 82
+
+#: Worker exit status after a clean SIGINT checkpoint (matches the CLI's
+#: ``EXIT_CHECKPOINTED``; duplicated here to keep the dependency arrow
+#: pointing from cli to shard).
+EXIT_CHECKPOINTED = 75
+
+#: Local re-attempts of a change whose report came back with transient
+#: task failures, before journaling the degraded report anyway (progress
+#: beats livelock when the breaker has not opened).
+TRANSIENT_CHANGE_RETRIES = 2
+
+
+def _transient_failure_count(data: Dict[str, Any]) -> int:
+    """Transient-category task failures inside one change-done record."""
+    report = data.get("report")
+    if not isinstance(report, dict):
+        return 0
+    return sum(
+        1
+        for failure in report.get("failures", ())
+        if failure.get("category") in TRANSIENT_CATEGORIES
+    )
+
+
+class _HeartbeatThread(threading.Thread):
+    """Daemon thread rewriting the shard's heartbeat file every interval."""
+
+    def __init__(self, worker: "ShardWorker", interval_s: float) -> None:
+        super().__init__(name=f"shard-{worker.shard_id}-heartbeat", daemon=True)
+        self.worker = worker
+        self.interval_s = interval_s
+        self.stop_event = threading.Event()
+
+    def run(self) -> None:
+        while not self.stop_event.is_set():
+            try:
+                self.worker.write_heartbeat()
+            except OSError:
+                pass  # a missed beat is what the timeout is for
+            self.stop_event.wait(self.interval_s)
+
+
+class ShardWorker:
+    """The body of one ``litmus shard worker`` process."""
+
+    def __init__(
+        self,
+        directory: str,
+        shard_id: int,
+        *,
+        poll_interval_s: float = 0.05,
+        breaker_threshold: int = 3,
+    ) -> None:
+        self.directory = os.path.abspath(directory)
+        self.shard_id = int(shard_id)
+        self.poll_interval_s = poll_interval_s
+        self.spec = ShardSpec.load(self.directory)
+        if not 0 <= self.shard_id < self.spec.n_shards:
+            raise ValueError(
+                f"shard id {self.shard_id} outside the spec's "
+                f"0..{self.spec.n_shards - 1}"
+            )
+        self.shard_path = shard_dir(self.directory, self.shard_id)
+        # Recovery time is irrelevant: an open breaker ends the process.
+        self.breaker = CircuitBreaker(
+            failure_threshold=breaker_threshold, recovery_s=3600.0
+        )
+        self._state_lock = threading.Lock()
+        self._state = "starting"
+        self._epoch = -1
+        self._changes_done = 0
+        self._ledger: Optional[TaskLedger] = None
+
+    # -- heartbeat -------------------------------------------------------
+    def _set_state(self, state: str, epoch: Optional[int] = None) -> None:
+        with self._state_lock:
+            self._state = state
+            if epoch is not None:
+                self._epoch = epoch
+
+    def write_heartbeat(self) -> None:
+        with self._state_lock:
+            state, epoch, done = self._state, self._epoch, self._changes_done
+        ledger = self._ledger
+        Heartbeat(
+            shard_id=self.shard_id,
+            pid=os.getpid(),
+            epoch=epoch,
+            state=state,
+            changes_done=done,
+            tasks_recorded=ledger.recorded_count if ledger is not None else 0,
+            tasks_replayed=ledger.replayed_count if ledger is not None else 0,
+            breaker=self.breaker.to_dict(),
+            wrote_at=time.time(),
+        ).save(self.shard_path)
+
+    # -- world -----------------------------------------------------------
+    def _load_world(self):
+        from ..io import changelog_from_json, load_kpi_backend, read_topology_json
+        from ..runstate.retry import DEFAULT_RETRY_POLICY, with_retries
+
+        topology = with_retries(
+            lambda: read_topology_json(self.spec.topology), label="read-topology"
+        )
+        store = with_retries(
+            lambda: load_kpi_backend(self.spec.kpis), label="read-kpis"
+        )
+
+        def read_changes():
+            with open(self.spec.changes) as handle:
+                return changelog_from_json(handle.read())
+
+        log = with_retries(read_changes, label="read-changes")
+        return topology, store, log
+
+    def _verify_lineage(self, journal: Journal, records) -> None:
+        """Pin this shard's journal to (spec, shard id); write-once."""
+        expected = {
+            "config_sha256": self.spec.config_sha256,
+            "shard_id": self.shard_id,
+            "n_shards": self.spec.n_shards,
+            "root_seed": self.spec.config.get("seed"),
+        }
+        begin = next((r for r in records if r.type == SHARD_BEGIN), None)
+        if begin is None:
+            journal.append(SHARD_BEGIN, expected)
+            return
+        for key, want in expected.items():
+            got = begin.data.get(key)
+            if got != want:
+                raise LedgerDivergence(
+                    f"shard journal {self.shard_path} was written by a "
+                    f"different run: {key} is {got!r}, this run has {want!r}"
+                )
+
+    # -- main loop -------------------------------------------------------
+    def run(self) -> int:
+        """Process assignments until the stop sentinel; see module doc."""
+        os.makedirs(self.shard_path, exist_ok=True)
+        tracer = Tracer() if self.spec.trace else current_tracer()
+        context = use_tracer(tracer) if self.spec.trace else None
+        heartbeat = _HeartbeatThread(self, self.spec.heartbeat_interval_s)
+        heartbeat.start()
+        self.write_heartbeat()
+        try:
+            if context is not None:
+                context.__enter__()
+            try:
+                return self._run_body()
+            finally:
+                if context is not None:
+                    context.__exit__(None, None, None)
+                if self.spec.trace:
+                    self._dump_spans(tracer)
+        finally:
+            heartbeat.stop_event.set()
+            try:
+                self.write_heartbeat()
+            except OSError:
+                pass
+
+    def _dump_spans(self, tracer: Tracer) -> None:
+        """Root span trees, one JSON line each, for coordinator grafting."""
+        lines = [json.dumps(tree, sort_keys=True) for tree in tracer.to_events()]
+        atomic_write_text(
+            os.path.join(self.shard_path, SPANS_FILE),
+            "".join(f"{line}\n" for line in lines),
+        )
+
+    def _run_body(self) -> int:
+        journal, recovery = Journal.open(
+            os.path.join(self.shard_path, JOURNAL_FILE),
+            sync=True,
+            sync_interval_s=BOUNDARY_SYNC_INTERVAL_S,
+        )
+        try:
+            self._verify_lineage(journal, recovery.records)
+            ledger = TaskLedger(journal, recovery.records)
+            self._ledger = ledger
+            done: Set[str] = {
+                r.data["change_id"]
+                for r in recovery.records
+                if r.type == CHANGE_DONE and "change_id" in r.data
+            }
+            with self._state_lock:
+                self._changes_done = len(done)
+
+            topology, store, log = self._load_world()
+            # The shared spec config pins seeds and the config SHA; only the
+            # pool width is per-shard (already capped by the coordinator via
+            # plan_shard_workers, so resolve_worker_count never warns here).
+            config = dataclasses.replace(
+                self.spec.litmus_config(), n_workers=self.spec.workers_per_shard
+            )
+            engine = Litmus(
+                topology, store, config, change_log=log, ledger=ledger
+            )
+            kpis = self.spec.kpi_kinds()
+
+            try:
+                self._poll_loop(journal, ledger, engine, log, topology, kpis, done)
+            except _BreakerTripped:
+                self._set_state("tripped")
+                get_metrics().counter("shard.breaker_trips").inc()
+                return EXIT_BREAKER_TRIPPED
+            except KeyboardInterrupt:
+                # Everything settled is already journaled (write-ahead);
+                # mark the clean checkpoint and exit with the documented
+                # temp-fail status so `litmus resume` finishes the run.
+                journal.append(CHECKPOINT, {"reason": "interrupt"}, sync=True)
+                get_metrics().counter("shard.worker_checkpoints").inc()
+                self._set_state("done")
+                return EXIT_CHECKPOINTED
+            if self.breaker.state is not BreakerState.CLOSED:
+                self._set_state("tripped")
+                return EXIT_BREAKER_TRIPPED
+            self._set_state("done")
+            return 0
+        finally:
+            journal.close()
+
+    def _poll_loop(
+        self, journal, ledger, engine, log, topology, kpis, done: Set[str]
+    ) -> None:
+        epoch_seen = -1
+        absorbed: Set[str] = set()
+        registry = get_metrics()
+        spawner = os.getppid()
+        while True:
+            assignment = Assignment.load(self.shard_path)
+            if assignment is not None and assignment.epoch > epoch_seen:
+                epoch_seen = assignment.epoch
+                self._set_state("running", epoch=epoch_seen)
+                # Absorb inherited journals *before* assessing: reassigned
+                # changes replay the dead shard's settled tasks from its WAL.
+                for path in assignment.inherit:
+                    if path in absorbed:
+                        continue
+                    absorbed.add(path)
+                    report = recover_journal(path, truncate=False)
+                    n = ledger.absorb(report.records)
+                    registry.counter("shard.inherited_journals").inc()
+                    for record in report.records:
+                        if record.type == CHANGE_DONE and "change_id" in record.data:
+                            done.add(record.data["change_id"])
+                self._work_epoch(
+                    assignment, journal, engine, log, topology, kpis, done
+                )
+                self._set_state("idle")
+                continue
+            if os.path.exists(os.path.join(self.directory, STOP_FILE)):
+                return
+            if os.getppid() != spawner:
+                # Reparented: the coordinator was killed without writing a
+                # checkpoint.  Everything settled is journaled; exit as a
+                # checkpoint so nothing leaks and `litmus resume` finishes.
+                raise KeyboardInterrupt
+            time.sleep(self.poll_interval_s)
+
+    def _work_epoch(
+        self, assignment, journal, engine, log, topology, kpis, done: Set[str]
+    ) -> None:
+        for change_id in assignment.changes:
+            if change_id in done:
+                continue
+            change = log.get(change_id)
+            data = self._assess_with_breaker(engine, change, kpis, topology, log)
+            if data is None:
+                # The breaker opened mid-change: leave the change
+                # un-journaled (the coordinator reassigns it) and bail out.
+                raise _BreakerTripped()
+            journal.append(CHANGE_DONE, data)
+            done.add(change_id)
+            with self._state_lock:
+                self._changes_done += 1
+            get_metrics().counter("shard.changes_done").inc()
+
+    def _assess_with_breaker(
+        self, engine, change, kpis, topology, log
+    ) -> Optional[Dict[str, Any]]:
+        """Assess one change, feeding the breaker one observation per
+        attempt; None means the breaker opened (do not journal)."""
+        attempts = 1 + TRANSIENT_CHANGE_RETRIES
+        data: Dict[str, Any] = {}
+        for attempt in range(attempts):
+            data = assess_change_record(
+                engine, change, kpis, topology, log, explain=self.spec.explain
+            )
+            transient = _transient_failure_count(data)
+            self.breaker.record(healthy=transient == 0)
+            if transient == 0:
+                return data
+            get_metrics().counter("shard.transient_change_attempts").inc()
+            if self.breaker.state is not BreakerState.CLOSED:
+                return None
+        # Retries exhausted with the breaker still closed: journal the
+        # degraded report — identical to what an unsharded campaign under
+        # the same conditions would record.
+        return data
+
+
+class _BreakerTripped(Exception):
+    """Internal: unwind the poll loop after the breaker opened."""
+
+
+def run_worker(directory: str, shard_id: int) -> int:
+    """CLI entry point body for ``litmus shard worker``."""
+    return ShardWorker(directory, shard_id).run()

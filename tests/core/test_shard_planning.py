@@ -1,0 +1,53 @@
+"""Coordinator-side pool sizing for the multi-process shard fan-out."""
+
+import os
+import warnings
+
+import pytest
+
+from repro.core import parallel
+from repro.core.parallel import plan_shard_workers
+
+
+class TestPlanShardWorkers:
+    def test_within_core_budget_is_untouched(self):
+        cpus = os.cpu_count() or 1
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert plan_shard_workers(1, max(1, cpus)) == max(1, cpus)
+
+    def test_caps_to_fair_share_and_warns_once(self):
+        cpus = os.cpu_count() or 1
+        parallel._OVERSUBSCRIPTION_WARNED = False
+        with pytest.warns(RuntimeWarning, match="at the coordinator"):
+            capped = plan_shard_workers(2, 64 * cpus)
+        assert capped == max(1, cpus // 2)
+        # The product never exceeds the cores (unless shards alone do).
+        assert 2 * capped <= max(cpus, 2)
+        # Further oversubscribed plans are silent: one warning per process,
+        # emitted at the coordinator — never re-emitted per shard.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            plan_shard_workers(4, 64 * cpus)
+
+    def test_more_shards_than_cores_still_gives_each_one_worker(self):
+        cpus = os.cpu_count() or 1
+        parallel._OVERSUBSCRIPTION_WARNED = True  # silence for this test
+        assert plan_shard_workers(4 * cpus, 8) == 1
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            plan_shard_workers(0, 1)
+        with pytest.raises(ValueError):
+            plan_shard_workers(1, 0)
+
+    def test_shares_the_warning_latch_with_resolve_worker_count(self):
+        # The shard plan and the per-pool resolve are one policy: whichever
+        # fires first silences the other for the rest of the process.
+        cpus = os.cpu_count() or 1
+        parallel._OVERSUBSCRIPTION_WARNED = False
+        with pytest.warns(RuntimeWarning):
+            plan_shard_workers(2, 64 * cpus)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            parallel.resolve_worker_count("thread", 64 * cpus)

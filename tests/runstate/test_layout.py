@@ -1,0 +1,56 @@
+"""Typed resume-layout detection behind `litmus resume` dispatch."""
+
+import pytest
+
+from repro.runstate.layout import (
+    RESUME_LAYOUTS,
+    ResumeLayoutError,
+    detect_resume_layout,
+)
+
+
+class TestDetectResumeLayout:
+    @pytest.mark.parametrize("layout", sorted(RESUME_LAYOUTS))
+    def test_detects_each_layout_by_spec_file(self, tmp_path, layout):
+        spec_file, _command = RESUME_LAYOUTS[layout]
+        (tmp_path / spec_file).write_text("{}")
+        assert detect_resume_layout(str(tmp_path)) == layout
+
+    def test_missing_directory_raises_typed_error(self, tmp_path):
+        with pytest.raises(ResumeLayoutError) as excinfo:
+            detect_resume_layout(str(tmp_path / "nope"))
+        assert excinfo.value.reason == "no such directory"
+        assert excinfo.value.directory == str(tmp_path / "nope")
+
+    def test_file_path_raises(self, tmp_path):
+        target = tmp_path / "afile"
+        target.write_text("x")
+        with pytest.raises(ResumeLayoutError, match="not a directory"):
+            detect_resume_layout(str(target))
+
+    def test_empty_directory_raises_with_distinct_reason(self, tmp_path):
+        with pytest.raises(ResumeLayoutError, match="nothing to resume"):
+            detect_resume_layout(str(tmp_path))
+
+    def test_unrecognized_directory_raises(self, tmp_path):
+        (tmp_path / "data.csv").write_text("a,b\n")
+        with pytest.raises(ResumeLayoutError, match="unrecognized"):
+            detect_resume_layout(str(tmp_path))
+
+    def test_error_message_lists_every_expected_layout(self, tmp_path):
+        with pytest.raises(ResumeLayoutError) as excinfo:
+            detect_resume_layout(str(tmp_path))
+        message = str(excinfo.value)
+        for spec_file, command in RESUME_LAYOUTS.values():
+            assert spec_file in message
+            assert command in message
+
+    def test_ambiguous_directory_rejected(self, tmp_path):
+        (tmp_path / "campaign.json").write_text("{}")
+        (tmp_path / "shard.json").write_text("{}")
+        with pytest.raises(ResumeLayoutError, match="ambiguous"):
+            detect_resume_layout(str(tmp_path))
+
+    def test_error_is_a_value_error(self, tmp_path):
+        with pytest.raises(ValueError):
+            detect_resume_layout(str(tmp_path))

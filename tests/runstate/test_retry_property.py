@@ -1,0 +1,99 @@
+"""Property tests for the backoff-with-jitter schedule (runstate.retry).
+
+Three contracts, each checked over generated policies rather than a few
+hand-picked shapes: the delay never exceeds the jittered cap, the
+no-jitter envelope is monotone in the attempt number, and the schedule a
+seeded run actually sleeps is a pure function of the seed.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runstate.retry import RetryPolicy, with_retries
+
+policies = st.builds(
+    RetryPolicy,
+    attempts=st.integers(min_value=1, max_value=8),
+    base_delay_s=st.floats(min_value=1e-4, max_value=1.0),
+    max_delay_s=st.floats(min_value=1.0, max_value=60.0),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+class TestDelayBounds:
+    @given(
+        policy=policies,
+        attempt=st.integers(min_value=0, max_value=40),
+        u=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_delay_never_exceeds_jittered_cap(self, policy, attempt, u):
+        delay = policy.delay(attempt, u)
+        assert 0.0 <= delay <= policy.max_delay_s * (1.0 + policy.jitter)
+
+    @given(
+        policy=policies,
+        attempt=st.integers(min_value=0, max_value=40),
+        u1=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+        u2=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_jitter_is_monotone_in_the_draw(self, policy, attempt, u1, u2):
+        lo, hi = sorted((u1, u2))
+        assert policy.delay(attempt, lo) <= policy.delay(attempt, hi)
+
+
+class TestMonotoneEnvelope:
+    @given(policy=policies, attempt=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=200, deadline=None)
+    def test_envelope_is_non_decreasing_in_attempt(self, policy, attempt):
+        # With no jitter draw, attempt k+1 never backs off less than k:
+        # the envelope is exponential-until-cap, then flat at the cap.
+        assert policy.delay(attempt, 0.0) <= policy.delay(attempt + 1, 0.0)
+
+    @given(policy=policies)
+    @settings(max_examples=100, deadline=None)
+    def test_envelope_saturates_at_the_cap(self, policy):
+        # Far enough out, the envelope is exactly the cap.
+        assert policy.delay(60, 0.0) == pytest.approx(policy.max_delay_s)
+
+
+class TestDeterministicSchedule:
+    @staticmethod
+    def _observed_schedule(policy, seed, failures):
+        state = {"left": failures}
+        slept = []
+
+        def flaky():
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise OSError("transient")
+            return "ok"
+
+        result = with_retries(
+            flaky, policy=policy, sleep=slept.append, seed=seed
+        )
+        assert result == "ok"
+        return slept
+
+    @given(
+        policy=policies.filter(lambda p: p.attempts >= 3),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_same_seed_sleeps_the_same_schedule(self, policy, seed):
+        failures = policy.attempts - 1
+        first = self._observed_schedule(policy, seed, failures)
+        second = self._observed_schedule(policy, seed, failures)
+        assert first == second
+        assert len(first) == failures
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_observed_sleeps_respect_envelope_and_cap(self, seed):
+        policy = RetryPolicy(attempts=6, base_delay_s=0.05, max_delay_s=0.4, jitter=0.5)
+        slept = self._observed_schedule(policy, seed, failures=5)
+        for attempt, delay in enumerate(slept):
+            assert policy.delay(attempt, 0.0) <= delay
+            assert delay <= policy.max_delay_s * (1.0 + policy.jitter)

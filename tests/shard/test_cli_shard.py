@@ -1,0 +1,69 @@
+"""CLI surface of sharding: parser wiring, resume dispatch, stats."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.config import LitmusConfig
+from repro.shard.manifest import ShardSpec
+
+
+class TestParser:
+    def test_shard_run_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "shard", "run",
+                "--topology", "t.json", "--kpis", "k.csv", "--changes", "c.json",
+                "--journal", "dir", "--shards", "4", "--workers", "2",
+            ]
+        )
+        assert args.command == "shard"
+        assert args.shard_command == "run"
+        assert args.shards == 4 and args.workers == 2
+
+    def test_shard_worker_is_positional(self):
+        args = build_parser().parse_args(["shard", "worker", "dir", "3"])
+        assert args.shard_command == "worker"
+        assert args.directory == "dir" and args.shard_id == 3
+
+    def test_shard_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["shard"])
+
+
+class TestResumeDispatch:
+    def test_unrecognized_directory_names_every_layout(self, tmp_path, capsys):
+        (tmp_path / "stray.txt").write_text("x")
+        assert main(["resume", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "campaign.json" in err
+        assert "service.json" in err
+        assert "shard.json" in err
+        assert "litmus shard run --journal" in err
+
+    def test_empty_directory_has_distinct_message(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path)]) == 1
+        assert "nothing to resume" in capsys.readouterr().err
+
+    def test_missing_directory_errors_cleanly(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path / "nope")]) == 1
+        assert "no such directory" in capsys.readouterr().err
+
+
+class TestShardStats:
+    def test_stats_on_unstarted_directory(self, tmp_path, capsys):
+        ShardSpec.build(
+            str(tmp_path / "t.json"),
+            str(tmp_path / "k.csv"),
+            str(tmp_path / "c.json"),
+            n_shards=3,
+            config=LitmusConfig(),
+        ).save(str(tmp_path))
+        assert main(["shard", "stats", str(tmp_path)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["n_shards"] == 3
+        assert stats["changes_done"] == 0
+        assert stats["changes_total"] is None
+        assert stats["completed"] is False
+        assert [s["shard_id"] for s in stats["shards"]] == [0, 1, 2]

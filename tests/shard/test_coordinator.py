@@ -1,0 +1,249 @@
+"""Coordinator: end-to-end sharded runs, failover, resume round-trips.
+
+The slow tests drive real process trees (one coordinator, N worker
+subprocesses) against a small synthetic deployment and hold the run to
+the acceptance invariants: byte-identical reports vs the unsharded
+reference, zero lost changes, zero duplicate ledger entries.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.config import LitmusConfig
+from repro.external.factors import goodness_magnitude
+from repro.io import changelog_to_json, write_store_csv, write_topology_json
+from repro.kpi import KpiKind, generate_kpis
+from repro.network import (
+    ChangeEvent,
+    ChangeLog,
+    ChangeType,
+    ElementRole,
+    build_network,
+)
+from repro.runstate.atomic import atomic_write_text
+from repro.runstate.campaign import CampaignSpec, CampaignRunner
+from repro.shard.coordinator import ShardCoordinator, ShardRunResult
+from repro.shard.manifest import ShardSpec
+from repro.shard.merge import merge_shard_journals
+from repro.shard.worker import EXIT_BREAKER_TRIPPED
+
+CHANGE_DAY = 85
+VR = KpiKind.VOICE_RETAINABILITY
+DR = KpiKind.DATA_RETAINABILITY
+
+
+def write_world(directory, n_changes=8, seed=31):
+    topo = build_network(seed=seed, controllers_per_region=10, towers_per_controller=1)
+    store = generate_kpis(topo, (VR, DR), seed=seed)
+    rncs = topo.elements(role=ElementRole.RNC)
+    stride = max(1, len(rncs) // n_changes)
+    events = []
+    for i in range(n_changes):
+        rnc = rncs[(i * stride) % len(rncs)]
+        events.append(
+            ChangeEvent(
+                f"e2e-change-{i}",
+                ChangeType.CONFIGURATION,
+                CHANGE_DAY,
+                frozenset({rnc.element_id}),
+            )
+        )
+        from repro.kpi import LevelShift
+
+        store.apply_effect(
+            rnc.element_id,
+            VR,
+            LevelShift(goodness_magnitude(VR, 4.5 if i % 2 == 0 else -4.5), CHANGE_DAY),
+        )
+    write_topology_json(topo, str(directory / "topology.json"))
+    write_store_csv(store, str(directory / "kpis.csv"))
+    atomic_write_text(str(directory / "changes.json"), changelog_to_json(ChangeLog(events)))
+
+
+@pytest.fixture(scope="module")
+def world(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("world")
+    write_world(directory)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def reference_report(world, tmp_path_factory):
+    """The unsharded journaled campaign's report bytes."""
+    directory = tmp_path_factory.mktemp("ref")
+    spec = CampaignSpec.build(
+        str(world / "topology.json"),
+        str(world / "kpis.csv"),
+        str(world / "changes.json"),
+        config=LitmusConfig(),
+    )
+    CampaignRunner(spec, str(directory)).run()
+    return (directory / "report.txt").read_bytes()
+
+
+def shard_spec(world, n_shards):
+    return ShardSpec.build(
+        str(world / "topology.json"),
+        str(world / "kpis.csv"),
+        str(world / "changes.json"),
+        n_shards=n_shards,
+        config=LitmusConfig(),
+    )
+
+
+def worker_env():
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        src if not env.get("PYTHONPATH") else f"{src}{os.pathsep}{env['PYTHONPATH']}"
+    )
+    return env
+
+
+def shard_run_argv(world, journal, n_shards):
+    return [
+        sys.executable, "-m", "repro.cli", "shard", "run",
+        "--topology", str(world / "topology.json"),
+        "--kpis", str(world / "kpis.csv"),
+        "--changes", str(world / "changes.json"),
+        "--journal", str(journal), "--shards", str(n_shards),
+    ]
+
+
+class TestUnitSurfaces:
+    def test_death_reason_mapping(self):
+        assert ShardCoordinator._death_reason(-signal.SIGKILL) == "signal-9"
+        assert ShardCoordinator._death_reason(EXIT_BREAKER_TRIPPED) == "breaker-open"
+        assert ShardCoordinator._death_reason(1) == "exit-1"
+
+    def test_result_lineage_shape(self):
+        result = ShardRunResult(
+            directory="/j",
+            report_text="",
+            report_sha256="abc",
+            counts={},
+            n_changes=3,
+            n_shards=2,
+            records_per_shard={0: 5, 1: 7},
+        )
+        lineage = result.lineage()
+        assert lineage["journal"] == "coordinator.jsonl"
+        assert lineage["records_per_shard"] == {"0": 5, "1": 7}
+        assert "failovers" in lineage and "report_sha256" in lineage
+
+    def test_divergent_directory_is_refused(self, world, tmp_path):
+        from repro.runstate.ledger import LedgerDivergence
+
+        first = ShardCoordinator(str(tmp_path), shard_spec(world, 2))
+        journal_dir = tmp_path
+        # Seed the coordinator journal with this spec's lineage...
+        from repro.runstate.journal import Journal
+
+        journal, recovery = Journal.open(str(journal_dir / "coordinator.jsonl"), sync=False)
+        first._verify_lineage(journal, recovery.records, ["a", "b"])
+        journal.close()
+        # ...then try to open it under a different change list.
+        journal, recovery = Journal.open(str(journal_dir / "coordinator.jsonl"), sync=False)
+        with pytest.raises(LedgerDivergence, match="change_ids"):
+            first._verify_lineage(journal, recovery.records, ["a", "b", "c"])
+        journal.close()
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_sharded_run_is_byte_identical_to_unsharded(
+        self, world, reference_report, tmp_path
+    ):
+        coordinator = ShardCoordinator(str(tmp_path), shard_spec(world, 3))
+        result = coordinator.run()
+        assert (tmp_path / "report.txt").read_bytes() == reference_report
+        assert result.n_changes == 8
+        assert result.failovers == []
+        assert result.duplicate_tasks == 0
+        assert sum(result.changes_per_shard.values()) == 8
+        # Completed-run resume is subprocess-free and idempotent.
+        again = ShardCoordinator(str(tmp_path)).run()
+        assert again.report_sha256 == result.report_sha256
+        assert (tmp_path / "report.txt").read_bytes() == reference_report
+
+    def test_sigkill_failover_converges_byte_identical(
+        self, world, reference_report, tmp_path
+    ):
+        journal_dir = tmp_path / "sharded"
+        proc = subprocess.Popen(
+            shard_run_argv(world, journal_dir, 3),
+            env=worker_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+        )
+        killed = None
+        deadline = time.monotonic() + 180
+        target = journal_dir / "shard-01"
+        while killed is None and time.monotonic() < deadline:
+            beat_path = target / "heartbeat.json"
+            journal_path = target / "journal.jsonl"
+            if beat_path.exists() and journal_path.exists() and journal_path.stat().st_size:
+                try:
+                    os.kill(json.loads(beat_path.read_text())["pid"], signal.SIGKILL)
+                    killed = True
+                except (OSError, ValueError):
+                    pass
+            time.sleep(0.02)
+        assert killed, "worker never journaled a record to kill at"
+        _out, err = proc.communicate(timeout=300)
+        assert proc.returncode == 0, err.decode()[-2000:]
+        assert (journal_dir / "report.txt").read_bytes() == reference_report
+        view = merge_shard_journals(str(journal_dir))
+        assert view.duplicate_tasks == 0
+        assert len(view.done_changes) == 8
+
+    def test_sigint_checkpoint_resumes_byte_identical(
+        self, world, reference_report, tmp_path
+    ):
+        from repro.cli import EXIT_CHECKPOINTED, main
+
+        journal_dir = tmp_path / "sharded"
+        proc = subprocess.Popen(
+            shard_run_argv(world, journal_dir, 2),
+            env=worker_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            start_new_session=True,
+        )
+        sent = False
+        deadline = time.monotonic() + 180
+        while not sent and time.monotonic() < deadline:
+            journal_path = journal_dir / "shard-00" / "journal.jsonl"
+            if journal_path.exists() and journal_path.stat().st_size:
+                proc.send_signal(signal.SIGINT)
+                sent = True
+            time.sleep(0.02)
+        assert sent
+        _out, err = proc.communicate(timeout=300)
+        assert proc.returncode == EXIT_CHECKPOINTED, err.decode()[-2000:]
+        # Round-trip through `litmus resume`: merged per-shard journals
+        # replay and the final report is byte-identical.
+        assert main(["resume", str(journal_dir)]) == 0
+        assert (journal_dir / "report.txt").read_bytes() == reference_report
+        assert merge_shard_journals(str(journal_dir)).duplicate_tasks == 0
+
+    def test_shard_stats_aggregates_the_fleet(self, world, tmp_path):
+        from repro.shard.stats import shard_stats
+
+        ShardCoordinator(str(tmp_path), shard_spec(world, 2)).run()
+        stats = shard_stats(str(tmp_path))
+        assert stats["n_shards"] == 2
+        assert stats["changes_done"] == 8
+        assert stats["changes_total"] == 8
+        assert stats["completed"] is True
+        assert stats["duplicate_tasks"] == 0
+        assert len(stats["shards"]) == 2
+        assert sum(s["changes_done"] for s in stats["shards"]) == 8

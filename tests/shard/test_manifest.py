@@ -1,0 +1,106 @@
+"""Shard directory layout: spec, assignment, heartbeat round-trips."""
+
+import time
+
+import pytest
+
+from repro.core.config import LitmusConfig
+from repro.shard.manifest import (
+    Assignment,
+    Heartbeat,
+    ShardSpec,
+    is_shard_dir,
+    list_shard_ids,
+    shard_dir,
+)
+
+
+def build_spec(tmp_path, **overrides):
+    kwargs = dict(
+        n_shards=3,
+        workers_per_shard=2,
+        config=LitmusConfig(seed=99),
+        argv=("shard", "run"),
+    )
+    kwargs.update(overrides)
+    return ShardSpec.build(
+        str(tmp_path / "topology.json"),
+        str(tmp_path / "kpis.csv"),
+        str(tmp_path / "changes.json"),
+        **kwargs,
+    )
+
+
+class TestShardSpec:
+    def test_round_trips_through_directory(self, tmp_path):
+        spec = build_spec(tmp_path)
+        spec.save(str(tmp_path))
+        loaded = ShardSpec.load(str(tmp_path))
+        assert loaded == spec
+        assert loaded.config_sha256 == spec.config_sha256
+        assert loaded.litmus_config() == LitmusConfig(seed=99)
+
+    def test_paths_are_pinned_absolute(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        spec = ShardSpec.build(
+            "topology.json", "kpis.csv", "changes.json", n_shards=1
+        )
+        assert spec.topology == str(tmp_path / "topology.json")
+
+    def test_rejects_bad_shapes(self, tmp_path):
+        with pytest.raises(ValueError):
+            build_spec(tmp_path, n_shards=0)
+        with pytest.raises(ValueError):
+            build_spec(tmp_path, workers_per_shard=0)
+        with pytest.raises(ValueError):
+            build_spec(
+                tmp_path, heartbeat_interval_s=2.0, heartbeat_timeout_s=1.0
+            )
+
+    def test_is_shard_dir_dispatches_on_spec_file(self, tmp_path):
+        assert not is_shard_dir(str(tmp_path))
+        build_spec(tmp_path).save(str(tmp_path))
+        assert is_shard_dir(str(tmp_path))
+
+
+class TestAssignment:
+    def test_round_trip(self, tmp_path):
+        a = Assignment(epoch=2, changes=("c1", "c2"), inherit=("/j/shard-01/journal.jsonl",))
+        a.save(str(tmp_path))
+        assert Assignment.load(str(tmp_path)) == a
+
+    def test_missing_file_loads_none(self, tmp_path):
+        assert Assignment.load(str(tmp_path)) is None
+
+    def test_corrupt_file_loads_none(self, tmp_path):
+        (tmp_path / "assignment.json").write_text("{not json")
+        assert Assignment.load(str(tmp_path)) is None
+
+
+class TestHeartbeat:
+    def test_round_trip_and_age(self, tmp_path):
+        now = time.time()
+        beat = Heartbeat(
+            shard_id=1, pid=4242, epoch=0, state="running", wrote_at=now
+        )
+        beat.save(str(tmp_path))
+        loaded = Heartbeat.load(str(tmp_path))
+        assert loaded == beat
+        assert loaded.age_s(now + 5.0) == pytest.approx(5.0)
+
+    def test_missing_and_corrupt_load_none(self, tmp_path):
+        assert Heartbeat.load(str(tmp_path)) is None
+        (tmp_path / "heartbeat.json").write_text("[]")
+        assert Heartbeat.load(str(tmp_path)) is None
+
+
+class TestShardDirs:
+    def test_shard_dir_naming_and_listing(self, tmp_path):
+        for shard_id in (0, 2, 11):
+            path = shard_dir(str(tmp_path), shard_id)
+            import os
+
+            os.makedirs(path)
+        assert (tmp_path / "shard-00").is_dir()
+        assert (tmp_path / "shard-11").is_dir()
+        assert list_shard_ids(str(tmp_path)) == [0, 2, 11]

@@ -1,0 +1,165 @@
+"""Hypothesis suite for the per-shard journal merge.
+
+The merge is the read side of shard failover: the coordinator's view of
+"what is done" and the final report are both derived from it, so it must
+be a pure function of the *set* of journals — independent of enumeration
+order — and must refuse to merge journals that cannot belong to one run.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runstate.journal import JournalRecord
+from repro.shard.merge import JournalMergeError, merge_shard_records
+
+# ---------------------------------------------------------------------------
+# strategies: valid per-shard streams with disjoint task/change ownership
+# ---------------------------------------------------------------------------
+
+def _stream(shard_id, tasks, changes):
+    """A valid journal stream: contiguous seq from 0, tasks then changes."""
+    records = []
+    for key, payload in tasks:
+        records.append(
+            JournalRecord(
+                seq=len(records),
+                type="task-done",
+                data={"key": key, "outcome": {"value": payload}},
+            )
+        )
+    for change_id, status in changes:
+        records.append(
+            JournalRecord(
+                seq=len(records),
+                type="change-done",
+                data={"change_id": change_id, "status": status},
+            )
+        )
+    return records
+
+
+@st.composite
+def shard_streams(draw, max_shards=5):
+    """K shards, each owning disjoint task keys and change ids."""
+    n_shards = draw(st.integers(min_value=1, max_value=max_shards))
+    streams = []
+    for shard_id in range(n_shards):
+        n_tasks = draw(st.integers(min_value=0, max_value=6))
+        n_changes = draw(st.integers(min_value=0, max_value=3))
+        tasks = [
+            (f"assess/c{shard_id}-{i}/alg/w14+0/el/kpi#{i}", draw(st.integers()))
+            for i in range(n_tasks)
+        ]
+        changes = [(f"c{shard_id}-{i}", "assessed") for i in range(n_changes)]
+        streams.append((shard_id, _stream(shard_id, tasks, changes)))
+    return streams
+
+
+class TestOrderIndependence:
+    @given(streams=shard_streams(), permutation_seed=st.integers(0, 2**16))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_independent_of_input_order(self, streams, permutation_seed):
+        import random
+
+        shuffled = list(streams)
+        random.Random(permutation_seed).shuffle(shuffled)
+        a = merge_shard_records(streams)
+        b = merge_shard_records(shuffled)
+        assert a.done_changes == b.done_changes
+        assert a.tasks == b.tasks
+        assert a.records_per_shard == b.records_per_shard
+        assert a.duplicate_tasks == b.duplicate_tasks
+
+    @given(streams=shard_streams())
+    @settings(max_examples=40, deadline=None)
+    def test_merge_of_disjoint_streams_is_the_union(self, streams):
+        view = merge_shard_records(streams)
+        want_tasks = sum(
+            sum(1 for r in records if r.type == "task-done")
+            for _sid, records in streams
+        )
+        want_changes = sum(
+            sum(1 for r in records if r.type == "change-done")
+            for _sid, records in streams
+        )
+        assert len(view.tasks) == want_tasks
+        assert len(view.done_changes) == want_changes
+        assert view.duplicate_tasks == 0
+        assert view.duplicate_changes == 0
+
+
+class TestDuplicatesAndConflicts:
+    def test_identical_duplicates_settle_first_writer_wins(self):
+        # The same settled task appears in two journals (a failover replay
+        # raced): lowest (shard, seq) wins, counter ticks, no error.
+        tasks = [("assess/c0/alg/w14+0/el/kpi#1", 42)]
+        view = merge_shard_records(
+            [(0, _stream(0, tasks, [])), (1, _stream(1, tasks, []))]
+        )
+        assert view.duplicate_tasks == 1
+        winner_shard, _seq, _outcome = view.tasks["assess/c0/alg/w14+0/el/kpi#1"]
+        assert winner_shard == 0
+
+    def test_conflicting_task_outcomes_raise_typed_error(self):
+        key = "assess/c0/alg/w14+0/el/kpi#1"
+        with pytest.raises(JournalMergeError, match="different outcomes"):
+            merge_shard_records(
+                [
+                    (0, _stream(0, [(key, 1)], [])),
+                    (1, _stream(1, [(key, 2)], [])),
+                ]
+            )
+
+    def test_conflicting_change_reports_raise_typed_error(self):
+        with pytest.raises(JournalMergeError, match="different reports"):
+            merge_shard_records(
+                [
+                    (0, _stream(0, [], [("c0", "assessed")])),
+                    (1, _stream(1, [], [("c0", "skipped")])),
+                ]
+            )
+
+    def test_identical_change_duplicates_are_tolerated(self):
+        view = merge_shard_records(
+            [
+                (0, _stream(0, [], [("c0", "assessed")])),
+                (1, _stream(1, [], [("c0", "assessed")])),
+            ]
+        )
+        assert view.duplicate_changes == 1
+        assert view.done_changes["c0"]["__shard__"] == 0
+
+
+class TestStreamValidation:
+    def test_duplicate_shard_id_rejected(self):
+        with pytest.raises(JournalMergeError, match="appears twice"):
+            merge_shard_records([(0, []), (0, [])])
+
+    @given(offset=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=10, deadline=None)
+    def test_non_contiguous_seq_rejected(self, offset):
+        records = [
+            JournalRecord(seq=0, type="task-done", data={"key": "k#1", "outcome": {}}),
+            JournalRecord(
+                seq=1 + offset, type="task-done", data={"key": "k#2", "outcome": {}}
+            ),
+        ]
+        with pytest.raises(JournalMergeError, match="contiguous"):
+            merge_shard_records([(0, records)])
+
+    def test_seq_not_starting_at_zero_rejected(self):
+        records = [
+            JournalRecord(seq=3, type="task-done", data={"key": "k#1", "outcome": {}})
+        ]
+        with pytest.raises(JournalMergeError, match="contiguous"):
+            merge_shard_records([(0, records)])
+
+    def test_unknown_record_types_are_ignored(self):
+        records = [
+            JournalRecord(seq=0, type="shard-begin", data={"shard_id": 0}),
+            JournalRecord(seq=1, type="checkpoint", data={}),
+        ]
+        view = merge_shard_records([(0, records)])
+        assert view.tasks == {} and view.done_changes == {}
+        assert view.records_per_shard == {0: 2}

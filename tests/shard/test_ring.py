@@ -1,0 +1,84 @@
+"""Consistent-hash ring: determinism, coverage, minimal movement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shard.ring import DEFAULT_VNODES, HashRing, change_partition_key
+
+
+class TestPartitionKey:
+    def test_key_is_the_shared_task_prefix(self):
+        # Every task key of a change starts with "assess/{change_id}/", so
+        # hashing this prefix keeps one change's tasks on one shard.
+        assert change_partition_key("ffa-bad") == "assess/ffa-bad"
+
+
+class TestHashRing:
+    def test_rejects_empty_ring(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+    def test_rejects_duplicate_shard_ids(self):
+        with pytest.raises(ValueError):
+            HashRing([0, 1, 0])
+
+    def test_assignment_is_deterministic_across_instances(self):
+        a = HashRing(range(4))
+        b = HashRing(range(4))
+        keys = [f"assess/change-{i}" for i in range(50)]
+        assert [a.assign(k) for k in keys] == [b.assign(k) for k in keys]
+
+    def test_assignment_independent_of_id_order(self):
+        a = HashRing([0, 1, 2, 3])
+        b = HashRing([3, 1, 0, 2])
+        keys = [f"assess/change-{i}" for i in range(50)]
+        assert [a.assign(k) for k in keys] == [b.assign(k) for k in keys]
+
+    def test_partition_covers_every_shard_and_change(self):
+        ring = HashRing(range(4))
+        changes = [f"change-{i}" for i in range(40)]
+        parts = ring.partition(changes)
+        assert sorted(parts) == [0, 1, 2, 3]
+        assert sorted(c for part in parts.values() for c in part) == sorted(changes)
+
+    def test_partition_preserves_input_order_within_shard(self):
+        ring = HashRing(range(3))
+        changes = [f"change-{i}" for i in range(30)]
+        for part in ring.partition(changes).values():
+            assert part == sorted(part, key=changes.index)
+
+    def test_without_moves_only_the_dead_shards_keys(self):
+        ring = HashRing(range(4))
+        keys = [f"assess/change-{i}" for i in range(100)]
+        before = {k: ring.assign(k) for k in keys}
+        survivor_ring = ring.without(2)
+        for key, owner in before.items():
+            if owner != 2:
+                assert survivor_ring.assign(key) == owner
+            else:
+                assert survivor_ring.assign(key) != 2
+
+    def test_without_unknown_shard_raises(self):
+        with pytest.raises(ValueError):
+            HashRing(range(2)).without(7)
+
+    @given(
+        n_shards=st.integers(min_value=1, max_value=8),
+        n_changes=st.integers(min_value=0, max_value=60),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_partition_is_total_and_disjoint(self, n_shards, n_changes):
+        ring = HashRing(range(n_shards), vnodes=16)
+        changes = [f"change-{i}" for i in range(n_changes)]
+        parts = ring.partition(changes)
+        seen = [c for part in parts.values() for c in part]
+        assert sorted(seen) == sorted(changes)
+        assert len(seen) == len(set(seen))
+
+    def test_spread_is_reasonable(self):
+        # With vnodes, no shard should own a wildly disproportionate share.
+        ring = HashRing(range(4), vnodes=DEFAULT_VNODES)
+        parts = ring.partition([f"change-{i}" for i in range(400)])
+        sizes = sorted(len(v) for v in parts.values())
+        assert sizes[0] >= 40  # worst shard holds >= 40% of its fair 100

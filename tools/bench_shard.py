@@ -1,0 +1,321 @@
+#!/usr/bin/env python
+"""Kill-harness acceptance benchmark for sharded campaign execution.
+
+Two experiments on the same synthetic multi-change deployment
+``tools/bench_resume.py`` uses:
+
+* **scaling** — wall-clock of ``litmus shard run`` at 1/2/4/8 shards
+  against the unsharded ``litmus assess --journal`` reference, with
+  per-count speedup and parallel efficiency (speedup / shards).  Every
+  report must be byte-identical to the reference;
+* **randomized SIGKILL harness** — run a 4-shard campaign as a real
+  process tree and SIGKILL one randomly chosen shard worker at each of N
+  randomized journal-record counts.  The coordinator must fail the dead
+  shard's work over and converge; the acceptance invariants per kill
+  point are **zero loss** (every change journaled exactly once across the
+  merged shard WALs), **zero duplicates** (no task key settled twice),
+  and a **byte-identical** final ``report.txt`` vs the unsharded
+  reference.
+
+Writes ``BENCH_shard.json`` next to the repository root:
+
+    PYTHONPATH=src python tools/bench_shard.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "tools"))
+
+from bench_resume import assess_argv, campaign_env, write_world  # noqa: E402
+
+from repro.runstate.journal import JOURNAL_FILE  # noqa: E402
+from repro.shard.manifest import HEARTBEAT_FILE, shard_dir  # noqa: E402
+from repro.shard.merge import merge_shard_journals  # noqa: E402
+
+SHARD_COUNTS = (1, 2, 4, 8)
+KILL_SHARDS = 4
+
+
+def shard_argv(world: Path, journal: Path, n_shards: int) -> list:
+    return [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "shard",
+        "run",
+        "--topology",
+        str(world / "topology.json"),
+        "--kpis",
+        str(world / "kpis.csv"),
+        "--changes",
+        str(world / "changes.json"),
+        "--journal",
+        str(journal),
+        "--shards",
+        str(n_shards),
+    ]
+
+
+def count_records(journal_dir: Path, n_shards: int) -> int:
+    """Total journaled records across the shard WALs (line count: the
+    journal is one record per line, torn tails overcount by at most 1)."""
+    total = 0
+    for shard_id in range(n_shards):
+        path = Path(shard_dir(str(journal_dir), shard_id)) / JOURNAL_FILE
+        try:
+            with open(path, "rb") as handle:
+                total += sum(1 for _ in handle)
+        except FileNotFoundError:
+            continue
+    return total
+
+
+def live_worker_pids(journal_dir: Path, n_shards: int) -> dict:
+    """shard id -> heartbeat pid, for heartbeats whose process is alive."""
+    pids = {}
+    for shard_id in range(n_shards):
+        path = Path(shard_dir(str(journal_dir), shard_id)) / HEARTBEAT_FILE
+        try:
+            beat = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        pid = beat.get("pid")
+        if not isinstance(pid, int):
+            continue
+        try:
+            os.kill(pid, 0)
+        except (OSError, ProcessLookupError):
+            continue
+        pids[shard_id] = pid
+    return pids
+
+
+def bench_scaling(world: Path, scratch: Path, reference_sha: str) -> dict:
+    """Wall-clock at each shard count; every report must match the ref."""
+    rows = []
+    base_seconds = None
+    for n_shards in SHARD_COUNTS:
+        journal = scratch / f"scale-{n_shards}"
+        t0 = time.perf_counter()
+        subprocess.run(
+            shard_argv(world, journal, n_shards),
+            env=campaign_env(),
+            check=True,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        elapsed = time.perf_counter() - t0
+        sha = hashlib.sha256((journal / "report.txt").read_bytes()).hexdigest()
+        if base_seconds is None:
+            base_seconds = elapsed
+        speedup = base_seconds / elapsed
+        row = {
+            "shards": n_shards,
+            "seconds": elapsed,
+            "speedup_vs_1_shard": speedup,
+            "efficiency": speedup / n_shards,
+            "byte_identical": sha == reference_sha,
+        }
+        rows.append(row)
+        print(
+            f"scale {n_shards} shard(s): {elapsed:6.2f} s, "
+            f"speedup {speedup:4.2f}x, efficiency {row['efficiency']:.2f}, "
+            + ("identical" if row["byte_identical"] else "DIVERGED")
+        )
+        shutil.rmtree(journal, ignore_errors=True)
+    return {
+        "cpu_count": os.cpu_count(),
+        "shard_counts": list(SHARD_COUNTS),
+        "rows": rows,
+        "all_byte_identical": all(r["byte_identical"] for r in rows),
+    }
+
+
+def run_kill_point(
+    world: Path, journal: Path, kill_at: int, rng: random.Random, timeout_s: float
+) -> dict:
+    """One 4-shard run with a SIGKILL on a random worker at ``kill_at``
+    total journaled records; returns the invariant checks."""
+    proc = subprocess.Popen(
+        shard_argv(world, journal, KILL_SHARDS),
+        env=campaign_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    killed_shard = None
+    deadline = time.monotonic() + timeout_s
+    try:
+        while proc.poll() is None and time.monotonic() < deadline:
+            if killed_shard is None and count_records(journal, KILL_SHARDS) >= kill_at:
+                pids = live_worker_pids(journal, KILL_SHARDS)
+                if pids:
+                    shard_id = rng.choice(sorted(pids))
+                    try:
+                        os.kill(pids[shard_id], signal.SIGKILL)
+                        killed_shard = shard_id
+                    except (OSError, ProcessLookupError):
+                        pass
+            time.sleep(0.02)
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+            raise RuntimeError(f"kill@{kill_at}: coordinator hung past {timeout_s}s")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    return {"exit_code": proc.returncode, "killed_shard": killed_shard}
+
+
+def bench_kill_harness(
+    world: Path,
+    scratch: Path,
+    reference_sha: str,
+    n_changes: int,
+    n_points: int,
+    seed: int,
+    timeout_s: float,
+) -> dict:
+    """SIGKILL one random shard worker at randomized record counts."""
+    # One uninterrupted 4-shard run pins the kill-point range.
+    baseline = scratch / "kill-baseline"
+    subprocess.run(
+        shard_argv(world, baseline, KILL_SHARDS),
+        env=campaign_env(),
+        check=True,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    total_records = count_records(baseline, KILL_SHARDS)
+    shutil.rmtree(baseline, ignore_errors=True)
+
+    rng = random.Random(seed)
+    points = sorted(
+        rng.sample(range(1, max(total_records, 3)), min(n_points, total_records - 1))
+    )
+    rows = []
+    for i, kill_at in enumerate(points):
+        journal = scratch / f"kill-{i}"
+        outcome = run_kill_point(world, journal, kill_at, rng, timeout_s)
+        view = merge_shard_journals(str(journal))
+        sha = hashlib.sha256((journal / "report.txt").read_bytes()).hexdigest()
+        row = {
+            "kill_at_records": kill_at,
+            "killed": outcome["killed_shard"] is not None,
+            "killed_shard": outcome["killed_shard"],
+            "exit_code": outcome["exit_code"],
+            "changes_done": len(view.done_changes),
+            "lost_changes": n_changes - len(view.done_changes),
+            "duplicate_tasks": view.duplicate_tasks,
+            "duplicate_changes": view.duplicate_changes,
+            "byte_identical": sha == reference_sha,
+        }
+        rows.append(row)
+        print(
+            f"kill@{kill_at:3d} records: shard={row['killed_shard']}, "
+            f"exit={row['exit_code']}, lost={row['lost_changes']}, "
+            f"dup-tasks={row['duplicate_tasks']}, "
+            + ("identical" if row["byte_identical"] else "DIVERGED")
+        )
+        shutil.rmtree(journal, ignore_errors=True)
+    return {
+        "shards": KILL_SHARDS,
+        "total_records": total_records,
+        "kill_points": rows,
+        "all_byte_identical": all(r["byte_identical"] for r in rows),
+        "zero_loss": all(r["lost_changes"] == 0 for r in rows),
+        "zero_duplicates": all(r["duplicate_tasks"] == 0 for r in rows),
+        "any_killed": any(r["killed"] for r in rows),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="smoke mode: fewer kill points")
+    parser.add_argument("--seed", type=int, default=47)
+    parser.add_argument("--changes", type=int, default=24, help="changes in the campaign")
+    parser.add_argument("--kill-points", type=int, default=None)
+    parser.add_argument("--timeout-s", type=float, default=300.0, help="per kill-point budget")
+    parser.add_argument(
+        "--output",
+        default=str(ROOT / "BENCH_shard.json"),
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args(argv)
+    n_points = args.kill_points if args.kill_points is not None else (3 if args.quick else 8)
+
+    scratch = Path(tempfile.mkdtemp(prefix="bench-shard-"))
+    try:
+        world = scratch / "world"
+        world.mkdir()
+        write_world(world, args.seed, args.changes)
+
+        # The unsharded journaled campaign is the byte-identity reference.
+        reference = scratch / "reference"
+        subprocess.run(
+            assess_argv(world, reference, journal=True),
+            env=campaign_env(),
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        reference_sha = hashlib.sha256(
+            (reference / "report.txt").read_bytes()
+        ).hexdigest()
+
+        scaling = bench_scaling(world, scratch, reference_sha)
+        kills = bench_kill_harness(
+            world,
+            scratch,
+            reference_sha,
+            args.changes,
+            n_points,
+            args.seed,
+            args.timeout_s,
+        )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    results = {
+        "benchmark": "shard",
+        "quick": args.quick,
+        "seed": args.seed,
+        "n_changes": args.changes,
+        "reference_sha256": reference_sha,
+        "scaling": scaling,
+        "kill_harness": kills,
+    }
+    Path(args.output).write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {args.output}")
+
+    ok = (
+        scaling["all_byte_identical"]
+        and kills["all_byte_identical"]
+        and kills["zero_loss"]
+        and kills["zero_duplicates"]
+    )
+    print(
+        "invariants: "
+        + ("PASS" if ok else "FAIL")
+        + f" (byte-identical x{len(kills['kill_points']) + len(scaling['rows'])}, "
+        f"zero-loss={kills['zero_loss']}, zero-duplicates={kills['zero_duplicates']})"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
