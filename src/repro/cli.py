@@ -159,8 +159,8 @@ def build_parser() -> argparse.ArgumentParser:
     resume = sub.add_parser(
         "resume",
         help="finish an interrupted --journal campaign, drained serve "
-        "directory, or sharded run (dispatches on campaign.json / "
-        "service.json / shard.json)",
+        "directory, sharded run, or KPI stream (dispatches on "
+        "campaign.json / service.json / shard.json / stream.json)",
     )
     resume.add_argument("directory", help="directory written by --journal")
     _add_obs_arguments(resume)
@@ -286,8 +286,85 @@ def build_parser() -> argparse.ArgumentParser:
         f"leaves unstarted requests pending there (exit {EXIT_CHECKPOINTED}) "
         "and `litmus resume DIR` finishes them byte-identically",
     )
+    serve.add_argument(
+        "--ingest",
+        action="store_true",
+        help="attach the online incremental assessment engine: POST /ingest "
+        "accepts live KPI sample batches and /stats gains a streaming "
+        "section with per-tick latency and verdict-flip counters",
+    )
+    serve.add_argument(
+        "--ingest-journal",
+        default=None,
+        metavar="DIR",
+        help="journal ingested batches and verdict flips into DIR "
+        "(separate from --journal; `litmus resume DIR` replays the "
+        "stream to a byte-identical flips.jsonl)",
+    )
+    serve.add_argument(
+        "--shard-stats",
+        default=None,
+        metavar="DIR",
+        help="embed the `litmus shard stats` aggregation of a sharded-"
+        "campaign directory in /stats (same code path, so the CLI and "
+        "HTTP views always agree)",
+    )
     _add_store_argument(serve)
     _add_obs_arguments(serve)
+
+    tail = sub.add_parser(
+        "tail",
+        help="follow an append-only KPI CSV log into the online assessment "
+        "engine; emits verdict flips as they happen",
+    )
+    tail.add_argument("log", help="append-only long-form KPI CSV (element_id,kpi,day,value)")
+    tail.add_argument("--topology", required=True, help="topology JSON (see simulate)")
+    tail.add_argument("--changes", required=True, help="change-log JSON")
+    tail.add_argument(
+        "--kpis",
+        default=None,
+        help="backfill measurement store (CSV or columnar directory) the "
+        "per-series ring buffers are seeded from before following the log",
+    )
+    tail.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help="journal ingested batches and verdict flips into DIR; SIGTERM "
+        f"drains and exits {EXIT_CHECKPOINTED}, and `litmus resume DIR` "
+        "replays the stream to a byte-identical flips.jsonl",
+    )
+    tail.add_argument(
+        "--freq", type=int, default=1, help="samples per day on the global axis"
+    )
+    tail.add_argument(
+        "--poll-s", type=float, default=1.0, help="poll interval while the log is idle"
+    )
+    tail.add_argument(
+        "--once",
+        action="store_true",
+        help="drain whatever the log currently holds, then exit (batch/CI mode)",
+    )
+    tail.add_argument(
+        "--batch-rows",
+        type=int,
+        default=512,
+        help="max samples per journaled ingest batch",
+    )
+    tail.add_argument(
+        "--horizon-days",
+        type=int,
+        default=28,
+        help="days a change stays monitored past its change day",
+    )
+    tail.add_argument(
+        "--verify-every",
+        type=int,
+        default=64,
+        help="scheduled exact-kernel verification cadence (fast-path ticks)",
+    )
+    _add_store_argument(tail)
+    _add_obs_arguments(tail)
 
     health = sub.add_parser(
         "health", help="probe a running serve daemon's health endpoints"
@@ -602,9 +679,37 @@ def _cmd_resume(
         return _resume_service_dir(directory, trace_dir, show_metrics)
     if layout == "shard":
         return _run_shard_coordinator(directory, None, trace_dir, show_metrics)
+    if layout == "stream":
+        return _resume_stream_dir(directory, trace_dir, show_metrics)
     return _run_campaign(
         CampaignSpec.load(directory), directory, "resume", trace_dir, show_metrics
     )
+
+
+def _resume_stream_dir(directory: str, trace_dir, show_metrics) -> int:
+    """Replay a stream journal to its byte-identical flips.jsonl."""
+    from .obs import RunRecorder, render_metrics_table
+    from .runstate.streamstate import StreamSpec
+    from .streaming.replay import resume_stream
+
+    spec = StreamSpec.load(directory)
+    with RunRecorder(
+        "resume", trace_dir, config=spec.litmus_config(), argv=tuple(sys.argv[1:])
+    ) as recorder:
+        summary = resume_stream(
+            directory, progress=lambda msg: print(msg, file=sys.stderr)
+        )
+    print(
+        f"stream resume: {summary['n_batches']} batch(es) replayed, "
+        f"{summary['n_flips']} flip(s) re-derived "
+        f"({summary['n_journaled_flips']} were journaled)"
+    )
+    print(f"flips: {summary['flips_path']}")
+    if show_metrics:
+        print()
+        print(render_metrics_table(recorder.snapshot()))
+    print(recorder.footer())
+    return 0
 
 
 def _run_shard_coordinator(directory: str, spec, trace_dir, show_metrics) -> int:
@@ -699,6 +804,154 @@ def _resume_service_dir(directory: str, trace_dir, show_metrics) -> int:
     return 0
 
 
+def _open_stream_journal(spec, directory: str):
+    """Open (or recover) a stream journal directory for a spec.
+
+    Returns ``(journal, replay_batches, log_offset)``: the append-ready
+    journal with lineage pinned, the already-journaled sample batches to
+    replay through a fresh engine, and the followed log's byte offset
+    checkpointed by the last clean drain (0 when none).
+    """
+    import os
+
+    from .runstate import streamstate
+    from .runstate.journal import JOURNAL_FILE, Journal
+
+    _ensure_dir(directory)
+    spec.save(directory)
+    journal, recovery = Journal.open(os.path.join(directory, JOURNAL_FILE))
+    expected = streamstate.verify_stream_lineage(
+        recovery.records,
+        config_sha256=spec.config_sha256,
+        root_seed=spec.config.get("seed"),
+    )
+    if expected is not None:
+        journal.append(streamstate.STREAM_BEGIN, expected)
+    batches = streamstate.ingest_batches(recovery.records)
+    offset = 0
+    for record in recovery.records:
+        if record.type == streamstate.STREAM_DRAIN:
+            offset = int(record.data.get("log_offset", offset))
+    return journal, batches, offset
+
+
+def _store_freq(store) -> int:
+    """The store's samples-per-day (1 for an empty store)."""
+    for element_id in store.element_ids():
+        for kpi in store.kpis_for(element_id):
+            return int(store.get(element_id, kpi).freq)
+    return 1
+
+
+def _cmd_tail(args) -> int:
+    """Follow a KPI append log into the streaming engine until SIGTERM."""
+    import signal
+    import threading
+    from pathlib import Path
+
+    from .core import LitmusConfig
+    from .io import changelog_from_json, read_topology_json
+    from .obs import RunRecorder, render_metrics_table
+    from .runstate.streamstate import StreamSpec
+    from .streaming import CsvFollower, StreamConfig, StreamEngine, follow
+    from .streaming.replay import write_flips
+
+    config = LitmusConfig()
+    stream_config = StreamConfig(
+        horizon_days=args.horizon_days, verify_every=args.verify_every
+    )
+    spec = StreamSpec.build(
+        args.topology,
+        args.changes,
+        kpis=args.kpis or "",
+        log=args.log,
+        config=config,
+        stream={**stream_config.to_dict(), "freq": args.freq},
+        argv=tuple(sys.argv[1:]),
+    )
+    journal = None
+    replay_batches: list = []
+    log_offset = 0
+    if args.journal is not None:
+        journal, replay_batches, log_offset = _open_stream_journal(spec, args.journal)
+
+    topo = read_topology_json(args.topology)
+    log = changelog_from_json(Path(args.changes).read_text())
+    engine = StreamEngine(
+        topo,
+        log,
+        config=config,
+        stream_config=stream_config,
+        freq=args.freq,
+        journal=journal,
+    )
+    if args.kpis:
+        from .io import load_kpi_backend
+
+        engine.backfill(load_kpi_backend(args.kpis, backend=args.store))
+    for samples in replay_batches:
+        engine.ingest(samples, journal=False)
+    if replay_batches:
+        print(
+            f"replayed {len(replay_batches)} journaled batch(es), "
+            f"{len(engine.flips)} flip(s) re-derived",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    stop = threading.Event()
+
+    def _request_stop(signum, _frame):
+        print(f"signal {signum}: draining", file=sys.stderr, flush=True)
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+
+    follower = CsvFollower(args.log, freq=args.freq)
+    follower.offset = log_offset
+
+    def _report(report) -> None:
+        for flip in report.flips:
+            print(
+                f"flip t={flip.tick} {flip.change_id} {flip.element_id} "
+                f"{flip.kpi}: {flip.previous or 'none'} -> {flip.verdict} "
+                f"(p={flip.p_value:.4g})",
+                flush=True,
+            )
+
+    with RunRecorder(
+        "tail", args.trace, config=config, argv=tuple(sys.argv[1:])
+    ) as recorder:
+        summary = follow(
+            engine,
+            follower,
+            stop,
+            poll_s=args.poll_s,
+            once=args.once,
+            batch_rows=args.batch_rows,
+            on_report=_report,
+        )
+    if args.journal is not None:
+        write_flips(args.journal, engine.flips)
+        if journal is not None:
+            journal.close()
+    print(
+        f"drained: {summary['batches']} batch(es), {summary['samples']} "
+        f"sample(s), {summary['flips']} flip(s)"
+        + (f" in {args.journal}" if args.journal else ""),
+        flush=True,
+    )
+    if args.metrics:
+        print()
+        print(render_metrics_table(recorder.snapshot()))
+    print(recorder.footer())
+    if stop.is_set() and args.journal is not None:
+        print(f"resume with: litmus resume {args.journal}", flush=True)
+        return EXIT_CHECKPOINTED
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """Run the streaming daemon until SIGTERM/SIGINT, then drain."""
     import signal
@@ -735,6 +988,46 @@ def _cmd_serve(args) -> int:
     topo, store = _load_world(args.topology, args.kpis, args.store)
     log = changelog_from_json(Path(args.changes).read_text())
 
+    stream_engine = None
+    stream_journal = None
+    if args.ingest or args.ingest_journal is not None:
+        from .runstate.streamstate import StreamSpec
+        from .streaming import StreamConfig, StreamEngine
+
+        stream_config = StreamConfig()
+        freq = _store_freq(store)
+        replay_batches: list = []
+        if args.ingest_journal is not None:
+            spec = StreamSpec.build(
+                args.topology,
+                args.changes,
+                kpis=args.kpis,
+                config=config,
+                stream={**stream_config.to_dict(), "freq": freq},
+                argv=tuple(sys.argv[1:]),
+            )
+            stream_journal, replay_batches, _offset = _open_stream_journal(
+                spec, args.ingest_journal
+            )
+        stream_engine = StreamEngine(
+            topo,
+            log,
+            config=config,
+            stream_config=stream_config,
+            freq=freq,
+            journal=stream_journal,
+        )
+        stream_engine.backfill(store)
+        for samples in replay_batches:
+            stream_engine.ingest(samples, journal=False)
+        if replay_batches:
+            print(
+                f"stream: replayed {len(replay_batches)} journaled batch(es), "
+                f"{len(stream_engine.flips)} flip(s) re-derived",
+                file=sys.stderr,
+                flush=True,
+            )
+
     stop = threading.Event()
 
     def _request_stop(signum, _frame):
@@ -755,17 +1048,26 @@ def _cmd_serve(args) -> int:
             log,
             serve_config=serve_config,
             journal_dir=args.journal,
+            stream_engine=stream_engine,
+            shard_stats_dir=args.shard_stats,
         ).start()
         frontend = HttpFrontend(service, args.host, args.port).start()
         print(
             f"litmus serve on http://{args.host}:{frontend.port} "
             f"(workers={service.n_workers} queue={args.queue_depth} "
-            f"journal={args.journal or 'none'})",
+            f"journal={args.journal or 'none'}"
+            + (f" ingest-journal={args.ingest_journal}" if args.ingest_journal else "")
+            + (" ingest" if stream_engine is not None else "")
+            + ")",
             flush=True,
         )
         stop.wait()
         drain = service.drain()
         frontend.stop()
+        if stream_engine is not None and args.ingest_journal is not None:
+            from .streaming.replay import write_flips
+
+            write_flips(args.ingest_journal, stream_engine.flips)
     print(
         f"drained: {drain.inflight_completed} in-flight finished, "
         f"{drain.n_drained} checkpointed pending"
@@ -874,6 +1176,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         raise AssertionError(f"unhandled shard command {args.shard_command!r}")
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "tail":
+        return _cmd_tail(args)
     if args.command == "health":
         return _cmd_health(args.host, args.port, args.endpoint)
     if args.command == "trace":

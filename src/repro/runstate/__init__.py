@@ -15,13 +15,17 @@ recomputation or silent divergence (DESIGN.md §9):
   checkpoint/resume (imported as a submodule — it pulls in the engine and
   IO stacks, which themselves use the primitives above);
 * :mod:`~repro.runstate.layout` — typed detection of resumable directory
-  layouts (campaign.json / service.json / shard.json) behind the
-  ``litmus resume`` dispatch;
+  layouts (campaign.json / service.json / shard.json / stream.json)
+  behind the ``litmus resume`` dispatch;
 * :mod:`~repro.runstate.servicestate` — the serving daemon's durable
   state: spec file, request-admitted/request-done journal records, and
   the drain math (pending = admitted − done) behind `litmus serve`'s
   graceful drain and resume (also imported as a submodule, for the same
-  reason as campaign).
+  reason as campaign);
+* :mod:`~repro.runstate.streamstate` — the streaming engine's durable
+  state: spec file, ingest-batch/verdict-flip journal records, and the
+  replay math behind ``litmus tail``'s byte-identical stream resume
+  (also imported as a submodule).
 """
 
 from .atomic import atomic_write_bytes, atomic_write_text, fsync_dir

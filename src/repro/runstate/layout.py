@@ -1,11 +1,12 @@
 """Typed dispatch of ``litmus resume`` over journal-directory layouts.
 
-Three subsystems leave resumable directories behind, each identified by
+Four subsystems leave resumable directories behind, each identified by
 its spec file:
 
 * ``campaign.json`` — a journaled campaign (``litmus assess --journal``);
 * ``service.json`` — a drained serving daemon (``litmus serve --journal``);
-* ``shard.json`` — a sharded campaign (``litmus shard run --journal``).
+* ``shard.json`` — a sharded campaign (``litmus shard run --journal``);
+* ``stream.json`` — a journaled KPI stream (``litmus tail --journal``).
 
 :func:`detect_resume_layout` inspects a directory and names the layout, or
 raises :class:`ResumeLayoutError` — a typed error carrying the expected
@@ -24,6 +25,7 @@ RESUME_LAYOUTS = {
     "campaign": ("campaign.json", "litmus assess --journal DIR"),
     "service": ("service.json", "litmus serve --journal DIR"),
     "shard": ("shard.json", "litmus shard run --journal DIR"),
+    "stream": ("stream.json", "litmus tail --journal DIR"),
 }
 
 
@@ -43,7 +45,7 @@ class ResumeLayoutError(ValueError):
 
 
 def detect_resume_layout(directory: str) -> str:
-    """Name the resumable layout of ``directory``: campaign|service|shard.
+    """Name the layout of ``directory``: campaign|service|shard|stream.
 
     Raises :class:`ResumeLayoutError` when the directory is missing, is
     not a directory, is empty, or holds none of the known spec files.

@@ -1,0 +1,211 @@
+"""Durable state of a KPI stream: spec, journal records, replay math.
+
+The streaming engine reuses the campaign substrate — the same CRC'd
+write-ahead :mod:`~repro.runstate.journal` — with its own record types:
+
+* ``stream-begin`` — pins the journal to the stream's config SHA-256 and
+  root seed (a journal can never be replayed under a different config);
+* ``ingest-batch`` — appended when a sample batch is accepted, *before*
+  the rings or any verdict state are touched, carrying the full sample
+  payload so a replay is self-contained (the original append log is not
+  needed to reconstruct the stream);
+* ``verdict-flip`` — appended when a (change, element, KPI) tuple's
+  emitted verdict changes, carrying the flip payload the emitter
+  produced;
+* ``stream-drain`` — the graceful-drain marker with batch/flip tallies.
+
+The replay invariant falls out of determinism: the engine's verdict
+stream is a pure function of (input files, config, the ordered batch
+sequence).  ``litmus resume`` on a stream directory rebuilds the engine
+from the spec, re-ingests exactly the journaled batches, and the flips
+it derives are byte-identical to the ones the live process emitted —
+including a live process that died mid-batch, because the batch record
+is written ahead of its flips.
+
+This module is journal-level only (spec + record bookkeeping); the
+engine-driving replay lives in :mod:`repro.streaming.replay` so the
+dependency arrow keeps pointing from streaming to runstate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import LitmusConfig
+from ..obs.manifest import config_fingerprint
+from .atomic import atomic_write_text
+from .journal import JournalRecord
+from .ledger import LedgerDivergence
+
+__all__ = [
+    "STREAM_FILE",
+    "FLIPS_FILE",
+    "STREAM_BEGIN",
+    "INGEST_BATCH",
+    "VERDICT_FLIP",
+    "STREAM_DRAIN",
+    "StreamSpec",
+    "ingest_batches",
+    "flip_payloads",
+    "verify_stream_lineage",
+]
+
+#: Spec file inside a stream journal directory (the analogue of
+#: ``campaign.json``; its presence is how ``litmus resume`` dispatches).
+STREAM_FILE = "stream.json"
+#: Verdict-flip log a replay writes (one sorted-keys JSON object per
+#: line, in emission order — the byte-identical resume artifact).
+FLIPS_FILE = "flips.jsonl"
+
+STREAM_BEGIN = "stream-begin"
+INGEST_BATCH = "ingest-batch"
+VERDICT_FLIP = "verdict-flip"
+STREAM_DRAIN = "stream-drain"
+
+#: Stream spec schema; bump on incompatible change.
+STREAM_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """Everything a replay needs to rebuild the streaming engine.
+
+    ``kpis`` is the backfill measurement store the rings were seeded from
+    (empty string when the stream started cold); ``log`` is the append
+    log a ``litmus tail`` process was following — provenance only, since
+    batches are journaled with their payloads.
+    """
+
+    topology: str
+    changes: str
+    kpis: str = ""
+    log: str = ""
+    config: Dict[str, Any] = field(default_factory=dict)
+    #: Streaming knobs (horizon, verify cadence, resync cadence) — these
+    #: shape the verdict stream, so they are pinned alongside the config.
+    stream: Dict[str, Any] = field(default_factory=dict)
+    argv: Tuple[str, ...] = ()
+    schema: int = STREAM_SCHEMA
+
+    @classmethod
+    def build(
+        cls,
+        topology: str,
+        changes: str,
+        *,
+        kpis: str = "",
+        log: str = "",
+        config: Optional[LitmusConfig] = None,
+        stream: Optional[Dict[str, Any]] = None,
+        argv: Sequence[str] = (),
+    ) -> "StreamSpec":
+        config_dict, _sha = config_fingerprint(config or LitmusConfig())
+        return cls(
+            topology=os.path.abspath(topology),
+            changes=os.path.abspath(changes),
+            kpis=os.path.abspath(kpis) if kpis else "",
+            log=os.path.abspath(log) if log else "",
+            config=config_dict,
+            stream=dict(stream or {}),
+            argv=tuple(argv),
+        )
+
+    # -- persistence -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        out["argv"] = list(self.argv)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StreamSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        kwargs["argv"] = tuple(kwargs.get("argv", ()))
+        kwargs["stream"] = dict(kwargs.get("stream", {}))
+        return cls(**kwargs)
+
+    def save(self, directory: str) -> str:
+        path = os.path.join(directory, STREAM_FILE)
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, directory: str) -> "StreamSpec":
+        path = os.path.join(directory, STREAM_FILE)
+        with open(path) as handle:
+            data = json.load(handle)
+        if not isinstance(data, dict):
+            raise ValueError(f"{path}: stream spec must be a JSON object")
+        return cls.from_dict(data)
+
+    # -- derived ---------------------------------------------------------
+    def litmus_config(self) -> LitmusConfig:
+        return LitmusConfig(**self.config)
+
+    @property
+    def config_sha256(self) -> str:
+        return config_fingerprint(self.config)[1]
+
+
+def verify_stream_lineage(
+    records: Sequence[JournalRecord],
+    *,
+    config_sha256: str,
+    root_seed: Any,
+) -> Optional[Dict[str, Any]]:
+    """Check the journal belongs to the stream described by the arguments.
+
+    Returns the expected ``stream-begin`` payload when the journal has
+    none yet (the caller appends it), ``None`` when the existing record
+    matches, and raises :class:`LedgerDivergence` on mismatch.  Callers
+    holding a :class:`StreamSpec` pass ``spec.config_sha256`` and
+    ``spec.config.get("seed")``.
+    """
+    expected = {
+        "config_sha256": config_sha256,
+        "root_seed": root_seed,
+    }
+    begin = next((r for r in records if r.type == STREAM_BEGIN), None)
+    if begin is None:
+        return expected
+    for key, want in expected.items():
+        got = begin.data.get(key)
+        if got != want:
+            raise LedgerDivergence(
+                f"stream journal was written by a different run: "
+                f"{key} is {got!r}, this run has {want!r}"
+            )
+    return None
+
+
+def ingest_batches(records: Sequence[JournalRecord]) -> List[List[list]]:
+    """Journaled sample batches in ingest order.
+
+    Each entry is the batch's sample list (``[element_id, kpi, index,
+    value]`` rows).  Re-ingesting these through a freshly built engine is
+    the whole replay: the batch record is written ahead of its flips, so
+    the valid prefix always names every batch whose effects could have
+    been observed.
+    """
+    batches: List[List[list]] = []
+    for record in records:
+        if record.type == INGEST_BATCH:
+            samples = record.data.get("samples")
+            if isinstance(samples, list):
+                batches.append(samples)
+    return batches
+
+
+def flip_payloads(records: Sequence[JournalRecord]) -> List[Dict[str, Any]]:
+    """Journaled verdict-flip payloads in emission order."""
+    flips: List[Dict[str, Any]] = []
+    for record in records:
+        if record.type == VERDICT_FLIP:
+            flip = record.data.get("flip")
+            if isinstance(flip, dict):
+                flips.append(flip)
+    return flips

@@ -11,6 +11,11 @@ operational surface:
   settled :class:`~repro.serve.requests.RequestResult` out.  A typed shed
   maps to ``429`` (``503`` for ``draining``) with the machine-readable
   reason and ``Retry-After`` hint in both header and body.
+* ``POST /ingest``  — streaming KPI ingest (``litmus serve --ingest``):
+  ``{"samples": [[element_id, kpi, index, value], ...]}`` in, the tick
+  report (accepted/rejected counts plus any verdict flips) out.  Sheds
+  through the *same* typed machinery as ``/assess`` — backpressure is
+  ``429 queue-full`` with ``Retry-After``, draining is ``503``.
 
 Binding port 0 picks a free port (the bound one is exposed as
 ``HttpFrontend.port``), which is what the tests and the CI smoke use.
@@ -77,7 +82,16 @@ def _make_handler(service: AssessmentService, result_timeout_s: float):
             else:
                 self._send_json(404, {"error": f"no route {self.path!r}"})
 
+        def _shed_response(self, shed: ShedError) -> None:
+            headers = {}
+            if shed.retry_after_s is not None:
+                headers["Retry-After"] = str(max(1, int(shed.retry_after_s + 0.5)))
+            self._send_json(SHED_STATUS.get(shed.reason, 429), shed.to_dict(), headers)
+
         def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+            if self.path == "/ingest":
+                self._do_ingest()
+                return
             if self.path != "/assess":
                 self._send_json(404, {"error": f"no route {self.path!r}"})
                 return
@@ -92,12 +106,7 @@ def _make_handler(service: AssessmentService, result_timeout_s: float):
             try:
                 service.submit(request)
             except ShedError as shed:
-                headers = {}
-                if shed.retry_after_s is not None:
-                    headers["Retry-After"] = str(max(1, int(shed.retry_after_s + 0.5)))
-                self._send_json(
-                    SHED_STATUS.get(shed.reason, 429), shed.to_dict(), headers
-                )
+                self._shed_response(shed)
                 return
             result = service.result(request.request_id, timeout=result_timeout_s)
             if result is None:
@@ -110,6 +119,23 @@ def _make_handler(service: AssessmentService, result_timeout_s: float):
                 )
                 return
             self._send_json(200, result.to_dict())
+
+        def _do_ingest(self) -> None:
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                body = json.loads(self.rfile.read(length))
+                samples = body["samples"]
+            except (ValueError, KeyError, TypeError) as exc:
+                self._send_json(
+                    400, {"shed": True, "reason": "invalid-request", "detail": str(exc)}
+                )
+                return
+            try:
+                report = service.ingest(samples)
+            except ShedError as shed:
+                self._shed_response(shed)
+                return
+            self._send_json(200, report)
 
     return _Handler
 

@@ -83,6 +83,10 @@ class ServeConfig:
     watchdog_grace_s: float = 5.0
     #: Settled results retained for pickup before FIFO eviction.
     max_retained_results: int = 1024
+    #: Concurrent ``/ingest`` batches admitted (one ticking + the rest
+    #: queued on the engine lock); beyond it ingest sheds ``queue-full``
+    #: with a Retry-After derived from recent tick latency.
+    ingest_backlog: int = 4
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -103,6 +107,8 @@ class ServeConfig:
             raise ValueError("watchdog_grace_s must be non-negative")
         if self.max_retained_results < 1:
             raise ValueError("max_retained_results must be at least 1")
+        if self.ingest_backlog < 1:
+            raise ValueError("ingest_backlog must be at least 1")
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -115,6 +121,7 @@ class ServeConfig:
             "watchdog_interval_s": self.watchdog_interval_s,
             "watchdog_grace_s": self.watchdog_grace_s,
             "max_retained_results": self.max_retained_results,
+            "ingest_backlog": self.ingest_backlog,
         }
 
 
@@ -176,6 +183,8 @@ class AssessmentService:
         journal_dir: Optional[str] = None,
         clock: Callable[[], float] = time.monotonic,
         engine_factory: Optional[Callable[..., Any]] = None,
+        stream_engine: Optional[Any] = None,
+        shard_stats_dir: Optional[str] = None,
     ) -> None:
         if change_log is None:
             raise ValueError("a change log is required to resolve request change ids")
@@ -212,6 +221,16 @@ class AssessmentService:
             "workers_recycled": 0,
             "restored_from_journal": 0,
         }
+        #: Optional :class:`~repro.streaming.engine.StreamEngine` behind
+        #: ``POST /ingest`` (``litmus serve --ingest``); the semaphore is
+        #: the ingest admission bound — one batch ticks, a few more queue
+        #: on the engine lock, the rest shed ``queue-full``.
+        self.stream_engine = stream_engine
+        self._ingest_slots = threading.BoundedSemaphore(self.serve_config.ingest_backlog)
+        #: Sharded-campaign directory surfaced in ``/stats`` (``litmus
+        #: serve --shard-stats DIR``) via the same aggregation as
+        #: ``litmus shard stats`` — the two views can never disagree.
+        self.shard_stats_dir = shard_stats_dir
         self._started = False
         self._draining = False
         self._stopping = threading.Event()
@@ -433,6 +452,55 @@ class AssessmentService:
         with self._lock:
             return self._results.get(request_id)
 
+    # ------------------------------------------------------------------
+    # Streaming ingest
+    # ------------------------------------------------------------------
+    def ingest(self, samples: Any) -> Dict[str, Any]:
+        """Feed one sample batch to the attached streaming engine.
+
+        Sheds through the same typed machinery as ``/assess``: no engine
+        attached or malformed batch → ``invalid-request``; draining →
+        ``draining``; ingest admission bound exceeded → ``queue-full``
+        with a Retry-After derived from recent tick latency.  Returns the
+        tick report as a JSON-safe dict (flips included).
+        """
+        if self.stream_engine is None:
+            self._shed("invalid-request", "this daemon has no streaming engine attached")
+        if not self.accepting:
+            self._shed("draining", "service is not accepting ingest")
+        if not isinstance(samples, list) or not all(
+            isinstance(row, (list, tuple)) and len(row) == 4 for row in samples
+        ):
+            self._shed(
+                "invalid-request",
+                "ingest body must be {'samples': [[element_id, kpi, index, value], ...]}",
+            )
+        if not self._ingest_slots.acquire(blocking=False):
+            stats = self.stream_engine.stats()
+            retry = max(0.1, 2.0 * float(stats.get("tick_p50_s", 0.0)))
+            self._shed(
+                "queue-full",
+                f"ingest backlog at capacity "
+                f"({self.serve_config.ingest_backlog} batches in flight)",
+                retry_after_s=retry,
+            )
+        try:
+            report = self.stream_engine.ingest(samples)
+        finally:
+            self._ingest_slots.release()
+        return {
+            "batch": report.batch,
+            "accepted": report.accepted,
+            "ignored": report.ignored,
+            "rejected": [list(r) for r in report.rejected],
+            "dirty": report.dirty,
+            "evaluated": report.evaluated,
+            "escalations": report.escalations,
+            "holds": report.holds,
+            "flips": [flip.to_dict() for flip in report.flips],
+            "latency_s": round(report.latency_s, 6),
+        }
+
     def _settle(self, result: RequestResult, journal: bool = True) -> bool:
         """Record one terminal result exactly once; False if already settled."""
         registry = get_metrics()
@@ -646,6 +714,10 @@ class AssessmentService:
             self._watchdog.join(
                 None if deadline is None else max(0.0, deadline - self.clock())
             )
+        if self.stream_engine is not None:
+            self.stream_engine.drain()
+            if getattr(self.stream_engine, "journal", None) is not None:
+                self.stream_engine.journal.close()
         self._journal_append(
             servicestate.SERVICE_DRAIN,
             {"pending": drained_ids, "clean": clean},
@@ -687,7 +759,7 @@ class AssessmentService:
             }
             n_workers = len(self._workers)
             n_zombies = len(self._zombies)
-        return {
+        out = {
             "accepting": self.accepting,
             "queue_depth": len(self._queue),
             "queue_capacity": self.serve_config.queue_depth,
@@ -699,3 +771,26 @@ class AssessmentService:
             "counts": counts,
             "journal_dir": self.journal_dir,
         }
+        if self.stream_engine is not None:
+            out["streaming"] = self.stream_engine.stats()
+        if self.shard_stats_dir is not None:
+            out["shards"] = self._shard_stats_section()
+        return out
+
+    def _shard_stats_section(self) -> Dict[str, Any]:
+        """The ``litmus shard stats`` aggregation, embedded verbatim.
+
+        One code path (:func:`repro.shard.stats.shard_stats`) feeds both
+        surfaces, so the CLI and HTTP views cannot drift apart.  A
+        mid-rewrite or missing shard directory reads as a typed error
+        section, not a 500 on ``/stats``.
+        """
+        from ..shard.stats import shard_stats
+
+        try:
+            return shard_stats(self.shard_stats_dir)
+        except (OSError, ValueError, KeyError) as exc:
+            return {
+                "directory": os.path.abspath(self.shard_stats_dir),
+                "error": f"{type(exc).__name__}: {exc}",
+            }

@@ -25,12 +25,14 @@ from .gramcache import array_digest, get_gram_cache
 __all__ = [
     "LinearModel",
     "BatchedLinearModel",
+    "IncrementalSubsetOls",
     "fit_ols",
     "fit_ridge",
     "fit_lasso",
     "fit_ols_batched",
     "fit_ridge_batched",
     "ols_subset_forecasts",
+    "solve_subset_betas",
 ]
 
 ArrayLike = Union[Sequence[float], np.ndarray]
@@ -391,27 +393,7 @@ def ols_subset_forecasts(
     gram = gram_pool[cols[:, :, None], cols[:, None, :]]
     rhs = rhs_pool[cols]
 
-    beta = None
-    try:
-        beta = np.linalg.solve(gram, rhs[..., None])[..., 0]
-        for _ in range(max_refine):
-            preds = _scatter_matmul(beta, cols, x_train)
-            corr_pool = x_train.T @ (y[None, :] - preds).T  # (N, B)
-            corr = np.take_along_axis(corr_pool.T, cols, axis=1)
-            delta = np.linalg.solve(gram, corr[..., None])[..., 0]
-            beta = beta + delta
-            # Refinement contracts the error by ~(||delta||/||beta||) per
-            # step, so accepting at 1e-7 leaves a relative error of order
-            # 1e-14 — comfortably inside the 1e-10 parity budget while
-            # usually saving a batched solve.
-            if np.max(np.abs(delta)) <= 1e-7 * (np.max(np.abs(beta)) + 1e-300):
-                break
-        else:
-            beta = None  # refinement did not converge: severely ill-conditioned
-        if beta is not None and not np.isfinite(beta).all():
-            beta = None
-    except np.linalg.LinAlgError:
-        beta = None
+    beta = _refined_subset_betas(gram, rhs, x_train, y, cols, max_refine)
     if beta is None:
         # Observable: how often the fast normal-equations path degrades to
         # the exact (but slower) batched SVD on this workload.
@@ -435,6 +417,267 @@ def ols_subset_forecasts(
         cache.put("beta", beta_key, (beta, r2))
         return forecasts, r2.copy()
     return forecasts, r2
+
+
+def _refined_subset_betas(
+    gram: np.ndarray,
+    rhs: np.ndarray,
+    x_train: np.ndarray,
+    y: np.ndarray,
+    cols: np.ndarray,
+    max_refine: int,
+):
+    """Batched normal-equations solve polished with Björck refinement.
+
+    Returns the ``(B, k)`` coefficients, or ``None`` when the fast path
+    degrades (singular Gram, non-converging refinement, non-finite output)
+    and the caller must fall back to the exact SVD minimum-norm path.
+    ``x_train`` and ``cols`` must already include any intercept column.
+    """
+    beta = None
+    try:
+        beta = np.linalg.solve(gram, rhs[..., None])[..., 0]
+        for _ in range(max_refine):
+            preds = _scatter_matmul(beta, cols, x_train)
+            corr_pool = x_train.T @ (y[None, :] - preds).T  # (N, B)
+            corr = np.take_along_axis(corr_pool.T, cols, axis=1)
+            delta = np.linalg.solve(gram, corr[..., None])[..., 0]
+            beta = beta + delta
+            # Refinement contracts the error by ~(||delta||/||beta||) per
+            # step, so accepting at 1e-7 leaves a relative error of order
+            # 1e-14 — comfortably inside the 1e-10 parity budget while
+            # usually saving a batched solve.
+            if np.max(np.abs(delta)) <= 1e-7 * (np.max(np.abs(beta)) + 1e-300):
+                break
+        else:
+            beta = None  # refinement did not converge: severely ill-conditioned
+        if beta is not None and not np.isfinite(beta).all():
+            beta = None
+    except np.linalg.LinAlgError:
+        beta = None
+    return beta
+
+
+def solve_subset_betas(
+    x_train: np.ndarray,
+    y: ArrayLike,
+    cols: np.ndarray,
+    max_refine: int = 3,
+) -> np.ndarray:
+    """Exact batched solve of ``B`` subset OLS systems over one pool.
+
+    This is the solve stage of :func:`ols_subset_forecasts` — pool Gram,
+    subset gather, batched LU with Björck refinement, SVD minimum-norm
+    fallback — exposed on its own so the incremental streaming kernel can
+    resync against the *identical* arithmetic sequence the batch path runs
+    (bit-equal coefficients by construction).  ``x_train`` and ``cols``
+    must already include any intercept column; no caching is done here.
+    """
+    x_train = np.asarray(x_train, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    cols = np.asarray(cols)
+    gram_pool = x_train.T @ x_train
+    rhs_pool = x_train.T @ y
+    gram = gram_pool[cols[:, :, None], cols[:, None, :]]
+    rhs = rhs_pool[cols]
+    beta = _refined_subset_betas(gram, rhs, x_train, y, cols, max_refine)
+    if beta is None:
+        get_metrics().counter("regression.svd_fallback").inc()
+        design = np.ascontiguousarray(x_train[:, cols].transpose(1, 0, 2))
+        beta = _svd_min_norm(design, y)
+    return beta
+
+
+class IncrementalSubsetOls:
+    """Sliding-window subset OLS maintained by rank-1 Sherman–Morrison updates.
+
+    Maintains, for ``B`` fixed column subsets of one control pool, the
+    inverse subset Grams ``(X_S^T X_S)^{-1}`` and right-hand sides over a
+    fixed-length sliding window of training rows.  Advancing the window by
+    one sample (:meth:`update`) costs two batched rank-1 operations —
+    ``O(B k^2)`` — instead of the ``O(T N^2 + B k^3)`` full rebuild the
+    batch kernel pays, which is what turns per-tick streaming maintenance
+    into O(1) amortized work.
+
+    Numerical contract (the documented drift bound): every
+    ``resync_every`` slides the state is recomputed exactly through
+    :func:`solve_subset_betas` (the batch kernel's own solve sequence) and
+    the coefficient drift of the incremental path is measured and recorded
+    (``last_drift``).  When conditioning degrades mid-slide — a downdate
+    denominator ``1 - u^T G^{-1} u`` at or below ``cond_floor``, or any
+    non-finite intermediate — the kernel abandons the rank-1 path for that
+    step and resyncs immediately (``conditioning_falls`` counts these).
+    Pools whose subset Grams are outright singular (underdetermined
+    subsets, duplicated columns) run in ``exact_only`` mode: every slide
+    recomputes through the batched kernel, so results stay correct and
+    only the speed advantage is lost.
+
+    Call :meth:`resync` before reading coefficients that must be bit-equal
+    to the batch kernel's (e.g. when freezing training at a change point).
+    """
+
+    def __init__(
+        self,
+        x_window: np.ndarray,
+        y_window: ArrayLike,
+        cols: np.ndarray,
+        intercept: bool = False,
+        resync_every: int = 256,
+        cond_floor: float = 1e-8,
+        max_refine: int = 3,
+    ) -> None:
+        x_window = np.asarray(x_window, dtype=float)
+        y_window = np.asarray(y_window, dtype=float).ravel()
+        cols = np.asarray(cols)
+        if x_window.ndim != 2 or cols.ndim != 2:
+            raise ValueError("x_window must be (T, N) and cols (B, k)")
+        if x_window.shape[0] != y_window.size:
+            raise ValueError(
+                f"window has {x_window.shape[0]} rows but y has {y_window.size}"
+            )
+        if x_window.shape[0] < 2:
+            raise ValueError("sliding window needs at least 2 rows")
+        if resync_every < 1:
+            raise ValueError(f"resync_every must be >= 1, got {resync_every}")
+        n_pool = x_window.shape[1]
+        B = cols.shape[0]
+        if intercept:
+            x_window = np.column_stack([x_window, np.ones(x_window.shape[0])])
+            cols = np.column_stack([cols, np.full((B, 1), n_pool, dtype=cols.dtype)])
+        self._intercept = bool(intercept)
+        self._n_pool = n_pool
+        self._cols = np.ascontiguousarray(cols)
+        self._x = np.array(x_window, dtype=float)  # (T, N[+1]), circular
+        self._y = np.array(y_window, dtype=float)
+        self._head = 0  # index of the oldest window row
+        self._resync_every = int(resync_every)
+        self._cond_floor = float(cond_floor)
+        self._max_refine = int(max_refine)
+        self.updates = 0
+        self.resyncs = 0
+        self.conditioning_falls = 0
+        self.exact_updates = 0
+        self.last_drift = 0.0
+        self.exact_only = False
+        self._since_resync = 0
+        self.resync()
+
+    @property
+    def window_len(self) -> int:
+        """Number of training rows in the sliding window."""
+        return int(self._x.shape[0])
+
+    @property
+    def beta(self) -> np.ndarray:
+        """Current ``(B, k)`` subset coefficients (read-only view)."""
+        view = self._beta.view()
+        view.flags.writeable = False
+        return view
+
+    def window(self) -> tuple:
+        """Time-ordered copies of the current ``(x, y)`` training window.
+
+        The returned design excludes the synthetic intercept column; it is
+        exactly what the batch kernel would be handed as ``x_train``.
+        """
+        order = (self._head + np.arange(self._x.shape[0])) % self._x.shape[0]
+        x = self._x[order]
+        if self._intercept:
+            x = x[:, :-1]
+        return x, self._y[order]
+
+    def _extend_rows(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=float)
+        if rows.ndim != 2 or rows.shape[1] != self._n_pool:
+            raise ValueError(f"rows must be (n, {self._n_pool}), got {rows.shape}")
+        if self._intercept:
+            rows = np.column_stack([rows, np.ones(rows.shape[0])])
+        return rows
+
+    def resync(self) -> float:
+        """Recompute state exactly through the batched kernel's solve path.
+
+        Returns the measured coefficient drift ``max|beta_inc - beta_exact|``
+        of the incremental path since the previous resync (0.0 on the
+        first).  After a resync the coefficients are bit-equal to what
+        :func:`solve_subset_betas` produces on the same window.
+        """
+        order = (self._head + np.arange(self._x.shape[0])) % self._x.shape[0]
+        x_ord = np.ascontiguousarray(self._x[order])
+        y_ord = np.ascontiguousarray(self._y[order])
+        beta_exact = solve_subset_betas(x_ord, y_ord, self._cols, self._max_refine)
+        drift = 0.0
+        if getattr(self, "_beta", None) is not None and self._since_resync > 0:
+            drift = float(np.max(np.abs(self._beta - beta_exact)))
+        self.last_drift = drift
+        gram_pool = x_ord.T @ x_ord
+        gram = gram_pool[self._cols[:, :, None], self._cols[:, None, :]]
+        rhs_pool = x_ord.T @ y_ord
+        self._rhs = np.ascontiguousarray(rhs_pool[self._cols])
+        try:
+            ginv = np.linalg.inv(gram)
+            if not np.isfinite(ginv).all():
+                raise np.linalg.LinAlgError("non-finite inverse")
+            self._ginv = ginv
+            self.exact_only = False
+        except np.linalg.LinAlgError:
+            # Singular subset Grams: rank-1 updates are undefined, every
+            # slide goes through the exact batched kernel instead.
+            self._ginv = None
+            self.exact_only = True
+        self._beta = beta_exact
+        self.resyncs += 1
+        self._since_resync = 0
+        get_metrics().counter("stream.kernel_resyncs").inc()
+        return drift
+
+    def update(self, x_row: ArrayLike, y_val: float) -> None:
+        """Slide the window one sample: admit ``(x_row, y_val)``, retire the oldest."""
+        row = self._extend_rows(np.asarray(x_row, dtype=float).reshape(1, -1))[0]
+        y_val = float(y_val)
+        old_row = self._x[self._head].copy()
+        old_y = float(self._y[self._head])
+        self._x[self._head] = row
+        self._y[self._head] = y_val
+        self._head = (self._head + 1) % self._x.shape[0]
+        self.updates += 1
+
+        if self.exact_only:
+            self.exact_updates += 1
+            get_metrics().counter("stream.kernel_exact_updates").inc()
+            self.resync()
+            return
+
+        ginv, rhs = self._ginv, self._rhs
+        ok = True
+        for u_full, yv, sign in ((row, y_val, 1.0), (old_row, old_y, -1.0)):
+            u = u_full[self._cols]  # (B, k)
+            gu = np.einsum("bij,bj->bi", ginv, u)
+            d = 1.0 + sign * np.einsum("bi,bi->b", u, gu)
+            if not np.isfinite(d).all() or float(np.min(d)) <= self._cond_floor:
+                ok = False
+                break
+            ginv = ginv - (sign / d)[:, None, None] * (gu[:, :, None] * gu[:, None, :])
+            rhs = rhs + (sign * yv) * u
+        if ok:
+            beta = np.einsum("bij,bj->bi", ginv, rhs)
+            ok = bool(np.isfinite(beta).all())
+        if not ok:
+            # Conditioning degraded mid-update: fall back to the batched
+            # kernel for this window and start a fresh rank-1 run from it.
+            self.conditioning_falls += 1
+            get_metrics().counter("stream.kernel_conditioning_falls").inc()
+            self.resync()
+            return
+        self._ginv, self._rhs, self._beta = ginv, rhs, beta
+        self._since_resync += 1
+        if self._since_resync >= self._resync_every:
+            self.resync()
+
+    def forecasts(self, x_eval: np.ndarray) -> np.ndarray:
+        """``(B, n)`` forecasts of the current coefficients for eval rows."""
+        x_eval = self._extend_rows(np.atleast_2d(np.asarray(x_eval, dtype=float)))
+        return _scatter_matmul(self._beta, self._cols, x_eval)
 
 
 def _scatter_matmul(beta: np.ndarray, cols: np.ndarray, pool: np.ndarray) -> np.ndarray:

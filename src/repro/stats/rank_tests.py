@@ -28,11 +28,13 @@ __all__ = [
     "Alternative",
     "DataQualityError",
     "Direction",
+    "RollingWindow",
     "TestResult",
     "INCONCLUSIVE_REASONS",
     "MIN_SAMPLES",
     "mann_whitney_u",
     "fligner_policello",
+    "fligner_policello_rolling",
     "welch_t",
     "rankdata",
     "compare_windows",
@@ -308,14 +310,27 @@ def fligner_policello(
     reason = _degeneracy(a, b, min_n=MIN_SAMPLES)
     if reason is not None:
         return _inconclusive(reason, alternative, "fligner-policello")
-    m, n = a.size, b.size
+    return _fligner_policello_sorted(a, b, np.sort(a), np.sort(b), alternative)
 
+
+def _fligner_policello_sorted(
+    a: np.ndarray,
+    b: np.ndarray,
+    a_sorted: np.ndarray,
+    b_sorted: np.ndarray,
+    alternative: Alternative,
+) -> TestResult:
+    """FP statistic from samples plus their sorted copies.
+
+    Shared by the batch test (which sorts on every call) and the rolling
+    streaming path (which maintains the sort incrementally): the two paths
+    run the identical arithmetic sequence on comparison-equal inputs, so
+    their results are bit-for-bit equal.
+    """
     # Placements: for each a_i the count of b_j below it (ties count 1/2).
-    b_sorted = np.sort(b)
     p_a = np.searchsorted(b_sorted, a, side="left") + 0.5 * (
         np.searchsorted(b_sorted, a, side="right") - np.searchsorted(b_sorted, a, side="left")
     )
-    a_sorted = np.sort(a)
     p_b = np.searchsorted(a_sorted, b, side="left") + 0.5 * (
         np.searchsorted(a_sorted, b, side="right") - np.searchsorted(a_sorted, b, side="left")
     )
@@ -343,6 +358,107 @@ def fligner_policello(
     else:
         p = min(1.0, 2.0 * _normal_sf(abs(z)))
     return TestResult(z, p, alternative, "fligner-policello")
+
+
+class RollingWindow:
+    """Fixed-capacity sliding sample window with an incremental sort order.
+
+    Backs the streaming Fligner–Policello path: the window keeps both the
+    time-ordered samples (a circular buffer) and a sorted copy maintained
+    by binary-search insertion/removal, so each :meth:`push` costs
+    ``O(w)`` data movement instead of the ``O(w log w)`` re-sort the batch
+    test pays per call.  The maintained sort is comparison-equal to
+    ``np.sort(self.values())`` at every step (exactness-tested), which is
+    what makes the rolling test bit-identical to the batch one.
+
+    NaN samples are rejected — rank statistics are undefined on them and
+    the quality firewall screens them out upstream.
+    """
+
+    __slots__ = ("_buf", "_sorted", "_head", "_size")
+
+    def __init__(self, capacity: int, values: ArrayLike = ()) -> None:
+        capacity = int(capacity)
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._buf = np.empty(capacity, dtype=float)
+        self._sorted = np.empty(capacity, dtype=float)
+        self._head = 0
+        self._size = 0
+        for value in np.asarray(values, dtype=float).ravel():
+            self.push(float(value))
+
+    @property
+    def capacity(self) -> int:
+        return int(self._buf.size)
+
+    @property
+    def full(self) -> bool:
+        return self._size == self._buf.size
+
+    def __len__(self) -> int:
+        return int(self._size)
+
+    def push(self, value: float) -> Union[float, None]:
+        """Append a sample, evicting (and returning) the oldest when full."""
+        value = float(value)
+        if math.isnan(value):
+            raise DataQualityError("rolling windows reject NaN samples")
+        evicted = None
+        if self._size == self._buf.size:
+            evicted = float(self._buf[self._head])
+            i = int(np.searchsorted(self._sorted[: self._size], evicted, side="left"))
+            self._sorted[i : self._size - 1] = self._sorted[i + 1 : self._size]
+            self._size -= 1
+            self._buf[self._head] = value
+            self._head = (self._head + 1) % self._buf.size
+        else:
+            self._buf[(self._head + self._size) % self._buf.size] = value
+        j = int(np.searchsorted(self._sorted[: self._size], value, side="right"))
+        self._sorted[j + 1 : self._size + 1] = self._sorted[j : self._size]
+        self._sorted[j] = value
+        self._size += 1
+        return evicted
+
+    def values(self) -> np.ndarray:
+        """Time-ordered copy of the window (oldest first)."""
+        idx = (self._head + np.arange(self._size)) % self._buf.size
+        return self._buf[idx]
+
+    def sorted_values(self) -> np.ndarray:
+        """Ascending copy of the window (the maintained sort)."""
+        return self._sorted[: self._size].copy()
+
+
+def _window_arrays(sample: Union["RollingWindow", ArrayLike]) -> Tuple[np.ndarray, np.ndarray]:
+    if isinstance(sample, RollingWindow):
+        return sample.values(), sample.sorted_values()
+    arr = np.asarray(sample, dtype=float).ravel()
+    return arr, np.sort(arr)
+
+
+def fligner_policello_rolling(
+    x: Union["RollingWindow", ArrayLike],
+    y: Union["RollingWindow", ArrayLike],
+    alternative: Alternative = Alternative.TWO_SIDED,
+) -> TestResult:
+    """Fligner–Policello over rolling windows, bit-identical to the batch test.
+
+    Either side may be a :class:`RollingWindow` (its incrementally
+    maintained sort is used directly) or a plain array (sorted on the
+    spot, e.g. the frozen pre-change window).  Degenerate windows —
+    too short, all-tied, constant — settle as the same typed inconclusive
+    results as :func:`fligner_policello`, so a window that goes flat
+    mid-stream can never flip a verdict.
+    """
+    a, a_sorted = _window_arrays(x)
+    b, b_sorted = _window_arrays(y)
+    a, b = _validate(a, b)
+    alternative = Alternative(alternative)
+    reason = _degeneracy(a, b, min_n=MIN_SAMPLES)
+    if reason is not None:
+        return _inconclusive(reason, alternative, "fligner-policello")
+    return _fligner_policello_sorted(a, b, a_sorted, b_sorted, alternative)
 
 
 def welch_t(

@@ -1,0 +1,39 @@
+"""Online incremental assessment: live verdicts over streaming KPI ingest.
+
+The batch engine answers "did this change hurt?" once, over a full
+window; this package keeps the answer *current* as samples arrive, at
+O(1) amortized cost per sample per monitored tuple (DESIGN.md §13):
+
+* :mod:`~repro.streaming.ringbuf` — bounded per-series ring buffers on
+  the global sample axis;
+* :mod:`~repro.streaming.engine` — the :class:`StreamEngine`: dirty-set
+  evaluation, Sherman–Morrison sliding kernels pre-change, rolling rank
+  tests post-change, escalation to the exact batch kernel on any
+  candidate verdict flip, and write-ahead journaling of batches and
+  flips;
+* :mod:`~repro.streaming.tail` — ``litmus tail``: follow an append-only
+  KPI CSV log into the engine;
+* :mod:`~repro.streaming.replay` — ``litmus resume`` for stream
+  directories: re-ingest the journaled batches and re-derive the flip
+  stream byte-identically.
+"""
+
+from .engine import Flip, StreamConfig, StreamEngine, TickReport
+from .ringbuf import RingRejection, SeriesRing
+from .tail import CsvFollower, TailTruncated, follow
+from .replay import build_engine, resume_stream, write_flips
+
+__all__ = [
+    "CsvFollower",
+    "Flip",
+    "RingRejection",
+    "SeriesRing",
+    "StreamConfig",
+    "StreamEngine",
+    "TailTruncated",
+    "TickReport",
+    "build_engine",
+    "follow",
+    "resume_stream",
+    "write_flips",
+]

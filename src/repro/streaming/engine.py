@@ -1,0 +1,909 @@
+"""The online incremental assessment engine: verdicts as deltas over live ingest.
+
+Batch Litmus answers "did this change hurt?" by recomputing the pooled
+Gram, the sampled subset fits and the rank tests over the full window on
+every request — ``O(T N^2 + B k^3)`` per (change, element, KPI) tuple per
+tick of a continuously monitored network.  :class:`StreamEngine` turns
+the same assessment into an incrementally maintained computation:
+
+* **Ingest** feeds per-series :class:`~repro.streaming.ringbuf.SeriesRing`
+  buffers and marks only the (change, element, KPI) tuples whose series
+  actually moved as *dirty*; a tick re-evaluates just the dirty set.
+* **Pre-change**, each tuple's training state slides via the rank-1
+  Sherman–Morrison kernel (:class:`~repro.stats.linreg.IncrementalSubsetOls`)
+  — ``O(B k^2)`` per sample, with periodic exact resyncs and an immediate
+  fallback to the batched kernel when conditioning degrades.
+* **At the change day** training freezes (anchored exactly where the
+  batch engine anchors it) and the kernel resyncs through the batch
+  solve path, so the frozen coefficients are bit-equal to batch.
+* **Post-change**, each new sample costs one ``O(B N)`` forecast and an
+  ``O(w)`` rolling-rank update
+  (:class:`~repro.stats.rank_tests.RollingWindow`); the directional
+  decision mirrors the batch rule on the rolling windows.
+* **Verdict flips are exact by construction**: whenever the fast path's
+  verdict differs from the last emitted one — or a p-value or the
+  practical-significance gate sits inside the escalation margin, or the
+  scheduled verification tick arrives — the tuple escalates to the full
+  batch ``compare()`` with its campaign seed, and only that exact result
+  can emit a flip.  Between flips the fast path answers; emitted streams
+  are therefore bit-identical to the batch engine on replayed input
+  (asserted end to end by ``tools/bench_stream.py``).
+* **Degenerate windows hold**: rolling windows that go all-tied/constant
+  produce the typed inconclusive results of
+  :mod:`~repro.stats.rank_tests`, which never flip a verdict — the tuple
+  holds its last conclusive verdict and counts the hold.
+
+Every accepted batch is journaled write-ahead (``ingest-batch`` before
+any state changes, ``verdict-flip`` after) through
+:mod:`~repro.runstate.streamstate`, so a replay re-derives the identical
+flip stream byte for byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.config import LitmusConfig
+from ..core.parallel import spawn_task_seeds
+from ..core.regression import RobustSpatialRegression
+from ..core.verdict import AlgorithmResult, Verdict
+from ..kpi.metrics import DEFAULT_KPIS, KpiKind
+from ..network.changes import ChangeEvent, ChangeLog
+from ..network.elements import ElementId
+from ..network.topology import Topology
+from ..obs.metrics import get_metrics
+from ..runstate import streamstate
+from ..runstate.journal import Journal
+from ..selection.selector import ControlGroupSelector
+from ..stats.descriptive import hodges_lehmann, mad
+from ..stats.linreg import IncrementalSubsetOls
+from ..stats.rank_tests import Alternative, Direction, RollingWindow, fligner_policello_rolling
+from .ringbuf import RingRejection, SeriesRing
+
+__all__ = ["StreamConfig", "Flip", "TickReport", "StreamEngine"]
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Knobs of the streaming engine (pinned in the stream spec).
+
+    These shape the verdict stream — the escalation margin decides when
+    the fast path must defer to the exact kernel — so they are journaled
+    alongside the assessment config and verified on resume.
+    """
+
+    #: Days a change stays monitored past its day; after
+    #: ``change day + horizon_days`` the tuple's verdict is final and the
+    #: tuple leaves the dirty set for good.
+    horizon_days: int = 28
+    #: Scheduled exactness check: a tuple escalates to the batch kernel
+    #: after this many consecutive fast-path evaluations even with no
+    #: flip candidate in sight.
+    verify_every: int = 64
+    #: Periodic full-recompute cadence of the sliding Sherman–Morrison
+    #: kernel (pre-change maintenance), in slides.
+    resync_every: int = 64
+    #: Conditioning floor of the rank-1 downdate denominator; at or below
+    #: it the kernel falls back to the batched solve.
+    cond_floor: float = 1e-8
+    #: Escalate when a one-sided p-value lies within this absolute margin
+    #: of ``alpha`` — ULP-level drift of the rolling state cannot move a
+    #: p-value across the decision boundary unnoticed.
+    boundary_margin: float = 0.005
+    #: Escalate when the Hodges–Lehmann shift lies within this many
+    #: robust sigmas of the practical-significance gate.
+    gate_margin_sigmas: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.horizon_days < 1:
+            raise ValueError(f"horizon_days must be >= 1, got {self.horizon_days}")
+        if self.verify_every < 1:
+            raise ValueError(f"verify_every must be >= 1, got {self.verify_every}")
+        if self.resync_every < 1:
+            raise ValueError(f"resync_every must be >= 1, got {self.resync_every}")
+        if self.boundary_margin < 0 or self.gate_margin_sigmas < 0:
+            raise ValueError("escalation margins must be non-negative")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StreamConfig":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass(frozen=True)
+class Flip:
+    """One emitted verdict delta.
+
+    ``tick`` is the global sample index (exclusive frontier) at which the
+    flip was derived; ``previous`` is ``None`` for a tuple's first
+    conclusive verdict.  Every flip is derived from the exact batch
+    kernel (escalation is mandatory on any candidate flip).
+    """
+
+    seq: int
+    batch: int
+    tick: int
+    change_id: str
+    element_id: str
+    kpi: str
+    previous: Optional[str]
+    verdict: str
+    direction: str
+    p_value: float
+    p_increase: float
+    p_decrease: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class TickReport:
+    """Outcome of one ingested batch."""
+
+    batch: int
+    accepted: int = 0
+    ignored: int = 0
+    rejected: List[Tuple[str, str]] = field(default_factory=list)
+    dirty: int = 0
+    evaluated: int = 0
+    escalations: int = 0
+    holds: int = 0
+    flips: List[Flip] = field(default_factory=list)
+    latency_s: float = 0.0
+
+
+#: Tuple lifecycle phases.
+_WARMUP, _PRE, _POST, _SETTLED, _FAILED = "warmup", "pre", "post", "settled", "failed"
+
+
+class _TupleState:
+    """Mutable streaming state of one (change, element, KPI) tuple."""
+
+    __slots__ = (
+        "change", "element_id", "kpi", "seed", "candidates", "pivot", "w",
+        "t_train", "horizon_end", "frontier", "phase", "kernel", "usable",
+        "before_win", "after_win", "after_valid", "last_emitted",
+        "last_result", "ticks_since_exact", "escalations", "fast_evals",
+        "holds", "failure",
+    )
+
+    def __init__(
+        self,
+        change: ChangeEvent,
+        element_id: ElementId,
+        kpi: KpiKind,
+        seed: int,
+        candidates: Tuple[ElementId, ...],
+        pivot: int,
+        w: int,
+        t_train: int,
+        horizon_end: int,
+    ) -> None:
+        self.change = change
+        self.element_id = element_id
+        self.kpi = kpi
+        self.seed = seed
+        self.candidates = candidates
+        self.pivot = pivot
+        self.w = w
+        self.t_train = t_train
+        self.horizon_end = horizon_end
+        self.frontier: Optional[int] = None
+        self.phase = _WARMUP
+        self.kernel: Optional[IncrementalSubsetOls] = None
+        self.usable: Tuple[ElementId, ...] = ()
+        self.before_win: Optional[RollingWindow] = None
+        self.after_win: Optional[RollingWindow] = None
+        self.after_valid = True
+        self.last_emitted: Optional[Verdict] = None
+        self.last_result: Optional[AlgorithmResult] = None
+        self.ticks_since_exact = 0
+        self.escalations = 0
+        self.fast_evals = 0
+        self.holds = 0
+        self.failure: Optional[str] = None
+
+    @property
+    def fit_bounds_at(self):
+        """Fit-window bounds as a function of the frontier (holdout rule)."""
+        def bounds(t: int) -> Tuple[int, int]:
+            if self.t_train > self.w + 4:
+                return t - self.t_train, t - self.w
+            return t - self.t_train, t
+        return bounds
+
+
+class StreamEngine:
+    """Continuously updating Litmus over per-series ring buffers.
+
+    Thread-safe: :meth:`ingest` serialises on an internal lock so the
+    serving daemon can feed it from handler threads.  All evaluation is
+    deterministic — tuple order, seeds and escalation decisions are pure
+    functions of (inputs, config, ordered batches) — which is what makes
+    journal replay byte-identical.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        change_log: ChangeLog,
+        config: Optional[LitmusConfig] = None,
+        stream_config: Optional[StreamConfig] = None,
+        kpis: Sequence[KpiKind] = DEFAULT_KPIS,
+        freq: int = 1,
+        journal: Optional[Journal] = None,
+        max_control: int = 100,
+        min_control: int = 3,
+    ) -> None:
+        self.topology = topology
+        self.change_log = change_log
+        self.config = config or LitmusConfig()
+        self.stream_config = stream_config or StreamConfig()
+        self.kpis = tuple(KpiKind(k) for k in kpis)
+        self.freq = int(freq)
+        if self.freq < 1:
+            raise ValueError(f"freq must be >= 1, got {freq}")
+        self.journal = journal
+        self.algorithm = RobustSpatialRegression(self.config)
+        self.selector = ControlGroupSelector(
+            topology, change_log, min_size=min_control, max_size=max_control
+        )
+        self._lock = threading.RLock()
+        self._rings: Dict[Tuple[ElementId, KpiKind], SeriesRing] = {}
+        self._tuples: List[_TupleState] = []
+        self._interest: Dict[Tuple[ElementId, KpiKind], List[int]] = {}
+        self._batch_no = 0
+        self._flip_seq = 0
+        self._flips: List[Flip] = []
+        self._tick_latencies: List[float] = []
+        self.counts: Dict[str, int] = {
+            "batches": 0,
+            "samples_accepted": 0,
+            "samples_ignored": 0,
+            "samples_rejected": 0,
+            "evaluations": 0,
+            "escalations": 0,
+            "holds": 0,
+            "flips": 0,
+            "kernel_inits": 0,
+            "kernel_stale": 0,
+        }
+        #: Counters of kernels that were retired (replaced at freeze or
+        #: dropped on a stale window) — kept so ``stats()`` never loses
+        #: update/resync history.
+        self._kernel_retired = {
+            "resyncs": 0, "conditioning_falls": 0, "exact_updates": 0, "updates": 0,
+        }
+        self._capacity = self._register_tuples()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def _register_tuples(self) -> int:
+        """Build the (change, element, KPI) tuple set and the dirty index.
+
+        Per change, tuples are ordered exactly as ``Litmus.assess``
+        orders its tasks — KPIs in catalog order, study elements sorted —
+        and seeded with the same position-keyed ``spawn_task_seeds``
+        children, so a tuple's escalation ``compare()`` reproduces the
+        batch campaign's result for that (element, KPI) bit for bit.
+        """
+        cap = 8
+        w_any = self.config.window_days * self.freq
+        for change in self.change_log:
+            study_ids = change.study_group
+            group = self.selector.select(study_ids, None, change=change)
+            candidates = tuple(group.element_ids)
+            pivot = change.day * self.freq
+            w = self.config.window_days * self.freq
+            t_train = max(w, self.config.training_days * self.freq)
+            horizon_end = pivot + self.stream_config.horizon_days * self.freq
+            cap = max(cap, t_train + (horizon_end - pivot) + w_any + 2)
+            tasks = [(kpi, element) for kpi in self.kpis for element in study_ids]
+            seeds = spawn_task_seeds(self.config.seed, len(tasks))
+            for i, (kpi, element) in enumerate(tasks):
+                state = _TupleState(
+                    change, element, kpi, seeds[i], candidates,
+                    pivot, w, t_train, horizon_end,
+                )
+                idx = len(self._tuples)
+                self._tuples.append(state)
+                self._interest.setdefault((element, kpi), []).append(idx)
+                for cid in candidates:
+                    self._interest.setdefault((cid, kpi), []).append(idx)
+        return cap
+
+    # ------------------------------------------------------------------
+    # Ingest path
+    # ------------------------------------------------------------------
+    def backfill(self, store: Any, kpis: Optional[Sequence[KpiKind]] = None) -> int:
+        """Seed the rings from a :class:`~repro.kpi.store.KpiBackend`.
+
+        Loads the trailing ``capacity`` samples of every monitored series
+        the store holds; returns the number of samples loaded.  Backfill
+        is not journaled — the spec records the store path, and a replay
+        re-runs the identical backfill before re-ingesting batches.
+        """
+        loaded = 0
+        with self._lock:
+            for (element, kpi) in list(self._interest):
+                if kpis is not None and kpi not in tuple(kpis):
+                    continue
+                if not store.has(element, kpi):
+                    continue
+                series = store.get(element, kpi)
+                if series.freq != self.freq:
+                    raise ValueError(
+                        f"store series freq {series.freq} disagrees with "
+                        f"engine freq {self.freq}"
+                    )
+                ring = self._ring(element, kpi)
+                lo = max(series.start, series.end - ring.capacity)
+                values = series.window(lo, series.end).values
+                for offset, value in enumerate(values):
+                    if np.isnan(value):
+                        continue
+                    index = lo + offset
+                    if index >= ring.end:
+                        ring.append(index, float(value))
+                        loaded += 1
+        return loaded
+
+    def _ring(self, element: ElementId, kpi: KpiKind) -> SeriesRing:
+        key = (element, kpi)
+        ring = self._rings.get(key)
+        if ring is None:
+            ring = SeriesRing(self._capacity, freq=self.freq)
+            self._rings[key] = ring
+        return ring
+
+    def ingest(
+        self,
+        samples: Sequence[Sequence[Any]],
+        journal: bool = True,
+    ) -> TickReport:
+        """Ingest one sample batch and tick the dirty tuples.
+
+        ``samples`` rows are ``(element_id, kpi, index, value)``.  The
+        batch is journaled write-ahead (when a journal is attached and
+        ``journal`` is true — replay passes false), applied to the rings,
+        and every dirty tuple is advanced to its aligned frontier; flips
+        emitted by the tick are journaled behind the batch record and
+        returned in the :class:`TickReport`.
+        """
+        t0 = time.perf_counter()
+        with self._lock:
+            self._batch_no += 1
+            report = TickReport(batch=self._batch_no)
+            normalized = [
+                [str(row[0]), str(row[1]), int(row[2]), float(row[3])]
+                for row in samples
+            ]
+            if journal and self.journal is not None:
+                self.journal.append(
+                    streamstate.INGEST_BATCH,
+                    {"batch": self._batch_no, "samples": normalized},
+                    sync=False,
+                )
+            dirty: Dict[int, None] = {}
+            for element_id, kpi_name, index, value in normalized:
+                try:
+                    kpi = KpiKind(kpi_name)
+                except ValueError:
+                    report.rejected.append(("unknown-kpi", kpi_name))
+                    continue
+                key = (ElementId(element_id), kpi)
+                watchers = self._interest.get(key)
+                if watchers is None:
+                    report.ignored += 1
+                    continue
+                try:
+                    self._ring(key[0], kpi).append(index, value)
+                except RingRejection as exc:
+                    report.rejected.append((exc.reason, f"{element_id}/{kpi_name}: {exc.detail}"))
+                    continue
+                report.accepted += 1
+                for idx in watchers:
+                    dirty[idx] = None
+            report.dirty = len(dirty)
+            for idx in sorted(dirty):
+                state = self._tuples[idx]
+                flips = self._advance(state, report)
+                for flip in flips:
+                    report.flips.append(flip)
+                    self._flips.append(flip)
+                    if journal and self.journal is not None:
+                        self.journal.append(
+                            streamstate.VERDICT_FLIP,
+                            {"flip": flip.to_dict()},
+                            sync=False,
+                        )
+            report.latency_s = time.perf_counter() - t0
+            self._observe(report)
+            return report
+
+    def _observe(self, report: TickReport) -> None:
+        registry = get_metrics()
+        self.counts["batches"] += 1
+        self.counts["samples_accepted"] += report.accepted
+        self.counts["samples_ignored"] += report.ignored
+        self.counts["samples_rejected"] += len(report.rejected)
+        self.counts["evaluations"] += report.evaluated
+        self.counts["escalations"] += report.escalations
+        self.counts["holds"] += report.holds
+        self.counts["flips"] += len(report.flips)
+        registry.counter("stream.ingest_batches").inc()
+        registry.counter("stream.samples_accepted").inc(report.accepted)
+        if report.ignored:
+            registry.counter("stream.samples_ignored").inc(report.ignored)
+        if report.rejected:
+            registry.counter("stream.samples_rejected").inc(len(report.rejected))
+        registry.counter("stream.evaluations").inc(report.evaluated)
+        registry.counter("stream.escalations").inc(report.escalations)
+        if report.holds:
+            registry.counter("stream.inconclusive_holds").inc(report.holds)
+        if report.flips:
+            registry.counter("stream.flips").inc(len(report.flips))
+        registry.histogram("stream.tick_s").observe(report.latency_s)
+        registry.histogram("stream.dirty_tuples").observe(float(report.dirty))
+        self._tick_latencies.append(report.latency_s)
+        if len(self._tick_latencies) > 1024:
+            del self._tick_latencies[: len(self._tick_latencies) - 1024]
+
+    # ------------------------------------------------------------------
+    # Tuple advancement
+    # ------------------------------------------------------------------
+    def _series_frontier(self, state: _TupleState, ids: Sequence[ElementId]) -> int:
+        ends = [self._ring(state.element_id, state.kpi).end]
+        ends.extend(self._ring(cid, state.kpi).end for cid in ids)
+        return min(ends)
+
+    def _advance(self, state: _TupleState, report: TickReport) -> List[Flip]:
+        if state.phase in (_SETTLED, _FAILED):
+            return []
+        ids = state.usable if state.phase == _POST else state.candidates
+        target = self._series_frontier(state, ids)
+        flips: List[Flip] = []
+        if state.frontier is None:
+            # Cold start: jump the backfilled pre-change history in one
+            # exact initialisation instead of replaying it sample by
+            # sample — the kernel state after the jump is the same exact
+            # solve either path would land on.
+            state.frontier = min(target, state.pivot)
+            if state.frontier == state.pivot:
+                self._freeze(state)
+        while state.frontier < target and state.phase not in (_SETTLED, _FAILED):
+            t = state.frontier + 1
+            if t <= state.pivot:
+                self._pre_step(state, t)
+            else:
+                flip = self._post_step(state, t, report)
+                if flip is not None:
+                    flips.append(flip)
+            state.frontier = t
+            if t == state.pivot:
+                self._freeze(state)
+            if state.phase == _POST and t >= state.horizon_end:
+                state.phase = _SETTLED
+        return flips
+
+    # -- pre-change sliding maintenance ---------------------------------
+    def _pre_step(self, state: _TupleState, t: int) -> None:
+        lo, hi = state.fit_bounds_at(t)
+        if state.kernel is None:
+            self._try_init_kernel(state, lo, hi)
+            return
+        new_idx = hi - 1
+        row, ok = self._gather_row(state, state.usable, new_idx)
+        y_val = self._ring(state.element_id, state.kpi).value_at(new_idx)
+        if not ok or y_val is None or np.isnan(y_val):
+            # A hole slid into the fit window: the rank-1 state no longer
+            # matches the data; drop it and re-init once the window heals.
+            self._retire_kernel(state)
+            self.counts["kernel_stale"] += 1
+            get_metrics().counter("stream.kernel_stale").inc()
+            return
+        state.kernel.update(row, y_val)
+
+    def _try_init_kernel(self, state: _TupleState, lo: int, hi: int) -> None:
+        usable = self._usable_controls(state, lo, hi)
+        if len(usable) < self.config.min_controls:
+            return
+        y = self._study_window(state, lo, hi)
+        if y is None:
+            return
+        x = self._control_matrix(state, usable, lo, hi)
+        if x is None:
+            return
+        cols = self._draw_cols(state, len(usable), hi - lo)
+        state.usable = usable
+        state.kernel = IncrementalSubsetOls(
+            x, y, cols,
+            intercept=self.config.fit_intercept,
+            resync_every=self.stream_config.resync_every,
+            cond_floor=self.stream_config.cond_floor,
+        )
+        state.phase = _PRE
+        self.counts["kernel_inits"] += 1
+        get_metrics().counter("stream.kernel_inits").inc()
+
+    # -- freeze at the change day ---------------------------------------
+    def _freeze(self, state: _TupleState) -> None:
+        """Anchor training at the change day, exactly as the batch engine does.
+
+        The usable control set is fixed here (rings covering the full
+        before window, NaN-free), the column subsets are drawn from the
+        tuple's campaign seed with the batch sampler's own expression,
+        and the kernel resyncs through the batch solve path — from this
+        point the frozen coefficients are bit-equal to what ``compare()``
+        computes at any later tick.
+        """
+        lo_b = state.pivot - state.t_train
+        fit_lo, fit_hi = state.fit_bounds_at(state.pivot)
+        usable = self._usable_controls(state, lo_b, state.pivot)
+        if len(usable) < self.config.min_controls:
+            self._fail(state, f"only {len(usable)} usable controls at freeze")
+            return
+        y_all = self._study_window(state, lo_b, state.pivot)
+        if y_all is None:
+            self._fail(state, "study series incomplete over the before window")
+            return
+        x_all = self._control_matrix(state, usable, lo_b, state.pivot)
+        if x_all is None:
+            self._fail(state, "control series incomplete over the before window")
+            return
+        train_len = fit_hi - fit_lo
+        cols = self._draw_cols(state, len(usable), train_len)
+        x_fit = x_all[fit_lo - lo_b : fit_hi - lo_b]
+        y_fit = y_all[fit_lo - lo_b : fit_hi - lo_b]
+        self._retire_kernel(state)
+        state.usable = usable
+        state.kernel = IncrementalSubsetOls(
+            x_fit, y_fit, cols,
+            intercept=self.config.fit_intercept,
+            resync_every=self.stream_config.resync_every,
+            cond_floor=self.stream_config.cond_floor,
+        )
+        self.counts["kernel_inits"] += 1
+        # Comparison-before forecast differences seed the frozen side of
+        # the rolling rank test.
+        x_cmp = x_all[state.t_train - state.w :]
+        y_cmp = y_all[state.t_train - state.w :]
+        fc = np.median(state.kernel.forecasts(x_cmp), axis=0)
+        state.before_win = RollingWindow(state.w, y_cmp - fc)
+        state.after_win = RollingWindow(state.w)
+        state.after_valid = True
+        state.phase = _POST
+
+    def _retire_kernel(self, state: _TupleState) -> None:
+        kernel = state.kernel
+        if kernel is not None:
+            self._kernel_retired["resyncs"] += kernel.resyncs
+            self._kernel_retired["conditioning_falls"] += kernel.conditioning_falls
+            self._kernel_retired["exact_updates"] += kernel.exact_updates
+            self._kernel_retired["updates"] += kernel.updates
+        state.kernel = None
+
+    def _fail(self, state: _TupleState, reason: str) -> None:
+        state.phase = _FAILED
+        state.failure = reason
+        get_metrics().counter("stream.tuples_failed").inc()
+
+    # -- post-change evaluation -----------------------------------------
+    def _post_step(
+        self, state: _TupleState, t: int, report: TickReport
+    ) -> Optional[Flip]:
+        assert state.kernel is not None and state.after_win is not None
+        new_idx = t - 1
+        row, ok = self._gather_row(state, state.usable, new_idx)
+        y_val = self._ring(state.element_id, state.kpi).value_at(new_idx)
+        if not ok or y_val is None or np.isnan(y_val):
+            # A hole in the after window: the rolling window no longer
+            # mirrors the data — rebuild once the window is clean again.
+            state.after_valid = False
+            return None
+        if not state.after_valid:
+            if not self._rebuild_after(state, t):
+                return None
+        else:
+            fc = float(np.median(state.kernel.forecasts(row[None, :]), axis=0)[0])
+            state.after_win.push(float(y_val) - fc)
+        if len(state.after_win) < 2:
+            return None
+        report.evaluated += 1
+        state.fast_evals += 1
+        state.ticks_since_exact += 1
+        result, reason = self._directional_rolling(state)
+        if reason is not None:
+            # Typed inconclusive (all-tied / constant / too-few): hold the
+            # last conclusive verdict, never flip on degenerate windows.
+            state.holds += 1
+            report.holds += 1
+            return None
+        verdict = result.verdict(state.kpi)
+        if self._needs_exact(state, result, verdict):
+            exact = self._exact_compare(state, t)
+            if exact is None:
+                # The rings cannot serve the exact windows (a hole slid
+                # into retained history): a flip without exact backing
+                # must not be emitted — hold instead.
+                state.holds += 1
+                report.holds += 1
+                return None
+            report.escalations += 1
+            state.escalations += 1
+            state.ticks_since_exact = 0
+            result = exact
+            verdict = result.verdict(state.kpi)
+            get_metrics().counter("stream.exact_compares").inc()
+        state.last_result = result
+        if verdict != state.last_emitted:
+            previous = state.last_emitted
+            state.last_emitted = verdict
+            self._flip_seq += 1
+            return Flip(
+                seq=self._flip_seq,
+                batch=self._batch_no,
+                tick=t,
+                change_id=state.change.change_id,
+                element_id=str(state.element_id),
+                kpi=state.kpi.value,
+                previous=previous.value if previous is not None else None,
+                verdict=verdict.value,
+                direction=result.direction.value,
+                p_value=float(result.p_value),
+                p_increase=float(result.p_value_increase),
+                p_decrease=float(result.p_value_decrease),
+            )
+        return None
+
+    def _rebuild_after(self, state: _TupleState, t: int) -> bool:
+        lo = max(state.pivot, t - state.w)
+        ring = self._ring(state.element_id, state.kpi)
+        if not ring.covers(lo, t):
+            return False
+        y = ring.window(lo, t)
+        if np.isnan(y).any():
+            return False
+        x = self._control_matrix(state, state.usable, lo, t)
+        if x is None:
+            return False
+        fc = np.median(state.kernel.forecasts(x), axis=0)
+        state.after_win = RollingWindow(state.w, y - fc)
+        state.after_valid = True
+        return True
+
+    def _directional_rolling(
+        self, state: _TupleState
+    ) -> Tuple[AlgorithmResult, Optional[str]]:
+        """The batch directional rule over the rolling windows.
+
+        Mirrors :func:`repro.core.baselines._directional_result` —
+        one-sided tests, Hodges–Lehmann shift, MAD-based practical gate —
+        with the Fligner–Policello placements computed from the
+        incrementally maintained sorts.  Returns the result plus the
+        typed inconclusive reason when the windows are degenerate.
+        """
+        after, before = state.after_win, state.before_win
+        if self.config.test == "fligner-policello":
+            up = fligner_policello_rolling(after, before, Alternative.GREATER)
+            down = fligner_policello_rolling(after, before, Alternative.LESS)
+        else:
+            from ..stats import rank_tests
+
+            fn = {
+                "mann-whitney": rank_tests.mann_whitney_u,
+                "welch-t": rank_tests.welch_t,
+            }[self.config.test]
+            up = fn(after.values(), before.values(), Alternative.GREATER)
+            down = fn(after.values(), before.values(), Alternative.LESS)
+        reason = up.inconclusive or down.inconclusive
+        a, b = after.values(), before.values()
+        shift = hodges_lehmann(a, b)
+        sigma = mad(np.diff(b)) / np.sqrt(2.0) if b.size >= 3 else mad(b)
+        if sigma == 0.0:
+            sigma = mad(np.concatenate([b, a]))
+        material = sigma == 0.0 or abs(shift) >= self.config.min_effect_sigmas * sigma
+        if material and up.p_value < self.config.alpha and up.p_value <= down.p_value:
+            direction = Direction.INCREASE
+        elif material and down.p_value < self.config.alpha:
+            direction = Direction.DECREASE
+        else:
+            direction = Direction.NO_CHANGE
+        result = AlgorithmResult(
+            direction, up.p_value, down.p_value, self.algorithm.name,
+            detail={"hl_shift": shift, "scale": sigma},
+        )
+        return result, reason
+
+    def _needs_exact(
+        self, state: _TupleState, result: AlgorithmResult, verdict: Verdict
+    ) -> bool:
+        if state.last_emitted is None or verdict != state.last_emitted:
+            return True
+        if state.ticks_since_exact >= self.stream_config.verify_every:
+            return True
+        margin = self.stream_config.boundary_margin
+        alpha = self.config.alpha
+        if (
+            abs(result.p_value_increase - alpha) <= margin
+            or abs(result.p_value_decrease - alpha) <= margin
+        ):
+            return True
+        sigma = result.detail.get("scale", 0.0)
+        if sigma > 0.0:
+            gate = self.config.min_effect_sigmas * sigma
+            if abs(abs(result.detail.get("hl_shift", 0.0)) - gate) <= (
+                self.stream_config.gate_margin_sigmas * sigma
+            ):
+                return True
+        return False
+
+    def _exact_compare(self, state: _TupleState, t: int) -> Optional[AlgorithmResult]:
+        """Full batch assessment of the tuple at frontier ``t``.
+
+        Identical inputs, seed and code path as the batch campaign task:
+        the result — and therefore every emitted flip — is the batch
+        engine's own.  The exact diagnostics also refill the rolling
+        windows, resyncing any accumulated ULP drift of the fast path.
+        """
+        lo_b = state.pivot - state.t_train
+        after_lo = max(state.pivot, t - state.w)
+        ring = self._ring(state.element_id, state.kpi)
+        yb = ring.window(lo_b, state.pivot)
+        ya = ring.window(after_lo, t)
+        xb = self._control_matrix(state, state.usable, lo_b, state.pivot)
+        xa = self._control_matrix(state, state.usable, after_lo, t)
+        if xb is None or xa is None or np.isnan(yb).any() or np.isnan(ya).any():
+            return None
+        algo = self.algorithm.with_seed(state.seed)
+        result = algo.compare(yb, ya, xb, xa)
+        diag = algo.last_diagnostics
+        if diag is not None:
+            state.before_win = RollingWindow(state.w, diag.forecast_diff_before)
+            state.after_win = RollingWindow(state.w, diag.forecast_diff_after)
+            state.after_valid = True
+        return result
+
+    # -- window gathering ------------------------------------------------
+    def _usable_controls(
+        self, state: _TupleState, lo: int, hi: int
+    ) -> Tuple[ElementId, ...]:
+        usable = []
+        for cid in state.candidates:
+            ring = self._rings.get((cid, state.kpi))
+            if ring is None or not ring.covers(lo, hi):
+                continue
+            if np.isnan(ring.window(lo, hi)).any():
+                continue
+            usable.append(cid)
+        return tuple(usable)
+
+    def _study_window(
+        self, state: _TupleState, lo: int, hi: int
+    ) -> Optional[np.ndarray]:
+        ring = self._rings.get((state.element_id, state.kpi))
+        if ring is None or not ring.covers(lo, hi):
+            return None
+        values = ring.window(lo, hi)
+        if np.isnan(values).any():
+            return None
+        return values
+
+    def _control_matrix(
+        self, state: _TupleState, ids: Sequence[ElementId], lo: int, hi: int
+    ) -> Optional[np.ndarray]:
+        cols = []
+        for cid in ids:
+            ring = self._rings.get((cid, state.kpi))
+            if ring is None or not ring.covers(lo, hi):
+                return None
+            col = ring.window(lo, hi)
+            if np.isnan(col).any():
+                return None
+            cols.append(col)
+        if not cols:
+            return None
+        return np.column_stack(cols)
+
+    def _gather_row(
+        self, state: _TupleState, ids: Sequence[ElementId], index: int
+    ) -> Tuple[np.ndarray, bool]:
+        row = np.empty(len(ids))
+        for j, cid in enumerate(ids):
+            value = self._rings.get((cid, state.kpi))
+            value = value.value_at(index) if value is not None else None
+            if value is None or np.isnan(value):
+                return row, False
+            row[j] = value
+        return row, True
+
+    def _draw_cols(self, state: _TupleState, n_controls: int, train_len: int) -> np.ndarray:
+        """The batch sampler's own column draw, from the tuple's seed."""
+        k = self.algorithm._sample_size(n_controls, train_len)
+        rng = np.random.default_rng(state.seed)
+        base = np.tile(np.arange(n_controls), (self.config.n_iterations, 1))
+        return rng.permuted(base, axis=1)[:, :k]
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def flips(self) -> List[Flip]:
+        """Every flip emitted since construction, in emission order."""
+        with self._lock:
+            return list(self._flips)
+
+    def verdicts(self) -> List[Dict[str, Any]]:
+        """Current verdict snapshot of every tuple."""
+        with self._lock:
+            out = []
+            for st in self._tuples:
+                out.append(
+                    {
+                        "change_id": st.change.change_id,
+                        "element_id": str(st.element_id),
+                        "kpi": st.kpi.value,
+                        "phase": st.phase,
+                        "verdict": st.last_emitted.value if st.last_emitted else None,
+                        "p_value": float(st.last_result.p_value)
+                        if st.last_result is not None
+                        else None,
+                        "failure": st.failure,
+                    }
+                )
+            return out
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational counters for ``/stats`` and ``litmus tail`` footers."""
+        with self._lock:
+            phases: Dict[str, int] = {}
+            kernel = dict(self._kernel_retired)
+            for st in self._tuples:
+                phases[st.phase] = phases.get(st.phase, 0) + 1
+                if st.kernel is not None:
+                    kernel["resyncs"] += st.kernel.resyncs
+                    kernel["conditioning_falls"] += st.kernel.conditioning_falls
+                    kernel["exact_updates"] += st.kernel.exact_updates
+                    kernel["updates"] += st.kernel.updates
+            lat = sorted(self._tick_latencies)
+            def pct(q: float) -> float:
+                if not lat:
+                    return 0.0
+                return lat[min(len(lat) - 1, int(q * len(lat)))]
+            return {
+                "tuples": {"total": len(self._tuples), **phases},
+                "counts": dict(self.counts),
+                "kernel": kernel,
+                "tick_p50_s": pct(0.50),
+                "tick_p99_s": pct(0.99),
+                "series": len(self._rings),
+            }
+
+    def drain(self, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Checkpoint for a graceful shutdown; returns the drain summary.
+
+        ``extra`` rides along in the journaled drain record — ``litmus
+        tail`` stores its log byte offset there so a restart can seek
+        past already-ingested rows instead of re-rejecting them.
+        """
+        with self._lock:
+            summary = {
+                "batches": self.counts["batches"],
+                "flips": self.counts["flips"],
+                "samples": self.counts["samples_accepted"],
+            }
+            summary.update(extra or {})
+            if self.journal is not None:
+                self.journal.append(streamstate.STREAM_DRAIN, summary, sync=True)
+            return summary

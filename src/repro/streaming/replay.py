@@ -1,0 +1,120 @@
+"""Byte-identical stream resume: rebuild, re-ingest, re-derive.
+
+``litmus resume`` on a stream journal directory does not reconstruct
+engine state from snapshots — it *re-runs* the stream.  The engine is
+deterministic (tuple order, seeds, escalation decisions are pure
+functions of inputs, config and the ordered batch sequence), so feeding
+the journaled ``ingest-batch`` records through a freshly built engine
+re-derives exactly the flips the live process emitted, byte for byte.
+That determinism is also the crash-safety argument: the batch record is
+written *ahead* of its flips, so after a torn tail the journaled flips
+are a prefix of the replayed ones — the replay completes what the dead
+process started, and any other relationship is typed divergence.
+
+The replay writes ``flips.jsonl`` (one sorted-keys JSON object per line,
+in emission order) next to the journal — the artifact CI's smoke lane
+compares byte-identically across kill/resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+from ..io import changelog_from_json, load_kpi_backend, read_topology_json
+from ..runstate import streamstate
+from ..runstate.atomic import atomic_write_text
+from ..runstate.journal import JOURNAL_FILE, recover_journal
+from ..runstate.ledger import LedgerDivergence
+from .engine import StreamConfig, StreamEngine
+
+__all__ = ["build_engine", "resume_stream", "write_flips"]
+
+
+def build_engine(
+    spec: streamstate.StreamSpec, journal=None, store_backend: str = "auto"
+) -> StreamEngine:
+    """Construct (and backfill) the engine a spec describes.
+
+    Used by both the live ``litmus tail`` start-up and the replay — one
+    construction path is what makes the two byte-comparable.
+    """
+    topology = read_topology_json(spec.topology)
+    change_log = changelog_from_json(Path(spec.changes).read_text())
+    stream_config = StreamConfig.from_dict(spec.stream)
+    freq = int(spec.stream.get("freq", 1))
+    engine = StreamEngine(
+        topology,
+        change_log,
+        config=spec.litmus_config(),
+        stream_config=stream_config,
+        freq=freq,
+        journal=journal,
+    )
+    if spec.kpis:
+        engine.backfill(load_kpi_backend(spec.kpis, backend=store_backend))
+    return engine
+
+
+def write_flips(directory: str, flips) -> str:
+    """Write the verdict-flip log: sorted-keys JSONL, emission order."""
+    lines = [json.dumps(f if isinstance(f, dict) else f.to_dict(), sort_keys=True) for f in flips]
+    path = os.path.join(directory, streamstate.FLIPS_FILE)
+    atomic_write_text(path, "".join(line + "\n" for line in lines))
+    return path
+
+
+def resume_stream(
+    directory: str,
+    progress: Optional[Callable[[str], None]] = None,
+    store_backend: str = "auto",
+) -> Dict[str, Any]:
+    """Replay a stream journal directory to its byte-identical flip log.
+
+    Verifies lineage (config SHA-256 + root seed pinned by the
+    ``stream-begin`` record), re-ingests every journaled batch without
+    re-journaling, checks the journaled flips are a prefix of the
+    re-derived stream, and writes ``flips.jsonl``.  Raises
+    :class:`~repro.runstate.ledger.LedgerDivergence` when the journal was
+    written by a different run or the replay disagrees with it.
+    """
+    say = progress or (lambda _msg: None)
+    spec = streamstate.StreamSpec.load(directory)
+    report = recover_journal(os.path.join(directory, JOURNAL_FILE), truncate=False)
+    expected = streamstate.verify_stream_lineage(
+        report.records,
+        config_sha256=spec.config_sha256,
+        root_seed=spec.config.get("seed"),
+    )
+    if expected is not None and report.records:
+        raise LedgerDivergence(
+            f"{directory}: journal has records but no stream-begin — "
+            f"not a stream journal this code can replay"
+        )
+    batches = streamstate.ingest_batches(report.records)
+    journaled = streamstate.flip_payloads(report.records)
+    say(f"replaying {len(batches)} journaled batch(es)")
+    engine = build_engine(spec, journal=None, store_backend=store_backend)
+    for samples in batches:
+        engine.ingest(samples, journal=False)
+    replayed = [flip.to_dict() for flip in engine.flips]
+    want = [json.dumps(f, sort_keys=True) for f in journaled]
+    got = [json.dumps(f, sort_keys=True) for f in replayed]
+    if got[: len(want)] != want:
+        raise LedgerDivergence(
+            f"{directory}: replay diverged from the journaled flip stream "
+            f"({len(want)} journaled, {len(got)} replayed) — the inputs or "
+            f"code differ from the run that wrote this journal"
+        )
+    flips_path = write_flips(directory, replayed)
+    say(f"{len(replayed)} flip(s) re-derived ({len(want)} were journaled)")
+    return {
+        "n_batches": len(batches),
+        "n_flips": len(replayed),
+        "n_journaled_flips": len(want),
+        "flips_path": flips_path,
+        "truncated_tail": report.truncated,
+        "stats": engine.stats(),
+    }

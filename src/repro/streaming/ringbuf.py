@@ -1,0 +1,137 @@
+"""Per-series ring buffers behind the streaming ingest path.
+
+Each ``(element, KPI)`` series the engine monitors gets a fixed-capacity
+:class:`SeriesRing` on the global sample axis (the same axis
+:class:`~repro.stats.timeseries.TimeSeries` uses).  Samples append at
+the frontier; gaps are admitted as NaN placeholders (a tuple whose
+active window still holds NaN is held, never evaluated on fabricated
+data); out-of-order and duplicate samples are typed rejects so a
+misbehaving feed cannot silently rewrite history the incremental
+statistics already consumed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+__all__ = ["SeriesRing", "RingRejection"]
+
+
+class RingRejection(ValueError):
+    """A sample the ring cannot admit, with a typed reason.
+
+    ``reason`` is one of ``out-of-order`` (index before the frontier —
+    history is immutable once ingested), ``non-finite`` (NaN/inf payload)
+    or ``gap-too-large`` (the implied NaN fill would flush the whole
+    window, which always indicates a broken feed rather than data).
+    """
+
+    def __init__(self, reason: str, detail: str) -> None:
+        super().__init__(f"{reason}: {detail}")
+        self.reason = reason
+        self.detail = detail
+
+
+class SeriesRing:
+    """Fixed-capacity sliding history of one KPI series.
+
+    ``capacity`` bounds memory per series; ``start``/``end`` delimit the
+    retained index range on the global sample axis (``end`` is the
+    frontier — one past the newest sample).  Appending beyond capacity
+    retires the oldest samples; :meth:`window` materialises any retained
+    ``[lo, hi)`` range in time order.
+    """
+
+    __slots__ = ("_buf", "_start", "_end", "freq")
+
+    def __init__(self, capacity: int, start: int = 0, freq: int = 1) -> None:
+        capacity = int(capacity)
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if freq < 1:
+            raise ValueError(f"freq must be >= 1, got {freq}")
+        self._buf = np.full(capacity, np.nan)
+        self._start = int(start)
+        self._end = int(start)
+        self.freq = int(freq)
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return int(self._buf.size)
+
+    @property
+    def start(self) -> int:
+        """Oldest retained global index."""
+        return self._start
+
+    @property
+    def end(self) -> int:
+        """The frontier: one past the newest ingested global index."""
+        return self._end
+
+    def __len__(self) -> int:
+        return self._end - self._start
+
+    # ------------------------------------------------------------------
+    def append(self, index: int, value: float) -> int:
+        """Ingest one sample at global ``index``; returns NaN gap size.
+
+        ``index`` must be at or past the frontier: at it, the sample
+        extends the series contiguously; past it, the skipped range is
+        filled with NaN (returned as the gap size) so the time axis stays
+        regular and downstream window checks can see the hole.  Behind
+        the frontier raises :class:`RingRejection` — ingested history is
+        immutable.
+        """
+        index = int(index)
+        value = float(value)
+        if not math.isfinite(value):
+            raise RingRejection("non-finite", f"value {value!r} at index {index}")
+        if index < self._end:
+            raise RingRejection(
+                "out-of-order",
+                f"index {index} is behind the frontier {self._end}",
+            )
+        gap = index - self._end
+        if gap >= self.capacity:
+            raise RingRejection(
+                "gap-too-large",
+                f"index {index} implies a {gap}-sample gap "
+                f"(>= capacity {self.capacity})",
+            )
+        for i in range(self._end, index):
+            self._buf[i % self.capacity] = np.nan
+        self._buf[index % self.capacity] = value
+        self._end = index + 1
+        self._start = max(self._start, self._end - self.capacity)
+        return gap
+
+    def window(self, lo: int, hi: int) -> np.ndarray:
+        """Time-ordered copy of the retained ``[lo, hi)`` global range.
+
+        Raises when the range reaches outside what the ring retains —
+        silently padding would fabricate measurements.
+        """
+        lo, hi = int(lo), int(hi)
+        if lo < self._start or hi > self._end or lo > hi:
+            raise ValueError(
+                f"window [{lo}, {hi}) outside retained range "
+                f"[{self._start}, {self._end})"
+            )
+        idx = np.arange(lo, hi) % self.capacity
+        return self._buf[idx].copy()
+
+    def covers(self, lo: int, hi: int) -> bool:
+        """True when ``[lo, hi)`` lies inside the retained range."""
+        return self._start <= int(lo) and int(hi) <= self._end and int(lo) <= int(hi)
+
+    def value_at(self, index: int) -> Union[float, None]:
+        """The retained sample at ``index`` (None outside the ring; may be NaN)."""
+        index = int(index)
+        if not (self._start <= index < self._end):
+            return None
+        return float(self._buf[index % self.capacity])

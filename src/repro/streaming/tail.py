@@ -1,0 +1,189 @@
+"""``litmus tail``: follow a KPI append log into the streaming engine.
+
+A carrier's telemetry pipeline appends long-form measurement rows
+(``element_id,kpi,day,value`` — the :mod:`repro.io.csv_store` format) to
+a log file; :class:`CsvFollower` turns that file into sample batches the
+:class:`~repro.streaming.engine.StreamEngine` can ingest:
+
+* only *complete* lines are consumed — a partially flushed trailing line
+  stays buffered until the writer finishes it, so a tail never parses a
+  torn row;
+* the follower is position-based and restartable: it remembers the byte
+  offset of the first unconsumed line, and a shrunken file (truncation,
+  log rotation) is a typed :class:`TailTruncated` error rather than a
+  silent re-read of rewritten history;
+* malformed rows are typed rejects carried in the poll result — one bad
+  exporter row must not stop the stream.
+
+:func:`follow` is the run loop behind the CLI: poll, batch, ingest,
+report, sleep — until the stop event fires (SIGTERM/SIGINT in the CLI),
+then drain the engine so the journal ends on a clean marker.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .engine import StreamEngine, TickReport
+
+__all__ = ["CsvFollower", "TailTruncated", "follow"]
+
+#: The long-form CSV header (consumed, never parsed as data).
+_HEADER = "element_id,kpi,day,value"
+
+
+class TailTruncated(RuntimeError):
+    """The followed file shrank below the consumed offset.
+
+    History already ingested can never be re-read — a rotated or
+    truncated log must restart the stream explicitly (new journal
+    directory), not silently replay rewritten rows into live state.
+    """
+
+    def __init__(self, path: str, offset: int, size: int) -> None:
+        super().__init__(
+            f"{path}: shrank to {size} bytes below consumed offset {offset} "
+            f"(log rotated or truncated?)"
+        )
+        self.path = path
+        self.offset = offset
+        self.size = size
+
+
+class CsvFollower:
+    """Incremental reader of an append-only long-form KPI CSV.
+
+    ``freq`` is learned from the log's ``# freq=N`` comment when present
+    (must agree with an explicitly passed value); rows arrive as
+    ``[element_id, kpi, day, value]`` sample lists in file order.
+    """
+
+    def __init__(self, path: str, freq: Optional[int] = None) -> None:
+        self.path = os.fspath(path)
+        self.offset = 0
+        self.line_no = 0
+        self.freq = freq
+        self._partial = ""
+        self._header_seen = False
+
+    def poll(self) -> Tuple[List[list], List[Tuple[int, str]]]:
+        """Consume newly appended complete lines.
+
+        Returns ``(samples, rejects)`` — rejects are ``(1-based line
+        number, reason)`` pairs.  A missing file polls empty (the
+        exporter may not have created it yet).
+        """
+        try:
+            size = os.path.getsize(self.path)
+        except FileNotFoundError:
+            return [], []
+        if size < self.offset:
+            raise TailTruncated(self.path, self.offset, size)
+        if size == self.offset:
+            return [], []
+        with open(self.path, "r", newline="") as handle:
+            handle.seek(self.offset)
+            chunk = handle.read()
+            self.offset = handle.tell()
+        text = self._partial + chunk
+        lines = text.split("\n")
+        # The last split element is the (possibly empty) unfinished line.
+        self._partial = lines.pop()
+        samples: List[list] = []
+        rejects: List[Tuple[int, str]] = []
+        for line in lines:
+            self.line_no += 1
+            row = line.strip()
+            if not row:
+                continue
+            if row.startswith("#"):
+                self._comment(row, rejects)
+                continue
+            if row == _HEADER:
+                self._header_seen = True
+                continue
+            parts = row.split(",")
+            if len(parts) != 4:
+                rejects.append((self.line_no, f"expected 4 fields, got {len(parts)}"))
+                continue
+            element_id, kpi, day, value = (p.strip() for p in parts)
+            try:
+                samples.append([element_id, kpi, int(day), float(value)])
+            except ValueError as exc:
+                rejects.append((self.line_no, str(exc)))
+        return samples, rejects
+
+    def _comment(self, row: str, rejects: List[Tuple[int, str]]) -> None:
+        token = next(
+            (t for t in row.lstrip("#").split() if t.startswith("freq=")), None
+        )
+        if token is None:
+            return
+        try:
+            freq = int(token[len("freq="):])
+        except ValueError:
+            rejects.append((self.line_no, f"unparseable freq comment {row!r}"))
+            return
+        if self.freq is not None and freq != self.freq:
+            rejects.append(
+                (self.line_no, f"log declares freq={freq}, stream runs freq={self.freq}")
+            )
+            return
+        self.freq = freq
+
+
+def follow(
+    engine: StreamEngine,
+    follower: CsvFollower,
+    stop: threading.Event,
+    *,
+    poll_s: float = 1.0,
+    once: bool = False,
+    batch_rows: int = 512,
+    on_report: Optional[Callable[[TickReport], None]] = None,
+) -> Dict[str, Any]:
+    """Pump the follower into the engine until ``stop`` fires.
+
+    ``once`` drains whatever the log currently holds and returns without
+    sleeping (the batch/CI mode); ``batch_rows`` caps samples per
+    journaled ingest batch so a large backlog replays in bounded-size
+    records.  Always drains the engine on the way out; returns the drain
+    summary extended with follower position and reject tally.
+    """
+    rejects = 0
+    try:
+        while not stop.is_set():
+            samples, bad = follower.poll()
+            if bad:
+                rejects += len(bad)
+                _count_rejects(engine, len(bad))
+            for lo in range(0, len(samples), batch_rows):
+                report = engine.ingest(samples[lo : lo + batch_rows])
+                if on_report is not None:
+                    on_report(report)
+                if stop.is_set():
+                    break
+            if once and not samples:
+                break
+            if not samples:
+                stop.wait(poll_s)
+    finally:
+        summary = engine.drain(
+            {
+                "log_offset": follower.offset,
+                "log_lines": follower.line_no,
+                "malformed_rows": rejects,
+            }
+        )
+    return summary
+
+
+def _count_rejects(engine: StreamEngine, n: int) -> None:
+    """Account malformed log rows on the engine's reject counters."""
+    from ..obs.metrics import get_metrics
+
+    engine.counts["samples_rejected"] += n
+    get_metrics().counter("stream.samples_rejected").inc(n)

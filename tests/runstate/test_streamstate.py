@@ -1,0 +1,124 @@
+"""Stream spec + journal record bookkeeping (repro.runstate.streamstate)."""
+
+import pytest
+
+from repro.core.config import LitmusConfig
+from repro.runstate.journal import JournalRecord
+from repro.runstate.ledger import LedgerDivergence
+from repro.runstate.streamstate import (
+    INGEST_BATCH,
+    STREAM_BEGIN,
+    STREAM_FILE,
+    VERDICT_FLIP,
+    StreamSpec,
+    flip_payloads,
+    ingest_batches,
+    verify_stream_lineage,
+)
+
+
+def _spec(tmp_path, **kwargs):
+    (tmp_path / "topology.json").write_text("{}")
+    (tmp_path / "changes.json").write_text("[]")
+    return StreamSpec.build(
+        str(tmp_path / "topology.json"),
+        str(tmp_path / "changes.json"),
+        **kwargs,
+    )
+
+
+class TestStreamSpec:
+    def test_save_load_round_trip(self, tmp_path):
+        spec = _spec(
+            tmp_path,
+            config=LitmusConfig(window_days=7),
+            stream={"horizon_days": 10, "freq": 2},
+            argv=["litmus", "tail", "log.csv"],
+        )
+        spec.save(str(tmp_path))
+        assert (tmp_path / STREAM_FILE).exists()
+        loaded = StreamSpec.load(str(tmp_path))
+        assert loaded == spec
+        assert loaded.argv == ("litmus", "tail", "log.csv")
+        assert loaded.stream == {"horizon_days": 10, "freq": 2}
+
+    def test_paths_are_absolutized(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "topology.json").write_text("{}")
+        (tmp_path / "changes.json").write_text("[]")
+        spec = StreamSpec.build("topology.json", "changes.json")
+        assert spec.topology == str(tmp_path / "topology.json")
+        assert spec.kpis == ""  # empty stays empty, not absolutized
+
+    def test_litmus_config_round_trips(self, tmp_path):
+        config = LitmusConfig(window_days=7, alpha=0.01)
+        spec = _spec(tmp_path, config=config)
+        assert spec.litmus_config() == config
+
+    def test_config_sha_pins_config(self, tmp_path):
+        a = _spec(tmp_path, config=LitmusConfig())
+        b = _spec(tmp_path, config=LitmusConfig(alpha=0.01))
+        assert a.config_sha256 != b.config_sha256
+        assert a.config_sha256 == _spec(tmp_path, config=LitmusConfig()).config_sha256
+
+    def test_from_dict_ignores_unknown_keys(self, tmp_path):
+        spec = _spec(tmp_path)
+        data = spec.to_dict()
+        data["future-field"] = 42
+        assert StreamSpec.from_dict(data) == spec
+
+    def test_load_rejects_non_object(self, tmp_path):
+        (tmp_path / STREAM_FILE).write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="JSON object"):
+            StreamSpec.load(str(tmp_path))
+
+
+class TestLineage:
+    def test_empty_journal_returns_expected_begin(self):
+        expected = verify_stream_lineage([], config_sha256="abc", root_seed=7)
+        assert expected == {"config_sha256": "abc", "root_seed": 7}
+
+    def test_matching_begin_returns_none(self):
+        begin = JournalRecord(1, STREAM_BEGIN, {"config_sha256": "abc", "root_seed": 7})
+        assert verify_stream_lineage([begin], config_sha256="abc", root_seed=7) is None
+
+    def test_mismatch_raises_typed_divergence(self):
+        begin = JournalRecord(1, STREAM_BEGIN, {"config_sha256": "abc", "root_seed": 7})
+        with pytest.raises(LedgerDivergence, match="different run"):
+            verify_stream_lineage([begin], config_sha256="OTHER", root_seed=7)
+        with pytest.raises(LedgerDivergence, match="root_seed"):
+            verify_stream_lineage([begin], config_sha256="abc", root_seed=8)
+
+
+class TestRecordExtraction:
+    def test_ingest_batches_in_order(self):
+        records = [
+            JournalRecord(1, STREAM_BEGIN, {"config_sha256": "x", "root_seed": 1}),
+            JournalRecord(2, INGEST_BATCH, {"batch": 1, "samples": [["a", "k", 0, 1.0]]}),
+            JournalRecord(3, VERDICT_FLIP, {"flip": {"seq": 1}}),
+            JournalRecord(4, INGEST_BATCH, {"batch": 2, "samples": [["a", "k", 1, 2.0]]}),
+        ]
+        assert ingest_batches(records) == [
+            [["a", "k", 0, 1.0]],
+            [["a", "k", 1, 2.0]],
+        ]
+
+    def test_flip_payloads_in_order(self):
+        records = [
+            JournalRecord(1, VERDICT_FLIP, {"flip": {"seq": 1, "verdict": "degradation"}}),
+            JournalRecord(2, INGEST_BATCH, {"batch": 1, "samples": []}),
+            JournalRecord(3, VERDICT_FLIP, {"flip": {"seq": 2, "verdict": "no-impact"}}),
+        ]
+        assert flip_payloads(records) == [
+            {"seq": 1, "verdict": "degradation"},
+            {"seq": 2, "verdict": "no-impact"},
+        ]
+
+    def test_malformed_payloads_skipped(self):
+        records = [
+            JournalRecord(1, INGEST_BATCH, {"batch": 1}),  # no samples
+            JournalRecord(2, INGEST_BATCH, {"samples": "not-a-list"}),
+            JournalRecord(3, VERDICT_FLIP, {"flip": "not-a-dict"}),
+        ]
+        assert ingest_batches(records) == []
+        assert flip_payloads(records) == []

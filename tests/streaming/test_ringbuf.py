@@ -1,0 +1,111 @@
+"""Tests for repro.streaming.ringbuf."""
+
+import numpy as np
+import pytest
+
+from repro.streaming.ringbuf import RingRejection, SeriesRing
+
+
+class TestAppend:
+    def test_contiguous_appends(self):
+        ring = SeriesRing(8)
+        for i in range(5):
+            assert ring.append(i, float(i)) == 0
+        assert ring.start == 0 and ring.end == 5
+        assert np.array_equal(ring.window(0, 5), np.arange(5.0))
+
+    def test_gap_fills_nan_and_returns_size(self):
+        ring = SeriesRing(8)
+        ring.append(0, 1.0)
+        assert ring.append(3, 4.0) == 2
+        window = ring.window(0, 4)
+        assert window[0] == 1.0 and window[3] == 4.0
+        assert np.isnan(window[1]) and np.isnan(window[2])
+
+    def test_out_of_order_rejected(self):
+        ring = SeriesRing(8)
+        ring.append(0, 1.0)
+        ring.append(1, 2.0)
+        with pytest.raises(RingRejection) as exc:
+            ring.append(1, 9.0)
+        assert exc.value.reason == "out-of-order"
+
+    def test_non_finite_rejected(self):
+        ring = SeriesRing(8)
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(RingRejection) as exc:
+                ring.append(0, bad)
+            assert exc.value.reason == "non-finite"
+        assert len(ring) == 0  # nothing was admitted
+
+    def test_gap_beyond_capacity_rejected(self):
+        ring = SeriesRing(4)
+        ring.append(0, 1.0)
+        with pytest.raises(RingRejection) as exc:
+            ring.append(5, 1.0)  # gap of 4 >= capacity 4
+        assert exc.value.reason == "gap-too-large"
+        assert ring.end == 1  # frontier unchanged by the reject
+
+    def test_capacity_eviction(self):
+        ring = SeriesRing(4)
+        for i in range(10):
+            ring.append(i, float(i))
+        assert ring.start == 6 and ring.end == 10
+        assert np.array_equal(ring.window(6, 10), np.arange(6.0, 10.0))
+
+    def test_start_offset(self):
+        ring = SeriesRing(4, start=100)
+        ring.append(100, 7.0)
+        assert ring.start == 100 and ring.end == 101
+
+
+class TestWindow:
+    def test_wraparound_is_time_ordered(self):
+        ring = SeriesRing(4)
+        for i in range(7):  # head wraps past the physical end twice
+            ring.append(i, float(i))
+        assert np.array_equal(ring.window(3, 7), np.arange(3.0, 7.0))
+
+    def test_outside_retained_range_raises(self):
+        ring = SeriesRing(4)
+        for i in range(6):
+            ring.append(i, float(i))
+        with pytest.raises(ValueError, match="outside retained range"):
+            ring.window(0, 4)  # indices 0..1 already evicted
+        with pytest.raises(ValueError, match="outside retained range"):
+            ring.window(4, 7)  # 6 is past the frontier
+
+    def test_window_is_a_copy(self):
+        ring = SeriesRing(4)
+        ring.append(0, 1.0)
+        window = ring.window(0, 1)
+        window[0] = 99.0
+        assert ring.value_at(0) == 1.0
+
+    def test_covers(self):
+        ring = SeriesRing(4)
+        for i in range(6):
+            ring.append(i, float(i))
+        assert ring.covers(2, 6)
+        assert not ring.covers(1, 6)
+        assert not ring.covers(2, 7)
+
+    def test_value_at(self):
+        ring = SeriesRing(4)
+        ring.append(0, 1.0)
+        ring.append(2, 3.0)
+        assert ring.value_at(0) == 1.0
+        assert np.isnan(ring.value_at(1))  # the gap fill
+        assert ring.value_at(2) == 3.0
+        assert ring.value_at(3) is None
+        assert ring.value_at(-1) is None
+
+
+class TestValidation:
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SeriesRing(0)
+
+    def test_freq_positive(self):
+        with pytest.raises(ValueError, match="freq"):
+            SeriesRing(4, freq=0)

@@ -1,0 +1,172 @@
+"""CSV log following (repro.streaming.tail)."""
+
+import threading
+
+import pytest
+
+from repro.streaming.engine import TickReport
+from repro.streaming.tail import CsvFollower, TailTruncated, follow
+
+
+class FakeEngine:
+    """Records ingested batches; quacks like StreamEngine for follow()."""
+
+    def __init__(self):
+        self.batches = []
+        self.counts = {"samples_rejected": 0}
+        self.drained = None
+
+    def ingest(self, samples, journal=True):
+        self.batches.append(list(samples))
+        return TickReport(batch=len(self.batches), accepted=len(samples))
+
+    def drain(self, extra=None):
+        self.drained = {"batches": len(self.batches), **(extra or {})}
+        return self.drained
+
+
+class TestCsvFollower:
+    def test_parses_complete_rows(self, tmp_path):
+        log = tmp_path / "kpis.csv"
+        log.write_text(
+            "element_id,kpi,day,value\n"
+            "rnc-0,voice-retainability,0,0.97\n"
+            "rnc-0,voice-retainability,1,0.98\n"
+        )
+        follower = CsvFollower(str(log))
+        samples, rejects = follower.poll()
+        assert samples == [
+            ["rnc-0", "voice-retainability", 0, 0.97],
+            ["rnc-0", "voice-retainability", 1, 0.98],
+        ]
+        assert rejects == []
+        assert follower.line_no == 3
+
+    def test_partial_trailing_line_buffered(self, tmp_path):
+        log = tmp_path / "kpis.csv"
+        log.write_text("a,k,0,1.0\nb,k,0,2")  # second row not newline-terminated
+        follower = CsvFollower(str(log))
+        samples, _ = follower.poll()
+        assert samples == [["a", "k", 0, 1.0]]
+        with open(log, "a") as handle:
+            handle.write(".5\nc,k,0,3.0\n")
+        samples, _ = follower.poll()
+        assert samples == [["b", "k", 0, 2.5], ["c", "k", 0, 3.0]]
+
+    def test_freq_comment_learned(self, tmp_path):
+        log = tmp_path / "kpis.csv"
+        log.write_text("# litmus-kpi-export freq=4\nelement_id,kpi,day,value\n")
+        follower = CsvFollower(str(log))
+        follower.poll()
+        assert follower.freq == 4
+
+    def test_freq_comment_mismatch_rejected(self, tmp_path):
+        log = tmp_path / "kpis.csv"
+        log.write_text("# freq=4\n")
+        follower = CsvFollower(str(log), freq=1)
+        _, rejects = follower.poll()
+        assert len(rejects) == 1
+        assert "freq=4" in rejects[0][1]
+        assert follower.freq == 1  # explicit value wins
+
+    def test_malformed_rows_are_typed_rejects(self, tmp_path):
+        log = tmp_path / "kpis.csv"
+        log.write_text(
+            "a,k,0,1.0\n"
+            "only,three,fields\n"
+            "a,k,notanint,1.0\n"
+            "a,k,1,notafloat\n"
+            "a,k,1,2.0\n"
+        )
+        follower = CsvFollower(str(log))
+        samples, rejects = follower.poll()
+        assert samples == [["a", "k", 0, 1.0], ["a", "k", 1, 2.0]]
+        assert [line for line, _ in rejects] == [2, 3, 4]
+        assert "expected 4 fields" in rejects[0][1]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        log = tmp_path / "kpis.csv"
+        log.write_text("\n  \na,k,0,1.0\n")
+        samples, rejects = CsvFollower(str(log)).poll()
+        assert samples == [["a", "k", 0, 1.0]]
+        assert rejects == []
+
+    def test_missing_file_polls_empty(self, tmp_path):
+        follower = CsvFollower(str(tmp_path / "not-yet.csv"))
+        assert follower.poll() == ([], [])
+
+    def test_truncation_is_typed(self, tmp_path):
+        log = tmp_path / "kpis.csv"
+        log.write_text("a,k,0,1.0\na,k,1,2.0\n")
+        follower = CsvFollower(str(log))
+        follower.poll()
+        log.write_text("a,k,0,1.0\n")  # the log shrank
+        with pytest.raises(TailTruncated) as exc:
+            follower.poll()
+        assert exc.value.offset > exc.value.size
+
+    def test_restart_from_offset(self, tmp_path):
+        log = tmp_path / "kpis.csv"
+        log.write_text("a,k,0,1.0\n")
+        first = CsvFollower(str(log))
+        first.poll()
+        with open(log, "a") as handle:
+            handle.write("a,k,1,2.0\n")
+        second = CsvFollower(str(log))
+        second.offset = first.offset  # what a resume seeks to
+        samples, _ = second.poll()
+        assert samples == [["a", "k", 1, 2.0]]
+
+
+class TestFollow:
+    def test_once_drains_log_and_engine(self, tmp_path):
+        log = tmp_path / "kpis.csv"
+        log.write_text("a,k,0,1.0\nbad-row\na,k,1,2.0\n")
+        engine = FakeEngine()
+        follower = CsvFollower(str(log))
+        summary = follow(
+            engine, follower, threading.Event(), once=True, poll_s=0.01
+        )
+        assert engine.batches == [[["a", "k", 0, 1.0], ["a", "k", 1, 2.0]]]
+        assert engine.counts["samples_rejected"] == 1
+        assert summary["malformed_rows"] == 1
+        assert summary["log_offset"] == log.stat().st_size
+        assert summary["log_lines"] == 3
+        assert engine.drained == summary  # drain always runs on the way out
+
+    def test_batch_rows_chunks_backlog(self, tmp_path):
+        log = tmp_path / "kpis.csv"
+        log.write_text("".join(f"a,k,{i},1.0\n" for i in range(5)))
+        engine = FakeEngine()
+        reports = []
+        follow(
+            engine,
+            CsvFollower(str(log)),
+            threading.Event(),
+            once=True,
+            batch_rows=2,
+            on_report=reports.append,
+        )
+        assert [len(b) for b in engine.batches] == [2, 2, 1]
+        assert len(reports) == 3
+
+    def test_stop_event_breaks_loop(self, tmp_path):
+        log = tmp_path / "kpis.csv"
+        log.write_text("a,k,0,1.0\n")
+        engine = FakeEngine()
+        stop = threading.Event()
+        stop.set()
+        summary = follow(engine, CsvFollower(str(log)), stop, poll_s=0.01)
+        assert engine.batches == []  # stopped before the first poll
+        assert engine.drained == summary
+
+    def test_drains_even_when_poll_raises(self, tmp_path):
+        log = tmp_path / "kpis.csv"
+        log.write_text("a,k,0,1.0\na,k,1,2.0\n")
+        engine = FakeEngine()
+        follower = CsvFollower(str(log))
+        follower.poll()
+        log.write_text("")  # force TailTruncated inside the loop
+        with pytest.raises(TailTruncated):
+            follow(engine, follower, threading.Event(), once=True)
+        assert engine.drained is not None

@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""End-to-end SIGTERM smoke for the `litmus tail` streaming pipeline.
+
+Drives the real CLI as subprocesses, the way an operator would:
+
+1. ``litmus simulate`` writes a synthetic deployment (two changes at
+   day 85, one improvement and one regression);
+2. the KPI CSV is split at the change day: the pre-change rows become
+   the backfill store, the post-change rows are held back as the live
+   feed;
+3. ``litmus tail --journal`` follows an (initially empty) append log;
+   the held-back rows are appended in chunks while it runs, and the
+   engine must print at least one verdict flip;
+4. SIGTERM lands mid-stream — the tail must drain cleanly, write
+   ``flips.jsonl``, point at ``litmus resume`` and exit with the
+   checkpoint code (75);
+5. ``litmus resume`` replays the journal and must re-derive a
+   byte-identical ``flips.jsonl``; a second resume is idempotent.
+
+Run from the repository root:
+
+    python tools/smoke_stream.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+ENV = {**os.environ, "PYTHONPATH": str(ROOT / "src")}
+CLI = [sys.executable, "-m", "repro.cli"]
+EXIT_CHECKPOINTED = 75
+CHANGE_DAY = 85
+N_CHUNKS = 4
+
+
+def run_cli(*args, check=True):
+    proc = subprocess.run(
+        [*CLI, *args], env=ENV, capture_output=True, text=True, timeout=300
+    )
+    if check and proc.returncode != 0:
+        raise RuntimeError(
+            f"litmus {' '.join(args)} exited {proc.returncode}:\n"
+            f"{proc.stdout}{proc.stderr}"
+        )
+    return proc
+
+
+def split_at_change_day(csv_path: Path, backfill_path: Path):
+    """Pre-change rows -> backfill CSV; post-change rows -> the live feed."""
+    header, post = [], []
+    with open(backfill_path, "w") as backfill:
+        for line in csv_path.read_text().splitlines():
+            if not line or line.startswith("#") or line.startswith("element_id"):
+                header.append(line)
+                backfill.write(line + "\n")
+                continue
+            if int(line.split(",")[2]) < CHANGE_DAY:
+                backfill.write(line + "\n")
+            else:
+                post.append(line)
+    assert post, f"no rows at or after day {CHANGE_DAY} in {csv_path}"
+    return header, post
+
+
+def wait_until(predicate, timeout_s, what):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise RuntimeError(f"timed out waiting for {what}")
+
+
+def main() -> int:
+    world = Path(tempfile.mkdtemp(prefix="smoke-stream-world-"))
+    journal = Path(tempfile.mkdtemp(prefix="smoke-stream-journal-"))
+
+    print("== simulate world ==", flush=True)
+    run_cli("simulate", str(world), "--seed", "7")
+
+    print(f"== split KPI log at change day {CHANGE_DAY} ==", flush=True)
+    header, post = split_at_change_day(world / "kpis.csv", world / "backfill.csv")
+    log = world / "live.csv"
+    log.write_text("\n".join(header) + "\n")
+    print(f"  {len(post)} post-change rows held back", flush=True)
+
+    print("== start tail ==", flush=True)
+    tail = subprocess.Popen(
+        [
+            *CLI,
+            "tail",
+            str(log),
+            "--topology", str(world / "topology.json"),
+            "--changes", str(world / "changes.json"),
+            "--kpis", str(world / "backfill.csv"),
+            "--journal", str(journal),
+            "--poll-s", "0.1",
+            "--horizon-days", "20",
+            "--verify-every", "8",
+        ],
+        env=ENV,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    lines: list[str] = []
+    reader = threading.Thread(
+        target=lambda: lines.extend(iter(tail.stdout.readline, "")), daemon=True
+    )
+    reader.start()
+    try:
+        print(f"== feed {N_CHUNKS} chunks, wait for a flip ==", flush=True)
+        step = (len(post) + N_CHUNKS - 1) // N_CHUNKS
+        for i in range(0, len(post), step):
+            with open(log, "a") as handle:
+                handle.write("\n".join(post[i : i + step]) + "\n")
+            time.sleep(0.3)
+        wait_until(
+            lambda: any(l.startswith("flip ") for l in lines), 120.0, "a verdict flip"
+        )
+        n_live_flips = sum(l.startswith("flip ") for l in lines)
+        print(f"  {n_live_flips} flip(s) streamed", flush=True)
+
+        print("== SIGTERM mid-stream ==", flush=True)
+        tail.send_signal(signal.SIGTERM)
+        tail.wait(timeout=120)
+        reader.join(timeout=10)
+        out = "".join(lines)
+        print(out, flush=True)
+        assert tail.returncode == EXIT_CHECKPOINTED, tail.returncode
+        assert f"resume with: litmus resume {journal}" in out, out
+        assert "drained:" in out, out
+    finally:
+        if tail.poll() is None:
+            tail.kill()
+
+    flips_path = journal / "flips.jsonl"
+    live_bytes = flips_path.read_bytes()
+    assert live_bytes, "live run wrote an empty flips.jsonl"
+    assert live_bytes.count(b"\n") >= n_live_flips, live_bytes
+
+    print("== resume: replay must be byte-identical ==", flush=True)
+    resumed = run_cli("resume", str(journal))
+    assert "stream resume:" in resumed.stdout, resumed.stdout
+    assert flips_path.read_bytes() == live_bytes, "replayed flips.jsonl diverged"
+
+    again = run_cli("resume", str(journal))
+    assert flips_path.read_bytes() == live_bytes, "second resume diverged"
+    print("SMOKE PASS", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
