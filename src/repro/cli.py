@@ -8,6 +8,7 @@ end-to-end FFA assessment on a synthetic network and prints the report.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -163,7 +164,37 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign.json / service.json / shard.json / stream.json)",
     )
     resume.add_argument("directory", help="directory written by --journal")
+    resume.add_argument(
+        "--fsck",
+        action="store_true",
+        help="run `litmus fsck` (repairing) on the directory first; abort "
+        "the resume if unrecoverable damage is found",
+    )
     _add_obs_arguments(resume)
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="scan a journal directory (campaign/service/shard/stream) or "
+        "columnar KPI store for state damage and repair what is safely "
+        "repairable (exit 0=clean, 1=repaired, 2=unrecoverable)",
+    )
+    fsck.add_argument("directory", help="state directory to scan")
+    fsck.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="classify findings without touching the disk",
+    )
+    fsck.add_argument(
+        "--fast",
+        action="store_true",
+        help="skip payload re-hashing (structural and CRC checks only)",
+    )
+    fsck.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the full report as JSON instead of text",
+    )
 
     shard = sub.add_parser(
         "shard",
@@ -664,11 +695,64 @@ def _ensure_dir(directory: str) -> bool:
     return True
 
 
+def _cmd_fsck(
+    directory: str,
+    dry_run: bool = False,
+    fast: bool = False,
+    as_json: bool = False,
+) -> int:
+    """Scan + repair one state directory; exit 0/1/2 (clean/repaired/unrecoverable)."""
+    from .integrity.fsck import fsck_directory
+    from .runstate.layout import ResumeLayoutError
+
+    try:
+        report = fsck_directory(
+            directory,
+            repair=not dry_run,
+            deep=not fast,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        )
+    except ResumeLayoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text(), end="")
+    return report.exit_code
+
+
 def _cmd_resume(
-    directory: str, trace_dir: Optional[str] = None, show_metrics: bool = False
+    directory: str,
+    trace_dir: Optional[str] = None,
+    show_metrics: bool = False,
+    fsck_first: bool = False,
 ) -> int:
     from .runstate.campaign import CampaignSpec
     from .runstate.layout import ResumeLayoutError, detect_resume_layout
+
+    if fsck_first:
+        from .integrity.fsck import EXIT_UNRECOVERABLE, fsck_directory
+
+        try:
+            fsck_report = fsck_directory(
+                directory,
+                repair=True,
+                deep=True,
+                progress=lambda msg: print(msg, file=sys.stderr),
+            )
+        except ResumeLayoutError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if fsck_report.findings:
+            print(fsck_report.render_text(), file=sys.stderr, end="")
+        if fsck_report.exit_code == EXIT_UNRECOVERABLE:
+            print(
+                "error: unrecoverable state damage — not resuming "
+                "(see the fsck findings above)",
+                file=sys.stderr,
+            )
+            return EXIT_UNRECOVERABLE
 
     try:
         layout = detect_resume_layout(directory)
@@ -1165,7 +1249,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.store,
         )
     if args.command == "resume":
-        return _cmd_resume(args.directory, args.trace, args.metrics)
+        return _cmd_resume(args.directory, args.trace, args.metrics, args.fsck)
+    if args.command == "fsck":
+        return _cmd_fsck(args.directory, args.dry_run, args.fast, args.as_json)
     if args.command == "shard":
         if args.shard_command == "run":
             return _cmd_shard_run(args)

@@ -1,0 +1,95 @@
+"""State integrity: deterministic I/O fault injection and ``litmus fsck``.
+
+Prior layers made every state file journaled and crash-safe; this package
+answers the two questions those guarantees raise in production:
+
+* **What happens when the I/O itself misbehaves?**
+  :mod:`~repro.integrity.faultfs` is a deterministic, seeded
+  fault-injection shim over the os-level primitives every state writer
+  uses (``write``/``fsync``/``os.replace``), so EIO, ENOSPC, torn
+  writes, silent bit flips and crash-at-fsync are *replayable* events a
+  test or benchmark can place at an exact call site and call count.
+
+* **How is damaged state diagnosed and repaired?**
+  :mod:`~repro.integrity.fsck` scans a journal directory (campaign /
+  service / shard / stream) or a columnar KPI store, classifies every
+  inconsistency with a typed taxonomy, and repairs what is provably safe
+  to repair — always via backup + atomic rewrite into ``quarantine/``,
+  never in place.
+
+:mod:`~repro.integrity.chaos` drives both ends: it runs real workloads
+under injected fault plans and asserts the headline invariant recorded
+in ``BENCH_chaos.json`` — **no run ever silently produces wrong
+results**; every outcome is a clean verdict, a typed error, or an
+fsck-repairable state whose resumed report is byte-identical to the
+fault-free run.
+
+``faultfs`` is imported eagerly (it is the leaf the state layers hook
+into); ``fsck`` is exposed lazily because it imports those state layers
+back — the laziness is what keeps ``runstate -> faultfs`` acyclic.
+"""
+
+from .faultfs import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    SimulatedCrash,
+    active_injector,
+    inject,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "SimulatedCrash",
+    "active_injector",
+    "inject",
+    "EXIT_CLEAN",
+    "EXIT_REPAIRED",
+    "EXIT_UNRECOVERABLE",
+    "FINDING_KINDS",
+    "Finding",
+    "FsckReport",
+    "QUARANTINE_DIR",
+    "fsck_directory",
+    "CHAOS_LAYERS",
+    "ChaosHarness",
+    "ChaosOutcome",
+    "ChaosPlan",
+    "FINAL_OUTCOMES",
+]
+
+#: Names served lazily from :mod:`repro.integrity.fsck` (PEP 562).
+_FSCK_NAMES = frozenset(
+    {
+        "EXIT_CLEAN",
+        "EXIT_REPAIRED",
+        "EXIT_UNRECOVERABLE",
+        "FINDING_KINDS",
+        "Finding",
+        "FsckReport",
+        "QUARANTINE_DIR",
+        "fsck_directory",
+    }
+)
+
+#: Names served lazily from :mod:`repro.integrity.chaos` (same cycle rule:
+#: the harness imports the campaign/shard/stream layers back).
+_CHAOS_NAMES = frozenset(
+    {"CHAOS_LAYERS", "ChaosHarness", "ChaosOutcome", "ChaosPlan", "FINAL_OUTCOMES"}
+)
+
+
+def __getattr__(name):
+    if name in _FSCK_NAMES:
+        from . import fsck
+
+        return getattr(fsck, name)
+    if name in _CHAOS_NAMES:
+        from . import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,724 @@
+"""Deterministic cross-layer I/O chaos harness.
+
+The harness answers one question: across a seeded grid of injected I/O
+faults, does any run ever *silently* produce wrong results?  Every plan
+drives a real workload (journaled campaign, columnar store ingest,
+sharded campaign, verdict stream) into a fault, then walks the full
+recovery path the operator would: ``litmus fsck`` → resume → compare the
+final artifacts byte-for-byte against the fault-free baseline.
+
+Two fault modes cover the two ways state gets damaged in practice:
+
+``inject``
+    A :mod:`repro.integrity.faultfs` plan is armed while the workload
+    *writes* — EIO, ENOSPC, torn writes, bit flips, crashes around
+    fsync, failed renames, each pinned to a call-site glob and call
+    count so the damage is replayable from the plan alone.
+
+``corrupt``
+    The workload runs clean, then a named, deterministic corruption is
+    applied to the artifacts *at rest* (torn journal tails, orphan shard
+    directories, epoch regressions, single-byte flips).  Offsets derive
+    from the artifact bytes themselves (CRC32 of the content), never
+    from a run-time RNG, so re-running a plan re-damages the same byte.
+
+Every outcome lands in exactly one bucket — ``clean`` (the fault never
+manifested), ``recovered`` (repair + resume reproduced the baseline
+bytes), or ``detected-unrecoverable`` (a typed error or fsck verdict
+flagged the damage).  The fourth bucket, ``silent-wrong``, is the
+invariant: its count must be zero.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .faultfs import FaultRule, SimulatedCrash, inject
+
+__all__ = [
+    "CHAOS_LAYERS",
+    "FINAL_OUTCOMES",
+    "ChaosHarness",
+    "ChaosOutcome",
+    "ChaosPlan",
+    "CORRUPTIONS",
+]
+
+CHAOS_LAYERS = ("journal", "colstore", "shard", "stream")
+
+#: Every plan ends in exactly one of these buckets.
+FINAL_OUTCOMES = ("clean", "recovered", "detected-unrecoverable", "silent-wrong")
+
+_KKIND = "voice-retainability"  # KpiKind.VOICE_RETAINABILITY.value
+
+
+# ----------------------------------------------------------------------
+# Plans and outcomes
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """One seeded fault scenario against one workload."""
+
+    plan_id: str
+    layer: str  # journal | colstore | shard | stream
+    workload: str  # campaign | colstore | shard | stream
+    mode: str  # inject | corrupt
+    description: str
+    rules: Tuple[FaultRule, ...] = ()  # inject mode
+    corruption: Optional[str] = None  # corrupt mode: CORRUPTIONS key
+
+    def __post_init__(self) -> None:
+        if self.layer not in CHAOS_LAYERS:
+            raise ValueError(f"unknown layer {self.layer!r}")
+        if self.mode == "inject" and not self.rules:
+            raise ValueError(f"{self.plan_id}: inject mode needs fault rules")
+        if self.mode == "corrupt" and self.corruption not in CORRUPTIONS:
+            raise ValueError(f"{self.plan_id}: unknown corruption {self.corruption!r}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "plan_id": self.plan_id,
+            "layer": self.layer,
+            "workload": self.workload,
+            "mode": self.mode,
+            "description": self.description,
+            "rules": [rule.to_dict() for rule in self.rules],
+            "corruption": self.corruption,
+        }
+
+
+@dataclass
+class ChaosOutcome:
+    """What one plan did to the state, and how the toolkit answered."""
+
+    plan: ChaosPlan
+    run_outcome: str = "clean"  # clean | typed-error | crash | corrupted
+    error: Optional[str] = None
+    fired: int = 0
+    fsck_exit: Optional[int] = None
+    finding_kinds: List[str] = field(default_factory=list)
+    resume_error: Optional[str] = None
+    verified: bool = False
+    detail: Optional[str] = None
+
+    @property
+    def detected(self) -> bool:
+        """Did anything — a typed error, a crash, or fsck — flag the fault?"""
+        return bool(
+            self.run_outcome in ("typed-error", "crash")
+            or self.finding_kinds
+            or (self.fsck_exit not in (None, 0))
+            or self.resume_error
+        )
+
+    @property
+    def final(self) -> str:
+        if self.verified:
+            if self.run_outcome == "clean" and self.fired == 0 and not self.detected:
+                return "clean"
+            return "recovered"
+        if self.detected:
+            return "detected-unrecoverable"
+        return "silent-wrong"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            **self.plan.to_dict(),
+            "run_outcome": self.run_outcome,
+            "error": self.error,
+            "fired": self.fired,
+            "fsck_exit": self.fsck_exit,
+            "finding_kinds": list(self.finding_kinds),
+            "resume_error": self.resume_error,
+            "verified": self.verified,
+            "final": self.final,
+            "detail": self.detail,
+        }
+
+
+# ----------------------------------------------------------------------
+# Deterministic at-rest corruptions
+# ----------------------------------------------------------------------
+
+
+def _flip_byte(path: str, offset: Optional[int] = None) -> str:
+    data = bytearray(open(path, "rb").read())
+    if not data:
+        raise ValueError(f"{path} is empty — nothing to flip")
+    if offset is None:
+        offset = zlib.crc32(bytes(data)) % len(data)
+    data[offset] ^= 0x01
+    with open(path, "wb") as handle:
+        handle.write(bytes(data))
+    return f"flipped byte {offset} of {os.path.basename(path)}"
+
+
+def _truncate_tail(path: str, n_bytes: int) -> str:
+    size = os.path.getsize(path)
+    cut = max(1, size - n_bytes)
+    with open(path, "r+b") as handle:
+        handle.truncate(cut)
+    return f"truncated {os.path.basename(path)} from {size} to {cut} bytes"
+
+
+def _flip_last_line(path: str) -> str:
+    data = open(path, "rb").read()
+    body = data.rstrip(b"\n")
+    start = body.rfind(b"\n") + 1
+    span = len(body) - start
+    offset = start + zlib.crc32(body[start:]) % span
+    return _flip_byte(path, offset)
+
+
+def _corrupt_shard_journal_tail(root: str) -> str:
+    return _truncate_tail(os.path.join(root, "shard-00", "journal.jsonl"), 7)
+
+
+def _corrupt_shard_orphan_dir(root: str) -> str:
+    src = os.path.join(root, "shard-00")
+    dst = os.path.join(root, "shard-07")
+    shutil.copytree(src, dst)
+    return "cloned shard-00 into shard-07 (id beyond n_shards)"
+
+
+def _corrupt_shard_epoch(root: str) -> str:
+    import dataclasses
+
+    from ..shard.manifest import Assignment, Heartbeat
+
+    shard_dir = os.path.join(root, "shard-00")
+    assignment = Assignment.load(shard_dir)
+    base_epoch = assignment.epoch if assignment is not None else 0
+    heartbeat = Heartbeat.load(shard_dir)
+    if heartbeat is None:
+        heartbeat = Heartbeat(shard_id=0, pid=0, epoch=base_epoch, state="running")
+    heartbeat = dataclasses.replace(heartbeat, epoch=base_epoch + 3)
+    heartbeat.save(shard_dir)
+    return f"heartbeat epoch bumped to {base_epoch + 3} (assignment at {base_epoch})"
+
+
+def _corrupt_shard_report(root: str) -> str:
+    return _flip_byte(os.path.join(root, "report.txt"))
+
+
+def _corrupt_campaign_report_json(root: str) -> str:
+    return _flip_byte(os.path.join(root, "report.json"))
+
+
+def _corrupt_stream_flips(root: str) -> str:
+    return _flip_byte(os.path.join(root, "flips.jsonl"))
+
+
+def _corrupt_stream_journal_tail(root: str) -> str:
+    return _flip_last_line(os.path.join(root, "journal.jsonl"))
+
+
+def _corrupt_colstore_header(root: str) -> str:
+    return _flip_byte(os.path.join(root, "header.json"))
+
+
+def _corrupt_colstore_values(root: str) -> str:
+    return _flip_byte(os.path.join(root, f"values-{_KKIND}.f64"))
+
+
+#: Named, deterministic at-rest corruptions (``corrupt`` mode plans).
+CORRUPTIONS: Dict[str, Callable[[str], str]] = {
+    "shard-journal-torn-tail": _corrupt_shard_journal_tail,
+    "shard-orphan-dir": _corrupt_shard_orphan_dir,
+    "shard-epoch-regression": _corrupt_shard_epoch,
+    "shard-report-flip": _corrupt_shard_report,
+    "campaign-report-json-flip": _corrupt_campaign_report_json,
+    "stream-flips-flip": _corrupt_stream_flips,
+    "stream-journal-tail-flip": _corrupt_stream_journal_tail,
+    "colstore-header-flip": _corrupt_colstore_header,
+    "colstore-values-flip": _corrupt_colstore_values,
+}
+
+
+# ----------------------------------------------------------------------
+# The harness
+# ----------------------------------------------------------------------
+
+
+def _sha256_bytes(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _dir_digests(root: str) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    for name in sorted(os.listdir(root)):
+        path = os.path.join(root, name)
+        if os.path.isfile(path):
+            out[name] = _sha256_bytes(path)
+    return out
+
+
+def _ensure_worker_pythonpath() -> None:
+    """Make ``python -m repro.cli`` importable from worker subprocesses."""
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = os.environ.get("PYTHONPATH", "")
+    parts = existing.split(os.pathsep) if existing else []
+    if src not in parts:
+        os.environ["PYTHONPATH"] = (
+            src if not existing else f"{src}{os.pathsep}{existing}"
+        )
+
+
+class ChaosHarness:
+    """Builds fault-free baselines once, then replays fault plans against
+    fresh copies and holds every run to the no-silent-wrong invariant."""
+
+    def __init__(self, workdir: str, seed: int = 20260807, progress=None) -> None:
+        self.workdir = os.path.abspath(workdir)
+        self.seed = int(seed)
+        self.say = progress or (lambda _msg: None)
+        self._world: Optional[str] = None
+        self._config = None
+        self._baselines: Dict[str, str] = {}
+        self._campaign_bytes: Dict[str, bytes] = {}
+        self._stream_flips: Optional[bytes] = None
+        self._colstore_digests: Optional[Dict[str, str]] = None
+        self._campaign_records: Optional[int] = None
+        os.makedirs(os.path.join(self.workdir, "runs"), exist_ok=True)
+
+    # -- baselines ------------------------------------------------------
+
+    def _litmus_config(self):
+        from ..core.config import LitmusConfig
+
+        if self._config is None:
+            self._config = LitmusConfig(
+                training_days=20, window_days=7, n_iterations=10, seed=self.seed
+            )
+        return self._config
+
+    def _ensure_world(self) -> str:
+        """A small two-change deployment shared by campaign + shard runs."""
+        if self._world is not None:
+            return self._world
+        from ..experiments.common import build_world
+        from ..external.factors import goodness_magnitude
+        from ..io import changelog_to_json, write_store_csv, write_topology_json
+        from ..kpi import KpiKind, LevelShift
+        from ..network.changes import ChangeEvent, ChangeLog, ChangeType
+        from ..runstate.atomic import atomic_write_text
+
+        directory = os.path.join(self.workdir, "world")
+        os.makedirs(directory, exist_ok=True)
+        kpi = KpiKind.VOICE_RETAINABILITY
+        world = build_world(
+            horizon_days=60,
+            n_controllers=4,
+            towers_per_controller=1,
+            seed=self.seed,
+            config=self._litmus_config(),
+        )
+        towers = world.towers()
+        day = 40
+        events = []
+        for i, sign in enumerate((4.5, -4.5)):
+            study = towers[i]
+            events.append(
+                ChangeEvent(
+                    f"chaos-change-{i}",
+                    ChangeType.CONFIGURATION,
+                    day,
+                    frozenset({study}),
+                )
+            )
+            world.store.apply_effect(
+                study, kpi, LevelShift(goodness_magnitude(kpi, sign), day)
+            )
+        write_topology_json(world.topology, os.path.join(directory, "topology.json"))
+        write_store_csv(world.store, os.path.join(directory, "kpis.csv"))
+        atomic_write_text(
+            os.path.join(directory, "changes.json"),
+            changelog_to_json(ChangeLog(events)),
+        )
+        self._world = directory
+        return directory
+
+    def _campaign_spec(self):
+        from ..runstate.campaign import CampaignSpec
+
+        world = self._ensure_world()
+        return CampaignSpec.build(
+            os.path.join(world, "topology.json"),
+            os.path.join(world, "kpis.csv"),
+            os.path.join(world, "changes.json"),
+            config=self._litmus_config(),
+        )
+
+    def _ensure_campaign_baseline(self) -> str:
+        if "campaign" in self._baselines:
+            return self._baselines["campaign"]
+        from ..runstate.campaign import CampaignRunner
+
+        directory = os.path.join(self.workdir, "baseline", "campaign")
+        os.makedirs(directory, exist_ok=True)
+        self.say("baseline: journaled campaign")
+        spec = self._campaign_spec()
+        spec.save(directory)
+        CampaignRunner(spec, directory).run()
+        for name in ("report.txt", "report.json"):
+            self._campaign_bytes[name] = open(
+                os.path.join(directory, name), "rb"
+            ).read()
+        with open(os.path.join(directory, "journal.jsonl"), "rb") as handle:
+            self._campaign_records = sum(1 for _ in handle)
+        self._baselines["campaign"] = directory
+        return directory
+
+    def _ensure_shard_baseline(self) -> str:
+        if "shard" in self._baselines:
+            return self._baselines["shard"]
+        from ..shard.coordinator import ShardCoordinator
+        from ..shard.manifest import ShardSpec
+
+        self._ensure_campaign_baseline()  # reports must match this baseline
+        _ensure_worker_pythonpath()
+        world = self._ensure_world()
+        directory = os.path.join(self.workdir, "baseline", "shard")
+        os.makedirs(directory, exist_ok=True)
+        self.say("baseline: sharded campaign (2 shards)")
+        spec = ShardSpec.build(
+            os.path.join(world, "topology.json"),
+            os.path.join(world, "kpis.csv"),
+            os.path.join(world, "changes.json"),
+            n_shards=2,
+            config=self._litmus_config(),
+        )
+        ShardCoordinator(directory, spec).run()
+        self._baselines["shard"] = directory
+        return directory
+
+    def _ensure_stream_baseline(self) -> str:
+        if "stream" in self._baselines:
+            return self._baselines["stream"]
+        from ..experiments.common import build_world
+        from ..io import changelog_to_json, write_store_csv, write_topology_json
+        from ..kpi import KpiKind, KpiStore, LevelShift
+        from ..network.changes import ChangeEvent, ChangeLog, ChangeType
+        from ..runstate.journal import JOURNAL_FILE, Journal
+        from ..runstate.streamstate import STREAM_BEGIN, StreamSpec
+        from ..streaming import StreamConfig, build_engine, resume_stream
+
+        directory = os.path.join(self.workdir, "baseline", "stream")
+        os.makedirs(directory, exist_ok=True)
+        self.say("baseline: drained verdict stream")
+        kpi = KpiKind.VOICE_RETAINABILITY
+        pivot, backfill_end = 40, 30
+        config = self._litmus_config()
+        world = build_world(
+            horizon_days=60,
+            n_controllers=4,
+            towers_per_controller=2,
+            seed=self.seed,
+            config=config,
+        )
+        study = world.towers()[0]
+        world.store.apply_effect(
+            study, kpi, LevelShift(magnitude=-0.1, start_day=pivot)
+        )
+        change = ChangeEvent(
+            "chaos-stream-change",
+            ChangeType.CONFIGURATION,
+            pivot,
+            frozenset({study}),
+        )
+        write_topology_json(world.topology, os.path.join(directory, "topology.json"))
+        with open(os.path.join(directory, "changes.json"), "w") as handle:
+            handle.write(changelog_to_json(ChangeLog([change])))
+        clipped = KpiStore()
+        for eid in world.store.element_ids():
+            series = world.store.get(eid, kpi)
+            clipped.put(eid, kpi, series.window(series.start, backfill_end))
+        write_store_csv(clipped, os.path.join(directory, "kpis.csv"))
+        spec = StreamSpec.build(
+            os.path.join(directory, "topology.json"),
+            os.path.join(directory, "changes.json"),
+            kpis=os.path.join(directory, "kpis.csv"),
+            config=config,
+            stream={**StreamConfig(horizon_days=10, verify_every=5).to_dict(), "freq": 1},
+        )
+        spec.save(directory)
+        journal, _report = Journal.open(os.path.join(directory, JOURNAL_FILE))
+        journal.append(
+            STREAM_BEGIN,
+            {"config_sha256": spec.config_sha256, "root_seed": spec.config.get("seed")},
+            sync=True,
+        )
+        engine = build_engine(spec, journal=journal)
+        for day in range(backfill_end, pivot + 10):
+            batch = []
+            for eid in world.store.element_ids():
+                series = world.store.get(eid, kpi)
+                batch.append(
+                    [str(eid), kpi.value, day, float(series.values[day - series.start])]
+                )
+            engine.ingest(batch)
+        engine.drain({"log_offset": 0})
+        journal.close()
+        resume_stream(directory)  # writes the canonical flips.jsonl
+        self._stream_flips = open(os.path.join(directory, "flips.jsonl"), "rb").read()
+        self._baselines["stream"] = directory
+        return directory
+
+    def _colstore_source(self):
+        from ..io import load_kpi_backend
+
+        world = self._ensure_world()
+        return load_kpi_backend(os.path.join(world, "kpis.csv"))
+
+    def _ensure_colstore_baseline(self) -> str:
+        if "colstore" in self._baselines:
+            return self._baselines["colstore"]
+        from ..io.colstore import write_colstore
+
+        directory = os.path.join(self.workdir, "baseline", "colstore")
+        os.makedirs(directory, exist_ok=True)
+        self.say("baseline: columnar store ingest")
+        write_colstore(self._colstore_source(), directory)
+        self._colstore_digests = _dir_digests(directory)
+        self._baselines["colstore"] = directory
+        return directory
+
+    # -- the default plan grid ------------------------------------------
+
+    def default_plans(self) -> List[ChaosPlan]:
+        """The seeded grid: ≥12 distinct plans across all four layers."""
+        self._ensure_campaign_baseline()
+        end_nth = (self._campaign_records or 1) - 1
+        inject_plans = [
+            ("journal-write-eio", "journal", "campaign",
+             "EIO on the 2nd campaign journal append",
+             FaultRule("write", "eio", "journal.jsonl", nth=1)),
+            ("journal-write-torn", "journal", "campaign",
+             "torn write mid-journal, then crash",
+             FaultRule("write", "torn-write", "journal.jsonl", nth=2)),
+            ("journal-fsync-eio", "journal", "campaign",
+             "EIO from fsync on the 2nd journal append",
+             FaultRule("fsync", "eio", "journal.jsonl", nth=1)),
+            ("journal-crash-before-fsync", "journal", "campaign",
+             "crash after write, before fsync reaches the platter",
+             FaultRule("fsync", "crash-before", "journal.jsonl", nth=2)),
+            ("journal-end-bit-flip", "journal", "campaign",
+             "silent single-byte flip inside the campaign-end record",
+             FaultRule("write", "bit-flip", "journal.jsonl", nth=end_nth)),
+            ("report-write-enospc", "journal", "campaign",
+             "ENOSPC while streaming report.txt",
+             FaultRule("write", "enospc", "report.txt")),
+            ("report-replace-fail", "journal", "campaign",
+             "os.replace fails publishing report.json",
+             FaultRule("replace", "replace-fail", "report.json")),
+            ("report-crash-after-fsync", "journal", "campaign",
+             "crash after report.txt fsync, before rename",
+             FaultRule("fsync", "crash-after", "report.txt")),
+            ("colstore-values-bit-flip", "colstore", "colstore",
+             "silent bit flip inside a value matrix row write",
+             FaultRule("write", "bit-flip", "values-*.f64", nth=2)),
+            ("colstore-header-torn", "colstore", "colstore",
+             "torn header.json write, then crash",
+             FaultRule("write", "torn-write", "header.json")),
+            ("colstore-header-replace-eio", "colstore", "colstore",
+             "os.replace fails publishing header.json",
+             FaultRule("replace", "replace-fail", "header.json")),
+        ]
+        corrupt_plans = [
+            ("campaign-report-json-flip", "journal", "campaign",
+             "at-rest single-byte flip in report.json",
+             "campaign-report-json-flip"),
+            ("colstore-header-flip", "colstore", "colstore",
+             "at-rest single-byte flip in header.json",
+             "colstore-header-flip"),
+            ("colstore-values-flip", "colstore", "colstore",
+             "at-rest single-byte flip in a value matrix",
+             "colstore-values-flip"),
+            ("shard-journal-torn-tail", "shard", "shard",
+             "torn tail on a shard journal after completion",
+             "shard-journal-torn-tail"),
+            ("shard-orphan-dir", "shard", "shard",
+             "orphan shard directory beyond n_shards",
+             "shard-orphan-dir"),
+            ("shard-epoch-regression", "shard", "shard",
+             "heartbeat epoch ahead of the assignment epoch",
+             "shard-epoch-regression"),
+            ("shard-report-flip", "shard", "shard",
+             "at-rest single-byte flip in the merged report.txt",
+             "shard-report-flip"),
+            ("stream-flips-flip", "stream", "stream",
+             "at-rest single-byte flip in flips.jsonl",
+             "stream-flips-flip"),
+            ("stream-journal-tail-flip", "stream", "stream",
+             "at-rest single-byte flip in the stream-drain record",
+             "stream-journal-tail-flip"),
+        ]
+        plans = [
+            ChaosPlan(pid, layer, workload, mode="inject",
+                      description=desc, rules=(rule,))
+            for pid, layer, workload, desc, rule in inject_plans
+        ]
+        plans.extend(
+            ChaosPlan(pid, layer, workload, mode="corrupt",
+                      description=desc, corruption=name)
+            for pid, layer, workload, desc, name in corrupt_plans
+        )
+        return plans
+
+    # -- plan execution -------------------------------------------------
+
+    def _run_dir(self, plan: ChaosPlan) -> str:
+        directory = os.path.join(self.workdir, "runs", plan.plan_id)
+        if os.path.exists(directory):
+            shutil.rmtree(directory)
+        return directory
+
+    def _run_workload(self, plan: ChaosPlan, directory: str, outcome: ChaosOutcome):
+        """Drive the plan's workload with the fault plan armed."""
+        os.makedirs(directory, exist_ok=True)
+        if plan.workload == "campaign":
+            # litmus assess --journal saves the spec before running; the
+            # fault plan targets the journal and reports, not the spec.
+            self._campaign_spec().save(directory)
+        with inject(list(plan.rules)) as injector:
+            try:
+                if plan.workload == "campaign":
+                    from ..runstate.campaign import CampaignRunner, CampaignSpec
+
+                    CampaignRunner(CampaignSpec.load(directory), directory).run()
+                elif plan.workload == "colstore":
+                    from ..io.colstore import write_colstore
+
+                    write_colstore(self._colstore_source(), directory)
+                else:
+                    raise ValueError(
+                        f"{plan.plan_id}: inject mode drives campaign/colstore "
+                        f"workloads, not {plan.workload!r}"
+                    )
+                outcome.run_outcome = "clean"
+            except SimulatedCrash as exc:
+                outcome.run_outcome = "crash"
+                outcome.error = f"SimulatedCrash: {exc}"
+            except Exception as exc:  # typed failure surfaced to the caller
+                outcome.run_outcome = "typed-error"
+                outcome.error = f"{type(exc).__name__}: {exc}"
+            outcome.fired = len(injector.summary()["fired"])
+
+    def _corrupt_baseline(self, plan: ChaosPlan, directory: str, outcome: ChaosOutcome):
+        baseline = {
+            "campaign": self._ensure_campaign_baseline,
+            "colstore": self._ensure_colstore_baseline,
+            "shard": self._ensure_shard_baseline,
+            "stream": self._ensure_stream_baseline,
+        }[plan.workload]()
+        shutil.copytree(baseline, directory)
+        outcome.run_outcome = "corrupted"
+        outcome.detail = CORRUPTIONS[plan.corruption](directory)
+
+    def _fsck(self, directory: str, outcome: ChaosOutcome) -> bool:
+        """Repair; returns True when resume should be attempted."""
+        from ..runstate.layout import ResumeLayoutError
+        from .fsck import EXIT_UNRECOVERABLE, fsck_directory
+
+        try:
+            report = fsck_directory(directory, repair=True, deep=True)
+        except ResumeLayoutError as exc:
+            # The damage destroyed the layout itself — detected, nothing
+            # left to resume.
+            outcome.resume_error = f"ResumeLayoutError: {exc}"
+            return False
+        outcome.fsck_exit = report.exit_code
+        outcome.finding_kinds = sorted({f.kind for f in report.findings})
+        return report.exit_code != EXIT_UNRECOVERABLE
+
+    def _resume(self, plan: ChaosPlan, directory: str, outcome: ChaosOutcome) -> None:
+        try:
+            if plan.workload == "campaign":
+                from ..runstate.campaign import CampaignRunner, CampaignSpec
+
+                CampaignRunner(CampaignSpec.load(directory), directory).run()
+            elif plan.workload == "shard":
+                from ..shard.coordinator import ShardCoordinator
+
+                _ensure_worker_pythonpath()
+                ShardCoordinator(directory).run()
+            elif plan.workload == "stream":
+                from ..streaming import resume_stream
+
+                resume_stream(directory)
+            # colstore has no resume: a store either verifies or it does not.
+        except Exception as exc:
+            outcome.resume_error = f"{type(exc).__name__}: {exc}"
+
+    def _verify(self, plan: ChaosPlan, directory: str) -> bool:
+        """Final artifacts must be byte-identical to the fault-free run."""
+        if plan.workload in ("campaign", "shard"):
+            self._ensure_campaign_baseline()
+            for name in ("report.txt", "report.json"):
+                path = os.path.join(directory, name)
+                if not os.path.exists(path):
+                    return False
+                if open(path, "rb").read() != self._campaign_bytes[name]:
+                    return False
+            return True
+        if plan.workload == "stream":
+            self._ensure_stream_baseline()
+            path = os.path.join(directory, "flips.jsonl")
+            return (
+                os.path.exists(path)
+                and open(path, "rb").read() == self._stream_flips
+            )
+        if plan.workload == "colstore":
+            from ..io.colstore import ColumnarKpiStore, StoreCorruption
+
+            self._ensure_colstore_baseline()
+            try:
+                ColumnarKpiStore.open(directory, verify=True)
+            except (OSError, ValueError, StoreCorruption):
+                return False
+            return _dir_digests(directory) == self._colstore_digests
+        raise ValueError(f"unknown workload {plan.workload!r}")
+
+    def run_plan(self, plan: ChaosPlan) -> ChaosOutcome:
+        outcome = ChaosOutcome(plan=plan)
+        directory = self._run_dir(plan)
+        self.say(f"plan {plan.plan_id}: {plan.description}")
+        if plan.mode == "inject":
+            self._run_workload(plan, directory, outcome)
+        else:
+            self._corrupt_baseline(plan, directory, outcome)
+        if self._fsck(directory, outcome):
+            self._resume(plan, directory, outcome)
+        outcome.verified = self._verify(plan, directory)
+        self.say(f"plan {plan.plan_id}: {outcome.final}")
+        return outcome
+
+    def run(self, plans: Optional[Sequence[ChaosPlan]] = None) -> Dict[str, object]:
+        plans = list(plans) if plans is not None else self.default_plans()
+        outcomes = [self.run_plan(plan) for plan in plans]
+        counts = {bucket: 0 for bucket in FINAL_OUTCOMES}
+        for outcome in outcomes:
+            counts[outcome.final] += 1
+        return {
+            "seed": self.seed,
+            "n_plans": len(plans),
+            "layers": sorted({plan.layer for plan in plans}),
+            "counts": counts,
+            "silent_wrong": counts["silent-wrong"],
+            "invariant_holds": counts["silent-wrong"] == 0,
+            "outcomes": [outcome.to_dict() for outcome in outcomes],
+        }

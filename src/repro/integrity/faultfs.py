@@ -1,0 +1,383 @@
+"""Deterministic fault-injection shim over the state layers' I/O primitives.
+
+Every durable byte this system writes goes through three os-level
+primitives: a file-handle ``write``, an ``os.fsync``, and an
+``os.replace`` (:mod:`repro.runstate.atomic` and the WAL writer in
+:mod:`repro.runstate.journal`; the colstore, shard and stream state files
+all write through those two modules).  This module wraps exactly those
+three calls with *fault points*: a :class:`FaultPlan` names an operation,
+a path pattern, and a call count, and the matching call misbehaves in a
+precisely specified way.
+
+Because the match is by call-site and call-count — never by wall clock or
+randomness at fire time — every injected failure is **replayable**: the
+same plan against the same workload fails at the same byte.  Seeding
+belongs to the *plan generator* (the chaos harness draws plans with a
+seeded RNG); the shim itself is purely deterministic.
+
+Fault kinds (:data:`FAULT_KINDS`):
+
+``eio``
+    The call raises ``OSError(EIO)`` without performing the operation.
+``enospc``
+    A write stores a partial prefix then raises ``OSError(ENOSPC)`` —
+    the disk-full mid-write case; other ops raise without acting.
+``torn-write``
+    A write stores a partial prefix then raises :class:`SimulatedCrash`
+    — the classic torn tail a power cut leaves behind.
+``bit-flip``
+    A write silently flips one byte and *succeeds* — silent media
+    corruption, the case only an integrity scan can catch.
+``crash-before`` / ``crash-after``
+    :class:`SimulatedCrash` raised before / after the operation runs —
+    ``op="fsync"`` gives the crash-before-fsync / crash-after-fsync
+    pair, ``op="replace"`` the crash-around-rename pair.
+``replace-fail``
+    Alias of ``eio`` scoped to ``os.replace`` (a rename refused by the
+    filesystem).
+
+:class:`SimulatedCrash` derives from ``BaseException`` so no state
+layer's ``except Exception``/``except OSError`` recovery path can absorb
+it — exactly like ``kill -9``, the only observable left behind is the
+filesystem.  :func:`is_crash` lets cleanup code (e.g. the temp-file
+unlink in ``atomic_write_bytes``) step aside so the on-disk state is
+byte-for-byte what a dying process would leave.
+
+When no injector is installed the shim is three ``is None`` checks on
+the hot path — the journaling overhead budgets are unaffected.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import threading
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Any, BinaryIO, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "FAULT_KINDS",
+    "OPS",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
+    "SimulatedCrash",
+    "inject",
+    "active_injector",
+    "is_crash",
+    "shim_write",
+    "shim_fsync",
+    "shim_replace",
+]
+
+#: Operations a rule can intercept.
+OPS = ("write", "fsync", "replace")
+
+#: Fault kinds a rule can inject (see module docstring).
+FAULT_KINDS = (
+    "eio",
+    "enospc",
+    "torn-write",
+    "bit-flip",
+    "crash-before",
+    "crash-after",
+    "replace-fail",
+)
+
+#: Which fault kinds are meaningful for which op.
+_VALID = {
+    "write": {"eio", "enospc", "torn-write", "bit-flip", "crash-before", "crash-after"},
+    "fsync": {"eio", "enospc", "crash-before", "crash-after"},
+    "replace": {"eio", "enospc", "replace-fail", "crash-before", "crash-after"},
+}
+
+
+class SimulatedCrash(BaseException):
+    """The process "died" at an injected fault point.
+
+    A ``BaseException`` on purpose: the state layers' typed-error and
+    retry machinery catches ``Exception``/``OSError``, and a simulated
+    ``kill -9`` must sail through all of it.  Only the harness that
+    installed the injector catches this.
+    """
+
+    def __init__(self, op: str, path: str, fault: str) -> None:
+        super().__init__(f"simulated crash: {fault} during {op} of {path}")
+        self.op = op
+        self.path = path
+        self.fault = fault
+
+
+def is_crash(exc: BaseException) -> bool:
+    """True for :class:`SimulatedCrash` — cleanup code must not tidy up
+    after a crash, or the simulation is more polite than the real event."""
+    return isinstance(exc, SimulatedCrash)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injectable failure: (operation, path pattern, call count) → fault.
+
+    ``path_glob`` matches the target's basename or its full path
+    (``fnmatch``), so ``journal.jsonl`` targets every journal while
+    ``*/shard-01/journal.jsonl`` targets one shard's.  ``nth`` is the
+    0-based index among *matching* calls at which the rule starts firing
+    and ``times`` how many consecutive matching calls it fires for —
+    ``times=1`` is one transient hiccup (the retry path heals it),
+    ``times`` at or above the retry budget is a hard failure.
+    """
+
+    op: str
+    fault: str
+    path_glob: str = "*"
+    nth: int = 0
+    times: int = 1
+    #: Bytes actually written for ``torn-write``/``enospc`` (default:
+    #: half the payload, at least one byte short).
+    torn_bytes: Optional[int] = None
+    #: Byte offset flipped by ``bit-flip`` (default: a deterministic
+    #: offset derived from the payload itself).
+    flip_offset: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ValueError(f"unknown op {self.op!r}; expected one of {OPS}")
+        if self.fault not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault {self.fault!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.fault not in _VALID[self.op]:
+            raise ValueError(f"fault {self.fault!r} is not valid for op {self.op!r}")
+        if self.nth < 0 or self.times < 1:
+            raise ValueError("need nth >= 0 and times >= 1")
+
+    def matches_path(self, path: str) -> bool:
+        return fnmatch(os.path.basename(path), self.path_glob) or fnmatch(
+            path, self.path_glob
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "fault": self.fault,
+            "path_glob": self.path_glob,
+            "nth": self.nth,
+            "times": self.times,
+            "torn_bytes": self.torn_bytes,
+            "flip_offset": self.flip_offset,
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault rules evaluated per intercepted call.
+
+    The first rule whose (op, path, call-count window) matches fires;
+    every rule keeps its own per-plan match counter, so two rules on the
+    same file count independently.
+    """
+
+    rules: Tuple[FaultRule, ...] = ()
+    label: str = ""
+
+    @classmethod
+    def single(cls, op: str, fault: str, path_glob: str = "*", **kwargs) -> "FaultPlan":
+        """The common one-rule plan, labelled after its rule."""
+        rule = FaultRule(op=op, fault=fault, path_glob=path_glob, **kwargs)
+        return cls(rules=(rule,), label=f"{fault}:{op}:{path_glob}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"label": self.label, "rules": [r.to_dict() for r in self.rules]}
+
+
+@dataclass
+class FireEvent:
+    """One fault that actually fired (for reporting and assertions)."""
+
+    op: str
+    path: str
+    fault: str
+    call_index: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "op": self.op,
+            "path": self.path,
+            "fault": self.fault,
+            "call_index": self.call_index,
+        }
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` against intercepted I/O calls.
+
+    Thread-safe (the serve daemon journals from worker threads); the
+    counters make firing deterministic for any serialized call sequence.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.fired: List[FireEvent] = []
+        self._lock = threading.Lock()
+        self._matches = [0] * len(plan.rules)
+
+    def _arm(self, op: str, path: str) -> Optional[FaultRule]:
+        """The rule that fires for this call, counting matches as we go."""
+        with self._lock:
+            for i, rule in enumerate(self.plan.rules):
+                if rule.op != op or not rule.matches_path(path):
+                    continue
+                index = self._matches[i]
+                self._matches[i] = index + 1
+                if rule.nth <= index < rule.nth + rule.times:
+                    self.fired.append(
+                        FireEvent(op=op, path=path, fault=rule.fault, call_index=index)
+                    )
+                    return rule
+                return None  # first matching rule owns the call
+        return None
+
+    # -- op handlers -----------------------------------------------------
+    @staticmethod
+    def _os_error(code: int, op: str, path: str) -> OSError:
+        return OSError(code, f"injected {errno.errorcode[code]} during {op}", path)
+
+    def write(self, handle: BinaryIO, data: bytes, path: str) -> None:
+        rule = self._arm("write", path)
+        if rule is None:
+            handle.write(data)
+            return
+        if rule.fault == "crash-before":
+            raise SimulatedCrash("write", path, rule.fault)
+        if rule.fault == "eio":
+            raise self._os_error(errno.EIO, "write", path)
+        if rule.fault in ("enospc", "torn-write"):
+            cut = rule.torn_bytes
+            if cut is None:
+                cut = max(0, len(data) // 2)
+            cut = min(cut, max(0, len(data) - 1))  # always at least one byte short
+            handle.write(data[:cut])
+            if rule.fault == "enospc":
+                raise self._os_error(errno.ENOSPC, "write", path)
+            raise SimulatedCrash("write", path, rule.fault)
+        if rule.fault == "bit-flip":
+            handle.write(_flip_one_byte(data, rule.flip_offset))
+            return  # silent success: only an integrity scan can see this
+        handle.write(data)
+        if rule.fault == "crash-after":
+            raise SimulatedCrash("write", path, rule.fault)
+
+    def fsync(self, fd: int, path: str) -> None:
+        rule = self._arm("fsync", path)
+        if rule is None:
+            os.fsync(fd)
+            return
+        if rule.fault == "crash-before":
+            raise SimulatedCrash("fsync", path, rule.fault)
+        if rule.fault in ("eio", "enospc"):
+            raise self._os_error(
+                errno.EIO if rule.fault == "eio" else errno.ENOSPC, "fsync", path
+            )
+        os.fsync(fd)
+        if rule.fault == "crash-after":
+            raise SimulatedCrash("fsync", path, rule.fault)
+
+    def replace(self, src: str, dst: str) -> None:
+        rule = self._arm("replace", dst)
+        if rule is None:
+            os.replace(src, dst)
+            return
+        if rule.fault == "crash-before":
+            raise SimulatedCrash("replace", dst, rule.fault)
+        if rule.fault in ("eio", "replace-fail"):
+            raise self._os_error(errno.EIO, "replace", dst)
+        if rule.fault == "enospc":
+            raise self._os_error(errno.ENOSPC, "replace", dst)
+        os.replace(src, dst)
+        if rule.fault == "crash-after":
+            raise SimulatedCrash("replace", dst, rule.fault)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "plan": self.plan.to_dict(),
+            "fired": [event.to_dict() for event in self.fired],
+        }
+
+
+def _flip_one_byte(data: bytes, offset: Optional[int]) -> bytes:
+    """``data`` with one bit-flipped byte (XOR 0xFF; empty data unchanged).
+
+    The default offset is derived from the payload's own CRC so the same
+    bytes always corrupt at the same position — replayability without a
+    fire-time RNG.
+    """
+    if not data:
+        return data
+    at = (zlib.crc32(data) % len(data)) if offset is None else (offset % len(data))
+    corrupted = bytearray(data)
+    corrupted[at] ^= 0xFF
+    return bytes(corrupted)
+
+
+# ----------------------------------------------------------------------
+# Installation and the shim primitives the state layers call
+# ----------------------------------------------------------------------
+
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The installed injector, or None outside a fault-injection scope."""
+    return _ACTIVE
+
+
+@contextmanager
+def inject(
+    plan: Union[FaultPlan, FaultRule, Sequence[FaultRule]]
+) -> Iterator[FaultInjector]:
+    """Install a fault plan for the duration of the ``with`` block.
+
+    Accepts a full :class:`FaultPlan`, a single rule, or a rule sequence.
+    Nested installs are rejected — two active plans would make call
+    counting ambiguous, destroying replayability.
+    """
+    global _ACTIVE
+    if isinstance(plan, FaultRule):
+        plan = FaultPlan(rules=(plan,))
+    elif not isinstance(plan, FaultPlan):
+        plan = FaultPlan(rules=tuple(plan))
+    if _ACTIVE is not None:
+        raise RuntimeError("a fault plan is already installed (no nesting)")
+    injector = FaultInjector(plan)
+    _ACTIVE = injector
+    try:
+        yield injector
+    finally:
+        _ACTIVE = None
+
+
+def shim_write(handle: BinaryIO, data: bytes, path: str) -> None:
+    """``handle.write(data)`` through the active fault plan (if any)."""
+    if _ACTIVE is None:
+        handle.write(data)
+    else:
+        _ACTIVE.write(handle, data, path)
+
+
+def shim_fsync(fd: int, path: str) -> None:
+    """``os.fsync(fd)`` through the active fault plan (if any)."""
+    if _ACTIVE is None:
+        os.fsync(fd)
+    else:
+        _ACTIVE.fsync(fd, path)
+
+
+def shim_replace(src: str, dst: str) -> None:
+    """``os.replace(src, dst)`` through the active fault plan (if any)."""
+    if _ACTIVE is None:
+        os.replace(src, dst)
+    else:
+        _ACTIVE.replace(src, dst)

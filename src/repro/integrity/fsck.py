@@ -1,0 +1,1122 @@
+"""``litmus fsck``: scan, classify and repair damaged state directories.
+
+The durability layers guarantee that *well-behaved* I/O never leaves
+ambiguous state; this module handles everything else — torn journal
+tails, bit-rotted payloads, half-dead shard directories — with three hard
+rules:
+
+1. **Detect everything.**  Every artifact with an integrity anchor (CRC
+   per journal record, ``seq`` continuity, SHA-256 digests in end records
+   and colstore headers, lineage pins) is checked against it; the
+   Hypothesis suite in ``tests/integrity`` asserts a single flipped byte
+   in any journal/colstore artifact never passes silently.
+2. **Never repair in place.**  A repair is always backup + atomic
+   rewrite, or a move into ``quarantine/`` — the original bytes survive
+   under ``quarantine/`` with a JSON manifest describing every action.
+3. **Never guess.**  When the damaged artifact cannot be rebuilt from a
+   trustworthy source (a colstore payload, a header whose sidecar
+   disagrees, a journal from a different run), the finding is
+   *unrecoverable*: reported, exit code 2, bytes untouched.
+
+What is repairable follows from what is derivable:
+
+* journal torn tails / CRC / seq damage → truncate to the valid prefix
+  (the write-ahead contract: nothing after the first bad record can be
+  trusted, and resume recomputes it deterministically);
+* reports and derived artifacts (``report.txt``/``report.json``,
+  ``flips.jsonl``, ``results.json``) → rebuild from the journal or
+  quarantine so ``litmus resume`` regenerates them byte-identically;
+* orphan shard directories, epoch-incoherent assignment/heartbeat pairs,
+  stray ``*.tmp`` debris → quarantine (resume re-derives or re-runs
+  deterministically);
+* colstore payloads and headers → never moved, never rewritten: the
+  measurements are primary inputs with no second source of truth.
+
+Exit codes: 0 = clean, 1 = findings and all repairable (repaired unless
+``repair=False``), 2 = at least one unrecoverable finding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..runstate.atomic import atomic_write_bytes, atomic_write_text
+from ..runstate.journal import JournalRecord
+from ..runstate.layout import ResumeLayoutError, detect_resume_layout
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_REPAIRED",
+    "EXIT_UNRECOVERABLE",
+    "FINDING_KINDS",
+    "Finding",
+    "FsckReport",
+    "QUARANTINE_DIR",
+    "MANIFEST_FILE",
+    "fsck_directory",
+]
+
+EXIT_CLEAN = 0
+EXIT_REPAIRED = 1
+EXIT_UNRECOVERABLE = 2
+
+#: Repairs land here, inside the scanned directory.
+QUARANTINE_DIR = "quarantine"
+#: Repair manifest inside the quarantine directory.
+MANIFEST_FILE = "manifest.json"
+
+#: The typed finding taxonomy.  Grouped by anchor:
+#: journal line damage (``TornTail``/``CrcMismatch``/``SeqGap``/
+#: ``MalformedRecord``), journal-content consistency (``LedgerConflict``,
+#: ``LineageMismatch``), derived artifacts (``ReportDigestMismatch``,
+#: ``MissingReport``, ``DerivedArtifactMismatch``), shard coordination
+#: state (``OrphanShardJournal``, ``EpochRegression``,
+#: ``MalformedStateFile``), colstore integrity (``HeaderUnreadable``,
+#: ``HeaderSidecarMismatch``, ``MissingHeaderSidecar``,
+#: ``StoreStructureError``, ``PayloadDigestMismatch``), and generic
+#: debris/spec damage (``StrayTempFile``, ``SpecUnreadable``).
+FINDING_KINDS = (
+    "TornTail",
+    "CrcMismatch",
+    "SeqGap",
+    "MalformedRecord",
+    "LedgerConflict",
+    "LineageMismatch",
+    "ReportDigestMismatch",
+    "MissingReport",
+    "DerivedArtifactMismatch",
+    "OrphanShardJournal",
+    "EpochRegression",
+    "MalformedStateFile",
+    "HeaderUnreadable",
+    "HeaderSidecarMismatch",
+    "MissingHeaderSidecar",
+    "StoreStructureError",
+    "PayloadDigestMismatch",
+    "StrayTempFile",
+    "SpecUnreadable",
+)
+
+
+@dataclass
+class Finding:
+    """One classified inconsistency."""
+
+    kind: str
+    path: str  # relative to the scanned root
+    detail: str
+    repairable: bool
+    repaired: bool = False
+    action: Optional[str] = None  # what the repair did (None: nothing yet)
+    backup: Optional[str] = None  # where the original bytes went
+
+    def __post_init__(self) -> None:
+        if self.kind not in FINDING_KINDS:
+            raise ValueError(f"unknown finding kind {self.kind!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "path": self.path,
+            "detail": self.detail,
+            "repairable": self.repairable,
+            "repaired": self.repaired,
+            "action": self.action,
+            "backup": self.backup,
+        }
+
+
+@dataclass
+class FsckReport:
+    """Everything one fsck pass found and did."""
+
+    root: str
+    layout: str  # campaign|service|shard|stream|colstore
+    findings: List[Finding] = field(default_factory=list)
+    repair: bool = True  # False: dry run (classification only)
+    deep: bool = True  # False: payload re-hashing skipped
+
+    @property
+    def exit_code(self) -> int:
+        if any(not f.repairable for f in self.findings):
+            return EXIT_UNRECOVERABLE
+        return EXIT_REPAIRED if self.findings else EXIT_CLEAN
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "root": self.root,
+            "layout": self.layout,
+            "exit_code": self.exit_code,
+            "repair": self.repair,
+            "deep": self.deep,
+            "n_findings": len(self.findings),
+            "n_repaired": sum(1 for f in self.findings if f.repaired),
+            "n_unrecoverable": sum(1 for f in self.findings if not f.repairable),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def render_text(self) -> str:
+        lines = [f"fsck {self.root} [{self.layout}]"]
+        if not self.findings:
+            lines.append("  clean")
+        for f in self.findings:
+            status = (
+                "repaired"
+                if f.repaired
+                else ("repairable" if f.repairable else "UNRECOVERABLE")
+            )
+            lines.append(f"  {f.kind} [{status}] {f.path}: {f.detail}")
+            if f.action:
+                lines.append(f"    action: {f.action}")
+            if f.backup:
+                lines.append(f"    backup: {f.backup}")
+        code = self.exit_code
+        verdict = {0: "clean", 1: "repairable damage", 2: "unrecoverable damage"}[code]
+        lines.append(f"  exit {code} ({verdict})")
+        return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Repair workspace: quarantine moves, backups, the manifest
+# ----------------------------------------------------------------------
+
+
+class _Workspace:
+    """Executes repairs for one root; records every action in the manifest.
+
+    All paths are handled relative to ``root``.  With ``repair=False``
+    nothing on disk is touched — findings still classify what *would*
+    happen.
+    """
+
+    def __init__(self, root: str, repair: bool) -> None:
+        self.root = root
+        self.repair = repair
+        self._entries: List[Dict[str, Any]] = []
+
+    # -- path helpers ----------------------------------------------------
+    def abs(self, rel: str) -> str:
+        return os.path.join(self.root, rel)
+
+    def _quarantine_target(self, rel: str) -> str:
+        os.makedirs(self.abs(QUARANTINE_DIR), exist_ok=True)
+        flat = rel.replace(os.sep, "__")
+        candidate = os.path.join(QUARANTINE_DIR, flat)
+        n = 1
+        while os.path.exists(self.abs(candidate)):
+            n += 1
+            candidate = os.path.join(QUARANTINE_DIR, f"{flat}.{n}")
+        return candidate
+
+    # -- actions ---------------------------------------------------------
+    def quarantine(self, rel: str, finding: Finding) -> None:
+        """Move a file or directory into ``quarantine/`` (move = backup)."""
+        if not self.repair:
+            return
+        target = self._quarantine_target(rel)
+        os.replace(self.abs(rel), self.abs(target))
+        finding.repaired = True
+        finding.action = "quarantined"
+        finding.backup = target
+        self._entries.append(
+            {"kind": finding.kind, "path": rel, "action": "quarantined",
+             "backup": target, "detail": finding.detail}
+        )
+
+    def backup_copy(self, rel: str) -> str:
+        """Copy a file into ``quarantine/`` (for rewrite-style repairs)."""
+        target = self._quarantine_target(rel)
+        shutil.copy2(self.abs(rel), self.abs(target))
+        return target
+
+    def rewrite(self, rel: str, data: bytes, finding: Finding, action: str) -> None:
+        """Backup + atomic rewrite of one file."""
+        if not self.repair:
+            return
+        backup = self.backup_copy(rel) if os.path.exists(self.abs(rel)) else None
+        atomic_write_bytes(self.abs(rel), data)
+        finding.repaired = True
+        finding.action = action
+        finding.backup = backup
+        self._entries.append(
+            {"kind": finding.kind, "path": rel, "action": action,
+             "backup": backup, "detail": finding.detail}
+        )
+
+    def create(self, rel: str, data: bytes, finding: Finding, action: str) -> None:
+        """Atomic write of a file that does not exist yet (no backup)."""
+        if not self.repair:
+            return
+        atomic_write_bytes(self.abs(rel), data)
+        finding.repaired = True
+        finding.action = action
+        self._entries.append(
+            {"kind": finding.kind, "path": rel, "action": action,
+             "backup": None, "detail": finding.detail}
+        )
+
+    def finish(self) -> None:
+        """Append this pass's actions to ``quarantine/manifest.json``."""
+        if not self._entries:
+            return
+        manifest_rel = os.path.join(QUARANTINE_DIR, MANIFEST_FILE)
+        manifest_path = self.abs(manifest_rel)
+        entries: List[Dict[str, Any]] = []
+        try:
+            with open(manifest_path) as handle:
+                existing = json.load(handle)
+            if isinstance(existing, dict) and isinstance(existing.get("entries"), list):
+                entries = existing["entries"]
+        except (FileNotFoundError, ValueError, OSError):
+            pass
+        entries.extend(self._entries)
+        os.makedirs(os.path.dirname(manifest_path), exist_ok=True)
+        atomic_write_text(
+            manifest_path,
+            json.dumps({"entries": entries}, indent=2, sort_keys=True) + "\n",
+        )
+
+
+# ----------------------------------------------------------------------
+# Journal scanning (shared by every layout)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _JournalScan:
+    records: List[JournalRecord]
+    valid_bytes: int
+    total_bytes: int
+    findings: List[Finding]
+
+    @property
+    def damaged(self) -> bool:
+        return self.valid_bytes < self.total_bytes
+
+
+def _classify_line(line: bytes, expected_seq: int) -> Tuple[Optional[JournalRecord], str, str]:
+    """(record, kind, detail): record is None when the line is bad."""
+    if len(line) < 10 or line[8:9] != b" ":
+        return None, "CrcMismatch", "line too short for a crc-prefixed record"
+    body = line[9:]
+    if line[:8] != b"%08x" % zlib.crc32(body):
+        return None, "CrcMismatch", "CRC-32 prefix does not match the body bytes"
+    try:
+        obj = json.loads(body)
+    except ValueError:
+        return None, "MalformedRecord", "CRC-valid line is not a JSON object"
+    if not isinstance(obj, dict):
+        return None, "MalformedRecord", "CRC-valid line is not a JSON object"
+    seq, type_, data = obj.get("seq"), obj.get("type"), obj.get("data")
+    if not isinstance(type_, str) or not isinstance(data, dict):
+        return None, "MalformedRecord", "record lacks a string type / dict data"
+    if seq != expected_seq:
+        return None, "SeqGap", f"record seq {seq!r} where {expected_seq} was expected"
+    return JournalRecord(seq=int(seq), type=type_, data=data), "", ""
+
+
+def _scan_journal(ws: _Workspace, rel: str) -> _JournalScan:
+    """Parse one journal file, classify damage, truncate to the valid prefix.
+
+    A missing journal scans as empty and clean.  The truncation repair
+    backs the whole original file into ``quarantine/`` first.
+    """
+    path = ws.abs(rel)
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except FileNotFoundError:
+        return _JournalScan([], 0, 0, [])
+    records: List[JournalRecord] = []
+    findings: List[Finding] = []
+    offset = 0
+    while offset < len(raw):
+        end = raw.find(b"\n", offset)
+        if end < 0:
+            findings.append(
+                Finding(
+                    kind="TornTail",
+                    path=rel,
+                    detail=(
+                        f"unterminated tail of {len(raw) - offset} byte(s) after "
+                        f"{len(records)} valid record(s)"
+                    ),
+                    repairable=True,
+                )
+            )
+            break
+        record, kind, why = _classify_line(raw[offset:end], expected_seq=len(records))
+        if record is None:
+            findings.append(
+                Finding(
+                    kind=kind,
+                    path=rel,
+                    detail=(
+                        f"{why} at record {len(records)}; "
+                        f"{len(raw) - offset} byte(s) after the valid prefix dropped"
+                    ),
+                    repairable=True,
+                )
+            )
+            break
+        records.append(record)
+        offset = end + 1
+
+    if findings:
+        # One backup + one atomic truncate repairs every line finding.
+        if ws.repair:
+            backup = ws.backup_copy(rel)
+            atomic_write_bytes(path, raw[:offset])
+            for f in findings:
+                f.repaired = True
+                f.action = "truncated to valid prefix"
+                f.backup = backup
+            ws._entries.append(
+                {"kind": findings[0].kind, "path": rel,
+                 "action": "truncated to valid prefix", "backup": backup,
+                 "detail": findings[0].detail}
+            )
+    return _JournalScan(records, offset, len(raw), findings)
+
+
+def _ledger_conflicts(records: Sequence[JournalRecord], rel: str) -> List[Finding]:
+    """Duplicate ``task-done`` keys whose outcomes differ.
+
+    The exactly-once contract makes duplicate keys harmless *because*
+    both records must encode the identical outcome; a divergent pair is
+    corruption the CRC could not see (or a broken writer) and cannot be
+    auto-resolved.
+    """
+    from ..runstate.ledger import TASK_DONE
+
+    seen: Dict[str, str] = {}
+    findings: List[Finding] = []
+    for record in records:
+        if record.type != TASK_DONE:
+            continue
+        key = record.data.get("key")
+        if not isinstance(key, str):
+            continue
+        encoded = json.dumps(record.data.get("outcome"), sort_keys=True)
+        if key in seen and seen[key] != encoded:
+            findings.append(
+                Finding(
+                    kind="LedgerConflict",
+                    path=rel,
+                    detail=f"task key {key!r} journaled twice with different outcomes",
+                    repairable=False,
+                )
+            )
+        seen[key] = encoded
+    return findings
+
+
+def _scan_tmp_debris(ws: _Workspace, findings: List[Finding], rel_dir: str = "") -> None:
+    """Quarantine ``*.tmp`` leftovers of crashed atomic writes."""
+    directory = ws.abs(rel_dir) if rel_dir else ws.root
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return
+    for name in names:
+        rel = os.path.join(rel_dir, name) if rel_dir else name
+        if name.endswith(".tmp") and os.path.isfile(ws.abs(rel)):
+            finding = Finding(
+                kind="StrayTempFile",
+                path=rel,
+                detail="temp file left behind by an interrupted atomic write",
+                repairable=True,
+            )
+            ws.quarantine(rel, finding)
+            findings.append(finding)
+
+
+# ----------------------------------------------------------------------
+# Campaign layout
+# ----------------------------------------------------------------------
+
+
+def _scan_campaign(ws: _Workspace, deep: bool) -> List[Finding]:
+    from ..runstate.campaign import (
+        CAMPAIGN_BEGIN,
+        CAMPAIGN_END,
+        CHANGE_DONE,
+        CampaignSpec,
+        render_campaign_report,
+    )
+    from ..runstate.journal import JOURNAL_FILE
+
+    findings: List[Finding] = []
+    spec = None
+    try:
+        spec = CampaignSpec.load(ws.root)
+    except (OSError, ValueError, TypeError) as exc:
+        findings.append(
+            Finding(
+                kind="SpecUnreadable",
+                path="campaign.json",
+                detail=f"cannot load campaign spec: {exc}",
+                repairable=False,
+            )
+        )
+
+    scan = _scan_journal(ws, JOURNAL_FILE)
+    findings.extend(scan.findings)
+    findings.extend(_ledger_conflicts(scan.records, JOURNAL_FILE))
+
+    end = next((r for r in reversed(scan.records) if r.type == CAMPAIGN_END), None)
+    begin = next((r for r in scan.records if r.type == CAMPAIGN_BEGIN), None)
+    report_files = ("report.txt", "report.json")
+    if end is None:
+        # Unfinished run: report files, if present, describe a future the
+        # journal no longer records (e.g. the end record was truncated
+        # away above) — quarantine so resume regenerates them.
+        for rel in report_files:
+            if os.path.exists(ws.abs(rel)):
+                finding = Finding(
+                    kind="DerivedArtifactMismatch",
+                    path=rel,
+                    detail="report exists but the journal has no campaign-end record",
+                    repairable=True,
+                )
+                ws.quarantine(rel, finding)
+                findings.append(finding)
+    elif spec is not None and begin is not None:
+        findings.extend(
+            _check_campaign_reports(
+                ws,
+                records=scan.records,
+                end_data=end.data,
+                change_ids=begin.data.get("change_ids") or [],
+                change_id=spec.change_id,
+                config_sha256=spec.config_sha256,
+                change_done_type=CHANGE_DONE,
+                render=render_campaign_report,
+            )
+        )
+
+    _scan_tmp_debris(ws, findings)
+    return findings
+
+
+def _check_campaign_reports(
+    ws: _Workspace,
+    *,
+    records: Sequence[JournalRecord],
+    end_data: Dict[str, Any],
+    change_ids: List[str],
+    change_id: Optional[str],
+    config_sha256: str,
+    change_done_type: str,
+    render: Callable[..., Tuple[str, Dict[str, Any]]],
+) -> List[Finding]:
+    """Verify report.txt/.json against the end record; rebuild from the
+    journal on mismatch (reports are a pure function of the journal)."""
+    findings: List[Finding] = []
+    recorded_txt_sha = end_data.get("report_sha256")
+    recorded_json_sha = end_data.get("report_json_sha256")  # absent pre-upgrade
+
+    done = {
+        r.data["change_id"]: r.data
+        for r in records
+        if r.type == change_done_type and "change_id" in r.data
+    }
+    try:
+        text, payload = render(
+            done, list(change_ids), change_id=change_id, config_sha256=config_sha256
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        findings.append(
+            Finding(
+                kind="ReportDigestMismatch",
+                path="report.txt",
+                detail=f"cannot rebuild the report from the journal: {exc}",
+                repairable=False,
+            )
+        )
+        return findings
+    rebuilt_txt = text.encode("utf-8")
+    rebuilt_json = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+    rebuilt_txt_sha = hashlib.sha256(rebuilt_txt).hexdigest()
+    rebuilt_json_sha = hashlib.sha256(rebuilt_json).hexdigest()
+
+    if isinstance(recorded_txt_sha, str) and rebuilt_txt_sha != recorded_txt_sha:
+        findings.append(
+            Finding(
+                kind="ReportDigestMismatch",
+                path="report.txt",
+                detail=(
+                    "the report rebuilt from the journal does not match the "
+                    "digest in the end record — journal and end record disagree"
+                ),
+                repairable=False,
+            )
+        )
+        return findings
+
+    for rel, want_bytes, want_sha, recorded in (
+        ("report.txt", rebuilt_txt, rebuilt_txt_sha, recorded_txt_sha),
+        ("report.json", rebuilt_json, rebuilt_json_sha, recorded_json_sha),
+    ):
+        path = ws.abs(rel)
+        try:
+            with open(path, "rb") as handle:
+                current = handle.read()
+        except FileNotFoundError:
+            finding = Finding(
+                kind="MissingReport",
+                path=rel,
+                detail="end record present but the report file is missing",
+                repairable=True,
+            )
+            ws.create(rel, want_bytes, finding, "rebuilt from journal")
+            findings.append(finding)
+            continue
+        except OSError as exc:
+            findings.append(
+                Finding(
+                    kind="ReportDigestMismatch",
+                    path=rel,
+                    detail=f"unreadable report file: {exc}",
+                    repairable=False,
+                )
+            )
+            continue
+        if hashlib.sha256(current).hexdigest() != want_sha:
+            verified = "" if isinstance(recorded, str) else " (digest not in end record; rebuilt from journal)"
+            finding = Finding(
+                kind="ReportDigestMismatch",
+                path=rel,
+                detail=f"report bytes do not match the journal-derived digest{verified}",
+                repairable=True,
+            )
+            ws.rewrite(rel, want_bytes, finding, "rebuilt from journal")
+            findings.append(finding)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Service layout
+# ----------------------------------------------------------------------
+
+
+def _scan_service(ws: _Workspace, deep: bool) -> List[Finding]:
+    from ..runstate import servicestate
+    from ..runstate.journal import JOURNAL_FILE
+    from ..runstate.ledger import LedgerDivergence
+
+    findings: List[Finding] = []
+    spec = None
+    try:
+        spec = servicestate.ServiceSpec.load(ws.root)
+    except (OSError, ValueError, TypeError) as exc:
+        findings.append(
+            Finding(
+                kind="SpecUnreadable",
+                path=servicestate.SERVICE_FILE,
+                detail=f"cannot load service spec: {exc}",
+                repairable=False,
+            )
+        )
+
+    scan = _scan_journal(ws, JOURNAL_FILE)
+    findings.extend(scan.findings)
+
+    if spec is not None and scan.records:
+        try:
+            servicestate.verify_service_lineage(
+                scan.records,
+                config_sha256=spec.config_sha256,
+                root_seed=spec.config.get("seed"),
+            )
+        except LedgerDivergence as exc:
+            findings.append(
+                Finding(
+                    kind="LineageMismatch",
+                    path=JOURNAL_FILE,
+                    detail=str(exc),
+                    repairable=False,
+                )
+            )
+
+    results_rel = servicestate.RESULTS_FILE
+    results_path = ws.abs(results_rel)
+    if os.path.exists(results_path):
+        expected = servicestate.done_results(scan.records)
+        try:
+            with open(results_path) as handle:
+                current = json.load(handle)
+            ok = current == expected
+        except (ValueError, OSError):
+            ok = False
+        if not ok:
+            finding = Finding(
+                kind="DerivedArtifactMismatch",
+                path=results_rel,
+                detail="results.json disagrees with the journaled settled results",
+                repairable=True,
+            )
+            ws.rewrite(
+                results_rel,
+                (json.dumps(expected, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+                finding,
+                "rebuilt from journal",
+            )
+            findings.append(finding)
+
+    _scan_tmp_debris(ws, findings)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Shard layout
+# ----------------------------------------------------------------------
+
+
+def _scan_shard(ws: _Workspace, deep: bool) -> List[Finding]:
+    from ..runstate.campaign import CHANGE_DONE, render_campaign_report
+    from ..runstate.journal import JOURNAL_FILE
+    from ..shard import manifest as shard_manifest
+    from ..shard.coordinator import COORDINATOR_BEGIN, COORDINATOR_END
+    from ..shard.worker import SHARD_BEGIN
+
+    findings: List[Finding] = []
+    spec = None
+    try:
+        spec = shard_manifest.ShardSpec.load(ws.root)
+    except (OSError, ValueError, TypeError) as exc:
+        findings.append(
+            Finding(
+                kind="SpecUnreadable",
+                path=shard_manifest.SHARD_FILE,
+                detail=f"cannot load shard spec: {exc}",
+                repairable=False,
+            )
+        )
+
+    coord_scan = _scan_journal(ws, shard_manifest.COORDINATOR_JOURNAL_FILE)
+    findings.extend(coord_scan.findings)
+
+    shard_records: List[JournalRecord] = []
+    for shard_id in shard_manifest.list_shard_ids(ws.root):
+        rel_dir = os.path.relpath(
+            shard_manifest.shard_dir(ws.root, shard_id), ws.root
+        )
+        journal_rel = os.path.join(rel_dir, JOURNAL_FILE)
+
+        # Orphan checks come first: a foreign or out-of-ring shard
+        # directory is quarantined whole, journal damage and all.
+        orphan_reason = None
+        if spec is not None and shard_id >= spec.n_shards:
+            orphan_reason = (
+                f"shard id {shard_id} outside the ring (n_shards={spec.n_shards})"
+            )
+        else:
+            scan = _scan_journal(ws, journal_rel)
+            begin = next((r for r in scan.records if r.type == SHARD_BEGIN), None)
+            if begin is not None and spec is not None:
+                if begin.data.get("config_sha256") != spec.config_sha256:
+                    orphan_reason = "shard journal pinned to a different config"
+                elif begin.data.get("shard_id") not in (None, shard_id):
+                    orphan_reason = (
+                        f"journal says shard {begin.data.get('shard_id')}, "
+                        f"directory says shard {shard_id}"
+                    )
+                elif begin.data.get("n_shards") not in (None, spec.n_shards):
+                    orphan_reason = (
+                        f"journal pinned to a {begin.data.get('n_shards')}-shard "
+                        f"ring, spec declares {spec.n_shards}"
+                    )
+        if orphan_reason is not None:
+            finding = Finding(
+                kind="OrphanShardJournal",
+                path=rel_dir,
+                detail=orphan_reason + " — quarantining the whole shard directory",
+                repairable=True,
+            )
+            ws.quarantine(rel_dir, finding)
+            findings.append(finding)
+            continue
+
+        findings.extend(scan.findings)
+        findings.extend(_ledger_conflicts(scan.records, journal_rel))
+        shard_records.extend(scan.records)
+        findings.extend(_check_shard_coordination(ws, rel_dir))
+        _scan_tmp_debris(ws, findings, rel_dir)
+
+    end = next(
+        (r for r in reversed(coord_scan.records) if r.type == COORDINATOR_END), None
+    )
+    begin = next((r for r in coord_scan.records if r.type == COORDINATOR_BEGIN), None)
+    if end is None:
+        for rel in ("report.txt", "report.json"):
+            if os.path.exists(ws.abs(rel)):
+                finding = Finding(
+                    kind="DerivedArtifactMismatch",
+                    path=rel,
+                    detail="report exists but the coordinator journal has no end record",
+                    repairable=True,
+                )
+                ws.quarantine(rel, finding)
+                findings.append(finding)
+    elif spec is not None and begin is not None:
+        findings.extend(
+            _check_campaign_reports(
+                ws,
+                records=shard_records,
+                end_data=end.data,
+                change_ids=begin.data.get("change_ids") or [],
+                change_id=None,
+                config_sha256=spec.config_sha256,
+                change_done_type=CHANGE_DONE,
+                render=render_campaign_report,
+            )
+        )
+
+    _scan_tmp_debris(ws, findings)
+    return findings
+
+
+def _check_shard_coordination(ws: _Workspace, rel_dir: str) -> List[Finding]:
+    """Assignment/heartbeat coherence inside one shard directory."""
+    from ..shard import manifest as shard_manifest
+
+    findings: List[Finding] = []
+    directory = ws.abs(rel_dir)
+    assignment_rel = os.path.join(rel_dir, shard_manifest.ASSIGNMENT_FILE)
+    heartbeat_rel = os.path.join(rel_dir, shard_manifest.HEARTBEAT_FILE)
+
+    assignment = shard_manifest.Assignment.load(directory)
+    heartbeat = shard_manifest.Heartbeat.load(directory)
+
+    for rel, loaded in ((assignment_rel, assignment), (heartbeat_rel, heartbeat)):
+        if loaded is None and os.path.exists(ws.abs(rel)):
+            finding = Finding(
+                kind="MalformedStateFile",
+                path=rel,
+                detail="state file exists but does not parse; resume rewrites it",
+                repairable=True,
+            )
+            ws.quarantine(rel, finding)
+            findings.append(finding)
+
+    if (
+        assignment is not None
+        and heartbeat is not None
+        and heartbeat.epoch > assignment.epoch
+    ):
+        detail = (
+            f"heartbeat reports epoch {heartbeat.epoch} but the assignment "
+            f"is at epoch {assignment.epoch} — coordination state regressed"
+        )
+        for rel in (assignment_rel, heartbeat_rel):
+            finding = Finding(
+                kind="EpochRegression", path=rel, detail=detail, repairable=True
+            )
+            ws.quarantine(rel, finding)
+            findings.append(finding)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Stream layout
+# ----------------------------------------------------------------------
+
+
+def _scan_stream(ws: _Workspace, deep: bool) -> List[Finding]:
+    from ..runstate import streamstate
+    from ..runstate.journal import JOURNAL_FILE
+    from ..runstate.ledger import LedgerDivergence
+
+    findings: List[Finding] = []
+    spec = None
+    try:
+        spec = streamstate.StreamSpec.load(ws.root)
+    except (OSError, ValueError, TypeError) as exc:
+        findings.append(
+            Finding(
+                kind="SpecUnreadable",
+                path=streamstate.STREAM_FILE,
+                detail=f"cannot load stream spec: {exc}",
+                repairable=False,
+            )
+        )
+
+    scan = _scan_journal(ws, JOURNAL_FILE)
+    findings.extend(scan.findings)
+
+    if spec is not None and scan.records:
+        try:
+            streamstate.verify_stream_lineage(
+                scan.records,
+                config_sha256=spec.config_sha256,
+                root_seed=spec.config.get("seed"),
+            )
+        except LedgerDivergence as exc:
+            findings.append(
+                Finding(
+                    kind="LineageMismatch",
+                    path=JOURNAL_FILE,
+                    detail=str(exc),
+                    repairable=False,
+                )
+            )
+
+    flips_rel = streamstate.FLIPS_FILE
+    flips_path = ws.abs(flips_rel)
+    if os.path.exists(flips_path):
+        journaled = streamstate.flip_payloads(scan.records)
+        drained = any(r.type == streamstate.STREAM_DRAIN for r in scan.records)
+        want = [json.dumps(f, sort_keys=True) for f in journaled]
+        ok = True
+        try:
+            with open(flips_path) as handle:
+                got = [line.rstrip("\n") for line in handle if line.strip()]
+            for line in got:
+                if not isinstance(json.loads(line), dict):
+                    ok = False
+                    break
+        except (ValueError, OSError):
+            ok = False
+        if ok:
+            if drained:
+                # A drained stream journaled every flip: the derived log
+                # must match exactly, which digest-protects every line.
+                ok = got == want
+            else:
+                ok = got[: len(want)] == want and len(got) >= len(want)
+        if not ok:
+            finding = Finding(
+                kind="DerivedArtifactMismatch",
+                path=flips_rel,
+                detail="flips.jsonl disagrees with the journaled flip stream",
+                repairable=True,
+            )
+            ws.quarantine(flips_rel, finding)
+            findings.append(finding)
+
+    _scan_tmp_debris(ws, findings)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Colstore
+# ----------------------------------------------------------------------
+
+
+def _scan_colstore(ws: _Workspace, deep: bool, rel_dir: str = "") -> List[Finding]:
+    """Integrity-check one colstore directory.
+
+    Payloads are primary inputs: findings against them are never
+    repaired, only reported — re-ingesting from the source of truth is
+    the operator's call.
+    """
+    from ..io.colstore import (
+        HEADER_FILE,
+        HEADER_SHA_FILE,
+        ColumnarKpiStore,
+        StoreCorruption,
+        _parse_header_sidecar,
+        _sha256_file,
+    )
+
+    findings: List[Finding] = []
+    prefix = rel_dir + os.sep if rel_dir else ""
+    root = ws.abs(rel_dir) if rel_dir else ws.root
+    header_rel = prefix + HEADER_FILE
+    sidecar_rel = prefix + HEADER_SHA_FILE
+
+    try:
+        with open(os.path.join(root, HEADER_FILE), "rb") as handle:
+            header_bytes = handle.read()
+    except OSError as exc:
+        findings.append(
+            Finding(
+                kind="HeaderUnreadable",
+                path=header_rel,
+                detail=f"cannot read colstore header: {exc}",
+                repairable=False,
+            )
+        )
+        return findings
+
+    header_sha = hashlib.sha256(header_bytes).hexdigest()
+    sidecar_bytes: Optional[bytes] = None
+    try:
+        with open(os.path.join(root, HEADER_SHA_FILE), "rb") as handle:
+            sidecar_bytes = handle.read()
+    except FileNotFoundError:
+        pass
+    except OSError as exc:
+        findings.append(
+            Finding(
+                kind="HeaderSidecarMismatch",
+                path=sidecar_rel,
+                detail=f"cannot read header sidecar: {exc}",
+                repairable=False,
+            )
+        )
+        return findings
+
+    sidecar_sha: Optional[str] = None
+    if sidecar_bytes is not None:
+        # Byte-strict parse: anything that is not exactly 64 lowercase hex
+        # digits (+ optional trailing LF) is corruption — text-mode reads
+        # would crash on non-UTF-8 flips, and strip() would quietly absorb
+        # a whitespace-class flip of the trailing newline.
+        sidecar_sha = _parse_header_sidecar(sidecar_bytes)
+        if sidecar_sha is None:
+            findings.append(
+                Finding(
+                    kind="HeaderSidecarMismatch",
+                    path=sidecar_rel,
+                    detail=(
+                        "malformed header sidecar: expected 64 lowercase hex "
+                        "digits + newline — the sidecar itself is damaged; "
+                        "re-ingest the store from its source"
+                    ),
+                    repairable=False,
+                )
+            )
+            return findings
+
+    if sidecar_sha is not None and sidecar_sha != header_sha:
+        # The header and its sidecar disagree and there is no third
+        # witness to arbitrate — either file could hold the flipped byte,
+        # and "fixing" the wrong one would bless corrupt data.
+        findings.append(
+            Finding(
+                kind="HeaderSidecarMismatch",
+                path=header_rel,
+                detail=(
+                    f"header bytes hash {header_sha} but the sidecar records "
+                    f"{sidecar_sha}; cannot establish which file is damaged — "
+                    "re-ingest the store from its source"
+                ),
+                repairable=False,
+            )
+        )
+        return findings
+
+    try:
+        store = ColumnarKpiStore.open(root, verify=False)
+    except StoreCorruption as exc:
+        findings.append(
+            Finding(
+                kind="StoreStructureError",
+                path=header_rel,
+                detail=str(exc),
+                repairable=False,
+            )
+        )
+        return findings
+
+    payloads_ok = True
+    if deep:
+        for kind, block in sorted(store._blocks.items(), key=lambda kv: kv[0].value):
+            if _sha256_file(block.path) != block.sha256:
+                payloads_ok = False
+                findings.append(
+                    Finding(
+                        kind="PayloadDigestMismatch",
+                        path=prefix + os.path.basename(block.path),
+                        detail=(
+                            f"value file for kind {kind.value!r} fails its header "
+                            "SHA-256 — measurement bytes are damaged; re-ingest "
+                            "from the source"
+                        ),
+                        repairable=False,
+                    )
+                )
+    store.close()
+
+    if sidecar_sha is None and deep and payloads_ok:
+        # Legacy store (written before the sidecar existed) that fully
+        # verifies: generating the sidecar now extends flip detection to
+        # the header bytes themselves.
+        finding = Finding(
+            kind="MissingHeaderSidecar",
+            path=sidecar_rel,
+            detail="store predates the header sidecar; generated after full verification",
+            repairable=True,
+        )
+        ws.create(
+            sidecar_rel, (header_sha + "\n").encode("ascii"), finding, "sidecar generated"
+        )
+        findings.append(finding)
+
+    _scan_tmp_debris(ws, findings, rel_dir)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+_LAYOUT_SCANNERS = {
+    "campaign": _scan_campaign,
+    "service": _scan_service,
+    "shard": _scan_shard,
+    "stream": _scan_stream,
+}
+
+
+def fsck_directory(
+    directory: str,
+    *,
+    repair: bool = True,
+    deep: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FsckReport:
+    """Scan (and by default repair) one state directory.
+
+    Auto-detects the layout: a resumable journal directory (campaign /
+    service / shard / stream, via
+    :func:`~repro.runstate.layout.detect_resume_layout`) or a columnar
+    KPI store.  Immediate subdirectories that are colstores are scanned
+    too.  ``repair=False`` is a dry run — classification without touching
+    the disk; ``deep=False`` skips the payload re-hashing (structure and
+    CRC checks only).  Raises :class:`~repro.runstate.layout.ResumeLayoutError`
+    when the directory is none of the known layouts.
+    """
+    from ..io.colstore import is_colstore
+
+    root = os.path.abspath(directory)
+    say = progress or (lambda _msg: None)
+    try:
+        layout = detect_resume_layout(root)
+    except ResumeLayoutError:
+        if not is_colstore(root):
+            raise
+        layout = "colstore"
+
+    say(f"fsck: scanning {root} as {layout}")
+    ws = _Workspace(root, repair)
+    if layout == "colstore":
+        findings = _scan_colstore(ws, deep)
+    else:
+        findings = _LAYOUT_SCANNERS[layout](ws, deep)
+        for name in sorted(os.listdir(root)):
+            sub = os.path.join(root, name)
+            if name != QUARANTINE_DIR and is_colstore(sub):
+                say(f"fsck: scanning nested colstore {name}")
+                findings.extend(_scan_colstore(ws, deep, rel_dir=name))
+    ws.finish()
+    report = FsckReport(
+        root=root, layout=layout, findings=findings, repair=repair, deep=deep
+    )
+    say(
+        f"fsck: {len(findings)} finding(s), exit {report.exit_code}"
+        + (" (dry run)" if not repair else "")
+    )
+    return report

@@ -43,6 +43,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -56,6 +57,7 @@ __all__ = [
     "COLSTORE_FORMAT",
     "COLSTORE_SCHEMA",
     "HEADER_FILE",
+    "HEADER_SHA_FILE",
     "ColumnarKpiStore",
     "StoreCorruption",
     "is_colstore",
@@ -70,6 +72,13 @@ COLSTORE_FORMAT = "litmus-colstore"
 #: On-disk schema version; bump when the layout changes incompatibly.
 COLSTORE_SCHEMA = 1
 HEADER_FILE = "header.json"
+#: Sidecar holding the SHA-256 of the raw header bytes.  The header's own
+#: embedded hashes cover the payloads but not the header itself — a
+#: flipped byte inside a provenance string or the JSON whitespace would
+#: otherwise be undetectable.  Absent on stores written by older builds;
+#: validation is skipped then (back-compat), and ``litmus fsck`` can
+#: regenerate it once the store fully validates.
+HEADER_SHA_FILE = "header.json.sha256"
 
 #: The one dtype the format stores.  Little-endian float64 keeps the files
 #: byte-portable across the platforms numpy supports.
@@ -104,6 +113,20 @@ def _sha256_file(path: str, chunk: int = 1 << 20) -> str:
     return digest.hexdigest()
 
 
+#: The sidecar's only valid shape: 64 lowercase hex digits + trailing LF
+#: (the LF optional so a hand-truncated file still parses).  Matching raw
+#: bytes keeps the check byte-strict — no decode step to crash on invalid
+#: UTF-8 and no ``strip()`` to quietly absorb a flipped whitespace byte.
+_SIDECAR_RE = re.compile(rb"\A[0-9a-f]{64}\n?\Z")
+
+
+def _parse_header_sidecar(data: bytes) -> Optional[str]:
+    """Return the recorded digest, or ``None`` if the sidecar is malformed."""
+    if _SIDECAR_RE.fullmatch(data) is None:
+        return None
+    return data[:64].decode("ascii")
+
+
 # ----------------------------------------------------------------------
 # Ingestion
 # ----------------------------------------------------------------------
@@ -124,9 +147,11 @@ def write_colstore(
 
     The value files land first, the header last and atomically — a crash
     mid-ingestion leaves no valid header, so :meth:`ColumnarKpiStore.open`
-    fails cleanly instead of reading a torn store.
+    fails cleanly instead of reading a torn store.  Matrices stream out
+    one row at a time (hashed incrementally as written), so peak memory
+    is one padded row per kind, not the whole store.
     """
-    from ..runstate.atomic import atomic_write_bytes, atomic_write_text
+    from ..runstate.atomic import atomic_write_bytes, atomic_writer
 
     directory = os.fspath(path)
     os.makedirs(directory, exist_ok=True)
@@ -140,33 +165,43 @@ def write_colstore(
     )
     for kind in all_kinds:
         element_ids = store.element_ids(kind)
-        series = [store.get(eid, kind) for eid in element_ids]
-        freqs = {s.freq for s in series}
+        freqs = set()
+        base = None
+        width_end = None
+        for eid in element_ids:
+            s = store.get(eid, kind)
+            freqs.add(s.freq)
+            base = s.start if base is None else min(base, s.start)
+            width_end = s.end if width_end is None else max(width_end, s.end)
         if len(freqs) != 1:
             raise ValueError(
                 f"series of kind {kind.value!r} mix frequencies {sorted(freqs)}; "
                 "a colstore kind stores one frequency"
             )
-        base = min(s.start for s in series)
-        width = max(s.end for s in series) - base
-        matrix = np.full((len(series), width), np.nan, dtype=_DTYPE)
+        width = width_end - base
         index: List[Dict[str, object]] = []
-        for row, (eid, s) in enumerate(zip(element_ids, series)):
-            matrix[row, s.start - base : s.end - base] = s.values
-            index.append({"id": str(eid), "start": int(s.start), "len": len(s)})
-        payload = matrix.tobytes()  # row-major little-endian float64
+        digest = hashlib.sha256()
         file_name = f"values-{kind.value}.f64"
-        atomic_write_bytes(os.path.join(directory, file_name), payload)
+        row_buffer = np.empty(width, dtype=_DTYPE)
+        with atomic_writer(os.path.join(directory, file_name)) as handle:
+            for eid in element_ids:
+                s = store.get(eid, kind)
+                row_buffer.fill(np.nan)
+                row_buffer[s.start - base : s.end - base] = s.values
+                row_bytes = row_buffer.tobytes()  # little-endian float64
+                digest.update(row_bytes)
+                handle.write(row_bytes)
+                index.append({"id": str(eid), "start": int(s.start), "len": len(s)})
         kinds[kind.value] = {
             "file": file_name,
-            "shape": [len(series), int(width)],
+            "shape": [len(element_ids), int(width)],
             "base": int(base),
             "freq": int(freqs.pop()),
-            "sha256": hashlib.sha256(payload).hexdigest(),
+            "sha256": digest.hexdigest(),
             "series": index,
         }
-        n_series += len(series)
-        total_bytes += len(payload)
+        n_series += len(element_ids)
+        total_bytes += len(element_ids) * width * _DTYPE.itemsize
 
     header = {
         "format": COLSTORE_FORMAT,
@@ -177,9 +212,12 @@ def write_colstore(
     }
     if source is not None:
         header["source"] = dict(source)
-    atomic_write_text(
-        os.path.join(directory, HEADER_FILE),
-        json.dumps(header, indent=2, sort_keys=True) + "\n",
+    header_bytes = (json.dumps(header, indent=2, sort_keys=True) + "\n").encode("utf-8")
+    atomic_write_bytes(os.path.join(directory, HEADER_FILE), header_bytes)
+    # Sidecar last: it attests to a header that is already durably in place.
+    atomic_write_bytes(
+        os.path.join(directory, HEADER_SHA_FILE),
+        (hashlib.sha256(header_bytes).hexdigest() + "\n").encode("ascii"),
     )
     return ColumnarKpiStore.open(directory).lineage()
 
@@ -264,10 +302,36 @@ class ColumnarKpiStore:
         directory = os.fspath(path)
         header_path = os.path.join(directory, HEADER_FILE)
         try:
-            header = json.loads(Path(header_path).read_text())
+            header_bytes = Path(header_path).read_bytes()
         except FileNotFoundError:
             raise StoreCorruption(f"{directory} has no {HEADER_FILE}") from None
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        except OSError as exc:
+            raise StoreCorruption(f"unreadable colstore header {header_path}: {exc}") from exc
+        sha_path = os.path.join(directory, HEADER_SHA_FILE)
+        try:
+            sidecar_bytes: Optional[bytes] = Path(sha_path).read_bytes()
+        except FileNotFoundError:
+            sidecar_bytes = None  # store written by an older build
+        except OSError as exc:
+            raise StoreCorruption(f"unreadable header sidecar {sha_path}: {exc}") from exc
+        recorded_sha = None
+        if sidecar_bytes is not None:
+            recorded_sha = _parse_header_sidecar(sidecar_bytes)
+            if recorded_sha is None:
+                raise StoreCorruption(
+                    f"malformed header sidecar {sha_path}: expected 64 lowercase "
+                    "hex digits, got corrupt content"
+                )
+        if recorded_sha is not None:
+            actual_sha = hashlib.sha256(header_bytes).hexdigest()
+            if actual_sha != recorded_sha:
+                raise StoreCorruption(
+                    f"{header_path} fails its sidecar SHA-256 check "
+                    f"(header bytes hash {actual_sha}, sidecar records {recorded_sha})"
+                )
+        try:
+            header = json.loads(header_bytes.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
             raise StoreCorruption(f"unreadable colstore header {header_path}: {exc}") from exc
         if not isinstance(header, dict) or header.get("format") != COLSTORE_FORMAT:
             raise StoreCorruption(

@@ -28,12 +28,13 @@ recomputation or silent divergence (DESIGN.md §9):
   (also imported as a submodule).
 """
 
-from .atomic import atomic_write_bytes, atomic_write_text, fsync_dir
+from .atomic import atomic_write_bytes, atomic_write_text, atomic_writer, fsync_dir
 from .codec import decode_outcome, encode_outcome
 from .journal import (
     JOURNAL_FILE,
     Journal,
     JournalRecord,
+    JournalSyncError,
     RecoveryReport,
     recover_journal,
 )
@@ -51,12 +52,14 @@ __all__ = [
     "DEFAULT_RETRY_POLICY",
     "Journal",
     "JournalRecord",
+    "JournalSyncError",
     "LedgerDivergence",
     "RecoveryReport",
     "RetryPolicy",
     "TaskLedger",
     "atomic_write_bytes",
     "atomic_write_text",
+    "atomic_writer",
     "decode_outcome",
     "encode_outcome",
     "fsync_dir",

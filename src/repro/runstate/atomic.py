@@ -9,16 +9,31 @@ filesystem, so a reader (or a process resuming after a crash) only ever
 sees the old complete file or the new complete file — never a torn
 half-write.  The directory entry itself is fsynced afterwards so the
 rename survives a power cut, not just a process kill.
+
+Writers that produce large payloads incrementally use
+:func:`atomic_writer` — the same temp-file/replace discipline with a
+streaming handle, so the whole payload never has to exist in memory.
+
+All three os-level primitives route through
+:mod:`repro.integrity.faultfs`, which is a plain passthrough unless a
+test or the chaos harness has installed a fault plan.  One deliberate
+asymmetry: a :class:`~repro.integrity.faultfs.SimulatedCrash` skips the
+temp-file cleanup — a process that died at that instant would have left
+the temp file behind, and the whole point of the simulation is that
+``litmus fsck`` and resume must cope with exactly that debris.
 """
 
 from __future__ import annotations
 
 import os
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Union
+from typing import BinaryIO, Iterator, Union
 
-__all__ = ["atomic_write_bytes", "atomic_write_text", "fsync_dir"]
+from ..integrity.faultfs import is_crash, shim_fsync, shim_replace, shim_write
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_writer", "fsync_dir"]
 
 PathLike = Union[str, Path]
 
@@ -43,6 +58,63 @@ def fsync_dir(directory: PathLike) -> None:
         os.close(fd)
 
 
+class _AtomicHandle:
+    """Streaming write handle handed out by :func:`atomic_writer`.
+
+    Thin wrapper so every chunk goes through the fault shim attributed to
+    the *target* path (the temp file's randomized name would never match
+    a fault plan's glob).
+    """
+
+    def __init__(self, handle: BinaryIO, target: str) -> None:
+        self._handle = handle
+        self._target = target
+
+    def write(self, data: bytes) -> int:
+        shim_write(self._handle, data, self._target)
+        return len(data)
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def fileno(self) -> int:
+        return self._handle.fileno()
+
+
+@contextmanager
+def atomic_writer(path: PathLike, *, sync: bool = True) -> Iterator[_AtomicHandle]:
+    """Stream bytes into ``path`` with the atomic temp-file discipline.
+
+    Yields a binary write handle backed by a temp file in the target's
+    directory; on clean exit the content is flushed, fsynced (unless
+    ``sync=False``) and renamed over ``path``.  On failure the previous
+    version of ``path`` is untouched and the temp file is removed —
+    except under a simulated crash, which leaves the debris a real crash
+    would.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            yield _AtomicHandle(handle, path)
+            handle.flush()
+            if sync:
+                shim_fsync(handle.fileno(), path)
+        shim_replace(tmp_path, path)
+    except BaseException as exc:
+        if not is_crash(exc):
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+        raise
+    if sync:
+        fsync_dir(directory)
+
+
 def atomic_write_bytes(path: PathLike, data: bytes, *, sync: bool = True) -> None:
     """Write ``data`` to ``path`` so a crash never leaves a partial file.
 
@@ -52,26 +124,8 @@ def atomic_write_bytes(path: PathLike, data: bytes, *, sync: bool = True) -> Non
     ``sync=False`` skips the fsyncs for callers inside a tight loop that
     fence durability elsewhere (atomicity is preserved either way).
     """
-    path = os.fspath(path)
-    directory = os.path.dirname(path) or "."
-    fd, tmp_path = tempfile.mkstemp(
-        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(data)
-            handle.flush()
-            if sync:
-                os.fsync(handle.fileno())
-        os.replace(tmp_path, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_path)
-        except OSError:
-            pass
-        raise
-    if sync:
-        fsync_dir(directory)
+    with atomic_writer(path, sync=sync) as handle:
+        handle.write(data)
 
 
 def atomic_write_text(

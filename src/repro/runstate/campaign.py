@@ -450,14 +450,18 @@ class CampaignRunner:
         text, payload = self._render(done, change_ids)
         report_bytes = text.encode("utf-8")
         sha = hashlib.sha256(report_bytes).hexdigest()
+        report_json = json.dumps(payload, indent=2, sort_keys=True) + "\n"
         atomic_write_text(os.path.join(self.directory, REPORT_TEXT_FILE), text)
-        atomic_write_text(
-            os.path.join(self.directory, REPORT_JSON_FILE),
-            json.dumps(payload, indent=2, sort_keys=True) + "\n",
-        )
+        atomic_write_text(os.path.join(self.directory, REPORT_JSON_FILE), report_json)
         journal.append(
             CAMPAIGN_END,
-            {"report_sha256": sha, "n_changes": len(changes)},
+            {
+                "report_sha256": sha,
+                "report_json_sha256": hashlib.sha256(
+                    report_json.encode("utf-8")
+                ).hexdigest(),
+                "n_changes": len(changes),
+            },
             sync=self.sync,
         )
         campaign_span.annotate(

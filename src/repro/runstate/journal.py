@@ -49,17 +49,35 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, BinaryIO, Dict, List, Optional, Tuple, Union
 
+from ..integrity.faultfs import shim_fsync, shim_write
 from ..obs.metrics import get_metrics
 from .atomic import atomic_write_bytes, fsync_dir
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy, with_retries
 
 __all__ = [
     "JournalRecord",
+    "JournalSyncError",
     "RecoveryReport",
     "Journal",
     "recover_journal",
     "JOURNAL_FILE",
 ]
+
+
+class JournalSyncError(OSError):
+    """The final flush+fsync on :meth:`Journal.close` failed after retries.
+
+    Raised instead of silently swallowing the error: a close-time fsync
+    failure means group-committed records may not be power-loss durable,
+    and the caller must know before declaring the run checkpointed.  The
+    handle is closed either way — the journal's on-disk prefix is still
+    valid, only its durability is in doubt.
+    """
+
+    def __init__(self, path: str, cause: BaseException) -> None:
+        super().__init__(f"journal close fsync failed for {path}: {cause}")
+        self.path = path
+        self.__cause__ = cause
 
 #: Conventional journal file name inside a campaign directory.
 JOURNAL_FILE = "journal.jsonl"
@@ -258,10 +276,10 @@ class Journal:
 
         def write() -> None:
             handle = self._file()
-            handle.write(line)
+            shim_write(handle, line, self.path)
             handle.flush()
             if effective_sync:
-                os.fsync(handle.fileno())
+                shim_fsync(handle.fileno(), self.path)
                 self._last_fsync = time.monotonic()
 
         with_retries(write, policy=self.retry_policy, label="journal-append")
@@ -270,11 +288,32 @@ class Journal:
         return JournalRecord(seq=seq, type=type_, data=data)
 
     def close(self) -> None:
+        """Flush, fsync (under the retry policy) and close the handle.
+
+        The close-time fsync is the durability fence for every record
+        group-committed with ``sync=False`` — it gets the same
+        exponential-backoff retry as appends, and exhausting the retries
+        raises a typed :class:`JournalSyncError` rather than silently
+        leaving the tail non-durable.
+        """
         if self._handle is not None and not self._handle.closed:
-            if self.sync:
-                self._handle.flush()
-                os.fsync(self._handle.fileno())
-            self._handle.close()
+            try:
+                if self.sync:
+
+                    def final_sync() -> None:
+                        self._handle.flush()
+                        shim_fsync(self._handle.fileno(), self.path)
+
+                    try:
+                        with_retries(
+                            final_sync,
+                            policy=self.retry_policy,
+                            label="journal-close-sync",
+                        )
+                    except OSError as exc:
+                        raise JournalSyncError(self.path, exc) from exc
+            finally:
+                self._handle.close()
         if self.sync:
             parent = os.path.dirname(self.path) or "."
             fsync_dir(parent)

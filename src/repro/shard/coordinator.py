@@ -480,15 +480,16 @@ class ShardCoordinator:
             config_sha256=self.spec.config_sha256,
         )
         sha = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        report_json = json.dumps(payload, indent=2, sort_keys=True) + "\n"
         atomic_write_text(os.path.join(self.directory, REPORT_TEXT_FILE), text)
-        atomic_write_text(
-            os.path.join(self.directory, REPORT_JSON_FILE),
-            json.dumps(payload, indent=2, sort_keys=True) + "\n",
-        )
+        atomic_write_text(os.path.join(self.directory, REPORT_JSON_FILE), report_json)
         journal.append(
             COORDINATOR_END,
             {
                 "report_sha256": sha,
+                "report_json_sha256": hashlib.sha256(
+                    report_json.encode("utf-8")
+                ).hexdigest(),
                 "n_changes": len(change_ids),
                 "failovers": len(self._failovers),
             },

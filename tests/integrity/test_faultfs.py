@@ -1,0 +1,224 @@
+"""Fault shim: deterministic injection, atomic containment, retry typing.
+
+Three pillars:
+
+* plan semantics — rules validate, match by call-site and call-count,
+  and two identical runs fire at the identical call;
+* atomic containment — whatever fault fires inside ``atomic_writer``,
+  the *target* path is never half-written: either the old bytes survive
+  untouched or the new bytes land whole (crash debris is a tmp file);
+* journal typing — transient append/close faults heal through the
+  exponential-backoff retry, persistent close-fsync failure surfaces as
+  the typed :class:`JournalSyncError`, never a silent non-durable tail.
+"""
+
+import errno
+import os
+
+import pytest
+
+from repro.integrity.faultfs import (
+    FaultPlan,
+    FaultRule,
+    SimulatedCrash,
+    inject,
+    is_crash,
+)
+from repro.runstate.atomic import atomic_write_bytes
+from repro.runstate.journal import (
+    Journal,
+    JournalSyncError,
+    recover_journal,
+)
+from repro.runstate.retry import RetryPolicy
+
+#: Same attempt budget as production, zero sleep — tests stay instant.
+FAST_RETRY = RetryPolicy(attempts=3, base_delay_s=0.0, max_delay_s=0.0, jitter=0.0)
+
+PAYLOAD = b"0123456789abcdef" * 8
+
+
+def tmp_debris(directory):
+    return [n for n in os.listdir(directory) if ".tmp" in n or n.startswith("tmp")]
+
+
+class TestRules:
+    def test_unknown_op_is_rejected(self):
+        with pytest.raises(ValueError, match="op"):
+            FaultRule("read", "eio")
+
+    def test_unknown_fault_is_rejected(self):
+        with pytest.raises(ValueError, match="fault"):
+            FaultRule("write", "gamma-ray")
+
+    def test_fault_must_be_valid_for_op(self):
+        with pytest.raises(ValueError):
+            FaultRule("fsync", "torn-write")
+        with pytest.raises(ValueError):
+            FaultRule("replace", "bit-flip")
+
+    def test_negative_counts_are_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule("write", "eio", nth=-1)
+        with pytest.raises(ValueError):
+            FaultRule("write", "eio", times=0)
+
+    def test_path_glob_matches_basename_or_full_path(self):
+        rule = FaultRule("write", "eio", "journal.jsonl")
+        assert rule.matches_path("/a/b/journal.jsonl")
+        assert not rule.matches_path("/a/b/report.txt")
+        deep = FaultRule("write", "eio", "*/shard-00/*")
+        assert deep.matches_path("/j/shard-00/journal.jsonl")
+
+    def test_rules_round_trip_through_to_dict(self):
+        rule = FaultRule("write", "torn-write", "x.bin", nth=2, times=3)
+        assert FaultRule(**rule.to_dict()) == rule
+
+
+class TestInject:
+    def test_nesting_is_rejected(self):
+        with inject(FaultRule("write", "eio", "never-matches-xyz")):
+            with pytest.raises(RuntimeError, match="already installed"):
+                with inject(FaultRule("write", "eio")):
+                    pass
+
+    def test_no_plan_is_a_passthrough(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(str(target), PAYLOAD)
+        assert target.read_bytes() == PAYLOAD
+
+    def test_nth_counts_matching_calls_deterministically(self, tmp_path):
+        """The same plan fires at the same call in two identical runs."""
+        for attempt in ("first", "second"):
+            root = tmp_path / attempt
+            root.mkdir()
+            survivors = []
+            with inject(FaultRule("write", "eio", "data-*.bin", nth=2)) as injector:
+                for i in range(4):
+                    try:
+                        atomic_write_bytes(str(root / f"data-{i}.bin"), PAYLOAD)
+                        survivors.append(i)
+                    except OSError:
+                        pass
+                fired = injector.summary()["fired"]
+            assert survivors == [0, 1, 3]
+            assert len(fired) == 1
+            assert fired[0]["path"].endswith("data-2.bin")
+
+
+class TestAtomicContainment:
+    """Satellite: ENOSPC/EIO/torn behavior of ``runstate.atomic``."""
+
+    def test_eio_leaves_target_and_directory_untouched(self, tmp_path):
+        target = tmp_path / "state.json"
+        atomic_write_bytes(str(target), b"old")
+        with inject(FaultRule("write", "eio", "state.json")):
+            with pytest.raises(OSError) as excinfo:
+                atomic_write_bytes(str(target), PAYLOAD)
+        assert excinfo.value.errno == errno.EIO
+        assert target.read_bytes() == b"old"
+        assert tmp_debris(tmp_path) == []
+
+    def test_enospc_is_typed_and_cleans_its_partial_tmp(self, tmp_path):
+        target = tmp_path / "state.json"
+        with inject(FaultRule("write", "enospc", "state.json")):
+            with pytest.raises(OSError) as excinfo:
+                atomic_write_bytes(str(target), PAYLOAD)
+        assert excinfo.value.errno == errno.ENOSPC
+        assert not target.exists()
+        assert tmp_debris(tmp_path) == []
+
+    def test_torn_write_crash_leaves_partial_tmp_but_whole_target(self, tmp_path):
+        target = tmp_path / "state.json"
+        atomic_write_bytes(str(target), b"old")
+        with inject(FaultRule("write", "torn-write", "state.json")):
+            with pytest.raises(SimulatedCrash) as excinfo:
+                atomic_write_bytes(str(target), PAYLOAD)
+        assert is_crash(excinfo.value)
+        assert target.read_bytes() == b"old"  # never half-written in place
+        debris = tmp_debris(tmp_path)
+        assert len(debris) == 1  # kill -9 debris stays for fsck to sweep
+        torn = (tmp_path / debris[0]).read_bytes()
+        assert 0 < len(torn) < len(PAYLOAD)
+
+    def test_replace_failure_keeps_old_bytes(self, tmp_path):
+        target = tmp_path / "state.json"
+        atomic_write_bytes(str(target), b"old")
+        with inject(FaultRule("replace", "replace-fail", "state.json")):
+            with pytest.raises(OSError):
+                atomic_write_bytes(str(target), PAYLOAD)
+        assert target.read_bytes() == b"old"
+        assert tmp_debris(tmp_path) == []
+
+    def test_crash_after_replace_has_already_published(self, tmp_path):
+        target = tmp_path / "state.json"
+        with inject(FaultRule("replace", "crash-after", "state.json")):
+            with pytest.raises(SimulatedCrash):
+                atomic_write_bytes(str(target), PAYLOAD)
+        assert target.read_bytes() == PAYLOAD
+
+    def test_bit_flip_changes_exactly_one_byte(self, tmp_path):
+        target = tmp_path / "state.json"
+        with inject(FaultRule("write", "bit-flip", "state.json")):
+            atomic_write_bytes(str(target), PAYLOAD)
+        written = target.read_bytes()
+        assert len(written) == len(PAYLOAD)
+        assert sum(a != b for a, b in zip(written, PAYLOAD)) == 1
+
+
+class TestJournalFaults:
+    def _journal(self, tmp_path):
+        journal, report = Journal.open(
+            str(tmp_path / "journal.jsonl"), retry_policy=FAST_RETRY
+        )
+        assert not report.records
+        return journal
+
+    def test_torn_append_recovers_to_the_valid_prefix(self, tmp_path):
+        journal = self._journal(tmp_path)
+        for i in range(2):
+            journal.append("step", {"i": i}, sync=False)
+        with inject(FaultRule("write", "torn-write", "journal.jsonl")):
+            with pytest.raises(SimulatedCrash):
+                journal.append("step", {"i": 2}, sync=False)
+        # Emulated kill -9: recover without closing the old handle.  The
+        # torn bytes died in the userspace buffer, so recovery sees the
+        # clean two-record prefix and nothing of record 2.
+        report = recover_journal(str(tmp_path / "journal.jsonl"), truncate=True)
+        assert [r.data["i"] for r in report.records] == [0, 1]
+        raw = (tmp_path / "journal.jsonl").read_bytes()
+        assert raw.count(b"\n") == 2 and b'"i": 2' not in raw
+
+    def test_transient_append_eio_heals_through_retry(self, tmp_path):
+        journal = self._journal(tmp_path)
+        with inject(FaultRule("write", "eio", "journal.jsonl")) as injector:
+            journal.append("step", {"i": 0}, sync=False)
+            assert len(injector.summary()["fired"]) == 1
+        journal.close()
+        report = recover_journal(str(tmp_path / "journal.jsonl"), truncate=False)
+        assert [r.data["i"] for r in report.records] == [0]
+
+    def test_persistent_close_fsync_raises_journal_sync_error(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.append("step", {"i": 0}, sync=False)
+        with inject(FaultRule("fsync", "eio", "journal.jsonl", times=3)):
+            with pytest.raises(JournalSyncError) as excinfo:
+                journal.close()
+        assert isinstance(excinfo.value.__cause__, OSError)
+        assert excinfo.value.__cause__.errno == errno.EIO
+        # The flush still landed: the record is readable, just not fenced.
+        report = recover_journal(str(tmp_path / "journal.jsonl"), truncate=False)
+        assert [r.data["i"] for r in report.records] == [0]
+
+    def test_transient_close_fsync_heals_through_retry(self, tmp_path):
+        journal = self._journal(tmp_path)
+        journal.append("step", {"i": 0}, sync=False)
+        with inject(FaultRule("fsync", "eio", "journal.jsonl", times=2)) as injector:
+            journal.close()  # third attempt of the policy succeeds
+            assert len(injector.summary()["fired"]) == 2
+
+    def test_plan_accepts_rule_sequences(self, tmp_path):
+        plan = FaultPlan.single("write", "eio", "a.bin")
+        with inject(plan):
+            with pytest.raises(OSError):
+                atomic_write_bytes(str(tmp_path / "a.bin"), PAYLOAD)

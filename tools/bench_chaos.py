@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Cross-layer I/O chaos acceptance benchmark for the integrity layer.
+
+Drives the seeded fault grid in :mod:`repro.integrity.chaos`: every plan
+injects (or applies at rest) one deterministic I/O fault against a real
+workload — journaled campaign, columnar store ingest, sharded campaign,
+verdict stream — then runs ``litmus fsck`` + resume and compares the
+final artifacts byte-for-byte against the fault-free baseline.
+
+The headline invariant: **no plan ever silently produces wrong
+results**.  Every outcome is a clean verdict, a typed error, or an
+fsck-detected state; ``silent_wrong`` must be zero and the benchmark
+exits non-zero otherwise.
+
+Writes ``BENCH_chaos.json`` next to the repository root:
+
+    PYTHONPATH=src python tools/bench_chaos.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.integrity.chaos import ChaosHarness  # noqa: E402
+
+#: --quick keeps one representative plan per layer (CI smoke).
+QUICK_PLANS = (
+    "journal-write-torn",
+    "colstore-values-flip",
+    "shard-journal-torn-tail",
+    "stream-flips-flip",
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="one representative plan per layer (CI smoke)",
+    )
+    parser.add_argument("--seed", type=int, default=20260807)
+    parser.add_argument(
+        "--keep",
+        metavar="DIR",
+        default=None,
+        help="keep the work directory here instead of a deleted tempdir",
+    )
+    parser.add_argument(
+        "--out", default=str(ROOT / "BENCH_chaos.json"), help="output JSON path"
+    )
+    args = parser.parse_args()
+
+    workdir = args.keep or tempfile.mkdtemp(prefix="bench-chaos-")
+    started = time.time()
+    try:
+        harness = ChaosHarness(
+            workdir, seed=args.seed, progress=lambda msg: print(f"  {msg}")
+        )
+        plans = harness.default_plans()
+        if args.quick:
+            plans = [p for p in plans if p.plan_id in QUICK_PLANS]
+        print(f"chaos grid: {len(plans)} plan(s), seed {args.seed}")
+        summary = harness.run(plans)
+    finally:
+        if args.keep is None:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    summary["quick"] = bool(args.quick)
+    summary["elapsed_s"] = round(time.time() - started, 2)
+    Path(args.out).write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+
+    print()
+    for outcome in summary["outcomes"]:
+        flags = []
+        if outcome["error"]:
+            flags.append(outcome["error"].split(":")[0])
+        if outcome["finding_kinds"]:
+            flags.append("+".join(outcome["finding_kinds"]))
+        print(
+            f"  {outcome['plan_id']:28s} [{outcome['layer']:8s}] "
+            f"{outcome['final']:24s} {' '.join(flags)}"
+        )
+    print()
+    print(
+        f"{summary['n_plans']} plan(s) across {len(summary['layers'])} layer(s): "
+        + ", ".join(f"{k}={v}" for k, v in sorted(summary["counts"].items()))
+    )
+    print(f"wrote {args.out}")
+    if not summary["invariant_holds"]:
+        print("FAIL: silent-wrong outcomes present", file=sys.stderr)
+        return 1
+    print("invariant holds: zero silent-wrong outcomes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
